@@ -1,0 +1,110 @@
+// E4 — Table III and the Section V-A bug counts.
+//
+// Runs the whole fault catalogue under both simulation methods and prints
+// the detection matrix plus the per-method totals that the paper reports:
+// Virtual Multiplexing finds the static bugs (and raises one false alarm);
+// ReSim additionally finds every DPR bug and the DPR-driver software bugs.
+//
+// A third column reproduces the DESIGN.md ablation: ReSim with X injection
+// disabled (a 2-state simulator's view) silently passes the isolation bug —
+// the 4-state kernel is load-bearing.
+#include <cstdio>
+
+#include "recon/rr_boundary.hpp"
+#include "sys/detection.hpp"
+
+using namespace autovision;
+using namespace autovision::sys;
+
+namespace {
+
+/// A do-nothing error source: models simulating DPR on a 2-state kernel
+/// that cannot express erroneous outputs.
+struct NoErrorInjector final : ErrorInjector {
+    void inject(RrOutputs& o) override { o = RrOutputs::idle(); }
+    const char* name() const override { return "no-x (2-state ablation)"; }
+};
+
+SystemConfig base_config() {
+    SystemConfig cfg;
+    cfg.width = 32;
+    cfg.height = 24;
+    cfg.step = 4;
+    cfg.margin = 8;
+    cfg.search = 2;
+    cfg.simb_payload_words = 100;
+    return cfg;
+}
+
+/// ReSim run with the X injector replaced by the 2-state stand-in.
+RunResult run_resim_no_x(Fault f) {
+    SystemConfig cfg = config_for_fault(base_config(), f);
+    cfg.method = FirmwareConfig::Method::kResim;
+    Testbench tb(cfg);
+    tb.sys.rr.set_error_injector(std::make_unique<NoErrorInjector>());
+    return tb.run(2);
+}
+
+}  // namespace
+
+int main() {
+    const SystemConfig cfg = base_config();
+
+    std::printf("==== Table III: detected bugs per simulation method ====\n");
+    std::printf("(2 frames per run; a run 'detects' when any checker fires,"
+                " data mismatches, or the watchdog trips)\n\n");
+
+    const auto outcomes = run_catalog(cfg, /*frames=*/2);
+
+    unsigned vm_static = 0;
+    unsigned vm_false = 0;
+    unsigned resim_sw = 0;
+    unsigned resim_dpr = 0;
+    unsigned mismatches = 0;
+
+    std::printf("%-12s | %-10s | %-10s | %-22s | %s\n", "bug", "VM",
+                "ReSim", "ReSim w/o X (2-state)", "description");
+    std::printf("-------------+------------+------------+------------------"
+                "------+------------\n");
+    for (const DetectionOutcome& o : outcomes) {
+        const FaultInfo& fi = fault_info(o.fault);
+        const RunResult nx = run_resim_no_x(o.fault);
+        std::printf("%-12s | %-10s | %-10s | %-22s | %s\n", fi.id,
+                    o.vm_detected() ? "DETECTED" : "passed",
+                    o.resim_detected() ? "DETECTED" : "passed",
+                    !nx.clean() ? "DETECTED" : "passed", fi.description);
+        if (!o.matches_expectation()) {
+            ++mismatches;
+            std::printf("    !! expectation mismatch: VM=%s  ReSim=%s\n",
+                        o.vm.verdict().c_str(), o.resim.verdict().c_str());
+        }
+        const std::string id = fi.id;
+        if (o.vm_detected()) {
+            if (fi.expected == ExpectedDetection::kVmFalseAlarm) {
+                ++vm_false;
+            } else {
+                ++vm_static;
+            }
+        }
+        if (o.resim_detected()) {
+            if (id.find("dpr") != std::string::npos) {
+                ++resim_dpr;
+            } else {
+                ++resim_sw;
+            }
+        }
+    }
+
+    std::printf("\n==== Section V-A counts ====\n");
+    std::printf("  VM-detected real bugs (static design):     %u  (paper: 3)\n",
+                vm_static);
+    std::printf("  VM false alarms (simulation artefact):     %u  (paper: 1, bug.hw.2)\n",
+                vm_false);
+    std::printf("  ReSim-detected software/static bugs:        %u\n", resim_sw);
+    std::printf("  ReSim-detected DPR bugs:                    %u  (paper: 6)\n",
+                resim_dpr);
+    std::printf("  expectation mismatches:                     %u\n", mismatches);
+    std::printf("\nablation: without X injection, bug.dpr.1 (isolation) "
+                "escapes — see the third column.\n");
+    return mismatches == 0 ? 0 : 1;
+}

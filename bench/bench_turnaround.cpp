@@ -1,0 +1,71 @@
+// E6 — Section V-B: debug turnaround, simulation vs on-chip.
+//
+// The paper's argument: every bug in the study reproduced within the first
+// 2-4 simulated frames, so one simulation iteration costs at most the time
+// to simulate 4 frames (<= 44 min on their host), while one on-chip debug
+// iteration costs at least a full implementation + bitstream generation
+// (52 min measured), and typically several iterations because probe sets
+// must be re-chosen. We measure our simulation side per bug (wall time of
+// the run that detects it, and the time of the first failure indication)
+// and keep the paper's on-chip constant for the comparison.
+#include <cstdio>
+
+#include "sys/detection.hpp"
+
+using namespace autovision;
+using namespace autovision::sys;
+
+int main() {
+    SystemConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.step = 4;
+    cfg.margin = 8;
+    cfg.search = 2;
+    cfg.simb_payload_words = 100;
+
+    constexpr double kOnChipMinutes = 52.0;  // paper: implementation+bitgen
+    constexpr unsigned kFrames = 4;          // paper: bugs show in 2-4 frames
+
+    std::printf("==== Debug turnaround per iteration: simulation vs on-chip"
+                " ====\n");
+    std::printf("(ReSim simulation of %u frames per bug; on-chip reference ="
+                " %.0f min per iteration, from the paper)\n\n",
+                kFrames, kOnChipMinutes);
+    std::printf("%-12s | %-10s | %12s | %16s\n", "bug", "detected",
+                "sim wall (s)", "first failure (sim ms)");
+
+    double worst_wall_s = 0.0;
+    for (const FaultInfo& fi : kFaultCatalog) {
+        if (fi.expected == ExpectedDetection::kVmFalseAlarm) continue;
+        SystemConfig fc = config_for_fault(cfg, fi.fault);
+        fc.method = FirmwareConfig::Method::kResim;
+        Testbench tb(fc);
+        const RunResult r = tb.run(kFrames);
+        const double wall_s = static_cast<double>(r.wall_time.count()) / 1e9;
+        worst_wall_s = std::max(worst_wall_s, wall_s);
+        double first_ms = -1.0;
+        if (!r.diagnostics.empty()) {
+            first_ms = rtlsim::to_ms(r.diagnostics.front().time);
+        }
+        std::printf("%-12s | %-10s | %12.2f | %16.3f\n", fi.id,
+                    r.clean() ? "MISSED" : "yes", wall_s, first_ms);
+    }
+
+    // A clean (bug-free) full run bounds the iteration cost from above.
+    Testbench clean_tb(cfg);
+    const RunResult clean = clean_tb.run(kFrames);
+    const double clean_wall_s =
+        static_cast<double>(clean.wall_time.count()) / 1e9;
+
+    std::printf("\nclean %u-frame simulation: %.2f s wall (%s)\n", kFrames,
+                clean_wall_s, clean.verdict().c_str());
+    std::printf("worst-case simulation iteration here: %.2f s;"
+                " on-chip iteration (paper): %.0f min\n",
+                worst_wall_s, kOnChipMinutes);
+    std::printf("paper-shape check: simulation turnaround < on-chip"
+                " turnaround: %s (x%.0f faster on this host)\n",
+                worst_wall_s < kOnChipMinutes * 60 ? "yes" : "NO",
+                kOnChipMinutes * 60 / std::max(worst_wall_s, 1e-9));
+    return 0;
+}

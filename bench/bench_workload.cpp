@@ -1,0 +1,184 @@
+// E5 — Figure 5: development workload and bugs detected.
+//
+// Figure 5 tracks (a) lines of code under version control and (b) bugs
+// detected, week by week, over the 11-week case study. Both series are
+// regenerated from this repository:
+//   * the LOC series is measured from the actual source tree, attributed to
+//     the paper's milestones (weeks 1-3 assemble the design + baseline
+//     testbench from legacy parts; week 4 adds the Virtual Multiplexing
+//     hack; weeks 10-11 add the ReSim glue);
+//   * the bugs series comes from actually running the fault-injection
+//     harness with the simulation method in use during that phase — VM
+//     finds the static bugs (and the bug.hw.2 false alarm) in weeks 4-9,
+//     ReSim finds the software + DPR bugs in weeks 10-11.
+//
+// The paper's headline asymmetry is also printed directly: the VM hack
+// costs ~350 LOC of design/software changes, the ReSim integration ~130 LOC
+// of testbench-only glue.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sys/detection.hpp"
+
+namespace fs = std::filesystem;
+using namespace autovision::sys;
+
+namespace {
+
+std::size_t count_loc(const fs::path& dir) {
+    std::size_t loc = 0;
+    if (!fs::exists(dir)) return 0;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+        if (!e.is_regular_file()) continue;
+        const auto ext = e.path().extension().string();
+        if (ext != ".cpp" && ext != ".hpp" && ext != ".txt") continue;
+        std::ifstream is(e.path());
+        std::string line;
+        while (std::getline(is, line)) ++loc;
+    }
+    return loc;
+}
+
+}  // namespace
+
+int main() {
+    const fs::path root = REPO_ROOT;
+    const fs::path src = root / "src";
+
+    // Component LOC, measured from the tree.
+    std::map<std::string, std::size_t> loc;
+    for (const char* c : {"kernel", "bus", "isa", "video", "engines", "recon",
+                          "vip", "sys", "vm", "resim"}) {
+        loc[c] = count_loc(src / c);
+    }
+    const std::size_t tests_loc = count_loc(root / "tests");
+    const std::size_t baseline = loc["kernel"] + loc["bus"] + loc["isa"] +
+                                 loc["video"] + loc["engines"] +
+                                 loc["recon"] + loc["vip"] + loc["sys"];
+
+    // User-side ReSim integration effort: the instantiation/staging lines
+    // in the system top (the library itself is a reused IP, exactly as the
+    // paper treats ReSim). Count the lines that mention the artifacts.
+    std::size_t resim_glue = 0;
+    {
+        std::ifstream is(src / "sys" / "system.cpp");
+        std::string line;
+        while (std::getline(is, line)) {
+            if (line.find("portal") != std::string::npos ||
+                line.find("icap_artifact") != std::string::npos ||
+                line.find("SimB") != std::string::npos ||
+                line.find("simb") != std::string::npos) {
+                ++resim_glue;
+            }
+        }
+    }
+
+    std::printf("==== Figure 5: development workload and bugs detected ====\n\n");
+    std::printf("integration-effort asymmetry (paper: VM hack 250 HDL + 100 SW"
+                " LOC; ReSim glue 80 Tcl + 50 HDL LOC):\n");
+    std::printf("  Virtual Multiplexing layer (src/vm):   %5zu LOC"
+                " (changes the *design*: wrapper + signature register +"
+                " hacked driver)\n",
+                loc["vm"]);
+    std::printf("  ReSim glue in the system top:          %5zu LOC"
+                " (testbench-only; the design is untouched)\n",
+                resim_glue);
+    std::printf("  ReSim library itself (src/resim):      %5zu LOC"
+                " (reused IP, not per-project effort)\n\n",
+                loc["resim"]);
+
+    // Run the catalogue once; attribute detections to the milestone weeks.
+    SystemConfig cfg;
+    cfg.width = 32;
+    cfg.height = 24;
+    cfg.search = 2;
+    cfg.simb_payload_words = 100;
+    const auto outcomes = run_catalog(cfg, 2);
+
+    auto detected = [&](const char* id, bool by_resim) {
+        for (const auto& o : outcomes) {
+            if (std::string(fault_info(o.fault).id) == id) {
+                return by_resim ? o.resim_detected() : o.vm_detected();
+            }
+        }
+        return false;
+    };
+
+    struct Week {
+        int week;
+        const char* activity;
+        std::size_t cumulative_loc;
+        std::vector<std::string> bugs;
+    };
+    std::vector<Week> weeks;
+    // Weeks 1-3: re-integration of legacy parts + baseline simulation
+    // environment (the big initial LOC jump the paper describes).
+    weeks.push_back({3, "design re-integration + baseline testbench",
+                     baseline, {}});
+    // Week 4: VM simulation starts.
+    weeks.push_back({4, "Virtual Multiplexing simulation begins",
+                     baseline + loc["vm"],
+                     detected("bug.hw.2", false)
+                         ? std::vector<std::string>{"bug.hw.2 (false alarm)"}
+                         : std::vector<std::string>{}});
+    // Weeks 5-9: static-design debugging under VM.
+    std::vector<std::string> static_bugs;
+    for (const char* id : {"bug.hw.1", "bug.hw.3", "bug.sw.2"}) {
+        if (detected(id, false)) static_bugs.push_back(id);
+    }
+    weeks.push_back({6, "static bug fixing under VM",
+                     baseline + loc["vm"] + tests_loc / 2,
+                     {static_bugs.begin(),
+                      static_bugs.begin() +
+                          std::min<std::size_t>(2, static_bugs.size())}});
+    weeks.push_back({9, "VM-based simulation passes",
+                     baseline + loc["vm"] + tests_loc,
+                     {static_bugs.begin() +
+                          std::min<std::size_t>(2, static_bugs.size()),
+                      static_bugs.end()}});
+    // Weeks 10-11: ReSim-based DPR verification.
+    std::vector<std::string> dpr_bugs;
+    for (const char* id : {"bug.sw.1", "bug.dpr.1", "bug.dpr.2", "bug.dpr.3",
+                           "bug.dpr.4", "bug.dpr.5", "bug.dpr.6b"}) {
+        if (detected(id, true)) dpr_bugs.push_back(id);
+    }
+    weeks.push_back({10, "ReSim simulation of DPR",
+                     baseline + loc["vm"] + tests_loc + loc["resim"],
+                     {dpr_bugs.begin(),
+                      dpr_bugs.begin() +
+                          std::min<std::size_t>(4, dpr_bugs.size())}});
+    weeks.push_back({11, "ReSim simulation passes",
+                     baseline + loc["vm"] + tests_loc + loc["resim"],
+                     {dpr_bugs.begin() +
+                          std::min<std::size_t>(4, dpr_bugs.size()),
+                      dpr_bugs.end()}});
+
+    std::printf("%-5s %-46s %10s  %s\n", "week", "milestone",
+                "cum. LOC", "bugs detected (replayed via the harness)");
+    unsigned total_bugs = 0;
+    for (const Week& w : weeks) {
+        std::string bugs;
+        for (const auto& b : w.bugs) {
+            if (!bugs.empty()) bugs += ", ";
+            bugs += b;
+        }
+        total_bugs += static_cast<unsigned>(w.bugs.size());
+        std::printf("%-5d %-46s %10zu  %s\n", w.week, w.activity,
+                    w.cumulative_loc, bugs.empty() ? "-" : bugs.c_str());
+    }
+    std::printf("\ntotal bugs replayed and detected: %u (paper: 3 static +"
+                " 2 software + 6 DPR + 1 false alarm)\n",
+                total_bugs);
+    std::printf("paper-shape checks:\n"
+                "  large initial LOC jump from legacy re-integration: %s\n"
+                "  ReSim glue smaller than the VM hack:               %s\n"
+                "  DPR bugs only appear after ReSim is adopted:       %s\n",
+                baseline > loc["vm"] + loc["resim"] ? "yes" : "NO",
+                resim_glue < loc["vm"] ? "yes" : "NO",
+                dpr_bugs.size() >= 6 ? "yes" : "NO");
+    return 0;
+}

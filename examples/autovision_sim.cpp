@@ -1,0 +1,141 @@
+// autovision_sim — command-line driver for the full demonstrator.
+//
+// The "ship it" entry point: run the integrated Optical Flow Demonstrator
+// with either simulation method, any geometry, optional fault injection and
+// optional VCD dumping, and get the run verdict + statistics.
+//
+//   autovision_sim [options]
+//     --method vm|resim        simulation method          (default resim)
+//     --frames N               video frames to process    (default 3)
+//     --width W --height H     frame geometry             (default 64x48)
+//     --search R               match search radius        (default 3)
+//     --simb N                 SimB payload words         (default 100)
+//     --clk-div N              configuration clock divider (default 4)
+//     --fault bug.xxx.y        inject a catalogued fault  (default none)
+//     --vcd FILE               dump key waveforms
+//     --list-faults            print the fault catalogue and exit
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sys/address_map.hpp"
+#include "sys/detection.hpp"
+#include "sys/testbench.hpp"
+
+using namespace autovision;
+using namespace autovision::sys;
+
+namespace {
+
+Fault fault_by_id(const std::string& id) {
+    for (const FaultInfo& fi : kFaultCatalog) {
+        if (id == fi.id) return fi.fault;
+    }
+    return Fault::kNone;
+}
+
+int usage(const char* argv0) {
+    std::printf("usage: %s [--method vm|resim] [--frames N] [--width W]"
+                " [--height H]\n    [--search R] [--simb N] [--clk-div N]"
+                " [--fault bug.xxx.y] [--vcd FILE]\n    [--list-faults]\n",
+                argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    SystemConfig cfg;
+    unsigned frames = 3;
+    std::string fault_id;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char* {
+            return (i + 1 < argc) ? argv[++i] : nullptr;
+        };
+        if (a == "--list-faults") {
+            for (const FaultInfo& fi : kFaultCatalog) {
+                std::printf("%-12s %s\n", fi.id, fi.description);
+            }
+            return 0;
+        }
+        const char* v = nullptr;
+        if (a == "--method" && (v = next())) {
+            cfg.method = std::strcmp(v, "vm") == 0
+                             ? FirmwareConfig::Method::kVm
+                             : FirmwareConfig::Method::kResim;
+        } else if (a == "--frames" && (v = next())) {
+            frames = static_cast<unsigned>(std::stoul(v));
+        } else if (a == "--width" && (v = next())) {
+            cfg.width = static_cast<unsigned>(std::stoul(v));
+        } else if (a == "--height" && (v = next())) {
+            cfg.height = static_cast<unsigned>(std::stoul(v));
+        } else if (a == "--search" && (v = next())) {
+            cfg.search = static_cast<unsigned>(std::stoul(v));
+        } else if (a == "--simb" && (v = next())) {
+            cfg.simb_payload_words = static_cast<std::uint32_t>(std::stoul(v));
+        } else if (a == "--clk-div" && (v = next())) {
+            cfg.icap_clk_div = static_cast<unsigned>(std::stoul(v));
+        } else if (a == "--fault" && (v = next())) {
+            fault_id = v;
+        } else if (a == "--vcd" && (v = next())) {
+            cfg.vcd_path = v;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (!fault_id.empty()) {
+        const Fault f = fault_by_id(fault_id);
+        if (f == Fault::kNone) {
+            std::printf("unknown fault '%s' (try --list-faults)\n",
+                        fault_id.c_str());
+            return 2;
+        }
+        cfg = config_for_fault(cfg, f);
+    }
+
+    std::printf("method=%s  %ux%u  frames=%u  search=%u  simb=%u words "
+                " clk-div=%u  fault=%s\n",
+                cfg.method == FirmwareConfig::Method::kVm ? "vm" : "resim",
+                cfg.width, cfg.height, frames, cfg.search,
+                cfg.simb_payload_words, cfg.icap_clk_div,
+                fault_id.empty() ? "none" : fault_id.c_str());
+
+    Testbench tb(cfg);
+    const RunResult r = tb.run(frames);
+
+    std::printf("\nverdict: %s\n", r.verdict().c_str());
+    std::printf("frames: %u/%u  simulated: %.3f ms  wall: %.2f s\n",
+                r.frames_completed, r.frames_requested,
+                rtlsim::to_ms(r.sim_time),
+                static_cast<double>(r.wall_time.count()) / 1e9);
+    std::printf("stages (sim ms): CIE %.3f  ME %.3f  DPR %.3f  CPU %.3f\n",
+                rtlsim::to_ms(r.stages.cie_sim), rtlsim::to_ms(r.stages.me_sim),
+                rtlsim::to_ms(r.stages.dpr_sim),
+                rtlsim::to_ms(r.stages.cpu_sim));
+    std::printf("CPU: %llu instructions, %llu interrupts;"
+                " reconfigurations: %u\n",
+                static_cast<unsigned long long>(tb.sys.cpu.instructions()),
+                static_cast<unsigned long long>(tb.sys.cpu.interrupts_taken()),
+                tb.sys.mailbox(kMbDprCount));
+    std::printf("kernel: %llu delta cycles, %llu signal updates;"
+                " PLB utilisation %.1f %%\n",
+                static_cast<unsigned long long>(r.stats.delta_cycles),
+                static_cast<unsigned long long>(r.stats.signal_updates),
+                100.0 * tb.sys.plb.utilisation());
+    if (!r.diagnostics.empty()) {
+        std::printf("first diagnostics:\n");
+        for (std::size_t i = 0; i < r.diagnostics.size() && i < 5; ++i) {
+            std::printf("  [%.3f ms] %s: %s\n",
+                        rtlsim::to_ms(r.diagnostics[i].time),
+                        r.diagnostics[i].source.c_str(),
+                        r.diagnostics[i].message.c_str());
+        }
+    }
+    if (!cfg.vcd_path.empty()) {
+        std::printf("waveforms written to %s\n", cfg.vcd_path.c_str());
+    }
+    return r.clean() ? 0 : 1;
+}

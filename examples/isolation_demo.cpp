@@ -1,0 +1,95 @@
+// Error injection and the isolation module.
+//
+// While a region is being reconfigured its outputs are garbage; ReSim
+// models this by injecting X on every boundary output for the duration of
+// the SimB payload. The demonstrator's Isolation module clamps the boundary
+// while the software holds it enabled. This example shows all three sides:
+//   1. the correct driver sequence (isolate -> reconfigure -> release):
+//      nothing escapes;
+//   2. the buggy driver (bug.dpr.1, isolation never enabled): X reaches the
+//      PLB and the interrupt controller, and every checker lights up;
+//   3. ReSim's documented extension point: a custom error source replacing
+//      the default X injector (here: a stuck-at spurious bus requester).
+#include <cstdio>
+
+#include "sys/address_map.hpp"
+#include "sys/detection.hpp"
+
+using namespace autovision;
+using namespace autovision::sys;
+
+namespace {
+
+void print_diags(const RunResult& r, std::size_t limit = 6) {
+    if (r.diagnostics.empty()) {
+        std::printf("  (no checker diagnostics)\n");
+        return;
+    }
+    for (std::size_t i = 0; i < r.diagnostics.size() && i < limit; ++i) {
+        std::printf("  diag @ %.3f ms: %s: %s\n",
+                    rtlsim::to_ms(r.diagnostics[i].time),
+                    r.diagnostics[i].source.c_str(),
+                    r.diagnostics[i].message.c_str());
+    }
+    if (r.diagnostics.size() > limit) {
+        std::printf("  ... and %zu more\n", r.diagnostics.size() - limit);
+    }
+}
+
+/// A design-specific error source, as Section IV-B allows: instead of X,
+/// the dying region emits a spurious bus request to a bogus address.
+struct SpuriousRequester final : ErrorInjector {
+    void inject(RrOutputs& o) override {
+        o = RrOutputs::idle();
+        o.req = rtlsim::Logic::L1;
+        o.rnw = rtlsim::Logic::L1;
+        o.addr = rtlsim::Word{0xEE00'0000};
+        o.nbeats = rtlsim::LVec<16>{1};
+    }
+    const char* name() const override { return "spurious-requester"; }
+};
+
+}  // namespace
+
+int main() {
+    SystemConfig base;
+    base.width = 64;
+    base.height = 48;
+    base.search = 2;
+    base.simb_payload_words = 400;  // a long payload: a wide error window
+
+    std::printf("=== 1. correct driver: isolation held during every"
+                " reconfiguration ===\n");
+    Testbench ok_tb(base);
+    const RunResult ok = ok_tb.run(2);
+    std::printf("  verdict: %s; isolation register written %llu times\n",
+                ok.verdict().c_str(),
+                static_cast<unsigned long long>(ok_tb.sys.iso.writes()));
+    print_diags(ok);
+
+    std::printf("\n=== 2. bug.dpr.1: the driver never enables isolation"
+                " ===\n");
+    SystemConfig buggy = config_for_fault(base, Fault::kDpr1NoIsolation);
+    Testbench bad_tb(buggy);
+    const RunResult bad = bad_tb.run(2);
+    std::printf("  verdict: %s; isolation register written %llu times\n",
+                bad.verdict().c_str(),
+                static_cast<unsigned long long>(bad_tb.sys.iso.writes()));
+    print_diags(bad);
+
+    std::printf("\n=== 3. custom error source (OOP override of the"
+                " injector) ===\n");
+    Testbench cust_tb(buggy);
+    cust_tb.sys.rr.set_error_injector(std::make_unique<SpuriousRequester>());
+    const RunResult cust = cust_tb.run(2);
+    std::printf("  injector: %s\n  verdict: %s\n",
+                cust_tb.sys.rr.error_injector().name(),
+                cust.verdict().c_str());
+    print_diags(cust);
+
+    std::printf("\nsummary: isolation on -> clean; isolation off -> %zu"
+                " diagnostics with the default X source and %zu with the"
+                " custom source.\n",
+                bad.diagnostics.size(), cust.diagnostics.size());
+    return (ok.clean() && !bad.clean() && !cust.clean()) ? 0 : 1;
+}

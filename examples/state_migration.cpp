@@ -1,0 +1,131 @@
+// Preempting and resuming a hardware task: state save/restore through the
+// configuration port.
+//
+// The AutoVision schedule always lets an engine finish before swapping;
+// the ReSim companion work (FPGA'12) extends verification to designs that
+// *preempt* a module mid-job: capture its flip-flop state via readback
+// (GCAPTURE), reconfigure the region for another task, and later restore
+// the state with a GRESTORE-bearing bitstream so the job resumes exactly
+// where it stopped.
+//
+// This example preempts the Census engine halfway through a frame, lets
+// the Matching Engine use the region, resumes the CIE and shows the final
+// feature image is bit-exact against an uninterrupted run.
+#include <cstdio>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "engines/matching_engine.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/rr_boundary.hpp"
+#include "resim/icap_artifact.hpp"
+#include "resim/portal.hpp"
+#include "resim/simb.hpp"
+#include "video/census.hpp"
+#include "video/synth.hpp"
+
+using namespace autovision;
+using namespace rtlsim;
+
+namespace {
+
+constexpr Time kClk = 10 * NS;
+constexpr std::uint32_t kIn = 0x1'0000;
+constexpr std::uint32_t kOut = 0x2'0000;
+
+}  // namespace
+
+int main() {
+    Scheduler sch;
+    Clock clk(sch, "clk", kClk);
+    ResetGen rst(sch, "rst", 3 * kClk);
+    Memory mem;
+    Plb plb(sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 100000});
+    plb.attach_slave(mem);
+    Signal<Logic> done_line(sch, "done", Logic::L0);
+    EngineRegs cie_regs(sch, "cie_regs", clk.out, 0x60);
+    EngineRegs me_regs(sch, "me_regs", clk.out, 0x68);
+    CensusEngine cie(sch, "cie", clk.out, rst.out, cie_regs);
+    MatchingEngine me(sch, "me", clk.out, rst.out, me_regs);
+    RrBoundary rr(sch, "rr", plb.master(0), done_line);
+    rr.add_module(cie);
+    rr.add_module(me);
+    resim::ExtendedPortal portal(sch, "portal");
+    resim::IcapArtifact icap(sch, "icap", portal);
+    portal.map_module(1, 1, rr, 0);
+    portal.map_module(1, 2, rr, 1);
+    portal.initial_configuration(1, 1);
+
+    const unsigned w = 64;
+    const unsigned h = 48;
+    video::SyntheticScene scene(video::SceneConfig::standard(w, h, 13));
+    const video::Frame in = scene.frame(0);
+    mem.load_bytes(kIn, in.pixels());
+
+    auto run = [&](unsigned cycles) { sch.run_until(sch.now() + cycles * kClk); };
+    auto feed = [&](const std::vector<std::uint32_t>& ws) {
+        for (std::uint32_t word : ws) icap.icap_write(Word{word});
+    };
+
+    // Start the CIE on the frame.
+    cie_regs.dcr_write(0x62, Word{kIn});
+    cie_regs.dcr_write(0x63, Word{kOut});
+    cie_regs.dcr_write(0x65, Word{(w << 16) | h});
+    run(5);
+    cie_regs.dcr_write(0x60, Word{1});
+    run(800);
+    std::printf("[t=%5.1f us] CIE mid-frame (busy=%d, %llu datapath cycles"
+                " so far)\n",
+                to_us(sch.now()), cie.busy(),
+                static_cast<unsigned long long>(cie.busy_cycles()));
+
+    // Preempt: capture (retrying until the DMA is quiescent), swap to ME.
+    resim::SimB cap;
+    cap.rr_id = 1;
+    cap.module_id = 1;
+    while (portal.captures() == 0) {
+        feed(cap.build_capture());
+        run(1);
+    }
+    std::printf("[t=%5.1f us] GCAPTURE: CIE state saved (%s)\n",
+                to_us(sch.now()),
+                portal.has_saved_state(1, 1) ? "stored in the portal" : "?");
+
+    resim::SimB to_me;
+    to_me.rr_id = 1;
+    to_me.module_id = 2;
+    feed(to_me.build());
+    std::printf("[t=%5.1f us] region reconfigured: resident = %s\n",
+                to_us(sch.now()), me.rm_active() ? "ME" : "?");
+    run(500);  // the ME could do other work here
+
+    // Resume: configuration with GRESTORE.
+    resim::SimB back;
+    back.rr_id = 1;
+    back.module_id = 1;
+    back.restore_state = true;
+    feed(back.build());
+    std::printf("[t=%5.1f us] GRESTORE: CIE back, busy=%d — job resumes\n",
+                to_us(sch.now()), cie.busy());
+
+    unsigned guard = 0;
+    while (!cie_regs.done() && ++guard < 2000) run(64);
+    std::printf("[t=%5.1f us] CIE frame complete\n", to_us(sch.now()));
+
+    // Verify bit-exactness against the golden model.
+    const video::Frame want = video::census_transform(in);
+    std::size_t mismatches = 0;
+    for (unsigned i = 0; i < want.size(); ++i) {
+        if (mem.peek_u8(kOut + i) != want.pixels()[i]) ++mismatches;
+    }
+    std::printf("\nfeature image after preempt/resume: %zu mismatching"
+                " pixels (expected 0)\n",
+                mismatches);
+    std::printf("portal: %llu captures, %llu restores, %llu"
+                " reconfigurations\n",
+                static_cast<unsigned long long>(portal.captures()),
+                static_cast<unsigned long long>(portal.restores()),
+                static_cast<unsigned long long>(portal.reconfigurations()));
+    return mismatches == 0 && cie_regs.done() ? 0 : 1;
+}

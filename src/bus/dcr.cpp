@@ -1,0 +1,93 @@
+#include "dcr.hpp"
+
+#include <cassert>
+
+namespace autovision {
+
+using rtlsim::is1;
+
+DcrChain::DcrChain(Scheduler& sch, const std::string& name, Signal<Logic>& clk,
+                   Signal<Logic>& rst)
+    : Module(sch, name), clk_(clk), rst_(rst) {
+    sync_proc("ring", [this] { on_clock(); }, {rtlsim::posedge(clk_)});
+}
+
+void DcrChain::start_read(std::uint32_t regno, std::function<void(Word)> done) {
+    assert(!busy_ && "DCR transaction already in flight");
+    busy_ = true;
+    is_read_ = true;
+    claimed_ = false;
+    corrupted_ = false;
+    regno_ = regno;
+    data_ = Word::all_x();  // reads return X unless a node supplies data
+    pos_ = 0;
+    rd_done_ = std::move(done);
+}
+
+void DcrChain::start_write(std::uint32_t regno, Word data,
+                           std::function<void()> done) {
+    assert(!busy_ && "DCR transaction already in flight");
+    busy_ = true;
+    is_read_ = false;
+    claimed_ = false;
+    corrupted_ = false;
+    regno_ = regno;
+    data_ = data;
+    pos_ = 0;
+    wr_done_ = std::move(done);
+}
+
+void DcrChain::on_clock() {
+    if (is1(rst_.read())) {
+        busy_ = false;
+        pos_ = 0;
+        return;
+    }
+    if (!busy_) return;
+
+    if (pos_ < nodes_.size()) {
+        DcrSlaveIf* n = nodes_[pos_];
+        if (n->dcr_corrupted()) {
+            // The node's flip-flops are mid-reconfiguration: the token is
+            // destroyed for the rest of the ring. Report once per event so
+            // the log points at the broken daisy chain directly.
+            corrupted_ = true;
+            data_ = Word::all_x();
+            if (!corruption_reported_) {
+                corruption_reported_ = true;
+                report("DCR daisy chain broken at node '" + n->dcr_name() +
+                       "' (registers inside a reconfiguring region)");
+            }
+        } else if (!corrupted_ && !claimed_ && n->dcr_claims(regno_)) {
+            claimed_ = true;
+            if (is_read_) {
+                data_ = n->dcr_read(regno_);
+            } else {
+                n->dcr_write(regno_, data_);
+            }
+        }
+        ++pos_;
+        return;
+    }
+
+    // Token returned to the master.
+    if (!claimed_ && !corrupted_) {
+        report("DCR " + std::string(is_read_ ? "read" : "write") +
+               " of unclaimed register 0x" + std::to_string(regno_));
+    }
+    busy_ = false;
+    corruption_reported_ = false;
+    if (is_read_) {
+        if (rd_done_) {
+            auto f = std::move(rd_done_);
+            rd_done_ = {};
+            f(data_);
+        }
+    } else if (wr_done_) {
+        auto f = std::move(wr_done_);
+        wr_done_ = {};
+        f();
+    }
+}
+
+}  // namespace autovision

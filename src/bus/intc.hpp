@@ -1,0 +1,66 @@
+// Interrupt controller (DCR slave).
+//
+// Modelled on the Xilinx XPS INTC programming model, reduced to what the
+// demonstrator's ISR-driven processing flow needs: a latching status
+// register, an enable mask, write-one-to-acknowledge, and a per-controller
+// edge/level capture mode. The capture mode is the handle for bug.hw.3:
+// engines pulse their done lines for a single cycle, which *edge* capture
+// latches but *level* capture loses whenever the CPU is stalled on the bus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcr.hpp"
+#include "kernel/kernel.hpp"
+
+namespace autovision {
+
+using rtlsim::LVec;
+
+class Intc final : public Module, public DcrSlaveIf {
+public:
+    static constexpr unsigned kMaxLines = 8;
+
+    /// DCR register offsets from `base`.
+    enum Reg : std::uint32_t {
+        kIsr = 0,   ///< interrupt status (read); write = set bits (test hook)
+        kIer = 1,   ///< interrupt enable mask
+        kIar = 2,   ///< write 1s to acknowledge/clear status bits
+        kCtrl = 3,  ///< bit0: 1 = edge capture (correct), 0 = level capture
+    };
+
+    Intc(Scheduler& sch, const std::string& name, Signal<Logic>& clk,
+         Signal<Logic>& rst, std::uint32_t dcr_base);
+
+    /// Connect the next interrupt input; returns the line index.
+    unsigned attach(Signal<Logic>& line);
+
+    /// Level-sensitive interrupt request to the CPU: 1 while any enabled
+    /// status bit is set; X if corruption reached the controller.
+    Signal<Logic> irq;
+
+    // --- DcrSlaveIf ------------------------------------------------------
+    [[nodiscard]] bool dcr_claims(std::uint32_t regno) const override;
+    [[nodiscard]] Word dcr_read(std::uint32_t regno) override;
+    void dcr_write(std::uint32_t regno, Word w) override;
+    [[nodiscard]] std::string dcr_name() const override { return full_name(); }
+
+private:
+    void on_clock();
+
+    Signal<Logic>& clk_;
+    Signal<Logic>& rst_;
+    std::uint32_t base_;
+    std::vector<Signal<Logic>*> lines_;
+    std::array<Logic, kMaxLines> prev_{};
+
+    LVec<kMaxLines> isr_{0};
+    LVec<kMaxLines> ier_{0};
+    bool edge_capture_ = true;
+    unsigned x_reports_ = 0;
+};
+
+}  // namespace autovision

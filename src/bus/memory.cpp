@@ -1,0 +1,94 @@
+#include "memory.hpp"
+
+#include <cassert>
+
+namespace autovision {
+
+Memory::Memory() : Memory(Config{}) {}
+
+Memory::Memory(Config cfg) : cfg_(cfg) {
+    assert(cfg_.size_bytes % 4 == 0);
+    words_.assign(cfg_.size_bytes / 4, Word{0});
+}
+
+bool Memory::claims(std::uint32_t addr) const {
+    return addr >= cfg_.base && addr - cfg_.base < cfg_.size_bytes;
+}
+
+std::size_t Memory::index(std::uint32_t addr) const {
+    assert(claims(addr) && "memory access out of range");
+    return (addr - cfg_.base) / 4;
+}
+
+Word Memory::plb_read(std::uint32_t addr) { return words_[index(addr)]; }
+
+void Memory::plb_write(std::uint32_t addr, Word w) { words_[index(addr)] = w; }
+
+Word Memory::peek(std::uint32_t addr) const { return words_[index(addr)]; }
+
+void Memory::poke(std::uint32_t addr, Word w) { words_[index(addr)] = w; }
+
+std::uint32_t Memory::peek_u32(std::uint32_t addr, bool* ok) const {
+    const Word w = words_[index(addr)];
+    if (ok != nullptr) *ok = w.is_fully_defined();
+    return static_cast<std::uint32_t>(w.to_u64());
+}
+
+void Memory::poke_u32(std::uint32_t addr, std::uint32_t v) {
+    words_[index(addr)] = Word{v};
+}
+
+std::uint8_t Memory::peek_u8(std::uint32_t addr, bool* ok) const {
+    const Word w = words_[index(addr & ~3u)];
+    const unsigned lane = addr & 3u;        // 0 = most significant (BE)
+    const unsigned shift = (3u - lane) * 8;
+    const Word b = (w >> shift) & Word{0xFF};
+    if (ok != nullptr) *ok = b.is_fully_defined();
+    return static_cast<std::uint8_t>(b.to_u64());
+}
+
+void Memory::poke_u8(std::uint32_t addr, std::uint8_t v) {
+    Word& w = words_[index(addr & ~3u)];
+    const unsigned shift = (3u - (addr & 3u)) * 8;
+    const Word mask = Word{0xFFu} << shift;
+    w = (w & ~mask) | (Word{v} << shift);
+}
+
+std::uint16_t Memory::peek_u16(std::uint32_t addr, bool* ok) const {
+    assert((addr & 1u) == 0 && "halfword access must be aligned");
+    const Word w = words_[index(addr & ~3u)];
+    const unsigned shift = (addr & 2u) ? 0 : 16;  // BE halfword lanes
+    const Word h = (w >> shift) & Word{0xFFFF};
+    if (ok != nullptr) *ok = h.is_fully_defined();
+    return static_cast<std::uint16_t>(h.to_u64());
+}
+
+void Memory::poke_u16(std::uint32_t addr, std::uint16_t v) {
+    assert((addr & 1u) == 0 && "halfword access must be aligned");
+    Word& w = words_[index(addr & ~3u)];
+    const unsigned shift = (addr & 2u) ? 0 : 16;
+    const Word mask = Word{0xFFFFu} << shift;
+    w = (w & ~mask) | (Word{v} << shift);
+}
+
+void Memory::load_words(std::uint32_t addr,
+                        std::span<const std::uint32_t> ws) {
+    for (std::uint32_t v : ws) {
+        poke_u32(addr, v);
+        addr += 4;
+    }
+}
+
+void Memory::load_bytes(std::uint32_t addr, std::span<const std::uint8_t> bs) {
+    for (std::uint8_t b : bs) poke_u8(addr++, b);
+}
+
+bool Memory::range_has_unknown(std::uint32_t addr,
+                               std::uint32_t len_bytes) const {
+    for (std::uint32_t a = addr & ~3u; a < addr + len_bytes; a += 4) {
+        if (words_[index(a)].has_unknown()) return true;
+    }
+    return false;
+}
+
+}  // namespace autovision

@@ -1,0 +1,79 @@
+// Main memory model (DDR controller + SDRAM behind a PLB slave port).
+//
+// Word-organised, big-endian byte lanes (PowerPC convention). Data is stored
+// as 4-state Words so corruption injected on the bus (X during an unisolated
+// reconfiguration) is preserved and later observable by scoreboards and by
+// the CPU. A backdoor interface gives testbench components (firmware loader,
+// video VIPs, scoreboards) zero-time access, mirroring how HDL testbenches
+// preload memory models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "plb.hpp"
+
+namespace autovision {
+
+class Memory final : public PlbSlaveIf {
+public:
+    struct Config {
+        std::uint32_t base = 0x0000'0000;
+        std::uint32_t size_bytes = 8u << 20;  ///< 8 MiB default
+        unsigned read_latency = 4;            ///< wait states, first beat
+    };
+
+    Memory();
+    explicit Memory(Config cfg);
+
+    // --- PLB slave interface -------------------------------------------
+    [[nodiscard]] bool claims(std::uint32_t addr) const override;
+    [[nodiscard]] unsigned read_latency() const override {
+        return cfg_.read_latency;
+    }
+    [[nodiscard]] Word plb_read(std::uint32_t addr) override;
+    void plb_write(std::uint32_t addr, Word w) override;
+    [[nodiscard]] std::string plb_name() const override { return "memory"; }
+
+    // --- backdoor (zero simulated time) ---------------------------------
+    /// Word access; addr is a byte address, word-aligned.
+    [[nodiscard]] Word peek(std::uint32_t addr) const;
+    void poke(std::uint32_t addr, Word w);
+
+    /// Defined-value helpers; peek_u32 reports unknown bits to the caller
+    /// via `ok` so the ISS can trap fetches of corrupted memory.
+    [[nodiscard]] std::uint32_t peek_u32(std::uint32_t addr,
+                                         bool* ok = nullptr) const;
+    void poke_u32(std::uint32_t addr, std::uint32_t v);
+
+    /// Byte access with big-endian lane selection.
+    [[nodiscard]] std::uint8_t peek_u8(std::uint32_t addr,
+                                       bool* ok = nullptr) const;
+    void poke_u8(std::uint32_t addr, std::uint8_t v);
+
+    [[nodiscard]] std::uint16_t peek_u16(std::uint32_t addr,
+                                         bool* ok = nullptr) const;
+    void poke_u16(std::uint32_t addr, std::uint16_t v);
+
+    /// Bulk loads used by the firmware loader and bitstream staging.
+    void load_words(std::uint32_t addr, std::span<const std::uint32_t> ws);
+    void load_bytes(std::uint32_t addr, std::span<const std::uint8_t> bs);
+
+    /// True when any word in [addr, addr+len_bytes) has unknown bits.
+    [[nodiscard]] bool range_has_unknown(std::uint32_t addr,
+                                         std::uint32_t len_bytes) const;
+
+    [[nodiscard]] std::uint32_t base() const { return cfg_.base; }
+    [[nodiscard]] std::uint32_t size_bytes() const { return cfg_.size_bytes; }
+
+private:
+    [[nodiscard]] std::size_t index(std::uint32_t addr) const;
+
+    Config cfg_;
+    std::vector<Word> words_;
+};
+
+}  // namespace autovision

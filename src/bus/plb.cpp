@@ -1,0 +1,379 @@
+#include "plb.hpp"
+
+#include <algorithm>
+
+namespace autovision {
+
+using rtlsim::is0;
+using rtlsim::is1;
+using rtlsim::is_unknown;
+
+// ----------------------------------------------------------- PlbMasterPort
+
+PlbMasterPort::PlbMasterPort(Scheduler& sch, const std::string& prefix)
+    : req(sch, prefix + ".req", Logic::L0),
+      rnw(sch, prefix + ".rnw", Logic::L1),
+      addr(sch, prefix + ".addr", Word{0}),
+      nbeats(sch, prefix + ".nbeats", LVec<16>{1}),
+      wdata(sch, prefix + ".wdata", Word{0}),
+      grant(sch, prefix + ".grant", Logic::L0),
+      rd_ack(sch, prefix + ".rd_ack", Logic::L0),
+      rdata(sch, prefix + ".rdata", Word{0}),
+      wr_ack(sch, prefix + ".wr_ack", Logic::L0),
+      done(sch, prefix + ".done", Logic::L0),
+      err(sch, prefix + ".err", Logic::L0) {}
+
+void PlbMasterPort::idle() {
+    req.write(Logic::L0);
+    rnw.write(Logic::L1);
+    addr.write(Word{0});
+    nbeats.write(LVec<16>{1});
+    wdata.write(Word{0});
+}
+
+void PlbMasterPort::drive_x() {
+    req.write(Logic::X);
+    rnw.write(Logic::X);
+    addr.write(Word::all_x());
+    nbeats.write(LVec<16>::all_x());
+    wdata.write(Word::all_x());
+}
+
+// --------------------------------------------------------------------- Plb
+
+Plb::Plb(Scheduler& sch, const std::string& name, Signal<Logic>& clk,
+         Signal<Logic>& rst, Config cfg)
+    : Module(sch, name), cfg_(cfg), clk_(clk), rst_(rst) {
+    ports_.reserve(cfg_.num_masters);
+    for (unsigned i = 0; i < cfg_.num_masters; ++i) {
+        ports_.push_back(std::make_unique<PlbMasterPort>(
+            sch, full_name() + ".m" + std::to_string(i)));
+    }
+    starve_.assign(cfg_.num_masters, 0);
+    x_reports_.assign(cfg_.num_masters, 0);
+    mcounters_.assign(cfg_.num_masters, MasterCounters{});
+    sync_proc("fsm", [this] { on_clock(); }, {rtlsim::posedge(clk_)});
+}
+
+PlbSlaveIf* Plb::decode(std::uint32_t addr) const {
+    for (PlbSlaveIf* s : slaves_) {
+        if (s->claims(addr)) return s;
+    }
+    return nullptr;
+}
+
+void Plb::clear_pulses() {
+    for (auto& p : ports_) {
+        p->grant.write(Logic::L0);
+        p->rd_ack.write(Logic::L0);
+        p->wr_ack.write(Logic::L0);
+        p->done.write(Logic::L0);
+        p->err.write(Logic::L0);
+    }
+}
+
+void Plb::check_master_signals(unsigned m) {
+    PlbMasterPort& p = *ports_[m];
+    if (is_unknown(p.req.read()) && x_reports_[m] < 5) {
+        ++x_reports_[m];
+        report("protocol: X/Z on req of master " + std::to_string(m) +
+               " — unisolated reconfiguration traffic?");
+    }
+}
+
+void Plb::arbitrate() {
+    // Round-robin scan starting after the last granted master.
+    const unsigned n = num_masters();
+    for (unsigned k = 1; k <= n; ++k) {
+        const unsigned m = (last_granted_ + k) % n;
+        PlbMasterPort& p = *ports_[m];
+        if (!is1(p.req.read())) continue;
+
+        // Validate the address phase before granting.
+        if (p.addr.read().has_unknown() || is_unknown(p.rnw.read()) ||
+            p.nbeats.read().has_unknown()) {
+            if (x_reports_[m] < 5) {
+                ++x_reports_[m];
+                report("protocol: X in address phase of master " +
+                       std::to_string(m));
+            }
+            continue;
+        }
+
+        const auto addr32 = static_cast<std::uint32_t>(p.addr.read().to_u64());
+        unsigned beats = static_cast<unsigned>(p.nbeats.read().to_u64());
+        if (beats == 0) beats = 1;
+
+        PlbSlaveIf* s = decode(addr32);
+        if (s == nullptr) {
+            ++counters_.decode_errors;
+            report("decode error: no slave claims address 0x" +
+                   [addr32] {
+                       char buf[16];
+                       std::snprintf(buf, sizeof buf, "%08x", addr32);
+                       return std::string(buf);
+                   }());
+            p.err.write(Logic::L1);
+            last_granted_ = m;
+            state_ = St::Cooldown;
+            return;
+        }
+
+        if (cfg_.max_burst != 0 && beats > cfg_.max_burst) {
+            ++counters_.truncations;
+            report("protocol: burst of " + std::to_string(beats) +
+                   " beats exceeds bus maximum of " +
+                   std::to_string(cfg_.max_burst) + "; truncated");
+            beats = cfg_.max_burst;
+        }
+
+        ++counters_.transactions;
+        ++mcounters_[m].transactions;
+        owner_ = m;
+        last_granted_ = m;
+        slave_ = s;
+        cursor_ = addr32;
+        beats_left_ = beats;
+        starve_[m] = 0;
+        p.grant.write(Logic::L1);
+        if (is1(p.rnw.read())) {
+            wait_left_ = s->read_latency();
+            state_ = wait_left_ == 0 ? St::ReadBurst : St::ReadWait;
+        } else {
+            // One dead cycle after grant lets the master's first data word
+            // settle before the bus consumes it.
+            state_ = St::WriteGap;
+        }
+        return;
+    }
+}
+
+void Plb::on_clock() {
+    if (is1(rst_.read())) {
+        clear_pulses();
+        state_ = St::Idle;
+        std::fill(starve_.begin(), starve_.end(), 0u);
+        return;
+    }
+
+    clear_pulses();
+    ++counters_.total_cycles;
+    if (state_ != St::Idle) ++counters_.busy_cycles;
+
+    // Starvation accounting and X sniffing run every cycle.
+    for (unsigned m = 0; m < num_masters(); ++m) {
+        check_master_signals(m);
+        if (is1(ports_[m]->req.read()) &&
+            !(state_ != St::Idle && m == owner_)) {
+            ++mcounters_[m].grant_wait_cycles;
+            if (++starve_[m] == cfg_.grant_timeout) {
+                report("starvation: master " + std::to_string(m) +
+                       " waited " + std::to_string(cfg_.grant_timeout) +
+                       " cycles for grant");
+                starve_[m] = 0;
+            }
+        } else if (state_ != St::Idle && m == owner_) {
+            starve_[m] = 0;
+        }
+    }
+
+    // Mid-burst abandonment: the owner dropped req while others are waiting.
+    if (state_ != St::Idle && state_ != St::Cooldown) {
+        PlbMasterPort& p = *ports_[owner_];
+        if (is0(p.req.read())) {
+            bool contended = false;
+            for (unsigned m = 0; m < num_masters(); ++m) {
+                if (m != owner_ && is1(ports_[m]->req.read())) contended = true;
+            }
+            if (contended) {
+                ++counters_.aborts;
+                report("protocol: master " + std::to_string(owner_) +
+                       " released req mid-burst; transaction aborted");
+                state_ = St::Idle;
+            }
+            // With no contention the grant stays parked (point-to-point
+            // tolerance) and the burst continues.
+        }
+    }
+
+    switch (state_) {
+        case St::Idle:
+            arbitrate();
+            break;
+
+        case St::ReadWait:
+            if (--wait_left_ == 0) state_ = St::ReadBurst;
+            break;
+
+        case St::ReadBurst: {
+            PlbMasterPort& p = *ports_[owner_];
+            p.rdata.write(slave_->plb_read(cursor_));
+            p.rd_ack.write(Logic::L1);
+            ++counters_.read_beats;
+            ++mcounters_[owner_].read_beats;
+            cursor_ += 4;
+            if (--beats_left_ == 0) {
+                p.done.write(Logic::L1);
+                state_ = St::Cooldown;
+            }
+            break;
+        }
+
+        case St::WriteBeat: {
+            PlbMasterPort& p = *ports_[owner_];
+            const Word w = p.wdata.read();
+            if (w.has_unknown() && x_reports_[owner_] < 5) {
+                ++x_reports_[owner_];
+                report("protocol: X in write data of master " +
+                       std::to_string(owner_));
+            }
+            slave_->plb_write(cursor_, w);
+            p.wr_ack.write(Logic::L1);
+            ++counters_.write_beats;
+            ++mcounters_[owner_].write_beats;
+            cursor_ += 4;
+            if (--beats_left_ == 0) {
+                p.done.write(Logic::L1);
+                state_ = St::Cooldown;
+            } else {
+                state_ = St::WriteGap;
+            }
+            break;
+        }
+
+        case St::WriteGap:
+            state_ = St::WriteBeat;
+            break;
+
+        case St::Cooldown:
+            state_ = St::Idle;
+            break;
+    }
+}
+
+// --------------------------------------------------------------- DmaMaster
+
+DmaMaster::DmaMaster(PlbMasterPort& port, unsigned burst_limit)
+    : port_(port), burst_limit_(burst_limit) {}
+
+void DmaMaster::start_read(std::uint32_t addr, std::uint32_t nwords,
+                           std::function<void(std::uint32_t, Word)> sink,
+                           std::function<void()> on_done) {
+    addr_ = addr;
+    remaining_ = nwords;
+    total_ = nwords;
+    idx_ = 0;
+    reading_ = true;
+    sink_ = std::move(sink);
+    on_done_ = std::move(on_done);
+    if (nwords == 0) {
+        state_ = St::Idle;
+        if (on_done_) on_done_();
+        return;
+    }
+    begin_burst();
+}
+
+void DmaMaster::start_write(std::uint32_t addr, std::uint32_t nwords,
+                            std::function<Word(std::uint32_t)> src,
+                            std::function<void()> on_done) {
+    addr_ = addr;
+    remaining_ = nwords;
+    total_ = nwords;
+    idx_ = 0;
+    reading_ = false;
+    src_ = std::move(src);
+    on_done_ = std::move(on_done);
+    if (nwords == 0) {
+        state_ = St::Idle;
+        if (on_done_) on_done_();
+        return;
+    }
+    begin_burst();
+}
+
+void DmaMaster::begin_burst() {
+    failed_ = false;
+    burst_beats_ = (burst_limit_ == 0)
+                       ? remaining_
+                       : std::min<std::uint32_t>(burst_limit_, remaining_);
+    port_.addr.write(Word{addr_});
+    port_.nbeats.write(LVec<16>{burst_beats_});
+    port_.rnw.write(reading_ ? Logic::L1 : Logic::L0);
+    if (!reading_) port_.wdata.write(src_(idx_));
+    port_.req.write(Logic::L1);
+    state_ = St::Req;
+}
+
+void DmaMaster::reset() {
+    state_ = St::Idle;
+    port_.idle();
+    sink_ = {};
+    src_ = {};
+    on_done_ = {};
+}
+
+void DmaMaster::step() {
+    switch (state_) {
+        case St::Idle:
+            break;
+
+        case St::Req:
+            if (is1(port_.err.read())) {
+                // Address decode error: abandon the transfer so the bus is
+                // not re-requested forever. The error stays visible through
+                // failed() and the bus checker's diagnostic.
+                failed_ = true;
+                state_ = St::Idle;
+                port_.idle();
+                if (on_done_) {
+                    auto f = std::move(on_done_);
+                    on_done_ = {};
+                    f();
+                }
+                break;
+            }
+            if (is1(port_.grant.read())) state_ = St::Xfer;
+            break;
+
+        case St::Xfer: {
+            if (reading_ && is1(port_.rd_ack.read())) {
+                if (sink_) sink_(idx_, port_.rdata.read());
+                ++idx_;
+            }
+            if (!reading_ && is1(port_.wr_ack.read())) {
+                ++idx_;
+                if (src_ && idx_ < total_) port_.wdata.write(src_(idx_));
+            }
+            if (is1(port_.done.read())) {
+                // The burst the bus completed may have been truncated; the
+                // master cannot see that (it is exactly how bug.dpr.4
+                // silently under-transfers), so it advances by what it asked
+                // for, saturating to avoid wrap.
+                const std::uint32_t advanced =
+                    std::min<std::uint32_t>(burst_beats_, remaining_);
+                remaining_ -= advanced;
+                addr_ += 4 * advanced;
+                port_.req.write(Logic::L0);
+                if (remaining_ > 0) {
+                    state_ = St::Gap;
+                } else {
+                    state_ = St::Idle;
+                    port_.idle();
+                    if (on_done_) {
+                        auto f = std::move(on_done_);
+                        on_done_ = {};
+                        f();
+                    }
+                }
+            }
+            break;
+        }
+
+        case St::Gap:
+            begin_burst();
+            break;
+    }
+}
+
+}  // namespace autovision

@@ -1,0 +1,739 @@
+#include "assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <optional>
+
+#include "ppc.hpp"
+
+namespace autovision::isa {
+
+namespace {
+
+// ------------------------------------------------------------- tokenizing
+
+std::string strip(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+/// Split on top-level commas (not inside parentheses).
+std::vector<std::string> split_operands(std::string_view s) {
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (char c : s) {
+        if (c == '(') ++depth;
+        if (c == ')') --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(strip(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!strip(cur).empty()) out.push_back(strip(cur));
+    return out;
+}
+
+// ----------------------------------------------------- expression parsing
+
+/// Recursive-descent expression evaluator over symbols and literals.
+/// Grammar: expr := term (('+'|'-') term)* ; term := unary ('*' unary)* ;
+/// unary := '-' unary | primary ; primary := number | symbol | fn '(' e ')'
+/// | '(' e ')'.
+class ExprEval {
+public:
+    ExprEval(std::string_view text, const std::map<std::string, std::uint32_t>& syms,
+             unsigned line)
+        : s_(text), syms_(syms), line_(line) {}
+
+    std::int64_t eval() {
+        const std::int64_t v = expr();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing junk in expression");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& m) const {
+        throw AsmError(line_, m + " in '" + std::string(s_) + "'");
+    }
+
+    void skip_ws() {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool eat(char c) {
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::int64_t expr() {
+        std::int64_t v = term();
+        while (true) {
+            if (eat('+')) {
+                v += term();
+            } else if (eat('-')) {
+                v -= term();
+            } else {
+                return v;
+            }
+        }
+    }
+
+    std::int64_t term() {
+        std::int64_t v = unary();
+        while (eat('*')) v *= unary();
+        return v;
+    }
+
+    std::int64_t unary() {
+        if (eat('-')) return -unary();
+        return primary();
+    }
+
+    std::int64_t primary() {
+        skip_ws();
+        if (eat('(')) {
+            const std::int64_t v = expr();
+            if (!eat(')')) fail("missing ')'");
+            return v;
+        }
+        if (pos_ >= s_.size()) fail("unexpected end");
+        const char c = s_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c))) return number();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.') {
+            return identifier();
+        }
+        fail("unexpected character");
+    }
+
+    std::int64_t number() {
+        std::size_t end = pos_;
+        int base = 10;
+        if (s_.compare(pos_, 2, "0x") == 0 || s_.compare(pos_, 2, "0X") == 0) {
+            base = 16;
+            end = pos_ + 2;
+            while (end < s_.size() &&
+                   std::isxdigit(static_cast<unsigned char>(s_[end]))) {
+                ++end;
+            }
+        } else {
+            while (end < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[end]))) {
+                ++end;
+            }
+        }
+        const std::string tok(s_.substr(pos_, end - pos_));
+        pos_ = end;
+        return std::stoll(tok, nullptr, base);
+    }
+
+    std::int64_t identifier() {
+        std::size_t end = pos_;
+        while (end < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[end])) ||
+                s_[end] == '_' || s_[end] == '.')) {
+            ++end;
+        }
+        std::string name(s_.substr(pos_, end - pos_));
+        pos_ = end;
+        const std::string lname = lower(name);
+        if (lname == "hi" || lname == "lo" || lname == "ha") {
+            if (!eat('(')) fail("expected '(' after " + lname);
+            const std::int64_t v = expr();
+            if (!eat(')')) fail("missing ')'");
+            const auto u = static_cast<std::uint32_t>(v);
+            if (lname == "hi") return (u >> 16) & 0xFFFF;
+            if (lname == "lo") return u & 0xFFFF;
+            // ha: high half adjusted for sign-extending low-half add.
+            return ((u >> 16) + ((u & 0x8000) ? 1 : 0)) & 0xFFFF;
+        }
+        const auto it = syms_.find(name);
+        if (it == syms_.end()) fail("undefined symbol '" + name + "'");
+        return it->second;
+    }
+
+    std::string_view s_;
+    const std::map<std::string, std::uint32_t>& syms_;
+    unsigned line_;
+    std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ statement IR
+
+struct Stmt {
+    unsigned line = 0;
+    std::uint32_t addr = 0;
+    std::string mnemonic;              // lowercase, empty for pure labels
+    std::vector<std::string> operands;
+};
+
+// ------------------------------------------------------------- assembler
+
+class Assembler {
+public:
+    explicit Assembler(std::string_view src) : src_(src) {}
+
+    Program run() {
+        pass1();
+        pass2();
+        return flatten();
+    }
+
+private:
+    // ---- pass 1: layout + symbol table --------------------------------
+
+    void pass1() {
+        std::uint32_t pc = 0;
+        bool origin_set = false;
+        unsigned lineno = 0;
+        std::size_t start = 0;
+        while (start <= src_.size()) {
+            const std::size_t nl = src_.find('\n', start);
+            std::string line(src_.substr(
+                start, nl == std::string_view::npos ? src_.size() - start
+                                                    : nl - start));
+            start = (nl == std::string_view::npos) ? src_.size() + 1 : nl + 1;
+            ++lineno;
+
+            // Strip comments.
+            for (const char c : {'#', ';'}) {
+                const auto p = line.find(c);
+                if (p != std::string::npos) line.resize(p);
+            }
+            std::string text = strip(line);
+            if (text.empty()) continue;
+
+            // Labels (possibly several on one line).
+            while (true) {
+                const auto colon = text.find(':');
+                if (colon == std::string::npos) break;
+                const std::string label = strip(text.substr(0, colon));
+                if (label.empty() ||
+                    !std::all_of(label.begin(), label.end(), [](char c) {
+                        return std::isalnum(static_cast<unsigned char>(c)) ||
+                               c == '_' || c == '.';
+                    })) {
+                    break;  // not a label — maybe an operand with ':'? reject later
+                }
+                if (syms_.count(label) != 0) {
+                    throw AsmError(lineno, "duplicate label '" + label + "'");
+                }
+                syms_[label] = pc;
+                text = strip(text.substr(colon + 1));
+            }
+            if (text.empty()) continue;
+
+            // Mnemonic + operand string.
+            const auto sp = text.find_first_of(" \t");
+            Stmt st;
+            st.line = lineno;
+            st.mnemonic = lower(text.substr(0, sp));
+            if (sp != std::string::npos) {
+                st.operands = split_operands(text.substr(sp + 1));
+            }
+
+            if (st.mnemonic == ".org") {
+                if (st.operands.size() != 1) {
+                    throw AsmError(lineno, ".org needs one operand");
+                }
+                pc = eval32(st.operands[0], lineno);
+                if (!origin_set) {
+                    origin_ = pc;
+                    origin_set = true;
+                }
+                origin_ = std::min(origin_, pc);
+                continue;
+            }
+            if (st.mnemonic == ".equ") {
+                if (st.operands.size() != 2) {
+                    throw AsmError(lineno, ".equ needs name, value");
+                }
+                syms_[st.operands[0]] = eval32(st.operands[1], lineno);
+                continue;
+            }
+            if (st.mnemonic == ".align") {
+                const std::uint32_t a = eval32(st.operands.at(0), lineno);
+                if (a == 0 || (a & (a - 1)) != 0) {
+                    throw AsmError(lineno, ".align needs a power of two");
+                }
+                pc = (pc + a - 1) & ~(a - 1);
+                continue;
+            }
+
+            st.addr = pc;
+            if (st.mnemonic == ".word") {
+                pc += 4 * static_cast<std::uint32_t>(st.operands.size());
+            } else if (st.mnemonic == ".space") {
+                const std::uint32_t n = eval32(st.operands.at(0), lineno);
+                if (n % 4 != 0) {
+                    throw AsmError(lineno, ".space must be word-aligned");
+                }
+                pc += n;
+            } else {
+                pc += 4;  // every instruction is one word
+            }
+            stmts_.push_back(std::move(st));
+            if (!origin_set) {
+                origin_ = 0;
+                origin_set = true;
+            }
+        }
+        end_ = pc;
+        for (const Stmt& st : stmts_) end_ = std::max(end_, next_addr(st));
+    }
+
+    static std::uint32_t next_addr(const Stmt& st) {
+        if (st.mnemonic == ".word") {
+            return st.addr + 4 * static_cast<std::uint32_t>(st.operands.size());
+        }
+        return st.addr + 4;  // .space handled via pass1 pc; emitted as zeros
+    }
+
+    // ---- pass 2: encoding ----------------------------------------------
+
+    void pass2() {
+        for (const Stmt& st : stmts_) encode(st);
+    }
+
+    std::uint32_t eval32(const std::string& e, unsigned line) const {
+        return static_cast<std::uint32_t>(ExprEval(e, syms_, line).eval());
+    }
+
+    std::int64_t evals(const std::string& e, unsigned line) const {
+        return ExprEval(e, syms_, line).eval();
+    }
+
+    /// Parse a register operand r0..r31 (bare numbers also accepted).
+    std::uint32_t reg(const Stmt& st, std::size_t i) const {
+        if (i >= st.operands.size()) {
+            throw AsmError(st.line, st.mnemonic + ": missing operand");
+        }
+        std::string t = lower(st.operands[i]);
+        if (!t.empty() && t[0] == 'r') t.erase(0, 1);
+        try {
+            const unsigned long v = std::stoul(t);
+            if (v > 31) throw AsmError(st.line, "register out of range");
+            return static_cast<std::uint32_t>(v);
+        } catch (const std::invalid_argument&) {
+            throw AsmError(st.line, "bad register '" + st.operands[i] + "'");
+        }
+    }
+
+    /// Parse a displacement operand 'd(rA)'.
+    void disp(const Stmt& st, std::size_t i, std::int64_t& d,
+              std::uint32_t& ra) const {
+        if (i >= st.operands.size()) {
+            throw AsmError(st.line, st.mnemonic + ": missing operand");
+        }
+        const std::string& t = st.operands[i];
+        const auto open = t.rfind('(');
+        if (open == std::string::npos || t.back() != ')') {
+            throw AsmError(st.line, "expected d(rA), got '" + t + "'");
+        }
+        const std::string dtext = strip(t.substr(0, open));
+        d = dtext.empty() ? 0 : evals(dtext, st.line);
+        std::string rtext = lower(strip(t.substr(open + 1, t.size() - open - 2)));
+        if (!rtext.empty() && rtext[0] == 'r') rtext.erase(0, 1);
+        ra = static_cast<std::uint32_t>(std::stoul(rtext));
+        if (ra > 31) throw AsmError(st.line, "register out of range");
+    }
+
+    std::int64_t imm(const Stmt& st, std::size_t i) const {
+        if (i >= st.operands.size()) {
+            throw AsmError(st.line, st.mnemonic + ": missing operand");
+        }
+        return evals(st.operands[i], st.line);
+    }
+
+    void check_simm16(const Stmt& st, std::int64_t v) const {
+        if (v < -32768 || v > 32767) {
+            throw AsmError(st.line, "immediate out of signed 16-bit range");
+        }
+    }
+    void check_uimm16(const Stmt& st, std::int64_t v) const {
+        if (v < 0 || v > 0xFFFF) {
+            throw AsmError(st.line, "immediate out of unsigned 16-bit range");
+        }
+    }
+
+    void emit(std::uint32_t addr, std::uint32_t word) { image_[addr] = word; }
+
+    // D-form: op | rT | rA | imm16
+    std::uint32_t dform(std::uint32_t op, std::uint32_t rt, std::uint32_t ra,
+                        std::uint32_t imm16) const {
+        return (op << 26) | (rt << 21) | (ra << 16) | (imm16 & 0xFFFF);
+    }
+
+    // X-form: 31 | rT | rA | rB | xo | rc
+    std::uint32_t xform(std::uint32_t rt, std::uint32_t ra, std::uint32_t rb,
+                        std::uint32_t xo, bool rc = false) const {
+        return (31u << 26) | (rt << 21) | (ra << 16) | (rb << 11) | (xo << 1) |
+               (rc ? 1 : 0);
+    }
+
+    void encode_branch_cond(const Stmt& st, std::uint32_t bo, std::uint32_t bi) {
+        const std::int64_t target = imm(st, st.operands.size() - 1);
+        const std::int64_t off = target - static_cast<std::int64_t>(st.addr);
+        if (off < -32768 || off > 32767 || (off & 3) != 0) {
+            throw AsmError(st.line, "conditional branch target out of range");
+        }
+        emit(st.addr, (16u << 26) | (bo << 21) | (bi << 16) |
+                          (static_cast<std::uint32_t>(off) & 0xFFFC));
+    }
+
+    void encode(const Stmt& st) {
+        const std::string& m = st.mnemonic;
+        const unsigned L = st.line;
+
+        if (m == ".word") {
+            for (std::size_t i = 0; i < st.operands.size(); ++i) {
+                emit(st.addr + 4 * static_cast<std::uint32_t>(i),
+                     eval32(st.operands[i], L));
+            }
+            return;
+        }
+        if (m == ".space") return;  // zeros by default
+
+        // ---- D-form arithmetic/logical ---------------------------------
+        if (m == "addi" || m == "addis" || m == "mulli" || m == "subfic" ||
+            m == "addic") {
+            const std::uint32_t rt = reg(st, 0);
+            const std::uint32_t ra = reg(st, 1);
+            const std::int64_t v = imm(st, 2);
+            check_simm16(st, v);
+            const std::uint32_t op = m == "addi"    ? OP_ADDI
+                                     : m == "addis" ? OP_ADDIS
+                                     : m == "mulli" ? OP_MULLI
+                                     : m == "addic" ? OP_ADDIC
+                                                    : OP_SUBFIC;
+            emit(st.addr, dform(op, rt, ra, static_cast<std::uint32_t>(v)));
+            return;
+        }
+        if (m == "li") {
+            const std::uint32_t rt = reg(st, 0);
+            const std::int64_t v = imm(st, 1);
+            check_simm16(st, v);
+            emit(st.addr, dform(OP_ADDI, rt, 0, static_cast<std::uint32_t>(v)));
+            return;
+        }
+        if (m == "lis") {
+            const std::uint32_t rt = reg(st, 0);
+            const std::int64_t v = imm(st, 1);
+            check_uimm16(st, v & 0xFFFF);
+            emit(st.addr, dform(OP_ADDIS, rt, 0, static_cast<std::uint32_t>(v)));
+            return;
+        }
+        if (m == "nop") {
+            emit(st.addr, dform(OP_ORI, 0, 0, 0));
+            return;
+        }
+        if (m == "ori" || m == "oris" || m == "xori" || m == "xoris" ||
+            m == "andi." || m == "andis.") {
+            // Syntax: op rA, rS, uimm — note rS goes in the rT slot.
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rs = reg(st, 1);
+            const std::int64_t v = imm(st, 2);
+            check_uimm16(st, v);
+            const std::uint32_t op = m == "ori"     ? OP_ORI
+                                     : m == "oris"  ? OP_ORIS
+                                     : m == "xori"  ? OP_XORI
+                                     : m == "xoris" ? OP_XORIS
+                                     : m == "andi." ? OP_ANDI
+                                                    : OP_ANDIS;
+            emit(st.addr, dform(op, rs, ra, static_cast<std::uint32_t>(v)));
+            return;
+        }
+
+        // ---- X/XO-form ALU ----------------------------------------------
+        if (m == "add" || m == "subf" || m == "mullw" || m == "divw" ||
+            m == "divwu" || m == "add." || m == "subf.") {
+            const bool rc = m.back() == '.';
+            const std::string base = rc ? m.substr(0, m.size() - 1) : m;
+            const std::uint32_t rt = reg(st, 0);
+            const std::uint32_t ra = reg(st, 1);
+            const std::uint32_t rb = reg(st, 2);
+            const std::uint32_t xo = base == "add"     ? X_ADD
+                                     : base == "subf"  ? X_SUBF
+                                     : base == "mullw" ? X_MULLW
+                                     : base == "divw"  ? X_DIVW
+                                                       : X_DIVWU;
+            emit(st.addr, xform(rt, ra, rb, xo, rc));
+            return;
+        }
+        if (m == "sub") {  // sub rD,rA,rB == subf rD,rB,rA
+            emit(st.addr, xform(reg(st, 0), reg(st, 2), reg(st, 1), X_SUBF));
+            return;
+        }
+        if (m == "neg") {
+            emit(st.addr, xform(reg(st, 0), reg(st, 1), 0, X_NEG));
+            return;
+        }
+        if (m == "and" || m == "or" || m == "xor" || m == "nor" ||
+            m == "andc" || m == "slw" || m == "srw" || m == "sraw" ||
+            m == "and." || m == "or.") {
+            const bool rc = m.back() == '.';
+            const std::string base = rc ? m.substr(0, m.size() - 1) : m;
+            // Syntax: op rA, rS, rB — rS goes in the rT slot.
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rs = reg(st, 1);
+            const std::uint32_t rb = reg(st, 2);
+            const std::uint32_t xo = base == "and"    ? X_AND
+                                     : base == "or"   ? X_OR
+                                     : base == "xor"  ? X_XOR
+                                     : base == "nor"  ? X_NOR
+                                     : base == "andc" ? X_ANDC
+                                     : base == "slw"  ? X_SLW
+                                     : base == "srw"  ? X_SRW
+                                                      : X_SRAW;
+            emit(st.addr, xform(rs, ra, rb, xo, rc));
+            return;
+        }
+        if (m == "mr") {
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rs = reg(st, 1);
+            emit(st.addr, xform(rs, ra, rs, X_OR));
+            return;
+        }
+        if (m == "not") {
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rs = reg(st, 1);
+            emit(st.addr, xform(rs, ra, rs, X_NOR));
+            return;
+        }
+        if (m == "srawi") {
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rs = reg(st, 1);
+            const auto sh = static_cast<std::uint32_t>(imm(st, 2)) & 31;
+            emit(st.addr, xform(rs, ra, sh, X_SRAWI));
+            return;
+        }
+        if (m == "rlwinm") {
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rs = reg(st, 1);
+            const auto sh = static_cast<std::uint32_t>(imm(st, 2)) & 31;
+            const auto mb = static_cast<std::uint32_t>(imm(st, 3)) & 31;
+            const auto me = static_cast<std::uint32_t>(imm(st, 4)) & 31;
+            emit(st.addr, (21u << 26) | (rs << 21) | (ra << 16) | (sh << 11) |
+                              (mb << 6) | (me << 1));
+            return;
+        }
+        if (m == "slwi" || m == "srwi") {
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rs = reg(st, 1);
+            const auto n = static_cast<std::uint32_t>(imm(st, 2)) & 31;
+            std::uint32_t sh;
+            std::uint32_t mb;
+            std::uint32_t me;
+            if (m == "slwi") {
+                sh = n;
+                mb = 0;
+                me = 31 - n;
+            } else {
+                sh = (32 - n) & 31;
+                mb = n;
+                me = 31;
+            }
+            emit(st.addr, (21u << 26) | (rs << 21) | (ra << 16) | (sh << 11) |
+                              (mb << 6) | (me << 1));
+            return;
+        }
+
+        // ---- compare ------------------------------------------------------
+        if (m == "cmpw" || m == "cmplw") {
+            const std::uint32_t ra = reg(st, 0);
+            const std::uint32_t rb = reg(st, 1);
+            emit(st.addr,
+                 xform(0, ra, rb, m == "cmpw" ? X_CMP : X_CMPL));
+            return;
+        }
+        if (m == "cmpwi" || m == "cmplwi") {
+            const std::uint32_t ra = reg(st, 0);
+            const std::int64_t v = imm(st, 1);
+            if (m == "cmpwi") {
+                check_simm16(st, v);
+                emit(st.addr, dform(OP_CMPI, 0, ra, static_cast<std::uint32_t>(v)));
+            } else {
+                check_uimm16(st, v);
+                emit(st.addr, dform(OP_CMPLI, 0, ra, static_cast<std::uint32_t>(v)));
+            }
+            return;
+        }
+
+        // ---- loads / stores -----------------------------------------------
+        static const std::map<std::string, std::uint32_t> kMem = {
+            {"lwz", OP_LWZ},   {"lwzu", OP_LWZU}, {"lbz", OP_LBZ},
+            {"lbzu", OP_LBZU}, {"stw", OP_STW},   {"stwu", OP_STWU},
+            {"stb", OP_STB},   {"stbu", OP_STBU}, {"lhz", OP_LHZ},
+            {"lhzu", OP_LHZU}, {"sth", OP_STH},   {"sthu", OP_STHU},
+        };
+        if (const auto it = kMem.find(m); it != kMem.end()) {
+            const std::uint32_t rt = reg(st, 0);
+            std::int64_t d = 0;
+            std::uint32_t ra = 0;
+            disp(st, 1, d, ra);
+            check_simm16(st, d);
+            emit(st.addr,
+                 dform(it->second, rt, ra, static_cast<std::uint32_t>(d)));
+            return;
+        }
+
+        // ---- branches -------------------------------------------------------
+        if (m == "b" || m == "bl") {
+            const std::int64_t target = imm(st, 0);
+            const std::int64_t off = target - static_cast<std::int64_t>(st.addr);
+            if (off < -(1 << 25) || off >= (1 << 25) || (off & 3) != 0) {
+                throw AsmError(L, "branch target out of range");
+            }
+            emit(st.addr, (18u << 26) |
+                              (static_cast<std::uint32_t>(off) & 0x03FF'FFFC) |
+                              (m == "bl" ? 1u : 0u));
+            return;
+        }
+        if (m == "beq") return encode_branch_cond(st, 12, 2);
+        if (m == "bne") return encode_branch_cond(st, 4, 2);
+        if (m == "blt") return encode_branch_cond(st, 12, 0);
+        if (m == "bge") return encode_branch_cond(st, 4, 0);
+        if (m == "bgt") return encode_branch_cond(st, 12, 1);
+        if (m == "ble") return encode_branch_cond(st, 4, 1);
+        if (m == "bdnz") return encode_branch_cond(st, 16, 0);
+        if (m == "blr") {
+            emit(st.addr, (19u << 26) | (20u << 21) | (XL_BCLR << 1));
+            return;
+        }
+        if (m == "bctr" || m == "bctrl") {
+            emit(st.addr, (19u << 26) | (20u << 21) | (XL_BCCTR << 1) |
+                              (m == "bctrl" ? 1u : 0u));
+            return;
+        }
+        if (m == "rfi") {
+            emit(st.addr, (19u << 26) | (XL_RFI << 1));
+            return;
+        }
+        if (m == "isync") {
+            emit(st.addr, (19u << 26) | (XL_ISYNC << 1));
+            return;
+        }
+        if (m == "sync") {
+            emit(st.addr, xform(0, 0, 0, X_SYNC));
+            return;
+        }
+
+        // ---- system registers ----------------------------------------------
+        if (m == "mtspr") {
+            const auto spr = static_cast<std::uint32_t>(imm(st, 0));
+            const std::uint32_t rs = reg(st, 1);
+            emit(st.addr, (31u << 26) | (rs << 21) | split_sprf(spr) |
+                              (X_MTSPR << 1));
+            return;
+        }
+        if (m == "mfspr") {
+            const std::uint32_t rt = reg(st, 0);
+            const auto spr = static_cast<std::uint32_t>(imm(st, 1));
+            emit(st.addr, (31u << 26) | (rt << 21) | split_sprf(spr) |
+                              (X_MFSPR << 1));
+            return;
+        }
+        if (m == "mtlr" || m == "mtctr") {
+            const std::uint32_t spr = m == "mtlr" ? SPR_LR : SPR_CTR;
+            emit(st.addr, (31u << 26) | (reg(st, 0) << 21) | split_sprf(spr) |
+                              (X_MTSPR << 1));
+            return;
+        }
+        if (m == "mflr" || m == "mfctr") {
+            const std::uint32_t spr = m == "mflr" ? SPR_LR : SPR_CTR;
+            emit(st.addr, (31u << 26) | (reg(st, 0) << 21) | split_sprf(spr) |
+                              (X_MFSPR << 1));
+            return;
+        }
+        if (m == "mfcr") {
+            emit(st.addr, xform(reg(st, 0), 0, 0, X_MFCR));
+            return;
+        }
+        if (m == "mtcr") {  // mtcrf 0xFF, rS
+            emit(st.addr, (31u << 26) | (reg(st, 0) << 21) | (0xFFu << 12) |
+                              (X_MTCRF << 1));
+            return;
+        }
+        if (m == "mfmsr") {
+            emit(st.addr, xform(reg(st, 0), 0, 0, X_MFMSR));
+            return;
+        }
+        if (m == "mtmsr") {
+            emit(st.addr, xform(reg(st, 0), 0, 0, X_MTMSR));
+            return;
+        }
+        if (m == "wrteei") {
+            const auto e = static_cast<std::uint32_t>(imm(st, 0)) & 1;
+            emit(st.addr, (31u << 26) | (e << 15) | (X_WRTEEI << 1));
+            return;
+        }
+        if (m == "mtdcr") {
+            const auto dcrn = static_cast<std::uint32_t>(imm(st, 0));
+            const std::uint32_t rs = reg(st, 1);
+            emit(st.addr, (31u << 26) | (rs << 21) | split_sprf(dcrn) |
+                              (X_MTDCR << 1));
+            return;
+        }
+        if (m == "mfdcr") {
+            const std::uint32_t rt = reg(st, 0);
+            const auto dcrn = static_cast<std::uint32_t>(imm(st, 1));
+            emit(st.addr, (31u << 26) | (rt << 21) | split_sprf(dcrn) |
+                              (X_MFDCR << 1));
+            return;
+        }
+
+        throw AsmError(L, "unknown mnemonic '" + m + "'");
+    }
+
+    Program flatten() {
+        Program p;
+        p.origin = origin_;
+        p.symbols = syms_;
+        if (image_.empty() && stmts_.empty()) return p;
+        std::uint32_t hi = origin_;
+        for (const auto& [a, _] : image_) hi = std::max(hi, a + 4);
+        hi = std::max(hi, end_);
+        p.words.assign((hi - origin_) / 4, 0);
+        for (const auto& [a, w] : image_) p.words[(a - origin_) / 4] = w;
+        return p;
+    }
+
+    std::string_view src_;
+    std::vector<Stmt> stmts_;
+    std::map<std::string, std::uint32_t> syms_;
+    std::map<std::uint32_t, std::uint32_t> image_;
+    std::uint32_t origin_ = 0;
+    std::uint32_t end_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t Program::entry() const {
+    const auto it = symbols.find("_start");
+    return it != symbols.end() ? it->second : origin;
+}
+
+Program assemble(std::string_view source) { return Assembler(source).run(); }
+
+}  // namespace autovision::isa

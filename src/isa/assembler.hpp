@@ -1,0 +1,61 @@
+// Two-pass assembler for the PowerPC subset.
+//
+// The demonstrator's firmware (drivers, ISRs, main loop) is written in real
+// PPC assembly and assembled at testbench elaboration time, mirroring how
+// the original project compiled C drivers with the EDK toolchain. Keeping
+// the software in genuine machine code is what makes software bugs like
+// bug.dpr.5/bug.dpr.6b faithful: they live in the instructions the ISS
+// executes, not in C++ testbench glue.
+//
+// Supported syntax (one statement per line, '#' or ';' comments):
+//   label:            .org ADDR        .equ NAME, EXPR
+//   .word E0, E1...   .space NBYTES    .align POW2BYTES
+//   li/lis/mr/not/nop/slwi/srwi and the usual PPC mnemonics
+//   operands: rN registers, immediate expressions with + - * ( ),
+//   hi(E) lo(E) ha(E) halves, d(rA) displacement addressing
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autovision::isa {
+
+/// Assembly failure with 1-based source line attribution.
+class AsmError : public std::runtime_error {
+public:
+    AsmError(unsigned line, const std::string& what)
+        : std::runtime_error("asm line " + std::to_string(line) + ": " + what),
+          line_(line) {}
+    [[nodiscard]] unsigned line() const { return line_; }
+
+private:
+    unsigned line_;
+};
+
+/// Assembled image: a contiguous word array starting at `origin` (gaps
+/// between .org regions are zero-filled) plus the symbol table.
+struct Program {
+    std::uint32_t origin = 0;
+    std::vector<std::uint32_t> words;
+    std::map<std::string, std::uint32_t> symbols;
+
+    [[nodiscard]] std::uint32_t size_bytes() const {
+        return static_cast<std::uint32_t>(words.size() * 4);
+    }
+
+    /// Address of `_start` if defined, else the origin.
+    [[nodiscard]] std::uint32_t entry() const;
+
+    /// Symbol lookup; throws std::out_of_range for unknown names.
+    [[nodiscard]] std::uint32_t sym(const std::string& name) const {
+        return symbols.at(name);
+    }
+};
+
+[[nodiscard]] Program assemble(std::string_view source);
+
+}  // namespace autovision::isa

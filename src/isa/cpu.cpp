@@ -1,0 +1,503 @@
+#include "cpu.hpp"
+
+#include "ppc.hpp"
+
+namespace autovision::isa {
+
+using rtlsim::is1;
+using rtlsim::is_unknown;
+using rtlsim::Word;
+
+namespace {
+
+[[nodiscard]] std::int32_t sext16(std::uint32_t v) {
+    return static_cast<std::int16_t>(v & 0xFFFF);
+}
+
+}  // namespace
+
+PpcCpu::PpcCpu(Scheduler& sch, const std::string& name, Signal<Logic>& clk,
+               Signal<Logic>& rst, PlbMasterPort& port, DcrChain& dcr,
+               Memory& imem, Signal<Logic>& ext_irq, Config cfg)
+    : Module(sch, name),
+      cfg_(cfg),
+      clk_(clk),
+      rst_(rst),
+      dcr_(dcr),
+      imem_(imem),
+      ext_irq_(ext_irq),
+      dma_(port, /*burst_limit=*/1) {
+    pc_ = cfg_.reset_pc;
+    sync_proc("exec", [this] { on_clock(); }, {rtlsim::posedge(clk_)});
+}
+
+void PpcCpu::set_cr0_signed(std::int32_t v) {
+    cr0_ = (v < 0) ? CR0_LT : (v > 0) ? CR0_GT : CR0_EQ;
+}
+
+void PpcCpu::illegal(std::uint32_t insn, const std::string& why) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "illegal instruction 0x%08x at 0x%08x (%s)",
+                  insn, pc_ - 4, why.c_str());
+    report(buf);
+    fatal_ = true;
+    sch_.request_stop(full_name() + ": " + buf);
+}
+
+void PpcCpu::take_interrupt() {
+    srr0_ = pc_;
+    srr1_ = msr_;
+    msr_ &= ~MSR_EE;
+    pc_ = VEC_EXTERNAL;
+    halted_ = false;
+    ++irqs_;
+}
+
+void PpcCpu::on_clock() {
+    if (is1(rst_.read())) {
+        in_reset_ = true;
+        return;
+    }
+    if (in_reset_) {
+        // Leaving reset: start clean at the reset vector.
+        in_reset_ = false;
+        pc_ = cfg_.reset_pc;
+        msr_ = 0;
+        halted_ = false;
+        fatal_ = false;
+        mem_busy_ = false;
+        dcr_busy_ = false;
+        dma_.reset();
+    }
+    if (fatal_) return;
+
+    // Service an in-flight data transaction first.
+    if (mem_busy_) {
+        dma_.step();
+        return;
+    }
+    if (dcr_busy_) return;  // completion callback clears the flag
+
+    // Sample the external interrupt between instructions.
+    const Logic irq = ext_irq_.read();
+    if (is_unknown(irq)) {
+        if (x_reports_ < cfg_.x_report_limit) {
+            ++x_reports_;
+            report("X on external interrupt input");
+        }
+    } else if (is1(irq) && (msr_ & MSR_EE) != 0) {
+        take_interrupt();
+        return;  // vector fetch starts next cycle
+    }
+
+    // Fetch (cached; backdoor read — see header timing model).
+    if (!imem_.claims(pc_) || (pc_ & 3u) != 0) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "bad fetch address 0x%08x", pc_);
+        report(buf);
+        fatal_ = true;
+        sch_.request_stop(full_name() + ": bad fetch");
+        return;
+    }
+    bool ok = true;
+    const std::uint32_t insn = imem_.peek_u32(pc_, &ok);
+    if (!ok) {
+        char buf[56];
+        std::snprintf(buf, sizeof buf, "fetched X/corrupted word at 0x%08x",
+                      pc_);
+        report(buf);
+        fatal_ = true;
+        sch_.request_stop(full_name() + ": corrupted instruction memory");
+        return;
+    }
+    if (trace) trace(pc_, insn);
+    pc_ += 4;
+    ++icount_;
+    execute(insn);
+}
+
+void PpcCpu::load(std::uint32_t ea, unsigned bytes, std::uint32_t rt) {
+    mem_busy_ = true;
+    dma_.start_read(
+        ea & ~3u, 1,
+        [this, ea, bytes, rt](std::uint32_t, Word w) {
+            if (w.has_unknown() && x_reports_ < cfg_.x_report_limit) {
+                ++x_reports_;
+                char buf[56];
+                std::snprintf(buf, sizeof buf,
+                              "load of X/corrupted data at 0x%08x", ea);
+                report(buf);
+            }
+            const auto full = static_cast<std::uint32_t>(w.to_u64());
+            std::uint32_t v = full;
+            if (bytes == 1) {
+                v = (full >> ((3 - (ea & 3u)) * 8)) & 0xFF;
+            } else if (bytes == 2) {
+                v = (full >> ((ea & 2u) ? 0 : 16)) & 0xFFFF;
+            }
+            gpr_[rt] = v;
+        },
+        [this] { mem_busy_ = false; });
+}
+
+void PpcCpu::store(std::uint32_t ea, unsigned bytes, std::uint32_t value) {
+    mem_busy_ = true;
+    if (bytes == 4) {
+        dma_.start_write(
+            ea & ~3u, 1, [value](std::uint32_t) { return Word{value}; },
+            [this] { mem_busy_ = false; });
+        return;
+    }
+    // Sub-word store: read-modify-write through the bus (the model's
+    // substitute for byte enables; see header).
+    rmw_ = Rmw{true, ea, bytes, value};
+    dma_.start_read(
+        ea & ~3u, 1,
+        [this](std::uint32_t, Word w) {
+            const auto old = static_cast<std::uint32_t>(w.to_u64());
+            std::uint32_t merged = old;
+            if (rmw_.bytes == 1) {
+                const unsigned sh = (3 - (rmw_.ea & 3u)) * 8;
+                merged = (old & ~(0xFFu << sh)) | ((rmw_.value & 0xFF) << sh);
+            } else {
+                const unsigned sh = (rmw_.ea & 2u) ? 0 : 16;
+                merged =
+                    (old & ~(0xFFFFu << sh)) | ((rmw_.value & 0xFFFF) << sh);
+            }
+            rmw_.value = merged;
+        },
+        [this] {
+            dma_.start_write(
+                rmw_.ea & ~3u, 1,
+                [this](std::uint32_t) { return Word{rmw_.value}; }, [this] {
+                    mem_busy_ = false;
+                    rmw_.active = false;
+                });
+        });
+}
+
+void PpcCpu::execute(std::uint32_t insn) {
+    const std::uint32_t op = insn >> 26;
+    const std::uint32_t rt = (insn >> 21) & 0x1F;
+    const std::uint32_t ra = (insn >> 16) & 0x1F;
+    const std::uint32_t imm = insn & 0xFFFF;
+    const std::int32_t simm = sext16(imm);
+    const std::uint32_t a0 = (ra == 0) ? 0 : gpr_[ra];  // (rA|0) semantics
+
+    switch (op) {
+        case OP_ADDI: gpr_[rt] = a0 + static_cast<std::uint32_t>(simm); return;
+        case OP_ADDIS: gpr_[rt] = a0 + (imm << 16); return;
+        case OP_ADDIC: gpr_[rt] = gpr_[ra] + static_cast<std::uint32_t>(simm); return;
+        case OP_MULLI:
+            gpr_[rt] = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(gpr_[ra]) * simm);
+            return;
+        case OP_SUBFIC:
+            gpr_[rt] = static_cast<std::uint32_t>(simm) - gpr_[ra];
+            return;
+        case OP_ORI: gpr_[ra] = gpr_[rt] | imm; return;
+        case OP_ORIS: gpr_[ra] = gpr_[rt] | (imm << 16); return;
+        case OP_XORI: gpr_[ra] = gpr_[rt] ^ imm; return;
+        case OP_XORIS: gpr_[ra] = gpr_[rt] ^ (imm << 16); return;
+        case OP_ANDI:
+            gpr_[ra] = gpr_[rt] & imm;
+            set_cr0_signed(static_cast<std::int32_t>(gpr_[ra]));
+            return;
+        case OP_ANDIS:
+            gpr_[ra] = gpr_[rt] & (imm << 16);
+            set_cr0_signed(static_cast<std::int32_t>(gpr_[ra]));
+            return;
+
+        case OP_CMPI: {
+            const auto a = static_cast<std::int32_t>(gpr_[ra]);
+            cr0_ = (a < simm) ? CR0_LT : (a > simm) ? CR0_GT : CR0_EQ;
+            return;
+        }
+        case OP_CMPLI: {
+            const std::uint32_t a = gpr_[ra];
+            cr0_ = (a < imm) ? CR0_LT : (a > imm) ? CR0_GT : CR0_EQ;
+            return;
+        }
+
+        case OP_RLWINM: {
+            const std::uint32_t rs = rt;
+            const std::uint32_t sh = (insn >> 11) & 0x1F;
+            const std::uint32_t mb = (insn >> 6) & 0x1F;
+            const std::uint32_t me = (insn >> 1) & 0x1F;
+            const std::uint32_t rot =
+                (gpr_[rs] << sh) | (sh == 0 ? 0 : (gpr_[rs] >> (32 - sh)));
+            // Power mask: 1s from bit MB through bit ME inclusive, bits
+            // numbered from the MSB; MB > ME wraps.
+            const std::uint32_t m_begin = ~0u >> mb;
+            const std::uint32_t m_end = ~0u << (31 - me);
+            const std::uint32_t mask =
+                (mb <= me) ? (m_begin & m_end) : (m_begin | m_end);
+            gpr_[ra] = rot & mask;
+            if (insn & 1) set_cr0_signed(static_cast<std::int32_t>(gpr_[ra]));
+            return;
+        }
+
+        case OP_LWZ: load(a0 + static_cast<std::uint32_t>(simm), 4, rt); return;
+        case OP_LBZ: load(a0 + static_cast<std::uint32_t>(simm), 1, rt); return;
+        case OP_LHZ: load(a0 + static_cast<std::uint32_t>(simm), 2, rt); return;
+        case OP_LWZU: {
+            const std::uint32_t ea = gpr_[ra] + static_cast<std::uint32_t>(simm);
+            gpr_[ra] = ea;
+            load(ea, 4, rt);
+            return;
+        }
+        case OP_LBZU: {
+            const std::uint32_t ea = gpr_[ra] + static_cast<std::uint32_t>(simm);
+            gpr_[ra] = ea;
+            load(ea, 1, rt);
+            return;
+        }
+        case OP_LHZU: {
+            const std::uint32_t ea = gpr_[ra] + static_cast<std::uint32_t>(simm);
+            gpr_[ra] = ea;
+            load(ea, 2, rt);
+            return;
+        }
+        case OP_STW: store(a0 + static_cast<std::uint32_t>(simm), 4, gpr_[rt]); return;
+        case OP_STB: store(a0 + static_cast<std::uint32_t>(simm), 1, gpr_[rt]); return;
+        case OP_STH: store(a0 + static_cast<std::uint32_t>(simm), 2, gpr_[rt]); return;
+        case OP_STWU: {
+            const std::uint32_t ea = gpr_[ra] + static_cast<std::uint32_t>(simm);
+            gpr_[ra] = ea;
+            store(ea, 4, gpr_[rt]);
+            return;
+        }
+        case OP_STBU: {
+            const std::uint32_t ea = gpr_[ra] + static_cast<std::uint32_t>(simm);
+            gpr_[ra] = ea;
+            store(ea, 1, gpr_[rt]);
+            return;
+        }
+        case OP_STHU: {
+            const std::uint32_t ea = gpr_[ra] + static_cast<std::uint32_t>(simm);
+            gpr_[ra] = ea;
+            store(ea, 2, gpr_[rt]);
+            return;
+        }
+
+        case OP_B: {
+            const std::int32_t li =
+                (static_cast<std::int32_t>(insn << 6) >> 6) & ~3;
+            const std::uint32_t from = pc_ - 4;
+            if (insn & 1) lr_ = pc_;  // bl
+            const std::uint32_t target =
+                (insn & 2) ? static_cast<std::uint32_t>(li)
+                           : from + static_cast<std::uint32_t>(li);
+            if (target == from && (insn & 1) == 0) halted_ = true;
+            pc_ = target;
+            return;
+        }
+        case OP_BC: {
+            const std::uint32_t bo = rt;
+            const std::uint32_t bi = ra;
+            const std::int32_t bd = sext16(insn & 0xFFFC);
+            bool ctr_ok = true;
+            if ((bo & 0x4) == 0) {  // decrement CTR
+                --ctr_;
+                ctr_ok = ((bo & 0x2) != 0) == (ctr_ == 0);
+            }
+            bool cond_ok = true;
+            if ((bo & 0x10) == 0) {
+                const bool bit = (cr0_ >> (3 - bi)) & 1;
+                cond_ok = ((bo & 0x8) != 0) == bit;
+            }
+            if (ctr_ok && cond_ok) {
+                const std::uint32_t from = pc_ - 4;
+                if (insn & 1) lr_ = pc_;
+                pc_ = from + static_cast<std::uint32_t>(bd);
+                if (pc_ == from && (insn & 1) == 0) halted_ = true;
+            }
+            return;
+        }
+
+        case OP_XL: {
+            const std::uint32_t xo = (insn >> 1) & 0x3FF;
+            if (xo == XL_BCLR) {
+                const std::uint32_t bo = rt;
+                bool cond_ok = true;
+                if ((bo & 0x10) == 0) {
+                    const bool bit = (cr0_ >> (3 - ra)) & 1;
+                    cond_ok = ((bo & 0x8) != 0) == bit;
+                }
+                if (cond_ok) {
+                    const std::uint32_t target = lr_ & ~3u;
+                    if (insn & 1) lr_ = pc_;
+                    pc_ = target;
+                }
+                return;
+            }
+            if (xo == XL_BCCTR) {
+                if (insn & 1) lr_ = pc_;
+                pc_ = ctr_ & ~3u;
+                return;
+            }
+            if (xo == XL_RFI) {
+                msr_ = srr1_;
+                pc_ = srr0_;
+                return;
+            }
+            if (xo == XL_ISYNC) return;
+            illegal(insn, "XL");
+            return;
+        }
+
+        case OP_X: exec_op31(insn); return;
+
+        default:
+            illegal(insn, "primary opcode " + std::to_string(op));
+            return;
+    }
+}
+
+void PpcCpu::exec_op31(std::uint32_t insn) {
+    const std::uint32_t rt = (insn >> 21) & 0x1F;
+    const std::uint32_t ra = (insn >> 16) & 0x1F;
+    const std::uint32_t rb = (insn >> 11) & 0x1F;
+    const bool rc = (insn & 1) != 0;
+    const std::uint32_t xo = (insn >> 1) & 0x3FF;
+
+    auto put = [&](std::uint32_t dest, std::uint32_t v) {
+        gpr_[dest] = v;
+        if (rc) set_cr0_signed(static_cast<std::int32_t>(v));
+    };
+
+    switch (xo) {
+        case X_ADD: put(rt, gpr_[ra] + gpr_[rb]); return;
+        case X_SUBF: put(rt, gpr_[rb] - gpr_[ra]); return;
+        case X_NEG: put(rt, 0u - gpr_[ra]); return;
+        case X_MULLW:
+            put(rt, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(gpr_[ra]) *
+                        static_cast<std::int32_t>(gpr_[rb])));
+            return;
+        case X_DIVW:
+            if (gpr_[rb] == 0) {
+                report("divw by zero");
+                put(rt, 0);
+            } else {
+                put(rt, static_cast<std::uint32_t>(
+                            static_cast<std::int32_t>(gpr_[ra]) /
+                            static_cast<std::int32_t>(gpr_[rb])));
+            }
+            return;
+        case X_DIVWU:
+            if (gpr_[rb] == 0) {
+                report("divwu by zero");
+                put(rt, 0);
+            } else {
+                put(rt, gpr_[ra] / gpr_[rb]);
+            }
+            return;
+
+        // Logical/shift: dest is rA, source is the rT slot (rS).
+        case X_AND: put(ra, gpr_[rt] & gpr_[rb]); return;
+        case X_OR: put(ra, gpr_[rt] | gpr_[rb]); return;
+        case X_XOR: put(ra, gpr_[rt] ^ gpr_[rb]); return;
+        case X_NOR: put(ra, ~(gpr_[rt] | gpr_[rb])); return;
+        case X_ANDC: put(ra, gpr_[rt] & ~gpr_[rb]); return;
+        case X_SLW: {
+            const std::uint32_t sh = gpr_[rb] & 0x3F;
+            put(ra, sh >= 32 ? 0 : gpr_[rt] << sh);
+            return;
+        }
+        case X_SRW: {
+            const std::uint32_t sh = gpr_[rb] & 0x3F;
+            put(ra, sh >= 32 ? 0 : gpr_[rt] >> sh);
+            return;
+        }
+        case X_SRAW: {
+            const std::uint32_t sh = gpr_[rb] & 0x3F;
+            const auto s = static_cast<std::int32_t>(gpr_[rt]);
+            put(ra, static_cast<std::uint32_t>(sh >= 32 ? (s < 0 ? -1 : 0)
+                                                        : (s >> sh)));
+            return;
+        }
+        case X_SRAWI: {
+            const auto s = static_cast<std::int32_t>(gpr_[rt]);
+            put(ra, static_cast<std::uint32_t>(s >> rb));
+            return;
+        }
+
+        case X_CMP: {
+            const auto a = static_cast<std::int32_t>(gpr_[ra]);
+            const auto b = static_cast<std::int32_t>(gpr_[rb]);
+            cr0_ = (a < b) ? CR0_LT : (a > b) ? CR0_GT : CR0_EQ;
+            return;
+        }
+        case X_CMPL:
+            cr0_ = (gpr_[ra] < gpr_[rb])   ? CR0_LT
+                   : (gpr_[ra] > gpr_[rb]) ? CR0_GT
+                                           : CR0_EQ;
+            return;
+
+        case X_MFSPR: {
+            switch (unsplit_sprf(insn)) {
+                case SPR_XER: gpr_[rt] = xer_; return;
+                case SPR_LR: gpr_[rt] = lr_; return;
+                case SPR_CTR: gpr_[rt] = ctr_; return;
+                case SPR_SRR0: gpr_[rt] = srr0_; return;
+                case SPR_SRR1: gpr_[rt] = srr1_; return;
+                default: illegal(insn, "mfspr"); return;
+            }
+        }
+        case X_MTSPR: {
+            switch (unsplit_sprf(insn)) {
+                case SPR_XER: xer_ = gpr_[rt]; return;
+                case SPR_LR: lr_ = gpr_[rt]; return;
+                case SPR_CTR: ctr_ = gpr_[rt]; return;
+                case SPR_SRR0: srr0_ = gpr_[rt]; return;
+                case SPR_SRR1: srr1_ = gpr_[rt]; return;
+                default: illegal(insn, "mtspr"); return;
+            }
+        }
+        // Condition-register moves: only CR0 is modelled; it occupies the
+        // top nibble of the architectural CR.
+        case X_MFCR: gpr_[rt] = cr0_ << 28; return;
+        case X_MTCRF: cr0_ = (gpr_[rt] >> 28) & 0xF; return;
+
+        case X_MFMSR: gpr_[rt] = msr_; return;
+        case X_MTMSR: msr_ = gpr_[rt]; return;
+        case X_WRTEEI:
+            if (insn & (1u << 15)) {
+                msr_ |= MSR_EE;
+            } else {
+                msr_ &= ~MSR_EE;
+            }
+            return;
+
+        case X_MFDCR: {
+            const std::uint32_t dcrn = unsplit_sprf(insn);
+            dcr_busy_ = true;
+            dcr_.start_read(dcrn, [this, rt, dcrn](Word w) {
+                if (w.has_unknown() && x_reports_ < cfg_.x_report_limit) {
+                    ++x_reports_;
+                    report("mfdcr " + std::to_string(dcrn) +
+                           " returned X (broken daisy chain?)");
+                }
+                gpr_[rt] = static_cast<std::uint32_t>(w.to_u64());
+                dcr_busy_ = false;
+            });
+            return;
+        }
+        case X_MTDCR: {
+            const std::uint32_t dcrn = unsplit_sprf(insn);
+            dcr_busy_ = true;
+            dcr_.start_write(dcrn, Word{gpr_[rt]},
+                             [this] { dcr_busy_ = false; });
+            return;
+        }
+
+        case X_SYNC: return;
+
+        default:
+            illegal(insn, "op31 xo " + std::to_string(xo));
+            return;
+    }
+}
+
+}  // namespace autovision::isa

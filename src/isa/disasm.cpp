@@ -1,0 +1,206 @@
+#include "disasm.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "ppc.hpp"
+
+namespace autovision::isa {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+    char buf[96];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof buf, f, ap);
+    va_end(ap);
+    return buf;
+}
+
+[[nodiscard]] std::int32_t sext16(std::uint32_t v) {
+    return static_cast<std::int16_t>(v & 0xFFFF);
+}
+
+std::string dform_rt(const char* m, std::uint32_t insn) {
+    return fmt("%s r%u, r%u, %d", m, (insn >> 21) & 31, (insn >> 16) & 31,
+               sext16(insn));
+}
+
+std::string dform_ra(const char* m, std::uint32_t insn) {
+    // Logical D-forms: destination is rA, source in the rT slot.
+    return fmt("%s r%u, r%u, 0x%X", m, (insn >> 16) & 31, (insn >> 21) & 31,
+               insn & 0xFFFF);
+}
+
+std::string memform(const char* m, std::uint32_t insn) {
+    return fmt("%s r%u, %d(r%u)", m, (insn >> 21) & 31, sext16(insn),
+               (insn >> 16) & 31);
+}
+
+std::string xform_rt(const char* m, std::uint32_t insn, bool rc) {
+    return fmt("%s%s r%u, r%u, r%u", m, rc ? "." : "", (insn >> 21) & 31,
+               (insn >> 16) & 31, (insn >> 11) & 31);
+}
+
+std::string xform_ra(const char* m, std::uint32_t insn, bool rc) {
+    return fmt("%s%s r%u, r%u, r%u", m, rc ? "." : "", (insn >> 16) & 31,
+               (insn >> 21) & 31, (insn >> 11) & 31);
+}
+
+}  // namespace
+
+std::string disassemble(std::uint32_t insn, std::uint32_t pc) {
+    const std::uint32_t op = insn >> 26;
+    const std::uint32_t rt = (insn >> 21) & 31;
+    const std::uint32_t ra = (insn >> 16) & 31;
+    const std::uint32_t rb = (insn >> 11) & 31;
+    const bool rc = (insn & 1) != 0;
+
+    switch (op) {
+        case OP_ADDI:
+            if (ra == 0) return fmt("li r%u, %d", rt, sext16(insn));
+            return dform_rt("addi", insn);
+        case OP_ADDIS:
+            if (ra == 0) return fmt("lis r%u, 0x%X", rt, insn & 0xFFFF);
+            return dform_rt("addis", insn);
+        case OP_ADDIC: return dform_rt("addic", insn);
+        case OP_MULLI: return dform_rt("mulli", insn);
+        case OP_SUBFIC: return dform_rt("subfic", insn);
+        case OP_ORI:
+            if (insn == 0x60000000) return "nop";
+            return dform_ra("ori", insn);
+        case OP_ORIS: return dform_ra("oris", insn);
+        case OP_XORI: return dform_ra("xori", insn);
+        case OP_XORIS: return dform_ra("xoris", insn);
+        case OP_ANDI: return dform_ra("andi.", insn);
+        case OP_ANDIS: return dform_ra("andis.", insn);
+        case OP_CMPI: return fmt("cmpwi r%u, %d", ra, sext16(insn));
+        case OP_CMPLI: return fmt("cmplwi r%u, 0x%X", ra, insn & 0xFFFF);
+
+        case OP_RLWINM: {
+            const std::uint32_t sh = (insn >> 11) & 31;
+            const std::uint32_t mb = (insn >> 6) & 31;
+            const std::uint32_t me = (insn >> 1) & 31;
+            if (mb == 0 && me == 31 - sh) {
+                return fmt("slwi r%u, r%u, %u", ra, rt, sh);
+            }
+            if (me == 31 && sh == ((32 - mb) & 31)) {
+                return fmt("srwi r%u, r%u, %u", ra, rt, mb);
+            }
+            return fmt("rlwinm r%u, r%u, %u, %u, %u", ra, rt, sh, mb, me);
+        }
+
+        case OP_LWZ: return memform("lwz", insn);
+        case OP_LWZU: return memform("lwzu", insn);
+        case OP_LBZ: return memform("lbz", insn);
+        case OP_LBZU: return memform("lbzu", insn);
+        case OP_LHZ: return memform("lhz", insn);
+        case OP_LHZU: return memform("lhzu", insn);
+        case OP_STW: return memform("stw", insn);
+        case OP_STWU: return memform("stwu", insn);
+        case OP_STB: return memform("stb", insn);
+        case OP_STBU: return memform("stbu", insn);
+        case OP_STH: return memform("sth", insn);
+        case OP_STHU: return memform("sthu", insn);
+
+        case OP_B: {
+            const std::int32_t li =
+                (static_cast<std::int32_t>(insn << 6) >> 6) & ~3;
+            const std::uint32_t target =
+                (insn & 2) ? static_cast<std::uint32_t>(li)
+                           : pc + static_cast<std::uint32_t>(li);
+            return fmt("%s 0x%X", (insn & 1) ? "bl" : "b", target);
+        }
+        case OP_BC: {
+            const std::uint32_t bo = rt;
+            const std::uint32_t bi = ra;
+            const std::uint32_t target =
+                pc + static_cast<std::uint32_t>(sext16(insn & 0xFFFC));
+            if (bo == 16 && bi == 0) return fmt("bdnz 0x%X", target);
+            static const char* kTrue[] = {"blt", "bgt", "beq", "bso"};
+            static const char* kFalse[] = {"bge", "ble", "bne", "bns"};
+            if (bo == 12 && bi < 4) return fmt("%s 0x%X", kTrue[bi], target);
+            if (bo == 4 && bi < 4) return fmt("%s 0x%X", kFalse[bi], target);
+            return fmt(".word 0x%08X", insn);
+        }
+
+        case OP_XL: {
+            const std::uint32_t xo = (insn >> 1) & 0x3FF;
+            if (xo == XL_BCLR && rt == 20) return "blr";
+            if (xo == XL_BCCTR && rt == 20) {
+                return (insn & 1) ? "bctrl" : "bctr";
+            }
+            if (xo == XL_RFI) return "rfi";
+            if (xo == XL_ISYNC) return "isync";
+            return fmt(".word 0x%08X", insn);
+        }
+
+        case OP_X: {
+            const std::uint32_t xo = (insn >> 1) & 0x3FF;
+            switch (xo) {
+                case X_ADD: return xform_rt("add", insn, rc);
+                case X_SUBF: return xform_rt("subf", insn, rc);
+                case X_MULLW: return xform_rt("mullw", insn, rc);
+                case X_DIVW: return xform_rt("divw", insn, rc);
+                case X_DIVWU: return xform_rt("divwu", insn, rc);
+                case X_NEG: return fmt("neg r%u, r%u", rt, ra);
+                case X_AND: return xform_ra("and", insn, rc);
+                case X_OR:
+                    if (rt == rb) return fmt("mr r%u, r%u", ra, rt);
+                    return xform_ra("or", insn, rc);
+                case X_XOR: return xform_ra("xor", insn, rc);
+                case X_NOR:
+                    if (rt == rb) return fmt("not r%u, r%u", ra, rt);
+                    return xform_ra("nor", insn, rc);
+                case X_ANDC: return xform_ra("andc", insn, rc);
+                case X_SLW: return xform_ra("slw", insn, rc);
+                case X_SRW: return xform_ra("srw", insn, rc);
+                case X_SRAW: return xform_ra("sraw", insn, rc);
+                case X_SRAWI:
+                    return fmt("srawi r%u, r%u, %u", ra, rt, rb);
+                case X_CMP: return fmt("cmpw r%u, r%u", ra, rb);
+                case X_CMPL: return fmt("cmplw r%u, r%u", ra, rb);
+                case X_MFCR: return fmt("mfcr r%u", rt);
+                case X_MTCRF: return fmt("mtcr r%u", rt);
+                case X_MFMSR: return fmt("mfmsr r%u", rt);
+                case X_MTMSR: return fmt("mtmsr r%u", rt);
+                case X_SYNC: return "sync";
+                case X_WRTEEI:
+                    return fmt("wrteei %u", (insn >> 15) & 1);
+                case X_MFSPR: {
+                    const std::uint32_t spr = unsplit_sprf(insn);
+                    if (spr == SPR_LR) return fmt("mflr r%u", rt);
+                    if (spr == SPR_CTR) return fmt("mfctr r%u", rt);
+                    return fmt("mfspr r%u, %u", rt, spr);
+                }
+                case X_MTSPR: {
+                    const std::uint32_t spr = unsplit_sprf(insn);
+                    if (spr == SPR_LR) return fmt("mtlr r%u", rt);
+                    if (spr == SPR_CTR) return fmt("mtctr r%u", rt);
+                    return fmt("mtspr %u, r%u", spr, rt);
+                }
+                case X_MFDCR:
+                    return fmt("mfdcr r%u, 0x%X", rt, unsplit_sprf(insn));
+                case X_MTDCR:
+                    return fmt("mtdcr 0x%X, r%u", unsplit_sprf(insn), rt);
+                default: return fmt(".word 0x%08X", insn);
+            }
+        }
+
+        default: return fmt(".word 0x%08X", insn);
+    }
+}
+
+std::string disassemble_program(const Program& p) {
+    std::string out;
+    for (std::size_t i = 0; i < p.words.size(); ++i) {
+        const auto addr = p.origin + 4 * static_cast<std::uint32_t>(i);
+        out += fmt("%08X: %08X  ", addr, p.words[i]);
+        out += disassemble(p.words[i], addr);
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace autovision::isa

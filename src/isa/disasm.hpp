@@ -1,0 +1,23 @@
+// Disassembler for the PowerPC subset.
+//
+// Produces assembler-compatible text: feeding the output of
+// disassemble() back through assemble() reproduces the original encoding
+// (round-trip property, tested). Used by debug tooling and the CPU trace
+// hook.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "assembler.hpp"
+
+namespace autovision::isa {
+
+/// One instruction at address `pc` (pc is needed to render branch targets
+/// as absolute addresses). Unknown encodings render as ".word 0x....".
+[[nodiscard]] std::string disassemble(std::uint32_t insn, std::uint32_t pc);
+
+/// Full program listing: "address: encoding  mnemonic" per line.
+[[nodiscard]] std::string disassemble_program(const Program& p);
+
+}  // namespace autovision::isa

@@ -1,0 +1,119 @@
+// PowerPC-subset ISA definitions shared by the assembler and the ISS.
+//
+// The subset models a PowerPC 405 class embedded core: 32-bit fixed-point
+// unit, CR0, LR/CTR/XER, SRR0/SRR1, MSR[EE], external-interrupt exception at
+// 0x500, rfi, and the DCR access instructions (mfdcr/mtdcr) that the
+// demonstrator's drivers use to program the engines and the IcapCTRL.
+// Encodings follow the real Power ISA so the assembler output is genuine
+// machine code.
+#pragma once
+
+#include <cstdint>
+
+namespace autovision::isa {
+
+// Primary opcodes (bits 0..5, i.e. insn >> 26).
+enum PrimaryOp : std::uint32_t {
+    OP_MULLI = 7,
+    OP_SUBFIC = 8,
+    OP_CMPLI = 10,
+    OP_CMPI = 11,
+    OP_ADDIC = 12,
+    OP_ADDI = 14,
+    OP_ADDIS = 15,
+    OP_BC = 16,
+    OP_B = 18,
+    OP_XL = 19,   // bclr, rfi, isync
+    OP_RLWINM = 21,
+    OP_ORI = 24,
+    OP_ORIS = 25,
+    OP_XORI = 26,
+    OP_XORIS = 27,
+    OP_ANDI = 28,  // andi. (always records CR0)
+    OP_ANDIS = 29,
+    OP_X = 31,    // X/XO-form ALU, SPR/DCR/MSR moves
+    OP_LWZ = 32,
+    OP_LWZU = 33,
+    OP_LBZ = 34,
+    OP_LBZU = 35,
+    OP_STW = 36,
+    OP_STWU = 37,
+    OP_STB = 38,
+    OP_STBU = 39,
+    OP_LHZ = 40,
+    OP_LHZU = 41,
+    OP_STH = 44,
+    OP_STHU = 45,
+};
+
+// Extended opcodes for OP_X (bits 21..30, i.e. (insn >> 1) & 0x3FF).
+enum XOp : std::uint32_t {
+    X_CMP = 0,
+    X_MFCR = 19,
+    X_MTCRF = 144,
+    X_SUBF = 40,
+    X_AND = 28,
+    X_CMPL = 32,
+    X_ANDC = 60,
+    X_MFMSR = 83,
+    X_NEG = 104,
+    X_NOR = 124,
+    X_MTMSR = 146,
+    X_WRTEEI = 163,  // PPC405 / Book-E embedded
+    X_MULLW = 235,
+    X_ADD = 266,
+    X_XOR = 316,
+    X_MFDCR = 323,
+    X_MFSPR = 339,
+    X_OR = 444,
+    X_DIVWU = 459,
+    X_MTDCR = 451,
+    X_MTSPR = 467,
+    X_DIVW = 491,
+    X_SLW = 24,
+    X_SRW = 536,
+    X_SRAW = 792,
+    X_SRAWI = 824,
+    X_SYNC = 598,
+};
+
+// Extended opcodes for OP_XL.
+enum XlOp : std::uint32_t {
+    XL_BCLR = 16,
+    XL_RFI = 50,
+    XL_ISYNC = 150,
+    XL_BCCTR = 528,
+};
+
+// SPR numbers (already un-split).
+enum Spr : std::uint32_t {
+    SPR_XER = 1,
+    SPR_LR = 8,
+    SPR_CTR = 9,
+    SPR_SRR0 = 26,
+    SPR_SRR1 = 27,
+};
+
+// MSR bits.
+inline constexpr std::uint32_t MSR_EE = 0x0000'8000;
+
+// CR0 field bits (stored in the 4 MSBs of our CR model).
+inline constexpr std::uint32_t CR0_LT = 0x8;
+inline constexpr std::uint32_t CR0_GT = 0x4;
+inline constexpr std::uint32_t CR0_EQ = 0x2;
+inline constexpr std::uint32_t CR0_SO = 0x1;
+
+// Exception vectors (EVPR = 0).
+inline constexpr std::uint32_t VEC_EXTERNAL = 0x0000'0500;
+
+/// Split a 10-bit SPR/DCR number into the swapped-halves instruction field.
+[[nodiscard]] constexpr std::uint32_t split_sprf(std::uint32_t n) {
+    return ((n & 0x1F) << 16) | (((n >> 5) & 0x1F) << 11);
+}
+
+/// Recover a 10-bit SPR/DCR number from instruction bits.
+[[nodiscard]] constexpr std::uint32_t unsplit_sprf(std::uint32_t insn) {
+    return ((insn >> 16) & 0x1F) | (((insn >> 11) & 0x1F) << 5);
+}
+
+}  // namespace autovision::isa

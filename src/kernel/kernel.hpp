@@ -1,0 +1,11 @@
+// rtlsim: umbrella header for the simulation kernel.
+#pragma once
+
+#include "logic.hpp"      // IWYU pragma: export
+#include "lvec.hpp"       // IWYU pragma: export
+#include "module.hpp"     // IWYU pragma: export
+#include "scheduler.hpp"  // IWYU pragma: export
+#include "signal.hpp"     // IWYU pragma: export
+#include "sim_time.hpp"   // IWYU pragma: export
+#include "stats.hpp"      // IWYU pragma: export
+#include "trace.hpp"      // IWYU pragma: export

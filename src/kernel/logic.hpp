@@ -1,0 +1,102 @@
+// rtlsim: 4-state scalar logic value.
+//
+// The kernel models signals with Verilog-style 4-state semantics because the
+// whole point of ReSim-style verification is observing unknown (X) values
+// escape a region undergoing reconfiguration. Two-state simulation cannot
+// detect isolation bugs (see DESIGN.md section 5).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace rtlsim {
+
+/// A single 4-state logic value: 0, 1, X (unknown) or Z (high impedance).
+enum class Logic : std::uint8_t {
+    L0 = 0,  ///< driven low
+    L1 = 1,  ///< driven high
+    X  = 2,  ///< unknown / conflicting
+    Z  = 3,  ///< undriven
+};
+
+/// True when the value is a defined 0 or 1.
+[[nodiscard]] constexpr bool is01(Logic v) noexcept {
+    return v == Logic::L0 || v == Logic::L1;
+}
+
+/// True when the value is unknown or undriven.
+[[nodiscard]] constexpr bool is_unknown(Logic v) noexcept { return !is01(v); }
+
+/// Convert a bool to a defined logic level.
+[[nodiscard]] constexpr Logic to_logic(bool b) noexcept {
+    return b ? Logic::L1 : Logic::L0;
+}
+
+/// True iff the value is a defined 1. X and Z are not truthy.
+[[nodiscard]] constexpr bool is1(Logic v) noexcept { return v == Logic::L1; }
+/// True iff the value is a defined 0.
+[[nodiscard]] constexpr bool is0(Logic v) noexcept { return v == Logic::L0; }
+
+/// Verilog AND: 0 dominates, otherwise unknowns poison the result.
+[[nodiscard]] constexpr Logic operator&(Logic a, Logic b) noexcept {
+    if (a == Logic::L0 || b == Logic::L0) return Logic::L0;
+    if (a == Logic::L1 && b == Logic::L1) return Logic::L1;
+    return Logic::X;
+}
+
+/// Verilog OR: 1 dominates, otherwise unknowns poison the result.
+[[nodiscard]] constexpr Logic operator|(Logic a, Logic b) noexcept {
+    if (a == Logic::L1 || b == Logic::L1) return Logic::L1;
+    if (a == Logic::L0 && b == Logic::L0) return Logic::L0;
+    return Logic::X;
+}
+
+/// Verilog XOR: any unknown operand yields X.
+[[nodiscard]] constexpr Logic operator^(Logic a, Logic b) noexcept {
+    if (is01(a) && is01(b)) return to_logic(a != b);
+    return Logic::X;
+}
+
+/// Verilog NOT: unknown inputs stay unknown (Z inverts to X).
+[[nodiscard]] constexpr Logic operator~(Logic a) noexcept {
+    switch (a) {
+        case Logic::L0: return Logic::L1;
+        case Logic::L1: return Logic::L0;
+        default: return Logic::X;
+    }
+}
+
+/// Wired resolution of two drivers on the same net (tri-state buses).
+[[nodiscard]] constexpr Logic resolve(Logic a, Logic b) noexcept {
+    if (a == Logic::Z) return b;
+    if (b == Logic::Z) return a;
+    if (a == b) return a;
+    return Logic::X;
+}
+
+/// Printable character: '0', '1', 'x' or 'z'.
+[[nodiscard]] constexpr char to_char(Logic v) noexcept {
+    switch (v) {
+        case Logic::L0: return '0';
+        case Logic::L1: return '1';
+        case Logic::X: return 'x';
+        default: return 'z';
+    }
+}
+
+/// Parse '0'/'1'/'x'/'X'/'z'/'Z'; anything else becomes X.
+[[nodiscard]] constexpr Logic logic_from_char(char c) noexcept {
+    switch (c) {
+        case '0': return Logic::L0;
+        case '1': return Logic::L1;
+        case 'z':
+        case 'Z': return Logic::Z;
+        default: return Logic::X;
+    }
+}
+
+inline std::ostream& operator<<(std::ostream& os, Logic v) {
+    return os << to_char(v);
+}
+
+}  // namespace rtlsim

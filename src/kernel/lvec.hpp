@@ -1,0 +1,197 @@
+// rtlsim: fixed-width 4-state logic vectors (up to 64 bits).
+//
+// Storage follows the classic two-plane encoding: for each bit,
+//   (val=0, unk=0) -> 0     (val=1, unk=0) -> 1
+//   (val=0, unk=1) -> Z     (val=1, unk=1) -> X
+// Arithmetic is conservative, as in Verilog: if any input bit is unknown the
+// whole result is X. Bitwise operators propagate unknowns per bit with
+// 0-dominance for AND and 1-dominance for OR.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "logic.hpp"
+
+namespace rtlsim {
+
+template <unsigned N>
+class LVec {
+    static_assert(N >= 1 && N <= 64, "LVec supports widths of 1..64 bits");
+
+public:
+    static constexpr unsigned width = N;
+    static constexpr std::uint64_t mask =
+        (N == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << N) - 1);
+
+    /// Default: all bits X, matching an uninitialised hardware register.
+    constexpr LVec() noexcept : val_(mask), unk_(mask) {}
+
+    /// Construct from a defined integer value (truncated to N bits).
+    constexpr LVec(std::uint64_t v) noexcept : val_(v & mask), unk_(0) {}
+
+    /// All bits X.
+    [[nodiscard]] static constexpr LVec all_x() noexcept { return LVec{}; }
+
+    /// All bits Z.
+    [[nodiscard]] static constexpr LVec all_z() noexcept {
+        return from_planes(0, mask);
+    }
+
+    /// All bits zero.
+    [[nodiscard]] static constexpr LVec zero() noexcept { return LVec{0}; }
+
+    /// Construct from explicit value/unknown planes.
+    [[nodiscard]] static constexpr LVec from_planes(std::uint64_t val,
+                                                    std::uint64_t unk) noexcept {
+        LVec r{0};
+        r.val_ = val & mask;
+        r.unk_ = unk & mask;
+        return r;
+    }
+
+    [[nodiscard]] constexpr std::uint64_t val_plane() const noexcept { return val_; }
+    [[nodiscard]] constexpr std::uint64_t unk_plane() const noexcept { return unk_; }
+
+    /// True when every bit is a defined 0 or 1.
+    [[nodiscard]] constexpr bool is_fully_defined() const noexcept {
+        return unk_ == 0;
+    }
+
+    /// True when any bit is X or Z.
+    [[nodiscard]] constexpr bool has_unknown() const noexcept { return unk_ != 0; }
+
+    /// Defined integer value. Only meaningful when is_fully_defined();
+    /// unknown bits read as 0 so callers must check first.
+    [[nodiscard]] constexpr std::uint64_t to_u64() const noexcept {
+        return val_ & ~unk_;
+    }
+
+    /// Single-bit access.
+    [[nodiscard]] constexpr Logic bit(unsigned i) const noexcept {
+        const bool v = (val_ >> i) & 1u;
+        const bool u = (unk_ >> i) & 1u;
+        if (!u) return v ? Logic::L1 : Logic::L0;
+        return v ? Logic::X : Logic::Z;
+    }
+
+    constexpr void set_bit(unsigned i, Logic b) noexcept {
+        const std::uint64_t m = std::uint64_t{1} << i;
+        switch (b) {
+            case Logic::L0: val_ &= ~m; unk_ &= ~m; break;
+            case Logic::L1: val_ |= m;  unk_ &= ~m; break;
+            case Logic::X:  val_ |= m;  unk_ |= m;  break;
+            case Logic::Z:  val_ &= ~m; unk_ |= m;  break;
+        }
+    }
+
+    // --- bitwise operators with per-bit X propagation ------------------
+
+    [[nodiscard]] friend constexpr LVec operator&(LVec a, LVec b) noexcept {
+        // A result bit is 0 when either input is a defined 0; unknown when
+        // not forced to 0 and either input is unknown.
+        const std::uint64_t a0 = ~a.val_ & ~a.unk_;
+        const std::uint64_t b0 = ~b.val_ & ~b.unk_;
+        const std::uint64_t forced0 = a0 | b0;
+        const std::uint64_t unk = (a.unk_ | b.unk_) & ~forced0;
+        const std::uint64_t val = (a.val_ & b.val_ & ~forced0) | unk;
+        return from_planes(val, unk);
+    }
+
+    [[nodiscard]] friend constexpr LVec operator|(LVec a, LVec b) noexcept {
+        const std::uint64_t a1 = a.val_ & ~a.unk_;
+        const std::uint64_t b1 = b.val_ & ~b.unk_;
+        const std::uint64_t forced1 = a1 | b1;
+        const std::uint64_t unk = (a.unk_ | b.unk_) & ~forced1;
+        const std::uint64_t val = forced1 | unk;
+        return from_planes(val, unk);
+    }
+
+    [[nodiscard]] friend constexpr LVec operator^(LVec a, LVec b) noexcept {
+        const std::uint64_t unk = a.unk_ | b.unk_;
+        const std::uint64_t val = ((a.val_ ^ b.val_) & ~unk) | unk;
+        return from_planes(val, unk);
+    }
+
+    [[nodiscard]] constexpr LVec operator~() const noexcept {
+        // Defined bits invert; X stays X; Z becomes X.
+        return from_planes((~val_ & ~unk_) | unk_, unk_);
+    }
+
+    // --- arithmetic: whole-result-X on any unknown input ----------------
+
+    [[nodiscard]] friend constexpr LVec operator+(LVec a, LVec b) noexcept {
+        if (a.has_unknown() || b.has_unknown()) return all_x();
+        return LVec{a.val_ + b.val_};
+    }
+
+    [[nodiscard]] friend constexpr LVec operator-(LVec a, LVec b) noexcept {
+        if (a.has_unknown() || b.has_unknown()) return all_x();
+        return LVec{a.val_ - b.val_};
+    }
+
+    [[nodiscard]] friend constexpr LVec operator*(LVec a, LVec b) noexcept {
+        if (a.has_unknown() || b.has_unknown()) return all_x();
+        return LVec{a.val_ * b.val_};
+    }
+
+    [[nodiscard]] constexpr LVec operator<<(unsigned s) const noexcept {
+        if (s >= N) return zero();
+        return from_planes(val_ << s, unk_ << s);
+    }
+
+    [[nodiscard]] constexpr LVec operator>>(unsigned s) const noexcept {
+        if (s >= N) return zero();
+        return from_planes(val_ >> s, unk_ >> s);
+    }
+
+    // --- comparison ------------------------------------------------------
+
+    /// Exact 4-state identity (like Verilog ===): X compares equal to X.
+    [[nodiscard]] friend constexpr bool operator==(LVec a, LVec b) noexcept {
+        return a.val_ == b.val_ && a.unk_ == b.unk_;
+    }
+
+    /// Logical equality (like Verilog ==): X if any participating bit is
+    /// unknown, else 0/1.
+    [[nodiscard]] friend constexpr Logic logic_eq(LVec a, LVec b) noexcept {
+        if (a.has_unknown() || b.has_unknown()) return Logic::X;
+        return to_logic(a.val_ == b.val_);
+    }
+
+    /// Reduction OR across all bits.
+    [[nodiscard]] constexpr Logic reduce_or() const noexcept {
+        if (val_ & ~unk_) return Logic::L1;  // any defined 1 dominates
+        if (unk_) return Logic::X;
+        return Logic::L0;
+    }
+
+    /// Reduction AND across all bits.
+    [[nodiscard]] constexpr Logic reduce_and() const noexcept {
+        if ((~val_ & ~unk_) & mask) return Logic::L0;  // any defined 0
+        if (unk_) return Logic::X;
+        return Logic::L1;
+    }
+
+    /// Binary string, MSB first, e.g. "10xz".
+    [[nodiscard]] std::string to_string() const {
+        std::string s(N, '0');
+        for (unsigned i = 0; i < N; ++i) s[N - 1 - i] = to_char(bit(i));
+        return s;
+    }
+
+private:
+    std::uint64_t val_;
+    std::uint64_t unk_;
+};
+
+template <unsigned N>
+inline std::ostream& operator<<(std::ostream& os, const LVec<N>& v) {
+    return os << v.to_string();
+}
+
+using Word = LVec<32>;   ///< the PLB / DCR data width used throughout
+using Byte = LVec<8>;
+
+}  // namespace rtlsim

@@ -1,0 +1,160 @@
+#include "scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rtlsim {
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Scheduler& sch, std::string name, std::function<void()> fn)
+    : sch_(sch), name_(std::move(name)), fn_(std::move(fn)) {
+    sch_.register_process(this);
+}
+
+void Process::notify() {
+    if (!scheduled_) {
+        scheduled_ = true;
+        sch_.make_runnable(this);
+    }
+}
+
+void Process::run() {
+    ++invocations_;
+    if (sch_.profiling()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn_();
+        self_time_ += std::chrono::steady_clock::now() - t0;
+    } else {
+        fn_();
+    }
+}
+
+// -------------------------------------------------------------- SignalBase
+
+SignalBase::SignalBase(Scheduler& sch, std::string name)
+    : sch_(sch), name_(std::move(name)) {}
+
+void SignalBase::notify_listeners(bool rising, bool falling) {
+    for (const Listener& l : listeners_) {
+        switch (l.edge) {
+            case Edge::Any: l.proc->notify(); break;
+            case Edge::Pos:
+                if (rising) l.proc->notify();
+                break;
+            case Edge::Neg:
+                if (falling) l.proc->notify();
+                break;
+        }
+    }
+}
+
+void SignalBase::request_update() {
+    if (!update_requested_) {
+        update_requested_ = true;
+        sch_.request_update(this);
+    }
+}
+
+// --------------------------------------------------------------- Scheduler
+
+void Scheduler::schedule_at(Time t, std::function<void()> fn) {
+    assert(t >= now_ && "cannot schedule events in the past");
+    timed_[t].push_back(std::move(fn));
+}
+
+void Scheduler::make_runnable(Process* p) { runnable_.push_back(p); }
+
+void Scheduler::settle() {
+    while (!runnable_.empty() || !updates_.empty()) {
+        ++stats.delta_cycles;
+
+        // Evaluate phase: run every process queued in the previous delta.
+        std::vector<Process*> run;
+        run.swap(runnable_);
+        for (Process* p : run) {
+            p->scheduled_ = false;
+            ++stats.proc_invocations;
+            p->run();
+        }
+
+        // Update phase: commit pending signal values; changes queue their
+        // listeners into runnable_ for the next delta.
+        std::vector<SignalBase*> ups;
+        ups.swap(updates_);
+        for (SignalBase* s : ups) {
+            s->update_requested_ = false;
+            if (s->apply_update()) ++stats.signal_updates;
+        }
+    }
+}
+
+bool Scheduler::advance() {
+    if (stop_requested_ || timed_.empty()) return false;
+
+    const auto it = timed_.begin();
+    now_ = it->first;
+    ++stats.time_steps;
+    std::vector<std::function<void()>> evs = std::move(it->second);
+    timed_.erase(it);
+
+    for (auto& e : evs) {
+        ++stats.timed_events;
+        e();
+    }
+    settle();
+    // Tracing happens after all deltas settle so each timestamp appears once.
+    if (tracer_ != nullptr) {
+        // Tracer::sample is declared in trace.hpp; call through a thunk to
+        // avoid a header dependency cycle.
+        extern void tracer_sample_thunk(Tracer*, Time);
+        tracer_sample_thunk(tracer_, now_);
+    }
+    return true;
+}
+
+void Scheduler::run_until(Time t) {
+    while (!timed_.empty() && !stop_requested_ && timed_.begin()->first <= t) {
+        advance();
+    }
+    if (!stop_requested_) now_ = t;
+}
+
+void Scheduler::run() {
+    while (advance()) {
+    }
+}
+
+void Scheduler::request_stop(const std::string& reason) {
+    if (!stop_requested_) {
+        stop_requested_ = true;
+        stop_reason_ = reason;
+    }
+}
+
+void Scheduler::set_tracer(Tracer* t) {
+    tracer_ = t;
+    if (t != nullptr) {
+        extern void tracer_header_thunk(Tracer*);
+        tracer_header_thunk(t);
+    }
+}
+
+void Scheduler::report(std::string source, std::string message) {
+    // Bound storage so a pathological run (or a hot benchmark loop) cannot
+    // grow the log without limit; the count of dropped entries is kept.
+    if (diags_.size() >= kMaxDiags) {
+        ++dropped_diags_;
+        return;
+    }
+    diags_.push_back(Diag{now_, std::move(source), std::move(message)});
+}
+
+bool Scheduler::has_diag_from(const std::string& needle) const {
+    for (const Diag& d : diags_) {
+        if (d.source.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+}  // namespace rtlsim

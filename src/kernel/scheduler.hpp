@@ -1,0 +1,225 @@
+// rtlsim: event-driven simulation scheduler with delta cycles.
+//
+// The kernel implements the classic two-phase (evaluate/update) discrete
+// event semantics of HDL simulators:
+//   * processes read the *current* value of signals and write *pending*
+//     values (non-blocking assignment semantics);
+//   * after the evaluate phase, pending values are committed and value
+//     changes notify sensitive processes, which run in the next delta;
+//   * when no more deltas are pending, simulated time advances to the next
+//     scheduled event (e.g. a clock toggle).
+//
+// This matches ModelSim's observable behaviour closely enough that the
+// ReSim artifacts (X injection, bitstream-timed module swaps) behave as in
+// the paper.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim_time.hpp"
+#include "stats.hpp"
+
+namespace rtlsim {
+
+class Scheduler;
+class SignalBase;
+class Tracer;
+
+/// Which transitions of a signal trigger a sensitive process.
+enum class Edge : std::uint8_t {
+    Any,  ///< any committed value change
+    Pos,  ///< transition to a defined 1 (Logic signals only)
+    Neg,  ///< transition to a defined 0 (Logic signals only)
+};
+
+/// A static-sensitivity process: a callback re-run whenever one of the
+/// signals it is sensitive to changes (filtered by edge). Equivalent to a
+/// SystemC SC_METHOD / a Verilog always block with a static sensitivity list.
+class Process {
+public:
+    Process(Scheduler& sch, std::string name, std::function<void()> fn);
+
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    /// Queue this process to run in the next evaluate phase (idempotent
+    /// within a delta).
+    void notify();
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+
+    /// Accumulated wall-clock self time; only meaningful when the scheduler
+    /// has profiling enabled. Used by the overhead experiment (E3).
+    [[nodiscard]] std::chrono::nanoseconds self_time() const noexcept {
+        return self_time_;
+    }
+
+private:
+    friend class Scheduler;
+
+    void run();
+
+    Scheduler& sch_;
+    std::string name_;
+    std::function<void()> fn_;
+    bool scheduled_ = false;
+    std::uint64_t invocations_ = 0;
+    std::chrono::nanoseconds self_time_{0};
+};
+
+/// One diagnostic emitted by a checker/monitor during simulation. The
+/// fault-detection harness decides "bug detected" by inspecting these.
+struct Diag {
+    Time time = 0;
+    std::string source;
+    std::string message;
+};
+
+/// Base class for all signals: owns the sensitivity fan-out and the pending
+/// update hook. Concrete storage lives in Signal<T>.
+class SignalBase {
+public:
+    SignalBase(Scheduler& sch, std::string name);
+    virtual ~SignalBase() = default;
+
+    SignalBase(const SignalBase&) = delete;
+    SignalBase& operator=(const SignalBase&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Register a process to be notified on changes of this signal.
+    void add_listener(Process& p, Edge e) { listeners_.push_back({&p, e}); }
+
+    // --- tracing interface (VCD) ---------------------------------------
+    /// Bit width for the VCD $var declaration.
+    [[nodiscard]] virtual unsigned trace_width() const = 0;
+    /// Current value as a binary string, MSB first ('0','1','x','z').
+    [[nodiscard]] virtual std::string trace_value() const = 0;
+
+protected:
+    friend class Scheduler;
+
+    /// Commit the pending value; returns true when the value changed.
+    virtual bool apply_update() = 0;
+
+    /// Fan out a committed change to sensitive processes.
+    void notify_listeners(bool rising, bool falling);
+
+    /// Ask the scheduler to call apply_update() at the end of this delta.
+    void request_update();
+
+    Scheduler& sch_;
+
+private:
+    struct Listener {
+        Process* proc;
+        Edge edge;
+    };
+    std::string name_;
+    std::vector<Listener> listeners_;
+    bool update_requested_ = false;
+};
+
+/// The simulation kernel: time wheel + delta queues + diagnostics.
+class Scheduler {
+public:
+    Scheduler() = default;
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    [[nodiscard]] Time now() const noexcept { return now_; }
+
+    /// Schedule a callback at an absolute simulated time (must be >= now).
+    void schedule_at(Time t, std::function<void()> fn);
+
+    /// Schedule a callback after a relative delay.
+    void schedule_in(Time delay, std::function<void()> fn) {
+        schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Run until the given absolute time (inclusive) or until out of events.
+    void run_until(Time t);
+
+    /// Run one timestep (all deltas at the next event time).
+    /// Returns false when no events remain or a stop was requested.
+    bool advance();
+
+    /// Run until no events remain or a stop is requested.
+    void run();
+
+    /// Request the simulation to stop at the end of the current timestep;
+    /// used by watchdogs and fatal checkers ($finish equivalent).
+    void request_stop(const std::string& reason);
+
+    [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
+    [[nodiscard]] const std::string& stop_reason() const noexcept { return stop_reason_; }
+
+    // --- diagnostics -----------------------------------------------------
+    /// Record a checker/monitor finding. Simulation continues; fatal
+    /// conditions should also call request_stop().
+    void report(std::string source, std::string message);
+
+    [[nodiscard]] const std::vector<Diag>& diagnostics() const noexcept {
+        return diags_;
+    }
+
+    /// Diagnostics beyond the storage bound are counted, not stored.
+    static constexpr std::size_t kMaxDiags = 4096;
+    [[nodiscard]] std::uint64_t dropped_diagnostics() const noexcept {
+        return dropped_diags_;
+    }
+
+    /// True when any diagnostic from a source containing `needle` exists.
+    [[nodiscard]] bool has_diag_from(const std::string& needle) const;
+
+    // --- profiling ---------------------------------------------------------
+    /// Enable per-process wall-clock accounting (costs one steady_clock pair
+    /// per invocation; off by default).
+    void set_profiling(bool on) noexcept { profiling_ = on; }
+    [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+
+    /// All processes ever registered, for profiling reports.
+    [[nodiscard]] const std::vector<Process*>& processes() const noexcept {
+        return procs_;
+    }
+
+    /// Attach a VCD tracer; writes the header (with current signal values at
+    /// time 0) immediately, then samples after every timestep.
+    void set_tracer(Tracer* t);
+
+    SimStats stats;
+
+private:
+    friend class Process;
+    friend class SignalBase;
+
+    void make_runnable(Process* p);
+    void register_process(Process* p) { procs_.push_back(p); }
+    void request_update(SignalBase* s) { updates_.push_back(s); }
+
+    /// Run delta cycles until no process is runnable and no update pending.
+    void settle();
+
+    Time now_ = 0;
+    bool stop_requested_ = false;
+    std::string stop_reason_;
+    bool profiling_ = false;
+
+    std::map<Time, std::vector<std::function<void()>>> timed_;
+    std::vector<Process*> runnable_;
+    std::vector<SignalBase*> updates_;
+    std::vector<Process*> procs_;
+    std::vector<Diag> diags_;
+    std::uint64_t dropped_diags_ = 0;
+    Tracer* tracer_ = nullptr;
+};
+
+}  // namespace rtlsim

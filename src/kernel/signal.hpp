@@ -1,0 +1,107 @@
+// rtlsim: typed signals with non-blocking update semantics.
+#pragma once
+
+#include <bitset>
+#include <concepts>
+#include <string>
+#include <type_traits>
+
+#include "logic.hpp"
+#include "lvec.hpp"
+#include "scheduler.hpp"
+
+namespace rtlsim {
+
+namespace detail {
+
+template <typename T>
+struct SignalTraits {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
+                  "Signal<T> supports Logic, LVec<N>, integral and enum types");
+    static constexpr unsigned width = 8 * sizeof(T);
+    static std::string to_trace(const T& v) {
+        return std::bitset<width>(static_cast<unsigned long long>(v)).to_string();
+    }
+    static constexpr bool is_logic = false;
+    static T initial() { return T{}; }
+};
+
+template <>
+struct SignalTraits<Logic> {
+    static constexpr unsigned width = 1;
+    static std::string to_trace(Logic v) { return std::string(1, to_char(v)); }
+    static constexpr bool is_logic = true;
+    static Logic initial() { return Logic::X; }
+};
+
+template <unsigned N>
+struct SignalTraits<LVec<N>> {
+    static constexpr unsigned width = N;
+    static std::string to_trace(const LVec<N>& v) { return v.to_string(); }
+    static constexpr bool is_logic = false;
+    static LVec<N> initial() { return LVec<N>::all_x(); }
+};
+
+}  // namespace detail
+
+/// A signal (net/register output) carrying a value of type T.
+///
+/// Reads always return the value committed in the last update phase. Writes
+/// store a pending value committed at the end of the current delta, so all
+/// processes in one delta observe a consistent snapshot — the standard HDL
+/// non-blocking assignment model that makes clocked pipelines race-free.
+template <typename T>
+class Signal final : public SignalBase {
+public:
+    using Traits = detail::SignalTraits<T>;
+
+    /// Signals start out X (for 4-state types) like uninitialised hardware.
+    Signal(Scheduler& sch, std::string name)
+        : SignalBase(sch, std::move(name)),
+          cur_(Traits::initial()),
+          next_(Traits::initial()) {}
+
+    Signal(Scheduler& sch, std::string name, const T& init)
+        : SignalBase(sch, std::move(name)), cur_(init), next_(init) {}
+
+    [[nodiscard]] const T& read() const noexcept { return cur_; }
+
+    /// Schedule `v` to become the visible value at the end of this delta.
+    void write(const T& v) {
+        next_ = v;
+        if (!(next_ == cur_)) request_update();
+    }
+
+    /// Immediate assignment: sets both current and pending value without
+    /// notifying listeners. Only for pre-simulation initialisation.
+    void init(const T& v) {
+        cur_ = v;
+        next_ = v;
+    }
+
+    // --- tracing ---------------------------------------------------------
+    [[nodiscard]] unsigned trace_width() const override { return Traits::width; }
+    [[nodiscard]] std::string trace_value() const override {
+        return Traits::to_trace(cur_);
+    }
+
+protected:
+    bool apply_update() override {
+        if (next_ == cur_) return false;
+        bool rising = false;
+        bool falling = false;
+        if constexpr (Traits::is_logic) {
+            rising = (next_ == Logic::L1) && (cur_ != Logic::L1);
+            falling = (next_ == Logic::L0) && (cur_ != Logic::L0);
+        }
+        cur_ = next_;
+        notify_listeners(rising, falling);
+        return true;
+    }
+
+private:
+    T cur_;
+    T next_;
+};
+
+}  // namespace rtlsim

@@ -1,0 +1,26 @@
+// rtlsim: simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace rtlsim {
+
+/// Simulated time in picoseconds. 64 bits covers ~213 days of simulated time.
+using Time = std::uint64_t;
+
+inline constexpr Time PS = 1;
+inline constexpr Time NS = 1000 * PS;
+inline constexpr Time US = 1000 * NS;
+inline constexpr Time MS = 1000 * US;
+
+/// Convert picoseconds to (floating) milliseconds for reporting.
+[[nodiscard]] constexpr double to_ms(Time t) noexcept {
+    return static_cast<double>(t) / static_cast<double>(MS);
+}
+
+/// Convert picoseconds to (floating) microseconds for reporting.
+[[nodiscard]] constexpr double to_us(Time t) noexcept {
+    return static_cast<double>(t) / static_cast<double>(US);
+}
+
+}  // namespace rtlsim

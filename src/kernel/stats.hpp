@@ -1,0 +1,33 @@
+// rtlsim: simulation statistics counters.
+#pragma once
+
+#include <cstdint>
+
+namespace rtlsim {
+
+/// Aggregate activity counters maintained by the scheduler. "signal_updates"
+/// counts committed value changes and is the kernel's measure of signal
+/// switching activity — the quantity the paper invokes to explain why the
+/// CIE (more toggling) simulates slower than the ME despite less simulated
+/// time (Table II).
+struct SimStats {
+    std::uint64_t timed_events = 0;      ///< scheduled wall-of-time events run
+    std::uint64_t delta_cycles = 0;      ///< eval/update rounds executed
+    std::uint64_t proc_invocations = 0;  ///< process callbacks run
+    std::uint64_t signal_updates = 0;    ///< committed signal value changes
+    std::uint64_t time_steps = 0;        ///< distinct simulated timestamps
+
+    void reset() { *this = SimStats{}; }
+
+    SimStats operator-(const SimStats& o) const {
+        SimStats r;
+        r.timed_events = timed_events - o.timed_events;
+        r.delta_cycles = delta_cycles - o.delta_cycles;
+        r.proc_invocations = proc_invocations - o.proc_invocations;
+        r.signal_updates = signal_updates - o.signal_updates;
+        r.time_steps = time_steps - o.time_steps;
+        return r;
+    }
+};
+
+}  // namespace rtlsim

@@ -1,0 +1,89 @@
+#include "trace.hpp"
+
+#include <cctype>
+
+namespace rtlsim {
+
+// Out-of-line thunk used by Scheduler::advance to avoid including trace.hpp
+// from scheduler.cpp.
+void tracer_sample_thunk(Tracer* t, Time now) { t->sample(now); }
+void tracer_header_thunk(Tracer* t) { t->write_header(); }
+
+std::string Tracer::make_id(std::size_t n) {
+    // VCD identifiers use printable ASCII 33..126 as base-94 digits.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>(33 + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return id;
+}
+
+void Tracer::add(SignalBase& s) {
+    entries_.push_back(Entry{&s, make_id(entries_.size()), {}});
+}
+
+void Tracer::write_header() {
+    if (header_written_) return;
+    header_written_ = true;
+
+    os_ << "$timescale 1ps $end\n";
+    os_ << "$scope module top $end\n";
+    for (const Entry& e : entries_) {
+        // VCD identifiers may not contain whitespace; flatten the
+        // hierarchical name's dots to underscores for wide compatibility.
+        std::string nm = e.sig->name();
+        for (char& c : nm) {
+            if (c == '.' || std::isspace(static_cast<unsigned char>(c)) != 0)
+                c = '_';
+        }
+        os_ << "$var wire " << e.sig->trace_width() << ' ' << e.id << ' ' << nm
+            << " $end\n";
+    }
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+    os_ << "#0\n$dumpvars\n";
+    for (Entry& e : entries_) {
+        e.last.clear();
+        emit(e);
+    }
+    os_ << "$end\n";
+    time_open_ = true;
+    last_time_ = 0;
+}
+
+void Tracer::emit(Entry& e) {
+    std::string v = e.sig->trace_value();
+    if (v == e.last) return;
+    e.last = v;
+    if (e.sig->trace_width() == 1) {
+        os_ << v << e.id << '\n';
+    } else {
+        os_ << 'b' << v << ' ' << e.id << '\n';
+    }
+}
+
+void Tracer::sample(Time t) {
+    if (!header_written_) write_header();
+    // Group all changes for this timestamp under one '#' record.
+    bool stamped = (time_open_ && t == last_time_);
+    for (Entry& e : entries_) {
+        std::string v = e.sig->trace_value();
+        if (v == e.last) continue;
+        if (!stamped) {
+            os_ << '#' << t << '\n';
+            stamped = true;
+            time_open_ = true;
+            last_time_ = t;
+        }
+        e.last = std::move(v);
+        if (e.sig->trace_width() == 1) {
+            os_ << e.last << e.id << '\n';
+        } else {
+            os_ << 'b' << e.last << ' ' << e.id << '\n';
+        }
+    }
+}
+
+void Tracer::finish() { os_.flush(); }
+
+}  // namespace rtlsim

@@ -1,0 +1,52 @@
+// rtlsim: VCD waveform tracing.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "scheduler.hpp"
+
+namespace rtlsim {
+
+/// Writes a Value Change Dump of registered signals. Sampling happens after
+/// each timestep's deltas settle, so every timestamp appears at most once.
+class Tracer {
+public:
+    /// The stream must outlive the tracer. Timescale is 1 ps to match Time.
+    explicit Tracer(std::ostream& os) : os_(os) {}
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /// Register a signal; must be called before the header is written.
+    void add(SignalBase& s);
+
+    /// Emit the VCD header and initial values. Called automatically by the
+    /// first sample if not done explicitly.
+    void write_header();
+
+    /// Record changes at time t (called by the scheduler).
+    void sample(Time t);
+
+    /// Flush dangling state; safe to call more than once.
+    void finish();
+
+private:
+    struct Entry {
+        SignalBase* sig;
+        std::string id;      // VCD short identifier
+        std::string last;    // last emitted value string
+    };
+
+    static std::string make_id(std::size_t n);
+    void emit(Entry& e);
+
+    std::ostream& os_;
+    std::vector<Entry> entries_;
+    bool header_written_ = false;
+    bool time_open_ = false;
+    Time last_time_ = 0;
+};
+
+}  // namespace rtlsim

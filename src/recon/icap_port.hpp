@@ -1,0 +1,32 @@
+// ICAP port interface.
+//
+// The reconfiguration controller streams (simulation-only) bitstream words
+// into whatever implements this interface: ReSim's ICAP artifact in
+// ReSim-based simulation, or a null sink in Virtual Multiplexing — where,
+// as the paper notes, "the ICAPCTRL module is instantiated in the design
+// but is not used in simulation".
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/lvec.hpp"
+
+namespace autovision {
+
+class IcapPortIf {
+public:
+    virtual ~IcapPortIf() = default;
+    virtual void icap_write(rtlsim::Word w) = 0;
+};
+
+/// Swallows bitstream words (the VM configuration).
+class NullIcap final : public IcapPortIf {
+public:
+    void icap_write(rtlsim::Word) override { ++words_; }
+    [[nodiscard]] std::uint64_t words() const { return words_; }
+
+private:
+    std::uint64_t words_ = 0;
+};
+
+}  // namespace autovision

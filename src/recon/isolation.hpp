@@ -1,0 +1,56 @@
+// Isolation module — gates the reconfigurable region's outputs while the
+// region is being reconfigured.
+//
+// The software driver enables isolation (via DCR) before starting a
+// bitstream transfer and releases it afterwards. With isolation enabled the
+// boundary drives safe idle levels, so the X injected by the error injector
+// never reaches the static region. Forgetting to enable it (bug.dpr.1) lets
+// X escape onto the PLB and the interrupt lines — which only ReSim-style
+// simulation can show, since Virtual Multiplexing never generates errors.
+#pragma once
+
+#include <string>
+
+#include "bus/dcr.hpp"
+#include "kernel/kernel.hpp"
+
+namespace autovision {
+
+class Isolation final : public rtlsim::Module, public DcrSlaveIf {
+public:
+    /// DCR register 0 at `dcr_base`: bit0 = isolate.
+    Isolation(rtlsim::Scheduler& sch, const std::string& name,
+              std::uint32_t dcr_base)
+        : Module(sch, name),
+          isolate(sch, full_name() + ".isolate", rtlsim::Logic::L0),
+          base_(dcr_base) {}
+
+    rtlsim::Signal<rtlsim::Logic> isolate;
+
+    [[nodiscard]] bool dcr_claims(std::uint32_t regno) const override {
+        return regno == base_;
+    }
+    [[nodiscard]] rtlsim::Word dcr_read(std::uint32_t) override {
+        return rtlsim::Word{rtlsim::is1(isolate.read()) ? 1u : 0u};
+    }
+    void dcr_write(std::uint32_t, rtlsim::Word w) override {
+        if (!w.is_fully_defined()) {
+            report("X written to isolation control");
+            return;
+        }
+        isolate.write((w.to_u64() & 1u) != 0 ? rtlsim::Logic::L1
+                                             : rtlsim::Logic::L0);
+        ++writes_;
+    }
+    [[nodiscard]] std::string dcr_name() const override { return full_name(); }
+
+    /// Number of software accesses — zero means the isolation driver was
+    /// never exercised (what VM-based simulation cannot test).
+    [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+private:
+    std::uint32_t base_;
+    std::uint64_t writes_ = 0;
+};
+
+}  // namespace autovision

@@ -1,0 +1,104 @@
+#include "rr_boundary.hpp"
+
+namespace autovision {
+
+using rtlsim::Edge;
+using rtlsim::is1;
+
+RrBoundary::RrBoundary(rtlsim::Scheduler& sch, const std::string& name,
+                       PlbMasterPort& bus_port,
+                       rtlsim::Signal<Logic>& done_to_intc)
+    : Module(sch, name),
+      stream_tap(sch, full_name() + ".stream_tap", LVec<8>{0}),
+      bus_(bus_port),
+      done_out_(done_to_intc),
+      sel_(sch, full_name() + ".sel", -1),
+      recfg_(sch, full_name() + ".reconfiguring", Logic::L0),
+      injector_(std::make_unique<ErrorInjector>()) {
+    mux_ = &comb_proc("mux", [this] { forward(); },
+                      {rtlsim::anyedge(sel_), rtlsim::anyedge(recfg_)});
+    comb_proc("rsp", [this] { reverse(); },
+              {rtlsim::anyedge(bus_.grant), rtlsim::anyedge(bus_.rd_ack),
+               rtlsim::anyedge(bus_.rdata), rtlsim::anyedge(bus_.wr_ack),
+               rtlsim::anyedge(bus_.done), rtlsim::anyedge(bus_.err)});
+}
+
+void RrBoundary::add_module(EngineBase& m) {
+    mods_.push_back(&m);
+    // The mux re-evaluates whenever the module's boundary outputs toggle.
+    m.pins.req.add_listener(*mux_, Edge::Any);
+    m.pins.rnw.add_listener(*mux_, Edge::Any);
+    m.pins.addr.add_listener(*mux_, Edge::Any);
+    m.pins.nbeats.add_listener(*mux_, Edge::Any);
+    m.pins.wdata.add_listener(*mux_, Edge::Any);
+    m.done_irq.add_listener(*mux_, Edge::Any);
+    m.stream_out.add_listener(*mux_, Edge::Any);
+}
+
+void RrBoundary::select(int idx) {
+    // Bookkeeping uses a plain member: back-to-back swaps may happen with
+    // no delta cycle in between (e.g. consecutive DCR writes), so the
+    // signal's committed value can lag the architectural selection.
+    if (cur_slot_ >= 0 && cur_slot_ < static_cast<int>(mods_.size())) {
+        mods_[static_cast<unsigned>(cur_slot_)]->rm_deactivate();
+    }
+    cur_slot_ = idx;
+    if (idx >= 0 && idx < static_cast<int>(mods_.size())) {
+        mods_[static_cast<unsigned>(idx)]->rm_activate();
+    }
+    sel_.write(idx);
+}
+
+void RrBoundary::set_reconfiguring(bool on) {
+    recfg_flag_ = on;
+    recfg_.write(on ? Logic::L1 : Logic::L0);
+}
+
+void RrBoundary::forward() {
+    RrOutputs o;
+    LVec<8> tap{0};
+    if (is1(recfg_.read())) {
+        injector_->inject(o);
+        tap = LVec<8>::all_x();
+    } else {
+        const int s = cur_slot_;
+        if (s >= 0 && s < static_cast<int>(mods_.size())) {
+            const EngineBase& e = *mods_[static_cast<unsigned>(s)];
+            o.req = e.pins.req.read();
+            o.rnw = e.pins.rnw.read();
+            o.addr = e.pins.addr.read();
+            o.nbeats = e.pins.nbeats.read();
+            o.wdata = e.pins.wdata.read();
+            o.done_irq = e.done_irq.read();
+            tap = e.stream_out.read();
+        } else {
+            // No module selected: an unconfigured region floats (X) under
+            // ReSim; a VM wrapper's mis-steered 2-state mux idles. The VM
+            // false-alarm bug.hw.2 manifests here as a silent hang.
+            o = (unsel_ == UnselectedPolicy::kAllX) ? RrOutputs::all_x()
+                                                    : RrOutputs::idle();
+        }
+    }
+    if (iso_ != nullptr && is1(iso_->read())) o = RrOutputs::idle();
+
+    bus_.req.write(o.req);
+    bus_.rnw.write(o.rnw);
+    bus_.addr.write(o.addr);
+    bus_.nbeats.write(o.nbeats);
+    bus_.wdata.write(o.wdata);
+    done_out_.write(o.done_irq);
+    stream_tap.write(tap);
+}
+
+void RrBoundary::reverse() {
+    for (EngineBase* m : mods_) {
+        m->pins.grant.write(bus_.grant.read());
+        m->pins.rd_ack.write(bus_.rd_ack.read());
+        m->pins.rdata.write(bus_.rdata.read());
+        m->pins.wr_ack.write(bus_.wr_ack.read());
+        m->pins.done.write(bus_.done.read());
+        m->pins.err.write(bus_.err.read());
+    }
+}
+
+}  // namespace autovision

@@ -1,0 +1,150 @@
+// Reconfigurable-region boundary: the multiplexer between the engines'
+// pins and the static region, plus the error-injection and isolation hooks.
+//
+// Both simulation methods build on this block:
+//   * Virtual Multiplexing drives `select` from the engine_signature
+//     register and never asserts `reconfiguring` (zero-delay swap, no
+//     errors, isolation untested);
+//   * ReSim's Extended Portal drives `select`/`reconfiguring` from the SimB
+//     stream parsed by the ICAP artifact, so swaps happen at bitstream
+//     granularity and the region outputs X while configuration is in
+//     flight.
+//
+// The forwarding process here is the "Engine_Wrapper multiplexer" whose
+// simulation overhead the paper measures at 1.4% — it is named "mux" so the
+// profiler can attribute time to it (experiment E3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bus/plb.hpp"
+#include "engines/engine.hpp"
+#include "kernel/kernel.hpp"
+
+namespace autovision {
+
+using rtlsim::Logic;
+using rtlsim::LVec;
+using rtlsim::Word;
+
+/// The master-to-static half of the region boundary.
+struct RrOutputs {
+    Logic req = Logic::L0;
+    Logic rnw = Logic::L1;
+    Word addr{0};
+    LVec<16> nbeats{1};
+    Word wdata{0};
+    Logic done_irq = Logic::L0;
+
+    /// All outputs unknown — what an unconfigured or mid-configuration
+    /// region drives.
+    static RrOutputs all_x() {
+        RrOutputs o;
+        o.req = Logic::X;
+        o.rnw = Logic::X;
+        o.addr = Word::all_x();
+        o.nbeats = LVec<16>::all_x();
+        o.wdata = Word::all_x();
+        o.done_irq = Logic::X;
+        return o;
+    }
+
+    /// Safe idle levels — what the isolation module clamps to.
+    static RrOutputs idle() { return RrOutputs{}; }
+};
+
+/// Error source active while a region reconfigures. The default injects X
+/// on every boundary output (the behaviour of ReSim and of DCS-style X
+/// injection); override for design- or test-specific error models, e.g.
+/// stuck-at garbage or last-value hold.
+class ErrorInjector {
+public:
+    virtual ~ErrorInjector() = default;
+    virtual void inject(RrOutputs& o) { o = RrOutputs::all_x(); }
+    [[nodiscard]] virtual const char* name() const { return "inject-x"; }
+};
+
+class RrBoundary final : public rtlsim::Module {
+public:
+    /// `bus_port` is the PLB master port owned by the bus for this region;
+    /// `done_to_intc` is the interrupt line leaving the region.
+    RrBoundary(rtlsim::Scheduler& sch, const std::string& name,
+               PlbMasterPort& bus_port, rtlsim::Signal<Logic>& done_to_intc);
+
+    /// Debug/monitor tap leaving the region: the active module's streaming
+    /// datapath output, forwarded through the mux. Because the mux
+    /// re-evaluates on every engine-IO toggle, a streaming engine (CIE)
+    /// exercises it every pixel — the paper's "triggered whenever the
+    /// engine IOs toggled" cost source.
+    rtlsim::Signal<LVec<8>> stream_tap;
+
+    /// Register a module; slot order defines module indices. Modules start
+    /// deactivated — exactly one must be activated (by the portal's initial
+    /// configuration or the wrapper's reset) before the region drives
+    /// defined values.
+    void add_module(EngineBase& m);
+
+    [[nodiscard]] unsigned num_modules() const {
+        return static_cast<unsigned>(mods_.size());
+    }
+    [[nodiscard]] EngineBase& module(unsigned i) { return *mods_[i]; }
+
+    /// What the boundary drives when no module is selected. ReSim models an
+    /// unconfigured region faithfully (X); a Virtual-Multiplexing wrapper
+    /// has all modules instantiated and merely mis-steers a 2-state mux, so
+    /// it drives idle levels — which is precisely why VM cannot produce the
+    /// erroneous outputs a real reconfiguration produces.
+    enum class UnselectedPolicy { kAllX, kIdle };
+    void set_unselected_policy(UnselectedPolicy p) { unsel_ = p; }
+
+    /// Swap: deactivate the current module and activate slot `idx`
+    /// (post-configuration initial state). -1 leaves the region empty.
+    void select(int idx);
+    [[nodiscard]] int selected() const { return cur_slot_; }
+
+    /// Error injection window (the DURING-reconfiguration phase).
+    void set_reconfiguring(bool on);
+    [[nodiscard]] bool reconfiguring() const { return recfg_flag_; }
+    /// Stable address of the reconfiguring flag for EngineRegs corruption
+    /// coupling (bug.dpr.2 placement).
+    [[nodiscard]] const bool* reconfiguring_flag() const { return &recfg_flag_; }
+
+    /// Replace the error source (ReSim's OOP override point).
+    void set_error_injector(std::unique_ptr<ErrorInjector> inj) {
+        injector_ = std::move(inj);
+    }
+    [[nodiscard]] const ErrorInjector& error_injector() const {
+        return *injector_;
+    }
+
+    /// Isolation control input: when high, boundary outputs are clamped to
+    /// safe idle levels regardless of region state. Not calling this models
+    /// a design without an isolation module.
+    void set_isolation_signal(rtlsim::Signal<Logic>& iso) {
+        iso_ = &iso;
+        iso.add_listener(*mux_, rtlsim::Edge::Any);
+    }
+
+    /// The forwarding ("mux") and reverse-broadcast processes, exposed for
+    /// the overhead profiler.
+    [[nodiscard]] const rtlsim::Process& mux_process() const { return *mux_; }
+
+private:
+    void forward();
+    void reverse();
+
+    PlbMasterPort& bus_;
+    rtlsim::Signal<Logic>& done_out_;
+    std::vector<EngineBase*> mods_;
+    rtlsim::Signal<int> sel_;  ///< mux trigger; bookkeeping uses cur_slot_
+    int cur_slot_ = -1;
+    rtlsim::Signal<Logic> recfg_;
+    UnselectedPolicy unsel_ = UnselectedPolicy::kAllX;
+    bool recfg_flag_ = false;
+    const rtlsim::Signal<Logic>* iso_ = nullptr;
+    std::unique_ptr<ErrorInjector> injector_;
+    rtlsim::Process* mux_ = nullptr;
+};
+
+}  // namespace autovision

@@ -1,0 +1,92 @@
+// Module state serialization for save/restore through the configuration
+// port (the ReSim companion work, Gong & Diessel FPGA'12: "Functionally
+// Verifying State Saving and Restoration in Dynamically Reconfigurable
+// Systems").
+//
+// A module's architectural state is captured into a flat byte image (what a
+// configuration readback would return) and later written back. The format
+// is module-private; the portal only stores and replays the bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace autovision {
+
+class StateWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u32(std::uint32_t v) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+        buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+        buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+        buf_.push_back(static_cast<std::uint8_t>(v));
+    }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void bool8(bool b) { u8(b ? 1 : 0); }
+    void bytes(std::span<const std::uint8_t> s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+    void words(std::span<const std::uint32_t> s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        for (std::uint32_t w : s) u32(w);
+    }
+
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class StateReader {
+public:
+    explicit StateReader(std::span<const std::uint8_t> s) : s_(s) {}
+
+    std::uint8_t u8() {
+        if (pos_ >= s_.size()) {
+            ok_ = false;
+            return 0;
+        }
+        return s_[pos_++];
+    }
+    std::uint32_t u32() {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+        return v;
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    bool bool8() { return u8() != 0; }
+    std::vector<std::uint8_t> bytes() {
+        const std::uint32_t n = u32();
+        std::vector<std::uint8_t> out;
+        if (pos_ + n > s_.size()) {
+            ok_ = false;
+            return out;
+        }
+        out.assign(s_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                   s_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+        pos_ += n;
+        return out;
+    }
+    std::vector<std::uint32_t> words() {
+        const std::uint32_t n = u32();
+        std::vector<std::uint32_t> out;
+        out.reserve(n);
+        for (std::uint32_t i = 0; i < n && ok_; ++i) out.push_back(u32());
+        return out;
+    }
+
+    /// False when any read overran the image (corrupt/mismatched state).
+    [[nodiscard]] bool ok() const { return ok_ && pos_ == s_.size(); }
+    [[nodiscard]] bool ok_so_far() const { return ok_; }
+
+private:
+    std::span<const std::uint8_t> s_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace autovision

@@ -1,0 +1,145 @@
+#include "icap_artifact.hpp"
+
+#include "simb.hpp"
+
+namespace autovision::resim {
+
+using rtlsim::Word;
+
+IcapArtifact::IcapArtifact(rtlsim::Scheduler& sch, const std::string& name,
+                           ExtendedPortal& portal)
+    : Module(sch, name), portal_(portal) {}
+
+void IcapArtifact::packet_header(std::uint32_t w) {
+    // Packet type lives in bits [31:29]: 001 = type 1, 010 = type 2.
+    const std::uint32_t type = w >> 29;
+
+    if (type == 1) {
+        const std::uint32_t opcode = (w >> 27) & 0x3;
+        if (opcode == 0) return;  // NOP
+        if (opcode != 2) {
+            report("unsupported type-1 opcode (only writes are modelled)");
+            return;
+        }
+        const auto reg = static_cast<CfgReg>((w >> 13) & 0x1F);
+        const std::uint32_t count = w & 0x7FF;
+        switch (reg) {
+            case CfgReg::kFar:
+                if (count != 1) report("FAR write with count != 1");
+                state_ = St::ExpectFar;
+                return;
+            case CfgReg::kCmd:
+                if (count != 1) report("CMD write with count != 1");
+                state_ = St::ExpectCmd;
+                return;
+            case CfgReg::kFdri:
+                if (count == 0) {
+                    fdri_type2_pending_ = true;  // type-2 size follows
+                } else {
+                    payload_left_ = count;
+                    payload_total_ = count;
+                    state_ = St::Payload;
+                }
+                return;
+            default:
+                report("write to unsupported configuration register");
+                return;
+        }
+    }
+    if (type == 2) {
+        if (!fdri_type2_pending_) {
+            report("type-2 packet without preceding FDRI header");
+        }
+        fdri_type2_pending_ = false;
+        payload_left_ = w & 0x07FF'FFFF;
+        payload_total_ = payload_left_;
+        if (payload_left_ == 0) {
+            report("FDRI payload of zero words");
+            return;
+        }
+        state_ = St::Payload;
+        return;
+    }
+    report("unrecognised packet header");
+}
+
+void IcapArtifact::icap_write(Word w) {
+    if (sch_.profiling()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        icap_write_body(w);
+        self_time_ += std::chrono::steady_clock::now() - t0;
+        return;
+    }
+    icap_write_body(w);
+}
+
+void IcapArtifact::icap_write_body(Word w) {
+    ++words_;
+    if (w.has_unknown()) {
+        if (x_reports_ < 5) {
+            ++x_reports_;
+            report("X written to ICAP (corrupted bitstream transfer)");
+        }
+        return;
+    }
+    const auto v = static_cast<std::uint32_t>(w.to_u64());
+
+    switch (state_) {
+        case St::Desynced:
+            if (v == kSyncWord) {
+                state_ = St::Synced;
+            } else {
+                // Real ICAPs ignore pre-SYNC words; count them so a test
+                // can detect a controller streaming from a wrong address.
+                ++ignored_;
+            }
+            return;
+
+        case St::Synced:
+            packet_header(v);
+            return;
+
+        case St::ExpectFar:
+            portal_.stage(far_rr(v), far_module(v));
+            state_ = St::Synced;
+            return;
+
+        case St::ExpectCmd:
+            switch (static_cast<CfgCmd>(v)) {
+                case CfgCmd::kWcfg:
+                case CfgCmd::kNull:
+                    break;
+                case CfgCmd::kGcapture:
+                    portal_.capture();
+                    break;
+                case CfgCmd::kGrestore:
+                    portal_.restore();
+                    break;
+                case CfgCmd::kDesync:
+                    if (payload_left_ > 0) {
+                        report("DESYNC with incomplete FDRI payload");
+                        payload_left_ = 0;
+                    }
+                    portal_.desync();
+                    state_ = St::Desynced;
+                    ++simbs_;
+                    return;
+                default:
+                    report("unsupported CMD value");
+                    break;
+            }
+            state_ = St::Synced;
+            return;
+
+        case St::Payload:
+            if (payload_left_ == payload_total_) portal_.begin();
+            --payload_left_;
+            if (payload_left_ == 0) {
+                portal_.finish();
+                state_ = St::Synced;
+            }
+            return;
+    }
+}
+
+}  // namespace autovision::resim

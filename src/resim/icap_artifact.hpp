@@ -1,0 +1,67 @@
+// ICAP artifact — ReSim's substitute for the FPGA's internal configuration
+// access port.
+//
+// Sits behind the user design's IcapCTRL exactly where the hard ICAP
+// primitive would, and parses the SimB stream the controller delivers:
+// SYNC opens a configuration session, FAR stages the target region/module,
+// the FDRI payload drives the error-injection window and triggers the swap
+// on its final word, DESYNC closes the session. Anything malformed —
+// payload truncated, DESYNC mid-payload, X data — is reported to the
+// diagnostics, which is how bitstream-transfer bugs (bug.dpr.4/5) surface
+// in simulation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "kernel/kernel.hpp"
+#include "portal.hpp"
+#include "recon/icap_port.hpp"
+
+namespace autovision::resim {
+
+class IcapArtifact final : public rtlsim::Module, public IcapPortIf {
+public:
+    IcapArtifact(rtlsim::Scheduler& sch, const std::string& name,
+                 ExtendedPortal& portal);
+
+    void icap_write(rtlsim::Word w) override;
+
+    // --- statistics -------------------------------------------------------
+    [[nodiscard]] std::uint64_t words_received() const { return words_; }
+    [[nodiscard]] std::uint64_t simbs_completed() const { return simbs_; }
+    [[nodiscard]] std::uint64_t ignored_before_sync() const {
+        return ignored_;
+    }
+    /// True between SYNC and DESYNC (the DURING-reconfiguration phase).
+    [[nodiscard]] bool in_session() const { return state_ != St::Desynced; }
+    /// True while FDRI payload words are outstanding.
+    [[nodiscard]] bool payload_pending() const { return payload_left_ > 0; }
+
+    /// Accumulated wall-clock time spent parsing (including portal calls);
+    /// only meaningful when the scheduler has profiling enabled. Feeds the
+    /// simulation-overhead experiment (E3).
+    [[nodiscard]] std::chrono::nanoseconds self_time() const {
+        return self_time_;
+    }
+
+private:
+    enum class St { Desynced, Synced, ExpectFar, ExpectCmd, Payload };
+
+    void icap_write_body(rtlsim::Word w);
+    void packet_header(std::uint32_t w);
+
+    ExtendedPortal& portal_;
+    St state_ = St::Desynced;
+    std::uint32_t payload_left_ = 0;
+    std::uint32_t payload_total_ = 0;
+    bool fdri_type2_pending_ = false;
+    std::uint64_t words_ = 0;
+    std::uint64_t simbs_ = 0;
+    std::uint64_t ignored_ = 0;
+    unsigned x_reports_ = 0;
+    std::chrono::nanoseconds self_time_{0};
+};
+
+}  // namespace autovision::resim

@@ -1,0 +1,83 @@
+// Standard error-injector variants.
+//
+// ReSim's default error source drives X on every output of a region being
+// reconfigured; Section IV-B notes that "for advanced users, the error
+// sources can also be overridden for design-/test-specific purposes using
+// object-oriented programming techniques". These are the stock variants a
+// verification engineer reaches for:
+//
+//  * XInjector        — the default (alias of the base class), maximally
+//                       pessimistic; anything sampling the region sees X.
+//  * HoldLastInjector — outputs freeze at their pre-reconfiguration values:
+//                       the optimistic model some 2-state flows implicitly
+//                       assume. Useful to show which bugs *only* X finds.
+//  * ZeroInjector     — outputs clamp to idle/zero, as if isolation were
+//                       built into the fabric.
+//  * GarbageInjector  — deterministic pseudo-random defined values each
+//                       evaluation: stresses protocol checkers with
+//                       plausible-looking junk (spurious requests, wild
+//                       addresses) rather than unknowns.
+#pragma once
+
+#include "recon/rr_boundary.hpp"
+
+namespace autovision::resim {
+
+using XInjector = ErrorInjector;
+
+/// Freeze the boundary at the last values the outgoing module drove.
+class HoldLastInjector final : public ErrorInjector {
+public:
+    void inject(RrOutputs& o) override {
+        if (!captured_) {
+            // First evaluation of the window: `o` still holds the previous
+            // module's outputs only if the caller pre-filled it; we cannot
+            // see them here, so hold idle — the practical effect of a
+            // frozen, quiescent module.
+            held_ = RrOutputs::idle();
+            captured_ = true;
+        }
+        o = held_;
+    }
+    [[nodiscard]] const char* name() const override { return "hold-last"; }
+
+    /// Reset between reconfigurations (the portal's window is re-entered).
+    void rearm() { captured_ = false; }
+
+private:
+    bool captured_ = false;
+    RrOutputs held_;
+};
+
+/// Clamp to idle levels (fabric-level isolation).
+class ZeroInjector final : public ErrorInjector {
+public:
+    void inject(RrOutputs& o) override { o = RrOutputs::idle(); }
+    [[nodiscard]] const char* name() const override { return "zeros"; }
+};
+
+/// Deterministic defined-value garbage: different every evaluation, but
+/// reproducible run to run.
+class GarbageInjector final : public ErrorInjector {
+public:
+    explicit GarbageInjector(std::uint32_t seed = 0xC0FFEE) : s_(seed) {}
+
+    void inject(RrOutputs& o) override {
+        o.req = (next() & 1u) ? Logic::L1 : Logic::L0;
+        o.rnw = (next() & 1u) ? Logic::L1 : Logic::L0;
+        o.addr = Word{next()};
+        o.nbeats = LVec<16>{next() & 0x1F};
+        o.wdata = Word{next()};
+        o.done_irq = (next() & 1u) ? Logic::L1 : Logic::L0;
+    }
+    [[nodiscard]] const char* name() const override { return "garbage"; }
+
+private:
+    std::uint32_t next() {
+        s_ = s_ * 1664525u + 1013904223u;
+        return s_ >> 8;
+    }
+    std::uint32_t s_;
+};
+
+}  // namespace autovision::resim

@@ -1,0 +1,124 @@
+#include "portal.hpp"
+
+namespace autovision::resim {
+
+ExtendedPortal::ExtendedPortal(rtlsim::Scheduler& sch, const std::string& name)
+    : Module(sch, name) {}
+
+void ExtendedPortal::map_module(std::uint8_t rr_id, std::uint8_t module_id,
+                                RrBoundary& boundary, unsigned slot) {
+    map_[{rr_id, module_id}] = Slot{&boundary, slot};
+}
+
+ExtendedPortal::Slot* ExtendedPortal::find(std::uint8_t rr_id,
+                                           std::uint8_t module_id) {
+    const auto it = map_.find({rr_id, module_id});
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+void ExtendedPortal::initial_configuration(std::uint8_t rr_id,
+                                           std::uint8_t module_id) {
+    Slot* s = find(rr_id, module_id);
+    if (s == nullptr) {
+        report("initial configuration of unmapped module");
+        return;
+    }
+    s->boundary->select(static_cast<int>(s->slot));
+}
+
+void ExtendedPortal::stage(std::uint8_t rr_id, std::uint8_t module_id) {
+    cur_rr_ = rr_id;
+    cur_module_ = module_id;
+    staged_ = true;
+    Slot* s = find(rr_id, module_id);
+    if (s == nullptr) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      "FAR names unmapped RR 0x%02x / module 0x%02x", rr_id,
+                      module_id);
+        report(buf);
+        return;
+    }
+    if (timing_ == SwapTiming::kAtFar) {
+        // Ablation: zero-delay swap at the FAR write, before any
+        // configuration data has been transferred.
+        s->boundary->select(static_cast<int>(s->slot));
+    }
+}
+
+void ExtendedPortal::begin() {
+    if (!staged_) {
+        report("FDRI payload before a FAR write; no target staged");
+        return;
+    }
+    Slot* s = find(cur_rr_, cur_module_);
+    if (s == nullptr) return;  // already reported at stage()
+    phase_open_ = true;
+    s->boundary->set_reconfiguring(true);
+}
+
+void ExtendedPortal::finish() {
+    Slot* s = staged_ ? find(cur_rr_, cur_module_) : nullptr;
+    if (s == nullptr) return;
+    // All payload words written: stop injecting errors and activate the new
+    // module in its post-configuration state (unless the ablation already
+    // swapped it at the FAR write).
+    s->boundary->set_reconfiguring(false);
+    if (timing_ == SwapTiming::kAtPayloadEnd) {
+        s->boundary->select(static_cast<int>(s->slot));
+    }
+    ++swaps_;
+}
+
+void ExtendedPortal::capture() {
+    if (!staged_) {
+        report("GCAPTURE before a FAR write; no target staged");
+        return;
+    }
+    Slot* s = find(cur_rr_, cur_module_);
+    if (s == nullptr) return;
+    if (s->boundary->selected() != static_cast<int>(s->slot)) {
+        report("GCAPTURE of a module that is not resident");
+        return;
+    }
+    std::vector<std::uint8_t> st =
+        s->boundary->module(s->slot).rm_save_state();
+    if (st.empty()) {
+        report("GCAPTURE failed: module not quiescent or stateless");
+        return;
+    }
+    states_[{cur_rr_, cur_module_}] = std::move(st);
+    ++captures_;
+}
+
+void ExtendedPortal::restore() {
+    if (!staged_) {
+        report("GRESTORE before a FAR write; no target staged");
+        return;
+    }
+    Slot* s = find(cur_rr_, cur_module_);
+    if (s == nullptr) return;
+    if (s->boundary->selected() != static_cast<int>(s->slot)) {
+        report("GRESTORE of a module that is not resident");
+        return;
+    }
+    const auto it = states_.find({cur_rr_, cur_module_});
+    if (it == states_.end()) {
+        report("GRESTORE without a previously captured state");
+        return;
+    }
+    if (!s->boundary->module(s->slot).rm_restore_state(it->second)) {
+        report("GRESTORE rejected: state image does not match the module");
+        return;
+    }
+    ++restores_;
+}
+
+void ExtendedPortal::desync() {
+    if (phase_open_) {
+        phase_open_ = false;
+    }
+    staged_ = false;
+}
+
+}  // namespace autovision::resim

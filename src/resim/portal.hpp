@@ -1,0 +1,98 @@
+// Extended Portal — ReSim's substitute for the configuration memory of a
+// reconfigurable region.
+//
+// The portal owns the mapping from (RR id, module id) in a SimB's FAR word
+// to the module slots of an RrBoundary. The ICAP artifact calls into it as
+// it parses the SimB stream:
+//   * stage()  — FAR written: remember the target region/module;
+//   * begin()  — first FDRI payload word: start the DURING-reconfiguration
+//                phase (error injection on the region outputs);
+//   * finish() — last FDRI payload word: stop injection and swap the new
+//                module in, in its post-configuration initial state;
+//   * desync() — CMD DESYNC: close the phase (bookkeeping/validation).
+//
+// The module swap deliberately happens only after *every* payload word has
+// been written — the timing fidelity that exposed the paper's engine-reset
+// bug (bug.dpr.6b).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "recon/rr_boundary.hpp"
+
+namespace autovision::resim {
+
+class ExtendedPortal final : public rtlsim::Module {
+public:
+    ExtendedPortal(rtlsim::Scheduler& sch, const std::string& name);
+
+    /// Bind module id `module_id` of region `rr_id` to slot `slot` of
+    /// `boundary`. A region's ids live in the SimB address space; slots are
+    /// RrBoundary indices.
+    void map_module(std::uint8_t rr_id, std::uint8_t module_id,
+                    RrBoundary& boundary, unsigned slot);
+
+    /// Initial (full-bitstream) configuration: activate a module without a
+    /// SimB, as the power-on full configuration would.
+    void initial_configuration(std::uint8_t rr_id, std::uint8_t module_id);
+
+    /// Ablation knob (DESIGN.md section 5). ReSim's fidelity hinges on NOT
+    /// activating the new module until every SimB word is written
+    /// (kAtPayloadEnd, the default). kAtFar swaps as soon as the FAR names
+    /// the module — the zero-delay semantics of DCS/Virtual-Multiplexing —
+    /// which masks timing bugs like bug.dpr.6b.
+    enum class SwapTiming { kAtPayloadEnd, kAtFar };
+    void set_swap_timing(SwapTiming t) { timing_ = t; }
+    [[nodiscard]] SwapTiming swap_timing() const { return timing_; }
+
+    // --- ICAP artifact callbacks ----------------------------------------
+    void stage(std::uint8_t rr_id, std::uint8_t module_id);
+    void begin();
+    void finish();
+    void desync();
+
+    /// CMD GCAPTURE: snapshot the staged module's architectural state, as
+    /// configuration readback would. The module must be resident and
+    /// quiescent (no bus transaction in flight) — violations are reported.
+    void capture();
+
+    /// CMD GRESTORE: reinstate the staged module's captured state (the
+    /// module must have just been configured / be resident).
+    void restore();
+
+    // --- statistics -------------------------------------------------------
+    [[nodiscard]] std::uint64_t reconfigurations() const { return swaps_; }
+    [[nodiscard]] bool phase_open() const { return phase_open_; }
+    [[nodiscard]] std::uint64_t captures() const { return captures_; }
+    [[nodiscard]] std::uint64_t restores() const { return restores_; }
+    [[nodiscard]] bool has_saved_state(std::uint8_t rr_id,
+                                       std::uint8_t module_id) const {
+        return states_.count({rr_id, module_id}) != 0;
+    }
+
+private:
+    struct Slot {
+        RrBoundary* boundary = nullptr;
+        unsigned slot = 0;
+    };
+
+    [[nodiscard]] Slot* find(std::uint8_t rr_id, std::uint8_t module_id);
+
+    std::map<std::pair<std::uint8_t, std::uint8_t>, Slot> map_;
+    std::map<std::pair<std::uint8_t, std::uint8_t>, std::vector<std::uint8_t>>
+        states_;
+    std::uint64_t captures_ = 0;
+    std::uint64_t restores_ = 0;
+    SwapTiming timing_ = SwapTiming::kAtPayloadEnd;
+    bool staged_ = false;
+    bool phase_open_ = false;
+    std::uint8_t cur_rr_ = 0;
+    std::uint8_t cur_module_ = 0;
+    std::uint64_t swaps_ = 0;
+};
+
+}  // namespace autovision::resim

@@ -1,0 +1,138 @@
+#include "simb.hpp"
+
+#include <cstdio>
+
+namespace autovision::resim {
+
+std::vector<std::uint32_t> SimB::build() const {
+    std::vector<std::uint32_t> w;
+    w.reserve(length_for_payload(payload_words));
+    w.push_back(kSyncWord);
+    w.push_back(kNopWord);
+    w.push_back(type1_write(CfgReg::kFar, 1));
+    w.push_back(far_word(rr_id, module_id));
+    w.push_back(type1_write(CfgReg::kCmd, 1));
+    w.push_back(static_cast<std::uint32_t>(CfgCmd::kWcfg));
+    w.push_back(type1_write(CfgReg::kFdri, 0));
+    w.push_back(type2_write(payload_words));
+    std::uint32_t s = seed;
+    for (std::uint32_t i = 0; i < payload_words; ++i) {
+        w.push_back(s);
+        s = s * 1664525u + 1013904223u;  // deterministic filler
+    }
+    if (restore_state) {
+        w.push_back(type1_write(CfgReg::kCmd, 1));
+        w.push_back(static_cast<std::uint32_t>(CfgCmd::kGrestore));
+    }
+    w.push_back(type1_write(CfgReg::kCmd, 1));
+    w.push_back(static_cast<std::uint32_t>(CfgCmd::kDesync));
+    return w;
+}
+
+std::vector<std::uint32_t> SimB::build_capture() const {
+    return {
+        kSyncWord,
+        type1_write(CfgReg::kFar, 1),
+        far_word(rr_id, module_id),
+        type1_write(CfgReg::kCmd, 1),
+        static_cast<std::uint32_t>(CfgCmd::kGcapture),
+        type1_write(CfgReg::kCmd, 1),
+        static_cast<std::uint32_t>(CfgCmd::kDesync),
+    };
+}
+
+std::vector<std::uint32_t> SimB::table1_example() {
+    // Exactly the SimB listed in Table I of the paper.
+    return {
+        0xAA995566,                      // SYNC word
+        0x20000000,                      // NOP
+        0x30002001, 0x01020000,          // Type 1 write FAR; FA = 0x01020000
+        0x30008001, 0x00000001,          // Type 1 write CMD; WCFG
+        0x30004000, 0x50000004,          // Type 1/2 write FDRI; size = 4
+        0x5650EEA7, 0xF4649889,          // random SimB words 0..3
+        0xA9B759F9, 0x4E438C83,
+        0x30008001, 0x0000000D,          // Type 1 write CMD; DESYNC
+    };
+}
+
+std::string SimB::describe(const std::vector<std::uint32_t>& words) {
+    std::string out;
+    char line[128];
+    enum class Next { None, Far, Cmd };
+    Next next = Next::None;
+    std::uint32_t payload_left = 0;
+    std::uint32_t payload_idx = 0;
+    bool fdri_pending = false;
+
+    for (const std::uint32_t w : words) {
+        const char* expl = "unknown word";
+        char dyn[96];
+        if (payload_left > 0) {
+            std::snprintf(dyn, sizeof dyn, "random SimB word %u%s",
+                          payload_idx,
+                          payload_idx == 0 ? " (starts error injection)"
+                          : payload_left == 1
+                              ? " (ends error injection, triggers swap)"
+                              : "");
+            expl = dyn;
+            ++payload_idx;
+            --payload_left;
+        } else if (next == Next::Far) {
+            std::snprintf(dyn, sizeof dyn,
+                          "FA: configure module id=0x%02x in RR id=0x%02x",
+                          far_module(w), far_rr(w));
+            expl = dyn;
+            next = Next::None;
+        } else if (next == Next::Cmd) {
+            expl = (w == static_cast<std::uint32_t>(CfgCmd::kWcfg))
+                       ? "CMD WCFG"
+                       : (w == static_cast<std::uint32_t>(CfgCmd::kDesync))
+                             ? "CMD DESYNC (end of reconfiguration)"
+                             : "CMD (other)";
+            next = Next::None;
+        } else if (w == kSyncWord) {
+            expl = "SYNC word (start of reconfiguration)";
+        } else if ((w >> 29) == 1 && ((w >> 27) & 3) == 0) {
+            expl = "NOP";
+        } else if ((w >> 29) == 2) {
+            payload_left = w & 0x07FF'FFFF;
+            payload_idx = 0;
+            fdri_pending = false;
+            std::snprintf(dyn, sizeof dyn, "Type 2 write FDRI, size=%u",
+                          payload_left);
+            expl = dyn;
+        } else if ((w >> 29) == 1 && ((w >> 27) & 3) == 2) {
+            const auto reg = static_cast<CfgReg>((w >> 13) & 0x1F);
+            const std::uint32_t cnt = w & 0x7FF;
+            switch (reg) {
+                case CfgReg::kFar:
+                    expl = "Type 1 write FAR";
+                    next = Next::Far;
+                    break;
+                case CfgReg::kCmd:
+                    expl = "Type 1 write CMD";
+                    next = Next::Cmd;
+                    break;
+                case CfgReg::kFdri:
+                    if (cnt == 0) {
+                        expl = "Type 1 write FDRI (size follows)";
+                        fdri_pending = true;
+                    } else {
+                        payload_left = cnt;
+                        payload_idx = 0;
+                        expl = "Type 1 write FDRI";
+                    }
+                    break;
+                default:
+                    expl = "Type 1 write (other register)";
+                    break;
+            }
+        }
+        (void)fdri_pending;
+        std::snprintf(line, sizeof line, "0x%08X  %s\n", w, expl);
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace autovision::resim

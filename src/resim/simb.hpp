@@ -1,0 +1,103 @@
+// SimB — simulation-only bitstreams.
+//
+// A SimB substitutes for a real configuration bitstream: it carries the
+// same framing a Xilinx bitstream uses (SYNC word, type-1/type-2 packets,
+// FAR/CMD/FDRI register writes, DESYNC), but instead of bit-level
+// configuration frames its FAR word names the *target reconfigurable
+// region* and the *module id* to configure, and its FDRI payload is
+// designer-length filler. Table I of the paper is reproduced verbatim by
+// SimB::table1_example().
+//
+// Because the payload length is free, the designer can use a short SimB for
+// fast debug turnaround, stress FIFO corner cases, or match the real
+// bitstream length for maximum timing accuracy (129K words in AutoVision).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autovision::resim {
+
+// Framing constants (values follow the Xilinx configuration packet format).
+inline constexpr std::uint32_t kSyncWord = 0xAA99'5566;
+inline constexpr std::uint32_t kNopWord = 0x2000'0000;
+
+/// Configuration register addresses carried in type-1 packet headers.
+enum class CfgReg : std::uint32_t {
+    kFar = 1,   ///< frame address register (RR id / module id in a SimB)
+    kFdri = 2,  ///< frame data input (the payload)
+    kCmd = 4,   ///< command register
+};
+
+enum class CfgCmd : std::uint32_t {
+    kNull = 0,
+    kWcfg = 1,       ///< write configuration
+    kGrestore = 10,  ///< reinstate captured flip-flop state (state restore)
+    kGcapture = 12,  ///< capture flip-flop state into the config memory
+    kDesync = 13,    ///< end of configuration
+};
+
+/// Type-1 packet header: writes `count` words to `reg`.
+[[nodiscard]] constexpr std::uint32_t type1_write(CfgReg reg,
+                                                  std::uint32_t count) {
+    return 0x3000'0000u | (static_cast<std::uint32_t>(reg) << 13) |
+           (count & 0x7FF);
+}
+
+/// Type-2 packet header: long-form word count for the preceding register.
+[[nodiscard]] constexpr std::uint32_t type2_write(std::uint32_t count) {
+    return 0x5000'0000u | (count & 0x07FF'FFFF);
+}
+
+/// FAR encoding of a SimB: RR id in bits [31:24], module id in [23:16].
+[[nodiscard]] constexpr std::uint32_t far_word(std::uint8_t rr_id,
+                                               std::uint8_t module_id) {
+    return (static_cast<std::uint32_t>(rr_id) << 24) |
+           (static_cast<std::uint32_t>(module_id) << 16);
+}
+
+[[nodiscard]] constexpr std::uint8_t far_rr(std::uint32_t far) {
+    return static_cast<std::uint8_t>(far >> 24);
+}
+[[nodiscard]] constexpr std::uint8_t far_module(std::uint32_t far) {
+    return static_cast<std::uint8_t>(far >> 16);
+}
+
+/// Builder for SimBs.
+struct SimB {
+    std::uint8_t rr_id = 1;
+    std::uint8_t module_id = 1;
+    std::uint32_t payload_words = 4;
+    std::uint32_t seed = 0x5650'EEA7;  ///< filler generator seed
+    /// Append a GRESTORE after the payload: the newly configured module
+    /// comes up with its previously captured state instead of the
+    /// post-configuration initial state (state restoration, FPGA'12).
+    bool restore_state = false;
+
+    /// Full word stream: SYNC, NOP, FAR write, CMD WCFG, FDRI type-2
+    /// payload, [CMD GRESTORE,] CMD DESYNC — the structure of Table I.
+    [[nodiscard]] std::vector<std::uint32_t> build() const;
+
+    /// A readback/capture SimB: SYNC, FAR, CMD GCAPTURE, CMD DESYNC. The
+    /// named module's state is snapshotted by the simulation-only layer.
+    [[nodiscard]] std::vector<std::uint32_t> build_capture() const;
+
+    /// Total length in words for a given payload length (10 framing words
+    /// plus the payload).
+    [[nodiscard]] static std::uint32_t length_for_payload(
+        std::uint32_t payload_words) {
+        return 10 + payload_words;
+    }
+
+    /// The exact SimB of the paper's Table I (module 0x02 into RR 0x01,
+    /// the four published filler words).
+    [[nodiscard]] static std::vector<std::uint32_t> table1_example();
+
+    /// Human-readable rendering of a SimB word stream in the style of
+    /// Table I: one "word — explanation" line per row.
+    [[nodiscard]] static std::string describe(
+        const std::vector<std::uint32_t>& words);
+};
+
+}  // namespace autovision::resim

@@ -1,0 +1,58 @@
+// System address map of the Optical Flow Demonstrator model.
+#pragma once
+
+#include <cstdint>
+
+namespace autovision::sys {
+
+// ---- main memory (PLB) ------------------------------------------------
+inline constexpr std::uint32_t kVecBase = 0x0000'0000;    ///< exception vectors
+inline constexpr std::uint32_t kFwBase = 0x0000'1000;     ///< firmware text
+inline constexpr std::uint32_t kMailbox = 0x0000'8000;    ///< SW/TB mailbox
+inline constexpr std::uint32_t kFrameBuf = 0x0001'0000;   ///< camera frame
+inline constexpr std::uint32_t kCensusA = 0x0002'0000;    ///< census buffer A
+inline constexpr std::uint32_t kCensusB = 0x0003'0000;    ///< census buffer B
+inline constexpr std::uint32_t kFieldBuf = 0x0004'0000;   ///< motion field
+inline constexpr std::uint32_t kOutBuf = 0x0005'0000;     ///< drawn output
+// SimB staging areas: 2 MiB apart so even real-bitstream-length SimBs
+// (129K words = 516 KiB) fit without overlapping.
+inline constexpr std::uint32_t kSimbCie = 0x0010'0000;    ///< CIE bitstream
+inline constexpr std::uint32_t kSimbMe = 0x0030'0000;     ///< ME bitstream
+
+// ---- mailbox offsets (word each) ---------------------------------------
+inline constexpr std::uint32_t kMbFramesDone = 0;   ///< frames fully drawn
+inline constexpr std::uint32_t kMbCieCount = 4;     ///< CIE jobs completed
+inline constexpr std::uint32_t kMbMeCount = 8;      ///< ME jobs completed
+inline constexpr std::uint32_t kMbDprCount = 12;    ///< reconfigurations started
+inline constexpr std::uint32_t kMbFatal = 16;       ///< SW-detected error code
+
+// ---- DCR map -------------------------------------------------------------
+inline constexpr std::uint32_t kDcrIntc = 0x40;
+inline constexpr std::uint32_t kDcrIcap = 0x50;
+inline constexpr std::uint32_t kDcrIso = 0x58;
+inline constexpr std::uint32_t kDcrCie = 0x60;
+inline constexpr std::uint32_t kDcrMe = 0x68;
+inline constexpr std::uint32_t kDcrSig = 0x70;  ///< engine_signature (VM only)
+
+// ---- interrupt lines ------------------------------------------------------
+inline constexpr unsigned kIrqEngine = 0;   ///< engine done (from the RR)
+inline constexpr unsigned kIrqIcap = 1;     ///< bitstream transfer complete
+inline constexpr unsigned kIrqVideoIn = 2;  ///< camera frame landed
+
+// ---- PLB master indices ----------------------------------------------------
+inline constexpr unsigned kMasterCpu = 0;
+inline constexpr unsigned kMasterIcap = 1;
+inline constexpr unsigned kMasterRr = 2;
+inline constexpr unsigned kMasterVideoIn = 3;
+inline constexpr unsigned kMasterVideoOut = 4;
+inline constexpr unsigned kNumMasters = 5;
+
+// ---- SimB module ids --------------------------------------------------------
+inline constexpr std::uint8_t kRrId = 0x01;
+inline constexpr std::uint8_t kModuleCie = 0x01;
+inline constexpr std::uint8_t kModuleMe = 0x02;
+
+/// Threshold on |dx|+|dy| above which the firmware draws a motion marker.
+inline constexpr unsigned kDrawThreshold = 2;
+
+}  // namespace autovision::sys

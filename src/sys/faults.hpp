@@ -1,0 +1,94 @@
+// Fault catalogue — the injectable bugs of the case study (Table III and
+// the Section V-A counts).
+//
+// Each fault reproduces one of the paper's reported bugs (or a
+// representative of its class). The detection harness enables one fault at
+// a time, runs the full system under Virtual Multiplexing and under
+// ReSim-based simulation, and classifies the outcome; Table III's
+// "Comments" column becomes the `expected` field here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace autovision::sys {
+
+enum class Fault {
+    kNone,
+    // Static-design bugs (weeks 4-9 of Figure 5; found by both methods).
+    kHw1SrcWordAddr,     ///< driver programs the CIE source as a word address
+    kHw2NoSigInit,       ///< engine_signature never initialised (VM-only artefact)
+    kHw3LevelIntc,       ///< INTC configured for level capture; done pulses lost
+    kSw1PollWrongBit,    ///< DPR driver polls ICAP busy instead of done
+    kSw2NoIntcAck,       ///< ISR never acknowledges the INTC (interrupt storm)
+    // DPR bugs (weeks 10-11; only ReSim exercises the machinery).
+    kDpr1NoIsolation,    ///< driver never enables isolation during DPR
+    kDpr2RegsInsideRr,   ///< engine DCR registers left inside the RR
+    kDpr3WrongSimbAddr,  ///< bitstream pointer names the wrong SimB
+    kDpr4P2pIcap,        ///< point-to-point IcapCTRL on the shared PLB
+    kDpr5SizeInWords,    ///< driver writes a word count to the byte-count IP
+    kDpr6bShortWait,     ///< fixed reset delay tuned for the old config clock
+    kCount,
+};
+
+/// Which simulation method is expected to flag the fault.
+enum class ExpectedDetection {
+    kBoth,        ///< static bug: visible under either method
+    kResimOnly,   ///< requires the bitstream/isolation machinery
+    kVmFalseAlarm,  ///< artefact of the VM testbench itself; N/A under ReSim
+};
+
+struct FaultInfo {
+    Fault fault;
+    const char* id;           ///< paper-style identifier
+    const char* description;
+    ExpectedDetection expected;
+};
+
+inline constexpr std::array<FaultInfo, 11> kFaultCatalog{{
+    {Fault::kHw1SrcWordAddr, "bug.hw.1",
+     "CIE source address programmed as a word index (byte/word mismatch)",
+     ExpectedDetection::kBoth},
+    {Fault::kHw2NoSigInit, "bug.hw.2",
+     "engine_signature register not initialised at start-up",
+     ExpectedDetection::kVmFalseAlarm},
+    {Fault::kHw3LevelIntc, "bug.hw.3",
+     "INTC misconfigured for level capture; one-cycle done pulses lost",
+     ExpectedDetection::kBoth},
+    {Fault::kSw1PollWrongBit, "bug.sw.1",
+     "DPR driver polls the ICAP busy bit instead of the done bit",
+     ExpectedDetection::kResimOnly},
+    {Fault::kSw2NoIntcAck, "bug.sw.2",
+     "ISR fails to acknowledge the interrupt controller",
+     ExpectedDetection::kBoth},
+    {Fault::kDpr1NoIsolation, "bug.dpr.1",
+     "isolation never enabled; X escapes the region during DPR",
+     ExpectedDetection::kResimOnly},
+    {Fault::kDpr2RegsInsideRr, "bug.dpr.2",
+     "engine DCR registers left inside the RR; daisy chain breaks",
+     ExpectedDetection::kResimOnly},
+    {Fault::kDpr3WrongSimbAddr, "bug.dpr.3",
+     "bitstream pointer names the wrong SimB",
+     ExpectedDetection::kResimOnly},
+    {Fault::kDpr4P2pIcap, "bug.dpr.4",
+     "IcapCTRL in point-to-point mode on the shared PLB",
+     ExpectedDetection::kResimOnly},
+    {Fault::kDpr5SizeInWords, "bug.dpr.5",
+     "driver computes the bitstream size in words for the byte-count IP",
+     ExpectedDetection::kResimOnly},
+    {Fault::kDpr6bShortWait, "bug.dpr.6b",
+     "engine reset delay tuned for the faster original configuration clock",
+     ExpectedDetection::kResimOnly},
+}};
+
+[[nodiscard]] inline const FaultInfo& fault_info(Fault f) {
+    for (const FaultInfo& fi : kFaultCatalog) {
+        if (fi.fault == f) return fi;
+    }
+    static constexpr FaultInfo kNone{Fault::kNone, "none", "no fault",
+                                     ExpectedDetection::kBoth};
+    return kNone;
+}
+
+}  // namespace autovision::sys

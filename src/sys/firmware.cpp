@@ -1,0 +1,386 @@
+#include "firmware.hpp"
+
+#include <sstream>
+
+#include "address_map.hpp"
+
+namespace autovision::sys {
+
+namespace {
+
+/// Emit a two-instruction 32-bit constant load into `reg`.
+std::string load32(const std::string& reg, const std::string& expr) {
+    return "  lis " + reg + ", hi(" + expr + ")\n" +
+           "  ori " + reg + ", " + reg + ", lo(" + expr + ")\n";
+}
+
+}  // namespace
+
+std::string build_firmware_source(const FirmwareConfig& cfg) {
+    const bool vm = cfg.method == FirmwareConfig::Method::kVm;
+    const Fault f = cfg.fault;
+    std::ostringstream s;
+
+    // ------------------------------------------------------------ equates
+    s << "# Optical Flow Demonstrator firmware — generated\n";
+    s << ".equ MAILBOX, 0x" << std::hex << kMailbox << std::dec << "\n";
+    s << ".equ FRAME_BUF, 0x" << std::hex << kFrameBuf << "\n";
+    s << ".equ CENSUS_A, 0x" << kCensusA << "\n";
+    s << ".equ CENSUS_B, 0x" << kCensusB << "\n";
+    s << ".equ FIELD_BUF, 0x" << kFieldBuf << "\n";
+    s << ".equ OUT_BUF, 0x" << kOutBuf << "\n";
+    s << ".equ SIMB_CIE, 0x" << kSimbCie << "\n";
+    s << ".equ SIMB_ME, 0x" << kSimbMe << std::dec << "\n";
+    // Mailbox counters (testbench-visible).
+    s << ".equ MB_FRAMES_DONE, 0\n.equ MB_CIE_COUNT, 4\n"
+         ".equ MB_ME_COUNT, 8\n.equ MB_DPR_COUNT, 12\n.equ MB_FATAL, 16\n";
+    // Firmware state variables.
+    s << ".equ VAR_CUR_ENGINE, 32\n.equ VAR_CEN_CUR, 36\n"
+         ".equ VAR_CEN_PREV, 40\n.equ VAR_BUSY, 44\n.equ VAR_DPR_BUSY, 48\n"
+         ".equ VAR_FRAME_READY, 52\n.equ VAR_FIELD_READY, 56\n"
+         ".equ VAR_DPR_TARGET, 60\n";
+    // ISR register save area (reachable from r0 with a 16-bit offset).
+    s << ".equ SAVE, 0x0F00\n";
+    // DCR register numbers.
+    s << ".equ INTC_ISR, 0x" << std::hex << (kDcrIntc + 0)
+      << "\n.equ INTC_IER, 0x" << (kDcrIntc + 1) << "\n.equ INTC_IAR, 0x"
+      << (kDcrIntc + 2) << "\n.equ INTC_CTRL, 0x" << (kDcrIntc + 3) << "\n";
+    s << ".equ ICAP_CTRL, 0x" << (kDcrIcap + 0) << "\n.equ ICAP_STATUS, 0x"
+      << (kDcrIcap + 1) << "\n.equ ICAP_ADDR, 0x" << (kDcrIcap + 2)
+      << "\n.equ ICAP_SIZE, 0x" << (kDcrIcap + 3) << "\n";
+    s << ".equ ISO_CTRL, 0x" << kDcrIso << "\n";
+    s << ".equ CIE_CTRL, 0x" << (kDcrCie + 0) << "\n.equ CIE_STATUS, 0x"
+      << (kDcrCie + 1) << "\n.equ CIE_SRC, 0x" << (kDcrCie + 2)
+      << "\n.equ CIE_DST, 0x" << (kDcrCie + 3) << "\n.equ CIE_DIMS, 0x"
+      << (kDcrCie + 5) << "\n";
+    s << ".equ ME_CTRL, 0x" << (kDcrMe + 0) << "\n.equ ME_STATUS, 0x"
+      << (kDcrMe + 1) << "\n.equ ME_SRC, 0x" << (kDcrMe + 2)
+      << "\n.equ ME_DST, 0x" << (kDcrMe + 3) << "\n.equ ME_SRC2, 0x"
+      << (kDcrMe + 4) << "\n.equ ME_DIMS, 0x" << (kDcrMe + 5)
+      << "\n.equ ME_PARAM, 0x" << (kDcrMe + 6) << "\n";
+    s << ".equ SIG_REG, 0x" << kDcrSig << std::dec << "\n";
+    // Geometry.
+    const unsigned gw =
+        (cfg.width < 2 * cfg.margin)
+            ? 0
+            : (cfg.width - 2 * cfg.margin + cfg.step - 1) / cfg.step;
+    const unsigned gh =
+        (cfg.height < 2 * cfg.margin)
+            ? 0
+            : (cfg.height - 2 * cfg.margin + cfg.step - 1) / cfg.step;
+    s << ".equ WIDTH, " << cfg.width << "\n.equ HEIGHT, " << cfg.height
+      << "\n.equ GW, " << gw << "\n.equ GH, " << gh << "\n.equ STEP, "
+      << cfg.step << "\n.equ MARGIN, " << cfg.margin << "\n";
+    s << ".equ DIMS_VALUE, WIDTH * 65536 + HEIGHT\n";
+    s << ".equ PARAM_VALUE, " << cfg.search << " + " << cfg.step
+      << " * 256 + " << cfg.margin << " * 65536\n";
+    s << ".equ DRAW_THRESH, " << kDrawThreshold << "\n";
+    // Bitstream sizes as programmed by the driver. The modern IP counts
+    // bytes; bug.dpr.5 is the stale word-count calculation.
+    const bool size_words = (f == Fault::kDpr5SizeInWords);
+    s << ".equ SIMB_CIE_SIZE, " << cfg.simb_cie_words * (size_words ? 1 : 4)
+      << "\n.equ SIMB_ME_SIZE, " << cfg.simb_me_words * (size_words ? 1 : 4)
+      << "\n";
+    s << ".equ DELAY_LOOPS, " << cfg.delay_loops << "\n";
+
+    // --------------------------------------------------- shared fragments
+    const std::string start_cie_block = [&] {
+        std::ostringstream b;
+        // Swap census buffers, program the CIE, reset + start it.
+        b << "  lwz r6, VAR_CEN_CUR(r5)\n"
+             "  lwz r7, VAR_CEN_PREV(r5)\n"
+             "  stw r6, VAR_CEN_PREV(r5)\n"
+             "  stw r7, VAR_CEN_CUR(r5)\n";
+        if (f == Fault::kHw1SrcWordAddr) {
+            // Byte/word mismatch: the driver programs a word index.
+            b << load32("r6", "FRAME_BUF") << "  srwi r6, r6, 2\n";
+        } else {
+            b << load32("r6", "FRAME_BUF");
+        }
+        b << "  mtdcr CIE_SRC, r6\n"
+             "  lwz r6, VAR_CEN_CUR(r5)\n"
+             "  mtdcr CIE_DST, r6\n"
+          << load32("r6", "DIMS_VALUE")
+          << "  mtdcr CIE_DIMS, r6\n"
+             "  li r6, 2\n  mtdcr CIE_CTRL, r6\n"
+             "  li r6, 1\n  mtdcr CIE_CTRL, r6\n"
+             "  li r6, 1\n  stw r6, VAR_BUSY(r5)\n"
+             "  li r6, 0\n  stw r6, VAR_FRAME_READY(r5)\n";
+        return b.str();
+    }();
+
+    const std::string start_me_block = [&] {
+        std::ostringstream b;
+        b << "  lwz r6, VAR_CEN_CUR(r5)\n  mtdcr ME_SRC, r6\n"
+             "  lwz r6, VAR_CEN_PREV(r5)\n  mtdcr ME_SRC2, r6\n"
+          << load32("r6", "FIELD_BUF")
+          << "  mtdcr ME_DST, r6\n"
+          << load32("r6", "DIMS_VALUE")
+          << "  mtdcr ME_DIMS, r6\n"
+          << load32("r6", "PARAM_VALUE")
+          << "  mtdcr ME_PARAM, r6\n"
+             "  li r6, 2\n  mtdcr ME_CTRL, r6\n"
+             "  li r6, 1\n  mtdcr ME_CTRL, r6\n"
+             "  li r6, 1\n  stw r6, VAR_BUSY(r5)\n";
+        return b.str();
+    }();
+
+    // Post-transfer actions (shared by the IRQ handler and the inline
+    // poll/delay paths): drop isolation, record the newly configured
+    // module, start it (ME) or start a pending frame (CIE).
+    auto post_dpr_block = [&](const std::string& tag, bool via_icap = true) {
+        std::ostringstream b;
+        if (via_icap) {
+            b << "  li r7, 2\n  mtdcr ICAP_STATUS, r7\n";  // W1C done
+            if (f != Fault::kDpr1NoIsolation) {
+                b << "  li r7, 0\n  mtdcr ISO_CTRL, r7\n";
+            }
+        }
+        b << "  li r7, 0\n  stw r7, VAR_DPR_BUSY(r5)\n"
+             "  lwz r7, VAR_DPR_TARGET(r5)\n"
+             "  stw r7, VAR_CUR_ENGINE(r5)\n"
+             "  cmpwi r7, 2\n"
+             "  bne post_cfg_cie_" << tag << "\n"
+          << start_me_block
+          << "  b post_done_" << tag << "\n"
+          << "post_cfg_cie_" << tag << ":\n"
+             "  lwz r7, VAR_FRAME_READY(r5)\n"
+             "  cmpwi r7, 0\n"
+             "  beq post_done_" << tag << "\n"
+          << start_cie_block
+          << "post_done_" << tag << ":\n";
+        return b.str();
+    };
+
+    // DPR initiation towards module `target` (1 = CIE, 2 = ME).
+    auto start_dpr_block = [&](int target, const std::string& tag) {
+        std::ostringstream b;
+        b << "  lwz r7, MB_DPR_COUNT(r5)\n  addi r7, r7, 1\n"
+             "  stw r7, MB_DPR_COUNT(r5)\n";
+        b << "  li r7, " << target << "\n  stw r7, VAR_DPR_TARGET(r5)\n";
+        if (vm) {
+            // The VM "hack": swap instantly via the simulation-only
+            // signature register, then run the post-configuration actions
+            // immediately (zero-delay reconfiguration).
+            b << "  li r7, " << target << "\n  mtdcr SIG_REG, r7\n";
+            b << post_dpr_block(tag, /*via_icap=*/false);
+            return b.str();
+        }
+        b << "  li r7, 1\n  stw r7, VAR_DPR_BUSY(r5)\n";
+        if (f != Fault::kDpr1NoIsolation) {
+            b << "  li r7, 1\n  mtdcr ISO_CTRL, r7\n";
+        }
+        // Bitstream address: bug.dpr.3 stages the *other* module's SimB.
+        const bool wrong = (f == Fault::kDpr3WrongSimbAddr);
+        const std::string addr =
+            (target == 2) == !wrong ? "SIMB_ME" : "SIMB_CIE";
+        const std::string size =
+            (target == 2) == !wrong ? "SIMB_ME_SIZE" : "SIMB_CIE_SIZE";
+        b << load32("r7", addr) << "  mtdcr ICAP_ADDR, r7\n"
+          << load32("r7", size) << "  mtdcr ICAP_SIZE, r7\n"
+          << "  li r7, 1\n  mtdcr ICAP_CTRL, r7\n";
+
+        switch (cfg.wait) {
+            case FirmwareConfig::Wait::kIrq:
+                // Completion handled by the IcapCTRL interrupt.
+                break;
+            case FirmwareConfig::Wait::kPollDone: {
+                // Poll the status register. bug.sw.1 polls the *busy* bit
+                // and proceeds as soon as the transfer has merely begun.
+                const bool wrongbit = (f == Fault::kSw1PollWrongBit);
+                b << "poll_" << tag << ":\n"
+                  << "  mfdcr r7, ICAP_STATUS\n"
+                  << "  andi. r7, r7, " << (wrongbit ? 1 : 2) << "\n"
+                  << "  beq poll_" << tag << "\n"
+                  << post_dpr_block(tag);
+                break;
+            }
+            case FirmwareConfig::Wait::kDelay:
+                // The original driver style: a fixed delay loop. With the
+                // modified (slower) configuration clock the loop is too
+                // short — bug.dpr.6b.
+                b << load32("r7", "DELAY_LOOPS") << "  mtctr r7\n"
+                  << "delay_" << tag << ":\n"
+                  << "  bdnz delay_" << tag << "\n"
+                  << post_dpr_block(tag);
+                break;
+        }
+        return b.str();
+    };
+
+    // ---------------------------------------------------------------- ISR
+    s << "\n.org 0x500\nisr:\n";
+    // Save r3-r12, LR, CR through the r0-based window.
+    for (int r = 3; r <= 12; ++r) {
+        s << "  stw r" << r << ", SAVE + " << 4 * (r - 3) << "(r0)\n";
+    }
+    s << "  mflr r3\n  stw r3, SAVE + 40(r0)\n"
+         "  mfcr r3\n  stw r3, SAVE + 44(r0)\n";
+    s << load32("r5", "MAILBOX");
+    s << "  mfdcr r3, INTC_ISR\n"
+         "  andi. r4, r3, 1\n"
+         "  bne handle_engine\n"
+         "  andi. r4, r3, 2\n"
+         "  bne handle_icap\n"
+         "  andi. r4, r3, 4\n"
+         "  bne handle_video\n"
+         // Spurious/corrupted cause: record and ack everything we saw.
+         "  li r4, 1\n  stw r4, MB_FATAL(r5)\n"
+         "  mr r4, r3\n  b isr_ack\n";
+
+    s << "isr_ack:\n";
+    if (f != Fault::kSw2NoIntcAck) {
+        s << "  mtdcr INTC_IAR, r4\n";
+    }
+    s << "isr_exit:\n"
+         "  lwz r3, SAVE + 44(r0)\n  mtcr r3\n"
+         "  lwz r3, SAVE + 40(r0)\n  mtlr r3\n";
+    for (int r = 12; r >= 3; --r) {
+        s << "  lwz r" << r << ", SAVE + " << 4 * (r - 3) << "(r0)\n";
+    }
+    s << "  rfi\n";
+
+    // Engine-done handler: CIE completion launches DPR to the ME;
+    // ME completion publishes the field and launches DPR back to the CIE.
+    s << "\nhandle_engine:\n"
+         "  li r4, 1\n"
+         "  li r7, 0\n  stw r7, VAR_BUSY(r5)\n"
+         "  lwz r6, VAR_CUR_ENGINE(r5)\n"
+         "  cmpwi r6, 2\n"
+         "  beq engine_me_done\n"
+         // --- CIE done ---
+         "  lwz r7, MB_CIE_COUNT(r5)\n  addi r7, r7, 1\n"
+         "  stw r7, MB_CIE_COUNT(r5)\n"
+         "  li r7, 2\n  mtdcr CIE_STATUS, r7\n"
+      << start_dpr_block(2, "tome")
+      << "  b isr_ack\n"
+         "engine_me_done:\n"
+         "  lwz r7, MB_ME_COUNT(r5)\n  addi r7, r7, 1\n"
+         "  stw r7, MB_ME_COUNT(r5)\n"
+         "  li r7, 2\n  mtdcr ME_STATUS, r7\n"
+         "  li r7, 1\n  stw r7, VAR_FIELD_READY(r5)\n"
+      << start_dpr_block(1, "tocie")
+      << "  b isr_ack\n";
+
+    // IcapCTRL-done handler: only the IRQ-wait ReSim driver takes this
+    // interrupt; every other variant masks the line, so the handler shrinks
+    // to a stub (keeping unreachable ICAP/ISO driver code out of, e.g., the
+    // hacked VM software).
+    s << "\nhandle_icap:\n"
+         "  li r4, 2\n";
+    if (!vm && cfg.wait == FirmwareConfig::Wait::kIrq) {
+        s << post_dpr_block("irq");
+    }
+    s << "  b isr_ack\n";
+
+    // Camera-frame handler.
+    s << "\nhandle_video:\n"
+         "  li r4, 4\n"
+         "  lwz r6, VAR_CUR_ENGINE(r5)\n"
+         "  cmpwi r6, 1\n"
+         "  bne video_defer\n"
+         "  lwz r6, VAR_BUSY(r5)\n"
+         "  cmpwi r6, 0\n"
+         "  bne video_defer\n"
+         "  lwz r6, VAR_DPR_BUSY(r5)\n"
+         "  cmpwi r6, 0\n"
+         "  bne video_defer\n"
+      << start_cie_block
+      << "  b isr_ack\n"
+         "video_defer:\n"
+         "  li r6, 1\n  stw r6, VAR_FRAME_READY(r5)\n"
+         "  b isr_ack\n";
+
+    // --------------------------------------------------------------- main
+    s << "\n.org 0x1000\n_start:\n";
+    s << load32("r30", "MAILBOX") << "  mr r5, r30\n";
+    s << "  li r6, 1\n  stw r6, VAR_CUR_ENGINE(r5)\n"
+      // start_cie swaps the buffers before programming, so frame 0 lands
+      // in CENSUS_A (the testbench convention) when cur starts as B.
+      << load32("r6", "CENSUS_B") << "  stw r6, VAR_CEN_CUR(r5)\n"
+      << load32("r6", "CENSUS_A") << "  stw r6, VAR_CEN_PREV(r5)\n"
+      << "  li r6, 0\n"
+         "  stw r6, VAR_BUSY(r5)\n"
+         "  stw r6, VAR_DPR_BUSY(r5)\n"
+         "  stw r6, VAR_FRAME_READY(r5)\n"
+         "  stw r6, VAR_FIELD_READY(r5)\n"
+         "  stw r6, MB_FRAMES_DONE(r5)\n"
+         "  stw r6, MB_CIE_COUNT(r5)\n"
+         "  stw r6, MB_ME_COUNT(r5)\n"
+         "  stw r6, MB_DPR_COUNT(r5)\n"
+         "  stw r6, MB_FATAL(r5)\n";
+    // INTC setup: edge capture unless bug.hw.3; the icap line is only
+    // enabled in IRQ wait mode.
+    const unsigned ier =
+        (cfg.wait == FirmwareConfig::Wait::kIrq && !vm) ? 0b111u : 0b101u;
+    s << "  li r6, " << ier << "\n  mtdcr INTC_IER, r6\n";
+    s << "  li r6, " << (f == Fault::kHw3LevelIntc ? 0 : 1)
+      << "\n  mtdcr INTC_CTRL, r6\n";
+    if (vm && f != Fault::kHw2NoSigInit) {
+        // Initialise the signature register so the CIE is resident —
+        // omitting this is exactly bug.hw.2.
+        s << "  li r6, 1\n  mtdcr SIG_REG, r6\n";
+    }
+    s << load32("r29", "FIELD_BUF") << load32("r28", "OUT_BUF");
+    s << "  wrteei 1\n";
+
+    // Pipelined main loop: draws the motion markers of the previous frame
+    // while the engines (driven by the ISRs) process the next one.
+    s << "main_loop:\n"
+         "  lwz r14, VAR_FIELD_READY(r30)\n"
+         "  cmpwi r14, 0\n"
+         "  beq main_loop\n"
+         "  li r14, 0\n  stw r14, VAR_FIELD_READY(r30)\n"
+         "  li r15, 0\n"           // gy
+         "draw_y:\n"
+         "  li r16, 0\n"           // gx
+         "draw_x:\n"
+         "  mulli r17, r15, GW\n"
+         "  add r17, r17, r16\n"
+         "  slwi r17, r17, 2\n"
+         "  add r17, r17, r29\n"
+         "  lwz r18, 0(r17)\n"     // motion word
+         "  srwi r19, r18, 24\n"
+         "  addi r19, r19, -128\n"
+         "  srawi r20, r19, 31\n"
+         "  xor r19, r19, r20\n"
+         "  subf r19, r20, r19\n"  // |dx|
+         "  srwi r21, r18, 16\n"
+         "  andi. r21, r21, 0xFF\n"
+         "  addi r21, r21, -128\n"
+         "  srawi r20, r21, 31\n"
+         "  xor r21, r21, r20\n"
+         "  subf r21, r20, r21\n"  // |dy|
+         "  add r19, r19, r21\n"
+         "  li r22, 0\n"
+         "  cmpwi r19, DRAW_THRESH\n"
+         "  blt draw_store\n"
+         "  li r22, 255\n"
+         "draw_store:\n"
+         "  mulli r23, r15, STEP\n"
+         "  addi r23, r23, MARGIN\n"
+         "  mulli r23, r23, WIDTH\n"
+         "  mulli r24, r16, STEP\n"
+         "  add r23, r23, r24\n"
+         "  addi r23, r23, MARGIN\n"
+         "  add r23, r23, r28\n"
+         "  stb r22, 0(r23)\n"
+         "  addi r16, r16, 1\n"
+         "  cmpwi r16, GW\n"
+         "  blt draw_x\n"
+         "  addi r15, r15, 1\n"
+         "  cmpwi r15, GH\n"
+         "  blt draw_y\n"
+         "  lwz r14, MB_FRAMES_DONE(r30)\n"
+         "  addi r14, r14, 1\n"
+         "  stw r14, MB_FRAMES_DONE(r30)\n"
+         "  b main_loop\n";
+
+    return s.str();
+}
+
+isa::Program build_firmware(const FirmwareConfig& cfg) {
+    return isa::assemble(build_firmware_source(cfg));
+}
+
+}  // namespace autovision::sys

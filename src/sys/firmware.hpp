@@ -1,0 +1,58 @@
+// Firmware builder for the Optical Flow Demonstrator.
+//
+// Generates the embedded software — drivers, interrupt service routines and
+// the pipelined main loop of Figure 2 — as PowerPC assembly, parameterised
+// by the simulation method (Virtual Multiplexing vs ReSim), the DPR wait
+// strategy, the video geometry and the injected fault. The generated source
+// is assembled into genuine machine code executed by the ISS.
+//
+// Method differences follow the paper exactly:
+//   * ReSim firmware drives the real reconfiguration machinery: isolate,
+//     program IcapCTRL with the staged SimB, start the transfer, and
+//     (depending on Wait) take the completion interrupt, poll the done bit,
+//     or spin a fixed delay before bringing the new engine up.
+//   * VM firmware is the "hacked" variant: the reconfiguration driver is
+//     replaced by a write to the simulation-only engine_signature register
+//     (zero-delay swap); the IcapCTRL driver never runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faults.hpp"
+#include "isa/assembler.hpp"
+
+namespace autovision::sys {
+
+struct FirmwareConfig {
+    enum class Method { kVm, kResim };
+    enum class Wait {
+        kIrq,       ///< take the IcapCTRL completion interrupt (reference)
+        kPollDone,  ///< poll STATUS.done (bug.sw.1 polls the wrong bit)
+        kDelay,     ///< spin a fixed loop (the original driver; bug.dpr.6b
+                    ///< when the loop is tuned for the old config clock)
+    };
+
+    Method method = Method::kResim;
+    Wait wait = Wait::kIrq;
+    std::uint32_t delay_loops = 4000;  ///< iterations for Wait::kDelay
+
+    unsigned width = 64;
+    unsigned height = 48;
+    unsigned step = 4;
+    unsigned margin = 8;
+    unsigned search = 3;
+
+    std::uint32_t simb_cie_words = 0;  ///< staged SimB lengths (total words)
+    std::uint32_t simb_me_words = 0;
+
+    Fault fault = Fault::kNone;
+};
+
+/// Generate the assembly source (useful for inspection/tests).
+[[nodiscard]] std::string build_firmware_source(const FirmwareConfig& cfg);
+
+/// Assemble it.
+[[nodiscard]] isa::Program build_firmware(const FirmwareConfig& cfg);
+
+}  // namespace autovision::sys

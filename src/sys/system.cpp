@@ -1,0 +1,140 @@
+#include "system.hpp"
+
+#include "address_map.hpp"
+
+namespace autovision::sys {
+
+namespace {
+
+IcapCtrl::Config icap_config(const SystemConfig& cfg) {
+    IcapCtrl::Config ic;
+    ic.dcr_base = kDcrIcap;
+    ic.size_in_bytes = true;  // the modified (shared-bus) IP counts bytes
+    ic.p2p_mode = (cfg.fault == Fault::kDpr4P2pIcap);
+    ic.burst_words = 16;
+    ic.fifo_depth = cfg.icap_fifo_depth;
+    ic.clk_div = cfg.icap_clk_div;
+    return ic;
+}
+
+FirmwareConfig firmware_config(const SystemConfig& cfg,
+                               std::uint32_t simb_cie_words,
+                               std::uint32_t simb_me_words) {
+    FirmwareConfig fw;
+    fw.method = cfg.method;
+    fw.wait = cfg.wait;
+    fw.delay_loops = cfg.delay_loops;
+    fw.width = cfg.width;
+    fw.height = cfg.height;
+    fw.step = cfg.step;
+    fw.margin = cfg.margin;
+    fw.search = cfg.search;
+    fw.simb_cie_words = simb_cie_words;
+    fw.simb_me_words = simb_me_words;
+    fw.fault = cfg.fault;
+    return fw;
+}
+
+}  // namespace
+
+OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
+    : cfg_(cfg),
+      clk(sch, "clk", cfg.clk_period),
+      rst(sch, "rst", 4 * cfg.clk_period),
+      mem(Memory::Config{0, 8u << 20, 4}),
+      plb(sch, "plb", clk.out, rst.out,
+          Plb::Config{kNumMasters, /*max_burst=*/16, /*grant_timeout=*/50000}),
+      dcr(sch, "dcr", clk.out, rst.out),
+      intc(sch, "intc", clk.out, rst.out, kDcrIntc),
+      iso(sch, "iso", kDcrIso),
+      cie_regs(sch, "cie_regs", clk.out, kDcrCie),
+      me_regs(sch, "me_regs", clk.out, kDcrMe),
+      cie(sch, "cie", clk.out, rst.out, cie_regs),
+      me(sch, "me", clk.out, rst.out, me_regs),
+      rr_done(sch, "rr_done", rtlsim::Logic::L0),
+      rr(sch, "rr", plb.master(kMasterRr), rr_done),
+      icapctrl(sch, "icapctrl", clk.out, rst.out, plb.master(kMasterIcap),
+               icap_router, icap_config(cfg)),
+      video_in(sch, "video_in", clk.out, plb.master(kMasterVideoIn)),
+      video_out(sch, "video_out", clk.out, plb.master(kMasterVideoOut)),
+      firmware(),
+      cpu(sch, "cpu", clk.out, rst.out, plb.master(kMasterCpu), dcr, mem,
+          intc.irq, isa::PpcCpu::Config{kFwBase, 5}) {
+    sch.set_profiling(cfg.profiling);
+
+    // --- bus topology -----------------------------------------------------
+    plb.attach_slave(mem);
+
+    // --- reconfigurable region --------------------------------------------
+    rr.add_module(cie);  // slot 0 = module id 1
+    rr.add_module(me);   // slot 1 = module id 2
+    rr.set_isolation_signal(iso.isolate);
+
+    // --- interrupt fabric ----------------------------------------------------
+    intc.attach(rr_done);               // line 0: engine done (through RR)
+    intc.attach(icapctrl.done_irq);     // line 1: bitstream transfer done
+    intc.attach(video_in.frame_irq);    // line 2: camera frame landed
+
+    // --- DCR daisy chain (ring order models physical placement) -----------
+    dcr.attach(icapctrl);
+    dcr.attach(iso);
+    dcr.attach(intc);
+    dcr.attach(cie_regs);
+    dcr.attach(me_regs);
+
+    // --- method-specific simulation-only layer ------------------------------
+    if (is_resim()) {
+        portal = std::make_unique<resim::ExtendedPortal>(sch, "portal");
+        icap_artifact =
+            std::make_unique<resim::IcapArtifact>(sch, "icap", *portal);
+        portal->map_module(kRrId, kModuleCie, rr, 0);
+        portal->map_module(kRrId, kModuleMe, rr, 1);
+        // Power-on full configuration loads the CIE.
+        portal->initial_configuration(kRrId, kModuleCie);
+    } else {
+        rr.set_unselected_policy(RrBoundary::UnselectedPolicy::kIdle);
+        vmux = std::make_unique<vm::VirtualMux>(sch, "vmux", rr, kDcrSig);
+        vmux->map_module(1, 0);  // signature 1 = CIE
+        vmux->map_module(2, 1);  // signature 2 = ME
+        dcr.attach(*vmux);
+        // The region stays unselected until software initialises the
+        // signature register (or fails to — bug.hw.2).
+    }
+
+    // Point the IcapCTRL at the right sink. Under VM the controller is
+    // instantiated but unused in simulation (its words go to a null sink).
+    icap_router.set_target(icap_artifact ? static_cast<IcapPortIf*>(
+                                               icap_artifact.get())
+                                         : &null_icap);
+
+    // --- bug.dpr.2 placement ------------------------------------------------
+    if (cfg.fault == Fault::kDpr2RegsInsideRr && is_resim()) {
+        // Registers inside the region exist only while their module is
+        // resident; an absent/being-overwritten module breaks the ring.
+        cie_regs.corrupted_hook = [this] { return !cie.rm_active(); };
+        me_regs.corrupted_hook = [this] { return !me.rm_active(); };
+    }
+
+    // --- stage bitstreams ---------------------------------------------------
+    resim::SimB scie;
+    scie.rr_id = kRrId;
+    scie.module_id = kModuleCie;
+    scie.payload_words = cfg.simb_payload_words;
+    const auto cie_ws = scie.build();
+    resim::SimB sme = scie;
+    sme.module_id = kModuleMe;
+    sme.seed = 0xF464'9889;
+    const auto me_ws = sme.build();
+    simb_cie_words = static_cast<std::uint32_t>(cie_ws.size());
+    simb_me_words = static_cast<std::uint32_t>(me_ws.size());
+    mem.load_words(kSimbCie, cie_ws);
+    mem.load_words(kSimbMe, me_ws);
+
+    // --- firmware -------------------------------------------------------------
+    firmware =
+        build_firmware(firmware_config(cfg, simb_cie_words, simb_me_words));
+    mem.load_words(firmware.origin, firmware.words);
+    cpu.set_pc(firmware.entry());
+}
+
+}  // namespace autovision::sys

@@ -1,0 +1,131 @@
+// The integrated Optical Flow Demonstrator.
+//
+// Instantiates the full Figure 1 architecture: PowerPC ISS + firmware, PLB
+// with five masters (CPU, IcapCTRL, the reconfigurable region, video
+// in/out VIPs), main memory, DCR daisy chain (IcapCTRL, isolation, INTC,
+// engine registers, engine_signature), interrupt controller, the two video
+// engines in one reconfigurable region, and — depending on the simulation
+// method — either the ReSim artifacts (ICAP artifact + Extended Portal) or
+// the Virtual Multiplexing signature register.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "address_map.hpp"
+#include "bus/dcr.hpp"
+#include "bus/intc.hpp"
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "engines/matching_engine.hpp"
+#include "firmware.hpp"
+#include "isa/cpu.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/icap_ctrl.hpp"
+#include "recon/isolation.hpp"
+#include "recon/rr_boundary.hpp"
+#include "resim/icap_artifact.hpp"
+#include "resim/portal.hpp"
+#include "resim/simb.hpp"
+#include "vip/video_vip.hpp"
+#include "vm/virtual_mux.hpp"
+
+namespace autovision::sys {
+
+struct SystemConfig {
+    FirmwareConfig::Method method = FirmwareConfig::Method::kResim;
+    FirmwareConfig::Wait wait = FirmwareConfig::Wait::kIrq;
+    std::uint32_t delay_loops = 6000;
+    Fault fault = Fault::kNone;
+
+    unsigned width = 64;
+    unsigned height = 48;
+    unsigned step = 4;
+    unsigned margin = 8;
+    unsigned search = 3;
+
+    /// FDRI payload length of the staged SimBs. The paper used 4K-word
+    /// SimBs for AutoVision and notes ~100 words as the fast-debug choice.
+    std::uint32_t simb_payload_words = 100;
+
+    unsigned icap_clk_div = 4;    ///< modified (slow) configuration clock
+    unsigned icap_fifo_depth = 32;
+    rtlsim::Time clk_period = 10 * rtlsim::NS;  ///< 100 MHz system clock
+    bool profiling = false;       ///< per-process wall-clock accounting
+
+    /// When non-empty, the testbench dumps a VCD of the system's key
+    /// signals (clock, region boundary, interrupt lines, stream tap) to
+    /// this path for waveform inspection.
+    std::string vcd_path;
+};
+
+class OpticalFlowSystem {
+public:
+    explicit OpticalFlowSystem(SystemConfig cfg);
+
+    [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+
+    // --- mailbox access ---------------------------------------------------
+    [[nodiscard]] std::uint32_t mailbox(std::uint32_t offset) const {
+        return mem.peek_u32(kMailbox + offset);
+    }
+
+    /// Census buffer used for frame `n` (double-buffered, A first).
+    [[nodiscard]] static std::uint32_t census_addr_for_frame(unsigned n) {
+        return (n % 2 == 0) ? kCensusA : kCensusB;
+    }
+
+    [[nodiscard]] bool is_resim() const {
+        return cfg_.method == FirmwareConfig::Method::kResim;
+    }
+
+    // Construction order matters: members are wired top to bottom.
+    SystemConfig cfg_;
+    rtlsim::Scheduler sch;
+    rtlsim::Clock clk;
+    rtlsim::ResetGen rst;
+    Memory mem;
+    Plb plb;
+    DcrChain dcr;
+    Intc intc;
+    Isolation iso;
+    EngineRegs cie_regs;
+    EngineRegs me_regs;
+    CensusEngine cie;
+    MatchingEngine me;
+    rtlsim::Signal<rtlsim::Logic> rr_done;
+    RrBoundary rr;
+
+    // ReSim artifacts (null under Virtual Multiplexing).
+    std::unique_ptr<resim::ExtendedPortal> portal;
+    std::unique_ptr<resim::IcapArtifact> icap_artifact;
+    // VM artefact (null under ReSim).
+    std::unique_ptr<vm::VirtualMux> vmux;
+    NullIcap null_icap;
+
+    /// Stable ICAP sink handed to the IcapCTRL at construction; routed to
+    /// the ICAP artifact (ReSim) or the null sink (VM) once those exist.
+    class IcapRouter final : public IcapPortIf {
+    public:
+        void icap_write(rtlsim::Word w) override {
+            if (target_ != nullptr) target_->icap_write(w);
+        }
+        void set_target(IcapPortIf* t) { target_ = t; }
+
+    private:
+        IcapPortIf* target_ = nullptr;
+    };
+    IcapRouter icap_router;
+
+    IcapCtrl icapctrl;
+    vip::VideoInVip video_in;
+    vip::VideoOutVip video_out;
+    isa::Program firmware;
+    isa::PpcCpu cpu;
+
+    std::uint32_t simb_cie_words = 0;
+    std::uint32_t simb_me_words = 0;
+};
+
+}  // namespace autovision::sys

@@ -1,0 +1,201 @@
+#include "testbench.hpp"
+
+#include "address_map.hpp"
+
+namespace autovision::sys {
+
+namespace {
+
+video::MatchConfig match_config(const SystemConfig& cfg) {
+    video::MatchConfig mc;
+    mc.step = cfg.step;
+    mc.margin = cfg.margin;
+    mc.search = static_cast<int>(cfg.search);
+    mc.patch = 1;
+    return mc;
+}
+
+video::SceneConfig scene_config(const SystemConfig& cfg, std::uint32_t seed) {
+    return video::SceneConfig::standard(cfg.width, cfg.height, seed);
+}
+
+}  // namespace
+
+std::string RunResult::verdict() const {
+    if (clean()) return "clean";
+    std::string v;
+    if (watchdog_timeout) v += "[watchdog timeout] ";
+    if (frames_completed < frames_requested) {
+        v += "[only " + std::to_string(frames_completed) + "/" +
+             std::to_string(frames_requested) + " frames] ";
+    }
+    if (data_corruption()) {
+        v += "[data corruption: " + std::to_string(census_mismatches) +
+             " census / " + std::to_string(field_mismatches) + " field / " +
+             std::to_string(output_mismatches) + " output] ";
+    }
+    if (!diagnostics.empty()) {
+        v += "[" + std::to_string(diagnostics.size()) +
+             " checker diagnostics, first: " + diagnostics.front().source +
+             ": " + diagnostics.front().message + "]";
+    }
+    return v;
+}
+
+Testbench::Testbench(SystemConfig cfg, std::uint32_t scene_seed)
+    : sys(cfg),
+      scene(scene_config(cfg, scene_seed)),
+      scoreboard(match_config(cfg), cfg.width, cfg.height, kDrawThreshold) {
+    if (!cfg.vcd_path.empty()) {
+        vcd_file_ = std::make_unique<std::ofstream>(cfg.vcd_path);
+        tracer_ = std::make_unique<rtlsim::Tracer>(*vcd_file_);
+        tracer_->add(sys.clk.out);
+        tracer_->add(sys.rst.out);
+        tracer_->add(sys.rr_done);
+        tracer_->add(sys.rr.stream_tap);
+        tracer_->add(sys.plb.master(kMasterRr).req);
+        tracer_->add(sys.plb.master(kMasterRr).addr);
+        tracer_->add(sys.icapctrl.done_irq);
+        tracer_->add(sys.intc.irq);
+        tracer_->add(sys.iso.isolate);
+        tracer_->add(sys.video_in.frame_irq);
+        sys.sch.set_tracer(tracer_.get());
+    }
+}
+
+void Testbench::send_frame(unsigned index) {
+    sys.video_in.send_frame(scene.frame(index), kFrameBuf);
+    ++frames_sent_;
+}
+
+RunResult Testbench::run(unsigned frames, std::uint64_t watchdog_cycles) {
+    using Clock = std::chrono::steady_clock;
+    const SystemConfig& cfg = sys.config();
+    RunResult res;
+    res.frames_requested = frames;
+
+    if (watchdog_cycles == 0) {
+        // Generous budget: engines are ~cycle/pixel and ~cycle/candidate;
+        // the CPU adds drawing and ISR overhead on top.
+        const std::uint64_t px = std::uint64_t{cfg.width} * cfg.height;
+        const unsigned span = 2 * cfg.search + 1;
+        watchdog_cycles = 200000 + px * (30 + span * span);
+    }
+
+    // Hard cap: runaway failure modes (e.g. an interrupt storm) keep the
+    // mailbox counters moving, so the progress watchdog alone cannot bound
+    // the run.
+    const std::uint64_t max_total_cycles =
+        (std::uint64_t{frames} + 8) * watchdog_cycles;
+
+    const rtlsim::SimStats stats0 = sys.sch.stats;
+    const rtlsim::Time t0 = sys.sch.now();
+
+    // Reset settles first; then the camera delivers the first frame.
+    sys.sch.run_until(8 * cfg.clk_period);
+    send_frame(0);
+
+    std::uint64_t last_progress_sum = ~std::uint64_t{0};
+    std::uint64_t idle_cycles = 0;
+    unsigned frames_checked = 0;
+    unsigned cie_seen = 0;
+    unsigned me_seen = 0;
+
+    constexpr unsigned kQuantum = 32;  // cycles per attribution slice
+    auto wall_prev = Clock::now();
+    const auto wall_start = wall_prev;
+
+    std::uint64_t total_cycles = 0;
+    while (!sys.sch.stop_requested()) {
+        sys.sch.run_until(sys.sch.now() + kQuantum * cfg.clk_period);
+        total_cycles += kQuantum;
+        if (total_cycles > max_total_cycles) {
+            res.watchdog_timeout = true;
+            sys.sch.report("watchdog", "hard run budget exhausted");
+            break;
+        }
+
+        // ---- stage attribution (Table II) -----------------------------
+        const auto wall_now = Clock::now();
+        const auto dwall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            wall_now - wall_prev);
+        wall_prev = wall_now;
+        const rtlsim::Time dsim = kQuantum * cfg.clk_period;
+        if (sys.icapctrl.busy()) {
+            res.stages.dpr_sim += dsim;
+            res.stages.dpr_wall += dwall;
+        } else if (sys.cie.busy()) {
+            res.stages.cie_sim += dsim;
+            res.stages.cie_wall += dwall;
+        } else if (sys.me.busy()) {
+            res.stages.me_sim += dsim;
+            res.stages.me_wall += dwall;
+        } else {
+            res.stages.cpu_sim += dsim;
+            res.stages.cpu_wall += dwall;
+        }
+
+        // ---- scoreboard hooks ------------------------------------------
+        const std::uint32_t cie_count = sys.mailbox(kMbCieCount);
+        const std::uint32_t me_count = sys.mailbox(kMbMeCount);
+        const std::uint32_t frames_done = sys.mailbox(kMbFramesDone);
+
+        if (cie_count > cie_seen) {
+            // A census image is complete: check it, then let the camera
+            // overwrite the consumed input frame with the next one.
+            scoreboard.expect_frame(scene.frame(cie_seen));
+            res.census_mismatches += scoreboard.check_census(
+                sys.mem,
+                OpticalFlowSystem::census_addr_for_frame(cie_seen));
+            ++cie_seen;
+            if (frames_sent_ < frames) send_frame(frames_sent_);
+        }
+        if (me_count > me_seen) {
+            res.field_mismatches += scoreboard.check_field(sys.mem, kFieldBuf);
+            ++me_seen;
+        }
+        if (frames_done > frames_checked) {
+            res.output_mismatches += scoreboard.check_output_mem(
+                sys.mem, kOutBuf, frames_checked);
+            // Exercise the display path as well: the VIP fetch is checked
+            // when it completes (a few hundred cycles later).
+            if (!sys.video_out.busy()) {
+                sys.video_out.fetch_frame(
+                    kOutBuf, cfg.width, cfg.height, [this](video::Frame f) {
+                        displayed.push_back(std::move(f));
+                    });
+            }
+            ++frames_checked;
+        }
+        if (frames_checked >= frames && !sys.video_out.busy()) break;
+
+        // ---- watchdog ----------------------------------------------------
+        const std::uint64_t progress_sum =
+            std::uint64_t{cie_count} + me_count + frames_done +
+            sys.mailbox(kMbDprCount);
+        if (progress_sum == last_progress_sum) {
+            idle_cycles += kQuantum;
+            if (idle_cycles >= watchdog_cycles) {
+                res.watchdog_timeout = true;
+                sys.sch.report("watchdog",
+                               "no pipeline progress in " +
+                                   std::to_string(watchdog_cycles) +
+                                   " cycles");
+                break;
+            }
+        } else {
+            idle_cycles = 0;
+            last_progress_sum = progress_sum;
+        }
+    }
+
+    res.frames_completed = frames_checked;
+    res.diagnostics = sys.sch.diagnostics();
+    res.stats = sys.sch.stats - stats0;
+    res.sim_time = sys.sch.now() - t0;
+    res.wall_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - wall_start);
+    return res;
+}
+
+}  // namespace autovision::sys

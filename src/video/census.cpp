@@ -1,0 +1,27 @@
+#include "census.hpp"
+
+namespace autovision::video {
+
+std::uint8_t census_signature(const Frame& f, unsigned x, unsigned y) {
+    const std::uint8_t c = f.at(x, y);
+    std::uint8_t sig = 0;
+    for (int i = 0; i < 8; ++i) {
+        const std::uint8_t n = f.at_clamped(static_cast<int>(x) + kCensusOffsets[i][0],
+                                            static_cast<int>(y) + kCensusOffsets[i][1]);
+        sig = static_cast<std::uint8_t>(sig << 1);
+        if (n > c) sig |= 1;
+    }
+    return sig;
+}
+
+Frame census_transform(const Frame& f) {
+    Frame out(f.width(), f.height());
+    for (unsigned y = 0; y < f.height(); ++y) {
+        for (unsigned x = 0; x < f.width(); ++x) {
+            out.at(x, y) = census_signature(f, x, y);
+        }
+    }
+    return out;
+}
+
+}  // namespace autovision::video

@@ -1,0 +1,30 @@
+// Census transform — golden reference model for the Census Image Engine.
+//
+// Each pixel is replaced by an 8-bit signature: one bit per 3x3 neighbour
+// (clockwise from top-left), set when the neighbour's luma is strictly
+// greater than the centre. The transform is illumination-invariant, which is
+// why the AutoVision optical flow pipeline matches census signatures rather
+// than raw luma. The RTL Census Image Engine must be bit-exact against this
+// model; the scoreboard compares the feature image it writes to memory with
+// census_transform() of the same input.
+#pragma once
+
+#include "frame.hpp"
+
+namespace autovision::video {
+
+/// Neighbour offsets in signature bit order (bit 7 first = top-left,
+/// clockwise).
+inline constexpr int kCensusOffsets[8][2] = {
+    {-1, -1}, {0, -1}, {1, -1}, {1, 0},
+    {1, 1},   {0, 1},  {-1, 1}, {-1, 0},
+};
+
+/// Signature of the 3x3 neighbourhood centred at (x, y), edge-clamped.
+[[nodiscard]] std::uint8_t census_signature(const Frame& f, unsigned x,
+                                            unsigned y);
+
+/// Full-frame census transform; output geometry equals input geometry.
+[[nodiscard]] Frame census_transform(const Frame& f);
+
+}  // namespace autovision::video

@@ -1,0 +1,31 @@
+#include "sobel.hpp"
+
+#include <cstdlib>
+
+namespace autovision::video {
+
+std::uint8_t sobel_magnitude(const Frame& f, unsigned x, unsigned y) {
+    const int xi = static_cast<int>(x);
+    const int yi = static_cast<int>(y);
+    auto p = [&](int dx, int dy) {
+        return static_cast<int>(f.at_clamped(xi + dx, yi + dy));
+    };
+    const int gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) -
+                   (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+    const int gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) -
+                   (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+    const int mag = std::abs(gx) + std::abs(gy);
+    return static_cast<std::uint8_t>(mag > 255 ? 255 : mag);
+}
+
+Frame sobel_transform(const Frame& f) {
+    Frame out(f.width(), f.height());
+    for (unsigned y = 0; y < f.height(); ++y) {
+        for (unsigned x = 0; x < f.width(); ++x) {
+            out.at(x, y) = sobel_magnitude(f, x, y);
+        }
+    }
+    return out;
+}
+
+}  // namespace autovision::video

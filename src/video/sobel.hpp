@@ -1,0 +1,19 @@
+// Sobel edge magnitude — golden reference model for the Edge Detection
+// Engine (the AutoVision project swapped detection engines as driving
+// conditions changed; the edge engine is the canonical "tunnel mode"
+// companion to the optical-flow pair).
+#pragma once
+
+#include "frame.hpp"
+
+namespace autovision::video {
+
+/// |Gx| + |Gy| of the 3x3 Sobel operator at (x, y), edge-clamped and
+/// saturated to 255. Integer-exact so the RTL engine can match bit-for-bit.
+[[nodiscard]] std::uint8_t sobel_magnitude(const Frame& f, unsigned x,
+                                           unsigned y);
+
+/// Full-frame edge image; output geometry equals input geometry.
+[[nodiscard]] Frame sobel_transform(const Frame& f);
+
+}  // namespace autovision::video

@@ -1,0 +1,113 @@
+#include "synth.hpp"
+
+namespace autovision::video {
+
+namespace {
+
+/// Deterministic 32-bit LCG (Numerical Recipes constants); portable across
+/// platforms unlike std::rand.
+class Lcg {
+public:
+    explicit Lcg(std::uint32_t seed) : s_(seed) {}
+    std::uint32_t next() {
+        s_ = s_ * 1664525u + 1013904223u;
+        return s_;
+    }
+    std::uint8_t byte() { return static_cast<std::uint8_t>(next() >> 24); }
+
+private:
+    std::uint32_t s_;
+};
+
+}  // namespace
+
+SceneConfig SceneConfig::standard(unsigned width, unsigned height,
+                                  std::uint32_t seed) {
+    SceneConfig cfg;
+    cfg.width = width;
+    cfg.height = height;
+    cfg.seed = seed;
+    const int w = static_cast<int>(width);
+    const int h = static_cast<int>(height);
+    // A fast "car" crossing left-to-right and a slower one drifting down.
+    cfg.objects.push_back(MovingObject{w / 8, h / 3, width / 4, height / 4,
+                                       /*vx=*/2, /*vy=*/0, 210});
+    cfg.objects.push_back(MovingObject{w / 2, h / 8, width / 5, height / 5,
+                                       /*vx=*/-1, /*vy=*/1, 120});
+    return cfg;
+}
+
+SyntheticScene::SyntheticScene(SceneConfig cfg) : cfg_(std::move(cfg)) {
+    // Textured background: low-amplitude noise over a horizontal gradient so
+    // the census transform has structure everywhere (a flat background would
+    // make matching degenerate).
+    background_ = Frame(cfg_.width, cfg_.height);
+    Lcg rng(cfg_.seed);
+    for (unsigned y = 0; y < cfg_.height; ++y) {
+        for (unsigned x = 0; x < cfg_.width; ++x) {
+            const auto grad =
+                static_cast<std::uint8_t>(40 + (x * 80) / cfg_.width);
+            background_.at(x, y) =
+                static_cast<std::uint8_t>(grad + rng.byte() % 32);
+        }
+    }
+    // Per-object texture, distinct seed per object.
+    for (std::size_t i = 0; i < cfg_.objects.size(); ++i) {
+        const MovingObject& o = cfg_.objects[i];
+        Frame tex(o.w, o.h);
+        Lcg trng(cfg_.seed * 7919u + static_cast<std::uint32_t>(i) + 1);
+        for (unsigned y = 0; y < o.h; ++y) {
+            for (unsigned x = 0; x < o.w; ++x) {
+                tex.at(x, y) = static_cast<std::uint8_t>(
+                    o.base_luma / 2 + trng.byte() % (o.base_luma / 2 + 1));
+            }
+        }
+        textures_.push_back(std::move(tex));
+    }
+}
+
+Frame SyntheticScene::frame(unsigned t) const {
+    Frame f = background_;
+    for (std::size_t i = 0; i < cfg_.objects.size(); ++i) {
+        const MovingObject& o = cfg_.objects[i];
+        const int ox = o.x0 + o.vx * static_cast<int>(t);
+        const int oy = o.y0 + o.vy * static_cast<int>(t);
+        for (unsigned ty = 0; ty < o.h; ++ty) {
+            for (unsigned tx = 0; tx < o.w; ++tx) {
+                const int px = ox + static_cast<int>(tx);
+                const int py = oy + static_cast<int>(ty);
+                if (px < 0 || py < 0 ||
+                    px >= static_cast<int>(cfg_.width) ||
+                    py >= static_cast<int>(cfg_.height)) {
+                    continue;
+                }
+                f.at(static_cast<unsigned>(px), static_cast<unsigned>(py)) =
+                    textures_[i].at(tx, ty);
+            }
+        }
+    }
+    return f;
+}
+
+bool SyntheticScene::ground_truth(unsigned t, unsigned x, unsigned y, int& dx,
+                                  int& dy) const {
+    // Topmost (last-drawn) object wins, matching frame() paint order.
+    for (std::size_t i = cfg_.objects.size(); i-- > 0;) {
+        const MovingObject& o = cfg_.objects[i];
+        const int ox = o.x0 + o.vx * static_cast<int>(t);
+        const int oy = o.y0 + o.vy * static_cast<int>(t);
+        const int lx = static_cast<int>(x) - ox;
+        const int ly = static_cast<int>(y) - oy;
+        if (lx >= 0 && ly >= 0 && lx < static_cast<int>(o.w) &&
+            ly < static_cast<int>(o.h)) {
+            dx = o.vx;
+            dy = o.vy;
+            return true;
+        }
+    }
+    dx = 0;
+    dy = 0;
+    return false;
+}
+
+}  // namespace autovision::video

@@ -1,0 +1,86 @@
+#include "ila.hpp"
+
+namespace autovision::vip {
+
+Ila::Ila(Scheduler& sch, const std::string& name, Signal<Logic>& clk,
+         Config cfg)
+    : Module(sch, name), cfg_(cfg) {
+    ring_.resize(cfg_.depth);
+    sync_proc("sample", [this] { on_clock(); }, {rtlsim::posedge(clk)});
+}
+
+bool Ila::probe(SignalBase& s, const std::string& label) {
+    if (probes_.size() >= cfg_.max_probes) {
+        report("probe limit reached (" + std::to_string(cfg_.max_probes) +
+               "); changing the probe set requires re-implementation");
+        return false;
+    }
+    probes_.push_back(&s);
+    labels_.push_back(label);
+    return true;
+}
+
+void Ila::arm(std::function<bool(const std::vector<std::string>&)> trigger) {
+    trigger_ = std::move(trigger);
+    armed_ = true;
+    triggered_ = false;
+    frozen_ = false;
+    seen_ = 0;
+    head_ = 0;
+    count_ = 0;
+    seq_ = 0;
+    first_seq_in_ring_ = 0;
+}
+
+void Ila::on_clock() {
+    if (!armed_ || frozen_) return;
+    ++seen_;
+
+    Sample s;
+    s.time = sch_.now();
+    s.values.reserve(probes_.size());
+    for (SignalBase* p : probes_) s.values.push_back(p->trace_value());
+
+    // Write into the ring.
+    if (count_ == ring_.size()) {
+        // Overwriting the oldest sample.
+        ++first_seq_in_ring_;
+    } else {
+        ++count_;
+    }
+    ring_[head_] = std::move(s);
+    head_ = (head_ + 1) % ring_.size();
+    const std::uint64_t this_seq = seq_++;
+
+    if (!triggered_) {
+        if (trigger_ && trigger_(ring_[(head_ + ring_.size() - 1) %
+                                       ring_.size()]
+                                     .values)) {
+            triggered_ = true;
+            trigger_seq_ = this_seq;
+            post_left_ = cfg_.post_trigger;
+        }
+        return;
+    }
+    if (post_left_ > 0 && --post_left_ == 0) frozen_ = true;
+}
+
+std::vector<Ila::Sample> Ila::window() const {
+    std::vector<Sample> out;
+    if (!frozen_) return out;
+    out.reserve(count_);
+    const std::size_t start =
+        (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+int Ila::trigger_index() const {
+    if (!frozen_ || !triggered_) return -1;
+    if (trigger_seq_ < first_seq_in_ring_) return -1;  // rolled out
+    return static_cast<int>(trigger_seq_ - first_seq_in_ring_);
+}
+
+}  // namespace autovision::vip

@@ -1,0 +1,77 @@
+#include "scoreboard.hpp"
+
+#include <cstdlib>
+
+namespace autovision::vip {
+
+Scoreboard::Scoreboard(video::MatchConfig mc, unsigned w, unsigned h,
+                       unsigned draw_threshold)
+    : mc_(mc),
+      w_(w),
+      h_(h),
+      thresh_(draw_threshold),
+      prev_census_(w, h, 0),
+      census_ref_(w, h, 0) {}
+
+void Scoreboard::expect_frame(const video::Frame& input) {
+    census_ref_ = video::census_transform(input);
+    field_ref_ = video::match_census(prev_census_, census_ref_, mc_);
+    // The firmware writes 0 or 255 at each grid point (everything else
+    // stays at the zero-initialised memory background).
+    video::Frame out_ref(w_, h_, 0);
+    for (const video::MotionVector& v : field_ref_.vectors) {
+        const unsigned mag = static_cast<unsigned>(std::abs(v.dx)) +
+                             static_cast<unsigned>(std::abs(v.dy));
+        out_ref.at(v.x, v.y) = (mag >= thresh_) ? 255 : 0;
+    }
+    out_refs_.push_back(std::move(out_ref));
+    prev_census_ = census_ref_;
+    ++frames_;
+}
+
+std::size_t Scoreboard::check_census(const Memory& mem,
+                                     std::uint32_t addr) const {
+    std::size_t mm = 0;
+    for (unsigned i = 0; i < w_ * h_; ++i) {
+        bool ok = true;
+        const std::uint8_t got = mem.peek_u8(addr + i, &ok);
+        if (!ok || got != census_ref_.pixels()[i]) ++mm;
+    }
+    return mm;
+}
+
+std::size_t Scoreboard::check_field(const Memory& mem,
+                                    std::uint32_t addr) const {
+    std::size_t mm = 0;
+    for (std::size_t i = 0; i < field_ref_.vectors.size(); ++i) {
+        bool ok = true;
+        const std::uint32_t got =
+            mem.peek_u32(addr + 4 * static_cast<std::uint32_t>(i), &ok);
+        if (!ok || got != video::encode_motion_word(field_ref_.vectors[i])) {
+            ++mm;
+        }
+    }
+    return mm;
+}
+
+std::size_t Scoreboard::check_output(const video::Frame& fetched,
+                                     unsigned index) const {
+    if (index >= out_refs_.size()) return fetched.size();
+    return fetched.count_mismatches(out_refs_[index]);
+}
+
+std::size_t Scoreboard::check_output_mem(const Memory& mem,
+                                         std::uint32_t addr,
+                                         unsigned index) const {
+    if (index >= out_refs_.size()) return std::size_t{w_} * h_;
+    const video::Frame& ref = out_refs_[index];
+    std::size_t mm = 0;
+    for (unsigned i = 0; i < w_ * h_; ++i) {
+        bool ok = true;
+        const std::uint8_t got = mem.peek_u8(addr + i, &ok);
+        if (!ok || got != ref.pixels()[i]) ++mm;
+    }
+    return mm;
+}
+
+}  // namespace autovision::vip

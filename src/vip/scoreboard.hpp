@@ -1,0 +1,73 @@
+// Scoreboard VIP — end-to-end data checking against the golden models.
+//
+// For every video frame the scoreboard computes the expected census image
+// (golden census transform), the expected motion field (golden block
+// matcher against the previous census image, which starts as all zeros,
+// mirroring the zero-initialised census buffers), and the expected drawn
+// output (the firmware's motion-marker rule). The testbench compares the
+// demonstrator's memory contents against these references as each pipeline
+// stage completes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bus/memory.hpp"
+#include "video/census.hpp"
+#include "video/flow.hpp"
+#include "video/frame.hpp"
+
+namespace autovision::vip {
+
+class Scoreboard {
+public:
+    Scoreboard(video::MatchConfig mc, unsigned w, unsigned h,
+               unsigned draw_threshold);
+
+    /// Advance the reference pipeline by one input frame.
+    void expect_frame(const video::Frame& input);
+
+    [[nodiscard]] unsigned frames_expected() const { return frames_; }
+
+    /// Mismatching pixels between memory at `addr` and the expected census
+    /// image of the latest expected frame.
+    [[nodiscard]] std::size_t check_census(const Memory& mem,
+                                           std::uint32_t addr) const;
+
+    /// Mismatching words between memory at `addr` and the expected motion
+    /// field.
+    [[nodiscard]] std::size_t check_field(const Memory& mem,
+                                          std::uint32_t addr) const;
+
+    /// Mismatching pixels between a fetched output frame and the expected
+    /// marker image of frame `index`. The drawing of frame N overlaps the
+    /// engines processing frame N+1 in the pipelined flow, so per-frame
+    /// references are kept (not just the latest).
+    [[nodiscard]] std::size_t check_output(const video::Frame& fetched,
+                                           unsigned index) const;
+
+    /// Same, but reading the output buffer straight from memory.
+    [[nodiscard]] std::size_t check_output_mem(const Memory& mem,
+                                               std::uint32_t addr,
+                                               unsigned index) const;
+
+    [[nodiscard]] const video::MotionField& expected_field() const {
+        return field_ref_;
+    }
+    [[nodiscard]] const video::Frame& expected_census() const {
+        return census_ref_;
+    }
+
+private:
+    video::MatchConfig mc_;
+    unsigned w_;
+    unsigned h_;
+    unsigned thresh_;
+    unsigned frames_ = 0;
+    video::Frame prev_census_;
+    video::Frame census_ref_;
+    video::MotionField field_ref_;
+    std::vector<video::Frame> out_refs_;  ///< one marker image per frame
+};
+
+}  // namespace autovision::vip

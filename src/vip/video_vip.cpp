@@ -1,0 +1,103 @@
+#include "video_vip.hpp"
+
+namespace autovision::vip {
+
+using rtlsim::Word;
+
+VideoInVip::VideoInVip(rtlsim::Scheduler& sch, const std::string& name,
+                       rtlsim::Signal<Logic>& clk, PlbMasterPort& port)
+    : Module(sch, name),
+      frame_irq(sch, full_name() + ".frame_irq", Logic::L0),
+      dma_(port, 16) {
+    sync_proc("stream", [this] { on_clock(); }, {rtlsim::posedge(clk)});
+}
+
+void VideoInVip::send_frame(const video::Frame& f, std::uint32_t addr,
+                            std::function<void()> on_done) {
+    if (busy_) {
+        report("send_frame while busy; frame dropped");
+        return;
+    }
+    busy_ = true;
+    on_done_ = std::move(on_done);
+    staging_.assign(f.pixels().begin(), f.pixels().end());
+    // Pad to a word multiple (frames are byte-packed 4 per word).
+    while (staging_.size() % 4 != 0) staging_.push_back(0);
+    dma_.start_write(
+        addr, static_cast<std::uint32_t>(staging_.size() / 4),
+        [this](std::uint32_t i) {
+            return Word{(static_cast<std::uint32_t>(staging_[4 * i]) << 24) |
+                        (static_cast<std::uint32_t>(staging_[4 * i + 1]) << 16) |
+                        (static_cast<std::uint32_t>(staging_[4 * i + 2]) << 8) |
+                        static_cast<std::uint32_t>(staging_[4 * i + 3])};
+        },
+        [this] {
+            busy_ = false;
+            pulse_ = true;
+            ++frames_;
+            if (on_done_) {
+                auto f2 = std::move(on_done_);
+                on_done_ = {};
+                f2();
+            }
+        });
+}
+
+void VideoInVip::on_clock() {
+    dma_.step();
+    frame_irq.write(pulse_ ? Logic::L1 : Logic::L0);
+    pulse_ = false;
+}
+
+VideoOutVip::VideoOutVip(rtlsim::Scheduler& sch, const std::string& name,
+                         rtlsim::Signal<Logic>& clk, PlbMasterPort& port)
+    : Module(sch, name),
+      frame_irq(sch, full_name() + ".frame_irq", Logic::L0),
+      dma_(port, 16) {
+    sync_proc("stream", [this] { on_clock(); }, {rtlsim::posedge(clk)});
+}
+
+void VideoOutVip::fetch_frame(std::uint32_t addr, unsigned w, unsigned h,
+                              std::function<void(video::Frame)> sink) {
+    if (busy_) {
+        report("fetch_frame while busy; request dropped");
+        return;
+    }
+    busy_ = true;
+    sink_ = std::move(sink);
+    staging_ = video::Frame(w, h);
+    dma_.start_read(
+        addr, (w * h + 3) / 4,
+        [this](std::uint32_t i, Word word) {
+            if (word.has_unknown() && x_reports_ < 5) {
+                ++x_reports_;
+                report("X in displayed frame data");
+            }
+            const auto v = static_cast<std::uint32_t>(word.to_u64());
+            auto px = staging_.pixels();
+            for (unsigned b = 0; b < 4; ++b) {
+                const std::size_t idx = 4 * std::size_t{i} + b;
+                if (idx < px.size()) {
+                    px[idx] = static_cast<std::uint8_t>(v >> (8 * (3 - b)));
+                }
+            }
+        },
+        [this] {
+            busy_ = false;
+            pulse_ = true;
+            ++frames_;
+            if (sink_) {
+                auto s = std::move(sink_);
+                sink_ = {};
+                s(std::move(staging_));
+            }
+        });
+}
+
+void VideoOutVip::on_clock() {
+    dma_.step();
+    frame_irq.write(pulse_ ? Logic::L1 : Logic::L0);
+    pulse_ = false;
+}
+
+}  // namespace autovision::vip

@@ -1,0 +1,33 @@
+#include "virtual_mux.hpp"
+
+namespace autovision::vm {
+
+VirtualMux::VirtualMux(rtlsim::Scheduler& sch, const std::string& name,
+                       RrBoundary& boundary, std::uint32_t dcr_base)
+    : Module(sch, name), rr_(boundary), base_(dcr_base) {}
+
+void VirtualMux::map_module(std::uint32_t signature, unsigned slot) {
+    slots_[signature] = slot;
+}
+
+void VirtualMux::dcr_write(std::uint32_t, rtlsim::Word w) {
+    if (w.has_unknown()) {
+        report("X written to engine_signature");
+        return;
+    }
+    const auto sig = static_cast<std::uint32_t>(w.to_u64());
+    initialised_ = true;
+    signature_ = sig;
+    const auto it = slots_.find(sig);
+    if (it == slots_.end()) {
+        report("engine_signature selects unmapped module " +
+               std::to_string(sig));
+        rr_.select(-1);
+        return;
+    }
+    // Zero-delay swap: the defining (in)accuracy of Virtual Multiplexing.
+    rr_.select(static_cast<int>(it->second));
+    ++swaps_;
+}
+
+}  // namespace autovision::vm

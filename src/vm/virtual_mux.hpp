@@ -1,0 +1,59 @@
+// Virtual Multiplexing — the traditional DPR simulation baseline.
+//
+// Both engines are instantiated in parallel inside an Engine_Wrapper; a
+// simulation-only multiplexer selects the active one. The selector is the
+// `engine_signature` register, written by (hacked) software over the DCR
+// bus. Consequences the paper measures:
+//   * module swap is zero-delay and software-triggered — the IcapCTRL and
+//     the bitstream datapath are never exercised;
+//   * no erroneous outputs are generated during a "reconfiguration", so the
+//     isolation machinery is never tested;
+//   * the signature register exists only in simulation; forgetting to
+//     initialise it produces the false-alarm bug.hw.2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "kernel/kernel.hpp"
+#include "recon/rr_boundary.hpp"
+
+namespace autovision::vm {
+
+class VirtualMux final : public rtlsim::Module, public DcrSlaveIf {
+public:
+    /// `dcr_base`: address of the engine_signature register. The register
+    /// powers up *uninitialised* (no module selected, region outputs X)
+    /// unless software writes it — exactly the bug.hw.2 hazard.
+    VirtualMux(rtlsim::Scheduler& sch, const std::string& name,
+               RrBoundary& boundary, std::uint32_t dcr_base);
+
+    /// Bind a signature value to a boundary slot (signature 1 = CIE,
+    /// 2 = ME in the demonstrator).
+    void map_module(std::uint32_t signature, unsigned slot);
+
+    [[nodiscard]] std::uint64_t swaps() const { return swaps_; }
+    [[nodiscard]] bool initialised() const { return initialised_; }
+
+    // --- DcrSlaveIf -------------------------------------------------------
+    [[nodiscard]] bool dcr_claims(std::uint32_t regno) const override {
+        return regno == base_;
+    }
+    [[nodiscard]] rtlsim::Word dcr_read(std::uint32_t) override {
+        return initialised_ ? rtlsim::Word{signature_}
+                            : rtlsim::Word::all_x();
+    }
+    void dcr_write(std::uint32_t, rtlsim::Word w) override;
+    [[nodiscard]] std::string dcr_name() const override { return full_name(); }
+
+private:
+    RrBoundary& rr_;
+    std::uint32_t base_;
+    std::map<std::uint32_t, unsigned> slots_;
+    std::uint32_t signature_ = 0;
+    bool initialised_ = false;
+    std::uint64_t swaps_ = 0;
+};
+
+}  // namespace autovision::vm

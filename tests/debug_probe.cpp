@@ -1,0 +1,55 @@
+// Ad-hoc debug driver for the full system (not a gtest).
+#include <cstdio>
+
+#include "sys/address_map.hpp"
+#include "sys/testbench.hpp"
+
+using namespace autovision;
+using namespace autovision::sys;
+
+int main() {
+    SystemConfig cfg;
+    cfg.method = FirmwareConfig::Method::kResim;
+    cfg.width = 32;
+    cfg.height = 24;
+    cfg.step = 4;
+    cfg.margin = 8;
+    cfg.search = 2;
+    cfg.simb_payload_words = 20;
+
+    Testbench tb(cfg);
+    const RunResult r = tb.run(2);
+    std::printf("verdict: %s\n", r.verdict().c_str());
+    std::printf("frames=%u cie=%u me=%u dpr=%u fatal=%u\n",
+                r.frames_completed, tb.sys.mailbox(kMbCieCount),
+                tb.sys.mailbox(kMbMeCount), tb.sys.mailbox(kMbDprCount),
+                tb.sys.mailbox(kMbFatal));
+    std::printf("icapctrl: busy=%d drained=%llu overflow=%llu\n",
+                tb.sys.icapctrl.busy(),
+                (unsigned long long)tb.sys.icapctrl.words_to_icap(),
+                (unsigned long long)tb.sys.icapctrl.fifo_overflows());
+    if (tb.sys.icap_artifact) {
+        std::printf(
+            "artifact: words=%llu simbs=%llu ignored=%llu in_session=%d "
+            "payload_pending=%d\n",
+            (unsigned long long)tb.sys.icap_artifact->words_received(),
+            (unsigned long long)tb.sys.icap_artifact->simbs_completed(),
+            (unsigned long long)tb.sys.icap_artifact->ignored_before_sync(),
+            tb.sys.icap_artifact->in_session(),
+            tb.sys.icap_artifact->payload_pending());
+        std::printf("portal: swaps=%llu phase_open=%d\n",
+                    (unsigned long long)tb.sys.portal->reconfigurations(),
+                    tb.sys.portal->phase_open());
+    }
+    std::printf("cpu: pc=0x%08x insns=%llu irqs=%llu halted=%d\n",
+                tb.sys.cpu.pc(), (unsigned long long)tb.sys.cpu.instructions(),
+                (unsigned long long)tb.sys.cpu.interrupts_taken(),
+                tb.sys.cpu.halted());
+    std::printf("diags (%zu):\n", r.diagnostics.size());
+    for (std::size_t i = 0; i < r.diagnostics.size() && i < 25; ++i) {
+        const auto& d = r.diagnostics[i];
+        std::printf("  [%10llu ps] %s: %s\n", (unsigned long long)d.time,
+                    d.source.c_str(), d.message.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,17 @@
+#include <cstdio>
+#include "sys/detection.hpp"
+using namespace autovision::sys;
+int main(int argc, char** argv) {
+    SystemConfig base;
+    base.width = 32; base.height = 24; base.search = 2; base.step = 4;
+    base.simb_payload_words = 100;
+    unsigned threads = argc > 1 ? std::stoul(argv[1]) : 0;
+    auto outcomes = run_catalog(base, 2, threads);
+    for (const auto& o : outcomes) {
+        std::printf("%s\n", o.row().c_str());
+        if (!o.matches_expectation()) {
+            std::printf("    VM:    %s\n    ReSim: %s\n", o.vm.verdict().c_str(), o.resim.verdict().c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,20 @@
+#include <cstdio>
+#include "sys/testbench.hpp"
+#include "sys/address_map.hpp"
+using namespace autovision::sys;
+int main() {
+    SystemConfig cfg;
+    cfg.width = 320; cfg.height = 200; cfg.step = 4; cfg.margin = 8; cfg.search = 2;
+    cfg.simb_payload_words = 2048;
+    cfg.icap_clk_div = 2;
+    Testbench tb(cfg);
+    auto r = tb.run(1);
+    std::printf("verdict=%s frames=%u\n", r.verdict().c_str(), r.frames_completed);
+    std::printf("sim_time=%.3f ms wall=%.2f s\n", rtlsim::to_ms(r.sim_time),
+                r.wall_time.count() / 1e9);
+    std::printf("CIE  sim=%.3f ms wall=%.2f s\n", rtlsim::to_ms(r.stages.cie_sim), r.stages.cie_wall.count()/1e9);
+    std::printf("ME   sim=%.3f ms wall=%.2f s\n", rtlsim::to_ms(r.stages.me_sim), r.stages.me_wall.count()/1e9);
+    std::printf("DPR  sim=%.3f ms wall=%.2f s\n", rtlsim::to_ms(r.stages.dpr_sim), r.stages.dpr_wall.count()/1e9);
+    std::printf("CPU  sim=%.3f ms wall=%.2f s\n", rtlsim::to_ms(r.stages.cpu_sim), r.stages.cpu_wall.count()/1e9);
+    return 0;
+}

@@ -1,0 +1,207 @@
+// PLB corner cases: mid-burst abandonment, grant starvation, X write data,
+// and parked grants on uncontended buses.
+#include <gtest/gtest.h>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "kernel/kernel.hpp"
+
+namespace autovision {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+
+struct CornerTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb;
+
+    explicit CornerTb(unsigned masters, unsigned timeout = 200)
+        : plb(sch, "plb", clk.out, rst.out,
+              Plb::Config{masters, 16, timeout}) {
+        plb.attach_slave(mem);
+    }
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+};
+
+// A rogue master that drops its request mid-burst while another master is
+// waiting: the arbiter must abort the transaction and report it.
+TEST(PlbCorners, MidBurstReleaseWithContentionAborts) {
+    CornerTb tb(2);
+    // Master 0 manually requests a 16-beat read...
+    auto& m0 = tb.plb.master(0);
+    auto& m1 = tb.plb.master(1);
+    tb.sch.schedule_at(5 * kClk, [&] {
+        m0.addr.write(rtlsim::Word{0x1000});
+        m0.nbeats.write(rtlsim::LVec<16>{16});
+        m0.rnw.write(Logic::L1);
+        m0.req.write(Logic::L1);
+    });
+    // ...then (buggy IP behaviour) drops req after a few beats while
+    // master 1 is asking for the bus.
+    tb.sch.schedule_at(10 * kClk, [&] {
+        m1.addr.write(rtlsim::Word{0x2000});
+        m1.nbeats.write(rtlsim::LVec<16>{1});
+        m1.rnw.write(Logic::L1);
+        m1.req.write(Logic::L1);
+    });
+    tb.sch.schedule_at(12 * kClk, [&] { m0.req.write(Logic::L0); });
+    tb.run_cycles(60);
+
+    EXPECT_EQ(tb.plb.counters().aborts, 1u);
+    bool found = false;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("released req mid-burst") != std::string::npos) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    // Master 1 must still get served afterwards.
+    bool granted = false;
+    rtlsim::Process p(tb.sch, "mon", [&] { granted = true; });
+    m1.grant.add_listener(p, rtlsim::Edge::Pos);
+    tb.run_cycles(40);
+    EXPECT_TRUE(granted);
+}
+
+// The same release without contention parks the grant and the burst
+// completes (point-to-point tolerance; the original AutoVision wiring).
+TEST(PlbCorners, MidBurstReleaseWithoutContentionContinues) {
+    CornerTb tb(2);
+    auto& m0 = tb.plb.master(0);
+    tb.sch.schedule_at(5 * kClk, [&] {
+        m0.addr.write(rtlsim::Word{0x1000});
+        m0.nbeats.write(rtlsim::LVec<16>{16});
+        m0.rnw.write(Logic::L1);
+        m0.req.write(Logic::L1);
+    });
+    tb.sch.schedule_at(12 * kClk, [&] { m0.req.write(Logic::L0); });
+    tb.run_cycles(80);
+    EXPECT_EQ(tb.plb.counters().read_beats, 16u)
+        << "burst ran to completion";
+    EXPECT_EQ(tb.plb.counters().aborts, 0u);
+}
+
+TEST(PlbCorners, GrantStarvationIsReported) {
+    // One master requests an address nobody claims... no — decode errors
+    // terminate. Starvation needs a request that never wins arbitration:
+    // master 1 asserts req with X on its address, so the arbiter skips it
+    // forever while reporting the X once; the starvation counter fires too.
+    CornerTb tb(1, /*timeout=*/100);
+    auto& m0 = tb.plb.master(0);
+    tb.sch.schedule_at(5 * kClk, [&] {
+        m0.addr.write(rtlsim::Word::all_x());
+        m0.nbeats.write(rtlsim::LVec<16>{1});
+        m0.rnw.write(Logic::L1);
+        m0.req.write(Logic::L1);
+    });
+    tb.run_cycles(300);
+    bool starved = false;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("starvation") != std::string::npos) starved = true;
+    }
+    EXPECT_TRUE(starved);
+}
+
+TEST(PlbCorners, XWriteDataIsReported) {
+    CornerTb tb(1);
+    auto& m0 = tb.plb.master(0);
+    tb.sch.schedule_at(5 * kClk, [&] {
+        m0.addr.write(rtlsim::Word{0x3000});
+        m0.nbeats.write(rtlsim::LVec<16>{1});
+        m0.rnw.write(Logic::L0);
+        m0.wdata.write(rtlsim::Word::all_x());
+        m0.req.write(Logic::L1);
+    });
+    tb.run_cycles(40);
+    bool found = false;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("X in write data") != std::string::npos) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    // The X propagates into memory (4-state storage), observable later.
+    EXPECT_TRUE(tb.mem.peek(0x3000).has_unknown());
+}
+
+TEST(PlbCorners, RoundRobinIsFairUnderSustainedLoad) {
+    CornerTb tb(3);
+    struct Driver : rtlsim::Module {
+        DmaMaster dma;
+        std::uint64_t transfers = 0;
+        Driver(CornerTb& tb2, unsigned port, std::uint32_t addr)
+            : Module(tb2.sch, "drv" + std::to_string(port)),
+              dma(tb2.plb.master(port), 4) {
+            issue(addr);
+            sync_proc("step", [this] { dma.step(); },
+                      {rtlsim::posedge(tb2.clk.out)});
+        }
+        void issue(std::uint32_t addr) {
+            dma.start_read(addr, 4, [](std::uint32_t, rtlsim::Word) {},
+                           [this, addr] {
+                               ++transfers;
+                               issue(addr);
+                           });
+        }
+    };
+    Driver d0(tb, 0, 0x1000);
+    Driver d1(tb, 1, 0x2000);
+    Driver d2(tb, 2, 0x3000);
+    tb.run_cycles(3000);
+    // Sustained contention: nobody gets more than ~1.5x anyone else.
+    const auto lo = std::min({d0.transfers, d1.transfers, d2.transfers});
+    const auto hi = std::max({d0.transfers, d1.transfers, d2.transfers});
+    EXPECT_GT(lo, 10u);
+    EXPECT_LE(hi, lo + lo / 2 + 1)
+        << d0.transfers << "/" << d1.transfers << "/" << d2.transfers;
+    EXPECT_EQ(tb.plb.counters().aborts, 0u);
+}
+
+TEST(PlbCorners, ResetMidBurstRecovers) {
+    CornerTb tb(1);
+    auto& m0 = tb.plb.master(0);
+    tb.sch.schedule_at(5 * kClk, [&] {
+        m0.addr.write(rtlsim::Word{0x1000});
+        m0.nbeats.write(rtlsim::LVec<16>{16});
+        m0.rnw.write(Logic::L1);
+        m0.req.write(Logic::L1);
+    });
+    // Pulse reset in the middle of the burst.
+    tb.sch.schedule_at(12 * kClk, [&] { tb.rst.out.write(Logic::L1); });
+    tb.sch.schedule_at(15 * kClk, [&] {
+        tb.rst.out.write(Logic::L0);
+        m0.req.write(Logic::L0);
+    });
+    tb.run_cycles(40);
+
+    // The bus must arbitrate fresh transactions cleanly afterwards; the
+    // manual master deasserts req as soon as the burst completes.
+    int done_seen = 0;
+    rtlsim::Process p(tb.sch, "mon", [&] {
+        ++done_seen;
+        m0.req.write(Logic::L0);
+    });
+    m0.done.add_listener(p, rtlsim::Edge::Pos);
+    const auto beats_before = tb.plb.counters().read_beats;
+    tb.sch.schedule_in(2 * kClk, [&] {
+        m0.addr.write(rtlsim::Word{0x2000});
+        m0.nbeats.write(rtlsim::LVec<16>{2});
+        m0.rnw.write(Logic::L1);
+        m0.req.write(Logic::L1);
+    });
+    tb.run_cycles(40);
+    EXPECT_EQ(done_seen, 1);
+    EXPECT_EQ(tb.plb.counters().read_beats - beats_before, 2u);
+}
+
+}  // namespace
+}  // namespace autovision

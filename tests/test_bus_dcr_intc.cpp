@@ -1,0 +1,268 @@
+// Unit tests for the DCR daisy chain and the interrupt controller.
+#include <gtest/gtest.h>
+
+#include "bus/dcr.hpp"
+#include "bus/intc.hpp"
+#include "kernel/kernel.hpp"
+
+namespace autovision {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+
+constexpr rtlsim::Time kClkPeriod = 10 * NS;
+
+/// A simple register-file node for chain testing.
+struct RegNode : DcrSlaveIf {
+    std::uint32_t base;
+    std::string nm;
+    std::array<Word, 4> regs{Word{0}, Word{0}, Word{0}, Word{0}};
+    bool corrupted = false;
+
+    RegNode(std::uint32_t b, std::string n) : base(b), nm(std::move(n)) {}
+
+    bool dcr_claims(std::uint32_t r) const override {
+        return r >= base && r < base + 4;
+    }
+    Word dcr_read(std::uint32_t r) override { return regs[r - base]; }
+    void dcr_write(std::uint32_t r, Word w) override { regs[r - base] = w; }
+    std::string dcr_name() const override { return nm; }
+    bool dcr_corrupted() const override { return corrupted; }
+};
+
+struct DcrTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClkPeriod};
+    ResetGen rst{sch, "rst", 3 * kClkPeriod};
+    DcrChain chain{sch, "dcr", clk.out, rst.out};
+    RegNode a{0x10, "nodeA"};
+    RegNode b{0x20, "nodeB"};
+    RegNode c{0x30, "nodeC"};
+
+    DcrTb() {
+        chain.attach(a);
+        chain.attach(b);
+        chain.attach(c);
+    }
+
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClkPeriod); }
+};
+
+TEST(DcrChain, WriteThenReadBack) {
+    DcrTb tb;
+    bool wrote = false;
+    tb.sch.schedule_at(5 * kClkPeriod, [&] {
+        tb.chain.start_write(0x21, Word{0xABCD}, [&] { wrote = true; });
+    });
+    tb.run_cycles(20);
+    ASSERT_TRUE(wrote);
+    EXPECT_EQ(tb.b.regs[1].to_u64(), 0xABCDu);
+
+    Word got{0};
+    tb.chain.start_read(0x21, [&](Word w) { got = w; });
+    tb.run_cycles(20);
+    EXPECT_EQ(got.to_u64(), 0xABCDu);
+}
+
+TEST(DcrChain, LatencyIsRingLength) {
+    DcrTb tb;
+    EXPECT_EQ(tb.chain.latency(), 5u);  // 3 nodes + 2
+    // A transaction issued at cycle k completes after traversing the ring.
+    bool done = false;
+    rtlsim::Time done_at = 0;
+    tb.sch.schedule_at(10 * kClkPeriod, [&] {
+        tb.chain.start_write(0x10, Word{1}, [&] {
+            done = true;
+            done_at = tb.sch.now();
+        });
+    });
+    tb.run_cycles(30);
+    ASSERT_TRUE(done);
+    // Issue at 100ns (between edges); hops at the 105/115/125ns edges and
+    // retire at 135ns.
+    EXPECT_EQ(done_at, 10 * kClkPeriod + 3 * kClkPeriod + 5 * NS);
+}
+
+TEST(DcrChain, UnclaimedReadReturnsXAndReports) {
+    DcrTb tb;
+    Word got{0};
+    bool done = false;
+    tb.sch.schedule_at(5 * kClkPeriod, [&] {
+        tb.chain.start_read(0x3FF, [&](Word w) {
+            got = w;
+            done = true;
+        });
+    });
+    tb.run_cycles(20);
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(got.has_unknown());
+    EXPECT_TRUE(tb.sch.has_diag_from("dcr"));
+}
+
+// The bug.dpr.2 mechanism: a corrupted node (registers inside the RR during
+// reconfiguration) poisons the token for all downstream nodes.
+TEST(DcrChain, CorruptedNodeBreaksChainDownstream) {
+    DcrTb tb;
+    tb.b.corrupted = true;  // node B is mid-reconfiguration
+    Word got{0};
+    bool done = false;
+    tb.sch.schedule_at(5 * kClkPeriod, [&] {
+        tb.c.regs[0] = Word{0x77};
+        tb.chain.start_read(0x30, [&](Word w) {  // target: node C, after B
+            got = w;
+            done = true;
+        });
+    });
+    tb.run_cycles(20);
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(got.has_unknown()) << "token destroyed before reaching C";
+    EXPECT_TRUE(tb.sch.has_diag_from("dcr"));
+}
+
+// Ring-faithful behaviour: even when the *target* node claims the read
+// upstream, the returning token still traverses the corrupted node and is
+// destroyed. A single corrupted node poisons the whole ring — exactly why
+// the designers moved the DCR registers out of the RR.
+TEST(DcrChain, CorruptionDownstreamDestroysReturningToken) {
+    DcrTb tb;
+    tb.c.corrupted = true;  // corruption after the target node
+    tb.a.regs[2] = Word{0x55};
+    Word got{0};
+    tb.sch.schedule_at(5 * kClkPeriod, [&] {
+        tb.chain.start_read(0x12, [&](Word w) { got = w; });
+    });
+    tb.run_cycles(20);
+    EXPECT_TRUE(got.has_unknown());
+    // The *write* upstream of the corruption still landed in earlier tests;
+    // here verify the claimed data never survives the ring.
+    EXPECT_NE(got.to_u64(), 0x55u);
+}
+
+TEST(DcrChain, BackToBackTransactions) {
+    DcrTb tb;
+    int completions = 0;
+    std::function<void(int)> issue = [&](int k) {
+        if (k == 8) return;
+        tb.chain.start_write(0x10 + static_cast<std::uint32_t>(k % 4),
+                             Word{static_cast<std::uint32_t>(k)}, [&, k] {
+                                 ++completions;
+                                 issue(k + 1);
+                             });
+    };
+    tb.sch.schedule_at(5 * kClkPeriod, [&] { issue(0); });
+    tb.run_cycles(100);
+    EXPECT_EQ(completions, 8);
+    EXPECT_EQ(tb.a.regs[3].to_u64(), 7u);
+}
+
+// ------------------------------------------------------------------- INTC
+
+struct IntcTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClkPeriod};
+    ResetGen rst{sch, "rst", 3 * kClkPeriod};
+    Signal<Logic> line0{sch, "line0", Logic::L0};
+    Signal<Logic> line1{sch, "line1", Logic::L0};
+    Intc intc{sch, "intc", clk.out, rst.out, 0x40};
+
+    IntcTb() {
+        intc.attach(line0);
+        intc.attach(line1);
+    }
+
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClkPeriod); }
+    void pulse(Signal<Logic>& l) {
+        sch.schedule_in(0, [&] { l.write(Logic::L1); });
+        sch.schedule_in(kClkPeriod, [&] { l.write(Logic::L0); });
+    }
+};
+
+TEST(Intc, EdgeCaptureLatchesOneCyclePulse) {
+    IntcTb tb;
+    tb.intc.dcr_write(0x41, Word{0x3});  // IER: enable both lines
+    tb.run_cycles(5);
+    tb.pulse(tb.line0);
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.intc.irq.read(), Logic::L1) << "pulse latched in edge mode";
+    EXPECT_EQ(tb.intc.dcr_read(0x40).to_u64(), 0x1u);
+
+    tb.intc.dcr_write(0x42, Word{0x1});  // IAR: ack line 0
+    tb.run_cycles(3);
+    EXPECT_EQ(tb.intc.irq.read(), Logic::L0);
+    EXPECT_EQ(tb.intc.dcr_read(0x40).to_u64(), 0x0u);
+}
+
+TEST(Intc, DisabledLineDoesNotRaiseIrq) {
+    IntcTb tb;
+    tb.intc.dcr_write(0x41, Word{0x1});  // only line 0 enabled
+    tb.run_cycles(5);
+    tb.pulse(tb.line1);
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.intc.irq.read(), Logic::L0);
+    EXPECT_EQ(tb.intc.dcr_read(0x40).to_u64(), 0x2u)
+        << "status still latches; only the request is masked";
+}
+
+// The bug.hw.3 mechanism: level capture loses one-cycle pulses.
+TEST(Intc, LevelCaptureLosesPulse) {
+    IntcTb tb;
+    tb.intc.dcr_write(0x41, Word{0x3});
+    tb.intc.dcr_write(0x43, Word{0x0});  // CTRL: level capture (bug)
+    tb.run_cycles(5);
+    tb.pulse(tb.line0);
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.intc.irq.read(), Logic::L0) << "pulse evaporated";
+    EXPECT_EQ(tb.intc.dcr_read(0x40).to_u64(), 0x0u);
+}
+
+TEST(Intc, LevelCaptureTracksSustainedLevel) {
+    IntcTb tb;
+    tb.intc.dcr_write(0x41, Word{0x3});
+    tb.intc.dcr_write(0x43, Word{0x0});
+    tb.run_cycles(5);
+    tb.sch.schedule_in(0, [&] { tb.line0.write(Logic::L1); });
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.intc.irq.read(), Logic::L1);
+}
+
+TEST(Intc, XOnInputPoisonsStatusAndReports) {
+    IntcTb tb;
+    tb.intc.dcr_write(0x41, Word{0x3});
+    tb.run_cycles(5);
+    tb.sch.schedule_in(0, [&] { tb.line0.write(Logic::X); });
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.intc.irq.read(), Logic::X) << "corruption reaches the CPU";
+    EXPECT_TRUE(tb.intc.dcr_read(0x40).has_unknown());
+    EXPECT_TRUE(tb.sch.has_diag_from("intc"));
+}
+
+TEST(Intc, ResetClearsStatus) {
+    IntcTb tb;
+    tb.intc.dcr_write(0x41, Word{0x3});
+    tb.run_cycles(5);
+    tb.pulse(tb.line0);
+    tb.run_cycles(3);
+    ASSERT_EQ(tb.intc.irq.read(), Logic::L1);
+    // Pulse reset again.
+    tb.sch.schedule_in(0, [&] { tb.rst.out.write(Logic::L1); });
+    tb.sch.schedule_in(2 * kClkPeriod, [&] { tb.rst.out.write(Logic::L0); });
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.intc.irq.read(), Logic::L0);
+}
+
+TEST(Intc, CtrlRegisterReadsBack) {
+    IntcTb tb;
+    EXPECT_EQ(tb.intc.dcr_read(0x43).to_u64(), 1u) << "edge capture default";
+    tb.intc.dcr_write(0x43, Word{0x0});
+    EXPECT_EQ(tb.intc.dcr_read(0x43).to_u64(), 0u);
+    EXPECT_TRUE(tb.intc.dcr_claims(0x40));
+    EXPECT_TRUE(tb.intc.dcr_claims(0x43));
+    EXPECT_FALSE(tb.intc.dcr_claims(0x44));
+}
+
+}  // namespace
+}  // namespace autovision

@@ -1,0 +1,236 @@
+// Unit tests for the Sobel golden model and the Edge Detection Engine,
+// including its participation in the three-way reconfigurable region.
+#include <gtest/gtest.h>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "engines/edge_engine.hpp"
+#include "engines/matching_engine.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/rr_boundary.hpp"
+#include "resim/icap_artifact.hpp"
+#include "resim/portal.hpp"
+#include "resim/simb.hpp"
+#include "video/sobel.hpp"
+#include "video/synth.hpp"
+
+namespace autovision {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+using rtlsim::Word;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+constexpr std::uint32_t kIn = 0x1'0000;
+constexpr std::uint32_t kOut = 0x2'0000;
+
+TEST(Sobel, FlatImageIsZero) {
+    video::Frame f(8, 8, 123);
+    const video::Frame e = video::sobel_transform(f);
+    for (auto p : e.pixels()) EXPECT_EQ(p, 0);
+}
+
+TEST(Sobel, VerticalStepHasStrongHorizontalGradient) {
+    video::Frame f(8, 8, 0);
+    for (unsigned y = 0; y < 8; ++y) {
+        for (unsigned x = 4; x < 8; ++x) f.at(x, y) = 200;
+    }
+    const video::Frame e = video::sobel_transform(f);
+    EXPECT_EQ(e.at(1, 4), 0) << "far from the edge";
+    EXPECT_EQ(e.at(4, 4), 255) << "saturated at the step";
+    // Gradient magnitude is symmetric around the step.
+    EXPECT_EQ(e.at(3, 4), e.at(4, 4));
+}
+
+TEST(Sobel, SaturatesAt255) {
+    video::Frame f(4, 4, 0);
+    f.at(2, 2) = 255;
+    const video::Frame e = video::sobel_transform(f);
+    for (auto p : e.pixels()) EXPECT_LE(p, 255);
+    EXPECT_GT(e.at(1, 2), 0);
+}
+
+struct EdgeTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 100000}};
+    rtlsim::Signal<Logic> done_line{sch, "done", Logic::L0};
+    EngineRegs regs{sch, "edge_regs", clk.out, 0x60};
+    EdgeEngine edge{sch, "edge", clk.out, rst.out, regs};
+    RrBoundary rr{sch, "rr", plb.master(0), done_line};
+
+    EdgeTb() {
+        plb.attach_slave(mem);
+        rr.add_module(edge);
+        rr.select(0);
+    }
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+
+    bool run_job(unsigned w, unsigned h, unsigned budget) {
+        regs.dcr_write(0x62, Word{kIn});
+        regs.dcr_write(0x63, Word{kOut});
+        regs.dcr_write(0x65, Word{(w << 16) | h});
+        run_cycles(5);
+        regs.dcr_write(0x60, Word{1});
+        for (unsigned i = 0; i < budget / 128; ++i) {
+            run_cycles(128);
+            if (regs.done()) return true;
+        }
+        return regs.done();
+    }
+};
+
+TEST(EdgeEngine, BitExactAgainstReferenceModel) {
+    EdgeTb tb;
+    const unsigned w = 32;
+    const unsigned h = 24;
+    video::SyntheticScene scene(video::SceneConfig::standard(w, h, 17));
+    const video::Frame in = scene.frame(0);
+    tb.mem.load_bytes(kIn, in.pixels());
+    ASSERT_TRUE(tb.run_job(w, h, 60000));
+    const video::Frame want = video::sobel_transform(in);
+    for (unsigned i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(tb.mem.peek_u8(kOut + i), want.pixels()[i])
+            << "pixel " << i;
+    }
+}
+
+TEST(EdgeEngine, RejectsBadGeometry) {
+    EdgeTb tb;
+    tb.regs.dcr_write(0x65, Word{(30u << 16) | 24u});
+    tb.run_cycles(5);
+    tb.regs.dcr_write(0x60, Word{1});
+    tb.run_cycles(50);
+    EXPECT_FALSE(tb.regs.busy());
+    EXPECT_TRUE(tb.sch.has_diag_from("edge"));
+}
+
+// The driving-conditions scenario: three modules mapped to one region and
+// swapped by SimBs; each engine works after every swap.
+TEST(EdgeEngine, ThreeWayRegionSwapsViaSimB) {
+    Scheduler sch;
+    Clock clk(sch, "clk", kClk);
+    ResetGen rst(sch, "rst", 3 * kClk);
+    Memory mem;
+    Plb plb(sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 100000});
+    plb.attach_slave(mem);
+    rtlsim::Signal<Logic> done_line(sch, "done", Logic::L0);
+    EngineRegs cie_regs(sch, "cie_regs", clk.out, 0x60);
+    EngineRegs me_regs(sch, "me_regs", clk.out, 0x68);
+    EngineRegs edge_regs(sch, "edge_regs", clk.out, 0x78);
+    CensusEngine cie(sch, "cie", clk.out, rst.out, cie_regs);
+    MatchingEngine me(sch, "me", clk.out, rst.out, me_regs);
+    EdgeEngine edge(sch, "edge", clk.out, rst.out, edge_regs);
+    RrBoundary rr(sch, "rr", plb.master(0), done_line);
+    rr.add_module(cie);
+    rr.add_module(me);
+    rr.add_module(edge);
+    resim::ExtendedPortal portal(sch, "portal");
+    resim::IcapArtifact icap(sch, "icap", portal);
+    portal.map_module(1, 1, rr, 0);
+    portal.map_module(1, 2, rr, 1);
+    portal.map_module(1, 3, rr, 2);
+    portal.initial_configuration(1, 1);
+
+    auto swap_to = [&](std::uint8_t module) {
+        resim::SimB b;
+        b.rr_id = 1;
+        b.module_id = module;
+        for (std::uint32_t w : b.build()) icap.icap_write(Word{w});
+    };
+    sch.run_until(sch.now() + 10 * kClk);
+
+    swap_to(3);
+    EXPECT_TRUE(edge.rm_active());
+    EXPECT_FALSE(cie.rm_active());
+
+    // Run an edge job while resident.
+    video::SyntheticScene scene(video::SceneConfig::standard(16, 8, 3));
+    mem.load_bytes(kIn, scene.frame(0).pixels());
+    edge_regs.dcr_write(0x7A, Word{kIn});
+    edge_regs.dcr_write(0x7B, Word{kOut});
+    edge_regs.dcr_write(0x7D, Word{(16u << 16) | 8u});
+    sch.run_until(sch.now() + 5 * kClk);
+    edge_regs.dcr_write(0x78, Word{1});
+    for (int i = 0; i < 100 && !edge_regs.done(); ++i) {
+        sch.run_until(sch.now() + 64 * kClk);
+    }
+    ASSERT_TRUE(edge_regs.done());
+    const video::Frame want = video::sobel_transform(scene.frame(0));
+    EXPECT_EQ(mem.peek_u8(kOut + 20), want.pixels()[20]);
+
+    swap_to(2);
+    EXPECT_TRUE(me.rm_active());
+    swap_to(1);
+    EXPECT_TRUE(cie.rm_active());
+    EXPECT_EQ(portal.reconfigurations(), 3u);
+    EXPECT_TRUE(sch.diagnostics().empty());
+}
+
+TEST(EdgeEngine, StateSaveRestoreRoundTrip) {
+    EdgeTb tb;
+    const unsigned w = 32;
+    const unsigned h = 24;
+    video::SyntheticScene scene(video::SceneConfig::standard(w, h, 21));
+    tb.mem.load_bytes(kIn, scene.frame(0).pixels());
+    tb.regs.dcr_write(0x62, Word{kIn});
+    tb.regs.dcr_write(0x63, Word{kOut});
+    tb.regs.dcr_write(0x65, Word{(w << 16) | h});
+    tb.run_cycles(5);
+    tb.regs.dcr_write(0x60, Word{1});
+    tb.run_cycles(300);
+    ASSERT_TRUE(tb.edge.busy());
+
+    std::vector<std::uint8_t> st;
+    for (int i = 0; i < 30 && st.empty(); ++i) {
+        tb.run_cycles(1);
+        st = tb.edge.rm_save_state();
+    }
+    ASSERT_FALSE(st.empty());
+    tb.rr.select(-1);  // swap out: job gone
+    tb.run_cycles(20);
+    tb.rr.select(0);   // back in, fresh
+    EXPECT_FALSE(tb.edge.busy());
+    ASSERT_TRUE(tb.edge.rm_restore_state(st));
+    EXPECT_TRUE(tb.edge.busy()) << "resumed mid-job";
+    for (int i = 0; i < 400 && !tb.regs.done(); ++i) tb.run_cycles(64);
+    ASSERT_TRUE(tb.regs.done());
+    const video::Frame want = video::sobel_transform(scene.frame(0));
+    for (unsigned i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(tb.mem.peek_u8(kOut + i), want.pixels()[i]);
+    }
+}
+
+// Geometry sweep, as for the CIE.
+class EdgeGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(EdgeGeometry, BitExact) {
+    const auto [w, h] = GetParam();
+    EdgeTb tb;
+    video::SyntheticScene scene(video::SceneConfig::standard(w, h, w * h));
+    const video::Frame in = scene.frame(0);
+    tb.mem.load_bytes(kIn, in.pixels());
+    ASSERT_TRUE(tb.run_job(w, h, 40 * w * h + 20000));
+    const video::Frame want = video::sobel_transform(in);
+    std::size_t mm = 0;
+    for (unsigned i = 0; i < want.size(); ++i) {
+        if (tb.mem.peek_u8(kOut + i) != want.pixels()[i]) ++mm;
+    }
+    EXPECT_EQ(mm, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EdgeGeometry,
+    ::testing::Values(std::pair{4u, 4u}, std::pair{8u, 2u},
+                      std::pair{16u, 16u}, std::pair{36u, 20u}));
+
+}  // namespace
+}  // namespace autovision

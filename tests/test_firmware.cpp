@@ -1,0 +1,149 @@
+// Unit tests for the firmware builder: every variant must assemble, and
+// the generated code must reflect the method/wait/fault knobs.
+#include <gtest/gtest.h>
+
+#include "sys/firmware.hpp"
+
+namespace autovision::sys {
+namespace {
+
+FirmwareConfig base_cfg() {
+    FirmwareConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.simb_cie_words = 110;
+    cfg.simb_me_words = 110;
+    return cfg;
+}
+
+TEST(Firmware, AllVariantsAssemble) {
+    for (auto method :
+         {FirmwareConfig::Method::kVm, FirmwareConfig::Method::kResim}) {
+        for (auto wait :
+             {FirmwareConfig::Wait::kIrq, FirmwareConfig::Wait::kPollDone,
+              FirmwareConfig::Wait::kDelay}) {
+            for (int f = 0; f < static_cast<int>(Fault::kCount); ++f) {
+                FirmwareConfig cfg = base_cfg();
+                cfg.method = method;
+                cfg.wait = wait;
+                cfg.fault = static_cast<Fault>(f);
+                const isa::Program p = build_firmware(cfg);
+                EXPECT_GT(p.words.size(), 100u)
+                    << "method=" << static_cast<int>(method)
+                    << " wait=" << static_cast<int>(wait) << " fault=" << f;
+                EXPECT_EQ(p.entry(), 0x1000u);
+            }
+        }
+    }
+}
+
+TEST(Firmware, VectorAndEntryPlacement) {
+    const isa::Program p = build_firmware(base_cfg());
+    EXPECT_EQ(p.origin, 0x500u) << "image begins at the interrupt vector";
+    EXPECT_EQ(p.sym("isr"), 0x500u);
+    EXPECT_EQ(p.sym("_start"), 0x1000u);
+    EXPECT_EQ(p.sym("main_loop") % 4, 0u);
+}
+
+TEST(Firmware, MethodSelectsReconfigurationDriver) {
+    FirmwareConfig cfg = base_cfg();
+    cfg.method = FirmwareConfig::Method::kResim;
+    const std::string resim_src = build_firmware_source(cfg);
+    EXPECT_NE(resim_src.find("mtdcr ICAP_ADDR"), std::string::npos);
+    EXPECT_NE(resim_src.find("mtdcr ISO_CTRL"), std::string::npos);
+    EXPECT_EQ(resim_src.find("mtdcr SIG_REG"), std::string::npos)
+        << "the real driver never touches the simulation-only register";
+
+    cfg.method = FirmwareConfig::Method::kVm;
+    const std::string vm_src = build_firmware_source(cfg);
+    EXPECT_NE(vm_src.find("mtdcr SIG_REG"), std::string::npos);
+    EXPECT_EQ(vm_src.find("mtdcr ICAP_ADDR"), std::string::npos)
+        << "the hacked VM software bypasses the IcapCTRL driver";
+    EXPECT_EQ(vm_src.find("mtdcr ISO_CTRL"), std::string::npos)
+        << "VM never exercises the isolation driver";
+}
+
+TEST(Firmware, WaitModeShapesTheDriver) {
+    FirmwareConfig cfg = base_cfg();
+    cfg.wait = FirmwareConfig::Wait::kIrq;
+    EXPECT_EQ(build_firmware_source(cfg).find("poll_"), std::string::npos);
+    cfg.wait = FirmwareConfig::Wait::kPollDone;
+    EXPECT_NE(build_firmware_source(cfg).find("poll_"), std::string::npos);
+    cfg.wait = FirmwareConfig::Wait::kDelay;
+    const std::string s = build_firmware_source(cfg);
+    EXPECT_NE(s.find("delay_"), std::string::npos);
+    EXPECT_NE(s.find("DELAY_LOOPS"), std::string::npos);
+}
+
+TEST(Firmware, FaultsEditTheGeneratedCode) {
+    // bug.hw.1: the source address is shifted down to a word index.
+    FirmwareConfig cfg = base_cfg();
+    cfg.fault = Fault::kHw1SrcWordAddr;
+    EXPECT_NE(build_firmware_source(cfg).find("srwi r6, r6, 2"),
+              std::string::npos);
+
+    // bug.hw.3: INTC control written with 0 (level capture).
+    cfg = base_cfg();
+    cfg.fault = Fault::kHw3LevelIntc;
+    EXPECT_NE(build_firmware_source(cfg).find("li r6, 0\n  mtdcr INTC_CTRL"),
+              std::string::npos);
+
+    // bug.sw.2: the IAR acknowledge disappears.
+    cfg = base_cfg();
+    const std::string good = build_firmware_source(cfg);
+    cfg.fault = Fault::kSw2NoIntcAck;
+    const std::string bad = build_firmware_source(cfg);
+    EXPECT_NE(good.find("mtdcr INTC_IAR"), std::string::npos);
+    EXPECT_EQ(bad.find("mtdcr INTC_IAR"), std::string::npos);
+
+    // bug.dpr.1: isolation writes disappear (the equate remains).
+    cfg = base_cfg();
+    cfg.fault = Fault::kDpr1NoIsolation;
+    EXPECT_EQ(build_firmware_source(cfg).find("mtdcr ISO_CTRL"),
+              std::string::npos);
+
+    // bug.dpr.5: the size equates are word counts, not byte counts.
+    cfg = base_cfg();
+    cfg.fault = Fault::kDpr5SizeInWords;
+    const std::string sz = build_firmware_source(cfg);
+    EXPECT_NE(sz.find(".equ SIMB_ME_SIZE, 110"), std::string::npos);
+    cfg.fault = Fault::kNone;
+    EXPECT_NE(build_firmware_source(cfg).find(".equ SIMB_ME_SIZE, 440"),
+              std::string::npos);
+
+    // bug.dpr.3: the DPR-to-ME path stages the CIE SimB.
+    cfg = base_cfg();
+    cfg.fault = Fault::kDpr3WrongSimbAddr;
+    const std::string wrong = build_firmware_source(cfg);
+    // In the to-ME block (tagged "tome") the address constant is SIMB_CIE.
+    const auto tome = wrong.find("stw r7, VAR_DPR_TARGET");
+    ASSERT_NE(tome, std::string::npos);
+    EXPECT_NE(wrong.find("hi(SIMB_CIE)", tome), std::string::npos);
+}
+
+TEST(Firmware, GeometryEquatesMatchConfig) {
+    FirmwareConfig cfg = base_cfg();
+    cfg.width = 128;
+    cfg.height = 96;
+    cfg.step = 4;
+    cfg.margin = 8;
+    const std::string s = build_firmware_source(cfg);
+    EXPECT_NE(s.find(".equ WIDTH, 128"), std::string::npos);
+    EXPECT_NE(s.find(".equ HEIGHT, 96"), std::string::npos);
+    EXPECT_NE(s.find(".equ GW, 28"), std::string::npos);   // (128-16+3)/4
+    EXPECT_NE(s.find(".equ GH, 20"), std::string::npos);   // (96-16+3)/4
+}
+
+TEST(Firmware, IerMasksIcapLineOutsideIrqMode) {
+    FirmwareConfig cfg = base_cfg();
+    cfg.method = FirmwareConfig::Method::kResim;
+    cfg.wait = FirmwareConfig::Wait::kIrq;
+    EXPECT_NE(build_firmware_source(cfg).find("li r6, 7\n  mtdcr INTC_IER"),
+              std::string::npos);
+    cfg.wait = FirmwareConfig::Wait::kDelay;
+    EXPECT_NE(build_firmware_source(cfg).find("li r6, 5\n  mtdcr INTC_IER"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace autovision::sys

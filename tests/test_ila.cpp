@@ -1,0 +1,132 @@
+// Unit tests for the ChipScope-style ILA model.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hpp"
+#include "vip/ila.hpp"
+
+namespace autovision::vip {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::LVec;
+using rtlsim::NS;
+using rtlsim::Scheduler;
+using rtlsim::Signal;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+
+struct IlaTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    Signal<LVec<8>> counter{sch, "counter", LVec<8>{0}};
+    Signal<Logic> flag{sch, "flag", Logic::L0};
+    Ila ila;
+
+    explicit IlaTb(Ila::Config cfg = {4, 32, 8})
+        : ila(sch, "ila", clk.out, cfg) {
+        // A free-running counter as the observed design.
+        cnt_proc_ = std::make_unique<rtlsim::Process>(sch, "cnt", [this] {
+            const auto v = static_cast<std::uint32_t>(counter.read().to_u64());
+            counter.write(LVec<8>{v + 1});
+        });
+        clk.out.add_listener(*cnt_proc_, rtlsim::Edge::Pos);
+    }
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+
+    std::unique_ptr<rtlsim::Process> cnt_proc_;
+};
+
+TEST(Ila, ProbeLimitIsEnforced) {
+    IlaTb tb;
+    EXPECT_TRUE(tb.ila.probe(tb.counter, "counter"));
+    EXPECT_TRUE(tb.ila.probe(tb.flag, "flag"));
+    EXPECT_TRUE(tb.ila.probe(tb.clk.out, "clk"));
+    EXPECT_TRUE(tb.ila.probe(tb.counter, "counter2"));
+    EXPECT_FALSE(tb.ila.probe(tb.flag, "one too many"));
+    EXPECT_TRUE(tb.sch.has_diag_from("ila"));
+    EXPECT_EQ(tb.ila.probe_labels().size(), 4u);
+}
+
+TEST(Ila, TriggersAndFreezesWithPostWindow) {
+    IlaTb tb;
+    tb.ila.probe(tb.counter, "counter");
+    tb.ila.arm([](const std::vector<std::string>& v) {
+        return v[0] == "00010100";  // counter == 20
+    });
+    tb.run_cycles(200);
+    ASSERT_TRUE(tb.ila.triggered());
+    ASSERT_TRUE(tb.ila.capture_complete());
+
+    const auto win = tb.ila.window();
+    // 21 pre-trigger samples existed when counter hit 20, plus 8 post.
+    ASSERT_EQ(win.size(), 29u);
+    const int ti = tb.ila.trigger_index();
+    ASSERT_GE(ti, 0);
+    EXPECT_EQ(win[static_cast<std::size_t>(ti)].values[0], "00010100");
+    // Exactly 8 post-trigger samples follow the trigger sample.
+    EXPECT_EQ(static_cast<std::size_t>(ti), win.size() - 8 - 1);
+    // History is contiguous and ordered.
+    for (std::size_t i = 1; i < win.size(); ++i) {
+        EXPECT_EQ(win[i].time, win[i - 1].time + kClk);
+    }
+}
+
+TEST(Ila, LimitedWindowMissesEarlierEvents) {
+    // The on-chip constraint the paper leans on: events before the capture
+    // window are simply not visible.
+    IlaTb tb(Ila::Config{4, 16, 4});
+    tb.ila.probe(tb.counter, "counter");
+    tb.ila.arm([](const std::vector<std::string>& v) {
+        return v[0] == "01100100";  // counter == 100
+    });
+    tb.run_cycles(400);
+    ASSERT_TRUE(tb.ila.capture_complete());
+    const auto win = tb.ila.window();
+    ASSERT_EQ(win.size(), 16u);
+    // Counter value 20 happened long before the window: absent.
+    for (const auto& s : win) {
+        EXPECT_NE(s.values[0], "00010100");
+    }
+}
+
+TEST(Ila, NotArmedCapturesNothing) {
+    IlaTb tb;
+    tb.ila.probe(tb.counter, "counter");
+    tb.run_cycles(50);
+    EXPECT_EQ(tb.ila.samples_seen(), 0u);
+    EXPECT_FALSE(tb.ila.capture_complete());
+    EXPECT_TRUE(tb.ila.window().empty());
+}
+
+TEST(Ila, ReArmRestartsCapture) {
+    IlaTb tb;
+    tb.ila.probe(tb.counter, "counter");
+    tb.ila.arm([](const std::vector<std::string>& v) {
+        return v[0] == "00000101";  // 5
+    });
+    tb.run_cycles(100);
+    ASSERT_TRUE(tb.ila.capture_complete());
+    tb.ila.arm([](const std::vector<std::string>& v) {
+        return v[0] == "00101000";  // 40
+    });
+    EXPECT_FALSE(tb.ila.capture_complete());
+    tb.run_cycles(300);
+    ASSERT_TRUE(tb.ila.capture_complete());
+    const auto win = tb.ila.window();
+    const int ti = tb.ila.trigger_index();
+    ASSERT_GE(ti, 0);
+    EXPECT_EQ(win[static_cast<std::size_t>(ti)].values[0], "00101000");
+}
+
+TEST(Ila, CapturesXValues) {
+    IlaTb tb;
+    tb.ila.probe(tb.flag, "flag");
+    tb.ila.arm([](const std::vector<std::string>& v) { return v[0] == "x"; });
+    tb.sch.schedule_at(20 * kClk, [&] { tb.flag.write(Logic::X); });
+    tb.run_cycles(100);
+    EXPECT_TRUE(tb.ila.triggered()) << "waveforms show X like a simulator";
+}
+
+}  // namespace
+}  // namespace autovision::vip

@@ -1,0 +1,125 @@
+// Tests for the stock error-injector variants and their detection power:
+// the choice of error model decides which isolation bugs are visible.
+#include <gtest/gtest.h>
+
+#include "resim/injectors.hpp"
+#include "sys/detection.hpp"
+
+namespace autovision::resim {
+namespace {
+
+TEST(Injectors, Names) {
+    EXPECT_STREQ(XInjector{}.name(), "inject-x");
+    EXPECT_STREQ(HoldLastInjector{}.name(), "hold-last");
+    EXPECT_STREQ(ZeroInjector{}.name(), "zeros");
+    EXPECT_STREQ(GarbageInjector{}.name(), "garbage");
+}
+
+TEST(Injectors, XDrivesAllUnknown) {
+    XInjector inj;
+    RrOutputs o;
+    inj.inject(o);
+    EXPECT_EQ(o.req, rtlsim::Logic::X);
+    EXPECT_TRUE(o.addr.has_unknown());
+    EXPECT_EQ(o.done_irq, rtlsim::Logic::X);
+}
+
+TEST(Injectors, ZerosDriveIdle) {
+    ZeroInjector inj;
+    RrOutputs o = RrOutputs::all_x();
+    inj.inject(o);
+    EXPECT_EQ(o.req, rtlsim::Logic::L0);
+    EXPECT_TRUE(o.addr.is_fully_defined());
+}
+
+TEST(Injectors, GarbageIsDefinedAndDeterministic) {
+    GarbageInjector a(7);
+    GarbageInjector b(7);
+    for (int i = 0; i < 20; ++i) {
+        RrOutputs oa;
+        RrOutputs ob;
+        a.inject(oa);
+        b.inject(ob);
+        EXPECT_TRUE(oa.addr.is_fully_defined());
+        EXPECT_TRUE(oa.addr == ob.addr) << "same seed, same stream";
+        EXPECT_EQ(rtlsim::to_char(oa.req), rtlsim::to_char(ob.req));
+    }
+    GarbageInjector c(8);
+    RrOutputs oa;
+    RrOutputs oc;
+    a.inject(oa);
+    c.inject(oc);
+    EXPECT_FALSE(oa.addr == oc.addr) << "different seed diverges";
+}
+
+// Detection power of each error model against the isolation bug: X catches
+// it; zero/hold-last models (the 2-state world view) let it escape;
+// garbage is caught by the protocol checkers instead.
+TEST(Injectors, DetectionPowerAgainstIsolationBug) {
+    using sys::Fault;
+    using sys::FirmwareConfig;
+    using sys::SystemConfig;
+    using sys::Testbench;
+
+    SystemConfig cfg;
+    cfg.width = 32;
+    cfg.height = 24;
+    cfg.search = 2;
+    cfg.simb_payload_words = 200;
+    cfg = sys::config_for_fault(cfg, Fault::kDpr1NoIsolation);
+    cfg.method = FirmwareConfig::Method::kResim;
+
+    {
+        Testbench tb(cfg);  // default X injector
+        EXPECT_FALSE(tb.run(2).clean()) << "X injection detects bug.dpr.1";
+    }
+    {
+        Testbench tb(cfg);
+        tb.sys.rr.set_error_injector(std::make_unique<ZeroInjector>());
+        EXPECT_TRUE(tb.run(2).clean())
+            << "a zero-clamping model hides the missing isolation";
+    }
+    {
+        Testbench tb(cfg);
+        tb.sys.rr.set_error_injector(std::make_unique<GarbageInjector>());
+        const auto r = tb.run(2);
+        EXPECT_FALSE(r.clean())
+            << "defined garbage trips the protocol checkers instead";
+    }
+}
+
+// bug.dpr.6b delay-threshold property: as the driver's dummy loop grows,
+// the outcome flips from failing to passing exactly once (monotonic), and
+// the threshold tracks the transfer length.
+TEST(Injectors, DelayThresholdIsMonotonicInLoopCount) {
+    using sys::Fault;
+    using sys::FirmwareConfig;
+    using sys::SystemConfig;
+    using sys::Testbench;
+
+    SystemConfig base;
+    base.width = 24;
+    base.height = 20;
+    base.search = 1;
+    base.simb_payload_words = 200;  // transfer ~ (210 words x div 4)
+    base.method = FirmwareConfig::Method::kResim;
+    base.wait = FirmwareConfig::Wait::kDelay;
+
+    bool prev_clean = false;
+    int flips = 0;
+    for (std::uint32_t loops : {50u, 200u, 800u, 3200u, 12800u}) {
+        SystemConfig cfg = base;
+        cfg.delay_loops = loops;
+        Testbench tb(cfg);
+        const bool clean = tb.run(1).clean();
+        if (clean != prev_clean) {
+            if (loops != 50u || clean) ++flips;  // count transitions
+            prev_clean = clean;
+        }
+    }
+    EXPECT_TRUE(prev_clean) << "a long enough delay always works";
+    EXPECT_EQ(flips, 1) << "exactly one fail->pass transition";
+}
+
+}  // namespace
+}  // namespace autovision::resim

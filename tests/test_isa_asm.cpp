@@ -1,0 +1,185 @@
+// Unit tests for the PowerPC-subset assembler. Reference encodings were
+// cross-checked against the Power ISA manual / GNU as output.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/ppc.hpp"
+
+namespace autovision::isa {
+namespace {
+
+std::uint32_t one(const std::string& line) {
+    const Program p = assemble(line);
+    EXPECT_EQ(p.words.size(), 1u) << line;
+    return p.words.at(0);
+}
+
+TEST(Asm, KnownEncodings) {
+    EXPECT_EQ(one("li r3, 5"), 0x38600005u);
+    EXPECT_EQ(one("addi r3, r1, -8"), 0x3861FFF8u);
+    EXPECT_EQ(one("lis r9, 0x1234"), 0x3D201234u);
+    EXPECT_EQ(one("nop"), 0x60000000u);
+    EXPECT_EQ(one("ori r3, r3, 0xBEEF"), 0x6063BEEFu);
+    EXPECT_EQ(one("add r3, r4, r5"), 0x7C642A14u);
+    EXPECT_EQ(one("subf r3, r4, r5"), 0x7C642850u);
+    EXPECT_EQ(one("mr r5, r7"), 0x7CE53B78u);
+    EXPECT_EQ(one("blr"), 0x4E800020u);
+    EXPECT_EQ(one("mflr r0"), 0x7C0802A6u);
+    EXPECT_EQ(one("mtlr r0"), 0x7C0803A6u);
+    EXPECT_EQ(one("mtctr r12"), 0x7D8903A6u);
+    EXPECT_EQ(one("stw r1, -4(r1)"), 0x9021FFFCu);
+    EXPECT_EQ(one("stwu r1, -4(r1)"), 0x9421FFFCu);
+    EXPECT_EQ(one("lwz r4, 12(r3)"), 0x8083000Cu);
+    EXPECT_EQ(one("lbz r5, 0(r6)"), 0x88A60000u);
+    EXPECT_EQ(one("slwi r3, r4, 8"), 0x5483402Eu);
+    EXPECT_EQ(one("srwi r3, r4, 4"), 0x5483E13Eu);
+    EXPECT_EQ(one("cmpwi r3, 0"), 0x2C030000u);
+    EXPECT_EQ(one("cmpw r3, r4"), 0x7C032000u);
+    EXPECT_EQ(one("rfi"), 0x4C000064u);
+    EXPECT_EQ(one("sync"), 0x7C0004ACu);
+    EXPECT_EQ(one("mullw r3, r4, r5"), 0x7C6429D6u);
+    EXPECT_EQ(one("divwu r3, r4, r5"), 0x7C642B96u);
+    EXPECT_EQ(one("neg r3, r4"), 0x7C6400D0u);
+    EXPECT_EQ(one("srawi r3, r4, 2"), 0x7C831670u);
+}
+
+TEST(Asm, DcrAndMsrInstructions) {
+    // mfdcr r3, 0x40 / mtdcr 0x40, r3: DCRN 0x40 split-encodes as
+    // low 5 bits (0) in 16..20 and high 5 bits (2) in 11..15.
+    EXPECT_EQ(one("mfdcr r3, 0x40"), (31u << 26) | (3u << 21) | (2u << 11) |
+                                         (X_MFDCR << 1));
+    EXPECT_EQ(one("mtdcr 0x40, r3"), (31u << 26) | (3u << 21) | (2u << 11) |
+                                         (X_MTDCR << 1));
+    EXPECT_EQ(one("wrteei 1"), (31u << 26) | (1u << 15) | (X_WRTEEI << 1));
+    EXPECT_EQ(one("wrteei 0"), (31u << 26) | (X_WRTEEI << 1));
+    EXPECT_EQ(one("mfmsr r3"), (31u << 26) | (3u << 21) | (X_MFMSR << 1));
+    EXPECT_EQ(one("mtmsr r3"), (31u << 26) | (3u << 21) | (X_MTMSR << 1));
+}
+
+TEST(Asm, BranchesResolveLabels) {
+    const Program p = assemble(R"(
+        start:  nop
+        loop:   addi r3, r3, 1
+                b loop
+                beq start
+                bne loop
+                bdnz loop
+    )");
+    ASSERT_EQ(p.words.size(), 6u);
+    // b loop: from 0x8 to 0x4 -> offset -4.
+    EXPECT_EQ(p.words[2], 0x4BFFFFFCu);
+    // beq start: from 0xC to 0x0 -> offset -12, BO=12, BI=2.
+    EXPECT_EQ(p.words[3], (16u << 26) | (12u << 21) | (2u << 16) |
+                              (static_cast<std::uint32_t>(-12) & 0xFFFC));
+    // bne loop: from 0x10 to 0x4 -> offset -12, BO=4, BI=2.
+    EXPECT_EQ(p.words[4], (16u << 26) | (4u << 21) | (2u << 16) |
+                              (static_cast<std::uint32_t>(-12) & 0xFFFC));
+    // bdnz loop: BO=16, BI=0, offset -16.
+    EXPECT_EQ(p.words[5], (16u << 26) | (16u << 21) |
+                              (static_cast<std::uint32_t>(-16) & 0xFFFC));
+}
+
+TEST(Asm, ForwardReferences) {
+    const Program p = assemble(R"(
+        b target
+        nop
+        target: nop
+    )");
+    EXPECT_EQ(p.words[0], 0x48000008u);
+}
+
+TEST(Asm, DirectivesOrgEquWordSpaceAlign) {
+    const Program p = assemble(R"(
+        .equ MAGIC, 0x1234
+        .org 0x100
+        _start: .word MAGIC, MAGIC + 1, -1
+        .space 8
+        tail: .word 0xFFFF0000
+        .align 16
+        aligned: .word 1
+    )");
+    EXPECT_EQ(p.origin, 0x100u);
+    EXPECT_EQ(p.sym("_start"), 0x100u);
+    EXPECT_EQ(p.entry(), 0x100u);
+    EXPECT_EQ(p.words[0], 0x1234u);
+    EXPECT_EQ(p.words[1], 0x1235u);
+    EXPECT_EQ(p.words[2], 0xFFFFFFFFu);
+    EXPECT_EQ(p.words[3], 0u);
+    EXPECT_EQ(p.words[4], 0u);
+    EXPECT_EQ(p.sym("tail"), 0x114u);
+    EXPECT_EQ(p.words[5], 0xFFFF0000u);
+    EXPECT_EQ(p.sym("aligned") % 16, 0u);
+}
+
+TEST(Asm, MultipleOrgRegionsZeroFilled) {
+    const Program p = assemble(R"(
+        .org 0x0
+        .word 0xAAAA
+        .org 0x10
+        .word 0xBBBB
+    )");
+    EXPECT_EQ(p.origin, 0x0u);
+    ASSERT_EQ(p.words.size(), 5u);
+    EXPECT_EQ(p.words[0], 0xAAAAu);
+    EXPECT_EQ(p.words[1], 0u);
+    EXPECT_EQ(p.words[4], 0xBBBBu);
+}
+
+TEST(Asm, HiLoHaFunctions) {
+    const Program p = assemble(R"(
+        .equ ADDR, 0x12348765
+        lis r3, hi(ADDR)
+        ori r3, r3, lo(ADDR)
+        lis r4, ha(ADDR)
+    )");
+    EXPECT_EQ(p.words[0] & 0xFFFF, 0x1234u);
+    EXPECT_EQ(p.words[1] & 0xFFFF, 0x8765u);
+    EXPECT_EQ(p.words[2] & 0xFFFF, 0x1235u) << "ha adjusts for signed lo";
+}
+
+TEST(Asm, ExpressionsEvaluate) {
+    const Program p = assemble(R"(
+        .equ A, 8
+        .equ B, A * 4 + 2
+        .word B, (A + 2) * 3, -A
+    )");
+    EXPECT_EQ(p.words[0], 34u);
+    EXPECT_EQ(p.words[1], 30u);
+    EXPECT_EQ(p.words[2], static_cast<std::uint32_t>(-8));
+}
+
+TEST(Asm, CommentsAndBlankLines) {
+    const Program p = assemble(R"(
+        # full-line comment
+        nop    ; trailing comment
+        ; another
+        nop # tail
+    )");
+    EXPECT_EQ(p.words.size(), 2u);
+}
+
+TEST(Asm, Errors) {
+    EXPECT_THROW(assemble("bogus r1, r2"), AsmError);
+    EXPECT_THROW(assemble("addi r3, r4"), AsmError);          // missing operand
+    EXPECT_THROW(assemble("li r3, 0x10000"), AsmError);       // imm range
+    EXPECT_THROW(assemble("li r35, 0"), AsmError);            // bad register
+    EXPECT_THROW(assemble("lwz r3, 4"), AsmError);            // not d(rA)
+    EXPECT_THROW(assemble("b undefined_label"), AsmError);
+    EXPECT_THROW(assemble("x: nop\nx: nop"), AsmError);       // dup label
+    EXPECT_THROW(assemble(".align 3"), AsmError);             // non power-of-2
+    EXPECT_THROW(assemble(".space 3"), AsmError);             // unaligned
+    try {
+        (void)assemble("nop\nnop\nbogus");
+    } catch (const AsmError& e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+TEST(Asm, SprSplitFieldRoundTrip) {
+    for (std::uint32_t n : {1u, 8u, 9u, 26u, 27u, 0x40u, 0x155u, 0x3FFu}) {
+        EXPECT_EQ(unsplit_sprf(split_sprf(n)), n);
+    }
+}
+
+}  // namespace
+}  // namespace autovision::isa

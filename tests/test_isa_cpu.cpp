@@ -1,0 +1,369 @@
+// Unit tests for the PowerPC-subset ISS: programs are assembled, loaded
+// into the memory model and executed through the cycle-accurate PLB.
+#include <gtest/gtest.h>
+
+#include "bus/dcr.hpp"
+#include "bus/intc.hpp"
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "isa/assembler.hpp"
+#include "isa/cpu.hpp"
+#include "kernel/kernel.hpp"
+
+namespace autovision::isa {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+
+/// Full CPU testbench: clock/reset, PLB + memory, DCR chain + INTC, CPU.
+struct CpuTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 5000}};
+    DcrChain dcr{sch, "dcr", clk.out, rst.out};
+    Intc intc{sch, "intc", clk.out, rst.out, 0x40};
+    PpcCpu cpu;
+
+    explicit CpuTb(const Program& prog)
+        : cpu(sch, "cpu", clk.out, rst.out, plb.master(0), dcr, mem, intc.irq,
+              PpcCpu::Config{prog.entry(), 5}) {
+        plb.attach_slave(mem);
+        dcr.attach(intc);
+        mem.load_words(prog.origin, prog.words);
+    }
+
+    /// Run until the CPU halts (branch-to-self) or `max_cycles` elapse.
+    bool run_to_halt(unsigned max_cycles) {
+        for (unsigned i = 0; i < max_cycles / 64; ++i) {
+            sch.run_until(sch.now() + 64 * kClk);
+            if (cpu.halted() || sch.stop_requested()) break;
+        }
+        return cpu.halted();
+    }
+};
+
+TEST(Cpu, ArithmeticLoopSumsToFiftyFive) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r4, 10
+                li r5, 0
+        loop:   add r5, r5, r4
+                addi r4, r4, -1
+                cmpwi r4, 0
+                bne loop
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(5), 55u);
+    EXPECT_EQ(tb.cpu.gpr(4), 0u);
+}
+
+TEST(Cpu, LoadStoreThroughPlb) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: lis r6, hi(buf)
+                ori r6, r6, lo(buf)
+                lwz r3, 0(r6)
+                addi r3, r3, 1
+                stw r3, 4(r6)
+        done:   b done
+        .org 0x400
+        buf:    .word 41, 0
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(3), 42u);
+    EXPECT_EQ(tb.mem.peek_u32(p.sym("buf") + 4), 42u);
+}
+
+TEST(Cpu, ByteAndHalfwordAccess) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: lis r6, hi(buf)
+                ori r6, r6, lo(buf)
+                lbz r3, 1(r6)        # 0xBB
+                lhz r4, 2(r6)        # 0xCCDD
+                li r5, 0x5A
+                stb r5, 0(r6)
+                li r5, 0x1122
+                sth r5, 6(r6)
+        done:   b done
+        .org 0x400
+        buf:    .word 0xAABBCCDD, 0xEEFF0011
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(4000));
+    EXPECT_EQ(tb.cpu.gpr(3), 0xBBu);
+    EXPECT_EQ(tb.cpu.gpr(4), 0xCCDDu);
+    EXPECT_EQ(tb.mem.peek_u32(p.sym("buf")), 0x5ABBCCDDu);
+    EXPECT_EQ(tb.mem.peek_u32(p.sym("buf") + 4), 0xEEFF1122u);
+}
+
+TEST(Cpu, UpdateFormsAdvancePointer) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: lis r6, hi(buf)
+                ori r6, r6, lo(buf)
+                addi r6, r6, -4
+                lwzu r3, 4(r6)      # r6 = buf, r3 = 7
+                lwzu r4, 4(r6)      # r6 = buf+4, r4 = 9
+                add r5, r3, r4
+        done:   b done
+        .org 0x400
+        buf:    .word 7, 9
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(3000));
+    EXPECT_EQ(tb.cpu.gpr(5), 16u);
+    EXPECT_EQ(tb.cpu.gpr(6), p.sym("buf") + 4);
+}
+
+TEST(Cpu, FunctionCallAndReturn) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, 20
+                bl double_it
+                bl double_it
+        done:   b done
+        double_it:
+                add r3, r3, r3
+                blr
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(3), 80u);
+}
+
+TEST(Cpu, CtrLoopWithBdnz) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, 6
+                mtctr r3
+                li r5, 0
+        loop:   addi r5, r5, 2
+                bdnz loop
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(5), 12u);
+}
+
+TEST(Cpu, ShiftsAndLogic) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, 0xF0
+                slwi r4, r3, 8       # 0xF000
+                srwi r5, r4, 4       # 0x0F00
+                li r6, 0x0FF0
+                and r7, r5, r6       # 0x0F00
+                or r8, r7, r3        # 0x0FF0
+                xor r9, r8, r6       # 0
+                li r10, -8
+                srawi r11, r10, 2    # -2 arithmetic
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(4), 0xF000u);
+    EXPECT_EQ(tb.cpu.gpr(5), 0x0F00u);
+    EXPECT_EQ(tb.cpu.gpr(7), 0x0F00u);
+    EXPECT_EQ(tb.cpu.gpr(8), 0x0FF0u);
+    EXPECT_EQ(tb.cpu.gpr(9), 0u);
+    EXPECT_EQ(tb.cpu.gpr(11), static_cast<std::uint32_t>(-2));
+}
+
+TEST(Cpu, MulDiv) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, -6
+                li r4, 7
+                mullw r5, r3, r4     # -42
+                li r6, 84
+                li r7, 4
+                divwu r8, r6, r7     # 21
+                divw r9, r5, r4      # -6
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(5), static_cast<std::uint32_t>(-42));
+    EXPECT_EQ(tb.cpu.gpr(8), 21u);
+    EXPECT_EQ(tb.cpu.gpr(9), static_cast<std::uint32_t>(-6));
+}
+
+TEST(Cpu, UnsignedVsSignedCompare) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, -1          # 0xFFFFFFFF
+                li r4, 1
+                li r5, 0
+                li r6, 0
+                cmpw r3, r4        # signed: -1 < 1
+                bge skip1
+                li r5, 1
+        skip1:  cmplw r3, r4       # unsigned: 0xFFFFFFFF > 1
+                ble skip2
+                li r6, 1
+        skip2:
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(5), 1u);
+    EXPECT_EQ(tb.cpu.gpr(6), 1u);
+}
+
+// External interrupt: the ISR increments a counter, acks the INTC via DCR
+// and rfi's back to the interrupted loop.
+TEST(Cpu, ExternalInterruptAndRfi) {
+    const Program p = assemble(R"(
+        .equ INTC_ISR, 0x40
+        .equ INTC_IER, 0x41
+        .equ INTC_IAR, 0x42
+        .org 0x500
+        isr:    addi r20, r20, 1     # count interrupts
+                li r21, 0xFF
+                mtdcr INTC_IAR, r21  # ack all lines
+                rfi
+        .org 0x1000
+        _start: li r20, 0
+                li r3, 0xFF
+                mtdcr INTC_IER, r3   # enable all INTC lines
+                wrteei 1             # MSR[EE] = 1
+        spin:   addi r22, r22, 1
+                cmpwi r20, 2
+                bne spin
+                wrteei 0
+        done:   b done
+    )");
+    CpuTb tb(p);
+    // Pulse interrupt line 0 twice, far enough apart to be distinct.
+    tb.sch.schedule_at(200 * kClk, [&] { tb.intc.dcr_write(0x40, Word{1}); });
+    tb.sch.schedule_at(400 * kClk, [&] { tb.intc.dcr_write(0x40, Word{1}); });
+    ASSERT_TRUE(tb.run_to_halt(20000));
+    EXPECT_EQ(tb.cpu.gpr(20), 2u);
+    EXPECT_EQ(tb.cpu.interrupts_taken(), 2u);
+}
+
+TEST(Cpu, InterruptMaskedWhenEEClear) {
+    const Program p = assemble(R"(
+        .org 0x500
+        isr:    addi r20, r20, 1
+                rfi
+        .org 0x1000
+        _start: li r20, 0
+                li r3, 50
+                mtctr r3
+        spin:   bdnz spin
+        done:   b done
+    )");
+    CpuTb tb(p);
+    tb.sch.schedule_at(20 * kClk, [&] {
+        tb.intc.dcr_write(0x41, Word{0xFF});
+        tb.intc.dcr_write(0x40, Word{1});
+    });
+    ASSERT_TRUE(tb.run_to_halt(5000));
+    EXPECT_EQ(tb.cpu.gpr(20), 0u) << "EE clear: no interrupt taken";
+    EXPECT_EQ(tb.cpu.interrupts_taken(), 0u);
+}
+
+TEST(Cpu, DcrReadWrite) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, 0x7F
+                mtdcr 0x41, r3       # INTC IER
+                mfdcr r4, 0x41
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(4), 0x7Fu);
+}
+
+TEST(Cpu, DcrReadOfXReportsBrokenChain) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: mfdcr r4, 0x3F0     # nobody claims this register
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    bool found = false;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("returned X") != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Cpu, IllegalInstructionStopsSimulation) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: .word 0x00000000    # illegal opcode 0
+    )");
+    CpuTb tb(p);
+    tb.run_to_halt(1000);
+    EXPECT_TRUE(tb.sch.stop_requested());
+    EXPECT_TRUE(tb.sch.has_diag_from("cpu"));
+}
+
+TEST(Cpu, FetchOfCorruptedMemoryStops) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: nop
+                nop
+    )");
+    CpuTb tb(p);
+    tb.mem.poke(0x108, Word::all_x());  // corrupt the third instruction
+    tb.run_to_halt(1000);
+    EXPECT_TRUE(tb.sch.stop_requested());
+    bool found = false;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("fetched X") != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Cpu, InstructionCountAdvances) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, 4
+                mtctr r3
+        loop:   bdnz loop
+        done:   b done
+    )");
+    CpuTb tb(p);
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_GE(tb.cpu.instructions(), 7u);
+}
+
+TEST(Cpu, TraceHookSeesEveryInstruction) {
+    const Program p = assemble(R"(
+        .org 0x100
+        _start: li r3, 1
+                li r4, 2
+        done:   b done
+    )");
+    CpuTb tb(p);
+    std::vector<std::uint32_t> pcs;
+    tb.cpu.trace = [&](std::uint32_t pc, std::uint32_t) {
+        if (pcs.size() < 4) pcs.push_back(pc);
+    };
+    ASSERT_TRUE(tb.run_to_halt(1000));
+    ASSERT_GE(pcs.size(), 3u);
+    EXPECT_EQ(pcs[0], 0x100u);
+    EXPECT_EQ(pcs[1], 0x104u);
+    EXPECT_EQ(pcs[2], 0x108u);
+}
+
+}  // namespace
+}  // namespace autovision::isa

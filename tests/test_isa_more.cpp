@@ -1,0 +1,284 @@
+// Additional ISS coverage: the long tail of the instruction subset, CR
+// moves, exception-model details and load/store atomicity.
+#include <gtest/gtest.h>
+
+#include "bus/dcr.hpp"
+#include "bus/intc.hpp"
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "isa/assembler.hpp"
+#include "isa/cpu.hpp"
+#include "kernel/kernel.hpp"
+
+namespace autovision::isa {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+
+struct Tb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 5000}};
+    DcrChain dcr{sch, "dcr", clk.out, rst.out};
+    Intc intc{sch, "intc", clk.out, rst.out, 0x40};
+    PpcCpu cpu;
+
+    explicit Tb(const Program& p)
+        : cpu(sch, "cpu", clk.out, rst.out, plb.master(0), dcr, mem, intc.irq,
+              PpcCpu::Config{p.entry(), 5}) {
+        plb.attach_slave(mem);
+        dcr.attach(intc);
+        mem.load_words(p.origin, p.words);
+    }
+
+    bool run_to_halt(unsigned cycles) {
+        for (unsigned i = 0; i < cycles / 64; ++i) {
+            sch.run_until(sch.now() + 64 * kClk);
+            if (cpu.halted() || sch.stop_requested()) break;
+        }
+        return cpu.halted();
+    }
+};
+
+Program prog(const std::string& body) {
+    return assemble(".org 0x100\n_start:\n" + body + "\ndone: b done\n");
+}
+
+TEST(CpuMore, MulliSubficAddic) {
+    Tb tb(prog(R"(
+        li r3, 7
+        mulli r4, r3, -6       # -42
+        subfic r5, r3, 100     # 93
+        addic r6, r3, 5        # 12
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(4), static_cast<std::uint32_t>(-42));
+    EXPECT_EQ(tb.cpu.gpr(5), 93u);
+    EXPECT_EQ(tb.cpu.gpr(6), 12u);
+}
+
+TEST(CpuMore, HighHalfLogicals) {
+    Tb tb(prog(R"(
+        li r3, 0
+        oris r4, r3, 0xA5A5    # 0xA5A50000
+        xoris r5, r4, 0xFFFF   # 0x5A5A0000
+        andis. r6, r4, 0x00FF  # 0x00A50000, CR0 updated
+        bgt gt_ok
+        li r7, 0
+        b cont
+    gt_ok:
+        li r7, 1
+    cont:
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(4), 0xA5A50000u);
+    EXPECT_EQ(tb.cpu.gpr(5), 0x5A5A0000u);
+    EXPECT_EQ(tb.cpu.gpr(6), 0x00A50000u);
+    EXPECT_EQ(tb.cpu.gpr(7), 1u) << "andis. recorded a positive result";
+}
+
+TEST(CpuMore, NotAndcSubAliases) {
+    Tb tb(prog(R"(
+        li r3, 0x0F0F
+        not r4, r3             # ~0x0F0F
+        li r5, 0xFF
+        andc r6, r3, r5        # 0x0F00
+        li r7, 30
+        li r8, 12
+        sub r9, r7, r8         # 18
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(4), ~0x0F0Fu);
+    EXPECT_EQ(tb.cpu.gpr(6), 0x0F00u);
+    EXPECT_EQ(tb.cpu.gpr(9), 18u);
+}
+
+TEST(CpuMore, RegisterShifts) {
+    Tb tb(prog(R"(
+        li r3, 0xF0
+        li r4, 4
+        slw r5, r3, r4         # 0xF00
+        srw r6, r5, r4         # 0xF0
+        li r7, -64
+        li r8, 3
+        sraw r9, r7, r8        # -8
+        li r10, 40
+        slw r11, r3, r10       # shift >= 32 -> 0
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(5), 0xF00u);
+    EXPECT_EQ(tb.cpu.gpr(6), 0xF0u);
+    EXPECT_EQ(tb.cpu.gpr(9), static_cast<std::uint32_t>(-8));
+    EXPECT_EQ(tb.cpu.gpr(11), 0u);
+}
+
+TEST(CpuMore, BctrComputedDispatch) {
+    Tb tb(prog(R"(
+        lis r3, hi(target)
+        ori r3, r3, lo(target)
+        mtctr r3
+        bctr
+        li r4, 99              # skipped
+    target:
+        li r4, 7
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(4), 7u);
+}
+
+TEST(CpuMore, UpdateFormStores) {
+    Tb tb(prog(R"(
+        lis r6, hi(buf)
+        ori r6, r6, lo(buf)
+        addi r6, r6, -4
+        li r3, 0xAA
+        stbu r3, 4(r6)         # buf[0], r6 = buf
+        li r3, 0x1234
+        sthu r3, 2(r6)         # buf+2, r6 = buf+2
+        li r3, 0x5678
+        stwu r3, 2(r6)         # buf+4, r6 = buf+4
+        b fin
+        .org 0x400
+        buf: .word 0, 0
+        fin:
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(4000));
+    EXPECT_EQ(tb.mem.peek_u8(0x400), 0xAAu);
+    EXPECT_EQ(tb.mem.peek_u16(0x402), 0x1234u);
+    EXPECT_EQ(tb.mem.peek_u32(0x404), 0x5678u);
+    EXPECT_EQ(tb.cpu.gpr(6), 0x404u);
+}
+
+TEST(CpuMore, CrMoveRoundTrip) {
+    Tb tb(prog(R"(
+        cmpwi r0, 1            # r0=0 < 1 -> LT
+        mfcr r3
+        li r4, 0
+        cmpwi r4, 0            # EQ, clobbers CR0
+        mtcr r3                # restore LT
+        bge not_lt
+        li r5, 1
+        b fin
+    not_lt:
+        li r5, 0
+    fin:
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(5), 1u) << "CR0 restored from GPR";
+    EXPECT_EQ(tb.cpu.gpr(3) >> 28, 0x8u) << "mfcr put LT in the top nibble";
+}
+
+TEST(CpuMore, DivisionByZeroReportsAndContinues) {
+    Tb tb(prog(R"(
+        li r3, 5
+        li r4, 0
+        divw r5, r3, r4
+        divwu r6, r3, r4
+        li r7, 1
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(5), 0u);
+    EXPECT_EQ(tb.cpu.gpr(7), 1u) << "execution continued";
+    EXPECT_TRUE(tb.sch.has_diag_from("cpu"));
+}
+
+TEST(CpuMore, MsrReadWriteAndWrteei) {
+    Tb tb(prog(R"(
+        wrteei 1
+        mfmsr r3               # EE set
+        wrteei 0
+        mfmsr r4               # EE clear
+        ori r5, r3, 0
+        mtmsr r5               # restore EE via mtmsr
+        mfmsr r6
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(3) & 0x8000u, 0x8000u);
+    EXPECT_EQ(tb.cpu.gpr(4) & 0x8000u, 0u);
+    EXPECT_EQ(tb.cpu.gpr(6) & 0x8000u, 0x8000u);
+}
+
+TEST(CpuMore, RfiRestoresInterruptEnable) {
+    // The ISR runs with EE masked; rfi restores SRR1 (EE set), so a second
+    // pending interrupt is taken right after return.
+    Program p = assemble(R"(
+        .equ INTC_IER, 0x41
+        .equ INTC_IAR, 0x42
+        .org 0x500
+        isr:    addi r20, r20, 1
+                mfmsr r21          # must have EE clear inside the ISR
+                li r22, 0xFF
+                mtdcr INTC_IAR, r22
+                rfi
+        .org 0x1000
+        _start: li r20, 0
+                li r3, 0xFF
+                mtdcr INTC_IER, r3
+                wrteei 1
+        spin:   cmpwi r20, 1
+                bne spin
+        done:   b done
+    )");
+    Tb tb(p);
+    tb.sch.schedule_at(100 * kClk, [&] { tb.intc.dcr_write(0x40, Word{1}); });
+    ASSERT_TRUE(tb.run_to_halt(20000));
+    EXPECT_EQ(tb.cpu.gpr(20), 1u);
+    EXPECT_EQ(tb.cpu.gpr(21) & 0x8000u, 0u) << "EE masked inside the ISR";
+    EXPECT_EQ(tb.cpu.msr() & 0x8000u, 0x8000u) << "EE restored by rfi";
+}
+
+TEST(CpuMore, InterruptNotSampledMidLoadStore) {
+    // Interrupts are taken between instructions only: a pending interrupt
+    // during a multi-cycle store must wait for the store to finish (the
+    // stored value is never torn).
+    Program p = assemble(R"(
+        .equ INTC_IER, 0x41
+        .equ INTC_IAR, 0x42
+        .org 0x500
+        isr:    lis r21, hi(0x700)
+                ori r21, r21, lo(0x700)
+                lwz r22, 0(r21)       # observe the completed store
+                addi r20, r20, 1
+                li r23, 0xFF
+                mtdcr INTC_IAR, r23
+                rfi
+        .org 0x1000
+        _start: li r20, 0
+                li r3, 0xFF
+                mtdcr INTC_IER, r3
+                wrteei 1
+                lis r4, hi(0x700)
+                ori r4, r4, lo(0x700)
+                lis r5, hi(0xCAFE0000 + 0xBABE)
+                ori r5, r5, lo(0xCAFE0000 + 0xBABE)
+        again:  stw r5, 0(r4)
+                cmpwi r20, 1
+                bne again
+        done:   b done
+    )");
+    Tb tb(p);
+    // Raise the interrupt while the CPU is mid-store (storm of stores).
+    tb.sch.schedule_at(150 * kClk, [&] { tb.intc.dcr_write(0x40, Word{1}); });
+    ASSERT_TRUE(tb.run_to_halt(30000));
+    EXPECT_EQ(tb.cpu.gpr(22), 0xCAFEBABEu)
+        << "ISR observed a complete, untorn word";
+}
+
+TEST(CpuMore, NegOfIntMinWraps) {
+    Tb tb(prog(R"(
+        lis r3, 0x8000
+        neg r4, r3             # two's complement wrap
+    )"));
+    ASSERT_TRUE(tb.run_to_halt(2000));
+    EXPECT_EQ(tb.cpu.gpr(4), 0x80000000u);
+}
+
+}  // namespace
+}  // namespace autovision::isa

@@ -1,0 +1,237 @@
+// Unit tests for the 4-state logic scalar and vector types.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernel/logic.hpp"
+#include "kernel/lvec.hpp"
+
+namespace rtlsim {
+namespace {
+
+TEST(Logic, CharacterRoundTrip) {
+    EXPECT_EQ(to_char(Logic::L0), '0');
+    EXPECT_EQ(to_char(Logic::L1), '1');
+    EXPECT_EQ(to_char(Logic::X), 'x');
+    EXPECT_EQ(to_char(Logic::Z), 'z');
+    for (Logic v : {Logic::L0, Logic::L1, Logic::X, Logic::Z}) {
+        EXPECT_EQ(logic_from_char(to_char(v)), v);
+    }
+    EXPECT_EQ(logic_from_char('?'), Logic::X);
+}
+
+TEST(Logic, Predicates) {
+    EXPECT_TRUE(is01(Logic::L0));
+    EXPECT_TRUE(is01(Logic::L1));
+    EXPECT_FALSE(is01(Logic::X));
+    EXPECT_FALSE(is01(Logic::Z));
+    EXPECT_TRUE(is_unknown(Logic::Z));
+    EXPECT_TRUE(is1(Logic::L1));
+    EXPECT_FALSE(is1(Logic::X));
+    EXPECT_TRUE(is0(Logic::L0));
+    EXPECT_FALSE(is0(Logic::Z));
+}
+
+// Exhaustive truth tables for the 4-state gates: the Verilog-1364 tables.
+using Triple = std::tuple<Logic, Logic, Logic>;
+
+class LogicAnd : public ::testing::TestWithParam<Triple> {};
+TEST_P(LogicAnd, Table) {
+    auto [a, b, want] = GetParam();
+    EXPECT_EQ(a & b, want);
+    EXPECT_EQ(b & a, want) << "AND must be commutative";
+}
+INSTANTIATE_TEST_SUITE_P(
+    Truth, LogicAnd,
+    ::testing::Values(
+        Triple{Logic::L0, Logic::L0, Logic::L0},
+        Triple{Logic::L0, Logic::L1, Logic::L0},
+        Triple{Logic::L0, Logic::X, Logic::L0},
+        Triple{Logic::L0, Logic::Z, Logic::L0},
+        Triple{Logic::L1, Logic::L1, Logic::L1},
+        Triple{Logic::L1, Logic::X, Logic::X},
+        Triple{Logic::L1, Logic::Z, Logic::X},
+        Triple{Logic::X, Logic::X, Logic::X},
+        Triple{Logic::X, Logic::Z, Logic::X},
+        Triple{Logic::Z, Logic::Z, Logic::X}));
+
+class LogicOr : public ::testing::TestWithParam<Triple> {};
+TEST_P(LogicOr, Table) {
+    auto [a, b, want] = GetParam();
+    EXPECT_EQ(a | b, want);
+    EXPECT_EQ(b | a, want) << "OR must be commutative";
+}
+INSTANTIATE_TEST_SUITE_P(
+    Truth, LogicOr,
+    ::testing::Values(
+        Triple{Logic::L0, Logic::L0, Logic::L0},
+        Triple{Logic::L0, Logic::L1, Logic::L1},
+        Triple{Logic::L0, Logic::X, Logic::X},
+        Triple{Logic::L0, Logic::Z, Logic::X},
+        Triple{Logic::L1, Logic::L1, Logic::L1},
+        Triple{Logic::L1, Logic::X, Logic::L1},
+        Triple{Logic::L1, Logic::Z, Logic::L1},
+        Triple{Logic::X, Logic::X, Logic::X},
+        Triple{Logic::X, Logic::Z, Logic::X},
+        Triple{Logic::Z, Logic::Z, Logic::X}));
+
+class LogicXor : public ::testing::TestWithParam<Triple> {};
+TEST_P(LogicXor, Table) {
+    auto [a, b, want] = GetParam();
+    EXPECT_EQ(a ^ b, want);
+    EXPECT_EQ(b ^ a, want) << "XOR must be commutative";
+}
+INSTANTIATE_TEST_SUITE_P(
+    Truth, LogicXor,
+    ::testing::Values(
+        Triple{Logic::L0, Logic::L0, Logic::L0},
+        Triple{Logic::L0, Logic::L1, Logic::L1},
+        Triple{Logic::L1, Logic::L1, Logic::L0},
+        Triple{Logic::L0, Logic::X, Logic::X},
+        Triple{Logic::L1, Logic::Z, Logic::X},
+        Triple{Logic::X, Logic::Z, Logic::X}));
+
+TEST(Logic, Not) {
+    EXPECT_EQ(~Logic::L0, Logic::L1);
+    EXPECT_EQ(~Logic::L1, Logic::L0);
+    EXPECT_EQ(~Logic::X, Logic::X);
+    EXPECT_EQ(~Logic::Z, Logic::X) << "inverting an undriven net yields X";
+}
+
+TEST(Logic, Resolution) {
+    EXPECT_EQ(resolve(Logic::Z, Logic::L1), Logic::L1);
+    EXPECT_EQ(resolve(Logic::L0, Logic::Z), Logic::L0);
+    EXPECT_EQ(resolve(Logic::Z, Logic::Z), Logic::Z);
+    EXPECT_EQ(resolve(Logic::L0, Logic::L1), Logic::X) << "driver conflict";
+    EXPECT_EQ(resolve(Logic::L1, Logic::L1), Logic::L1);
+    EXPECT_EQ(resolve(Logic::X, Logic::Z), Logic::X);
+}
+
+// ----------------------------------------------------------------- LVec
+
+TEST(LVec, DefaultIsAllX) {
+    LVec<8> v;
+    EXPECT_TRUE(v.has_unknown());
+    for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(v.bit(i), Logic::X);
+    EXPECT_EQ(v.to_string(), "xxxxxxxx");
+}
+
+TEST(LVec, IntegerConstructionTruncates) {
+    LVec<4> v{0xAB};
+    EXPECT_TRUE(v.is_fully_defined());
+    EXPECT_EQ(v.to_u64(), 0xBu);
+}
+
+TEST(LVec, BitSetGetRoundTrip) {
+    LVec<4> v{0};
+    v.set_bit(0, Logic::L1);
+    v.set_bit(1, Logic::X);
+    v.set_bit(2, Logic::Z);
+    EXPECT_EQ(v.bit(0), Logic::L1);
+    EXPECT_EQ(v.bit(1), Logic::X);
+    EXPECT_EQ(v.bit(2), Logic::Z);
+    EXPECT_EQ(v.bit(3), Logic::L0);
+    EXPECT_EQ(v.to_string(), "0zx1");
+}
+
+TEST(LVec, BitwiseAndDominance) {
+    // A defined 0 forces the result bit to 0 even against X.
+    auto x = LVec<4>::all_x();
+    LVec<4> zeros{0x0};
+    EXPECT_EQ((x & zeros).to_string(), "0000");
+    LVec<4> ones{0xF};
+    EXPECT_EQ((x & ones).to_string(), "xxxx");
+    EXPECT_EQ((LVec<4>{0b1100} & LVec<4>{0b1010}).to_u64(), 0b1000u);
+}
+
+TEST(LVec, BitwiseOrDominance) {
+    auto x = LVec<4>::all_x();
+    LVec<4> ones{0xF};
+    EXPECT_EQ((x | ones).to_string(), "1111");
+    LVec<4> zeros{0x0};
+    EXPECT_EQ((x | zeros).to_string(), "xxxx");
+    EXPECT_EQ((LVec<4>{0b1100} | LVec<4>{0b1010}).to_u64(), 0b1110u);
+}
+
+TEST(LVec, BitwiseXorPoisonsPerBit) {
+    LVec<4> v{0b0011};
+    LVec<4> m{0b0101};
+    auto r = v ^ m;
+    EXPECT_EQ(r.to_u64(), 0b0110u);
+    v.set_bit(3, Logic::X);
+    r = v ^ m;
+    EXPECT_EQ(r.bit(3), Logic::X);
+    EXPECT_EQ(r.bit(0), Logic::L0);
+}
+
+TEST(LVec, NotMapsZToX) {
+    LVec<4> v{0};
+    v.set_bit(1, Logic::Z);
+    auto r = ~v;
+    EXPECT_EQ(r.bit(0), Logic::L1);
+    EXPECT_EQ(r.bit(1), Logic::X);
+}
+
+TEST(LVec, ArithmeticWholeResultX) {
+    LVec<8> a{200};
+    LVec<8> b{100};
+    EXPECT_EQ((a + b).to_u64(), 44u) << "modular wrap at 8 bits";
+    EXPECT_EQ((a - b).to_u64(), 100u);
+    a.set_bit(0, Logic::X);
+    EXPECT_TRUE((a + b) == LVec<8>::all_x());
+    EXPECT_TRUE((a - b) == LVec<8>::all_x());
+    EXPECT_TRUE((a * b) == LVec<8>::all_x());
+}
+
+TEST(LVec, Shifts) {
+    LVec<8> v{0b1001};
+    EXPECT_EQ((v << 2).to_u64(), 0b100100u);
+    EXPECT_EQ((v >> 1).to_u64(), 0b100u);
+    EXPECT_EQ((v << 8).to_u64(), 0u);
+    v.set_bit(0, Logic::X);
+    EXPECT_EQ((v << 1).bit(1), Logic::X) << "shifts move unknown bits";
+}
+
+TEST(LVec, LogicEquality) {
+    LVec<8> a{42};
+    LVec<8> b{42};
+    EXPECT_EQ(logic_eq(a, b), Logic::L1);
+    EXPECT_EQ(logic_eq(a, LVec<8>{41}), Logic::L0);
+    b.set_bit(7, Logic::X);
+    EXPECT_EQ(logic_eq(a, b), Logic::X);
+}
+
+TEST(LVec, Reductions) {
+    EXPECT_EQ(LVec<4>{0}.reduce_or(), Logic::L0);
+    EXPECT_EQ(LVec<4>{2}.reduce_or(), Logic::L1);
+    EXPECT_EQ(LVec<4>::all_x().reduce_or(), Logic::X);
+    LVec<4> half_x{0b0010};
+    half_x.set_bit(3, Logic::X);
+    EXPECT_EQ(half_x.reduce_or(), Logic::L1) << "a defined 1 dominates X";
+
+    EXPECT_EQ(LVec<4>{0xF}.reduce_and(), Logic::L1);
+    EXPECT_EQ(LVec<4>{0xE}.reduce_and(), Logic::L0);
+    LVec<4> and_x{0xF};
+    and_x.set_bit(2, Logic::X);
+    EXPECT_EQ(and_x.reduce_and(), Logic::X);
+    and_x.set_bit(0, Logic::L0);
+    EXPECT_EQ(and_x.reduce_and(), Logic::L0) << "a defined 0 dominates X";
+}
+
+TEST(LVec, Width64Mask) {
+    LVec<64> v{~std::uint64_t{0}};
+    EXPECT_TRUE(v.is_fully_defined());
+    EXPECT_EQ(v.to_u64(), ~std::uint64_t{0});
+    EXPECT_EQ((v + LVec<64>{1}).to_u64(), 0u);
+}
+
+TEST(LVec, AllZIsDistinctFromAllX) {
+    auto z = LVec<4>::all_z();
+    auto x = LVec<4>::all_x();
+    EXPECT_FALSE(z == x);
+    EXPECT_EQ(z.to_string(), "zzzz");
+    EXPECT_TRUE(z.has_unknown());
+}
+
+}  // namespace
+}  // namespace rtlsim

@@ -1,0 +1,298 @@
+// Unit tests for the event scheduler, signals, processes and tracing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kernel/kernel.hpp"
+
+namespace rtlsim {
+namespace {
+
+TEST(Scheduler, TimedEventsRunInOrder) {
+    Scheduler sch;
+    std::vector<int> order;
+    sch.schedule_at(30 * NS, [&] { order.push_back(3); });
+    sch.schedule_at(10 * NS, [&] { order.push_back(1); });
+    sch.schedule_at(20 * NS, [&] { order.push_back(2); });
+    sch.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sch.now(), 30 * NS);
+    EXPECT_EQ(sch.stats.timed_events, 3u);
+    EXPECT_EQ(sch.stats.time_steps, 3u);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+    Scheduler sch;
+    Time seen = 0;
+    sch.schedule_at(5 * NS, [&] {
+        sch.schedule_in(7 * NS, [&] { seen = sch.now(); });
+    });
+    sch.run();
+    EXPECT_EQ(seen, 12 * NS);
+}
+
+TEST(Scheduler, RunUntilStopsAtBound) {
+    Scheduler sch;
+    int hits = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sch.schedule_at(static_cast<Time>(i) * NS, [&] { ++hits; });
+    }
+    sch.run_until(4 * NS);
+    EXPECT_EQ(hits, 4);
+    EXPECT_EQ(sch.now(), 4 * NS);
+    sch.run();
+    EXPECT_EQ(hits, 10);
+}
+
+TEST(Scheduler, StopRequestHaltsRun) {
+    Scheduler sch;
+    int hits = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sch.schedule_at(static_cast<Time>(i) * NS, [&] {
+            if (++hits == 3) sch.request_stop("enough");
+        });
+    }
+    sch.run();
+    EXPECT_EQ(hits, 3);
+    EXPECT_TRUE(sch.stop_requested());
+    EXPECT_EQ(sch.stop_reason(), "enough");
+}
+
+TEST(Scheduler, DiagnosticsAreRecorded) {
+    Scheduler sch;
+    sch.schedule_at(2 * NS, [&] { sch.report("tb.checker", "boom"); });
+    sch.run();
+    ASSERT_EQ(sch.diagnostics().size(), 1u);
+    EXPECT_EQ(sch.diagnostics()[0].time, 2 * NS);
+    EXPECT_TRUE(sch.has_diag_from("checker"));
+    EXPECT_FALSE(sch.has_diag_from("scoreboard"));
+}
+
+TEST(Signal, NonBlockingWriteVisibleNextDelta) {
+    Scheduler sch;
+    Signal<int> s(sch, "s", 0);
+    int seen_during_eval = -1;
+    sch.schedule_at(1 * NS, [&] {
+        s.write(42);
+        seen_during_eval = s.read();  // still old value in the same delta
+    });
+    sch.run();
+    EXPECT_EQ(seen_during_eval, 0);
+    EXPECT_EQ(s.read(), 42);
+}
+
+TEST(Signal, SameValueWriteDoesNotNotify) {
+    Scheduler sch;
+    Signal<int> s(sch, "s", 7);
+    int wakeups = 0;
+    Process p(sch, "watcher", [&] { ++wakeups; });
+    s.add_listener(p, Edge::Any);
+    sch.schedule_at(1 * NS, [&] { s.write(7); });
+    sch.schedule_at(2 * NS, [&] { s.write(8); });
+    sch.run();
+    EXPECT_EQ(wakeups, 1);
+    EXPECT_EQ(sch.stats.signal_updates, 1u);
+}
+
+TEST(Signal, LogicStartsX) {
+    Scheduler sch;
+    Signal<Logic> s(sch, "s");
+    EXPECT_EQ(s.read(), Logic::X);
+    Signal<Word> w(sch, "w");
+    EXPECT_TRUE(w.read().has_unknown());
+}
+
+TEST(Signal, EdgeFiltering) {
+    Scheduler sch;
+    Clock clk(sch, "clk", 10 * NS);
+    int pos = 0;
+    int neg = 0;
+    int any = 0;
+    Process pp(sch, "pos", [&] { ++pos; });
+    Process pn(sch, "neg", [&] { ++neg; });
+    Process pa(sch, "any", [&] { ++any; });
+    clk.out.add_listener(pp, Edge::Pos);
+    clk.out.add_listener(pn, Edge::Neg);
+    clk.out.add_listener(pa, Edge::Any);
+    // Period 10ns: rising edges at 5,15,...,95 and falling at 10,20,...,100.
+    sch.run_until(100 * NS);
+    EXPECT_EQ(pos, 10);
+    EXPECT_EQ(neg, 10);
+    EXPECT_EQ(any, 20);
+}
+
+TEST(Signal, XToOneCountsAsPosedge) {
+    Scheduler sch;
+    Signal<Logic> s(sch, "s");  // starts X
+    int pos = 0;
+    Process p(sch, "pos", [&] { ++pos; });
+    s.add_listener(p, Edge::Pos);
+    sch.schedule_at(1 * NS, [&] { s.write(Logic::L1); });
+    sch.run();
+    EXPECT_EQ(pos, 1);
+}
+
+// Two registers swapping values through each other on the same clock edge
+// is the canonical race that non-blocking semantics must make deterministic.
+TEST(Signal, SimultaneousSwapIsRaceFree) {
+    Scheduler sch;
+    Clock clk(sch, "clk", 10 * NS);
+    Signal<int> a(sch, "a", 1);
+    Signal<int> b(sch, "b", 2);
+    Process pa(sch, "ra", [&] { a.write(b.read()); });
+    Process pb(sch, "rb", [&] { b.write(a.read()); });
+    clk.out.add_listener(pa, Edge::Pos);
+    clk.out.add_listener(pb, Edge::Pos);
+    sch.run_until(10 * NS);  // exactly one rising edge at t=5ns
+    EXPECT_EQ(a.read(), 2);
+    EXPECT_EQ(b.read(), 1);
+    sch.run_until(20 * NS);  // second rising edge swaps back
+    EXPECT_EQ(a.read(), 1);
+    EXPECT_EQ(b.read(), 2);
+}
+
+// A combinational chain through three processes must settle within one
+// timestep via delta cycles.
+TEST(Scheduler, CombinationalChainSettles) {
+    Scheduler sch;
+    Signal<int> in(sch, "in", 0);
+    Signal<int> s1(sch, "s1", 0);
+    Signal<int> s2(sch, "s2", 0);
+    Signal<int> out(sch, "out", 0);
+    Process p1(sch, "p1", [&] { s1.write(in.read() + 1); });
+    Process p2(sch, "p2", [&] { s2.write(s1.read() * 2); });
+    Process p3(sch, "p3", [&] { out.write(s2.read() + 3); });
+    in.add_listener(p1, Edge::Any);
+    s1.add_listener(p2, Edge::Any);
+    s2.add_listener(p3, Edge::Any);
+    sch.schedule_at(1 * NS, [&] { in.write(10); });
+    sch.run();
+    EXPECT_EQ(sch.now(), 1 * NS);
+    EXPECT_EQ(out.read(), 25);  // (10+1)*2+3, settled at the same timestamp
+}
+
+TEST(Module, HierarchicalNames) {
+    Scheduler sch;
+    struct Inner : Module {
+        Inner(Scheduler& s, const Module* parent)
+            : Module(s, "inner", parent) {}
+    };
+    struct Outer : Module {
+        Inner child;
+        explicit Outer(Scheduler& s) : Module(s, "outer"), child(s, this) {}
+    };
+    Outer o(sch);
+    EXPECT_EQ(o.full_name(), "outer");
+    EXPECT_EQ(o.child.full_name(), "outer.inner");
+}
+
+TEST(Module, CombProcRunsAtInit) {
+    Scheduler sch;
+    Signal<int> in(sch, "in", 5);
+    Signal<int> out(sch, "out", 0);
+
+    struct Doubler : Module {
+        Doubler(Scheduler& s, Signal<int>& i, Signal<int>& o)
+            : Module(s, "doubler") {
+            comb_proc("eval", [&i, &o] { o.write(i.read() * 2); }, {anyedge(i)});
+        }
+    };
+    Doubler d(sch, in, out);
+    sch.schedule_at(0, [] {});  // force one timestep so init deltas run
+    sch.run();
+    EXPECT_EQ(out.read(), 10) << "comb process must establish initial output";
+}
+
+TEST(Module, SyncProcDoesNotRunAtInit) {
+    Scheduler sch;
+    Clock clk(sch, "clk", 10 * NS);
+    int ticks = 0;
+    struct Counter : Module {
+        Counter(Scheduler& s, Signal<Logic>& clk, int& t) : Module(s, "ctr") {
+            sync_proc("tick", [&t] { ++t; }, {posedge(clk)});
+        }
+    };
+    Counter c(sch, clk.out, ticks);
+    sch.run_until(25 * NS);
+    EXPECT_EQ(ticks, 3) << "edges at 5/15/25ns only; no init invocation";
+}
+
+TEST(Clock, PeriodAndPhase) {
+    Scheduler sch;
+    Clock clk(sch, "clk", 10 * NS);
+    std::vector<Time> rises;
+    Process p(sch, "mon", [&] { rises.push_back(sch.now()); });
+    clk.out.add_listener(p, Edge::Pos);
+    sch.run_until(40 * NS);
+    EXPECT_EQ(rises, (std::vector<Time>{5 * NS, 15 * NS, 25 * NS, 35 * NS}));
+    EXPECT_EQ(clk.period(), 10 * NS);
+}
+
+TEST(ResetGen, AssertsThenReleases) {
+    Scheduler sch;
+    ResetGen rst(sch, "rst", 22 * NS);
+    EXPECT_EQ(rst.out.read(), Logic::L1);
+    sch.run_until(21 * NS);
+    EXPECT_EQ(rst.out.read(), Logic::L1);
+    sch.run_until(23 * NS);
+    EXPECT_EQ(rst.out.read(), Logic::L0);
+}
+
+TEST(Profiling, CountsInvocationsAndTime) {
+    Scheduler sch;
+    sch.set_profiling(true);
+    Clock clk(sch, "clk", 10 * NS);
+    Process p(sch, "busy", [&] {
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i) sink += i;
+        // Keep the loop from being optimised away so self_time is nonzero.
+        asm volatile("" : : "r"(sink) : "memory");
+    });
+    clk.out.add_listener(p, Edge::Pos);
+    sch.run_until(100 * NS);
+    EXPECT_EQ(p.invocations(), 10u);
+    EXPECT_GT(p.self_time().count(), 0);
+    EXPECT_GE(sch.processes().size(), 1u);
+}
+
+TEST(Tracer, EmitsHeaderAndChanges) {
+    Scheduler sch;
+    std::ostringstream vcd;
+    Tracer tr(vcd);
+    Clock clk(sch, "clk", 10 * NS);
+    Signal<LVec<8>> data(sch, "data", LVec<8>{0});
+    tr.add(clk.out);
+    tr.add(data);
+    sch.set_tracer(&tr);
+    sch.schedule_at(7 * NS, [&] { data.write(LVec<8>{0xA5}); });
+    sch.run_until(20 * NS);
+    tr.finish();
+
+    const std::string out = vcd.str();
+    EXPECT_NE(out.find("$timescale 1ps $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 8"), std::string::npos);
+    EXPECT_NE(out.find("clk_out"), std::string::npos);
+    EXPECT_NE(out.find("#5000"), std::string::npos) << "first clock edge";
+    EXPECT_NE(out.find("b10100101 "), std::string::npos) << "data change";
+    EXPECT_NE(out.find("#7000"), std::string::npos);
+}
+
+TEST(Stats, DeltaAndUpdateCounting) {
+    Scheduler sch;
+    Signal<int> a(sch, "a", 0);
+    Signal<int> b(sch, "b", 0);
+    Process p(sch, "fwd", [&] { b.write(a.read()); });
+    a.add_listener(p, Edge::Any);
+    sch.schedule_at(1 * NS, [&] { a.write(1); });
+    sch.run();
+    // a commits (delta 1), p runs and writes b, b commits (delta 2).
+    EXPECT_EQ(sch.stats.signal_updates, 2u);
+    EXPECT_GE(sch.stats.delta_cycles, 2u);
+    SimStats snap = sch.stats;
+    SimStats diff = sch.stats - snap;
+    EXPECT_EQ(diff.signal_updates, 0u);
+}
+
+}  // namespace
+}  // namespace rtlsim

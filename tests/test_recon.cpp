@@ -1,0 +1,345 @@
+// Unit tests for the reconfiguration machinery: the region boundary
+// (mux / error injection / isolation) and the IcapCTRL.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/icap_ctrl.hpp"
+#include "recon/isolation.hpp"
+#include "recon/rr_boundary.hpp"
+
+namespace autovision {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+using rtlsim::Word;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+
+// ------------------------------------------------------------ RrBoundary
+
+struct BoundaryTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 50000}};
+    rtlsim::Signal<Logic> done_line{sch, "done_line", Logic::L0};
+    EngineRegs regs{sch, "regs", clk.out, 0x60};
+    CensusEngine cie{sch, "cie", clk.out, rst.out, regs};
+    RrBoundary rr{sch, "rr", plb.master(0), done_line};
+
+    BoundaryTb() {
+        plb.attach_slave(mem);
+        rr.add_module(cie);
+    }
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+};
+
+TEST(RrBoundary, EmptyRegionDrivesX) {
+    BoundaryTb tb;
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.plb.master(0).req.read(), Logic::X);
+    EXPECT_TRUE(tb.plb.master(0).addr.read().has_unknown());
+    EXPECT_EQ(tb.done_line.read(), Logic::X);
+    EXPECT_TRUE(tb.sch.has_diag_from("plb")) << "bus checker flags the X";
+}
+
+TEST(RrBoundary, SelectedModuleDrivesIdleLevels) {
+    BoundaryTb tb;
+    tb.rr.select(0);
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.plb.master(0).req.read(), Logic::L0);
+    EXPECT_EQ(tb.done_line.read(), Logic::L0);
+    EXPECT_EQ(tb.rr.selected(), 0);
+}
+
+TEST(RrBoundary, ReconfiguringInjectsXByDefault) {
+    BoundaryTb tb;
+    tb.rr.select(0);
+    tb.run_cycles(5);
+    ASSERT_EQ(tb.plb.master(0).req.read(), Logic::L0);
+    tb.sch.schedule_in(0, [&] { tb.rr.set_reconfiguring(true); });
+    tb.run_cycles(3);
+    EXPECT_EQ(tb.plb.master(0).req.read(), Logic::X);
+    EXPECT_EQ(tb.done_line.read(), Logic::X);
+    tb.sch.schedule_in(0, [&] { tb.rr.set_reconfiguring(false); });
+    tb.run_cycles(3);
+    EXPECT_EQ(tb.plb.master(0).req.read(), Logic::L0);
+}
+
+TEST(RrBoundary, IsolationClampsInjectedErrors) {
+    BoundaryTb tb;
+    Isolation iso(tb.sch, "iso", 0x58);
+    tb.rr.set_isolation_signal(iso.isolate);
+    tb.rr.select(0);
+    tb.run_cycles(5);
+    // Driver sequence: isolate, then reconfigure.
+    iso.dcr_write(0x58, Word{1});
+    tb.sch.schedule_in(0, [&] { tb.rr.set_reconfiguring(true); });
+    tb.run_cycles(3);
+    EXPECT_EQ(tb.plb.master(0).req.read(), Logic::L0)
+        << "isolation keeps the static region clean";
+    EXPECT_EQ(tb.done_line.read(), Logic::L0);
+    // Release in the right order.
+    tb.sch.schedule_in(0, [&] { tb.rr.set_reconfiguring(false); });
+    tb.run_cycles(3);
+    iso.dcr_write(0x58, Word{0});
+    tb.run_cycles(3);
+    EXPECT_EQ(tb.plb.master(0).req.read(), Logic::L0);
+    EXPECT_EQ(iso.writes(), 2u);
+}
+
+/// ReSim's documented extension point: a custom error source.
+struct StuckHighInjector final : ErrorInjector {
+    void inject(RrOutputs& o) override {
+        o = RrOutputs::idle();
+        o.req = Logic::L1;          // spurious request
+        o.addr = Word{0xDEAD'BEEF};  // to nowhere
+        o.nbeats = rtlsim::LVec<16>{1};
+    }
+    [[nodiscard]] const char* name() const override { return "stuck-high"; }
+};
+
+TEST(RrBoundary, ErrorInjectorIsOverridable) {
+    BoundaryTb tb;
+    tb.rr.set_error_injector(std::make_unique<StuckHighInjector>());
+    tb.rr.select(0);
+    tb.run_cycles(5);
+    tb.sch.schedule_in(0, [&] { tb.rr.set_reconfiguring(true); });
+    tb.run_cycles(5);
+    EXPECT_EQ(tb.plb.master(0).req.read(), Logic::L1)
+        << "custom injector drives a spurious request";
+    // The spurious request decodes to nowhere: the bus flags it.
+    EXPECT_TRUE(tb.sch.has_diag_from("plb"));
+    EXPECT_STREQ(tb.rr.error_injector().name(), "stuck-high");
+}
+
+TEST(RrBoundary, ReconfiguringFlagIsObservable) {
+    BoundaryTb tb;
+    const bool* flag = tb.rr.reconfiguring_flag();
+    EXPECT_FALSE(*flag);
+    tb.rr.set_reconfiguring(true);
+    EXPECT_TRUE(*flag);
+    tb.rr.set_reconfiguring(false);
+    EXPECT_FALSE(*flag);
+}
+
+// -------------------------------------------------------------- IcapCtrl
+
+/// Records every word written to the ICAP.
+struct RecordingIcap final : IcapPortIf {
+    std::vector<std::uint32_t> words;
+    std::vector<bool> defined;
+    void icap_write(Word w) override {
+        words.push_back(static_cast<std::uint32_t>(w.to_u64()));
+        defined.push_back(w.is_fully_defined());
+    }
+};
+
+struct IcapTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb;
+    RecordingIcap icap;
+    IcapCtrl ctrl;
+
+    explicit IcapTb(IcapCtrl::Config cfg, unsigned bus_max_burst = 16)
+        : plb(sch, "plb", clk.out, rst.out,
+              Plb::Config{1, bus_max_burst, 50000}),
+          ctrl(sch, "icapctrl", clk.out, rst.out, plb.master(0), icap, cfg) {
+        plb.attach_slave(mem);
+    }
+
+    void stage_bitstream(std::uint32_t addr, unsigned nwords) {
+        for (unsigned i = 0; i < nwords; ++i) {
+            mem.poke_u32(addr + 4 * i, 0xB000'0000 + i);
+        }
+    }
+
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+
+    void start(std::uint32_t addr, std::uint32_t size) {
+        ctrl.dcr_write(0x52, Word{addr});
+        ctrl.dcr_write(0x53, Word{size});
+        ctrl.dcr_write(0x50, Word{1});
+    }
+};
+
+TEST(IcapCtrl, SharedModeTransfersFullBitstream) {
+    IcapTb tb(IcapCtrl::Config{});  // shared mode, bytes, div 4
+    tb.stage_bitstream(0x8000, 100);
+    tb.run_cycles(5);
+    tb.start(0x8000, 100 * 4);
+    tb.run_cycles(100 * 4 + 600);
+    EXPECT_FALSE(tb.ctrl.busy());
+    ASSERT_EQ(tb.icap.words.size(), 100u);
+    for (unsigned i = 0; i < 100; ++i) {
+        EXPECT_EQ(tb.icap.words[i], 0xB0000000 + i);
+    }
+    EXPECT_EQ(tb.ctrl.dcr_read(0x51).to_u64() & 2u, 2u) << "done bit";
+    EXPECT_EQ(tb.ctrl.fifo_overflows(), 0u);
+}
+
+TEST(IcapCtrl, DoneIrqPulsesOnce) {
+    IcapTb tb(IcapCtrl::Config{});
+    tb.stage_bitstream(0x8000, 20);
+    int pulses = 0;
+    rtlsim::Process mon(tb.sch, "mon", [&] { ++pulses; });
+    tb.ctrl.done_irq.add_listener(mon, rtlsim::Edge::Pos);
+    tb.run_cycles(5);
+    tb.start(0x8000, 20 * 4);
+    tb.run_cycles(800);
+    EXPECT_EQ(pulses, 1);
+}
+
+TEST(IcapCtrl, OriginalWordCountIpInterpretsSizeAsWords) {
+    IcapCtrl::Config cfg;
+    cfg.size_in_bytes = false;  // original IP
+    cfg.clk_div = 1;
+    IcapTb tb(cfg);
+    tb.stage_bitstream(0x8000, 64);
+    tb.run_cycles(5);
+    tb.start(0x8000, 64);  // 64 *words*
+    tb.run_cycles(2000);
+    EXPECT_EQ(tb.icap.words.size(), 64u);
+}
+
+// The bug.dpr.5 mechanism: driver writes a word count to a byte-count IP.
+TEST(IcapCtrl, SizeUnitMismatchTruncatesTransfer) {
+    IcapTb tb(IcapCtrl::Config{});  // modified IP: size in bytes
+    tb.stage_bitstream(0x8000, 64);
+    tb.run_cycles(5);
+    tb.start(0x8000, 64);  // stale driver: writes words
+    tb.run_cycles(2000);
+    EXPECT_FALSE(tb.ctrl.busy());
+    EXPECT_EQ(tb.icap.words.size(), 16u) << "quarter of the bitstream";
+}
+
+// The bug.dpr.4 mechanism: point-to-point IP on a shared bus.
+TEST(IcapCtrl, P2pModeOnSharedBusHangsAndReports) {
+    IcapCtrl::Config cfg;
+    cfg.p2p_mode = true;
+    cfg.clk_div = 1;
+    IcapTb tb(cfg, /*bus_max_burst=*/16);
+    tb.stage_bitstream(0x8000, 256);
+    tb.run_cycles(5);
+    tb.start(0x8000, 256 * 4);
+    tb.run_cycles(5000);
+    EXPECT_TRUE(tb.ctrl.busy()) << "transfer never completes";
+    EXPECT_EQ(tb.icap.words.size(), 16u) << "one truncated burst only";
+    EXPECT_TRUE(tb.sch.has_diag_from("plb")) << "truncation reported";
+}
+
+// The same IP works on its original point-to-point link.
+TEST(IcapCtrl, P2pModeOnDedicatedLinkWorks) {
+    IcapCtrl::Config cfg;
+    cfg.p2p_mode = true;
+    cfg.clk_div = 1;  // original fast configuration clock
+    IcapTb tb(cfg, /*bus_max_burst=*/0);
+    tb.stage_bitstream(0x8000, 256);
+    tb.run_cycles(5);
+    tb.start(0x8000, 256 * 4);
+    tb.run_cycles(4000);
+    EXPECT_FALSE(tb.ctrl.busy());
+    EXPECT_EQ(tb.icap.words.size(), 256u);
+    EXPECT_EQ(tb.ctrl.fifo_overflows(), 0u);
+}
+
+// Slowing the configuration clock under the P2P IP overflows the FIFO —
+// the "different clocking scheme" side of the modified design.
+TEST(IcapCtrl, P2pWithSlowConfigClockOverflowsFifo) {
+    IcapCtrl::Config cfg;
+    cfg.p2p_mode = true;
+    cfg.clk_div = 4;
+    cfg.fifo_depth = 8;
+    IcapTb tb(cfg, /*bus_max_burst=*/0);
+    tb.stage_bitstream(0x8000, 128);
+    tb.run_cycles(5);
+    tb.start(0x8000, 128 * 4);
+    tb.run_cycles(6000);
+    EXPECT_GT(tb.ctrl.fifo_overflows(), 0u);
+    EXPECT_TRUE(tb.sch.has_diag_from("icapctrl"));
+}
+
+TEST(IcapCtrl, AbortStopsTransfer) {
+    IcapTb tb(IcapCtrl::Config{});
+    tb.stage_bitstream(0x8000, 200);
+    tb.run_cycles(5);
+    tb.start(0x8000, 200 * 4);
+    tb.run_cycles(100);
+    ASSERT_TRUE(tb.ctrl.busy());
+    tb.ctrl.dcr_write(0x50, Word{2});  // abort
+    tb.run_cycles(20);
+    EXPECT_FALSE(tb.ctrl.busy());
+    EXPECT_LT(tb.icap.words.size(), 200u);
+}
+
+TEST(IcapCtrl, ZeroSizeReportsAndCompletes) {
+    IcapTb tb(IcapCtrl::Config{});
+    tb.run_cycles(5);
+    tb.start(0x8000, 0);
+    tb.run_cycles(50);
+    EXPECT_FALSE(tb.ctrl.busy());
+    EXPECT_TRUE(tb.sch.has_diag_from("icapctrl"));
+}
+
+TEST(IcapCtrl, BackToBackTransfers) {
+    IcapCtrl::Config cfg;
+    cfg.clk_div = 1;
+    IcapTb tb(cfg);
+    tb.stage_bitstream(0x8000, 32);
+    tb.stage_bitstream(0xA000, 32);
+    tb.run_cycles(5);
+    tb.start(0x8000, 32 * 4);
+    tb.run_cycles(1500);
+    ASSERT_FALSE(tb.ctrl.busy());
+    tb.ctrl.dcr_write(0x51, Word{2});  // clear done
+    tb.start(0xA000, 32 * 4);
+    tb.run_cycles(1500);
+    EXPECT_FALSE(tb.ctrl.busy());
+    EXPECT_EQ(tb.icap.words.size(), 64u);
+    EXPECT_EQ(tb.ctrl.words_to_icap(), 64u);
+}
+
+// Sweep: transfer size x FIFO depth x clock divider in the safe (shared)
+// configuration must always deliver every word in order.
+using IcapSweepParam = std::tuple<unsigned, unsigned, unsigned>;
+class IcapSweep : public ::testing::TestWithParam<IcapSweepParam> {};
+
+TEST_P(IcapSweep, DeliversAllWordsInOrder) {
+    const auto [words, fifo, div] = GetParam();
+    IcapCtrl::Config cfg;
+    cfg.fifo_depth = fifo;
+    cfg.clk_div = div;
+    cfg.burst_words = std::min(16u, fifo);
+    IcapTb tb(cfg);
+    tb.stage_bitstream(0x8000, words);
+    tb.run_cycles(5);
+    tb.start(0x8000, words * 4);
+    tb.run_cycles(60 + words * (div + 10));
+    ASSERT_EQ(tb.icap.words.size(), words);
+    for (unsigned i = 0; i < words; ++i) {
+        EXPECT_EQ(tb.icap.words[i], 0xB0000000 + i);
+    }
+    EXPECT_EQ(tb.ctrl.fifo_overflows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, IcapSweep,
+    ::testing::Combine(::testing::Values(1u, 16u, 17u, 100u),
+                       ::testing::Values(8u, 16u, 32u),
+                       ::testing::Values(1u, 4u)));
+
+}  // namespace
+}  // namespace autovision

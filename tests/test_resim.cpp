@@ -1,0 +1,333 @@
+// Unit tests for the ReSim library: SimB format, ICAP artifact parser and
+// Extended Portal, including malformed-stream handling.
+#include <gtest/gtest.h>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "engines/matching_engine.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/rr_boundary.hpp"
+#include "resim/icap_artifact.hpp"
+#include "resim/portal.hpp"
+#include "resim/simb.hpp"
+
+namespace autovision::resim {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+using rtlsim::Word;
+
+// ------------------------------------------------------------------ SimB
+
+TEST(SimB, PacketEncodings) {
+    // The exact header words of Table I.
+    EXPECT_EQ(type1_write(CfgReg::kFar, 1), 0x30002001u);
+    EXPECT_EQ(type1_write(CfgReg::kCmd, 1), 0x30008001u);
+    EXPECT_EQ(type1_write(CfgReg::kFdri, 0), 0x30004000u);
+    EXPECT_EQ(type2_write(4), 0x50000004u);
+    EXPECT_EQ(far_word(0x01, 0x02), 0x01020000u);
+    EXPECT_EQ(far_rr(0x01020000u), 0x01);
+    EXPECT_EQ(far_module(0x01020000u), 0x02);
+}
+
+TEST(SimB, BuildStructure) {
+    SimB b;
+    b.rr_id = 3;
+    b.module_id = 7;
+    b.payload_words = 5;
+    const auto w = b.build();
+    ASSERT_EQ(w.size(), SimB::length_for_payload(5));
+    EXPECT_EQ(w[0], kSyncWord);
+    EXPECT_EQ(w[1], kNopWord);
+    EXPECT_EQ(w[2], type1_write(CfgReg::kFar, 1));
+    EXPECT_EQ(w[3], far_word(3, 7));
+    EXPECT_EQ(w[4], type1_write(CfgReg::kCmd, 1));
+    EXPECT_EQ(w[5], static_cast<std::uint32_t>(CfgCmd::kWcfg));
+    EXPECT_EQ(w[6], type1_write(CfgReg::kFdri, 0));
+    EXPECT_EQ(w[7], type2_write(5));
+    EXPECT_EQ(w[w.size() - 2], type1_write(CfgReg::kCmd, 1));
+    EXPECT_EQ(w.back(), static_cast<std::uint32_t>(CfgCmd::kDesync));
+}
+
+TEST(SimB, DeterministicPayload) {
+    SimB a;
+    a.seed = 42;
+    SimB b;
+    b.seed = 42;
+    EXPECT_EQ(a.build(), b.build());
+    b.seed = 43;
+    EXPECT_NE(a.build(), b.build());
+}
+
+TEST(SimB, Table1ExampleMatchesPaper) {
+    const auto w = SimB::table1_example();
+    ASSERT_EQ(w.size(), 14u);
+    EXPECT_EQ(w[0], 0xAA995566u);
+    EXPECT_EQ(w[3], 0x01020000u);
+    EXPECT_EQ(w[8], 0x5650EEA7u);  // "Random SimB Word 0"
+    EXPECT_EQ(w[13], 0x0000000Du);
+}
+
+TEST(SimB, DescribeAnnotatesEveryRow) {
+    const std::string d = SimB::describe(SimB::table1_example());
+    EXPECT_NE(d.find("SYNC word"), std::string::npos);
+    EXPECT_NE(d.find("Type 1 write FAR"), std::string::npos);
+    EXPECT_NE(d.find("module id=0x02 in RR id=0x01"), std::string::npos);
+    EXPECT_NE(d.find("Type 2 write FDRI, size=4"), std::string::npos);
+    EXPECT_NE(d.find("starts error injection"), std::string::npos);
+    EXPECT_NE(d.find("triggers swap"), std::string::npos);
+    EXPECT_NE(d.find("DESYNC"), std::string::npos);
+    // One line per word.
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(d.begin(), d.end(), '\n')),
+              SimB::table1_example().size());
+}
+
+// --------------------------------------------------- artifact + portal
+
+struct ResimTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", 10 * NS};
+    ResetGen rst{sch, "rst", 30 * NS};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 100000}};
+    rtlsim::Signal<Logic> done_line{sch, "done", Logic::L0};
+    EngineRegs cie_regs{sch, "cie_regs", clk.out, 0x60};
+    EngineRegs me_regs{sch, "me_regs", clk.out, 0x68};
+    CensusEngine cie{sch, "cie", clk.out, rst.out, cie_regs};
+    MatchingEngine me{sch, "me", clk.out, rst.out, me_regs};
+    RrBoundary rr{sch, "rr", plb.master(0), done_line};
+    ExtendedPortal portal{sch, "portal"};
+    IcapArtifact icap{sch, "icap", portal};
+
+    ResimTb() {
+        plb.attach_slave(mem);
+        rr.add_module(cie);
+        rr.add_module(me);
+        portal.map_module(1, 1, rr, 0);
+        portal.map_module(1, 2, rr, 1);
+        portal.initial_configuration(1, 1);
+    }
+
+    void write_all(const std::vector<std::uint32_t>& ws) {
+        for (std::uint32_t w : ws) icap.icap_write(Word{w});
+    }
+};
+
+TEST(IcapArtifact, FullSimBSwapsModule) {
+    ResimTb tb;
+    EXPECT_TRUE(tb.cie.rm_active());
+    SimB b;
+    b.rr_id = 1;
+    b.module_id = 2;
+    b.payload_words = 8;
+    tb.write_all(b.build());
+    EXPECT_TRUE(tb.me.rm_active());
+    EXPECT_FALSE(tb.cie.rm_active());
+    EXPECT_EQ(tb.portal.reconfigurations(), 1u);
+    EXPECT_EQ(tb.icap.simbs_completed(), 1u);
+    EXPECT_FALSE(tb.icap.in_session());
+    EXPECT_TRUE(tb.sch.diagnostics().empty());
+}
+
+TEST(IcapArtifact, ErrorInjectionWindowSpansPayload) {
+    ResimTb tb;
+    SimB b;
+    b.rr_id = 1;
+    b.module_id = 2;
+    b.payload_words = 4;
+    const auto ws = b.build();
+    // Up to and including the type-2 header: no injection yet.
+    for (std::size_t i = 0; i < 8; ++i) tb.icap.icap_write(Word{ws[i]});
+    EXPECT_FALSE(tb.rr.reconfiguring());
+    // First payload word opens the window.
+    tb.icap.icap_write(Word{ws[8]});
+    EXPECT_TRUE(tb.rr.reconfiguring());
+    tb.icap.icap_write(Word{ws[9]});
+    tb.icap.icap_write(Word{ws[10]});
+    EXPECT_TRUE(tb.rr.reconfiguring());
+    // Last payload word closes it and swaps.
+    tb.icap.icap_write(Word{ws[11]});
+    EXPECT_FALSE(tb.rr.reconfiguring());
+    EXPECT_TRUE(tb.me.rm_active());
+    // DESYNC just closes the session.
+    tb.icap.icap_write(Word{ws[12]});
+    tb.icap.icap_write(Word{ws[13]});
+    EXPECT_FALSE(tb.icap.in_session());
+}
+
+TEST(IcapArtifact, WordsBeforeSyncAreIgnored) {
+    ResimTb tb;
+    tb.icap.icap_write(Word{0x12345678});
+    tb.icap.icap_write(Word{0xCAFEBABE});
+    EXPECT_EQ(tb.icap.ignored_before_sync(), 2u);
+    EXPECT_FALSE(tb.icap.in_session());
+    SimB b;
+    b.rr_id = 1;
+    b.module_id = 2;
+    tb.write_all(b.build());
+    EXPECT_TRUE(tb.me.rm_active()) << "stream recovers at SYNC";
+}
+
+TEST(IcapArtifact, TruncatedPayloadLeavesInjectionActive) {
+    ResimTb tb;
+    SimB b;
+    b.rr_id = 1;
+    b.module_id = 2;
+    b.payload_words = 8;
+    auto ws = b.build();
+    ws.resize(12);  // cut mid-payload (the bug.dpr.5 outcome)
+    tb.write_all(ws);
+    EXPECT_TRUE(tb.rr.reconfiguring()) << "region still being written";
+    EXPECT_TRUE(tb.cie.rm_active()) << "swap never happened";
+    EXPECT_EQ(tb.portal.reconfigurations(), 0u);
+    EXPECT_TRUE(tb.icap.payload_pending());
+}
+
+// A truncated SimB leaves the parser mid-payload; the *next* transfer's
+// framing words are then consumed as payload and the stream desynchronises
+// visibly — how bug.dpr.5 surfaces on the following reconfiguration.
+TEST(IcapArtifact, TruncationDesynchronisesTheNextTransfer) {
+    ResimTb tb;
+    SimB b;
+    b.rr_id = 1;
+    b.module_id = 2;
+    b.payload_words = 8;
+    auto first = b.build();
+    first.resize(11);  // only 3 of 8 payload words arrive
+    tb.write_all(first);
+    ASSERT_TRUE(tb.icap.payload_pending());
+    // The next DPR attempt: its first five framing words are eaten as
+    // leftover payload and the parser lands mid-packet.
+    tb.write_all(b.build());
+    EXPECT_TRUE(tb.sch.has_diag_from("icap"))
+        << "framing words eaten as payload produce parse errors";
+}
+
+TEST(IcapArtifact, XWordIsReportedAndSkipped) {
+    ResimTb tb;
+    tb.icap.icap_write(Word{kSyncWord});
+    tb.icap.icap_write(Word::all_x());
+    EXPECT_TRUE(tb.sch.has_diag_from("icap"));
+    EXPECT_TRUE(tb.icap.in_session()) << "parser state survives the X word";
+}
+
+TEST(IcapArtifact, UnmappedModuleIsReportedAndNotSwapped) {
+    ResimTb tb;
+    SimB b;
+    b.rr_id = 1;
+    b.module_id = 9;  // nobody home
+    tb.write_all(b.build());
+    EXPECT_TRUE(tb.sch.has_diag_from("portal"));
+    EXPECT_TRUE(tb.cie.rm_active());
+    EXPECT_EQ(tb.portal.reconfigurations(), 0u);
+}
+
+TEST(IcapArtifact, BackToBackSimBs) {
+    ResimTb tb;
+    SimB to_me;
+    to_me.rr_id = 1;
+    to_me.module_id = 2;
+    SimB to_cie;
+    to_cie.rr_id = 1;
+    to_cie.module_id = 1;
+    for (int i = 0; i < 3; ++i) {
+        tb.write_all(to_me.build());
+        EXPECT_TRUE(tb.me.rm_active());
+        tb.write_all(to_cie.build());
+        EXPECT_TRUE(tb.cie.rm_active());
+    }
+    EXPECT_EQ(tb.portal.reconfigurations(), 6u);
+    EXPECT_EQ(tb.icap.simbs_completed(), 6u);
+}
+
+TEST(IcapArtifact, PayloadBeforeFarIsReported) {
+    ResimTb tb;
+    std::vector<std::uint32_t> ws{
+        kSyncWord,
+        type1_write(CfgReg::kFdri, 0),
+        type2_write(2),
+        0x1111, 0x2222,
+    };
+    tb.write_all(ws);
+    EXPECT_TRUE(tb.sch.has_diag_from("portal"));
+    EXPECT_EQ(tb.portal.reconfigurations(), 0u);
+}
+
+TEST(IcapArtifact, Type2WithoutFdriHeaderIsReported) {
+    ResimTb tb;
+    tb.icap.icap_write(Word{kSyncWord});
+    tb.icap.icap_write(Word{type2_write(1)});
+    EXPECT_TRUE(tb.sch.has_diag_from("icap"));
+}
+
+TEST(IcapArtifact, ShortFormFdriPayload) {
+    // Type-1 FDRI with an immediate count (no type-2 follow-up).
+    ResimTb tb;
+    std::vector<std::uint32_t> ws{
+        kSyncWord,
+        type1_write(CfgReg::kFar, 1),
+        far_word(1, 2),
+        type1_write(CfgReg::kCmd, 1),
+        static_cast<std::uint32_t>(CfgCmd::kWcfg),
+        type1_write(CfgReg::kFdri, 3),
+        0xAAAA, 0xBBBB, 0xCCCC,
+        type1_write(CfgReg::kCmd, 1),
+        static_cast<std::uint32_t>(CfgCmd::kDesync),
+    };
+    tb.write_all(ws);
+    EXPECT_TRUE(tb.me.rm_active());
+    EXPECT_EQ(tb.portal.reconfigurations(), 1u);
+    EXPECT_TRUE(tb.sch.diagnostics().empty());
+}
+
+TEST(ExtendedPortal, MultipleRegions) {
+    // Two regions, each with its own boundary; FAR selects per-region.
+    Scheduler sch;
+    Clock clk(sch, "clk", 10 * NS);
+    ResetGen rst(sch, "rst", 30 * NS);
+    Memory mem;
+    Plb plb(sch, "plb", clk.out, rst.out, Plb::Config{2, 16, 100000});
+    plb.attach_slave(mem);
+    rtlsim::Signal<Logic> d0(sch, "d0", Logic::L0);
+    rtlsim::Signal<Logic> d1(sch, "d1", Logic::L0);
+    EngineRegs r0(sch, "r0", clk.out, 0x60);
+    EngineRegs r1(sch, "r1", clk.out, 0x68);
+    EngineRegs r2(sch, "r2", clk.out, 0x70);
+    EngineRegs r3(sch, "r3", clk.out, 0x78);
+    CensusEngine e0(sch, "e0", clk.out, rst.out, r0);
+    MatchingEngine e1(sch, "e1", clk.out, rst.out, r1);
+    CensusEngine e2(sch, "e2", clk.out, rst.out, r2);
+    MatchingEngine e3(sch, "e3", clk.out, rst.out, r3);
+    RrBoundary rrA(sch, "rrA", plb.master(0), d0);
+    RrBoundary rrB(sch, "rrB", plb.master(1), d1);
+    rrA.add_module(e0);
+    rrA.add_module(e1);
+    rrB.add_module(e2);
+    rrB.add_module(e3);
+
+    ExtendedPortal portal(sch, "portal");
+    IcapArtifact icap(sch, "icap", portal);
+    portal.map_module(1, 1, rrA, 0);
+    portal.map_module(1, 2, rrA, 1);
+    portal.map_module(2, 1, rrB, 0);
+    portal.map_module(2, 2, rrB, 1);
+    portal.initial_configuration(1, 1);
+    portal.initial_configuration(2, 1);
+
+    SimB b;
+    b.rr_id = 2;
+    b.module_id = 2;
+    for (std::uint32_t w : b.build()) icap.icap_write(Word{w});
+    EXPECT_TRUE(e0.rm_active()) << "region A untouched";
+    EXPECT_TRUE(e3.rm_active()) << "region B swapped";
+    EXPECT_FALSE(e2.rm_active());
+}
+
+}  // namespace
+}  // namespace autovision::resim

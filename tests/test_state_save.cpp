@@ -1,0 +1,224 @@
+// State saving and restoration through the configuration port — the ReSim
+// companion feature (Gong & Diessel, FPGA'12). A module's flip-flop state
+// is captured with a GCAPTURE SimB before swap-out and reinstated with a
+// GRESTORE-bearing configuration SimB at swap-in, so a preempted job
+// resumes exactly where it stopped.
+#include <gtest/gtest.h>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "engines/matching_engine.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/rr_boundary.hpp"
+#include "resim/icap_artifact.hpp"
+#include "resim/portal.hpp"
+#include "resim/simb.hpp"
+#include "video/census.hpp"
+#include "video/synth.hpp"
+
+namespace autovision {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+using rtlsim::Word;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+constexpr std::uint32_t kIn = 0x1'0000;
+constexpr std::uint32_t kOut = 0x2'0000;
+
+struct StateTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 100000}};
+    rtlsim::Signal<Logic> done_line{sch, "done", Logic::L0};
+    EngineRegs cie_regs{sch, "cie_regs", clk.out, 0x60};
+    EngineRegs me_regs{sch, "me_regs", clk.out, 0x68};
+    CensusEngine cie{sch, "cie", clk.out, rst.out, cie_regs};
+    MatchingEngine me{sch, "me", clk.out, rst.out, me_regs};
+    RrBoundary rr{sch, "rr", plb.master(0), done_line};
+    resim::ExtendedPortal portal{sch, "portal"};
+    resim::IcapArtifact icap{sch, "icap", portal};
+
+    StateTb() {
+        plb.attach_slave(mem);
+        rr.add_module(cie);
+        rr.add_module(me);
+        portal.map_module(1, 1, rr, 0);
+        portal.map_module(1, 2, rr, 1);
+        portal.initial_configuration(1, 1);
+    }
+
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+
+    void write_simb(const std::vector<std::uint32_t>& ws) {
+        for (std::uint32_t w : ws) icap.icap_write(Word{w});
+    }
+
+    void start_cie(unsigned w, unsigned h) {
+        cie_regs.dcr_write(0x62, Word{kIn});
+        cie_regs.dcr_write(0x63, Word{kOut});
+        cie_regs.dcr_write(0x65, Word{(w << 16) | h});
+        run_cycles(5);
+        cie_regs.dcr_write(0x60, Word{1});
+        run_cycles(5);
+    }
+};
+
+TEST(StateSave, CaptureRefusedWhileDmaInFlight) {
+    StateTb tb;
+    video::SyntheticScene scene(video::SceneConfig::standard(32, 24, 2));
+    tb.mem.load_bytes(kIn, scene.frame(0).pixels());
+    tb.start_cie(32, 24);
+    ASSERT_TRUE(tb.cie.busy());
+
+    bool saw_refusal = false;
+    bool saw_success = false;
+    for (int i = 0; i < 50 && !(saw_refusal && saw_success); ++i) {
+        tb.run_cycles(1);
+        const auto st = tb.cie.rm_save_state();
+        if (st.empty()) {
+            saw_refusal = true;  // DMA in flight: quiescence rule enforced
+        } else {
+            saw_success = true;
+        }
+    }
+    EXPECT_TRUE(saw_refusal) << "the quiescence check never triggered";
+    EXPECT_TRUE(saw_success) << "no capturable cycle found";
+    EXPECT_TRUE(tb.sch.has_diag_from("cie"));
+}
+
+TEST(StateSave, MidJobMigrationIsBitExact) {
+    const unsigned w = 32;
+    const unsigned h = 24;
+    video::SyntheticScene scene(video::SceneConfig::standard(w, h, 6));
+    const video::Frame in = scene.frame(0);
+
+    StateTb tb;
+    tb.mem.load_bytes(kIn, in.pixels());
+    tb.start_cie(w, h);
+    tb.run_cycles(200);  // mid-frame
+    ASSERT_TRUE(tb.cie.busy());
+
+    // Capture the CIE (retry until a quiescent cycle is hit).
+    resim::SimB cap;
+    cap.rr_id = 1;
+    cap.module_id = 1;
+    for (int i = 0; i < 20 && tb.portal.captures() == 0; ++i) {
+        tb.write_simb(cap.build_capture());
+        tb.run_cycles(1);
+    }
+    ASSERT_EQ(tb.portal.captures(), 1u);
+    ASSERT_TRUE(tb.portal.has_saved_state(1, 1));
+
+    // Preempt: swap the ME in; the CIE job disappears with the module.
+    resim::SimB to_me;
+    to_me.rr_id = 1;
+    to_me.module_id = 2;
+    tb.write_simb(to_me.build());
+    ASSERT_TRUE(tb.me.rm_active());
+    tb.run_cycles(300);  // the region does other work for a while
+    EXPECT_FALSE(tb.cie.busy());
+
+    // Resume: configuration SimB with GRESTORE brings the CIE back with
+    // its captured state, and the job runs to completion.
+    resim::SimB back;
+    back.rr_id = 1;
+    back.module_id = 1;
+    back.restore_state = true;
+    tb.write_simb(back.build());
+    ASSERT_TRUE(tb.cie.rm_active());
+    EXPECT_TRUE(tb.cie.busy()) << "restored mid-job";
+    EXPECT_EQ(tb.portal.restores(), 1u);
+
+    for (int i = 0; i < 300 && !tb.cie_regs.done(); ++i) tb.run_cycles(64);
+    ASSERT_TRUE(tb.cie_regs.done());
+
+    const video::Frame want = video::census_transform(in);
+    for (unsigned i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(tb.mem.peek_u8(kOut + i), want.pixels()[i])
+            << "pixel " << i << " corrupted by the migration";
+    }
+}
+
+TEST(StateSave, RestoreWithoutCaptureIsReported) {
+    StateTb tb;
+    tb.run_cycles(5);
+    resim::SimB b;
+    b.rr_id = 1;
+    b.module_id = 2;
+    b.restore_state = true;
+    tb.write_simb(b.build());
+    EXPECT_TRUE(tb.me.rm_active()) << "configuration itself still happens";
+    EXPECT_EQ(tb.portal.restores(), 0u);
+    bool found = false;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("without a previously captured") !=
+            std::string::npos) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(StateSave, CaptureOfNonResidentModuleIsReported) {
+    StateTb tb;
+    tb.run_cycles(5);
+    resim::SimB cap;
+    cap.rr_id = 1;
+    cap.module_id = 2;  // the ME is not resident (CIE is)
+    tb.write_simb(cap.build_capture());
+    EXPECT_EQ(tb.portal.captures(), 0u);
+    bool found = false;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("not resident") != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(StateSave, CorruptImageIsRejectedAtomically) {
+    StateTb tb;
+    tb.run_cycles(5);
+    // Hand the module a garbage state image directly.
+    std::vector<std::uint8_t> junk{1, 2, 3, 4, 5};
+    EXPECT_FALSE(tb.cie.rm_restore_state(junk));
+    EXPECT_FALSE(tb.cie.busy()) << "engine falls back to the initial state";
+    // A truncated-but-magic-valid image must also be rejected.
+    auto st = tb.cie.rm_save_state();
+    ASSERT_FALSE(st.empty());
+    st.resize(st.size() / 2);
+    EXPECT_FALSE(tb.cie.rm_restore_state(st));
+}
+
+TEST(StateSave, RoundTripThroughSerializer) {
+    StateWriter w;
+    w.u32(0xDEADBEEF);
+    w.i32(-42);
+    w.bool8(true);
+    const std::vector<std::uint8_t> bs{9, 8, 7};
+    w.bytes(bs);
+    const std::vector<std::uint32_t> ws{1, 2, 3, 4};
+    w.words(ws);
+    const auto img = w.take();
+
+    StateReader r(img);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_TRUE(r.bool8());
+    EXPECT_EQ(r.bytes(), bs);
+    EXPECT_EQ(r.words(), ws);
+    EXPECT_TRUE(r.ok());
+
+    StateReader trunc(std::span<const std::uint8_t>(img.data(), 3));
+    (void)trunc.u32();
+    EXPECT_FALSE(trunc.ok_so_far());
+}
+
+}  // namespace
+}  // namespace autovision

@@ -1,0 +1,239 @@
+// Unit tests for the Virtual Multiplexing layer and the verification IPs
+// (video VIPs and scoreboard).
+#include <gtest/gtest.h>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "engines/matching_engine.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/rr_boundary.hpp"
+#include "video/census.hpp"
+#include "video/synth.hpp"
+#include "vip/scoreboard.hpp"
+#include "vip/video_vip.hpp"
+#include "vm/virtual_mux.hpp"
+
+namespace autovision {
+namespace {
+
+using rtlsim::Clock;
+using rtlsim::Logic;
+using rtlsim::NS;
+using rtlsim::ResetGen;
+using rtlsim::Scheduler;
+using rtlsim::Word;
+
+constexpr rtlsim::Time kClk = 10 * NS;
+
+struct VmTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{1, 16, 100000}};
+    rtlsim::Signal<Logic> done_line{sch, "done", Logic::L0};
+    EngineRegs cie_regs{sch, "cie_regs", clk.out, 0x60};
+    EngineRegs me_regs{sch, "me_regs", clk.out, 0x68};
+    CensusEngine cie{sch, "cie", clk.out, rst.out, cie_regs};
+    MatchingEngine me{sch, "me", clk.out, rst.out, me_regs};
+    RrBoundary rr{sch, "rr", plb.master(0), done_line};
+    vm::VirtualMux mux{sch, "vmux", rr, 0x70};
+
+    VmTb() {
+        plb.attach_slave(mem);
+        rr.set_unselected_policy(RrBoundary::UnselectedPolicy::kIdle);
+        rr.add_module(cie);
+        rr.add_module(me);
+        mux.map_module(1, 0);
+        mux.map_module(2, 1);
+    }
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+};
+
+TEST(VirtualMux, UninitialisedSelectsNothing) {
+    VmTb tb;
+    tb.run_cycles(5);
+    EXPECT_FALSE(tb.mux.initialised());
+    EXPECT_FALSE(tb.cie.rm_active());
+    EXPECT_FALSE(tb.me.rm_active());
+    EXPECT_TRUE(tb.mux.dcr_read(0x70).has_unknown())
+        << "reading the uninitialised signature returns X";
+}
+
+TEST(VirtualMux, SignatureWriteSwapsInstantly) {
+    VmTb tb;
+    tb.mux.dcr_write(0x70, Word{1});
+    EXPECT_TRUE(tb.cie.rm_active()) << "zero-delay swap";
+    tb.mux.dcr_write(0x70, Word{2});
+    EXPECT_TRUE(tb.me.rm_active());
+    EXPECT_FALSE(tb.cie.rm_active());
+    EXPECT_EQ(tb.mux.swaps(), 2u);
+    EXPECT_EQ(tb.mux.dcr_read(0x70).to_u64(), 2u);
+}
+
+TEST(VirtualMux, UnmappedSignatureReportsAndDeselects) {
+    VmTb tb;
+    tb.mux.dcr_write(0x70, Word{1});
+    tb.mux.dcr_write(0x70, Word{7});
+    EXPECT_TRUE(tb.sch.has_diag_from("vmux"));
+    EXPECT_FALSE(tb.cie.rm_active());
+    EXPECT_FALSE(tb.me.rm_active());
+}
+
+TEST(VirtualMux, XWriteIsReported) {
+    VmTb tb;
+    tb.mux.dcr_write(0x70, Word::all_x());
+    EXPECT_TRUE(tb.sch.has_diag_from("vmux"));
+    EXPECT_FALSE(tb.mux.initialised());
+}
+
+TEST(VirtualMux, NoErrorsGeneratedDuringSwap) {
+    // The defining VM limitation: swapping never produces erroneous
+    // signals, so the bus checker stays silent throughout.
+    VmTb tb;
+    tb.run_cycles(5);
+    for (int i = 0; i < 10; ++i) {
+        tb.mux.dcr_write(0x70, Word{static_cast<std::uint32_t>(1 + i % 2)});
+        tb.run_cycles(3);
+    }
+    EXPECT_TRUE(tb.sch.diagnostics().empty());
+}
+
+// ------------------------------------------------------------ video VIPs
+
+struct VipTb {
+    Scheduler sch;
+    Clock clk{sch, "clk", kClk};
+    ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem;
+    Plb plb{sch, "plb", clk.out, rst.out, Plb::Config{2, 16, 100000}};
+    vip::VideoInVip vin{sch, "vin", clk.out, plb.master(0)};
+    vip::VideoOutVip vout{sch, "vout", clk.out, plb.master(1)};
+
+    VipTb() { plb.attach_slave(mem); }
+    void run_cycles(unsigned n) { sch.run_until(sch.now() + n * kClk); }
+};
+
+TEST(VideoVip, RoundTripThroughMemory) {
+    VipTb tb;
+    video::SyntheticScene scene(video::SceneConfig::standard(32, 24, 9));
+    const video::Frame f = scene.frame(0);
+    bool sent = false;
+    tb.vin.send_frame(f, 0x10000, [&] { sent = true; });
+    tb.run_cycles(5000);
+    ASSERT_TRUE(sent);
+    EXPECT_EQ(tb.vin.frames_sent(), 1u);
+    // Memory now holds the frame, byte-packed big-endian.
+    EXPECT_EQ(tb.mem.peek_u8(0x10000), f.at(0, 0));
+    EXPECT_EQ(tb.mem.peek_u8(0x10000 + 33), f.at(1, 1));
+
+    video::Frame got;
+    tb.vout.fetch_frame(0x10000, 32, 24, [&](video::Frame g) {
+        got = std::move(g);
+    });
+    tb.run_cycles(5000);
+    ASSERT_FALSE(got.empty());
+    EXPECT_EQ(got, f);
+    EXPECT_EQ(tb.vout.frames_fetched(), 1u);
+}
+
+TEST(VideoVip, FrameIrqPulsesOnceOnCompletion) {
+    VipTb tb;
+    int pulses = 0;
+    rtlsim::Process mon(tb.sch, "mon", [&] { ++pulses; });
+    tb.vin.frame_irq.add_listener(mon, rtlsim::Edge::Pos);
+    video::Frame f(16, 8, 77);
+    tb.vin.send_frame(f, 0x8000);
+    tb.run_cycles(3000);
+    EXPECT_EQ(pulses, 1);
+}
+
+TEST(VideoVip, BusySendIsReportedAndDropped) {
+    VipTb tb;
+    video::Frame f(16, 8, 1);
+    tb.vin.send_frame(f, 0x8000);
+    tb.vin.send_frame(f, 0x9000);  // while the first is still streaming
+    tb.run_cycles(3000);
+    EXPECT_TRUE(tb.sch.has_diag_from("vin"));
+    EXPECT_EQ(tb.vin.frames_sent(), 1u);
+}
+
+TEST(VideoVip, XInDisplayedFrameIsReported) {
+    VipTb tb;
+    tb.mem.poke(0x8000, Word::all_x());
+    video::Frame got;
+    tb.vout.fetch_frame(0x8000, 8, 4, [&](video::Frame g) {
+        got = std::move(g);
+    });
+    tb.run_cycles(2000);
+    ASSERT_FALSE(got.empty());
+    EXPECT_TRUE(tb.sch.has_diag_from("vout"));
+}
+
+// ------------------------------------------------------------ scoreboard
+
+TEST(Scoreboard, AcceptsGoldenPipelineOutput) {
+    video::MatchConfig mc;
+    mc.step = 4;
+    mc.margin = 8;
+    mc.search = 2;
+    vip::Scoreboard sb(mc, 32, 24, 2);
+    video::SyntheticScene scene(video::SceneConfig::standard(32, 24, 4));
+
+    Memory mem;
+    // Frame 0: write exactly what the hardware should produce.
+    const video::Frame c0 = video::census_transform(scene.frame(0));
+    mem.load_bytes(0x1000, c0.pixels());
+    const video::MotionField f0 =
+        video::match_census(video::Frame(32, 24, 0), c0, mc);
+    for (std::size_t i = 0; i < f0.vectors.size(); ++i) {
+        mem.poke_u32(0x2000 + 4 * static_cast<std::uint32_t>(i),
+                     video::encode_motion_word(f0.vectors[i]));
+    }
+    sb.expect_frame(scene.frame(0));
+    EXPECT_EQ(sb.check_census(mem, 0x1000), 0u);
+    EXPECT_EQ(sb.check_field(mem, 0x2000), 0u);
+}
+
+TEST(Scoreboard, FlagsCorruptedData) {
+    video::MatchConfig mc;
+    mc.step = 4;
+    mc.margin = 8;
+    mc.search = 2;
+    vip::Scoreboard sb(mc, 32, 24, 2);
+    video::SyntheticScene scene(video::SceneConfig::standard(32, 24, 4));
+    Memory mem;
+    const video::Frame c0 = video::census_transform(scene.frame(0));
+    mem.load_bytes(0x1000, c0.pixels());
+    sb.expect_frame(scene.frame(0));
+    ASSERT_EQ(sb.check_census(mem, 0x1000), 0u);
+    mem.poke_u8(0x1000 + 100, static_cast<std::uint8_t>(c0.pixels()[100] ^ 1));
+    EXPECT_EQ(sb.check_census(mem, 0x1000), 1u);
+    mem.poke(0x1000 + 4, Word::all_x());
+    EXPECT_EQ(sb.check_census(mem, 0x1000), 5u) << "4 X bytes + 1 flipped";
+}
+
+TEST(Scoreboard, PerFrameOutputReferences) {
+    video::MatchConfig mc;
+    mc.step = 4;
+    mc.margin = 8;
+    mc.search = 2;
+    vip::Scoreboard sb(mc, 32, 24, 2);
+    video::SyntheticScene scene(video::SceneConfig::standard(32, 24, 4));
+    sb.expect_frame(scene.frame(0));
+    sb.expect_frame(scene.frame(1));
+    EXPECT_EQ(sb.frames_expected(), 2u);
+    // Checking a frame index we never expected counts everything wrong.
+    video::Frame blank(32, 24, 0);
+    EXPECT_EQ(sb.check_output(blank, 5), blank.size());
+    // Frame 0's marker image should be mostly zeros (first frame compares
+    // against an all-zero census: huge costs, but dx/dy come from the scan
+    // tie-break — just verify determinism between two scoreboards).
+    vip::Scoreboard sb2(mc, 32, 24, 2);
+    sb2.expect_frame(scene.frame(0));
+    EXPECT_EQ(sb.check_output(blank, 0), sb2.check_output(blank, 0));
+}
+
+}  // namespace
+}  // namespace autovision

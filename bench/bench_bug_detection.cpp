@@ -8,53 +8,38 @@
 // A third column reproduces the DESIGN.md ablation: ReSim with X injection
 // disabled (a 2-state simulator's view) silently passes the isolation bug —
 // the 4-state kernel is load-bearing.
+//
+// The batch itself runs on the campaign subsystem: one job per fault for
+// the VM+ReSim pair, one per fault for the no-X ablation, fanned out over
+// the worker pool (each job builds its own isolated Testbench).
 #include <cstdio>
+#include <map>
+#include <string>
 
-#include "recon/rr_boundary.hpp"
+#include "campaign/campaigns.hpp"
+#include "campaign/runner.hpp"
 #include "sys/detection.hpp"
 
 using namespace autovision;
-using namespace autovision::sys;
-
-namespace {
-
-/// A do-nothing error source: models simulating DPR on a 2-state kernel
-/// that cannot express erroneous outputs.
-struct NoErrorInjector final : ErrorInjector {
-    void inject(RrOutputs& o) override { o = RrOutputs::idle(); }
-    const char* name() const override { return "no-x (2-state ablation)"; }
-};
-
-SystemConfig base_config() {
-    SystemConfig cfg;
-    cfg.width = 32;
-    cfg.height = 24;
-    cfg.step = 4;
-    cfg.margin = 8;
-    cfg.search = 2;
-    cfg.simb_payload_words = 100;
-    return cfg;
-}
-
-/// ReSim run with the X injector replaced by the 2-state stand-in.
-RunResult run_resim_no_x(Fault f) {
-    SystemConfig cfg = config_for_fault(base_config(), f);
-    cfg.method = FirmwareConfig::Method::kResim;
-    Testbench tb(cfg);
-    tb.sys.rr.set_error_injector(std::make_unique<NoErrorInjector>());
-    return tb.run(2);
-}
-
-}  // namespace
+using namespace autovision::campaign;
 
 int main() {
-    const SystemConfig cfg = base_config();
+    const sys::SystemConfig cfg = small_system_config();
 
     std::printf("==== Table III: detected bugs per simulation method ====\n");
     std::printf("(2 frames per run; a run 'detects' when any checker fires,"
                 " data mismatches, or the watchdog trips)\n\n");
 
-    const auto outcomes = run_catalog(cfg, /*frames=*/2);
+    std::vector<SimJob> jobs = fault_catalog_jobs(cfg, /*frames=*/2);
+    auto nox = resim_no_x_jobs(cfg, /*frames=*/2);
+    jobs.insert(jobs.end(), std::make_move_iterator(nox.begin()),
+                std::make_move_iterator(nox.end()));
+
+    CampaignRunner runner({});  // defaults: hardware concurrency, no watchdog
+    const CampaignResult result = runner.run(jobs);
+
+    std::map<std::string, const JobRecord*> by_name;
+    for (const JobRecord& r : result.records) by_name[r.name] = &r;
 
     unsigned vm_static = 0;
     unsigned vm_false = 0;
@@ -66,27 +51,30 @@ int main() {
                 "ReSim", "ReSim w/o X (2-state)", "description");
     std::printf("-------------+------------+------------+------------------"
                 "------+------------\n");
-    for (const DetectionOutcome& o : outcomes) {
-        const FaultInfo& fi = fault_info(o.fault);
-        const RunResult nx = run_resim_no_x(o.fault);
+    for (const sys::FaultInfo& fi : sys::kFaultCatalog) {
+        const JobRecord* f = by_name[std::string("fault.") + fi.id];
+        const JobRecord* nx = by_name[std::string("nox.") + fi.id];
+        const bool vm_det = f->report.metrics.at("vm_detected") != 0.0;
+        const bool rs_det = f->report.metrics.at("resim_detected") != 0.0;
+        const bool nx_det = nx->report.metrics.at("nox_detected") != 0.0;
         std::printf("%-12s | %-10s | %-10s | %-22s | %s\n", fi.id,
-                    o.vm_detected() ? "DETECTED" : "passed",
-                    o.resim_detected() ? "DETECTED" : "passed",
-                    !nx.clean() ? "DETECTED" : "passed", fi.description);
-        if (!o.matches_expectation()) {
+                    vm_det ? "DETECTED" : "passed",
+                    rs_det ? "DETECTED" : "passed",
+                    nx_det ? "DETECTED" : "passed", fi.description);
+        if (!f->passed()) {
             ++mismatches;
-            std::printf("    !! expectation mismatch: VM=%s  ReSim=%s\n",
-                        o.vm.verdict().c_str(), o.resim.verdict().c_str());
+            std::printf("    !! expectation mismatch: %s\n",
+                        f->report.verdict.c_str());
         }
         const std::string id = fi.id;
-        if (o.vm_detected()) {
-            if (fi.expected == ExpectedDetection::kVmFalseAlarm) {
+        if (vm_det) {
+            if (fi.expected == sys::ExpectedDetection::kVmFalseAlarm) {
                 ++vm_false;
             } else {
                 ++vm_static;
             }
         }
-        if (o.resim_detected()) {
+        if (rs_det) {
             if (id.find("dpr") != std::string::npos) {
                 ++resim_dpr;
             } else {
@@ -106,5 +94,6 @@ int main() {
     std::printf("  expectation mismatches:                     %u\n", mismatches);
     std::printf("\nablation: without X injection, bug.dpr.1 (isolation) "
                 "escapes — see the third column.\n");
+    std::printf("\ncampaign rollup:\n%s", result.summary.table().c_str());
     return mismatches == 0 ? 0 : 1;
 }

@@ -10,110 +10,35 @@
 // real AutoVision bitstream: the simulated reconfiguration delay (grows
 // linearly with length), the host wall time, and transfer integrity. A
 // second sweep crosses FIFO depth with the configuration-clock divider to
-// exhibit the overflow/underflow corners.
-#include <chrono>
+// exhibit the overflow/underflow corners. Both sweeps are campaign batches
+// on the worker pool; the table is printed from the job records.
 #include <cstdio>
+#include <vector>
 
-#include "bus/memory.hpp"
-#include "bus/plb.hpp"
-#include "engines/census_engine.hpp"
-#include "engines/matching_engine.hpp"
-#include "kernel/kernel.hpp"
-#include "recon/icap_ctrl.hpp"
-#include "recon/rr_boundary.hpp"
-#include "resim/icap_artifact.hpp"
-#include "resim/portal.hpp"
-#include "resim/simb.hpp"
+#include "campaign/campaigns.hpp"
+#include "campaign/runner.hpp"
 
-using namespace autovision;
-using namespace rtlsim;
-
-namespace {
-
-constexpr Time kClk = 10 * NS;
-
-/// Minimal DPR testbench: IcapCTRL + ICAP artifact + portal + one RR with
-/// the two engines; no CPU (the bench drives the DCR registers directly).
-struct DprTb {
-    Scheduler sch;
-    Clock clk{sch, "clk", kClk};
-    ResetGen rst{sch, "rst", 3 * kClk};
-    Memory mem{Memory::Config{0, 64u << 20, 4}};
-    Plb plb;
-    Signal<Logic> done_line{sch, "done_line", Logic::L0};
-    EngineRegs cie_regs{sch, "cie_regs", clk.out, 0x60};
-    EngineRegs me_regs{sch, "me_regs", clk.out, 0x68};
-    autovision::CensusEngine cie{sch, "cie", clk.out, rst.out, cie_regs};
-    autovision::MatchingEngine me{sch, "me", clk.out, rst.out, me_regs};
-    RrBoundary rr{sch, "rr", plb.master(1), done_line};
-    resim::ExtendedPortal portal{sch, "portal"};
-    resim::IcapArtifact icap{sch, "icap", portal};
-    IcapCtrl ctrl;
-
-    explicit DprTb(IcapCtrl::Config cfg, unsigned bus_max_burst = 16)
-        : plb(sch, "plb", clk.out, rst.out,
-              Plb::Config{2, bus_max_burst, 1u << 30}),
-          ctrl(sch, "icapctrl", clk.out, rst.out, plb.master(0), icap, cfg) {
-        plb.attach_slave(mem);
-        rr.add_module(cie);
-        rr.add_module(me);
-        portal.map_module(1, 1, rr, 0);
-        portal.map_module(1, 2, rr, 1);
-        portal.initial_configuration(1, 1);
-    }
-
-    /// One full reconfiguration to the ME; returns simulated duration, or 0
-    /// on failure (no swap).
-    Time reconfigure(std::uint32_t payload_words) {
-        resim::SimB b;
-        b.rr_id = 1;
-        b.module_id = 2;
-        b.payload_words = payload_words;
-        const auto words = b.build();
-        mem.load_words(0x100000, words);
-        sch.run_until(sch.now() + 10 * kClk);
-        const Time t0 = sch.now();
-        ctrl.dcr_write(0x52, Word{0x100000});
-        ctrl.dcr_write(0x53, Word{static_cast<std::uint32_t>(words.size() * 4)});
-        ctrl.dcr_write(0x50, Word{1});
-        const std::uint64_t swaps0 = portal.reconfigurations();
-        // Generous budget: fetch + drain.
-        const Time budget =
-            (static_cast<Time>(words.size()) * (ctrl.config().clk_div + 4) +
-             10000) * kClk;
-        while (sch.now() - t0 < budget) {
-            sch.run_until(sch.now() + 256 * kClk);
-            if (!ctrl.busy() && portal.reconfigurations() > swaps0) break;
-        }
-        if (portal.reconfigurations() == swaps0) return 0;
-        return sch.now() - t0;
-    }
-};
-
-}  // namespace
+using namespace autovision::campaign;
 
 int main() {
+    const std::vector<std::uint32_t> payloads{4u,     100u,   1024u,
+                                              4096u,  32768u, 129u * 1024u};
+    CampaignRunner runner({});  // defaults: hardware concurrency, no watchdog
+
     std::printf("==== SimB length sweep (reconfiguration delay scales with"
                 " bitstream length) ====\n");
+    const CampaignResult sweep = runner.run(simb_sweep_jobs(payloads));
     std::printf("%-14s | %-12s | %16s | %12s | %s\n", "payload (words)",
                 "total words", "sim DPR time (ms)", "wall (ms)", "swap");
     double prev_ms = 0;
     bool linear = true;
-    for (std::uint32_t payload :
-         {4u, 100u, 1024u, 4096u, 32768u, 129u * 1024u}) {
-        IcapCtrl::Config cfg;
-        cfg.clk_div = 1;
-        cfg.fifo_depth = 32;
-        DprTb tb(cfg);
-        const auto w0 = std::chrono::steady_clock::now();
-        const Time dpr = tb.reconfigure(payload);
-        const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - w0);
-        const double ms = to_ms(dpr);
-        std::printf("%-14u | %-12u | %16.4f | %12lld | %s\n", payload,
-                    resim::SimB::length_for_payload(payload), ms,
-                    static_cast<long long>(wall.count()),
-                    dpr != 0 ? "yes" : "NO");
+    for (const JobRecord& r : sweep.records) {
+        const double ms = r.report.metrics.at("dpr_ms");
+        std::printf("%-14.0f | %-12.0f | %16.4f | %12.0f | %s\n",
+                    r.report.metrics.at("payload_words"),
+                    r.report.metrics.at("total_words"), ms,
+                    static_cast<double>(r.wall.count()) / 1e6,
+                    r.report.metrics.at("swap") != 0.0 ? "yes" : "NO");
         if (prev_ms > 0 && ms < prev_ms) linear = false;
         prev_ms = ms;
     }
@@ -124,40 +49,21 @@ int main() {
 
     std::printf("==== FIFO depth x configuration clock x bus corner sweep"
                 " ====\n");
+    const CampaignResult corners = runner.run(simb_corner_jobs());
     std::printf("%-6s | %-5s | %-12s | %-14s | %6s | %9s | %s\n", "fifo",
                 "div", "IP mode", "bus", "swap", "overflows", "note");
-    struct Corner {
-        unsigned fifo;
-        unsigned div;
-        bool p2p;
-        unsigned bus_max;  // 0 = unbounded point-to-point link
-        const char* note;
-    };
-    const Corner corners[] = {
-        {32, 1, false, 16, "shared, balanced (reference)"},
-        {32, 4, false, 16, "shared, slow config clock (backpressure holds)"},
-        {8, 1, false, 16, "shared, shallow FIFO (burst-sized backpressure)"},
-        {8, 8, false, 16, "shared, shallow + very slow drain"},
-        {32, 1, true, 0, "original design: p2p IP on its dedicated link"},
-        {8, 4, true, 0, "p2p link but slow drain: FIFO overflow corner"},
-        {32, 1, true, 16, "bug.dpr.4: p2p IP on the shared bus (truncates)"},
-    };
-    for (const Corner& c : corners) {
-        IcapCtrl::Config cfg;
-        cfg.fifo_depth = c.fifo;
-        cfg.clk_div = c.div;
-        cfg.p2p_mode = c.p2p;
-        cfg.burst_words = std::min(16u, c.fifo);
-        DprTb tb(cfg, c.bus_max);
-        const Time dpr = tb.reconfigure(1024);
-        std::printf("%-6u | %-5u | %-12s | %-14s | %6s | %9llu | %s\n",
-                    c.fifo, c.div, c.p2p ? "p2p" : "shared",
-                    c.bus_max == 0 ? "dedicated" : "shared 16-beat",
-                    dpr != 0 ? "yes" : "NO",
-                    static_cast<unsigned long long>(tb.ctrl.fifo_overflows()),
-                    c.note);
+    bool corners_ok = true;
+    for (const JobRecord& r : corners.records) {
+        std::printf("%-6s | %-5s | %-12s | %-14s | %6s | %9.0f | %s\n",
+                    r.params.at("fifo").c_str(), r.params.at("clk_div").c_str(),
+                    r.params.at("ip_mode").c_str(), r.params.at("bus").c_str(),
+                    r.report.metrics.at("swap") != 0.0 ? "yes" : "NO",
+                    r.report.metrics.at("overflows"),
+                    r.params.at("note").c_str());
+        corners_ok = corners_ok && r.passed();
     }
     std::printf("\n(the last row is the bug.dpr.4 scenario: the transfer"
                 " silently truncates and the module is never swapped)\n");
-    return 0;
+    std::printf("corner expectations hold: %s\n", corners_ok ? "yes" : "NO");
+    return (linear && corners_ok && sweep.summary.all_passed()) ? 0 : 1;
 }

@@ -1,0 +1,73 @@
+#include "aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace autovision::campaign {
+
+std::chrono::nanoseconds CampaignSummary::percentile(
+    std::vector<std::chrono::nanoseconds> sorted_walls, double p) {
+    if (sorted_walls.empty()) return std::chrono::nanoseconds{0};
+    std::sort(sorted_walls.begin(), sorted_walls.end());
+    // Nearest-rank: smallest value with at least p of the mass at or below.
+    const double n = static_cast<double>(sorted_walls.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0) rank = 1;
+    if (rank > sorted_walls.size()) rank = sorted_walls.size();
+    return sorted_walls[rank - 1];
+}
+
+CampaignSummary CampaignSummary::from(const std::vector<JobRecord>& records) {
+    CampaignSummary s;
+    s.total = records.size();
+    std::vector<std::chrono::nanoseconds> walls;
+    walls.reserve(records.size());
+    for (const JobRecord& r : records) {
+        switch (r.status) {
+            case JobStatus::kPass: ++s.passed; break;
+            case JobStatus::kFail: ++s.failed; break;
+            case JobStatus::kTimeout: ++s.timed_out; break;
+            case JobStatus::kError: ++s.errored; break;
+        }
+        if (r.attempts > 1) ++s.retried;
+        walls.push_back(r.wall);
+        s.wall_total += r.wall;
+        s.wall_max = std::max(s.wall_max, r.wall);
+        s.stats += r.report.stats;
+        s.sim_time += r.report.sim_time;
+    }
+    s.wall_p50 = percentile(walls, 50.0);
+    s.wall_p95 = percentile(walls, 95.0);
+    return s;
+}
+
+std::string CampaignSummary::table() const {
+    const auto ms = [](std::chrono::nanoseconds ns) {
+        return static_cast<double>(ns.count()) / 1e6;
+    };
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "jobs: %zu  pass: %zu  fail: %zu  timeout: %zu  error: %zu"
+                  "  (retried: %zu)\n",
+                  total, passed, failed, timed_out, errored, retried);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "wall/job: p50 %.1f ms  p95 %.1f ms  max %.1f ms"
+                  "  total %.1f ms\n",
+                  ms(wall_p50), ms(wall_p95), ms(wall_max), ms(wall_total));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "kernel: %llu signal updates, %llu delta cycles, "
+                  "%llu proc invocations over %.3f sim-ms\n",
+                  static_cast<unsigned long long>(stats.signal_updates),
+                  static_cast<unsigned long long>(stats.delta_cycles),
+                  static_cast<unsigned long long>(stats.proc_invocations),
+                  rtlsim::to_ms(sim_time));
+    out += buf;
+    return out;
+}
+
+}  // namespace autovision::campaign

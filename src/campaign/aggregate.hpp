@@ -1,0 +1,47 @@
+// campaign: in-memory aggregate over a campaign's job records.
+//
+// The cross-job rollup the CLI and benches print: status counts, wall-time
+// percentiles (nearest-rank over final attempts), and the summed kernel
+// counters — the latter relying on SimStats::operator+= rather than
+// hand-rolled field sums.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "job.hpp"
+
+namespace autovision::campaign {
+
+struct CampaignSummary {
+    std::size_t total = 0;
+    std::size_t passed = 0;
+    std::size_t failed = 0;
+    std::size_t timed_out = 0;
+    std::size_t errored = 0;
+    std::size_t retried = 0;  ///< jobs needing more than one attempt
+
+    std::chrono::nanoseconds wall_p50{0};
+    std::chrono::nanoseconds wall_p95{0};
+    std::chrono::nanoseconds wall_max{0};
+    std::chrono::nanoseconds wall_total{0};  ///< summed per-job wall time
+
+    rtlsim::SimStats stats;        ///< summed kernel counters
+    rtlsim::Time sim_time = 0;     ///< summed simulated time
+
+    [[nodiscard]] bool all_passed() const noexcept { return passed == total; }
+
+    /// Nearest-rank percentile over the records' final-attempt wall times.
+    [[nodiscard]] static std::chrono::nanoseconds percentile(
+        std::vector<std::chrono::nanoseconds> sorted_walls, double p);
+
+    [[nodiscard]] static CampaignSummary from(
+        const std::vector<JobRecord>& records);
+
+    /// Multi-line human-readable rollup.
+    [[nodiscard]] std::string table() const;
+};
+
+}  // namespace autovision::campaign

@@ -1,0 +1,331 @@
+#include "campaigns.hpp"
+
+#include <memory>
+#include <string>
+
+#include "bus/memory.hpp"
+#include "bus/plb.hpp"
+#include "engines/census_engine.hpp"
+#include "engines/matching_engine.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/icap_ctrl.hpp"
+#include "recon/rr_boundary.hpp"
+#include "resim/icap_artifact.hpp"
+#include "resim/portal.hpp"
+#include "resim/simb.hpp"
+
+namespace autovision::campaign {
+
+namespace {
+
+using rtlsim::Time;
+
+/// A do-nothing error source: a 2-state simulator's view of DPR, unable to
+/// express erroneous outputs while the bitstream is being written.
+struct NoErrorInjector final : ErrorInjector {
+    void inject(RrOutputs& o) override { o = RrOutputs::idle(); }
+    const char* name() const override { return "no-x (2-state ablation)"; }
+};
+
+JobReport report_from_run(const sys::RunResult& r) {
+    JobReport rep;
+    rep.pass = r.clean();
+    rep.verdict = r.verdict();
+    rep.stats = r.stats;
+    rep.stages = r.stages;
+    rep.sim_time = r.sim_time;
+    return rep;
+}
+
+/// Expected plain-ReSim detection per the catalogue.
+bool expected_resim_detected(const sys::FaultInfo& fi) {
+    return fi.expected != sys::ExpectedDetection::kVmFalseAlarm;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal DPR testbench for the SimB campaigns (no CPU: the job drives the
+// IcapCTRL DCR registers directly). One instance per job, never shared.
+// ---------------------------------------------------------------------------
+
+constexpr Time kClk = 10 * rtlsim::NS;
+
+struct DprTb {
+    rtlsim::Scheduler sch;
+    rtlsim::Clock clk{sch, "clk", kClk};
+    rtlsim::ResetGen rst{sch, "rst", 3 * kClk};
+    Memory mem{Memory::Config{0, 64u << 20, 4}};
+    Plb plb;
+    rtlsim::Signal<rtlsim::Logic> done_line{sch, "done_line",
+                                            rtlsim::Logic::L0};
+    EngineRegs cie_regs{sch, "cie_regs", clk.out, 0x60};
+    EngineRegs me_regs{sch, "me_regs", clk.out, 0x68};
+    CensusEngine cie{sch, "cie", clk.out, rst.out, cie_regs};
+    MatchingEngine me{sch, "me", clk.out, rst.out, me_regs};
+    RrBoundary rr{sch, "rr", plb.master(1), done_line};
+    resim::ExtendedPortal portal{sch, "portal"};
+    resim::IcapArtifact icap{sch, "icap", portal};
+    IcapCtrl ctrl;
+
+    explicit DprTb(IcapCtrl::Config cfg, unsigned bus_max_burst = 16)
+        : plb(sch, "plb", clk.out, rst.out,
+              Plb::Config{2, bus_max_burst, 1u << 30}),
+          ctrl(sch, "icapctrl", clk.out, rst.out, plb.master(0), icap, cfg) {
+        plb.attach_slave(mem);
+        rr.add_module(cie);
+        rr.add_module(me);
+        portal.map_module(1, 1, rr, 0);
+        portal.map_module(1, 2, rr, 1);
+        portal.initial_configuration(1, 1);
+    }
+
+    /// One full reconfiguration to the ME; returns simulated duration, or 0
+    /// on failure (no swap / cancelled).
+    Time reconfigure(std::uint32_t payload_words, const JobContext& ctx) {
+        resim::SimB b;
+        b.rr_id = 1;
+        b.module_id = 2;
+        b.payload_words = payload_words;
+        const auto words = b.build();
+        mem.load_words(0x100000, words);
+        sch.run_until(sch.now() + 10 * kClk);
+        const Time t0 = sch.now();
+        ctrl.dcr_write(0x52, rtlsim::Word{0x100000});
+        ctrl.dcr_write(
+            0x53, rtlsim::Word{static_cast<std::uint32_t>(words.size() * 4)});
+        ctrl.dcr_write(0x50, rtlsim::Word{1});
+        const std::uint64_t swaps0 = portal.reconfigurations();
+        // Generous budget: fetch + drain.
+        const Time budget =
+            (static_cast<Time>(words.size()) * (ctrl.config().clk_div + 4) +
+             10000) * kClk;
+        while (sch.now() - t0 < budget && !ctx.cancelled()) {
+            sch.run_until(sch.now() + 256 * kClk);
+            if (!ctrl.busy() && portal.reconfigurations() > swaps0) break;
+        }
+        if (portal.reconfigurations() == swaps0) return 0;
+        return sch.now() - t0;
+    }
+};
+
+}  // namespace
+
+sys::SystemConfig small_system_config() {
+    sys::SystemConfig cfg;
+    cfg.width = 32;
+    cfg.height = 24;
+    cfg.step = 4;
+    cfg.margin = 8;
+    cfg.search = 2;
+    cfg.simb_payload_words = 100;
+    return cfg;
+}
+
+std::vector<SimJob> fault_catalog_jobs(const sys::SystemConfig& base,
+                                       unsigned frames) {
+    std::vector<SimJob> jobs;
+    jobs.reserve(sys::kFaultCatalog.size());
+    for (const sys::FaultInfo& fi : sys::kFaultCatalog) {
+        SimJob job;
+        job.name = std::string("fault.") + fi.id;
+        job.params = {{"fault", fi.id},
+                      {"frames", std::to_string(frames)},
+                      {"description", fi.description}};
+        job.body = [base, fault = fi.fault,
+                    frames](const JobContext& ctx) -> JobReport {
+            const sys::DetectionOutcome o =
+                sys::run_detection(base, fault, frames, ctx.cancel_flag());
+            JobReport rep;
+            rep.pass = o.matches_expectation();
+            rep.verdict = o.row();
+            rep.stats = o.vm.stats + o.resim.stats;
+            rep.stages = o.vm.stages;
+            rep.stages += o.resim.stages;
+            rep.sim_time = o.vm.sim_time + o.resim.sim_time;
+            rep.metrics = {{"vm_detected", o.vm_detected() ? 1.0 : 0.0},
+                           {"resim_detected", o.resim_detected() ? 1.0 : 0.0}};
+            return rep;
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<SimJob> resim_no_x_jobs(const sys::SystemConfig& base,
+                                    unsigned frames) {
+    std::vector<SimJob> jobs;
+    jobs.reserve(sys::kFaultCatalog.size());
+    for (const sys::FaultInfo& fi : sys::kFaultCatalog) {
+        SimJob job;
+        job.name = std::string("nox.") + fi.id;
+        job.params = {{"fault", fi.id},
+                      {"frames", std::to_string(frames)},
+                      {"ablation", "no-x"}};
+        // Without X propagation only bug.dpr.1 (isolation) escapes; every
+        // other ReSim detection survives the 2-state downgrade.
+        const bool expect_detected =
+            expected_resim_detected(fi) &&
+            fi.fault != sys::Fault::kDpr1NoIsolation;
+        job.body = [base, fault = fi.fault, frames,
+                    expect_detected](const JobContext& ctx) -> JobReport {
+            sys::SystemConfig cfg = sys::config_for_fault(base, fault);
+            cfg.method = sys::FirmwareConfig::Method::kResim;
+            sys::Testbench tb(cfg);
+            tb.sys.rr.set_error_injector(std::make_unique<NoErrorInjector>());
+            tb.set_cancel_flag(ctx.cancel_flag());
+            const sys::RunResult r = tb.run(frames);
+            JobReport rep = report_from_run(r);
+            const bool detected = !r.clean();
+            rep.pass = detected == expect_detected;
+            rep.metrics = {{"nox_detected", detected ? 1.0 : 0.0},
+                           {"expect_detected", expect_detected ? 1.0 : 0.0}};
+            return rep;
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<SimJob> simb_sweep_jobs(
+    const std::vector<std::uint32_t>& payloads) {
+    std::vector<SimJob> jobs;
+    jobs.reserve(payloads.size());
+    for (const std::uint32_t payload : payloads) {
+        SimJob job;
+        job.name = "simb.p" + std::to_string(payload);
+        job.params = {{"payload_words", std::to_string(payload)}};
+        job.body = [payload](const JobContext& ctx) -> JobReport {
+            IcapCtrl::Config cfg;
+            cfg.clk_div = 1;
+            cfg.fifo_depth = 32;
+            DprTb tb(cfg);
+            const Time dpr = tb.reconfigure(payload, ctx);
+            JobReport rep;
+            rep.pass = dpr != 0;
+            rep.verdict = rep.pass ? "clean" : "[no module swap]";
+            rep.stats = tb.sch.stats;
+            rep.stages.dpr_sim = dpr;
+            rep.sim_time = tb.sch.now();
+            rep.metrics = {
+                {"payload_words", static_cast<double>(payload)},
+                {"total_words", static_cast<double>(
+                                    resim::SimB::length_for_payload(payload))},
+                {"dpr_ms", rtlsim::to_ms(dpr)},
+                {"swap", rep.pass ? 1.0 : 0.0}};
+            return rep;
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<SimJob> simb_corner_jobs() {
+    struct Corner {
+        unsigned fifo;
+        unsigned div;
+        bool p2p;
+        unsigned bus_max;  // 0 = unbounded point-to-point link
+        bool expect_swap;
+        const char* note;
+    };
+    // Expectations match the Section IV-B narrative: backpressure holds on
+    // the shared bus; the p2p slow-drain corner overflows the FIFO and the
+    // bug.dpr.4 corner truncates the transfer — neither may swap.
+    static constexpr Corner kCorners[] = {
+        {32, 1, false, 16, true, "shared, balanced (reference)"},
+        {32, 4, false, 16, true,
+         "shared, slow config clock (backpressure holds)"},
+        {8, 1, false, 16, true,
+         "shared, shallow FIFO (burst-sized backpressure)"},
+        {8, 8, false, 16, true, "shared, shallow + very slow drain"},
+        {32, 1, true, 0, true, "original design: p2p IP on its dedicated link"},
+        {8, 4, true, 0, false, "p2p link but slow drain: FIFO overflow corner"},
+        {32, 1, true, 16, false,
+         "bug.dpr.4: p2p IP on the shared bus (truncates)"},
+    };
+
+    std::vector<SimJob> jobs;
+    unsigned index = 0;
+    for (const Corner& c : kCorners) {
+        SimJob job;
+        job.name = "simb.corner." + std::to_string(index++);
+        job.params = {{"fifo", std::to_string(c.fifo)},
+                      {"clk_div", std::to_string(c.div)},
+                      {"ip_mode", c.p2p ? "p2p" : "shared"},
+                      {"bus", c.bus_max == 0 ? "dedicated" : "shared 16-beat"},
+                      {"note", c.note}};
+        job.body = [c](const JobContext& ctx) -> JobReport {
+            IcapCtrl::Config cfg;
+            cfg.fifo_depth = c.fifo;
+            cfg.clk_div = c.div;
+            cfg.p2p_mode = c.p2p;
+            cfg.burst_words = std::min(16u, c.fifo);
+            DprTb tb(cfg, c.bus_max);
+            const Time dpr = tb.reconfigure(1024, ctx);
+            const bool swap = dpr != 0;
+            JobReport rep;
+            rep.pass = swap == c.expect_swap;
+            rep.verdict = rep.pass
+                              ? "clean"
+                              : (swap ? "[unexpected module swap]"
+                                      : "[expected swap did not happen]");
+            rep.stats = tb.sch.stats;
+            rep.stages.dpr_sim = dpr;
+            rep.sim_time = tb.sch.now();
+            rep.metrics = {
+                {"swap", swap ? 1.0 : 0.0},
+                {"expect_swap", c.expect_swap ? 1.0 : 0.0},
+                {"overflows", static_cast<double>(tb.ctrl.fifo_overflows())},
+                {"dpr_ms", rtlsim::to_ms(dpr)}};
+            return rep;
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<SimJob> workload_grid_jobs(const std::vector<WorkloadCell>& grid) {
+    std::vector<SimJob> jobs;
+    jobs.reserve(grid.size());
+    for (const WorkloadCell& cell : grid) {
+        SimJob job;
+        job.name = "workload." + std::to_string(cell.width) + "x" +
+                   std::to_string(cell.height) + ".f" +
+                   std::to_string(cell.frames);
+        job.params = {{"width", std::to_string(cell.width)},
+                      {"height", std::to_string(cell.height)},
+                      {"frames", std::to_string(cell.frames)}};
+        job.body = [cell](const JobContext& ctx) -> JobReport {
+            sys::SystemConfig cfg = small_system_config();
+            cfg.width = cell.width;
+            cfg.height = cell.height;
+            sys::Testbench tb(cfg);
+            tb.set_cancel_flag(ctx.cancel_flag());
+            return report_from_run(tb.run(cell.frames));
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<SimJob> seed_sweep_jobs(const sys::SystemConfig& base,
+                                    std::uint32_t first_seed,
+                                    std::uint32_t num_seeds, unsigned frames) {
+    std::vector<SimJob> jobs;
+    jobs.reserve(num_seeds);
+    for (std::uint32_t s = 0; s < num_seeds; ++s) {
+        const std::uint32_t seed = first_seed + s;
+        SimJob job;
+        job.name = "seed." + std::to_string(seed);
+        job.params = {{"seed", std::to_string(seed)},
+                      {"frames", std::to_string(frames)}};
+        job.body = [base, seed, frames](const JobContext& ctx) -> JobReport {
+            sys::Testbench tb(base, seed);
+            tb.set_cancel_flag(ctx.cancel_flag());
+            return report_from_run(tb.run(frames));
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+}  // namespace autovision::campaign

@@ -1,0 +1,69 @@
+// campaign: the built-in campaigns — the paper's evaluation expressed as
+// job batches.
+//
+//   * faults    — the Table III fault catalogue: one job per catalogued
+//                 bug, each running the system under VM and under ReSim
+//                 and checking the detections against the expectation.
+//   * nox       — the DESIGN.md 2-state ablation: ReSim with X injection
+//                 disabled; bug.dpr.1 (isolation) must escape.
+//   * simb      — the Section IV-B SimB length sweep plus the FIFO /
+//                 configuration-clock / bus corner matrix.
+//   * workload  — a frame-count x geometry grid of clean full-system runs.
+//   * seeds     — one clean full-system run per synthetic-scene seed.
+//
+// Every job body builds its own Testbench/Scheduler on the worker thread
+// (job isolation) and honours the JobContext cancel flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "job.hpp"
+#include "sys/detection.hpp"
+
+namespace autovision::campaign {
+
+/// The small paper-scale geometry the quick campaigns default to (identical
+/// to the detection harness configuration used by tests and benches).
+[[nodiscard]] sys::SystemConfig small_system_config();
+
+/// One job per catalogued fault: VM + ReSim detection vs expectation.
+/// Metrics: vm_detected, resim_detected.
+[[nodiscard]] std::vector<SimJob> fault_catalog_jobs(
+    const sys::SystemConfig& base, unsigned frames = 2);
+
+/// One job per catalogued fault, ReSim only, with the error injector
+/// replaced by a 2-state no-op. Expected: detections track plain ReSim
+/// except bug.dpr.1, which escapes without X propagation.
+/// Metrics: nox_detected.
+[[nodiscard]] std::vector<SimJob> resim_no_x_jobs(
+    const sys::SystemConfig& base, unsigned frames = 2);
+
+/// SimB payload-length sweep on the minimal DPR testbench (no CPU): the
+/// reconfiguration delay must scale with bitstream length and the swap must
+/// complete. Metrics: payload_words, total_words, dpr_ms, swap.
+[[nodiscard]] std::vector<SimJob> simb_sweep_jobs(
+    const std::vector<std::uint32_t>& payloads);
+
+/// FIFO depth x configuration clock x bus-attachment corner matrix on the
+/// minimal DPR testbench. Pass = the swap outcome matches the corner's
+/// expectation (the overflow and bug.dpr.4 corners must NOT swap).
+/// Metrics: swap, expect_swap, overflows, dpr_ms.
+[[nodiscard]] std::vector<SimJob> simb_corner_jobs();
+
+/// Full-system clean-run grid: every (geometry, frame count) cell must
+/// complete with a clean verdict.
+struct WorkloadCell {
+    unsigned width;
+    unsigned height;
+    unsigned frames;
+};
+[[nodiscard]] std::vector<SimJob> workload_grid_jobs(
+    const std::vector<WorkloadCell>& grid);
+
+/// Full-system clean run per synthetic-scene seed.
+[[nodiscard]] std::vector<SimJob> seed_sweep_jobs(
+    const sys::SystemConfig& base, std::uint32_t first_seed,
+    std::uint32_t num_seeds, unsigned frames = 1);
+
+}  // namespace autovision::campaign

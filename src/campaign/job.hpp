@@ -1,0 +1,101 @@
+// campaign: the simulation-job abstraction.
+//
+// A SimJob is one isolated simulation run: a name, a parameter set (for the
+// result record), and a body that — on a worker thread — builds its own
+// Testbench/Scheduler, runs it, and reports back. Nothing simulation-side
+// is shared between jobs; the only cross-thread object a body ever touches
+// is its JobContext cancellation flag, which the campaign watchdog sets
+// when the job overruns its wall-clock budget.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "kernel/stats.hpp"
+#include "sys/testbench.hpp"
+
+namespace autovision::campaign {
+
+/// Per-attempt context handed to a job body. Bodies should poll
+/// `cancelled()` (or wire `cancel_flag()` into `Testbench::set_cancel_flag`)
+/// so a hung simulation can be reaped cooperatively by the watchdog.
+class JobContext {
+public:
+    [[nodiscard]] bool cancelled() const noexcept {
+        return cancel_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const std::atomic<bool>* cancel_flag() const noexcept {
+        return &cancel_;
+    }
+    void request_cancel() noexcept {
+        cancel_.store(true, std::memory_order_relaxed);
+    }
+    void reset() noexcept { cancel_.store(false, std::memory_order_relaxed); }
+
+private:
+    std::atomic<bool> cancel_{false};
+};
+
+/// What a job body reports back: a pass/fail verdict plus the kernel and
+/// stage counters of the run(s) it performed, and free-form named metrics
+/// for campaign-specific quantities (detection bits, DPR delay, ...).
+struct JobReport {
+    bool pass = false;
+    std::string verdict = "clean";
+    rtlsim::SimStats stats;            ///< summed over the job's runs
+    sys::StageTimes stages;            ///< summed stage attribution
+    rtlsim::Time sim_time = 0;         ///< total simulated time
+    std::map<std::string, double> metrics;
+};
+
+/// One unit of campaign work. The body is factory + runner in one: invoked
+/// on a worker thread, it must construct every simulation object it needs
+/// (isolation invariant: one Scheduler + memory per job).
+struct SimJob {
+    std::string name;
+    std::map<std::string, std::string> params;
+    std::function<JobReport(const JobContext&)> body;
+};
+
+/// Final classification of a job after all attempts.
+enum class JobStatus {
+    kPass,     ///< body completed in budget, report.pass
+    kFail,     ///< body completed in budget, !report.pass (not retried:
+               ///< verdicts are deterministic, a failure is a finding)
+    kTimeout,  ///< every attempt overran the wall-clock budget
+    kError,    ///< every attempt threw
+};
+
+[[nodiscard]] constexpr const char* to_string(JobStatus s) {
+    switch (s) {
+        case JobStatus::kPass: return "pass";
+        case JobStatus::kFail: return "fail";
+        case JobStatus::kTimeout: return "timeout";
+        case JobStatus::kError: return "error";
+    }
+    return "?";
+}
+
+/// The result record for one job: classification, attempt count, wall
+/// clock of the final attempt, and the body's report. This is what the
+/// JSONL sink serialises and the aggregate summarises.
+struct JobRecord {
+    std::size_t index = 0;  ///< submission order
+    std::string name;
+    std::map<std::string, std::string> params;
+    JobStatus status = JobStatus::kError;
+    JobReport report;
+    unsigned attempts = 0;
+    std::chrono::nanoseconds wall{0};
+    std::string error;  ///< exception text / timeout note
+
+    [[nodiscard]] bool passed() const noexcept {
+        return status == JobStatus::kPass;
+    }
+};
+
+}  // namespace autovision::campaign

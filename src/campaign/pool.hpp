@@ -1,0 +1,134 @@
+// campaign: bounded work queue and worker pool.
+//
+// The one concurrency primitive shared by every batch driver in the repo.
+// A simulation job is CPU-bound and fully isolated (each owns its
+// Scheduler/Testbench), so the pool is a plain bounded MPMC queue drained
+// by N threads — no work stealing, no futures. `resolve_workers` is the
+// single definition of the "0 = hardware concurrency" convention used by
+// the campaign runner, `run_catalog` and the CLI alike.
+//
+// Header-only and dependency-free (std only) so low-level code such as
+// `sys::detection` can use the pool without a link-time cycle against the
+// higher-level campaign library (which links against `sys`).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace autovision::campaign {
+
+/// The repo-wide worker-count convention: 0 means "one worker per hardware
+/// thread" (at least one); any other value is taken literally.
+[[nodiscard]] inline unsigned resolve_workers(unsigned requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1u;
+}
+
+/// Bounded FIFO queue, multi-producer / multi-consumer. `push` blocks while
+/// the queue is full (backpressure: a campaign generator cannot race ahead
+/// of the workers by more than `capacity` jobs); `pop` blocks while it is
+/// empty. `close` wakes everyone: pending items are still drained, then
+/// `pop` returns nullopt and `push` returns false.
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity != 0 ? capacity : 1) {}
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lk(mu_);
+        return items_.size();
+    }
+
+    /// Blocking push; returns false iff the queue was closed.
+    bool push(T item) {
+        std::unique_lock lk(mu_);
+        not_full_.wait(lk,
+                       [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking pop; returns nullopt once the queue is closed and drained.
+    std::optional<T> pop() {
+        std::unique_lock lk(mu_);
+        not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        not_full_.notify_one();
+        return item;
+    }
+
+    void close() {
+        std::lock_guard lk(mu_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+/// Fixed-size pool of worker threads draining a bounded task queue.
+/// Submission blocks when the queue is full; `drain()` closes the queue and
+/// joins the workers (every submitted task still runs).
+class WorkerPool {
+public:
+    explicit WorkerPool(unsigned workers, std::size_t queue_capacity = 64)
+        : queue_(queue_capacity) {
+        const unsigned n = resolve_workers(workers);
+        threads_.reserve(n);
+        for (unsigned i = 0; i < n; ++i) {
+            threads_.emplace_back([this] {
+                while (auto task = queue_.pop()) (*task)();
+            });
+        }
+    }
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    ~WorkerPool() { drain(); }
+
+    [[nodiscard]] unsigned workers() const noexcept {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /// Enqueue a task; blocks while the queue is full. Returns false iff
+    /// the pool was already drained.
+    bool submit(std::function<void()> task) {
+        return queue_.push(std::move(task));
+    }
+
+    /// Close the queue and join the workers. Idempotent.
+    void drain() {
+        queue_.close();
+        for (auto& t : threads_) {
+            if (t.joinable()) t.join();
+        }
+    }
+
+private:
+    BoundedQueue<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace autovision::campaign

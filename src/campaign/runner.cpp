@@ -1,0 +1,160 @@
+#include "runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "pool.hpp"
+#include "sink.hpp"
+
+namespace autovision::campaign {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// The watchdog's view of in-flight attempts: context -> attempt start.
+struct ActiveSet {
+    std::mutex mu;
+    std::condition_variable cv;  ///< wakes the watchdog on insert/stop
+    std::map<JobContext*, SteadyClock::time_point> attempts;
+    bool stop = false;
+};
+
+/// Poll the in-flight set and cancel attempts that overran the budget.
+void watchdog_loop(ActiveSet& active, std::chrono::milliseconds timeout) {
+    // Poll fast enough that short budgets (tests use a few ms) are enforced
+    // promptly, without busy-waiting for long-running campaigns.
+    const auto poll = std::clamp<std::chrono::milliseconds>(
+        timeout / 4, std::chrono::milliseconds{1},
+        std::chrono::milliseconds{50});
+    std::unique_lock lk(active.mu);
+    while (!active.stop) {
+        active.cv.wait_for(lk, poll, [&] { return active.stop; });
+        if (active.stop) return;
+        const auto now = SteadyClock::now();
+        for (auto& [ctx, start] : active.attempts) {
+            if (now - start >= timeout) ctx->request_cancel();
+        }
+    }
+}
+
+}  // namespace
+
+CampaignResult CampaignRunner::run(const std::vector<SimJob>& jobs) {
+    CampaignResult result;
+    result.records.resize(jobs.size());
+    if (jobs.empty()) {
+        result.summary = CampaignSummary::from(result.records);
+        return result;
+    }
+
+    std::unique_ptr<JsonlSink> sink;
+    if (!cfg_.jsonl_path.empty()) {
+        sink = std::make_unique<JsonlSink>(cfg_.jsonl_path);
+    }
+
+    const bool timed = cfg_.timeout.count() > 0;
+    ActiveSet active;
+    std::thread watchdog;
+    if (timed) {
+        watchdog = std::thread(watchdog_loop, std::ref(active), cfg_.timeout);
+    }
+
+    std::mutex record_mu;  // serialises the on_record callback
+
+    {
+        const unsigned workers =
+            std::min<unsigned>(resolve_workers(cfg_.jobs),
+                               static_cast<unsigned>(jobs.size()));
+        WorkerPool pool(workers, cfg_.queue_capacity);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&, i] {
+                const SimJob& job = jobs[i];
+                JobRecord rec;
+                rec.index = i;
+                rec.name = job.name;
+                rec.params = job.params;
+
+                JobContext ctx;
+                const unsigned max_attempts = 1 + cfg_.retries;
+                for (unsigned attempt = 1; attempt <= max_attempts;
+                     ++attempt) {
+                    ctx.reset();
+                    const auto start = SteadyClock::now();
+                    if (timed) {
+                        const std::lock_guard lk(active.mu);
+                        active.attempts.emplace(&ctx, start);
+                        active.cv.notify_one();
+                    }
+                    JobReport rep;
+                    std::string error;
+                    bool threw = false;
+                    try {
+                        rep = job.body(ctx);
+                    } catch (const std::exception& e) {
+                        threw = true;
+                        error = e.what();
+                    } catch (...) {
+                        threw = true;
+                        error = "unknown exception";
+                    }
+                    if (timed) {
+                        const std::lock_guard lk(active.mu);
+                        active.attempts.erase(&ctx);
+                    }
+                    const auto wall = SteadyClock::now() - start;
+
+                    rec.attempts = attempt;
+                    rec.wall =
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            wall);
+                    if (threw) {
+                        rec.status = JobStatus::kError;
+                        rec.error = error;
+                    } else if (ctx.cancelled() ||
+                               (timed && wall >= cfg_.timeout)) {
+                        rec.status = JobStatus::kTimeout;
+                        rec.report = std::move(rep);
+                        rec.error = "wall-clock budget (" +
+                                    std::to_string(cfg_.timeout.count()) +
+                                    " ms) exhausted";
+                    } else {
+                        rec.status = rep.pass ? JobStatus::kPass
+                                              : JobStatus::kFail;
+                        rec.report = std::move(rep);
+                        rec.error.clear();
+                        break;  // completed in budget: verdict is final
+                    }
+                    // kTimeout / kError: retry unless attempts exhausted.
+                }
+
+                if (sink) sink->write(rec);
+                if (cfg_.on_record) {
+                    const std::lock_guard lk(record_mu);
+                    cfg_.on_record(rec);
+                }
+                result.records[i] = std::move(rec);
+            });
+        }
+        pool.drain();
+    }
+
+    if (timed) {
+        {
+            const std::lock_guard lk(active.mu);
+            active.stop = true;
+        }
+        active.cv.notify_all();
+        watchdog.join();
+    }
+
+    result.summary = CampaignSummary::from(result.records);
+    return result;
+}
+
+}  // namespace autovision::campaign

@@ -1,0 +1,66 @@
+// campaign: the batch runner.
+//
+// Feeds SimJobs through a bounded queue into a worker pool, supervises each
+// attempt with a wall-clock watchdog, retries flaky/hung runs a bounded
+// number of times, and captures every completed job into a thread-safe
+// JSONL sink plus an in-memory aggregate.
+//
+// Timeout semantics: the watchdog thread polls the set of in-flight
+// attempts; when one overruns the budget it sets the attempt's JobContext
+// cancel flag. Bodies that wire the flag into `Testbench::set_cancel_flag`
+// (all built-in campaigns do) abandon the simulation at the next quantum.
+// Either way the attempt is classified a timeout when it finishes over
+// budget, and is retried up to `retries` extra times before being recorded
+// as a permanent failure. Deterministic fail verdicts (body completed in
+// budget, report.pass == false) are findings, not flakiness, and are never
+// retried.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aggregate.hpp"
+#include "job.hpp"
+
+namespace autovision::campaign {
+
+struct CampaignConfig {
+    /// Worker threads; 0 = hardware concurrency (see resolve_workers).
+    unsigned jobs = 0;
+    /// Per-attempt wall-clock budget; 0 disables the watchdog.
+    std::chrono::milliseconds timeout{0};
+    /// Extra attempts after a timed-out or errored run.
+    unsigned retries = 1;
+    /// JSONL results path; empty = no file sink.
+    std::string jsonl_path;
+    /// Bounded submission queue depth.
+    std::size_t queue_capacity = 64;
+    /// Optional progress callback, invoked serially (under a lock) as each
+    /// job completes — completion order, not submission order.
+    std::function<void(const JobRecord&)> on_record;
+};
+
+struct CampaignResult {
+    std::vector<JobRecord> records;  ///< submission order
+    CampaignSummary summary;
+};
+
+class CampaignRunner {
+public:
+    explicit CampaignRunner(CampaignConfig cfg) : cfg_(std::move(cfg)) {}
+
+    [[nodiscard]] const CampaignConfig& config() const noexcept {
+        return cfg_;
+    }
+
+    /// Run every job to completion and return all records + the aggregate.
+    [[nodiscard]] CampaignResult run(const std::vector<SimJob>& jobs);
+
+private:
+    CampaignConfig cfg_;
+};
+
+}  // namespace autovision::campaign

@@ -1,0 +1,153 @@
+#include "sink.hpp"
+
+#include <cstdio>
+
+namespace autovision::campaign {
+
+namespace {
+
+/// Doubles in JSON: plain printf %g is locale-independent enough for our
+/// metric values (no exotic values are produced by the campaigns).
+void append_number(std::string& out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+}
+
+void append_kv(std::string& out, std::string_view key, std::string_view val,
+               bool quote) {
+    out += '"';
+    out += key;
+    out += "\":";
+    if (quote) out += '"';
+    out += val;
+    if (quote) out += '"';
+}
+
+double ms(std::chrono::nanoseconds ns) {
+    return static_cast<double>(ns.count()) / 1e6;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string to_jsonl(const JobRecord& rec) {
+    const JobReport& rep = rec.report;
+    std::string out;
+    out.reserve(512);
+    out += '{';
+    append_kv(out, "name", json_escape(rec.name), true);
+    out += ',';
+    append_kv(out, "status", to_string(rec.status), true);
+    out += ',';
+    append_kv(out, "pass", rec.passed() ? "true" : "false", false);
+    out += ',';
+    append_kv(out, "attempts", std::to_string(rec.attempts), false);
+    out += ',';
+    out += "\"wall_ms\":";
+    append_number(out, ms(rec.wall));
+    out += ',';
+    append_kv(out, "verdict", json_escape(rep.verdict), true);
+    if (!rec.error.empty()) {
+        out += ',';
+        append_kv(out, "error", json_escape(rec.error), true);
+    }
+
+    out += ",\"params\":{";
+    bool first = true;
+    for (const auto& [k, v] : rec.params) {
+        if (!first) out += ',';
+        first = false;
+        append_kv(out, json_escape(k), json_escape(v), true);
+    }
+    out += '}';
+
+    out += ",\"sim_ms\":";
+    append_number(out, rtlsim::to_ms(rep.sim_time));
+    out += ",\"stats\":{";
+    append_kv(out, "timed_events", std::to_string(rep.stats.timed_events),
+              false);
+    out += ',';
+    append_kv(out, "delta_cycles", std::to_string(rep.stats.delta_cycles),
+              false);
+    out += ',';
+    append_kv(out, "proc_invocations",
+              std::to_string(rep.stats.proc_invocations), false);
+    out += ',';
+    append_kv(out, "signal_updates", std::to_string(rep.stats.signal_updates),
+              false);
+    out += ',';
+    append_kv(out, "time_steps", std::to_string(rep.stats.time_steps), false);
+    out += '}';
+
+    out += ",\"stages\":{";
+    const auto stage = [&](const char* key, rtlsim::Time sim,
+                           std::chrono::nanoseconds wall, bool last) {
+        out += '"';
+        out += key;
+        out += "\":{\"sim_ms\":";
+        append_number(out, rtlsim::to_ms(sim));
+        out += ",\"wall_ms\":";
+        append_number(out, ms(wall));
+        out += '}';
+        if (!last) out += ',';
+    };
+    stage("cie", rep.stages.cie_sim, rep.stages.cie_wall, false);
+    stage("me", rep.stages.me_sim, rep.stages.me_wall, false);
+    stage("dpr", rep.stages.dpr_sim, rep.stages.dpr_wall, false);
+    stage("cpu", rep.stages.cpu_sim, rep.stages.cpu_wall, true);
+    out += '}';
+
+    if (!rep.metrics.empty()) {
+        out += ",\"metrics\":{";
+        first = true;
+        for (const auto& [k, v] : rep.metrics) {
+            if (!first) out += ',';
+            first = false;
+            out += '"';
+            out += json_escape(k);
+            out += "\":";
+            append_number(out, v);
+        }
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : path_(path), os_(path, std::ios::out | std::ios::trunc) {}
+
+void JsonlSink::write(const JobRecord& rec) {
+    std::string line = to_jsonl(rec);
+    line += '\n';
+    const std::lock_guard lk(mu_);
+    os_.write(line.data(), static_cast<std::streamsize>(line.size()));
+    os_.flush();
+}
+
+}  // namespace autovision::campaign

@@ -1,0 +1,42 @@
+// campaign: JSONL result sink.
+//
+// One JSON object per line, one line per completed job. Writes are atomic
+// per record — the full line is formatted into a buffer first, then written
+// and flushed under a single mutex-guarded call — so a campaign killed
+// mid-flight leaves a parseable prefix of the results file, and concurrent
+// workers can never interleave fragments of two records.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "job.hpp"
+
+namespace autovision::campaign {
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// One JobRecord as a single-line JSON object (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const JobRecord& rec);
+
+class JsonlSink {
+public:
+    /// Opens (truncates) `path`. Check `ok()` before relying on output.
+    explicit JsonlSink(const std::string& path);
+
+    [[nodiscard]] bool ok() const { return os_.good(); }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+    /// Thread-safe: format outside the lock, write + flush inside it.
+    void write(const JobRecord& rec);
+
+private:
+    std::string path_;
+    std::mutex mu_;
+    std::ofstream os_;
+};
+
+}  // namespace autovision::campaign

@@ -19,6 +19,8 @@ struct SimStats {
 
     void reset() { *this = SimStats{}; }
 
+    bool operator==(const SimStats&) const = default;
+
     SimStats operator-(const SimStats& o) const {
         SimStats r;
         r.timed_events = timed_events - o.timed_events;
@@ -26,6 +28,21 @@ struct SimStats {
         r.proc_invocations = proc_invocations - o.proc_invocations;
         r.signal_updates = signal_updates - o.signal_updates;
         r.time_steps = time_steps - o.time_steps;
+        return r;
+    }
+
+    SimStats& operator+=(const SimStats& o) {
+        timed_events += o.timed_events;
+        delta_cycles += o.delta_cycles;
+        proc_invocations += o.proc_invocations;
+        signal_updates += o.signal_updates;
+        time_steps += o.time_steps;
+        return *this;
+    }
+
+    SimStats operator+(const SimStats& o) const {
+        SimStats r = *this;
+        r += o;
         return r;
     }
 };

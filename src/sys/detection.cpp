@@ -1,7 +1,9 @@
 #include "detection.hpp"
 
+#include <algorithm>
 #include <sstream>
-#include <thread>
+
+#include "campaign/pool.hpp"
 
 namespace autovision::sys {
 
@@ -54,18 +56,21 @@ std::string DetectionOutcome::row() const {
 }
 
 DetectionOutcome run_detection(const SystemConfig& base, Fault f,
-                               unsigned frames) {
+                               unsigned frames,
+                               const std::atomic<bool>* cancel) {
     DetectionOutcome out;
     out.fault = f;
 
     SystemConfig vm_cfg = config_for_fault(base, f);
     vm_cfg.method = FirmwareConfig::Method::kVm;
     Testbench vm_tb(vm_cfg);
+    vm_tb.set_cancel_flag(cancel);
     out.vm = vm_tb.run(frames);
 
     SystemConfig rs_cfg = config_for_fault(base, f);
     rs_cfg.method = FirmwareConfig::Method::kResim;
     Testbench rs_tb(rs_cfg);
+    rs_tb.set_cancel_flag(cancel);
     out.resim = rs_tb.run(frames);
     return out;
 }
@@ -76,9 +81,9 @@ std::vector<DetectionOutcome> run_catalog(const SystemConfig& base,
     for (const FaultInfo& fi : kFaultCatalog) faults.push_back(fi.fault);
     std::vector<DetectionOutcome> out(faults.size());
 
-    unsigned workers = threads != 0 ? threads
-                                    : std::max(1u, std::thread::hardware_concurrency());
-    workers = std::min<unsigned>(workers, static_cast<unsigned>(faults.size()));
+    const unsigned workers =
+        std::min<unsigned>(campaign::resolve_workers(threads),
+                           static_cast<unsigned>(faults.size()));
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -87,18 +92,13 @@ std::vector<DetectionOutcome> run_catalog(const SystemConfig& base,
         return out;
     }
 
-    // Static round-robin partition: each simulation is fully independent
-    // (own scheduler, memory, firmware), so this is embarrassingly parallel.
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-            for (std::size_t i = w; i < faults.size(); i += workers) {
-                out[i] = run_detection(base, faults[i], frames);
-            }
-        });
+    // Each simulation is fully independent (own scheduler, memory,
+    // firmware), so the catalogue is just a batch on the campaign pool.
+    campaign::WorkerPool pool(workers, faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        pool.submit([&, i] { out[i] = run_detection(base, faults[i], frames); });
     }
-    for (auto& t : pool) t.join();
+    pool.drain();
     return out;
 }
 

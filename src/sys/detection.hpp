@@ -9,9 +9,11 @@
 // the catalogue (= the paper's "Comments" column).
 //
 // Runs are independent simulations, so the harness fans them out across
-// worker threads (each Testbench owns its scheduler and memory).
+// the campaign worker pool (each Testbench owns its scheduler and memory;
+// `threads` follows the campaign convention: 0 = hardware concurrency).
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -39,9 +41,11 @@ struct DetectionOutcome {
 /// top of a base configuration.
 [[nodiscard]] SystemConfig config_for_fault(SystemConfig base, Fault f);
 
-/// Run one fault under both methods.
-[[nodiscard]] DetectionOutcome run_detection(const SystemConfig& base,
-                                             Fault f, unsigned frames = 2);
+/// Run one fault under both methods. `cancel`, when non-null, is polled by
+/// both runs (cooperative abort for batch supervisors).
+[[nodiscard]] DetectionOutcome run_detection(
+    const SystemConfig& base, Fault f, unsigned frames = 2,
+    const std::atomic<bool>* cancel = nullptr);
 
 /// Run the whole catalogue, fanning faults across `threads` workers
 /// (0 = hardware concurrency).

@@ -107,6 +107,12 @@ RunResult Testbench::run(unsigned frames, std::uint64_t watchdog_cycles) {
 
     std::uint64_t total_cycles = 0;
     while (!sys.sch.stop_requested()) {
+        if (cancel_ != nullptr &&
+            cancel_->load(std::memory_order_relaxed)) {
+            res.watchdog_timeout = true;
+            sys.sch.report("watchdog", "run cancelled by batch supervisor");
+            break;
+        }
         sys.sch.run_until(sys.sch.now() + kQuantum * cfg.clk_period);
         total_cycles += kQuantum;
         if (total_cycles > max_total_cycles) {

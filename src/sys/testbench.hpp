@@ -12,6 +12,7 @@
 // reproduction.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -41,6 +42,18 @@ struct StageTimes {
     }
     [[nodiscard]] std::chrono::nanoseconds total_wall() const {
         return cie_wall + me_wall + dpr_wall + cpu_wall;
+    }
+
+    StageTimes& operator+=(const StageTimes& o) {
+        cie_sim += o.cie_sim;
+        me_sim += o.me_sim;
+        dpr_sim += o.dpr_sim;
+        cpu_sim += o.cpu_sim;
+        cie_wall += o.cie_wall;
+        me_wall += o.me_wall;
+        dpr_wall += o.dpr_wall;
+        cpu_wall += o.cpu_wall;
+        return *this;
     }
 };
 
@@ -78,6 +91,11 @@ public:
     /// derives a budget from the frame geometry.
     RunResult run(unsigned frames, std::uint64_t watchdog_cycles = 0);
 
+    /// Cooperative cancellation for batch drivers: when the flag is set
+    /// (e.g. by a campaign watchdog on another thread), the run loop aborts
+    /// at the next quantum and the result reports a watchdog timeout.
+    void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
     OpticalFlowSystem sys;
     video::SyntheticScene scene;
     vip::Scoreboard scoreboard;
@@ -89,6 +107,7 @@ private:
     void send_frame(unsigned index);
 
     unsigned frames_sent_ = 0;
+    const std::atomic<bool>* cancel_ = nullptr;
     // VCD dumping (active when SystemConfig::vcd_path is set).
     std::unique_ptr<std::ofstream> vcd_file_;
     std::unique_ptr<rtlsim::Tracer> tracer_;

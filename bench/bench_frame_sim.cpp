@@ -10,7 +10,16 @@
 //   * DPR simulated time is negligible (short SimBs);
 //   * the CPU/ISR stage is a small serial residue because drawing overlaps
 //     the engines in the pipelined flow.
+// Two modes:
+//   * no arguments — print the Table II report below (the default, so
+//     `for b in build/bench/*; do $b; done` regenerates the evaluation);
+//   * any --benchmark_* flag — run as a Google Benchmark binary exposing
+//     `bm_frame_sim` (whole-frame wall time at Table II parameters), the
+//     number tools/bench_report.py records and CI gates on.
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstring>
 
 #include "sys/address_map.hpp"
 #include "sys/testbench.hpp"
@@ -19,6 +28,50 @@ using namespace autovision;
 using namespace autovision::sys;
 
 namespace {
+
+SystemConfig table2_config() {
+    SystemConfig cfg;
+    cfg.width = 320;
+    cfg.height = 200;
+    cfg.step = 4;
+    cfg.margin = 8;
+    cfg.search = 2;
+    // A short SimB, as the paper recommends for debug turnaround (their 4K
+    // AutoVision SimB also kept DPR under 0.1 ms; our PLB fetch adds ~1.6
+    // cycles/word of burst overhead, so 2K words lands in the same regime).
+    cfg.simb_payload_words = 2048;
+    cfg.icap_clk_div = 1;
+    return cfg;
+}
+
+/// One full video frame through the demonstrator (fresh testbench per
+/// iteration, so elaboration cost is included the way Table II counts it).
+void bm_frame_sim(benchmark::State& state) {
+    const SystemConfig cfg = table2_config();
+    for (auto _ : state) {
+        Testbench tb(cfg);
+        const RunResult r = tb.run(1);
+        if (!r.clean()) state.SkipWithError("frame run was not clean");
+        benchmark::DoNotOptimize(r.stats.delta_cycles);
+        state.counters["sim_ms"] = rtlsim::to_ms(r.sim_time);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_frame_sim)->Unit(benchmark::kMillisecond);
+
+/// The default-geometry frame (64x48) — the configuration the
+/// kernel-invariance goldens pin, for a quick CI smoke signal.
+void bm_frame_sim_small(benchmark::State& state) {
+    SystemConfig cfg;  // defaults: 64x48 ReSim
+    for (auto _ : state) {
+        Testbench tb(cfg);
+        const RunResult r = tb.run(1);
+        if (!r.clean()) state.SkipWithError("frame run was not clean");
+        benchmark::DoNotOptimize(r.stats.delta_cycles);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_frame_sim_small)->Unit(benchmark::kMillisecond);
 
 void report(const char* name, rtlsim::Time sim, std::chrono::nanoseconds wall) {
     const double sim_ms = rtlsim::to_ms(sim);
@@ -32,19 +85,17 @@ void report(const char* name, rtlsim::Time sim, std::chrono::nanoseconds wall) {
 
 }  // namespace
 
-int main() {
-    SystemConfig cfg;
-    cfg.width = 320;
-    cfg.height = 200;
-    cfg.step = 4;
-    cfg.margin = 8;
-    cfg.search = 2;
-    // A short SimB, as the paper recommends for debug turnaround (their 4K
-    // AutoVision SimB also kept DPR under 0.1 ms; our PLB fetch adds ~1.6
-    // cycles/word of burst overhead, so 2K words lands in the same regime).
-    cfg.simb_payload_words = 2048;
-    cfg.icap_clk_div = 1;
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+            benchmark::Initialize(&argc, argv);
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+        }
+    }
 
+    const SystemConfig cfg = table2_config();
     constexpr unsigned kFrames = 3;
     Testbench tb(cfg);
     const RunResult r = tb.run(kFrames);

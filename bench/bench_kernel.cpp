@@ -63,6 +63,42 @@ void bm_clock_fanout(benchmark::State& state) {
 }
 BENCHMARK(bm_clock_fanout)->Arg(1)->Arg(16)->Arg(64);
 
+/// The allocation-free event path: an intrusive node rescheduling itself,
+/// as a Clock does — the single hottest loop in any full-system run.
+void bm_event_reschedule(benchmark::State& state) {
+    Scheduler sch;
+    struct Tick final : TimedEvent {
+        explicit Tick(Scheduler& s) : sch(s) {}
+        void fire() override {
+            ++count;
+            sch.schedule_event(sch.now() + 5 * NS, *this);
+        }
+        Scheduler& sch;
+        std::uint64_t count = 0;
+    } tick(sch);
+    sch.schedule_event(5 * NS, tick);
+    for (auto _ : state) {
+        sch.advance();
+    }
+    benchmark::DoNotOptimize(tick.count);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_event_reschedule);
+
+/// Far-future scheduling through the calendar queue's overflow path
+/// (watchdog-style events beyond the ring horizon).
+void bm_far_future_events(benchmark::State& state) {
+    Scheduler sch;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sch.schedule_in(5 * US, [&sink] { ++sink; });
+        sch.advance();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_far_future_events);
+
 /// Delta-cycle propagation through a combinational chain of length N.
 void bm_delta_chain(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

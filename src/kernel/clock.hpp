@@ -1,0 +1,68 @@
+// rtlsim: clock and reset generators built on intrusive timed events.
+//
+// These are the highest-frequency event sources in any simulation — a clock
+// schedules one event per half-period for the whole run. Each generator
+// embeds a reusable TimedEvent node and reschedules it from fire(), so a
+// billion clock edges allocate exactly nothing (the old implementation
+// built a fresh std::function closure per edge).
+#pragma once
+
+#include <string>
+
+#include "module.hpp"
+
+namespace rtlsim {
+
+/// Free-running clock generator producing a Logic square wave. Toggling is
+/// allocation-free: one intrusive event node is reused for every edge.
+class Clock final : public Module {
+public:
+    Signal<Logic> out;
+
+    Clock(Scheduler& sch, std::string name, Time period, Time start = 0)
+        : Module(sch, std::move(name)),
+          out(sch, full_name() + ".out", Logic::L0),
+          toggle_(*this),
+          half_(period / 2) {
+        sch.schedule_event(start + half_, toggle_);
+    }
+
+    [[nodiscard]] Time period() const noexcept { return 2 * half_; }
+
+private:
+    struct ToggleEvent final : TimedEvent {
+        explicit ToggleEvent(Clock& c) : clk(c) {}
+        void fire() override {
+            clk.out.write(is1(clk.out.read()) ? Logic::L0 : Logic::L1);
+            clk.sch_.schedule_event(clk.sch_.now() + clk.half_, *this);
+        }
+        Clock& clk;
+    };
+
+    ToggleEvent toggle_;
+    Time half_;
+};
+
+/// Active-high reset generator: asserted from time 0, released at `hold`.
+class ResetGen final : public Module {
+public:
+    Signal<Logic> out;
+
+    ResetGen(Scheduler& sch, std::string name, Time hold)
+        : Module(sch, std::move(name)),
+          out(sch, full_name() + ".out", Logic::L1),
+          release_(*this) {
+        sch.schedule_event(hold, release_);
+    }
+
+private:
+    struct ReleaseEvent final : TimedEvent {
+        explicit ReleaseEvent(ResetGen& r) : rst(r) {}
+        void fire() override { rst.out.write(Logic::L0); }
+        ResetGen& rst;
+    };
+
+    ReleaseEvent release_;
+};
+
+}  // namespace rtlsim

@@ -1,6 +1,8 @@
 // rtlsim: umbrella header for the simulation kernel.
 #pragma once
 
+#include "clock.hpp"      // IWYU pragma: export
+#include "event.hpp"      // IWYU pragma: export
 #include "logic.hpp"      // IWYU pragma: export
 #include "lvec.hpp"       // IWYU pragma: export
 #include "module.hpp"     // IWYU pragma: export

@@ -77,39 +77,4 @@ private:
     std::vector<std::unique_ptr<Process>> procs_;
 };
 
-/// Free-running clock generator producing a Logic square wave.
-class Clock final : public Module {
-public:
-    Signal<Logic> out;
-
-    Clock(Scheduler& sch, std::string name, Time period, Time start = 0)
-        : Module(sch, std::move(name)),
-          out(sch, full_name() + ".out", Logic::L0),
-          half_(period / 2) {
-        sch.schedule_at(start + half_, [this] { toggle(); });
-    }
-
-    [[nodiscard]] Time period() const noexcept { return 2 * half_; }
-
-private:
-    void toggle() {
-        out.write(is1(out.read()) ? Logic::L0 : Logic::L1);
-        sch_.schedule_in(half_, [this] { toggle(); });
-    }
-
-    Time half_;
-};
-
-/// Active-high reset generator: asserted from time 0 for `cycles` rising
-/// edges of the associated clock period, then released.
-class ResetGen final : public Module {
-public:
-    Signal<Logic> out;
-
-    ResetGen(Scheduler& sch, std::string name, Time hold)
-        : Module(sch, std::move(name)), out(sch, full_name() + ".out", Logic::L1) {
-        sch.schedule_at(hold, [this] { out.write(Logic::L0); });
-    }
-};
-
 }  // namespace rtlsim

@@ -19,15 +19,11 @@ void Process::notify() {
     }
 }
 
-void Process::run() {
+void Process::run_profiled() {
     ++invocations_;
-    if (sch_.profiling()) {
-        const auto t0 = std::chrono::steady_clock::now();
-        fn_();
-        self_time_ += std::chrono::steady_clock::now() - t0;
-    } else {
-        fn_();
-    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn_();
+    self_time_ += std::chrono::steady_clock::now() - t0;
 }
 
 // -------------------------------------------------------------- SignalBase
@@ -58,49 +54,81 @@ void SignalBase::request_update() {
 
 // --------------------------------------------------------------- Scheduler
 
-void Scheduler::schedule_at(Time t, std::function<void()> fn) {
-    assert(t >= now_ && "cannot schedule events in the past");
-    timed_[t].push_back(std::move(fn));
+void Scheduler::FnEvent::fire() {
+    // Detach the closure and recycle the node *before* invoking it, so the
+    // callback can schedule_at() again and immediately reuse this slot —
+    // a self-rescheduling closure then runs allocation-free at steady state.
+    std::function<void()> f = std::move(fn);
+    fn = nullptr;
+    sch.recycle(this);
+    f();
 }
 
-void Scheduler::make_runnable(Process* p) { runnable_.push_back(p); }
+void Scheduler::schedule_at(Time t, std::function<void()> fn) {
+    assert(t >= now_ && "cannot schedule events in the past");
+    FnEvent* ev = fn_free_;
+    if (ev != nullptr) {
+        fn_free_ = static_cast<FnEvent*>(ev->next_);
+    } else {
+        fn_pool_.push_back(std::make_unique<FnEvent>(*this));
+        ev = fn_pool_.back().get();
+    }
+    ev->fn = std::move(fn);
+    ev->time_ = t;
+    ev->pending_ = true;
+    ev->next_ = nullptr;
+    queue_.push(ev, now_);
+}
 
 void Scheduler::settle() {
     while (!runnable_.empty() || !updates_.empty()) {
         ++stats.delta_cycles;
 
         // Evaluate phase: run every process queued in the previous delta.
-        std::vector<Process*> run;
-        run.swap(runnable_);
-        for (Process* p : run) {
-            p->scheduled_ = false;
-            ++stats.proc_invocations;
-            p->run();
+        // The profiling branch is taken once per delta, not per process.
+        run_scratch_.swap(runnable_);
+        if (profiling_) {
+            for (Process* p : run_scratch_) {
+                p->scheduled_ = false;
+                ++stats.proc_invocations;
+                p->run_profiled();
+            }
+        } else {
+            for (Process* p : run_scratch_) {
+                p->scheduled_ = false;
+                ++stats.proc_invocations;
+                p->run();
+            }
         }
+        run_scratch_.clear();
 
         // Update phase: commit pending signal values; changes queue their
         // listeners into runnable_ for the next delta.
-        std::vector<SignalBase*> ups;
-        ups.swap(updates_);
-        for (SignalBase* s : ups) {
+        upd_scratch_.swap(updates_);
+        for (SignalBase* s : upd_scratch_) {
             s->update_requested_ = false;
             if (s->apply_update()) ++stats.signal_updates;
         }
+        upd_scratch_.clear();
     }
 }
 
 bool Scheduler::advance() {
-    if (stop_requested_ || timed_.empty()) return false;
-
-    const auto it = timed_.begin();
-    now_ = it->first;
+    if (stop_requested_) return false;
+    TimedEvent* ev = queue_.pop_step(now_);
+    if (ev == nullptr) return false;
     ++stats.time_steps;
-    std::vector<std::function<void()>> evs = std::move(it->second);
-    timed_.erase(it);
 
-    for (auto& e : evs) {
+    // Fire the chain popped for this timestep. Events scheduled while it
+    // runs — including at the current time — land in the queue for a later
+    // advance(), exactly as with the old per-timestamp vectors.
+    while (ev != nullptr) {
+        TimedEvent* next = ev->next_;
+        ev->next_ = nullptr;
+        ev->pending_ = false;
         ++stats.timed_events;
-        e();
+        ev->fire();
+        ev = next;
     }
     settle();
     // Tracing happens after all deltas settle so each timestamp appears once.
@@ -114,7 +142,8 @@ bool Scheduler::advance() {
 }
 
 void Scheduler::run_until(Time t) {
-    while (!timed_.empty() && !stop_requested_ && timed_.begin()->first <= t) {
+    Time next = 0;
+    while (!stop_requested_ && queue_.peek_next(next) && next <= t) {
         advance();
     }
     if (!stop_requested_) now_ = t;

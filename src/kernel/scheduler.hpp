@@ -12,16 +12,22 @@
 // This matches ModelSim's observable behaviour closely enough that the
 // ReSim artifacts (X injection, bitstream-timed module swaps) behave as in
 // the paper.
+//
+// Hot-path design (see DESIGN.md "Kernel event path"): timed events live in
+// a calendar-queue time wheel (event.hpp) as intrusive nodes; the closure
+// convenience API pools its nodes on a free list; the evaluate/update delta
+// queues are double-buffered so no allocation happens at a steady state;
+// and the profiling branch is hoisted out of the per-process loop.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "event.hpp"
 #include "sim_time.hpp"
 #include "stats.hpp"
 
@@ -64,7 +70,14 @@ public:
 private:
     friend class Scheduler;
 
-    void run();
+    /// Hot path: no profiling branch — the scheduler selects between this
+    /// and run_profiled() once per delta, not once per invocation.
+    void run() {
+        ++invocations_;
+        fn_();
+    }
+
+    void run_profiled();
 
     Scheduler& sch_;
     std::string name_;
@@ -127,7 +140,8 @@ private:
     bool update_requested_ = false;
 };
 
-/// The simulation kernel: time wheel + delta queues + diagnostics.
+/// The simulation kernel: calendar-queue time wheel + delta queues +
+/// diagnostics.
 class Scheduler {
 public:
     Scheduler() = default;
@@ -138,11 +152,25 @@ public:
     [[nodiscard]] Time now() const noexcept { return now_; }
 
     /// Schedule a callback at an absolute simulated time (must be >= now).
+    /// The closure is wrapped in a pool-recycled event node; recurring
+    /// sources should prefer schedule_event() with a reusable node.
     void schedule_at(Time t, std::function<void()> fn);
 
     /// Schedule a callback after a relative delay.
     void schedule_in(Time delay, std::function<void()> fn) {
         schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Schedule an intrusive event node at an absolute time (must be >= now
+    /// and the node must not already be pending). Allocation-free; the node
+    /// may reschedule itself from fire().
+    void schedule_event(Time t, TimedEvent& ev) {
+        assert(t >= now_ && "cannot schedule events in the past");
+        assert(!ev.pending_ && "event is already scheduled");
+        ev.time_ = t;
+        ev.pending_ = true;
+        ev.next_ = nullptr;
+        queue_.push(&ev, now_);
     }
 
     /// Run until the given absolute time (inclusive) or until out of events.
@@ -201,9 +229,21 @@ private:
     friend class Process;
     friend class SignalBase;
 
-    void make_runnable(Process* p);
+    /// A pooled closure event backing the schedule_at() convenience API.
+    struct FnEvent final : TimedEvent {
+        explicit FnEvent(Scheduler& s) : sch(s) {}
+        void fire() override;
+        Scheduler& sch;
+        std::function<void()> fn;
+    };
+
+    void make_runnable(Process* p) { runnable_.push_back(p); }
     void register_process(Process* p) { procs_.push_back(p); }
     void request_update(SignalBase* s) { updates_.push_back(s); }
+    void recycle(FnEvent* ev) noexcept {
+        ev->next_ = fn_free_;
+        fn_free_ = ev;
+    }
 
     /// Run delta cycles until no process is runnable and no update pending.
     void settle();
@@ -213,9 +253,17 @@ private:
     std::string stop_reason_;
     bool profiling_ = false;
 
-    std::map<Time, std::vector<std::function<void()>>> timed_;
+    CalendarQueue queue_;
+    FnEvent* fn_free_ = nullptr;  ///< free list threaded through next_
+    std::vector<std::unique_ptr<FnEvent>> fn_pool_;
+
+    // Delta queues, double-buffered: settle() swaps the live queue with the
+    // matching scratch buffer so both retain capacity across deltas.
     std::vector<Process*> runnable_;
+    std::vector<Process*> run_scratch_;
     std::vector<SignalBase*> updates_;
+    std::vector<SignalBase*> upd_scratch_;
+
     std::vector<Process*> procs_;
     std::vector<Diag> diags_;
     std::uint64_t dropped_diags_ = 0;

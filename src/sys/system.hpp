@@ -21,6 +21,7 @@
 #include "engines/matching_engine.hpp"
 #include "firmware.hpp"
 #include "isa/cpu.hpp"
+#include "kernel/clock.hpp"  // allocation-free Clock/ResetGen event sources
 #include "kernel/kernel.hpp"
 #include "recon/icap_ctrl.hpp"
 #include "recon/isolation.hpp"

@@ -1,0 +1,228 @@
+// Micro-tests for the calendar-queue time wheel (kernel/event.hpp) through
+// its only production client, the Scheduler. These pin the ordering
+// contract the old std::map wheel provided — ascending time, FIFO within a
+// timestamp — across every structural path: ring buckets, the far-future
+// overflow map, the ring/overflow boundary, and same-time rescheduling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace {
+
+using rtlsim::CalendarQueue;
+using rtlsim::NS;
+using rtlsim::Scheduler;
+using rtlsim::Time;
+using rtlsim::TimedEvent;
+using rtlsim::US;
+
+/// An intrusive event that appends its tag to a shared log when fired.
+class TagEvent final : public TimedEvent {
+public:
+    TagEvent(std::vector<int>& log, int tag) : log_(log), tag_(tag) {}
+
+private:
+    void fire() override { log_.push_back(tag_); }
+    std::vector<int>& log_;
+    int tag_;
+};
+
+// The ring covers 256 buckets of 4.096 ns each (~1.05 us); anything beyond
+// that horizon from the current time goes through the overflow map.
+constexpr Time kBeyondHorizon = 2 * US;
+
+TEST(CalendarQueue, SameTimestepIsFifo) {
+    Scheduler sch;
+    std::vector<int> log;
+    for (int i = 0; i < 8; ++i) {
+        sch.schedule_at(10 * NS, [&log, i] { log.push_back(i); });
+    }
+    EXPECT_TRUE(sch.advance());
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(sch.stats.time_steps, 1u);
+    EXPECT_EQ(sch.stats.timed_events, 8u);
+}
+
+TEST(CalendarQueue, SameTimestepFifoMixesClosureAndIntrusiveEvents) {
+    Scheduler sch;
+    std::vector<int> log;
+    TagEvent e1(log, 1);
+    TagEvent e3(log, 3);
+    sch.schedule_at(10 * NS, [&log] { log.push_back(0); });
+    sch.schedule_event(10 * NS, e1);
+    sch.schedule_at(10 * NS, [&log] { log.push_back(2); });
+    sch.schedule_event(10 * NS, e3);
+    EXPECT_TRUE(e1.pending());
+    EXPECT_TRUE(sch.advance());
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_FALSE(e1.pending());
+}
+
+TEST(CalendarQueue, FarFutureEventsTakeTheOverflowPath) {
+    Scheduler sch;
+    std::vector<int> log;
+    // Far first (overflow), then near (ring): must still fire time-ordered.
+    sch.schedule_at(kBeyondHorizon, [&log] { log.push_back(2); });
+    sch.schedule_at(5 * kBeyondHorizon, [&log] { log.push_back(3); });
+    sch.schedule_at(10 * NS, [&log] { log.push_back(0); });
+    sch.schedule_at(20 * NS, [&log] { log.push_back(1); });
+    sch.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(sch.now(), 5 * kBeyondHorizon);
+    EXPECT_EQ(sch.stats.time_steps, 4u);
+}
+
+TEST(CalendarQueue, OverflowKeepsSameTimeFifo) {
+    Scheduler sch;
+    std::vector<int> log;
+    for (int i = 0; i < 4; ++i) {
+        sch.schedule_at(kBeyondHorizon, [&log, i] { log.push_back(i); });
+    }
+    sch.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CalendarQueue, RingOverflowBoundaryKeepsSameTimeFifo) {
+    Scheduler sch;
+    std::vector<int> log;
+    // First event lands in the overflow (beyond the horizon at schedule
+    // time); the second is scheduled for the same timestamp once the window
+    // has moved close enough for the ring. Scheduling order must win.
+    sch.schedule_at(kBeyondHorizon, [&log] { log.push_back(0); });
+    sch.schedule_at(kBeyondHorizon - 100 * NS, [&] {
+        sch.schedule_at(kBeyondHorizon, [&log] { log.push_back(1); });
+    });
+    sch.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1}));
+}
+
+TEST(CalendarQueue, EmptyRingJumpsStraightToOverflow) {
+    Scheduler sch;
+    bool fired = false;
+    sch.schedule_at(7 * kBeyondHorizon + 3, [&] { fired = true; });
+    EXPECT_TRUE(sch.advance());
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sch.now(), 7 * kBeyondHorizon + 3);
+    EXPECT_FALSE(sch.advance());
+}
+
+// schedule_at(now()) — e.g. from a fired event or a settling process —
+// lands in a *new* timestep at the same timestamp: now() is unchanged but
+// time_steps advances, exactly as with the old per-timestamp map entries.
+TEST(CalendarQueue, ScheduleAtNowRunsInANewTimestepAtTheSameTime) {
+    Scheduler sch;
+    std::vector<int> log;
+    sch.schedule_at(10 * NS, [&] {
+        log.push_back(0);
+        sch.schedule_at(sch.now(), [&] {
+            log.push_back(1);
+            EXPECT_EQ(sch.now(), 10 * NS);
+        });
+    });
+    sch.schedule_at(20 * NS, [&log] { log.push_back(2); });
+    EXPECT_TRUE(sch.advance());
+    EXPECT_EQ(sch.now(), 10 * NS);
+    EXPECT_EQ(log, (std::vector<int>{0}));
+    EXPECT_TRUE(sch.advance());  // the schedule-at-now event, time unchanged
+    EXPECT_EQ(sch.now(), 10 * NS);
+    EXPECT_EQ(log, (std::vector<int>{0, 1}));
+    EXPECT_EQ(sch.stats.time_steps, 2u);
+    EXPECT_TRUE(sch.advance());
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CalendarQueue, ScheduleAtNowAfterRunUntilIsNotLost) {
+    Scheduler sch;
+    rtlsim::Clock clk(sch, "clk", 10 * NS);
+    sch.run_until(50 * NS);  // lookahead peeked past 50 ns here
+    bool fired = false;
+    sch.schedule_in(0, [&] { fired = true; });
+    sch.run_until(80 * NS);
+    EXPECT_TRUE(fired);
+}
+
+// A stop request made by an event does not cut the current timestep short:
+// the rest of the chain fires and the deltas settle (matching the old
+// kernel, where the timestep's vector was already popped). Only the *next*
+// advance() observes the stop.
+TEST(CalendarQueue, StopRequestMidTimestepCompletesTheStep) {
+    Scheduler sch;
+    std::vector<int> log;
+    sch.schedule_at(10 * NS, [&] {
+        log.push_back(0);
+        sch.request_stop("tb.watchdog");
+    });
+    sch.schedule_at(10 * NS, [&log] { log.push_back(1); });
+    sch.schedule_at(20 * NS, [&log] { log.push_back(2); });  // never fires
+    sch.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1}));
+    EXPECT_TRUE(sch.stop_requested());
+    EXPECT_EQ(sch.stop_reason(), "tb.watchdog");
+    EXPECT_EQ(sch.now(), 10 * NS);
+    EXPECT_FALSE(sch.advance());
+}
+
+TEST(CalendarQueue, IntrusiveEventReschedulesItselfFromFire) {
+    Scheduler sch;
+    struct Repeater final : TimedEvent {
+        explicit Repeater(Scheduler& s) : sch(s) {}
+        void fire() override {
+            ++count;
+            EXPECT_FALSE(pending());
+            if (count < 5) sch.schedule_event(sch.now() + 10 * NS, *this);
+        }
+        Scheduler& sch;
+        int count = 0;
+    } rep(sch);
+    sch.schedule_event(10 * NS, rep);
+    sch.run();
+    EXPECT_EQ(rep.count, 5);
+    EXPECT_EQ(sch.now(), 50 * NS);
+    EXPECT_EQ(sch.stats.timed_events, 5u);
+}
+
+TEST(CalendarQueue, ClockTicksExactEdgesThroughTheWheel) {
+    Scheduler sch;
+    rtlsim::Clock clk(sch, "clk", 10 * NS);
+    int rising = 0;
+    rtlsim::Process p(sch, "count", [&rising] { ++rising; });
+    clk.out.add_listener(p, rtlsim::Edge::Pos);
+    sch.run_until(100 * 10 * NS);
+    EXPECT_EQ(rising, 100);
+    EXPECT_EQ(sch.stats.timed_events, 200u);  // two edges per period
+}
+
+TEST(CalendarQueue, PooledClosureNodesAreRecycled) {
+    Scheduler sch;
+    // A self-rescheduling closure chain runs at a steady state with one
+    // pooled node; interleave a second source to exercise the free list.
+    int a = 0;
+    int b = 0;
+    std::function<void()> tick_a = [&] {
+        if (++a < 1000) sch.schedule_in(10 * NS, tick_a);
+    };
+    std::function<void()> tick_b = [&] {
+        if (++b < 500) sch.schedule_in(20 * NS, tick_b);
+    };
+    sch.schedule_in(10 * NS, tick_a);
+    sch.schedule_in(20 * NS, tick_b);
+    sch.run();
+    EXPECT_EQ(a, 1000);
+    EXPECT_EQ(b, 500);
+}
+
+TEST(CalendarQueue, RunUntilStopsAtRequestedTime) {
+    Scheduler sch;
+    rtlsim::Clock clk(sch, "clk", 10 * NS);
+    sch.run_until(33 * NS);
+    EXPECT_EQ(sch.now(), 33 * NS);
+    sch.run_until(47 * NS);
+    EXPECT_EQ(sch.now(), 47 * NS);
+    // Events strictly after the limit stay queued.
+    EXPECT_EQ(sch.stats.timed_events, 9u);  // edges at 5,10,...,45 ns
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate a bench_report.py run against a committed baseline.
+
+Compares per-benchmark real_time of a current report to the baseline
+(``bench/baseline.json``) and exits non-zero when any benchmark regressed
+beyond the threshold. The default threshold is deliberately generous (1.5x)
+so shared-runner noise does not flake CI; real kernel regressions are an
+order of magnitude above it.
+
+Usage:
+    tools/bench_compare.py current.json bench/baseline.json [--threshold 1.5]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def in_ns(entry: dict) -> float:
+    return entry["real_time"] * UNIT_TO_NS[entry.get("time_unit", "ns")]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="fail when current/baseline exceeds this ratio")
+    args = ap.parse_args()
+
+    current = load(args.current)["benchmarks"]
+    baseline = load(args.baseline)["benchmarks"]
+
+    failures = []
+    missing = []
+    rows = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            missing.append(name)
+            continue
+        ratio = in_ns(cur) / in_ns(base)
+        verdict = "ok"
+        if ratio > args.threshold:
+            verdict = "REGRESSED"
+            failures.append(name)
+        elif ratio < 1 / args.threshold:
+            verdict = "improved"
+        rows.append((name, in_ns(base), in_ns(cur), ratio, verdict))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark':<{width}} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7}  verdict   (threshold {args.threshold:.2f}x)")
+    for name, base_ns, cur_ns, ratio, verdict in rows:
+        print(f"{name:<{width}} {base_ns:>10.1f}ns {cur_ns:>10.1f}ns "
+              f"{ratio:>6.2f}x  {verdict}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}} {'(new)':>12} {in_ns(current[name]):>10.1f}ns"
+              f"          not gated")
+
+    ok = True
+    if missing:
+        print(f"\nFAIL: baseline benchmarks missing from current run: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        ok = False
+    if failures:
+        print(f"\nFAIL: regressions beyond {args.threshold:.2f}x: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        ok = False
+    if ok:
+        print(f"\nOK: {len(rows)} benchmarks within {args.threshold:.2f}x "
+              f"of baseline")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

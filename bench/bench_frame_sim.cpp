@@ -95,7 +95,21 @@ int main(int argc, char** argv) {
         }
     }
 
-    const SystemConfig cfg = table2_config();
+    SystemConfig cfg = table2_config();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            cfg.trace_events = true;
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+            cfg.trace_events = true;
+            cfg.trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace] [--trace-out FILE.json]"
+                         " | --benchmark_*\n",
+                         argv[0]);
+            return 2;
+        }
+    }
     constexpr unsigned kFrames = 3;
     Testbench tb(cfg);
     const RunResult r = tb.run(kFrames);
@@ -158,6 +172,22 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(mc.transactions),
                     static_cast<unsigned long long>(mc.read_beats),
                     static_cast<unsigned long long>(mc.write_beats));
+    }
+
+    if (r.traced) {
+        std::printf(
+            "\nobs metrics: %llu events, %llu syncs / %llu swaps, "
+            "swap latency mean %.1f cyc, x-window mean %.1f cyc, "
+            "irq-to-service mean %.1f cyc\n",
+            static_cast<unsigned long long>(r.metrics.events),
+            static_cast<unsigned long long>(r.metrics.syncs),
+            static_cast<unsigned long long>(r.metrics.swaps),
+            r.metrics.swap_latency_cycles.mean(),
+            r.metrics.x_window_cycles.mean(),
+            r.metrics.irq_to_service_cycles.mean());
+        if (!cfg.trace_path.empty()) {
+            std::printf("perfetto trace: %s\n", cfg.trace_path.c_str());
+        }
     }
     return r.clean() ? 0 : 1;
 }

@@ -1,0 +1,121 @@
+// Observability overhead — the cost of the structured event recorder.
+//
+// The obs hot path is compiled into every emitting module (ICAP artifact,
+// portal, RR boundary, DCR, INTC, testbench); the design contract is that a
+// system built WITHOUT tracing pays only a null-pointer check per event
+// site, i.e. the disabled path is within measurement noise of the PR-2
+// frame-simulation baseline. This bench pins that contract:
+//   * bm_frame_obs_off — the default small frame run, obs not wired
+//     (identical workload to bench_frame_sim's bm_frame_sim_small);
+//   * bm_frame_obs_on  — the same run with the recorder attached and
+//     enabled, bounding the enabled-path cost as well.
+// Both numbers feed the bench-regression gate (tools/bench_compare.py vs
+// bench/baseline.json), so a change that makes tracing expensive — or,
+// worse, makes *disabled* tracing expensive — fails CI.
+//
+// Two modes, like every bench here: no arguments prints a report; any
+// --benchmark_* flag runs as a Google Benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/recorder.hpp"
+#include "sys/testbench.hpp"
+
+using namespace autovision;
+using namespace autovision::sys;
+
+namespace {
+
+SystemConfig small_config(bool trace) {
+    SystemConfig cfg;  // defaults: 64x48 ReSim
+    cfg.trace_events = trace;
+    return cfg;
+}
+
+void run_one(benchmark::State& state, bool trace) {
+    const SystemConfig cfg = small_config(trace);
+    for (auto _ : state) {
+        Testbench tb(cfg);
+        const RunResult r = tb.run(1);
+        if (!r.clean()) state.SkipWithError("frame run was not clean");
+        if (trace && r.metrics.swaps == 0) {
+            state.SkipWithError("traced run recorded no swaps");
+        }
+        benchmark::DoNotOptimize(r.stats.delta_cycles);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void bm_frame_obs_off(benchmark::State& state) { run_one(state, false); }
+BENCHMARK(bm_frame_obs_off)->Unit(benchmark::kMillisecond);
+
+void bm_frame_obs_on(benchmark::State& state) { run_one(state, true); }
+BENCHMARK(bm_frame_obs_on)->Unit(benchmark::kMillisecond);
+
+/// Microbenchmark of the record() hot path itself, both gates.
+void bm_record_disabled(benchmark::State& state) {
+    obs::EventRecorder rec(1u << 12);  // enabled_ stays false
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        rec.record(++t, obs::EventKind::kSwap, obs::Source::kPortal, 1, 2);
+        benchmark::DoNotOptimize(rec.total());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_record_disabled);
+
+void bm_record_enabled(benchmark::State& state) {
+    obs::EventRecorder rec(1u << 12);
+    rec.set_enabled(true);
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        rec.record(++t, obs::EventKind::kSwap, obs::Source::kPortal, 1, 2);
+        benchmark::DoNotOptimize(rec.total());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_record_enabled);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+            benchmark::Initialize(&argc, argv);
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+        }
+    }
+
+    // Report mode: run the frame once each way and print the delta.
+    const auto frame_wall = [](bool trace) {
+        Testbench tb(small_config(trace));
+        const RunResult r = tb.run(1);
+        return r.clean() ? static_cast<double>(r.wall_time.count()) / 1e6
+                         : -1.0;
+    };
+    // Warm-up run so neither arm pays first-touch costs.
+    (void)frame_wall(false);
+    const double off_ms = frame_wall(false);
+    const double on_ms = frame_wall(true);
+
+    Testbench tb(small_config(true));
+    const RunResult r = tb.run(1);
+
+    std::printf("==== observability overhead (64x48 frame, ReSim) ====\n");
+    std::printf("  tracing off: %8.2f ms/frame\n", off_ms);
+    std::printf("  tracing on:  %8.2f ms/frame  (%+.1f %%)\n", on_ms,
+                off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0);
+    std::printf("  events recorded: %llu (%llu dropped)\n",
+                static_cast<unsigned long long>(r.metrics.events),
+                static_cast<unsigned long long>(r.metrics.events_dropped));
+    std::printf("  swaps: %llu, swap latency mean %.1f cyc, "
+                "x-window mean %.1f cyc\n",
+                static_cast<unsigned long long>(r.metrics.swaps),
+                r.metrics.swap_latency_cycles.mean(),
+                r.metrics.x_window_cycles.mean());
+    return r.clean() && off_ms > 0 && on_ms > 0 ? 0 : 1;
+}

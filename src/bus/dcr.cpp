@@ -77,6 +77,13 @@ void DcrChain::on_clock() {
     }
     busy_ = false;
     corruption_reported_ = false;
+    if (obs_ != nullptr) {
+        obs_->record(sch_.now(),
+                     is_read_ ? obs::EventKind::kDcrRead
+                              : obs::EventKind::kDcrWrite,
+                     obs::Source::kDcr, regno_,
+                     data_.is_fully_defined() ? data_.to_u64() : ~0ull);
+    }
     if (is_read_) {
         if (rd_done_) {
             auto f = std::move(rd_done_);

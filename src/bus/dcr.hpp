@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "kernel/kernel.hpp"
+#include "obs/recorder.hpp"
 
 namespace autovision {
 
@@ -69,8 +70,13 @@ public:
         return static_cast<unsigned>(nodes_.size()) + 2;
     }
 
+    /// Attach (or detach, with nullptr) the structured event recorder.
+    void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
 private:
     void on_clock();
+
+    obs::EventRecorder* obs_ = nullptr;
 
     Signal<Logic>& clk_;
     Signal<Logic>& rst_;

@@ -29,6 +29,7 @@ void Intc::on_clock() {
         isr_ = LVec<kMaxLines>{0};
         prev_.fill(Logic::L0);
         irq.write(Logic::L0);
+        irq_prev_ = false;
         return;
     }
 
@@ -53,7 +54,15 @@ void Intc::on_clock() {
         prev_[i] = cur;
     }
 
-    irq.write((isr_ & ier_).reduce_or());
+    const Logic level = (isr_ & ier_).reduce_or();
+    irq.write(level);
+    const bool asserted = is1(level);
+    if (obs_ != nullptr && asserted && !irq_prev_) {
+        obs_->record(sch_.now(), obs::EventKind::kIrqRaise,
+                     obs::Source::kIntc,
+                     static_cast<std::uint32_t>(isr_.val_plane()));
+    }
+    irq_prev_ = asserted;
 }
 
 bool Intc::dcr_claims(std::uint32_t regno) const {
@@ -85,6 +94,10 @@ void Intc::dcr_write(std::uint32_t regno, Word w) {
                 const auto ack = static_cast<std::uint8_t>(w.to_u64());
                 isr_ = LVec<kMaxLines>::from_planes(
                     isr_.val_plane() & ~ack, isr_.unk_plane() & ~ack);
+                if (obs_ != nullptr && ack != 0) {
+                    obs_->record(sch_.now(), obs::EventKind::kIrqAck,
+                                 obs::Source::kIntc, ack);
+                }
             }
             break;
         case kCtrl:

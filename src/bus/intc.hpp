@@ -48,9 +48,14 @@ public:
     void dcr_write(std::uint32_t regno, Word w) override;
     [[nodiscard]] std::string dcr_name() const override { return full_name(); }
 
+    /// Attach (or detach, with nullptr) the structured event recorder.
+    void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
 private:
     void on_clock();
 
+    obs::EventRecorder* obs_ = nullptr;
+    bool irq_prev_ = false;
     Signal<Logic>& clk_;
     Signal<Logic>& rst_;
     std::uint32_t base_;

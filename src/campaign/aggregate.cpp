@@ -6,6 +6,15 @@
 
 namespace autovision::campaign {
 
+namespace {
+
+[[nodiscard]] bool ends_with(const std::string& s, const char* suffix) {
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
 std::chrono::nanoseconds CampaignSummary::percentile(
     std::vector<std::chrono::nanoseconds> sorted_walls, double p) {
     if (sorted_walls.empty()) return std::chrono::nanoseconds{0};
@@ -24,6 +33,7 @@ CampaignSummary CampaignSummary::from(const std::vector<JobRecord>& records) {
     s.total = records.size();
     std::vector<std::chrono::nanoseconds> walls;
     walls.reserve(records.size());
+    std::map<std::string, std::size_t> mean_counts;
     for (const JobRecord& r : records) {
         switch (r.status) {
             case JobStatus::kPass: ++s.passed; break;
@@ -37,6 +47,21 @@ CampaignSummary CampaignSummary::from(const std::vector<JobRecord>& records) {
         s.wall_max = std::max(s.wall_max, r.wall);
         s.stats += r.report.stats;
         s.sim_time += r.report.sim_time;
+        for (const auto& [key, value] : r.report.metrics) {
+            if (ends_with(key, "_max")) {
+                auto [it, fresh] = s.metrics.try_emplace(key, value);
+                if (!fresh) it->second = std::max(it->second, value);
+            } else if (ends_with(key, "_mean")) {
+                // Sum now, divide by the per-key job count at the end.
+                s.metrics[key] += value;
+                ++mean_counts[key];
+            } else {
+                s.metrics[key] += value;
+            }
+        }
+    }
+    for (const auto& [key, n] : mean_counts) {
+        s.metrics[key] /= static_cast<double>(n);
     }
     s.wall_p50 = percentile(walls, 50.0);
     s.wall_p95 = percentile(walls, 95.0);
@@ -67,6 +92,19 @@ std::string CampaignSummary::table() const {
                   static_cast<unsigned long long>(stats.proc_invocations),
                   rtlsim::to_ms(sim_time));
     out += buf;
+    if (metrics.count("obs.events") != 0) {
+        const auto metric = [this](const char* key) {
+            const auto it = metrics.find(key);
+            return it == metrics.end() ? 0.0 : it->second;
+        };
+        std::snprintf(buf, sizeof buf,
+                      "obs: %.0f events, %.0f swaps, swap latency mean "
+                      "%.1f cyc, x-window mean %.1f cyc, %.0f irqs\n",
+                      metric("obs.events"), metric("obs.swaps"),
+                      metric("obs.swap_latency_cycles_mean"),
+                      metric("obs.x_window_cycles_mean"), metric("obs.irqs"));
+        out += buf;
+    }
     return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,11 @@ struct CampaignSummary {
 
     rtlsim::SimStats stats;        ///< summed kernel counters
     rtlsim::Time sim_time = 0;     ///< summed simulated time
+
+    /// Cross-job rollup of the reports' named metrics. Keys ending "_max"
+    /// take the maximum, keys ending "_mean" the across-job mean of the
+    /// per-job means; everything else (counters) is summed.
+    std::map<std::string, double> metrics;
 
     [[nodiscard]] bool all_passed() const noexcept { return passed == total; }
 

@@ -34,7 +34,19 @@ JobReport report_from_run(const sys::RunResult& r) {
     rep.stats = r.stats;
     rep.stages = r.stages;
     rep.sim_time = r.sim_time;
+    if (r.traced) r.metrics.to_metric_map(rep.metrics);
     return rep;
+}
+
+/// Per-job copy of the base config: jobs tracing to a shared directory get
+/// distinct output files (trace_path is treated as a directory here).
+sys::SystemConfig job_config(const sys::SystemConfig& base,
+                             const std::string& job_name) {
+    sys::SystemConfig cfg = base;
+    if (!cfg.trace_path.empty()) {
+        cfg.trace_path += "/" + job_name + ".json";
+    }
+    return cfg;
 }
 
 /// Expected plain-ReSim detection per the catalogue.
@@ -66,7 +78,10 @@ struct DprTb {
     resim::IcapArtifact icap{sch, "icap", portal};
     IcapCtrl ctrl;
 
-    explicit DprTb(IcapCtrl::Config cfg, unsigned bus_max_burst = 16)
+    std::unique_ptr<obs::EventRecorder> rec;
+
+    explicit DprTb(IcapCtrl::Config cfg, unsigned bus_max_burst = 16,
+                   bool trace = false)
         : plb(sch, "plb", clk.out, rst.out,
               Plb::Config{2, bus_max_burst, 1u << 30}),
           ctrl(sch, "icapctrl", clk.out, rst.out, plb.master(0), icap, cfg) {
@@ -76,6 +91,21 @@ struct DprTb {
         portal.map_module(1, 1, rr, 0);
         portal.map_module(1, 2, rr, 1);
         portal.initial_configuration(1, 1);
+        if (trace) {
+            rec = std::make_unique<obs::EventRecorder>();
+            rec->set_enabled(true);
+            icap.set_observer(rec.get());
+            portal.set_observer(rec.get());
+            rr.set_observer(rec.get());
+        }
+    }
+
+    /// Fold recorded events into the job's metric map (no-op untraced).
+    void fold_metrics(std::map<std::string, double>& out) const {
+        if (!rec) return;
+        obs::Metrics m = obs::Metrics::from_events(rec->snapshot(), kClk);
+        m.events_dropped = rec->dropped();
+        m.to_metric_map(out);
     }
 
     /// One full reconfiguration to the ME; returns simulated duration, or 0
@@ -132,8 +162,11 @@ std::vector<SimJob> fault_catalog_jobs(const sys::SystemConfig& base,
                       {"description", fi.description}};
         job.body = [base, fault = fi.fault,
                     frames](const JobContext& ctx) -> JobReport {
+            // Two runs share this job; a single trace file would collide.
+            sys::SystemConfig cfg = base;
+            cfg.trace_path.clear();
             const sys::DetectionOutcome o =
-                sys::run_detection(base, fault, frames, ctx.cancel_flag());
+                sys::run_detection(cfg, fault, frames, ctx.cancel_flag());
             JobReport rep;
             rep.pass = o.matches_expectation();
             rep.verdict = o.row();
@@ -143,6 +176,11 @@ std::vector<SimJob> fault_catalog_jobs(const sys::SystemConfig& base,
             rep.sim_time = o.vm.sim_time + o.resim.sim_time;
             rep.metrics = {{"vm_detected", o.vm_detected() ? 1.0 : 0.0},
                            {"resim_detected", o.resim_detected() ? 1.0 : 0.0}};
+            if (o.vm.traced || o.resim.traced) {
+                obs::Metrics m = o.vm.metrics;
+                m += o.resim.metrics;
+                m.to_metric_map(rep.metrics);
+            }
             return rep;
         };
         jobs.push_back(std::move(job));
@@ -165,9 +203,10 @@ std::vector<SimJob> resim_no_x_jobs(const sys::SystemConfig& base,
         const bool expect_detected =
             expected_resim_detected(fi) &&
             fi.fault != sys::Fault::kDpr1NoIsolation;
-        job.body = [base, fault = fi.fault, frames,
+        job.body = [base, name = job.name, fault = fi.fault, frames,
                     expect_detected](const JobContext& ctx) -> JobReport {
-            sys::SystemConfig cfg = sys::config_for_fault(base, fault);
+            sys::SystemConfig cfg =
+                sys::config_for_fault(job_config(base, name), fault);
             cfg.method = sys::FirmwareConfig::Method::kResim;
             sys::Testbench tb(cfg);
             tb.sys.rr.set_error_injector(std::make_unique<NoErrorInjector>());
@@ -176,8 +215,8 @@ std::vector<SimJob> resim_no_x_jobs(const sys::SystemConfig& base,
             JobReport rep = report_from_run(r);
             const bool detected = !r.clean();
             rep.pass = detected == expect_detected;
-            rep.metrics = {{"nox_detected", detected ? 1.0 : 0.0},
-                           {"expect_detected", expect_detected ? 1.0 : 0.0}};
+            rep.metrics["nox_detected"] = detected ? 1.0 : 0.0;
+            rep.metrics["expect_detected"] = expect_detected ? 1.0 : 0.0;
             return rep;
         };
         jobs.push_back(std::move(job));
@@ -185,19 +224,19 @@ std::vector<SimJob> resim_no_x_jobs(const sys::SystemConfig& base,
     return jobs;
 }
 
-std::vector<SimJob> simb_sweep_jobs(
-    const std::vector<std::uint32_t>& payloads) {
+std::vector<SimJob> simb_sweep_jobs(const std::vector<std::uint32_t>& payloads,
+                                    bool trace) {
     std::vector<SimJob> jobs;
     jobs.reserve(payloads.size());
     for (const std::uint32_t payload : payloads) {
         SimJob job;
         job.name = "simb.p" + std::to_string(payload);
         job.params = {{"payload_words", std::to_string(payload)}};
-        job.body = [payload](const JobContext& ctx) -> JobReport {
+        job.body = [payload, trace](const JobContext& ctx) -> JobReport {
             IcapCtrl::Config cfg;
             cfg.clk_div = 1;
             cfg.fifo_depth = 32;
-            DprTb tb(cfg);
+            DprTb tb(cfg, 16, trace);
             const Time dpr = tb.reconfigure(payload, ctx);
             JobReport rep;
             rep.pass = dpr != 0;
@@ -211,6 +250,7 @@ std::vector<SimJob> simb_sweep_jobs(
                                     resim::SimB::length_for_payload(payload))},
                 {"dpr_ms", rtlsim::to_ms(dpr)},
                 {"swap", rep.pass ? 1.0 : 0.0}};
+            tb.fold_metrics(rep.metrics);
             return rep;
         };
         jobs.push_back(std::move(job));
@@ -218,7 +258,7 @@ std::vector<SimJob> simb_sweep_jobs(
     return jobs;
 }
 
-std::vector<SimJob> simb_corner_jobs() {
+std::vector<SimJob> simb_corner_jobs(bool trace) {
     struct Corner {
         unsigned fifo;
         unsigned div;
@@ -253,13 +293,13 @@ std::vector<SimJob> simb_corner_jobs() {
                       {"ip_mode", c.p2p ? "p2p" : "shared"},
                       {"bus", c.bus_max == 0 ? "dedicated" : "shared 16-beat"},
                       {"note", c.note}};
-        job.body = [c](const JobContext& ctx) -> JobReport {
+        job.body = [c, trace](const JobContext& ctx) -> JobReport {
             IcapCtrl::Config cfg;
             cfg.fifo_depth = c.fifo;
             cfg.clk_div = c.div;
             cfg.p2p_mode = c.p2p;
             cfg.burst_words = std::min(16u, c.fifo);
-            DprTb tb(cfg, c.bus_max);
+            DprTb tb(cfg, c.bus_max, trace);
             const Time dpr = tb.reconfigure(1024, ctx);
             const bool swap = dpr != 0;
             JobReport rep;
@@ -276,6 +316,7 @@ std::vector<SimJob> simb_corner_jobs() {
                 {"expect_swap", c.expect_swap ? 1.0 : 0.0},
                 {"overflows", static_cast<double>(tb.ctrl.fifo_overflows())},
                 {"dpr_ms", rtlsim::to_ms(dpr)}};
+            tb.fold_metrics(rep.metrics);
             return rep;
         };
         jobs.push_back(std::move(job));
@@ -283,7 +324,8 @@ std::vector<SimJob> simb_corner_jobs() {
     return jobs;
 }
 
-std::vector<SimJob> workload_grid_jobs(const std::vector<WorkloadCell>& grid) {
+std::vector<SimJob> workload_grid_jobs(const std::vector<WorkloadCell>& grid,
+                                       const sys::SystemConfig& base) {
     std::vector<SimJob> jobs;
     jobs.reserve(grid.size());
     for (const WorkloadCell& cell : grid) {
@@ -294,8 +336,9 @@ std::vector<SimJob> workload_grid_jobs(const std::vector<WorkloadCell>& grid) {
         job.params = {{"width", std::to_string(cell.width)},
                       {"height", std::to_string(cell.height)},
                       {"frames", std::to_string(cell.frames)}};
-        job.body = [cell](const JobContext& ctx) -> JobReport {
-            sys::SystemConfig cfg = small_system_config();
+        job.body = [base, name = job.name,
+                    cell](const JobContext& ctx) -> JobReport {
+            sys::SystemConfig cfg = job_config(base, name);
             cfg.width = cell.width;
             cfg.height = cell.height;
             sys::Testbench tb(cfg);
@@ -318,8 +361,9 @@ std::vector<SimJob> seed_sweep_jobs(const sys::SystemConfig& base,
         job.name = "seed." + std::to_string(seed);
         job.params = {{"seed", std::to_string(seed)},
                       {"frames", std::to_string(frames)}};
-        job.body = [base, seed, frames](const JobContext& ctx) -> JobReport {
-            sys::Testbench tb(base, seed);
+        job.body = [base, name = job.name, seed,
+                    frames](const JobContext& ctx) -> JobReport {
+            sys::Testbench tb(job_config(base, name), seed);
             tb.set_cancel_flag(ctx.cancel_flag());
             return report_from_run(tb.run(frames));
         };

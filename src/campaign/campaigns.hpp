@@ -41,25 +41,28 @@ namespace autovision::campaign {
 
 /// SimB payload-length sweep on the minimal DPR testbench (no CPU): the
 /// reconfiguration delay must scale with bitstream length and the swap must
-/// complete. Metrics: payload_words, total_words, dpr_ms, swap.
+/// complete. Metrics: payload_words, total_words, dpr_ms, swap; with
+/// `trace`, the obs.* registry (words per SimB, swap latency, ...) as well.
 [[nodiscard]] std::vector<SimJob> simb_sweep_jobs(
-    const std::vector<std::uint32_t>& payloads);
+    const std::vector<std::uint32_t>& payloads, bool trace = false);
 
 /// FIFO depth x configuration clock x bus-attachment corner matrix on the
 /// minimal DPR testbench. Pass = the swap outcome matches the corner's
 /// expectation (the overflow and bug.dpr.4 corners must NOT swap).
-/// Metrics: swap, expect_swap, overflows, dpr_ms.
-[[nodiscard]] std::vector<SimJob> simb_corner_jobs();
+/// Metrics: swap, expect_swap, overflows, dpr_ms (+ obs.* with `trace`).
+[[nodiscard]] std::vector<SimJob> simb_corner_jobs(bool trace = false);
 
 /// Full-system clean-run grid: every (geometry, frame count) cell must
-/// complete with a clean verdict.
+/// complete with a clean verdict. `base` supplies everything but the
+/// geometry (method, tracing, clock, ...).
 struct WorkloadCell {
     unsigned width;
     unsigned height;
     unsigned frames;
 };
 [[nodiscard]] std::vector<SimJob> workload_grid_jobs(
-    const std::vector<WorkloadCell>& grid);
+    const std::vector<WorkloadCell>& grid,
+    const sys::SystemConfig& base = small_system_config());
 
 /// Full-system clean run per synthetic-scene seed.
 [[nodiscard]] std::vector<SimJob> seed_sweep_jobs(

@@ -37,8 +37,15 @@ void Tracer::write_header() {
             if (c == '.' || std::isspace(static_cast<unsigned char>(c)) != 0)
                 c = '_';
         }
-        os_ << "$var wire " << e.sig->trace_width() << ' ' << e.id << ' ' << nm
-            << " $end\n";
+        // Multi-bit signals need an explicit bit range: several viewers
+        // (and the VCD spec's reference syntax) treat a rangeless $var as
+        // one bit regardless of the declared width.
+        os_ << "$var wire " << e.sig->trace_width() << ' ' << e.id << ' '
+            << nm;
+        if (const unsigned w = e.sig->trace_width(); w > 1) {
+            os_ << " [" << (w - 1) << ":0]";
+        }
+        os_ << " $end\n";
     }
     os_ << "$upscope $end\n$enddefinitions $end\n";
     os_ << "#0\n$dumpvars\n";

@@ -1,0 +1,146 @@
+// obs: structured simulation-event taxonomy.
+//
+// The paper's central claim is that ReSim makes the reconfiguration process
+// itself observable in simulation. This header names the things worth
+// observing: the SimB lifecycle the ICAP artifact parses (SYNC, FDRI
+// payload, DESYNC), the Extended Portal's module swaps and state transfers,
+// the region boundary's error-injection window and isolation, the DCR/INTC
+// traffic the driver generates, and the testbench's stage boundaries.
+//
+// An Event is a fixed-size POD: recording one is a few stores into a
+// preallocated ring (recorder.hpp) — cheap enough to leave compiled into
+// every hot path behind a single enabled check.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/sim_time.hpp"
+
+namespace autovision::obs {
+
+enum class EventKind : std::uint8_t {
+    // --- ICAP artifact: SimB parsing lifecycle --------------------------
+    kSync,          ///< SYNC word opened a configuration session
+    kDesync,        ///< CMD DESYNC closed the session; a = SimBs completed
+    kFarWrite,      ///< FAR written; a = RR id, b = module id
+    kCmdWrite,      ///< CMD written; a = command value
+    kFdriHeader,    ///< FDRI header parsed; a = payload words announced
+    kPayloadBegin,  ///< first FDRI payload word (error injection starts)
+    kPayloadEnd,    ///< last FDRI payload word; a = payload words written
+    kMalformed,     ///< malformed stream reported; a = MalformedCode
+
+    // --- Extended Portal -------------------------------------------------
+    kSwap,          ///< module swapped in; a = RR id, b = module id
+    kCapture,       ///< GCAPTURE state snapshot; a/b = RR/module id
+    kRestore,       ///< GRESTORE state reinstated; a/b = RR/module id
+    kAbort,         ///< reconfiguration aborted (truncated payload)
+
+    // --- RR boundary / isolation ----------------------------------------
+    kXWindowBegin,  ///< region outputs start injecting errors
+    kXWindowEnd,    ///< region outputs stop injecting errors
+    kSelect,        ///< boundary selection changed; a = slot (int cast)
+    kIsolationOn,   ///< isolation clamp asserted by software
+    kIsolationOff,  ///< isolation clamp released
+
+    // --- DCR bus / interrupt controller ----------------------------------
+    kDcrRead,       ///< DCR read retired; a = regno, b = data (~0 when X)
+    kDcrWrite,      ///< DCR write retired; a = regno, b = data (~0 when X)
+    kIrqRaise,      ///< INTC irq output rose; a = pending status bits
+    kIrqAck,        ///< INTC IAR write; a = acknowledged bits
+
+    // --- testbench stage boundaries --------------------------------------
+    kStageEnter,    ///< attribution stage changed; a = Stage
+    kFrameStart,    ///< camera delivered frame a to the input VIP
+    kFrameDone,     ///< firmware reported frame a complete
+
+    kCount,
+};
+
+/// Who emitted the event (one Perfetto track per source).
+enum class Source : std::uint8_t {
+    kIcap,
+    kPortal,
+    kRrBoundary,
+    kIsolation,
+    kDcr,
+    kIntc,
+    kTestbench,
+    kCount,
+};
+
+/// Table II stage attribution, reused for kStageEnter payloads.
+enum class Stage : std::uint32_t { kCpu, kCie, kMe, kDpr };
+
+/// Codes carried by kMalformed events (the artifact also reports the full
+/// text through the diagnostics; the code keeps the event fixed-size).
+enum class MalformedCode : std::uint32_t {
+    kOther,
+    kType2WithoutFdriHeader,
+    kTruncatedPayload,
+    kXOnIcap,
+};
+
+struct Event {
+    rtlsim::Time time = 0;            ///< simulated time (ps)
+    EventKind kind = EventKind::kCount;
+    Source src = Source::kCount;
+    std::uint32_t a = 0;              ///< kind-specific payload (see enum docs)
+    std::uint64_t b = 0;              ///< kind-specific payload
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) {
+    switch (k) {
+        case EventKind::kSync: return "sync";
+        case EventKind::kDesync: return "desync";
+        case EventKind::kFarWrite: return "far-write";
+        case EventKind::kCmdWrite: return "cmd-write";
+        case EventKind::kFdriHeader: return "fdri-header";
+        case EventKind::kPayloadBegin: return "payload-begin";
+        case EventKind::kPayloadEnd: return "payload-end";
+        case EventKind::kMalformed: return "malformed";
+        case EventKind::kSwap: return "swap";
+        case EventKind::kCapture: return "capture";
+        case EventKind::kRestore: return "restore";
+        case EventKind::kAbort: return "abort";
+        case EventKind::kXWindowBegin: return "x-window-begin";
+        case EventKind::kXWindowEnd: return "x-window-end";
+        case EventKind::kSelect: return "select";
+        case EventKind::kIsolationOn: return "isolation-on";
+        case EventKind::kIsolationOff: return "isolation-off";
+        case EventKind::kDcrRead: return "dcr-read";
+        case EventKind::kDcrWrite: return "dcr-write";
+        case EventKind::kIrqRaise: return "irq-raise";
+        case EventKind::kIrqAck: return "irq-ack";
+        case EventKind::kStageEnter: return "stage-enter";
+        case EventKind::kFrameStart: return "frame-start";
+        case EventKind::kFrameDone: return "frame-done";
+        case EventKind::kCount: break;
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Source s) {
+    switch (s) {
+        case Source::kIcap: return "icap";
+        case Source::kPortal: return "portal";
+        case Source::kRrBoundary: return "rr";
+        case Source::kIsolation: return "iso";
+        case Source::kDcr: return "dcr";
+        case Source::kIntc: return "intc";
+        case Source::kTestbench: return "tb";
+        case Source::kCount: break;
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Stage s) {
+    switch (s) {
+        case Stage::kCpu: return "cpu";
+        case Stage::kCie: return "cie";
+        case Stage::kMe: return "me";
+        case Stage::kDpr: return "dpr";
+    }
+    return "?";
+}
+
+}  // namespace autovision::obs

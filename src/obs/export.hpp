@@ -1,0 +1,27 @@
+// obs: event-stream exporters.
+//
+// Two formats, both text, both stream-friendly:
+//   * write_chrome_trace — Chrome trace / Perfetto JSON ("traceEvents"
+//     array). Instant events for lifecycle points, duration events for the
+//     intervals worth eyeballing: the SYNC..DESYNC configuration session,
+//     the error-injection (X) window, IRQ-raise-to-acknowledge, and the
+//     testbench's Table II stage attribution. Load the file at
+//     https://ui.perfetto.dev or chrome://tracing.
+//   * write_events_jsonl — one JSON object per event per line, the same
+//     shape as the campaign result sink, for ad-hoc jq/pandas analysis.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "event.hpp"
+
+namespace autovision::obs {
+
+/// Chrome-trace JSON. `events` must be chronological (recorder snapshot).
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events);
+
+/// One JSON object per line: {"t_ps":..,"kind":"..","src":"..","a":..,"b":..}
+void write_events_jsonl(std::ostream& os, const std::vector<Event>& events);
+
+}  // namespace autovision::obs

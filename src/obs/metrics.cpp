@@ -1,0 +1,128 @@
+#include "metrics.hpp"
+
+namespace autovision::obs {
+
+Metrics& Metrics::operator+=(const Metrics& o) noexcept {
+    simb_words += o.simb_words;
+    x_window_cycles += o.x_window_cycles;
+    swap_latency_cycles += o.swap_latency_cycles;
+    irq_to_service_cycles += o.irq_to_service_cycles;
+    syncs += o.syncs;
+    desyncs += o.desyncs;
+    swaps += o.swaps;
+    aborts += o.aborts;
+    malformed += o.malformed;
+    dcr_ops += o.dcr_ops;
+    irqs += o.irqs;
+    frames += o.frames;
+    events += o.events;
+    events_dropped += o.events_dropped;
+    return *this;
+}
+
+void Metrics::to_metric_map(std::map<std::string, double>& out) const {
+    const auto hist = [&out](const char* name, const Hist& h) {
+        if (h.count == 0) return;
+        out[std::string("obs.") + name + "_mean"] = h.mean();
+        out[std::string("obs.") + name + "_max"] = h.max;
+    };
+    hist("simb_words", simb_words);
+    hist("x_window_cycles", x_window_cycles);
+    hist("swap_latency_cycles", swap_latency_cycles);
+    hist("irq_to_service_cycles", irq_to_service_cycles);
+    out["obs.syncs"] = static_cast<double>(syncs);
+    out["obs.desyncs"] = static_cast<double>(desyncs);
+    out["obs.swaps"] = static_cast<double>(swaps);
+    if (aborts != 0) out["obs.aborts"] = static_cast<double>(aborts);
+    if (malformed != 0) out["obs.malformed"] = static_cast<double>(malformed);
+    out["obs.dcr_ops"] = static_cast<double>(dcr_ops);
+    out["obs.irqs"] = static_cast<double>(irqs);
+    out["obs.events"] = static_cast<double>(events);
+    if (events_dropped != 0) {
+        out["obs.events_dropped"] = static_cast<double>(events_dropped);
+    }
+}
+
+Metrics Metrics::from_events(const std::vector<Event>& events,
+                             rtlsim::Time clk_period) {
+    Metrics m;
+    const double period =
+        clk_period == 0 ? 1.0 : static_cast<double>(clk_period);
+    const auto cycles = [period](rtlsim::Time span) {
+        return static_cast<double>(span) / period;
+    };
+
+    // Open intervals of the single-session artifacts. The stream is
+    // chronological, so plain "last begin" state suffices.
+    bool session_open = false;
+    rtlsim::Time session_start = 0;
+    bool xw_open = false;
+    rtlsim::Time xw_start = 0;
+    bool irq_open = false;
+    rtlsim::Time irq_start = 0;
+
+    for (const Event& e : events) {
+        ++m.events;
+        switch (e.kind) {
+            case EventKind::kSync:
+                ++m.syncs;
+                session_open = true;
+                session_start = e.time;
+                break;
+            case EventKind::kDesync:
+                ++m.desyncs;
+                session_open = false;
+                break;
+            case EventKind::kPayloadEnd:
+                m.simb_words.add(static_cast<double>(e.a));
+                break;
+            case EventKind::kSwap:
+                ++m.swaps;
+                if (session_open) {
+                    m.swap_latency_cycles.add(cycles(e.time - session_start));
+                }
+                break;
+            case EventKind::kAbort:
+                ++m.aborts;
+                break;
+            case EventKind::kMalformed:
+                ++m.malformed;
+                break;
+            case EventKind::kXWindowBegin:
+                xw_open = true;
+                xw_start = e.time;
+                break;
+            case EventKind::kXWindowEnd:
+                if (xw_open) {
+                    xw_open = false;
+                    m.x_window_cycles.add(cycles(e.time - xw_start));
+                }
+                break;
+            case EventKind::kDcrRead:
+            case EventKind::kDcrWrite:
+                ++m.dcr_ops;
+                break;
+            case EventKind::kIrqRaise:
+                ++m.irqs;
+                if (!irq_open) {
+                    irq_open = true;
+                    irq_start = e.time;
+                }
+                break;
+            case EventKind::kIrqAck:
+                if (irq_open) {
+                    irq_open = false;
+                    m.irq_to_service_cycles.add(cycles(e.time - irq_start));
+                }
+                break;
+            case EventKind::kFrameDone:
+                ++m.frames;
+                break;
+            default:
+                break;
+        }
+    }
+    return m;
+}
+
+}  // namespace autovision::obs

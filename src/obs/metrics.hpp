@@ -1,0 +1,89 @@
+// obs: metrics registry derived from the structured event stream.
+//
+// One pass over a recorder snapshot yields the per-run quantities the paper
+// reasons about but never shows in one place: words per SimB, the length of
+// each error-injection (X) window, SYNC-to-swap latency, and IRQ-to-service
+// time. The registry rides alongside rtlsim::SimStats in RunResult and is
+// folded into the campaign aggregate / JSONL sink via to_metric_map().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "event.hpp"
+
+namespace autovision::obs {
+
+/// Streaming histogram summary: count / sum / min / max (no buckets — the
+/// campaigns aggregate across jobs, so the moments are what survive).
+struct Hist {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void add(double v) noexcept {
+        if (count == 0) {
+            min = v;
+            max = v;
+        } else {
+            if (v < min) min = v;
+            if (v > max) max = v;
+        }
+        ++count;
+        sum += v;
+    }
+
+    [[nodiscard]] double mean() const noexcept {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+
+    Hist& operator+=(const Hist& o) noexcept {
+        if (o.count == 0) return *this;
+        if (count == 0) {
+            *this = o;
+            return *this;
+        }
+        count += o.count;
+        sum += o.sum;
+        if (o.min < min) min = o.min;
+        if (o.max > max) max = o.max;
+        return *this;
+    }
+};
+
+struct Metrics {
+    // Histograms (all durations in system-clock cycles).
+    Hist simb_words;       ///< FDRI payload words per completed transfer
+    Hist x_window_cycles;  ///< error-injection window length
+    Hist swap_latency_cycles;   ///< SYNC word to module swap
+    Hist irq_to_service_cycles; ///< INTC irq raise to first acknowledge
+
+    // Counters.
+    std::uint64_t syncs = 0;
+    std::uint64_t desyncs = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t malformed = 0;
+    std::uint64_t dcr_ops = 0;
+    std::uint64_t irqs = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t events = 0;          ///< events the pass consumed
+    std::uint64_t events_dropped = 0;  ///< ring overwrites (set by caller)
+
+    [[nodiscard]] bool any() const noexcept { return events != 0; }
+
+    Metrics& operator+=(const Metrics& o) noexcept;
+
+    /// Flatten into the campaign's name->double metric map ("obs." prefix).
+    void to_metric_map(std::map<std::string, double>& out) const;
+
+    /// Single pass over chronologically ordered events. `clk_period` (ps)
+    /// converts simulated-time spans to cycles; 0 falls back to raw ps.
+    [[nodiscard]] static Metrics from_events(const std::vector<Event>& events,
+                                             rtlsim::Time clk_period);
+};
+
+}  // namespace autovision::obs

@@ -1,0 +1,87 @@
+// obs: low-overhead structured event recorder.
+//
+// A preallocated ring buffer of fixed-size Event records. The hot-path
+// contract mirrors the paper's ~0.3 % artifact-overhead budget:
+//   * record() is a single branch when disabled — no allocation, no
+//     formatting, no time lookup beyond what the caller already has;
+//   * when enabled, recording is a handful of stores into preallocated
+//     storage (the ring never grows);
+//   * when the ring wraps, the oldest events are overwritten and counted
+//     as dropped, so a runaway run cannot exhaust memory.
+//
+// Emitting modules hold a nullable `EventRecorder*` (null when the system
+// was built without observability); the recorder's own enabled flag is the
+// second, belt-and-braces gate so a testbench can pause recording without
+// re-wiring every module.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "event.hpp"
+
+namespace autovision::obs {
+
+class EventRecorder {
+public:
+    static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+    explicit EventRecorder(std::size_t capacity = kDefaultCapacity)
+        : ring_(capacity) {}
+
+    EventRecorder(const EventRecorder&) = delete;
+    EventRecorder& operator=(const EventRecorder&) = delete;
+
+    /// Enabling a zero-capacity recorder is a no-op (stays disabled).
+    void set_enabled(bool on) noexcept { enabled_ = on && !ring_.empty(); }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    /// Hot path. Disabled: one predictable branch, nothing else.
+    void record(rtlsim::Time t, EventKind k, Source s, std::uint32_t a = 0,
+                std::uint64_t b = 0) noexcept {
+        if (!enabled_) return;
+        Event& e = ring_[static_cast<std::size_t>(total_ % ring_.size())];
+        e.time = t;
+        e.kind = k;
+        e.src = s;
+        e.a = a;
+        e.b = b;
+        ++total_;
+    }
+
+    /// Events ever recorded, including those the ring has since overwritten.
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    /// Events currently held (<= capacity).
+    [[nodiscard]] std::size_t size() const noexcept {
+        return static_cast<std::size_t>(
+            std::min<std::uint64_t>(total_, ring_.size()));
+    }
+    [[nodiscard]] std::uint64_t dropped() const noexcept {
+        return total_ > ring_.size() ? total_ - ring_.size() : 0;
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+    void clear() noexcept { total_ = 0; }
+
+    /// Surviving events in chronological order (oldest survivor first).
+    [[nodiscard]] std::vector<Event> snapshot() const {
+        std::vector<Event> out;
+        const std::size_t n = size();
+        out.reserve(n);
+        const std::size_t start =
+            static_cast<std::size_t>((total_ - n) % ring_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(ring_[(start + i) % ring_.size()]);
+        }
+        return out;
+    }
+
+private:
+    std::vector<Event> ring_;
+    std::uint64_t total_ = 0;
+    bool enabled_ = false;
+};
+
+}  // namespace autovision::obs

@@ -13,6 +13,7 @@
 
 #include "bus/dcr.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/recorder.hpp"
 
 namespace autovision {
 
@@ -38,8 +39,14 @@ public:
             report("X written to isolation control");
             return;
         }
-        isolate.write((w.to_u64() & 1u) != 0 ? rtlsim::Logic::L1
-                                             : rtlsim::Logic::L0);
+        const bool on = (w.to_u64() & 1u) != 0;
+        if (obs_ != nullptr && on != rtlsim::is1(isolate.read())) {
+            obs_->record(sch_.now(),
+                         on ? obs::EventKind::kIsolationOn
+                            : obs::EventKind::kIsolationOff,
+                         obs::Source::kIsolation);
+        }
+        isolate.write(on ? rtlsim::Logic::L1 : rtlsim::Logic::L0);
         ++writes_;
     }
     [[nodiscard]] std::string dcr_name() const override { return full_name(); }
@@ -48,7 +55,11 @@ public:
     /// never exercised (what VM-based simulation cannot test).
     [[nodiscard]] std::uint64_t writes() const { return writes_; }
 
+    /// Attach (or detach, with nullptr) the structured event recorder.
+    void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
 private:
+    obs::EventRecorder* obs_ = nullptr;
     std::uint32_t base_;
     std::uint64_t writes_ = 0;
 };

@@ -47,9 +47,13 @@ void RrBoundary::select(int idx) {
         mods_[static_cast<unsigned>(idx)]->rm_activate();
     }
     sel_.write(idx);
+    note(obs::EventKind::kSelect, static_cast<std::uint32_t>(idx));
 }
 
 void RrBoundary::set_reconfiguring(bool on) {
+    if (on != recfg_flag_) {
+        note(on ? obs::EventKind::kXWindowBegin : obs::EventKind::kXWindowEnd);
+    }
     recfg_flag_ = on;
     recfg_.write(on ? Logic::L1 : Logic::L0);
 }

@@ -21,6 +21,7 @@
 #include "bus/plb.hpp"
 #include "engines/engine.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/recorder.hpp"
 
 namespace autovision {
 
@@ -130,9 +131,21 @@ public:
     /// the overhead profiler.
     [[nodiscard]] const rtlsim::Process& mux_process() const { return *mux_; }
 
+    /// Attach (or detach, with nullptr) the structured event recorder.
+    void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
 private:
     void forward();
     void reverse();
+
+    /// Event-recorder shorthand (no-op while unobserved).
+    void note(obs::EventKind k, std::uint32_t a = 0, std::uint64_t b = 0) {
+        if (obs_ != nullptr) {
+            obs_->record(sch_.now(), k, obs::Source::kRrBoundary, a, b);
+        }
+    }
+
+    obs::EventRecorder* obs_ = nullptr;
 
     PlbMasterPort& bus_;
     rtlsim::Signal<Logic>& done_out_;

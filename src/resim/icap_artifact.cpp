@@ -36,6 +36,7 @@ void IcapArtifact::packet_header(std::uint32_t w) {
                 if (count == 0) {
                     fdri_type2_pending_ = true;  // type-2 size follows
                 } else {
+                    note(obs::EventKind::kFdriHeader, count);
                     payload_left_ = count;
                     payload_total_ = count;
                     state_ = St::Payload;
@@ -49,10 +50,14 @@ void IcapArtifact::packet_header(std::uint32_t w) {
     if (type == 2) {
         if (!fdri_type2_pending_) {
             report("type-2 packet without preceding FDRI header");
+            note(obs::EventKind::kMalformed,
+                 static_cast<std::uint32_t>(
+                     obs::MalformedCode::kType2WithoutFdriHeader));
         }
         fdri_type2_pending_ = false;
         payload_left_ = w & 0x07FF'FFFF;
         payload_total_ = payload_left_;
+        note(obs::EventKind::kFdriHeader, payload_left_);
         if (payload_left_ == 0) {
             report("FDRI payload of zero words");
             return;
@@ -79,6 +84,8 @@ void IcapArtifact::icap_write_body(Word w) {
         if (x_reports_ < 5) {
             ++x_reports_;
             report("X written to ICAP (corrupted bitstream transfer)");
+            note(obs::EventKind::kMalformed,
+                 static_cast<std::uint32_t>(obs::MalformedCode::kXOnIcap));
         }
         return;
     }
@@ -87,6 +94,7 @@ void IcapArtifact::icap_write_body(Word w) {
     switch (state_) {
         case St::Desynced:
             if (v == kSyncWord) {
+                note(obs::EventKind::kSync);
                 state_ = St::Synced;
             } else {
                 // Real ICAPs ignore pre-SYNC words; count them so a test
@@ -100,11 +108,13 @@ void IcapArtifact::icap_write_body(Word w) {
             return;
 
         case St::ExpectFar:
+            note(obs::EventKind::kFarWrite, far_rr(v), far_module(v));
             portal_.stage(far_rr(v), far_module(v));
             state_ = St::Synced;
             return;
 
         case St::ExpectCmd:
+            note(obs::EventKind::kCmdWrite, v);
             switch (static_cast<CfgCmd>(v)) {
                 case CfgCmd::kWcfg:
                 case CfgCmd::kNull:
@@ -116,13 +126,11 @@ void IcapArtifact::icap_write_body(Word w) {
                     portal_.restore();
                     break;
                 case CfgCmd::kDesync:
-                    if (payload_left_ > 0) {
-                        report("DESYNC with incomplete FDRI payload");
-                        payload_left_ = 0;
-                    }
                     portal_.desync();
                     state_ = St::Desynced;
                     ++simbs_;
+                    note(obs::EventKind::kDesync,
+                         static_cast<std::uint32_t>(simbs_));
                     return;
                 default:
                     report("unsupported CMD value");
@@ -132,9 +140,39 @@ void IcapArtifact::icap_write_body(Word w) {
             return;
 
         case St::Payload:
-            if (payload_left_ == payload_total_) portal_.begin();
+            // Truncation detection. A SYNC word can only appear here when
+            // the previous transfer stopped short and a *new* SimB is
+            // starting: the controller never interleaves, and the SimB
+            // payload generator never emits the SYNC pattern. (An earlier
+            // revision looked for a leftover payload count at CMD DESYNC,
+            // but that branch was unreachable — in St::Payload the DESYNC
+            // framing words themselves are consumed as payload, so the
+            // count always reached zero first.)
+            if (v == kSyncWord) {
+                report("FDRI payload truncated: SYNC observed with " +
+                       std::to_string(payload_left_) + " of " +
+                       std::to_string(payload_total_) +
+                       " payload words outstanding");
+                note(obs::EventKind::kMalformed,
+                     static_cast<std::uint32_t>(
+                         obs::MalformedCode::kTruncatedPayload),
+                     payload_left_);
+                ++truncations_;
+                payload_left_ = 0;
+                portal_.abort();
+                // The SYNC word re-synchronises the parser: the new
+                // transfer proceeds normally.
+                note(obs::EventKind::kSync);
+                state_ = St::Synced;
+                return;
+            }
+            if (payload_left_ == payload_total_) {
+                note(obs::EventKind::kPayloadBegin, payload_total_);
+                portal_.begin();
+            }
             --payload_left_;
             if (payload_left_ == 0) {
+                note(obs::EventKind::kPayloadEnd, payload_total_);
                 portal_.finish();
                 state_ = St::Synced;
             }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "kernel/kernel.hpp"
+#include "obs/recorder.hpp"
 #include "portal.hpp"
 #include "recon/icap_port.hpp"
 
@@ -28,9 +29,15 @@ public:
 
     void icap_write(rtlsim::Word w) override;
 
+    /// Attach (or detach, with nullptr) the structured event recorder.
+    void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
     // --- statistics -------------------------------------------------------
     [[nodiscard]] std::uint64_t words_received() const { return words_; }
     [[nodiscard]] std::uint64_t simbs_completed() const { return simbs_; }
+    /// Transfers abandoned mid-payload (SYNC observed before the FDRI
+    /// payload completed — the bug.dpr.4/5 truncation signature).
+    [[nodiscard]] std::uint64_t truncations() const { return truncations_; }
     [[nodiscard]] std::uint64_t ignored_before_sync() const {
         return ignored_;
     }
@@ -52,7 +59,15 @@ private:
     void icap_write_body(rtlsim::Word w);
     void packet_header(std::uint32_t w);
 
+    /// Event-recorder shorthand (no-op while unobserved).
+    void note(obs::EventKind k, std::uint32_t a = 0, std::uint64_t b = 0) {
+        if (obs_ != nullptr) {
+            obs_->record(sch_.now(), k, obs::Source::kIcap, a, b);
+        }
+    }
+
     ExtendedPortal& portal_;
+    obs::EventRecorder* obs_ = nullptr;
     St state_ = St::Desynced;
     std::uint32_t payload_left_ = 0;
     std::uint32_t payload_total_ = 0;
@@ -60,6 +75,7 @@ private:
     std::uint64_t words_ = 0;
     std::uint64_t simbs_ = 0;
     std::uint64_t ignored_ = 0;
+    std::uint64_t truncations_ = 0;
     unsigned x_reports_ = 0;
     std::chrono::nanoseconds self_time_{0};
 };

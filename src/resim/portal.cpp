@@ -68,6 +68,20 @@ void ExtendedPortal::finish() {
         s->boundary->select(static_cast<int>(s->slot));
     }
     ++swaps_;
+    note(obs::EventKind::kSwap, cur_rr_, cur_module_);
+}
+
+void ExtendedPortal::abort() {
+    // Truncated transfer: close the injection window but keep whatever
+    // module was resident before the transfer started.
+    if (staged_) {
+        Slot* s = find(cur_rr_, cur_module_);
+        if (s != nullptr) s->boundary->set_reconfiguring(false);
+    }
+    phase_open_ = false;
+    staged_ = false;
+    ++aborts_;
+    note(obs::EventKind::kAbort, cur_rr_, cur_module_);
 }
 
 void ExtendedPortal::capture() {
@@ -89,6 +103,7 @@ void ExtendedPortal::capture() {
     }
     states_[{cur_rr_, cur_module_}] = std::move(st);
     ++captures_;
+    note(obs::EventKind::kCapture, cur_rr_, cur_module_);
 }
 
 void ExtendedPortal::restore() {
@@ -112,6 +127,7 @@ void ExtendedPortal::restore() {
         return;
     }
     ++restores_;
+    note(obs::EventKind::kRestore, cur_rr_, cur_module_);
 }
 
 void ExtendedPortal::desync() {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "kernel/kernel.hpp"
+#include "obs/recorder.hpp"
 #include "recon/rr_boundary.hpp"
 
 namespace autovision::resim {
@@ -55,6 +56,12 @@ public:
     void finish();
     void desync();
 
+    /// Abandon an in-flight transfer (truncated FDRI payload): close the
+    /// error-injection window without swapping — the half-written module
+    /// never activates, mirroring hardware where an aborted partial
+    /// bitstream leaves the region on its previous configuration.
+    void abort();
+
     /// CMD GCAPTURE: snapshot the staged module's architectural state, as
     /// configuration readback would. The module must be resident and
     /// quiescent (no bus transaction in flight) — violations are reported.
@@ -64,8 +71,12 @@ public:
     /// module must have just been configured / be resident).
     void restore();
 
+    /// Attach (or detach, with nullptr) the structured event recorder.
+    void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
     // --- statistics -------------------------------------------------------
     [[nodiscard]] std::uint64_t reconfigurations() const { return swaps_; }
+    [[nodiscard]] std::uint64_t aborts() const { return aborts_; }
     [[nodiscard]] bool phase_open() const { return phase_open_; }
     [[nodiscard]] std::uint64_t captures() const { return captures_; }
     [[nodiscard]] std::uint64_t restores() const { return restores_; }
@@ -82,6 +93,14 @@ private:
 
     [[nodiscard]] Slot* find(std::uint8_t rr_id, std::uint8_t module_id);
 
+    /// Event-recorder shorthand (no-op while unobserved).
+    void note(obs::EventKind k, std::uint32_t a = 0, std::uint64_t b = 0) {
+        if (obs_ != nullptr) {
+            obs_->record(sch_.now(), k, obs::Source::kPortal, a, b);
+        }
+    }
+
+    obs::EventRecorder* obs_ = nullptr;
     std::map<std::pair<std::uint8_t, std::uint8_t>, Slot> map_;
     std::map<std::pair<std::uint8_t, std::uint8_t>, std::vector<std::uint8_t>>
         states_;
@@ -93,6 +112,7 @@ private:
     std::uint8_t cur_rr_ = 0;
     std::uint8_t cur_module_ = 0;
     std::uint64_t swaps_ = 0;
+    std::uint64_t aborts_ = 0;
 };
 
 }  // namespace autovision::resim

@@ -97,9 +97,14 @@ std::string SimB::describe(const std::vector<std::uint32_t>& words) {
         } else if ((w >> 29) == 2) {
             payload_left = w & 0x07FF'FFFF;
             payload_idx = 0;
+            // Mirror IcapArtifact::packet_header: a type-2 word is only
+            // well-formed directly after a zero-count type-1 FDRI header.
+            std::snprintf(dyn, sizeof dyn,
+                          "Type 2 write FDRI, size=%u%s", payload_left,
+                          fdri_pending
+                              ? ""
+                              : " (MALFORMED: no preceding FDRI header)");
             fdri_pending = false;
-            std::snprintf(dyn, sizeof dyn, "Type 2 write FDRI, size=%u",
-                          payload_left);
             expl = dyn;
         } else if ((w >> 29) == 1 && ((w >> 27) & 3) == 2) {
             const auto reg = static_cast<CfgReg>((w >> 13) & 0x1F);
@@ -128,8 +133,13 @@ std::string SimB::describe(const std::vector<std::uint32_t>& words) {
                     break;
             }
         }
-        (void)fdri_pending;
         std::snprintf(line, sizeof line, "0x%08X  %s\n", w, expl);
+        out += line;
+    }
+    if (payload_left > 0) {
+        std::snprintf(line, sizeof line,
+                      "(truncated stream: %u payload words missing)\n",
+                      payload_left);
         out += line;
     }
     return out;

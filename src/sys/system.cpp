@@ -137,4 +137,13 @@ OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
     cpu.set_pc(firmware.entry());
 }
 
+void OpticalFlowSystem::attach_observer(obs::EventRecorder* rec) {
+    dcr.set_observer(rec);
+    intc.set_observer(rec);
+    iso.set_observer(rec);
+    rr.set_observer(rec);
+    if (portal) portal->set_observer(rec);
+    if (icap_artifact) icap_artifact->set_observer(rec);
+}
+
 }  // namespace autovision::sys

@@ -59,6 +59,15 @@ struct SystemConfig {
     /// signals (clock, region boundary, interrupt lines, stream tap) to
     /// this path for waveform inspection.
     std::string vcd_path;
+
+    /// Structured event tracing (src/obs). When enabled the testbench owns
+    /// an EventRecorder, attaches it to every emitting module, and derives
+    /// the obs metrics at the end of the run.
+    bool trace_events = false;
+    std::size_t trace_capacity = 1u << 16;
+    /// When non-empty (and trace_events set), the testbench writes a
+    /// Chrome-trace / Perfetto JSON of the recorded events to this path.
+    std::string trace_path;
 };
 
 class OpticalFlowSystem {
@@ -80,6 +89,11 @@ public:
     [[nodiscard]] bool is_resim() const {
         return cfg_.method == FirmwareConfig::Method::kResim;
     }
+
+    /// Attach (or detach, with nullptr) a structured event recorder to
+    /// every emitting module: DCR chain, INTC, isolation, region boundary,
+    /// and — under ReSim — the portal and ICAP artifact.
+    void attach_observer(obs::EventRecorder* rec);
 
     // Construction order matters: members are wired top to bottom.
     SystemConfig cfg_;

@@ -1,6 +1,7 @@
 #include "testbench.hpp"
 
 #include "address_map.hpp"
+#include "obs/export.hpp"
 
 namespace autovision::sys {
 
@@ -61,9 +62,18 @@ Testbench::Testbench(SystemConfig cfg, std::uint32_t scene_seed)
         tracer_->add(sys.video_in.frame_irq);
         sys.sch.set_tracer(tracer_.get());
     }
+    if (cfg.trace_events) {
+        recorder_ = std::make_unique<obs::EventRecorder>(cfg.trace_capacity);
+        recorder_->set_enabled(true);
+        sys.attach_observer(recorder_.get());
+    }
 }
 
 void Testbench::send_frame(unsigned index) {
+    if (recorder_) {
+        recorder_->record(sys.sch.now(), obs::EventKind::kFrameStart,
+                          obs::Source::kTestbench, index);
+    }
     sys.video_in.send_frame(scene.frame(index), kFrameBuf);
     ++frames_sent_;
 }
@@ -104,6 +114,9 @@ RunResult Testbench::run(unsigned frames, std::uint64_t watchdog_cycles) {
     constexpr unsigned kQuantum = 32;  // cycles per attribution slice
     auto wall_prev = Clock::now();
     const auto wall_start = wall_prev;
+    // Out-of-range sentinel: the first attribution slice always records a
+    // kStageEnter event.
+    obs::Stage cur_stage = static_cast<obs::Stage>(~0u);
 
     std::uint64_t total_cycles = 0;
     while (!sys.sch.stop_requested()) {
@@ -127,18 +140,28 @@ RunResult Testbench::run(unsigned frames, std::uint64_t watchdog_cycles) {
             wall_now - wall_prev);
         wall_prev = wall_now;
         const rtlsim::Time dsim = kQuantum * cfg.clk_period;
+        obs::Stage stage = obs::Stage::kCpu;
         if (sys.icapctrl.busy()) {
             res.stages.dpr_sim += dsim;
             res.stages.dpr_wall += dwall;
+            stage = obs::Stage::kDpr;
         } else if (sys.cie.busy()) {
             res.stages.cie_sim += dsim;
             res.stages.cie_wall += dwall;
+            stage = obs::Stage::kCie;
         } else if (sys.me.busy()) {
             res.stages.me_sim += dsim;
             res.stages.me_wall += dwall;
+            stage = obs::Stage::kMe;
         } else {
             res.stages.cpu_sim += dsim;
             res.stages.cpu_wall += dwall;
+        }
+        if (recorder_ && stage != cur_stage) {
+            cur_stage = stage;
+            recorder_->record(sys.sch.now(), obs::EventKind::kStageEnter,
+                              obs::Source::kTestbench,
+                              static_cast<std::uint32_t>(stage));
         }
 
         // ---- scoreboard hooks ------------------------------------------
@@ -161,6 +184,10 @@ RunResult Testbench::run(unsigned frames, std::uint64_t watchdog_cycles) {
             ++me_seen;
         }
         if (frames_done > frames_checked) {
+            if (recorder_) {
+                recorder_->record(sys.sch.now(), obs::EventKind::kFrameDone,
+                                  obs::Source::kTestbench, frames_checked);
+            }
             res.output_mismatches += scoreboard.check_output_mem(
                 sys.mem, kOutBuf, frames_checked);
             // Exercise the display path as well: the VIP fetch is checked
@@ -201,6 +228,21 @@ RunResult Testbench::run(unsigned frames, std::uint64_t watchdog_cycles) {
     res.sim_time = sys.sch.now() - t0;
     res.wall_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
         Clock::now() - wall_start);
+    if (recorder_) {
+        const std::vector<obs::Event> events = recorder_->snapshot();
+        res.metrics = obs::Metrics::from_events(events, cfg.clk_period);
+        res.metrics.events_dropped = recorder_->dropped();
+        res.traced = true;
+        if (!cfg.trace_path.empty()) {
+            std::ofstream os(cfg.trace_path);
+            if (os) {
+                obs::write_chrome_trace(os, events);
+            } else {
+                sys.sch.report("testbench", "cannot open trace output '" +
+                                                cfg.trace_path + "'");
+            }
+        }
+    }
     return res;
 }
 

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "system.hpp"
 #include "vip/scoreboard.hpp"
 #include "video/synth.hpp"
@@ -69,6 +71,10 @@ struct RunResult {
     rtlsim::Time sim_time = 0;
     std::chrono::nanoseconds wall_time{0};
     StageTimes stages;
+    /// Structured-event metrics (valid when `traced`; see SystemConfig
+    /// trace_events).
+    bool traced = false;
+    obs::Metrics metrics;
 
     [[nodiscard]] bool data_corruption() const {
         return census_mismatches + field_mismatches + output_mismatches > 0;
@@ -103,6 +109,9 @@ public:
     /// Output frames fetched by the VideoOut VIP (for the examples).
     std::vector<video::Frame> displayed;
 
+    /// The structured event recorder (null unless trace_events was set).
+    [[nodiscard]] obs::EventRecorder* recorder() { return recorder_.get(); }
+
 private:
     void send_frame(unsigned index);
 
@@ -111,6 +120,8 @@ private:
     // VCD dumping (active when SystemConfig::vcd_path is set).
     std::unique_ptr<std::ofstream> vcd_file_;
     std::unique_ptr<rtlsim::Tracer> tracer_;
+    // Structured event tracing (active when SystemConfig::trace_events).
+    std::unique_ptr<obs::EventRecorder> recorder_;
 };
 
 }  // namespace autovision::sys

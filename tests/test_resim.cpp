@@ -7,6 +7,7 @@
 #include "engines/census_engine.hpp"
 #include "engines/matching_engine.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/recorder.hpp"
 #include "recon/rr_boundary.hpp"
 #include "resim/icap_artifact.hpp"
 #include "resim/portal.hpp"
@@ -82,10 +83,34 @@ TEST(SimB, DescribeAnnotatesEveryRow) {
     EXPECT_NE(d.find("starts error injection"), std::string::npos);
     EXPECT_NE(d.find("triggers swap"), std::string::npos);
     EXPECT_NE(d.find("DESYNC"), std::string::npos);
-    // One line per word.
+    // One line per word — and a complete stream gets no malformed or
+    // truncation annotations.
     EXPECT_EQ(static_cast<std::size_t>(
                   std::count(d.begin(), d.end(), '\n')),
               SimB::table1_example().size());
+    EXPECT_EQ(d.find("MALFORMED"), std::string::npos);
+    EXPECT_EQ(d.find("truncated"), std::string::npos);
+}
+
+// Regression: describe() used to track the FDRI handshake in a dead
+// variable, silently annotating a type-2 packet with no preceding FDRI
+// header as a normal transfer.
+TEST(SimB, DescribeFlagsType2WithoutFdriHeader) {
+    const std::vector<std::uint32_t> ws{kSyncWord, type2_write(2), 0x1u,
+                                        0x2u};
+    const std::string d = SimB::describe(ws);
+    EXPECT_NE(d.find("MALFORMED: no preceding FDRI header"),
+              std::string::npos)
+        << d;
+}
+
+TEST(SimB, DescribeNotesTruncatedStream) {
+    auto ws = SimB::table1_example();
+    ws.resize(10);  // keep 2 of the 4 payload words
+    const std::string d = SimB::describe(ws);
+    EXPECT_NE(d.find("truncated stream: 2 payload words missing"),
+              std::string::npos)
+        << d;
 }
 
 // --------------------------------------------------- artifact + portal
@@ -189,10 +214,13 @@ TEST(IcapArtifact, TruncatedPayloadLeavesInjectionActive) {
     EXPECT_TRUE(tb.icap.payload_pending());
 }
 
-// A truncated SimB leaves the parser mid-payload; the *next* transfer's
-// framing words are then consumed as payload and the stream desynchronises
-// visibly — how bug.dpr.5 surfaces on the following reconfiguration.
-TEST(IcapArtifact, TruncationDesynchronisesTheNextTransfer) {
+// A truncated SimB leaves the parser mid-payload. Regression for the
+// formerly unreachable truncation diagnostic: the *next* transfer's SYNC
+// word is where the truncation becomes observable, so the artifact must
+// report it there (once), abort the half-written configuration without a
+// swap, and then parse the new transfer normally — how bug.dpr.5 surfaces
+// on the following reconfiguration.
+TEST(IcapArtifact, MidPayloadSyncReportsTruncationAndRecovers) {
     ResimTb tb;
     SimB b;
     b.rr_id = 1;
@@ -202,11 +230,63 @@ TEST(IcapArtifact, TruncationDesynchronisesTheNextTransfer) {
     first.resize(11);  // only 3 of 8 payload words arrive
     tb.write_all(first);
     ASSERT_TRUE(tb.icap.payload_pending());
-    // The next DPR attempt: its first five framing words are eaten as
-    // leftover payload and the parser lands mid-packet.
+    // The next DPR attempt: its SYNC word exposes the outstanding payload.
     tb.write_all(b.build());
-    EXPECT_TRUE(tb.sch.has_diag_from("icap"))
-        << "framing words eaten as payload produce parse errors";
+    EXPECT_TRUE(tb.sch.has_diag_from("icap"));
+    EXPECT_EQ(tb.icap.truncations(), 1u);
+    EXPECT_EQ(tb.portal.aborts(), 1u)
+        << "half-written module must not activate";
+    // The abandoned transfer closed its error-injection window, and the
+    // second, complete transfer swapped module 2 in.
+    EXPECT_FALSE(tb.rr.reconfiguring());
+    EXPECT_EQ(tb.portal.reconfigurations(), 1u);
+    EXPECT_TRUE(tb.me.rm_active()) << "recovery transfer must succeed";
+    EXPECT_FALSE(tb.icap.payload_pending());
+    // Exactly one truncation report (per-event, not per leftover word).
+    unsigned truncation_diags = 0;
+    for (const auto& d : tb.sch.diagnostics()) {
+        if (d.message.find("truncated") != std::string::npos) {
+            ++truncation_diags;
+        }
+    }
+    EXPECT_EQ(truncation_diags, 1u);
+}
+
+// The same scenario through the structured event stream: the recorder sees
+// the malformed event with the truncation code, the abort, and then the
+// recovery session's swap.
+TEST(IcapArtifact, TruncationEmitsMalformedAndAbortEvents) {
+    ResimTb tb;
+    obs::EventRecorder rec(256);
+    rec.set_enabled(true);
+    tb.icap.set_observer(&rec);
+    tb.portal.set_observer(&rec);
+    SimB b;
+    b.rr_id = 1;
+    b.module_id = 2;
+    b.payload_words = 8;
+    auto first = b.build();
+    first.resize(11);
+    tb.write_all(first);
+    tb.write_all(b.build());
+
+    bool saw_truncation = false, saw_abort = false, saw_swap = false;
+    for (const obs::Event& e : rec.snapshot()) {
+        if (e.kind == obs::EventKind::kMalformed &&
+            e.a == static_cast<std::uint32_t>(
+                       obs::MalformedCode::kTruncatedPayload)) {
+            saw_truncation = true;
+            EXPECT_FALSE(saw_abort) << "malformed precedes the abort";
+        }
+        if (e.kind == obs::EventKind::kAbort) saw_abort = true;
+        if (e.kind == obs::EventKind::kSwap) {
+            EXPECT_TRUE(saw_abort) << "only the recovery transfer swaps";
+            saw_swap = true;
+        }
+    }
+    EXPECT_TRUE(saw_truncation);
+    EXPECT_TRUE(saw_abort);
+    EXPECT_TRUE(saw_swap);
 }
 
 TEST(IcapArtifact, XWordIsReportedAndSkipped) {

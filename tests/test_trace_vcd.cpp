@@ -1,0 +1,82 @@
+// VCD tracer format tests.
+//
+// Pins the header a waveform viewer actually parses — in particular that
+// multi-bit $var declarations carry an explicit [W-1:0] bit range (several
+// viewers treat a rangeless $var as one bit regardless of the declared
+// width) while single-bit declarations stay rangeless.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "kernel/kernel.hpp"
+#include "kernel/trace.hpp"
+
+namespace rtlsim {
+namespace {
+
+TEST(TraceVcd, GoldenHeader) {
+    Scheduler sch;
+    std::ostringstream os;
+    Signal<Logic> clk{sch, "clk"};
+    Signal<LVec<8>> data{sch, "data"};
+    Signal<Word> addr{sch, "cpu.addr"};
+    Tracer tr(os);
+    tr.add(clk);
+    tr.add(data);
+    tr.add(addr);
+    tr.write_header();
+
+    const std::string out = os.str();
+    const std::size_t defs_end = out.find("$enddefinitions $end\n");
+    ASSERT_NE(defs_end, std::string::npos) << out;
+    const std::string header = out.substr(0, defs_end);
+    EXPECT_EQ(header,
+              "$timescale 1ps $end\n"
+              "$scope module top $end\n"
+              "$var wire 1 ! clk $end\n"
+              "$var wire 8 \" data [7:0] $end\n"
+              "$var wire 32 # cpu_addr [31:0] $end\n"
+              "$upscope $end\n");
+}
+
+// Regression: $var declarations for buses used to omit the bit range, so
+// viewers rendered every bus as a single bit.
+TEST(TraceVcd, MultiBitVarsDeclareBitRange) {
+    Scheduler sch;
+    std::ostringstream os;
+    Signal<Logic> bit{sch, "bit"};
+    Signal<LVec<16>> bus{sch, "bus"};
+    Tracer tr(os);
+    tr.add(bit);
+    tr.add(bus);
+    tr.write_header();
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("bus [15:0] $end"), std::string::npos) << out;
+    // Single-bit signals must stay rangeless.
+    EXPECT_NE(out.find("1 ! bit $end"), std::string::npos) << out;
+    EXPECT_EQ(out.find("bit ["), std::string::npos) << out;
+}
+
+TEST(TraceVcd, InitialDumpAndValueFormats) {
+    Scheduler sch;
+    std::ostringstream os;
+    Signal<Logic> bit{sch, "bit"};
+    Signal<LVec<4>> nib{sch, "nib"};
+    Tracer tr(os);
+    tr.add(bit);
+    tr.add(nib);
+    tr.write_header();
+
+    const std::string out = os.str();
+    // Initial values appear under #0 $dumpvars; scalars are bare, vectors
+    // use the 'b<bits> <id>' form.
+    const std::size_t dump = out.find("#0\n$dumpvars\n");
+    ASSERT_NE(dump, std::string::npos) << out;
+    EXPECT_NE(out.find("x!\n", dump), std::string::npos) << out;
+    EXPECT_NE(out.find("bxxxx \"\n", dump), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace rtlsim

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Run the kernel benchmark suite and emit a single merged JSON report.
 
-Runs ``bench_kernel`` and ``bench_frame_sim`` (both Google Benchmark
-binaries) with ``--benchmark_format=json`` and merges their results into one
-document — the format committed as ``bench/baseline.json`` and produced by
+Runs ``bench_kernel``, ``bench_frame_sim`` and ``bench_obs_overhead`` (all
+Google Benchmark binaries) with ``--benchmark_format=json`` and merges their
+results into one document — the format committed as ``bench/baseline.json`` and produced by
 CI for ``tools/bench_compare.py`` to gate on.
 
 Usage:
@@ -20,7 +20,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-BENCH_BINARIES = ["bench_kernel", "bench_frame_sim"]
+BENCH_BINARIES = ["bench_kernel", "bench_frame_sim", "bench_obs_overhead"]
 
 
 def run_benchmark(binary: Path, min_time: float) -> dict:

@@ -36,6 +36,8 @@ struct Options {
     unsigned frames = 2;
     unsigned seeds = 8;
     bool quiet = false;
+    bool trace = false;
+    std::string trace_out;  // directory for per-job Perfetto traces
 };
 
 void usage(const char* argv0) {
@@ -60,6 +62,11 @@ void usage(const char* argv0) {
         "  --out FILE      JSONL results sink (one atomic line per job)\n"
         "  --frames F      frames per run where applicable (default 2)\n"
         "  --seeds N       seed count for the seeds campaign (default 8)\n"
+        "  --trace         record structured simulation events; obs.*\n"
+        "                  metrics (swap latency, X-window, ...) land in\n"
+        "                  the JSONL records and the printed aggregate\n"
+        "  --trace-out DIR write a Chrome-trace/Perfetto JSON per job to\n"
+        "                  DIR (implies --trace; DIR must exist)\n"
         "  --quiet         suppress per-job progress lines\n",
         argv0);
 }
@@ -159,6 +166,11 @@ int main(int argc, char** argv) {
             ok = parse_unsigned(next(), opt.frames);
         } else if (a == "--seeds") {
             ok = parse_unsigned(next(), opt.seeds);
+        } else if (a == "--trace") {
+            opt.trace = true;
+        } else if (a == "--trace-out") {
+            opt.trace_out = next();
+            opt.trace = true;
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else if (a == "--help" || a == "-h") {
@@ -176,15 +188,18 @@ int main(int argc, char** argv) {
     }
 
     std::vector<SimJob> jobs;
-    const sys::SystemConfig base = small_system_config();
+    sys::SystemConfig base = small_system_config();
+    base.trace_events = opt.trace;
+    base.trace_path = opt.trace_out;  // factories append "/<job>.json"
     if (opt.campaign == "faults") {
         jobs = fault_catalog_jobs(base, opt.frames);
         auto nox = resim_no_x_jobs(base, opt.frames);
         jobs.insert(jobs.end(), std::make_move_iterator(nox.begin()),
                     std::make_move_iterator(nox.end()));
     } else if (opt.campaign == "simb") {
-        jobs = simb_sweep_jobs({4u, 100u, 1024u, 4096u, 32768u, 129u * 1024u});
-        auto corners = simb_corner_jobs();
+        jobs = simb_sweep_jobs({4u, 100u, 1024u, 4096u, 32768u, 129u * 1024u},
+                               opt.trace);
+        auto corners = simb_corner_jobs(opt.trace);
         jobs.insert(jobs.end(), std::make_move_iterator(corners.begin()),
                     std::make_move_iterator(corners.end()));
     } else if (opt.campaign == "workload") {
@@ -192,7 +207,8 @@ int main(int argc, char** argv) {
                                    {32, 24, 2},
                                    {48, 32, 1},
                                    {48, 32, 2},
-                                   {64, 48, 1}});
+                                   {64, 48, 1}},
+                                  base);
     } else if (opt.campaign == "seeds") {
         jobs = seed_sweep_jobs(base, /*first_seed=*/1, opt.seeds,
                                opt.frames);

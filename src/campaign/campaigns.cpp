@@ -363,7 +363,9 @@ std::vector<SimJob> seed_sweep_jobs(const sys::SystemConfig& base,
                       {"frames", std::to_string(frames)}};
         job.body = [base, name = job.name, seed,
                     frames](const JobContext& ctx) -> JobReport {
-            sys::Testbench tb(job_config(base, name), seed);
+            sys::SystemConfig cfg = job_config(base, name);
+            cfg.seed = seed;  // canonical seed; scene derives from it
+            sys::Testbench tb(cfg, /*scene_seed=*/seed);
             tb.set_cancel_flag(ctx.cancel_flag());
             return report_from_run(tb.run(frames));
         };

@@ -1,0 +1,163 @@
+#include "closure.hpp"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "scen/stream_harness.hpp"
+#include "sys/detection.hpp"
+
+namespace autovision::campaign {
+
+namespace {
+
+JobReport run_stream_job(const scen::Scenario& s, const JobContext& ctx) {
+    const scen::StreamResult r =
+        scen::run_stream_scenario(s, ctx.cancel_flag());
+    JobReport rep;
+    rep.coverage = cover::make_model();
+    cover::observe_events(rep.coverage, r.events, r.clk_period);
+    rep.stats = r.stats;
+    rep.sim_time = r.sim_time;
+    rep.stages.dpr_sim = r.sim_time;
+    // A stream scenario passes when exactly the expected sessions swapped:
+    // corrupted sessions must NOT activate a half-configured module.
+    const unsigned expected = s.expected_swaps();
+    rep.pass = r.swaps == expected;
+    rep.verdict = rep.pass ? "clean"
+                           : "[swaps " + std::to_string(r.swaps) +
+                                 " != expected " + std::to_string(expected) +
+                                 "]";
+    rep.metrics = {{"swaps", static_cast<double>(r.swaps)},
+                   {"expected_swaps", static_cast<double>(expected)},
+                   {"aborts", static_cast<double>(r.aborts)},
+                   {"truncations", static_cast<double>(r.truncations)},
+                   {"captures", static_cast<double>(r.captures)},
+                   {"restores", static_cast<double>(r.restores)},
+                   {"diagnostics", static_cast<double>(r.diagnostics)}};
+    return rep;
+}
+
+JobReport run_system_job(const scen::Scenario& s, const JobContext& ctx) {
+    sys::Testbench tb(s.config);
+    tb.set_cancel_flag(ctx.cancel_flag());
+    const sys::RunResult r = tb.run(s.frames);
+    JobReport rep;
+    rep.pass = r.clean();
+    rep.verdict = r.verdict();
+    rep.stats = r.stats;
+    rep.stages = r.stages;
+    rep.sim_time = r.sim_time;
+    rep.coverage = cover::make_model();
+    if (tb.recorder() != nullptr) {
+        cover::observe_events(rep.coverage, tb.recorder()->snapshot(),
+                              s.config.clk_period);
+    }
+    if (r.traced) r.metrics.to_metric_map(rep.metrics);
+    return rep;
+}
+
+JobReport run_fault_job(const scen::Scenario& s, const JobContext& ctx) {
+    const sys::DetectionOutcome o =
+        sys::run_detection(s.config, s.fault, s.frames, ctx.cancel_flag());
+    JobReport rep;
+    rep.pass = o.matches_expectation();
+    rep.verdict = o.row();
+    rep.stats = o.vm.stats + o.resim.stats;
+    rep.stages = o.vm.stages;
+    rep.stages += o.resim.stages;
+    rep.sim_time = o.vm.sim_time + o.resim.sim_time;
+    rep.coverage = cover::make_model();
+    cover::observe_detection(rep.coverage, s.fault, cover::DetectMethod::kVm,
+                             o.vm_detected());
+    cover::observe_detection(rep.coverage, s.fault,
+                             cover::DetectMethod::kResim, o.resim_detected());
+    rep.metrics = {{"vm_detected", o.vm_detected() ? 1.0 : 0.0},
+                   {"resim_detected", o.resim_detected() ? 1.0 : 0.0}};
+    return rep;
+}
+
+}  // namespace
+
+std::vector<SimJob> scenario_jobs(const std::vector<scen::Scenario>& batch) {
+    std::vector<SimJob> jobs;
+    jobs.reserve(batch.size());
+    for (const scen::Scenario& s : batch) {
+        SimJob job;
+        job.name = s.name;
+        char seed_hex[24];
+        std::snprintf(seed_hex, sizeof seed_hex, "0x%016llx",
+                      static_cast<unsigned long long>(s.seed));
+        job.params = {{"seed", seed_hex}};
+        switch (s.kind) {
+            case scen::Kind::kStream:
+                job.params["kind"] = "stream";
+                job.params["sessions"] = std::to_string(s.sessions.size());
+                job.body = [s](const JobContext& ctx) {
+                    return run_stream_job(s, ctx);
+                };
+                break;
+            case scen::Kind::kSystem:
+                job.params["kind"] = "system";
+                job.params["geometry"] = std::to_string(s.config.width) +
+                                         "x" +
+                                         std::to_string(s.config.height);
+                job.body = [s](const JobContext& ctx) {
+                    return run_system_job(s, ctx);
+                };
+                break;
+            case scen::Kind::kFault:
+                job.params["kind"] = "fault";
+                job.params["fault"] = sys::fault_info(s.fault).id;
+                job.body = [s](const JobContext& ctx) {
+                    return run_fault_job(s, ctx);
+                };
+                break;
+        }
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+ClosureResult run_closure(const ClosureConfig& cc, const CampaignConfig& rc) {
+    ClosureResult res;
+    res.merged = cover::make_model();
+
+    scen::ScenarioConstraints current = cc.base;
+    std::size_t prev_hit = 0;
+    unsigned stale = 0;
+
+    for (unsigned b = 0; b < cc.max_batches; ++b) {
+        const std::vector<scen::Scenario> batch =
+            scen::generate_batch(current, cc.seed, b, cc.batch_size);
+        CampaignRunner runner(rc);
+        CampaignResult cres = runner.run(scenario_jobs(batch));
+
+        for (JobRecord& rec : cres.records) {
+            if (rec.report.coverage.same_shape(res.merged)) {
+                res.merged += rec.report.coverage;
+            }
+            res.records.push_back(std::move(rec));
+        }
+        res.scenarios_run += static_cast<unsigned>(batch.size());
+
+        const std::size_t hit = res.merged.goal_hit();
+        res.batches.push_back(BatchSummary{b, hit - prev_hit, hit,
+                                           res.merged.percent()});
+
+        if (res.merged.percent() >= cc.target_percent) {
+            res.reached_target = true;
+            break;
+        }
+        stale = hit == prev_hit ? stale + 1 : 0;
+        prev_hit = hit;
+        if (stale >= cc.saturation_batches) {
+            res.saturated = true;
+            break;
+        }
+        if (cc.bias) current = scen::bias_towards(cc.base, res.merged);
+    }
+    return res;
+}
+
+}  // namespace autovision::campaign

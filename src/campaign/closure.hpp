@@ -1,0 +1,60 @@
+// campaign: the coverage-closure loop.
+//
+// Generate a batch of constrained-random scenarios -> run them on the
+// campaign worker pool -> merge the per-job coverage shards -> re-weight
+// the generator toward the bins that are still open -> repeat, until the
+// coverage target is reached, the loop saturates (no new bins for N
+// consecutive batches), or the batch budget runs out.
+//
+// The feedback edge is scen::bias_towards; switching it off (`bias =
+// false`) turns the loop into the equal-budget pure-random control arm the
+// biased run is benchmarked against (the strictly-more-bins closure test).
+// Per-scenario seeds depend only on (seed, batch, index), so the two arms
+// draw from identical seed streams and differ only in the weight tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cover/model.hpp"
+#include "runner.hpp"
+#include "scen/scenario.hpp"
+
+namespace autovision::campaign {
+
+struct ClosureConfig {
+    scen::ScenarioConstraints base;  ///< batch-0 weight table
+    std::uint64_t seed = 1;          ///< campaign seed (everything derives)
+    unsigned batch_size = 16;
+    unsigned max_batches = 8;
+    double target_percent = 95.0;    ///< stop when merged coverage reaches it
+    unsigned saturation_batches = 2; ///< stop after N batches with no new bins
+    bool bias = true;                ///< false: pure-random control arm
+};
+
+struct BatchSummary {
+    unsigned index = 0;
+    std::size_t new_bins = 0;   ///< goal bins first hit by this batch
+    std::size_t goal_hit = 0;   ///< cumulative after the batch
+    double percent = 0.0;
+};
+
+struct ClosureResult {
+    cover::Coverage merged;     ///< the model, merged over every job shard
+    std::vector<BatchSummary> batches;
+    std::vector<JobRecord> records;  ///< all job records, batch order
+    bool reached_target = false;
+    bool saturated = false;
+    unsigned scenarios_run = 0;
+};
+
+/// One SimJob per scenario; each job runs its scenario in isolation and
+/// returns a coverage shard in JobReport::coverage.
+[[nodiscard]] std::vector<SimJob> scenario_jobs(
+    const std::vector<scen::Scenario>& batch);
+
+/// Run the closure loop. `rc` configures the per-batch worker pool.
+[[nodiscard]] ClosureResult run_closure(const ClosureConfig& cc,
+                                        const CampaignConfig& rc);
+
+}  // namespace autovision::campaign

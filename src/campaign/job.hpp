@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "cover/coverage.hpp"
 #include "kernel/stats.hpp"
 #include "sys/testbench.hpp"
 
@@ -50,6 +51,10 @@ struct JobReport {
     sys::StageTimes stages;            ///< summed stage attribution
     rtlsim::Time sim_time = 0;         ///< total simulated time
     std::map<std::string, double> metrics;
+    /// Per-job coverage shard (empty unless the job fills a model). The
+    /// closure loop merges shards with Coverage::operator+= — an order-
+    /// independent merge, so worker completion order cannot change totals.
+    cover::Coverage coverage;
 };
 
 /// One unit of campaign work. The body is factory + runner in one: invoked

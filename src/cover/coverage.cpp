@@ -1,0 +1,235 @@
+#include "coverage.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace autovision::cover {
+
+// ---------------------------------------------------------------------------
+// Covergroup
+// ---------------------------------------------------------------------------
+
+std::size_t Covergroup::add_bin(std::string name, bool ignore) {
+    Bin b;
+    b.name = std::move(name);
+    b.ignore = ignore;
+    bins_.push_back(std::move(b));
+    return bins_.size() - 1;
+}
+
+void Covergroup::hit(std::size_t index, std::uint64_t n) {
+    bins_.at(index).hits += n;
+}
+
+bool Covergroup::hit(std::string_view bin_name, std::uint64_t n) {
+    for (Bin& b : bins_) {
+        if (b.name == bin_name) {
+            b.hits += n;
+            return true;
+        }
+    }
+    return false;
+}
+
+const Bin* Covergroup::find(std::string_view bin_name) const {
+    for (const Bin& b : bins_) {
+        if (b.name == bin_name) return &b;
+    }
+    return nullptr;
+}
+
+std::uint64_t Covergroup::hits(std::string_view bin_name) const {
+    const Bin* b = find(bin_name);
+    return b != nullptr ? b->hits : 0;
+}
+
+std::size_t Covergroup::goal_bins() const noexcept {
+    std::size_t n = 0;
+    for (const Bin& b : bins_) {
+        if (!b.ignore) ++n;
+    }
+    return n;
+}
+
+std::size_t Covergroup::goal_hit() const noexcept {
+    std::size_t n = 0;
+    for (const Bin& b : bins_) {
+        if (!b.ignore && b.hits != 0) ++n;
+    }
+    return n;
+}
+
+bool Covergroup::same_shape(const Covergroup& o) const noexcept {
+    if (name_ != o.name_ || bins_.size() != o.bins_.size()) return false;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i].name != o.bins_[i].name ||
+            bins_[i].ignore != o.bins_[i].ignore) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Covergroup& Covergroup::operator+=(const Covergroup& o) {
+    if (!same_shape(o)) {
+        throw std::invalid_argument("coverage merge: covergroup '" + name_ +
+                                    "' shape mismatch");
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        bins_[i].hits += o.bins_[i].hits;
+    }
+    return *this;
+}
+
+bool Covergroup::operator==(const Covergroup& o) const noexcept {
+    if (!same_shape(o)) return false;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i].hits != o.bins_[i].hits) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Coverage
+// ---------------------------------------------------------------------------
+
+Covergroup& Coverage::add_group(std::string name) {
+    groups_.emplace_back(std::move(name));
+    return groups_.back();
+}
+
+Covergroup* Coverage::find(std::string_view group_name) {
+    for (Covergroup& g : groups_) {
+        if (g.name() == group_name) return &g;
+    }
+    return nullptr;
+}
+
+const Covergroup* Coverage::find(std::string_view group_name) const {
+    for (const Covergroup& g : groups_) {
+        if (g.name() == group_name) return &g;
+    }
+    return nullptr;
+}
+
+std::size_t Coverage::goal_bins() const noexcept {
+    std::size_t n = 0;
+    for (const Covergroup& g : groups_) n += g.goal_bins();
+    return n;
+}
+
+std::size_t Coverage::goal_hit() const noexcept {
+    std::size_t n = 0;
+    for (const Covergroup& g : groups_) n += g.goal_hit();
+    return n;
+}
+
+double Coverage::percent() const noexcept {
+    const std::size_t goal = goal_bins();
+    if (goal == 0) return 100.0;
+    return 100.0 * static_cast<double>(goal_hit()) /
+           static_cast<double>(goal);
+}
+
+std::vector<std::string> Coverage::unhit() const {
+    std::vector<std::string> out;
+    for (const Covergroup& g : groups_) {
+        for (const Bin& b : g.bins()) {
+            if (!b.ignore && b.hits == 0) out.push_back(g.name() + "/" + b.name);
+        }
+    }
+    return out;
+}
+
+std::uint64_t Coverage::hits(std::string_view group,
+                             std::string_view bin) const {
+    const Covergroup* g = find(group);
+    return g != nullptr ? g->hits(bin) : 0;
+}
+
+bool Coverage::same_shape(const Coverage& o) const noexcept {
+    if (groups_.size() != o.groups_.size()) return false;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        if (!groups_[i].same_shape(o.groups_[i])) return false;
+    }
+    return true;
+}
+
+Coverage& Coverage::operator+=(const Coverage& o) {
+    if (!same_shape(o)) {
+        throw std::invalid_argument("coverage merge: model shape mismatch");
+    }
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        groups_[i] += o.groups_[i];
+    }
+    return *this;
+}
+
+bool Coverage::operator==(const Coverage& o) const noexcept {
+    if (groups_.size() != o.groups_.size()) return false;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        if (!(groups_[i] == o.groups_[i])) return false;
+    }
+    return true;
+}
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            default: os << c; break;
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void Coverage::write_json(std::ostream& os) const {
+    os << "{\"goal_bins\":" << goal_bins() << ",\"goal_hit\":" << goal_hit()
+       << ",\"percent\":" << percent() << ",\"groups\":[";
+    bool first_g = true;
+    for (const Covergroup& g : groups_) {
+        if (!first_g) os << ',';
+        first_g = false;
+        os << "{\"name\":";
+        json_string(os, g.name());
+        os << ",\"bins\":[";
+        bool first_b = true;
+        for (const Bin& b : g.bins()) {
+            if (!first_b) os << ',';
+            first_b = false;
+            os << "{\"name\":";
+            json_string(os, b.name);
+            os << ",\"hits\":" << b.hits;
+            if (b.ignore) os << ",\"ignore\":true";
+            os << '}';
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+void Coverage::write_text(std::ostream& os) const {
+    os << "functional coverage: " << goal_hit() << "/" << goal_bins()
+       << " goal bins (" << percent() << "%)\n";
+    for (const Covergroup& g : groups_) {
+        os << "  " << g.name() << ": " << g.goal_hit() << "/"
+           << g.goal_bins() << "\n";
+        for (const Bin& b : g.bins()) {
+            if (!b.ignore && b.hits == 0) {
+                os << "    UNHIT " << b.name << "\n";
+            } else if (b.ignore && b.hits != 0) {
+                os << "    !! unexpected bin hit: " << b.name << " ("
+                   << b.hits << ")\n";
+            }
+        }
+    }
+}
+
+}  // namespace autovision::cover

@@ -1,0 +1,108 @@
+// cover: functional-coverage machinery.
+//
+// SystemVerilog-style covergroups reduced to what a closure loop actually
+// needs: named groups of named bins with hit counters, a deterministic
+// merge, and report exporters. The shape of a coverage object (group order,
+// bin order, names, ignore flags) is fixed at construction by the model
+// (model.hpp); merging requires identical shapes and is a plain elementwise
+// addition — commutative and associative by construction, so a campaign can
+// merge per-job shards in any order (worker completion order included) and
+// always land on the same totals. A unit test pins that property.
+//
+// Bins carry an `ignore` flag for combinations that are tracked but
+// excluded from the percent denominator — e.g. a fault x method x outcome
+// cell that contradicts the catalogue expectation. Hitting an ignored bin
+// is a finding, not progress.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autovision::cover {
+
+struct Bin {
+    std::string name;
+    std::uint64_t hits = 0;
+    bool ignore = false;  ///< excluded from the goal denominator
+};
+
+/// One covergroup: an ordered, fixed set of bins.
+class Covergroup {
+public:
+    explicit Covergroup(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<Bin>& bins() const noexcept {
+        return bins_;
+    }
+
+    /// Append a bin; returns its index. Shapes are built once, up front.
+    std::size_t add_bin(std::string name, bool ignore = false);
+
+    void hit(std::size_t index, std::uint64_t n = 1);
+    /// Name-addressed hit; returns false (and records nothing) when the bin
+    /// does not exist — observers may be newer than the model they fill.
+    bool hit(std::string_view bin_name, std::uint64_t n = 1);
+
+    [[nodiscard]] const Bin* find(std::string_view bin_name) const;
+    [[nodiscard]] std::uint64_t hits(std::string_view bin_name) const;
+
+    /// Goal bins are the non-ignored ones.
+    [[nodiscard]] std::size_t goal_bins() const noexcept;
+    [[nodiscard]] std::size_t goal_hit() const noexcept;
+
+    /// Elementwise hit addition. Throws std::invalid_argument when the
+    /// shapes (name, bin names/order/ignore flags) differ.
+    Covergroup& operator+=(const Covergroup& o);
+    [[nodiscard]] bool same_shape(const Covergroup& o) const noexcept;
+    [[nodiscard]] bool operator==(const Covergroup& o) const noexcept;
+
+private:
+    std::string name_;
+    std::vector<Bin> bins_;
+};
+
+/// A full coverage model instance: ordered covergroups.
+class Coverage {
+public:
+    Covergroup& add_group(std::string name);
+
+    [[nodiscard]] const std::vector<Covergroup>& groups() const noexcept {
+        return groups_;
+    }
+    [[nodiscard]] Covergroup* find(std::string_view group_name);
+    [[nodiscard]] const Covergroup* find(std::string_view group_name) const;
+
+    [[nodiscard]] std::size_t goal_bins() const noexcept;
+    [[nodiscard]] std::size_t goal_hit() const noexcept;
+    /// Percent of goal bins hit (100 when the model is empty).
+    [[nodiscard]] double percent() const noexcept;
+
+    /// "group/bin" names of every unhit goal bin, in model order.
+    [[nodiscard]] std::vector<std::string> unhit() const;
+    /// Convenience: hits of "group/bin" (0 when absent).
+    [[nodiscard]] std::uint64_t hits(std::string_view group,
+                                     std::string_view bin) const;
+
+    /// Deterministic merge (see header comment). Throws on shape mismatch.
+    Coverage& operator+=(const Coverage& o);
+    [[nodiscard]] bool same_shape(const Coverage& o) const noexcept;
+    [[nodiscard]] bool operator==(const Coverage& o) const noexcept;
+
+    /// Stable JSON report: {"goal_bins":..,"goal_hit":..,"percent":..,
+    /// "groups":[{"name":..,"bins":[{"name":..,"hits":..,"ignore":..}]}]}.
+    /// Key order and bin order are model order, so identical coverage
+    /// serialises byte-identically (the determinism tests compare strings).
+    void write_json(std::ostream& os) const;
+    /// Human-readable table (one line per group + unhit bin list).
+    void write_text(std::ostream& os) const;
+
+private:
+    std::vector<Covergroup> groups_;
+};
+
+}  // namespace autovision::cover

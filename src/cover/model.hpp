@@ -1,0 +1,52 @@
+// cover: the AutoVision coverage model.
+//
+// The covergroup/bin taxonomy over the reconfiguration state space the
+// paper argues only ReSim exercises (documented in DESIGN.md section 9):
+//
+//   * simb.seq   — SimB packet-sequence outcomes per configuration session
+//                  (Table I orderings plus the malformed variants the ICAP
+//                  artifact detects: type-2 without header, truncation, X);
+//   * xwin.len   — error-injection (X) window length buckets, in cycles;
+//   * xwin.cross — X-window x concurrent bus traffic (DCR reads/writes,
+//                  interrupts raised while the window is open);
+//   * swap.trans — module-swap transition cross (CIE->ME, ME->CIE, repeated
+//                  configuration of the resident engine);
+//   * fault.det  — fault x method x detection-outcome cross over the full
+//                  kFaultCatalog; cells contradicting the catalogue
+//                  expectation are ignore bins (tracked, not goals);
+//   * irq.lat    — IRQ-raise-to-service latency buckets, in cycles.
+//
+// `make_model()` builds the fixed shape; the observers fill it from an obs
+// event stream (one simulation run) or from a detection outcome. Every
+// consumer of the model — jobs, the closure loop, the CI gate — must build
+// the same shape, so merges stay well-defined; bump kModelVersion when the
+// taxonomy changes and re-baseline the CI gate.
+#pragma once
+
+#include <vector>
+
+#include "coverage.hpp"
+#include "kernel/sim_time.hpp"
+#include "obs/event.hpp"
+#include "sys/faults.hpp"
+
+namespace autovision::cover {
+
+inline constexpr int kModelVersion = 1;
+
+/// The fixed covergroup/bin skeleton (all hits zero).
+[[nodiscard]] Coverage make_model();
+
+/// Fold one run's chronological event stream into the model. `clk_period`
+/// (ps) converts time spans to cycles; 0 falls back to raw picoseconds.
+void observe_events(Coverage& cov, const std::vector<obs::Event>& events,
+                    rtlsim::Time clk_period);
+
+/// Which simulation method produced a detection verdict.
+enum class DetectMethod { kVm, kResim };
+
+/// Fold one fault-run verdict into the fault.det cross.
+void observe_detection(Coverage& cov, sys::Fault fault, DetectMethod method,
+                       bool detected);
+
+}  // namespace autovision::cover

@@ -57,6 +57,13 @@ bool CensusEngine::restore_job_state(StateReader& r) {
     out_row_ = r.words();
     dma_issued_ = false;  // capture is only legal with the DMA idle
     if (!r.ok_so_far()) return false;
+    if (w_ == 0 && h_ == 0) {
+        // Idle image: captured before any job was configured. Valid iff
+        // every buffer is empty too — a capture/restore round-trip of an
+        // untouched module must succeed.
+        return prev_.empty() && cur_.empty() && next_.empty() &&
+               out_row_.empty() && y_ == 0 && x_ == 0;
+    }
     // Geometry consistency: a mismatched image must be rejected.
     return w_ > 0 && h_ > 0 && prev_.size() == w_ && cur_.size() == w_ &&
            next_.size() == w_ && out_row_.size() == w_ / 4 && y_ <= h_ &&

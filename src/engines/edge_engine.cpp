@@ -72,6 +72,12 @@ bool EdgeEngine::restore_job_state(StateReader& r) {
     out_row_ = r.words();
     dma_issued_ = false;
     if (!r.ok_so_far()) return false;
+    if (w_ == 0 && h_ == 0) {
+        // Idle image: captured before any job was configured (see
+        // CensusEngine::restore_job_state).
+        return prev_.empty() && cur_.empty() && next_.empty() &&
+               out_row_.empty() && y_ == 0 && x_ == 0;
+    }
     return w_ > 0 && h_ > 0 && prev_.size() == w_ && cur_.size() == w_ &&
            next_.size() == w_ && out_row_.size() == w_ / 4;
 }

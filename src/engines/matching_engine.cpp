@@ -80,6 +80,12 @@ bool MatchingEngine::restore_job_state(StateReader& r) {
     out_ = r.words();
     dma_issued_ = false;
     if (!r.ok_so_far()) return false;
+    if (w_ == 0 && h_ == 0) {
+        // Idle image: captured before any job was configured (see
+        // CensusEngine::restore_job_state).
+        return prev_.empty() && cur_.empty() && out_.empty() && gx_ == 0 &&
+               gy_ == 0;
+    }
     return w_ > 0 && h_ > 0 && prev_.size() == std::size_t{w_} * h_ &&
            cur_.size() == std::size_t{w_} * h_ &&
            out_.size() == std::size_t{gw_} * gh_ && gx_ <= gw_ && gy_ <= gh_;

@@ -1,0 +1,35 @@
+// Deterministic seed derivation (SplitMix64).
+//
+// The repo-wide convention for turning one canonical 64-bit seed into the
+// many independent sub-seeds a run needs (scene texture, SimB filler,
+// error-injector state, per-scenario draws): derive_seed(seed, tag) with a
+// distinct tag per consumer. SplitMix64 is the standard seeding PRNG —
+// every 64-bit input maps to a well-mixed output, so correlated inputs
+// (seed, seed+1, ...) produce uncorrelated streams.
+#pragma once
+
+#include <cstdint>
+
+namespace rtlsim {
+
+/// One SplitMix64 output for state `x` (stateless form).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E37'79B9'7F4A'7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D0'49BB'1331'11EBull;
+    return x ^ (x >> 31);
+}
+
+/// Domain-separated sub-seed: same (seed, tag) always yields the same
+/// value; distinct tags yield independent streams.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t tag) {
+    return splitmix64(seed ^ splitmix64(tag));
+}
+
+[[nodiscard]] constexpr std::uint32_t derive_seed32(std::uint64_t seed,
+                                                    std::uint64_t tag) {
+    return static_cast<std::uint32_t>(derive_seed(seed, tag) >> 32);
+}
+
+}  // namespace rtlsim

@@ -24,7 +24,8 @@ enum class EventKind : std::uint8_t {
     kDesync,        ///< CMD DESYNC closed the session; a = SimBs completed
     kFarWrite,      ///< FAR written; a = RR id, b = module id
     kCmdWrite,      ///< CMD written; a = command value
-    kFdriHeader,    ///< FDRI header parsed; a = payload words announced
+    kFdriHeader,    ///< FDRI header parsed; a = payload words announced,
+                    ///< b = 1 for a type-2 (long-form) header
     kPayloadBegin,  ///< first FDRI payload word (error injection starts)
     kPayloadEnd,    ///< last FDRI payload word; a = payload words written
     kMalformed,     ///< malformed stream reported; a = MalformedCode

@@ -57,7 +57,7 @@ void IcapArtifact::packet_header(std::uint32_t w) {
         fdri_type2_pending_ = false;
         payload_left_ = w & 0x07FF'FFFF;
         payload_total_ = payload_left_;
-        note(obs::EventKind::kFdriHeader, payload_left_);
+        note(obs::EventKind::kFdriHeader, payload_left_, /*type2=*/1);
         if (payload_left_ == 0) {
             report("FDRI payload of zero words");
             return;

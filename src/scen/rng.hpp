@@ -1,0 +1,80 @@
+// scen: the scenario-layer PRNG.
+//
+// A tiny SplitMix64-sequence generator with the draw primitives a
+// constrained-random generator needs: bounded integers and weighted picks.
+// Everything is a pure function of the construction seed, so a Scenario is
+// reproducible from its 64-bit seed alone — across hosts, thread counts and
+// standard-library versions (no <random> distributions, whose outputs are
+// implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "kernel/prng.hpp"
+
+namespace autovision::scen {
+
+class Rng {
+public:
+    explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+    /// Next raw 64-bit draw.
+    constexpr std::uint64_t next() {
+        state_ += 0x9E37'79B9'7F4A'7C15ull;
+        std::uint64_t x = state_;
+        x = (x ^ (x >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+        x = (x ^ (x >> 27)) * 0x94D0'49BB'1331'11EBull;
+        return x ^ (x >> 31);
+    }
+
+    /// Uniform draw in [0, n); n = 0 yields 0. Multiply-shift reduction —
+    /// bias is negligible at these ranges and the result is deterministic.
+    constexpr std::uint64_t below(std::uint64_t n) {
+        if (n == 0) return 0;
+        // 128-bit multiply-high via two 64x64->64 halves.
+        const std::uint64_t x = next();
+        const std::uint64_t xl = x & 0xFFFF'FFFFull, xh = x >> 32;
+        const std::uint64_t nl = n & 0xFFFF'FFFFull, nh = n >> 32;
+        const std::uint64_t mid = xh * nl + ((xl * nl) >> 32);
+        return xh * nh + (mid >> 32) +
+               ((xl * nh + (mid & 0xFFFF'FFFFull)) >> 32);
+    }
+
+    /// Uniform draw in [lo, hi] (inclusive); degenerate ranges return lo.
+    constexpr std::uint32_t range(std::uint32_t lo, std::uint32_t hi) {
+        if (hi <= lo) return lo;
+        return lo + static_cast<std::uint32_t>(below(hi - lo + 1ull));
+    }
+
+    /// True with probability percent/100.
+    constexpr bool chance(unsigned percent) {
+        return below(100) < percent;
+    }
+
+    /// Weighted pick: index into `weights` with probability proportional to
+    /// the weight. All-zero weights fall back to index 0.
+    template <typename Container>
+    constexpr std::size_t pick_weighted(const Container& weights) {
+        std::uint64_t total = 0;
+        for (const auto w : weights) total += w;
+        if (total == 0) return 0;
+        std::uint64_t draw = below(total);
+        std::size_t i = 0;
+        for (const auto w : weights) {
+            if (draw < w) return i;
+            draw -= w;
+            ++i;
+        }
+        return 0;
+    }
+
+    std::size_t pick_weighted(std::initializer_list<unsigned> weights) {
+        return pick_weighted<std::initializer_list<unsigned>>(weights);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace autovision::scen

@@ -1,0 +1,446 @@
+#include "scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "resim/simb.hpp"
+#include "rng.hpp"
+
+namespace autovision::scen {
+
+using resim::CfgCmd;
+using resim::CfgReg;
+using resim::far_word;
+using resim::kNopWord;
+using resim::kSyncWord;
+using resim::type1_write;
+using resim::type2_write;
+using rtlsim::Word;
+
+const char* to_string(Corrupt c) {
+    switch (c) {
+        case Corrupt::kNone: return "none";
+        case Corrupt::kHeaderOnly: return "header_only";
+        case Corrupt::kTruncate: return "truncate";
+        case Corrupt::kBitFlip: return "bitflip";
+        case Corrupt::kReorder: return "reorder";
+        case Corrupt::kDupSync: return "dup_sync";
+        case Corrupt::kZeroPayload: return "zero_payload";
+        case Corrupt::kStrayType2: return "stray_type2";
+        case Corrupt::kSkipFar: return "skip_far";
+        case Corrupt::kXWord: return "x_word";
+        case Corrupt::kCount: break;
+    }
+    return "?";
+}
+
+namespace {
+
+void push_cmd(std::vector<std::uint32_t>& w, CfgCmd cmd) {
+    w.push_back(type1_write(CfgReg::kCmd, 1));
+    w.push_back(static_cast<std::uint32_t>(cmd));
+}
+
+/// Deterministic payload filler (the SimB LCG), never emitting the SYNC
+/// pattern — a filler word that aliased SYNC would truncate the session.
+std::uint32_t filler_step(std::uint32_t& s) {
+    std::uint32_t v = s;
+    s = s * 1664525u + 1013904223u;
+    if (v == kSyncWord) v ^= 1u;
+    return v;
+}
+
+}  // namespace
+
+std::vector<Word> StreamSession::words() const {
+    std::vector<std::uint32_t> w;
+    w.reserve(resim::SimB::length_for_payload(payload_words) + 12);
+    std::size_t x_index = ~std::size_t{0};  // position to drive all-X
+
+    if (capture_first) {
+        resim::SimB cap;
+        cap.rr_id = rr_id;
+        cap.module_id = capture_module;
+        const auto cw = cap.build_capture();
+        w.insert(w.end(), cw.begin(), cw.end());
+    }
+
+    if (corrupt == Corrupt::kHeaderOnly) {
+        w.push_back(kSyncWord);
+        w.push_back(kNopWord);
+        push_cmd(w, CfgCmd::kDesync);
+    } else {
+        w.push_back(kSyncWord);
+        w.push_back(kNopWord);
+        if (corrupt == Corrupt::kDupSync) {
+            // A stray SYNC inside an open session: the parser must report
+            // an unrecognised header and carry on.
+            w.push_back(kSyncWord);
+        }
+        if (corrupt != Corrupt::kSkipFar) {
+            w.push_back(type1_write(CfgReg::kFar, 1));
+            w.push_back(far_word(rr_id, module_id));
+        }
+        push_cmd(w, CfgCmd::kWcfg);
+
+        // FDRI header — the mutation point for the header-shape corruptions.
+        std::uint32_t filler_count = payload_words;
+        if (corrupt == Corrupt::kZeroPayload) {
+            w.push_back(type1_write(CfgReg::kFdri, 0));
+            w.push_back(type2_write(0));
+            filler_count = 0;
+        } else if (!type2_header) {
+            w.push_back(type1_write(CfgReg::kFdri, payload_words & 0x7FF));
+        } else if (corrupt == Corrupt::kStrayType2) {
+            w.push_back(type2_write(payload_words));
+        } else if (corrupt == Corrupt::kReorder) {
+            // Header pair swapped: the type-2 count arrives first (flagged
+            // malformed), then the type-1 header is swallowed as payload —
+            // emit one filler word fewer so the framing stays aligned.
+            w.push_back(type2_write(payload_words));
+            w.push_back(type1_write(CfgReg::kFdri, 0));
+            filler_count = payload_words > 0 ? payload_words - 1 : 0;
+        } else {
+            w.push_back(type1_write(CfgReg::kFdri, 0));
+            w.push_back(type2_write(payload_words));
+        }
+
+        const std::size_t payload_start = w.size();
+        std::uint32_t s = static_cast<std::uint32_t>(
+            rtlsim::splitmix64(filler_seed) >> 32);
+        for (std::uint32_t i = 0; i < filler_count; ++i) {
+            w.push_back(filler_step(s));
+        }
+
+        if (corrupt == Corrupt::kBitFlip && filler_count > 0) {
+            const std::size_t pos =
+                payload_start + std::min<std::uint32_t>(corrupt_pos,
+                                                        filler_count - 1);
+            w[pos] ^= 1u << (corrupt_bit & 31);
+            if (w[pos] == kSyncWord) w[pos] ^= 2u;  // never alias SYNC
+        }
+        if (corrupt == Corrupt::kXWord && filler_count > 0) {
+            x_index = payload_start +
+                      std::min<std::uint32_t>(corrupt_pos, filler_count - 1);
+        }
+
+        if (corrupt == Corrupt::kTruncate) {
+            // Cut mid-payload; the recovery SYNC is what the artifact keys
+            // truncation detection on (abort, no swap), and the recovery
+            // session closes cleanly.
+            const std::uint32_t keep =
+                std::clamp<std::uint32_t>(corrupt_pos, 1,
+                                          filler_count > 0 ? filler_count - 1
+                                                           : 0);
+            w.resize(payload_start + keep);
+            w.push_back(kSyncWord);
+            w.push_back(kNopWord);
+            push_cmd(w, CfgCmd::kDesync);
+        } else {
+            if (corrupt == Corrupt::kXWord) {
+                // The X word is dropped by the artifact without decrementing
+                // the payload count; one compensating filler word keeps the
+                // trailer aligned.
+                w.push_back(filler_step(s));
+            }
+            if (restore_state) push_cmd(w, CfgCmd::kGrestore);
+            push_cmd(w, CfgCmd::kDesync);
+        }
+    }
+
+    std::vector<Word> out;
+    out.reserve(w.size());
+    for (const std::uint32_t v : w) out.emplace_back(v);
+    if (x_index < out.size()) out[x_index] = Word::all_x();
+    return out;
+}
+
+unsigned Scenario::expected_swaps() const {
+    unsigned n = 0;
+    for (const StreamSession& s : sessions) {
+        if (swap_expected(s.corrupt)) ++n;
+    }
+    return n;
+}
+
+namespace {
+
+// Seed-derivation tags of the scenario layer.
+constexpr std::uint64_t kTagKind = 0x5343'454E'0001ull;
+constexpr std::uint64_t kTagSession = 0x5343'454E'0100ull;
+constexpr std::uint64_t kTagBatch = 0x5343'454E'BA00ull;
+
+StreamSession make_session(const ScenarioConstraints& c, Rng& rng,
+                           std::uint64_t scenario_seed, unsigned index,
+                           std::uint8_t& resident, bool captured[3]) {
+    StreamSession ss;
+    ss.filler_seed = rtlsim::derive_seed(scenario_seed, kTagSession + index);
+
+    const std::uint8_t other = resident == 1 ? std::uint8_t{2} : std::uint8_t{1};
+    ss.module_id =
+        rng.pick_weighted({c.w_toggle_module, c.w_repeat_module}) == 0
+            ? other
+            : resident;
+
+    ss.corrupt = static_cast<Corrupt>(rng.pick_weighted(c.w_corrupt));
+
+    switch (rng.pick_weighted(c.w_payload)) {
+        case 0: ss.payload_words = rng.range(2, 8); break;
+        case 1: ss.payload_words = rng.range(9, 1024); break;
+        default: ss.payload_words = rng.range(1025, 2047); break;
+    }
+    ss.type2_header =
+        rng.pick_weighted({c.w_type2_header, c.w_type1_header}) == 0;
+
+    switch (ss.corrupt) {
+        case Corrupt::kHeaderOnly:
+        case Corrupt::kZeroPayload:
+            ss.payload_words = 0;
+            ss.type2_header = true;
+            break;
+        case Corrupt::kReorder:
+        case Corrupt::kStrayType2:
+            ss.type2_header = true;
+            ss.payload_words = std::max<std::uint32_t>(ss.payload_words, 2);
+            break;
+        case Corrupt::kTruncate:
+            ss.payload_words = std::max<std::uint32_t>(ss.payload_words, 4);
+            ss.corrupt_pos = rng.range(1, ss.payload_words - 1);
+            break;
+        case Corrupt::kBitFlip:
+            ss.corrupt_pos = rng.range(0, ss.payload_words - 1);
+            ss.corrupt_bit = rng.range(0, 31);
+            break;
+        case Corrupt::kXWord:
+            ss.payload_words = std::max<std::uint32_t>(ss.payload_words, 2);
+            ss.corrupt_pos = rng.range(0, ss.payload_words - 1);
+            break;
+        default:
+            break;
+    }
+
+    if (rng.pick_weighted({c.w_capture, c.w_skip_capture}) == 0) {
+        ss.capture_first = true;
+        ss.capture_module = resident;
+        captured[resident] = true;
+    }
+    if (ss.corrupt == Corrupt::kNone && captured[ss.module_id] &&
+        rng.pick_weighted({c.w_restore, c.w_skip_restore}) == 0) {
+        ss.restore_state = true;
+    }
+
+    switch (rng.pick_weighted(c.w_gap)) {
+        case 0: ss.word_gap = 1; break;
+        case 1: ss.word_gap = rng.range(2, 8); break;
+        default: ss.word_gap = rng.range(9, 32); break;
+    }
+    ss.dcr = static_cast<DcrTraffic>(rng.pick_weighted(c.w_dcr));
+
+    if (swap_expected(ss.corrupt)) resident = ss.module_id;
+    return ss;
+}
+
+}  // namespace
+
+Scenario generate(const ScenarioConstraints& c, std::uint64_t seed) {
+    Scenario s;
+    s.seed = seed;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "s%016llx",
+                  static_cast<unsigned long long>(seed));
+    s.name = buf;
+
+    Rng rng(rtlsim::derive_seed(seed, kTagKind));
+    switch (rng.pick_weighted({c.w_stream, c.w_system, c.w_fault})) {
+        case 0: {
+            s.kind = Kind::kStream;
+            const unsigned n = rng.range(c.min_sessions, c.max_sessions);
+            std::uint8_t resident = 1;  // initial_configuration(1, 1)
+            bool captured[3] = {false, false, false};
+            s.sessions.reserve(n);
+            for (unsigned i = 0; i < n; ++i) {
+                s.sessions.push_back(
+                    make_session(c, rng, seed, i, resident, captured));
+            }
+            break;
+        }
+        case 1: {
+            s.kind = Kind::kSystem;
+            struct Geo { unsigned w, h; };
+            static constexpr Geo kMenu[] = {{32, 24}, {48, 32}, {64, 48}};
+            const Geo g = kMenu[rng.below(3)];
+            s.config.width = g.w;
+            s.config.height = g.h;
+            s.config.step = 4;
+            s.config.margin = 8;
+            s.config.search = 2;
+            s.config.simb_payload_words = rng.range(50, 400);
+            s.config.seed = seed;
+            s.config.trace_events = true;
+            s.frames = rng.range(1, 3);
+            break;
+        }
+        default: {
+            s.kind = Kind::kFault;
+            s.fault = sys::kFaultCatalog[rng.pick_weighted(c.w_fault_pick)]
+                          .fault;
+            s.config.width = 32;
+            s.config.height = 24;
+            s.config.search = 2;
+            s.config.seed = seed;
+            s.frames = 2;
+            break;
+        }
+    }
+    return s;
+}
+
+std::vector<Scenario> generate_batch(const ScenarioConstraints& c,
+                                     std::uint64_t campaign_seed,
+                                     unsigned batch, unsigned count) {
+    const std::uint64_t base =
+        rtlsim::derive_seed(campaign_seed, kTagBatch + batch);
+    std::vector<Scenario> out;
+    out.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        Scenario s = generate(c, rtlsim::derive_seed(base, i));
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "b%u.i%u.%s", batch, i,
+                      s.kind == Kind::kStream   ? "stream"
+                      : s.kind == Kind::kSystem ? "system"
+                                                : "fault");
+        s.name = buf;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+ScenarioConstraints bias_towards(const ScenarioConstraints& base,
+                                 const cover::Coverage& cov) {
+    ScenarioConstraints c = base;
+
+    const auto open = [&cov](const char* group, const char* bin) {
+        const cover::Covergroup* g = cov.find(group);
+        if (g == nullptr) return false;
+        const cover::Bin* b = g->find(bin);
+        return b != nullptr && !b->ignore && b->hits == 0;
+    };
+    const auto boost = [](unsigned& w) { w = std::max(w, 1u) * 8; };
+    const auto cidx = [](Corrupt k) { return static_cast<std::size_t>(k); };
+
+    bool malformed_open = false;
+    const auto boost_corrupt = [&](Corrupt k) {
+        boost(c.w_corrupt[cidx(k)]);
+        malformed_open = true;
+    };
+
+    if (open("simb.seq", "malformed.truncated") || open("simb.seq", "abort")) {
+        boost_corrupt(Corrupt::kTruncate);
+    }
+    if (open("simb.seq", "malformed.type2_no_header")) {
+        boost_corrupt(Corrupt::kStrayType2);
+        boost_corrupt(Corrupt::kReorder);
+    }
+    if (open("simb.seq", "malformed.x_on_icap")) {
+        boost_corrupt(Corrupt::kXWord);
+    }
+    if (open("simb.seq", "zero_payload")) boost_corrupt(Corrupt::kZeroPayload);
+    if (open("simb.seq", "fdri_before_far")) boost_corrupt(Corrupt::kSkipFar);
+    if (open("simb.seq", "header_only")) boost_corrupt(Corrupt::kHeaderOnly);
+    if (malformed_open) {
+        c.w_corrupt[cidx(Corrupt::kNone)] =
+            std::min(c.w_corrupt[cidx(Corrupt::kNone)], 2u);
+    }
+
+    if (open("simb.seq", "multi_session")) {
+        c.min_sessions = std::max(c.min_sessions, 2u);
+        c.max_sessions = std::max(c.max_sessions, c.min_sessions);
+    }
+    if (open("simb.seq", "type1_header")) boost(c.w_type1_header);
+    if (open("simb.seq", "type2_header")) boost(c.w_type2_header);
+    if (open("simb.seq", "capture")) boost(c.w_capture);
+    if (open("simb.seq", "restore")) {
+        boost(c.w_restore);
+        boost(c.w_capture);  // restore needs a prior capture
+    }
+    if (open("simb.seq", "payload_short")) boost(c.w_payload[0]);
+    if (open("simb.seq", "payload_medium")) boost(c.w_payload[1]);
+    if (open("simb.seq", "payload_long")) boost(c.w_payload[2]);
+
+    // X-window length = payload words x word gap; steer both factors.
+    if (open("xwin.len", "le16")) {
+        boost(c.w_gap[0]);
+        boost(c.w_payload[0]);
+    }
+    if (open("xwin.len", "17_128")) {
+        boost(c.w_gap[0]);
+        boost(c.w_payload[1]);
+    }
+    if (open("xwin.len", "129_1k")) {
+        boost(c.w_gap[1]);
+        boost(c.w_payload[1]);
+    }
+    if (open("xwin.len", "1k_8k")) {
+        boost(c.w_gap[2]);
+        boost(c.w_payload[1]);
+    }
+    if (open("xwin.len", "gt8k")) {
+        boost(c.w_gap[2]);
+        boost(c.w_payload[2]);
+    }
+
+    if (open("xwin.cross", "quiet")) boost(c.w_dcr[0]);
+    if (open("xwin.cross", "dcr_read")) boost(c.w_dcr[1]);
+    if (open("xwin.cross", "dcr_write")) boost(c.w_dcr[2]);
+
+    if (open("swap.trans", "cie_to_cie") || open("swap.trans", "me_to_me")) {
+        boost(c.w_repeat_module);
+    }
+    if (open("swap.trans", "cie_to_me") || open("swap.trans", "me_to_cie")) {
+        boost(c.w_toggle_module);
+    }
+
+    // Fault cross: steer toward catalogue entries with open goal cells.
+    const cover::Covergroup* det = cov.find("fault.det");
+    if (det != nullptr) {
+        for (std::size_t i = 0; i < sys::kFaultCatalog.size(); ++i) {
+            const std::string prefix =
+                std::string(sys::kFaultCatalog[i].id) + ".";
+            for (const cover::Bin& b : det->bins()) {
+                if (!b.ignore && b.hits == 0 &&
+                    b.name.compare(0, prefix.size(), prefix) == 0) {
+                    boost(c.w_fault_pick[i]);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Scenario-kind mix: weight each kind by how many goal bins it can
+    // still close. A flat boost here starves the other kinds (a x8 on
+    // w_fault swamps w_stream=8), so scale the base weight by the open-bin
+    // count instead; a base weight of zero keeps a kind disabled.
+    std::size_t stream_open = 0, system_open = 0, fault_open = 0;
+    for (const cover::Covergroup& g : cov.groups()) {
+        for (const cover::Bin& b : g.bins()) {
+            if (b.ignore || b.hits != 0) continue;
+            if (g.name() == "fault.det") {
+                ++fault_open;
+            } else if (g.name() == "irq.lat" ||
+                       (g.name() == "xwin.cross" && b.name == "irq")) {
+                // Only the full system raises interrupts.
+                ++system_open;
+            } else {
+                ++stream_open;
+            }
+        }
+    }
+    if (stream_open + system_open + fault_open > 0) {
+        c.w_stream = base.w_stream * static_cast<unsigned>(1 + stream_open);
+        c.w_system = base.w_system * static_cast<unsigned>(1 + system_open);
+        c.w_fault = base.w_fault * static_cast<unsigned>(1 + fault_open);
+    }
+    return c;
+}
+
+}  // namespace autovision::scen

@@ -1,0 +1,174 @@
+// scen: seeded constrained-random scenarios.
+//
+// A Scenario is everything one coverage-closure job needs, generated from a
+// single 64-bit seed under a ScenarioConstraints weight table:
+//
+//   * kStream — a sequence of SimB sessions (valid by construction, then
+//     optionally mutated into one of the deliberate malformations the ICAP
+//     artifact must survive) played word-by-word into a minimal DPR harness
+//     (stream_harness.hpp);
+//   * kSystem — a randomized full-system SystemConfig + frame count, run
+//     through the ordinary Testbench with event tracing on;
+//   * kFault — one fault-catalogue entry run through the VM-vs-ReSim
+//     detection harness.
+//
+// Valid by construction: the generator tracks the resident module, only
+// captures the module that is actually resident, only restores state that a
+// prior session captured, and bounds every payload to what the chosen
+// header form can express. Corruptions are then applied as explicit,
+// labelled mutations — so the expected outcome (swap or no swap) is known
+// per session and testable.
+//
+// bias_towards() is the closure feedback edge: it returns a copy of a
+// weight table with the knobs that feed still-unhit coverage bins boosted,
+// which is how batch N+1 of a campaign steers toward the holes batch N
+// left.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cover/coverage.hpp"
+#include "kernel/lvec.hpp"
+#include "sys/system.hpp"
+
+namespace autovision::scen {
+
+/// Deliberate stream mutations (kNone/kHeaderOnly are shapes, the rest are
+/// corruptions of an otherwise valid session).
+enum class Corrupt : std::uint8_t {
+    kNone,        ///< clean session, swap expected
+    kHeaderOnly,  ///< SYNC/NOP/DESYNC only — no FDRI, no swap
+    kTruncate,    ///< payload cut short, recovery SYNC follows (abort path)
+    kBitFlip,     ///< one payload bit flipped (opaque filler; still swaps)
+    kReorder,     ///< FDRI header pair swapped (type-2 before its header)
+    kDupSync,     ///< second SYNC word mid-framing (unrecognised header)
+    kZeroPayload, ///< type-2 FDRI with a zero word count
+    kStrayType2,  ///< type-2 count with no preceding type-1 FDRI header
+    kSkipFar,     ///< FDRI payload with no FAR write (nothing staged)
+    kXWord,       ///< one payload word driven to all-X
+    kCount,
+};
+
+inline constexpr std::size_t kNumCorrupt =
+    static_cast<std::size_t>(Corrupt::kCount);
+
+[[nodiscard]] const char* to_string(Corrupt c);
+
+/// Does a session with this mutation still complete its module swap?
+[[nodiscard]] constexpr bool swap_expected(Corrupt c) {
+    switch (c) {
+        case Corrupt::kHeaderOnly:
+        case Corrupt::kTruncate:
+        case Corrupt::kZeroPayload:
+        case Corrupt::kSkipFar:
+            return false;
+        default:
+            return true;
+    }
+}
+
+/// DCR-chain activity driven concurrently with the payload transfer (the
+/// xwin.cross coverage dimension).
+enum class DcrTraffic : std::uint8_t { kNone, kRead, kWrite };
+
+/// One SimB session of a stream scenario.
+struct StreamSession {
+    std::uint8_t rr_id = 1;
+    std::uint8_t module_id = 2;       ///< 1 = CIE, 2 = ME
+    std::uint32_t payload_words = 4;
+    std::uint64_t filler_seed = 0;    ///< payload filler generator seed
+    bool type2_header = true;         ///< false: short-form type-1 FDRI
+    bool capture_first = false;       ///< GCAPTURE SimB for the resident
+                                      ///< module before this session
+    std::uint8_t capture_module = 1;  ///< the module capture_first snapshots
+    bool restore_state = false;       ///< GRESTORE after the payload
+    Corrupt corrupt = Corrupt::kNone;
+    std::uint32_t corrupt_pos = 0;    ///< payload index the mutation targets
+    std::uint32_t corrupt_bit = 0;    ///< bit index (kBitFlip)
+    unsigned word_gap = 1;            ///< idle cycles between ICAP words
+    DcrTraffic dcr = DcrTraffic::kNone;
+
+    /// The session's full (possibly mutated) word stream, ready to play
+    /// into an ICAP artifact. Includes the capture SimB when capture_first.
+    [[nodiscard]] std::vector<rtlsim::Word> words() const;
+};
+
+enum class Kind : std::uint8_t { kStream, kSystem, kFault };
+
+struct Scenario {
+    Kind kind = Kind::kStream;
+    std::uint64_t seed = 0;  ///< the single seed everything derived from
+    std::string name;
+    // kStream:
+    std::vector<StreamSession> sessions;
+    // kSystem:
+    sys::SystemConfig config;
+    unsigned frames = 2;
+    // kFault:
+    sys::Fault fault = sys::Fault::kNone;
+
+    /// Swaps the sessions are expected to complete (stream scenarios).
+    [[nodiscard]] unsigned expected_swaps() const;
+};
+
+/// The weight table a generator draws under. All weights are relative
+/// within their own array/pair; zero removes the choice entirely.
+struct ScenarioConstraints {
+    // Scenario kind mix.
+    unsigned w_stream = 8;
+    unsigned w_system = 2;
+    unsigned w_fault = 2;
+
+    // Stream scenarios.
+    unsigned min_sessions = 1;
+    unsigned max_sessions = 3;
+    /// Indexed by Corrupt; defaults heavily favour clean sessions.
+    std::array<unsigned, kNumCorrupt> w_corrupt{12, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+    /// Payload-length buckets: short (2..8), medium (9..1024), long
+    /// (1025..2047 words).
+    std::array<unsigned, 3> w_payload{4, 3, 1};
+    /// Word-gap buckets: 1, 2..8, 9..32 idle cycles per ICAP word.
+    std::array<unsigned, 3> w_gap{3, 2, 1};
+    unsigned w_type2_header = 3;
+    unsigned w_type1_header = 1;
+    unsigned w_capture = 1;
+    unsigned w_skip_capture = 4;
+    unsigned w_restore = 2;
+    unsigned w_skip_restore = 3;
+    /// DcrTraffic mix: none / read / write during the payload.
+    std::array<unsigned, 3> w_dcr{3, 1, 1};
+    /// Next session reconfigures the other module vs. the resident one.
+    unsigned w_toggle_module = 3;
+    unsigned w_repeat_module = 1;
+
+    // Fault scenarios: weight per kFaultCatalog entry.
+    std::array<unsigned, sys::kFaultCatalog.size()> w_fault_pick = [] {
+        std::array<unsigned, sys::kFaultCatalog.size()> a{};
+        a.fill(1);
+        return a;
+    }();
+};
+
+/// Generate one scenario from (constraints, seed). Pure function: the same
+/// inputs always produce the same scenario.
+[[nodiscard]] Scenario generate(const ScenarioConstraints& c,
+                                std::uint64_t seed);
+
+/// Generate a batch. Per-scenario seeds depend only on (campaign_seed,
+/// batch, index) — NOT on the constraints — so two batches generated under
+/// different weight tables draw from identical seed streams (the property
+/// the biased-vs-random closure comparison relies on).
+[[nodiscard]] std::vector<Scenario> generate_batch(
+    const ScenarioConstraints& c, std::uint64_t campaign_seed,
+    unsigned batch, unsigned count);
+
+/// The closure feedback edge: boost every knob that feeds a still-unhit
+/// goal bin of `cov` (and damp the clean-session weight when malformation
+/// bins are open). Deterministic in (base, cov).
+[[nodiscard]] ScenarioConstraints bias_towards(const ScenarioConstraints& base,
+                                               const cover::Coverage& cov);
+
+}  // namespace autovision::scen

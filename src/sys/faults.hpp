@@ -82,6 +82,60 @@ inline constexpr std::array<FaultInfo, 11> kFaultCatalog{{
      ExpectedDetection::kResimOnly},
 }};
 
+// --- catalogue completeness, checked at compile time -----------------------
+// The array literal above must stay in sync with the Fault enum by hand;
+// these static_asserts turn a forgotten or duplicated entry into a compile
+// error instead of a silently un-tested fault.
+namespace detail {
+
+constexpr bool cstr_eq(const char* a, const char* b) {
+    for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+        if (*a != *b) return false;
+    }
+    return *a == *b;
+}
+
+/// Every injectable Fault enumerator (all but kNone/kCount) appears in the
+/// catalogue exactly once, and kNone never does.
+constexpr bool catalog_covers_every_fault_once() {
+    for (int f = static_cast<int>(Fault::kNone) + 1;
+         f < static_cast<int>(Fault::kCount); ++f) {
+        int seen = 0;
+        for (const FaultInfo& fi : kFaultCatalog) {
+            if (fi.fault == static_cast<Fault>(f)) ++seen;
+        }
+        if (seen != 1) return false;
+    }
+    for (const FaultInfo& fi : kFaultCatalog) {
+        if (fi.fault == Fault::kNone) return false;
+    }
+    return true;
+}
+
+/// Paper-style id strings are pairwise distinct (they key campaign job
+/// names, coverage bins and the Table III rows).
+constexpr bool catalog_ids_unique() {
+    for (std::size_t i = 0; i < kFaultCatalog.size(); ++i) {
+        for (std::size_t j = i + 1; j < kFaultCatalog.size(); ++j) {
+            if (cstr_eq(kFaultCatalog[i].id, kFaultCatalog[j].id)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace detail
+
+static_assert(kFaultCatalog.size() ==
+                  static_cast<std::size_t>(Fault::kCount) - 1,
+              "kFaultCatalog must list every injectable Fault enumerator");
+static_assert(detail::catalog_covers_every_fault_once(),
+              "kFaultCatalog must cover each Fault exactly once (no "
+              "duplicates, no kNone entry)");
+static_assert(detail::catalog_ids_unique(),
+              "kFaultCatalog id strings must be unique");
+
 [[nodiscard]] inline const FaultInfo& fault_info(Fault f) {
     for (const FaultInfo& fi : kFaultCatalog) {
         if (fi.fault == f) return fi;

@@ -1,6 +1,7 @@
 #include "system.hpp"
 
 #include "address_map.hpp"
+#include "resim/injectors.hpp"
 
 namespace autovision::sys {
 
@@ -69,6 +70,21 @@ OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
     rr.add_module(cie);  // slot 0 = module id 1
     rr.add_module(me);   // slot 1 = module id 2
     rr.set_isolation_signal(iso.isolate);
+    switch (cfg.injection) {
+        case SystemConfig::Injection::kX:
+            break;  // the default ErrorInjector already drives X
+        case SystemConfig::Injection::kHoldLast:
+            rr.set_error_injector(
+                std::make_unique<resim::HoldLastInjector>());
+            break;
+        case SystemConfig::Injection::kZeros:
+            rr.set_error_injector(std::make_unique<resim::ZeroInjector>());
+            break;
+        case SystemConfig::Injection::kGarbage:
+            rr.set_error_injector(std::make_unique<resim::GarbageInjector>(
+                rtlsim::derive_seed32(cfg.seed, kSeedTagInjector)));
+            break;
+    }
 
     // --- interrupt fabric ----------------------------------------------------
     intc.attach(rr_done);               // line 0: engine done (through RR)
@@ -116,14 +132,21 @@ OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
     }
 
     // --- stage bitstreams ---------------------------------------------------
+    // Filler seeds derive from the canonical run seed; the default seed
+    // reproduces the historical Table I constants (the kernel-invariance
+    // goldens pin the resulting bus traffic bit-for-bit).
     resim::SimB scie;
     scie.rr_id = kRrId;
     scie.module_id = kModuleCie;
     scie.payload_words = cfg.simb_payload_words;
+    if (cfg.seed != 1) {
+        scie.seed = rtlsim::derive_seed32(cfg.seed, kSeedTagSimbCie);
+    }
     const auto cie_ws = scie.build();
     resim::SimB sme = scie;
     sme.module_id = kModuleMe;
-    sme.seed = 0xF464'9889;
+    sme.seed = cfg.seed != 1 ? rtlsim::derive_seed32(cfg.seed, kSeedTagSimbMe)
+                             : 0xF464'9889;
     const auto me_ws = sme.build();
     simb_cie_words = static_cast<std::uint32_t>(cie_ws.size());
     simb_me_words = static_cast<std::uint32_t>(me_ws.size());

@@ -17,6 +17,13 @@ video::MatchConfig match_config(const SystemConfig& cfg) {
 }
 
 video::SceneConfig scene_config(const SystemConfig& cfg, std::uint32_t seed) {
+    // Zero means "no override": derive from the canonical run seed. The
+    // default run seed maps to scene seed 1, the historical default.
+    if (seed == 0) {
+        seed = cfg.seed == 1
+                   ? 1u
+                   : rtlsim::derive_seed32(cfg.seed, kSeedTagScene);
+    }
     return video::SceneConfig::standard(cfg.width, cfg.height, seed);
 }
 

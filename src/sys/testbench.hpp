@@ -91,7 +91,10 @@ struct RunResult {
 
 class Testbench {
 public:
-    explicit Testbench(SystemConfig cfg, std::uint32_t scene_seed = 1);
+    /// `scene_seed` = 0 (the default) derives the scene texture seed from
+    /// the canonical SystemConfig::seed; a non-zero value overrides it
+    /// (legacy call sites and scene-sweep campaigns).
+    explicit Testbench(SystemConfig cfg, std::uint32_t scene_seed = 0);
 
     /// Process `frames` video frames end to end. `watchdog_cycles` = 0
     /// derives a budget from the frame geometry.

@@ -1,0 +1,312 @@
+// Functional-coverage machinery: model shape, deterministic merge
+// (associative + shard-order independent), ignore-bin semantics, and the
+// event observer that fills the model from an obs event stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cover/coverage.hpp"
+#include "cover/model.hpp"
+#include "obs/event.hpp"
+
+namespace {
+
+using namespace autovision;
+using cover::Coverage;
+using cover::Covergroup;
+using obs::Event;
+using obs::EventKind;
+using obs::Source;
+
+constexpr rtlsim::Time kPeriod = 10 * rtlsim::NS;
+
+Event ev(EventKind k, rtlsim::Time t = 0, std::uint32_t a = 0,
+         std::uint64_t b = 0) {
+    Event e;
+    e.time = t;
+    e.kind = k;
+    e.src = Source::kIcap;
+    e.a = a;
+    e.b = b;
+    return e;
+}
+
+std::string json_of(const Coverage& cov) {
+    std::ostringstream os;
+    cov.write_json(os);
+    return os.str();
+}
+
+// --------------------------------------------------------------- shape
+
+TEST(CoverShape, ModelHasTheAdvertisedGroups) {
+    Coverage cov = cover::make_model();
+    for (const char* g :
+         {"simb.seq", "xwin.len", "xwin.cross", "swap.trans", "fault.det",
+          "irq.lat"}) {
+        EXPECT_NE(cov.find(g), nullptr) << g;
+    }
+    EXPECT_GT(cov.goal_bins(), 0u);
+    EXPECT_EQ(cov.goal_hit(), 0u);
+    EXPECT_EQ(cov.percent(), 0.0);
+    // Every goal bin starts unhit.
+    EXPECT_EQ(cov.unhit().size(), cov.goal_bins());
+}
+
+TEST(CoverShape, FaultCrossHasOneBinPerCatalogCell) {
+    Coverage cov = cover::make_model();
+    const Covergroup* det = cov.find("fault.det");
+    ASSERT_NE(det, nullptr);
+    // fault x {vm,resim} x {detected,passed}; exactly one outcome per
+    // (fault, method) is the expected one, the other is an ignore bin.
+    EXPECT_EQ(det->bins().size(), sys::kFaultCatalog.size() * 4);
+    EXPECT_EQ(det->goal_bins(), sys::kFaultCatalog.size() * 2);
+}
+
+TEST(CoverShape, EmptyCoverageIsTriviallyClosed) {
+    Coverage cov;
+    EXPECT_EQ(cov.goal_bins(), 0u);
+    EXPECT_EQ(cov.percent(), 100.0);
+}
+
+// --------------------------------------------------------------- bins
+
+TEST(CoverBins, IgnoreBinsAreTrackedButNotGoals) {
+    Coverage cov;
+    Covergroup& g = cov.add_group("g");
+    g.add_bin("goal");
+    g.add_bin("surprise", /*ignore=*/true);
+    EXPECT_EQ(cov.goal_bins(), 1u);
+
+    g.hit("surprise");
+    EXPECT_EQ(cov.goal_hit(), 0u) << "ignore bins must not count as progress";
+    EXPECT_EQ(cov.hits("g", "surprise"), 1u) << "but the hit is recorded";
+    EXPECT_EQ(cov.percent(), 0.0);
+
+    g.hit("goal");
+    EXPECT_EQ(cov.goal_hit(), 1u);
+    EXPECT_EQ(cov.percent(), 100.0);
+}
+
+TEST(CoverBins, NameAddressedHitToleratesUnknownBins) {
+    Coverage cov;
+    Covergroup& g = cov.add_group("g");
+    g.add_bin("known");
+    EXPECT_TRUE(g.hit("known"));
+    EXPECT_FALSE(g.hit("unknown"));
+    EXPECT_EQ(cov.hits("g", "known"), 1u);
+}
+
+TEST(CoverBins, UnhitNamesAreGroupSlashBinInModelOrder) {
+    Coverage cov;
+    Covergroup& g = cov.add_group("g");
+    g.add_bin("a");
+    g.add_bin("b");
+    g.hit("a");
+    const std::vector<std::string> u = cov.unhit();
+    ASSERT_EQ(u.size(), 1u);
+    EXPECT_EQ(u[0], "g/b");
+}
+
+// --------------------------------------------------------------- merge
+
+TEST(CoverMerge, MergeIsElementwiseAddition) {
+    Coverage a = cover::make_model();
+    Coverage b = cover::make_model();
+    a.find("simb.seq")->hit("canonical", 2);
+    b.find("simb.seq")->hit("canonical", 3);
+    b.find("xwin.len")->hit("le16");
+    a += b;
+    EXPECT_EQ(a.hits("simb.seq", "canonical"), 5u);
+    EXPECT_EQ(a.hits("xwin.len", "le16"), 1u);
+}
+
+TEST(CoverMerge, MergeIsShardOrderIndependent) {
+    // Shards with overlapping, distinct hit patterns.
+    std::vector<Coverage> shards;
+    for (unsigned i = 0; i < 5; ++i) {
+        Coverage s = cover::make_model();
+        s.find("simb.seq")->hit("canonical", i + 1);
+        if (i % 2 == 0) s.find("xwin.len")->hit("17_128");
+        if (i == 3) s.find("swap.trans")->hit("cie_to_me", 7);
+        shards.push_back(std::move(s));
+    }
+
+    Coverage fwd = cover::make_model();
+    for (const Coverage& s : shards) fwd += s;
+
+    Coverage rev = cover::make_model();
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it) rev += *it;
+
+    // A third order: odd shards first, then even.
+    Coverage mixed = cover::make_model();
+    for (unsigned i = 1; i < shards.size(); i += 2) mixed += shards[i];
+    for (unsigned i = 0; i < shards.size(); i += 2) mixed += shards[i];
+
+    EXPECT_TRUE(fwd == rev);
+    EXPECT_TRUE(fwd == mixed);
+    // Determinism all the way to the serialised report.
+    EXPECT_EQ(json_of(fwd), json_of(rev));
+    EXPECT_EQ(json_of(fwd), json_of(mixed));
+}
+
+TEST(CoverMerge, MergeIsAssociative) {
+    Coverage a = cover::make_model();
+    Coverage b = cover::make_model();
+    Coverage c = cover::make_model();
+    a.find("simb.seq")->hit("capture");
+    b.find("simb.seq")->hit("restore", 2);
+    c.find("irq.lat")->hit("gt512", 3);
+
+    Coverage ab_c = cover::make_model();
+    ab_c += a;
+    ab_c += b;
+    ab_c += c;
+
+    Coverage bc = cover::make_model();
+    bc += b;
+    bc += c;
+    Coverage a_bc = cover::make_model();
+    a_bc += a;
+    a_bc += bc;
+
+    EXPECT_TRUE(ab_c == a_bc);
+    EXPECT_EQ(json_of(ab_c), json_of(a_bc));
+}
+
+TEST(CoverMerge, ShapeMismatchThrows) {
+    Coverage model = cover::make_model();
+    Coverage other;
+    other.add_group("simb.seq").add_bin("canonical");
+    EXPECT_FALSE(model.same_shape(other));
+    EXPECT_THROW(model += other, std::invalid_argument);
+
+    // Same names but a different ignore flag is a different shape too.
+    Coverage a;
+    a.add_group("g").add_bin("x", /*ignore=*/false);
+    Coverage b;
+    b.add_group("g").add_bin("x", /*ignore=*/true);
+    EXPECT_FALSE(a.same_shape(b));
+    EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(CoverMerge, JsonIsByteIdenticalForEqualCoverage) {
+    Coverage a = cover::make_model();
+    Coverage b = cover::make_model();
+    a.find("simb.seq")->hit("canonical", 4);
+    b.find("simb.seq")->hit("canonical", 1);
+    b.find("simb.seq")->hit("canonical", 3);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(json_of(a), json_of(b));
+}
+
+// ------------------------------------------------------------ observer
+
+TEST(CoverObserve, CanonicalSessionHitsTheSequenceBins) {
+    Coverage cov = cover::make_model();
+    const std::vector<Event> events = {
+        ev(EventKind::kSync, 0),
+        ev(EventKind::kFarWrite, 10, 1, 2),
+        ev(EventKind::kFdriHeader, 20, /*count=*/16, /*type2=*/1),
+        ev(EventKind::kPayloadBegin, 30),
+        ev(EventKind::kPayloadEnd, 200, /*written=*/16),
+        ev(EventKind::kDesync, 210),
+    };
+    cover::observe_events(cov, events, kPeriod);
+    EXPECT_EQ(cov.hits("simb.seq", "canonical"), 1u);
+    EXPECT_EQ(cov.hits("simb.seq", "type2_header"), 1u);
+    EXPECT_EQ(cov.hits("simb.seq", "payload_medium"), 1u);
+    EXPECT_EQ(cov.hits("simb.seq", "fdri_before_far"), 0u);
+    EXPECT_EQ(cov.hits("simb.seq", "multi_session"), 0u);
+}
+
+TEST(CoverObserve, MalformedCodesMapToTheirBins) {
+    Coverage cov = cover::make_model();
+    const std::vector<Event> events = {
+        ev(EventKind::kSync, 0),
+        ev(EventKind::kMalformed, 10,
+           static_cast<std::uint32_t>(obs::MalformedCode::kTruncatedPayload)),
+        ev(EventKind::kAbort, 20),
+        ev(EventKind::kMalformed, 30,
+           static_cast<std::uint32_t>(
+               obs::MalformedCode::kType2WithoutFdriHeader)),
+        ev(EventKind::kMalformed, 40,
+           static_cast<std::uint32_t>(obs::MalformedCode::kXOnIcap)),
+        ev(EventKind::kDesync, 50),
+    };
+    cover::observe_events(cov, events, kPeriod);
+    EXPECT_EQ(cov.hits("simb.seq", "malformed.truncated"), 1u);
+    EXPECT_EQ(cov.hits("simb.seq", "malformed.type2_no_header"), 1u);
+    EXPECT_EQ(cov.hits("simb.seq", "malformed.x_on_icap"), 1u);
+    EXPECT_EQ(cov.hits("simb.seq", "abort"), 1u);
+    EXPECT_EQ(cov.hits("simb.seq", "canonical"), 0u)
+        << "a malformed session is not canonical";
+}
+
+TEST(CoverObserve, XWindowLengthAndOverlapCross) {
+    Coverage cov = cover::make_model();
+    const std::vector<Event> events = {
+        // 100-cycle window with a DCR read inside.
+        ev(EventKind::kXWindowBegin, 0),
+        ev(EventKind::kDcrRead, 40 * kPeriod),
+        ev(EventKind::kXWindowEnd, 100 * kPeriod),
+        // 8-cycle quiet window.
+        ev(EventKind::kXWindowBegin, 200 * kPeriod),
+        ev(EventKind::kXWindowEnd, 208 * kPeriod),
+        // DCR write outside any window must not count.
+        ev(EventKind::kDcrWrite, 300 * kPeriod),
+    };
+    cover::observe_events(cov, events, kPeriod);
+    EXPECT_EQ(cov.hits("xwin.len", "17_128"), 1u);
+    EXPECT_EQ(cov.hits("xwin.len", "le16"), 1u);
+    EXPECT_EQ(cov.hits("xwin.cross", "dcr_read"), 1u);
+    EXPECT_EQ(cov.hits("xwin.cross", "quiet"), 1u);
+    EXPECT_EQ(cov.hits("xwin.cross", "dcr_write"), 0u);
+}
+
+TEST(CoverObserve, SwapTransitionsTrackTheResidentModule) {
+    Coverage cov = cover::make_model();
+    const std::vector<Event> events = {
+        ev(EventKind::kSwap, 0, 1, /*module=*/2),   // first swap: ME
+        ev(EventKind::kSwap, 10, 1, /*module=*/1),  // ME -> CIE
+        ev(EventKind::kSwap, 20, 1, /*module=*/1),  // CIE -> CIE
+        ev(EventKind::kSwap, 30, 1, /*module=*/2),  // CIE -> ME
+    };
+    cover::observe_events(cov, events, kPeriod);
+    EXPECT_EQ(cov.hits("swap.trans", "first_me"), 1u);
+    EXPECT_EQ(cov.hits("swap.trans", "me_to_cie"), 1u);
+    EXPECT_EQ(cov.hits("swap.trans", "cie_to_cie"), 1u);
+    EXPECT_EQ(cov.hits("swap.trans", "cie_to_me"), 1u);
+    EXPECT_EQ(cov.hits("swap.trans", "first_cie"), 0u);
+}
+
+TEST(CoverObserve, IrqLatencyBinsFromRaiseToAck) {
+    Coverage cov = cover::make_model();
+    const std::vector<Event> events = {
+        ev(EventKind::kIrqRaise, 0),
+        ev(EventKind::kIrqAck, 64 * kPeriod),
+        ev(EventKind::kIrqRaise, 1000 * kPeriod),
+        ev(EventKind::kIrqAck, 1700 * kPeriod),
+    };
+    cover::observe_events(cov, events, kPeriod);
+    EXPECT_EQ(cov.hits("irq.lat", "33_128"), 1u);
+    EXPECT_EQ(cov.hits("irq.lat", "gt512"), 1u);
+}
+
+TEST(CoverObserve, DetectionOutcomesLandInTheCatalogCross) {
+    Coverage cov = cover::make_model();
+    cover::observe_detection(cov, sys::Fault::kDpr1NoIsolation,
+                             cover::DetectMethod::kResim, /*detected=*/true);
+    cover::observe_detection(cov, sys::Fault::kDpr1NoIsolation,
+                             cover::DetectMethod::kVm, /*detected=*/false);
+    EXPECT_EQ(cov.hits("fault.det", "bug.dpr.1.resim.detected"), 1u);
+    EXPECT_EQ(cov.hits("fault.det", "bug.dpr.1.vm.passed"), 1u);
+    EXPECT_EQ(cov.goal_hit(), 2u)
+        << "a ReSim-only bug detected by ReSim and missed by VM is the "
+           "expected outcome on both axes";
+}
+
+}  // namespace

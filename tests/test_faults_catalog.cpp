@@ -1,0 +1,51 @@
+// Fault-catalogue completeness — the runtime half (the compile-time half
+// is the static_asserts in sys/faults.hpp): every injectable Fault
+// enumerator resolves to its own catalogue entry, ids are unique and
+// non-empty, and fault_info round-trips.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sys/faults.hpp"
+
+namespace {
+
+using namespace autovision;
+
+TEST(FaultCatalog, CoversEveryEnumeratorExactlyOnce) {
+    ASSERT_EQ(sys::kFaultCatalog.size(),
+              static_cast<std::size_t>(sys::Fault::kCount) - 1);
+    std::set<sys::Fault> seen;
+    for (const sys::FaultInfo& fi : sys::kFaultCatalog) {
+        EXPECT_NE(fi.fault, sys::Fault::kNone);
+        EXPECT_NE(fi.fault, sys::Fault::kCount);
+        EXPECT_TRUE(seen.insert(fi.fault).second)
+            << "duplicate catalogue entry for " << fi.id;
+    }
+    EXPECT_EQ(seen.size(), sys::kFaultCatalog.size());
+}
+
+TEST(FaultCatalog, IdsAreUniqueAndNonEmpty) {
+    std::set<std::string> ids;
+    for (const sys::FaultInfo& fi : sys::kFaultCatalog) {
+        ASSERT_NE(fi.id, nullptr);
+        ASSERT_NE(fi.description, nullptr);
+        EXPECT_FALSE(std::string(fi.id).empty());
+        EXPECT_FALSE(std::string(fi.description).empty());
+        EXPECT_TRUE(ids.insert(fi.id).second) << "duplicate id " << fi.id;
+    }
+}
+
+TEST(FaultCatalog, FaultInfoRoundTrips) {
+    for (int f = static_cast<int>(sys::Fault::kNone) + 1;
+         f < static_cast<int>(sys::Fault::kCount); ++f) {
+        const sys::Fault fault = static_cast<sys::Fault>(f);
+        const sys::FaultInfo& fi = sys::fault_info(fault);
+        EXPECT_EQ(fi.fault, fault);
+    }
+    // kNone falls back to the sentinel entry instead of aborting.
+    EXPECT_EQ(sys::fault_info(sys::Fault::kNone).fault, sys::Fault::kNone);
+}
+
+}  // namespace

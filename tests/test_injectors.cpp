@@ -121,5 +121,24 @@ TEST(Injectors, DelayThresholdIsMonotonicInLoopCount) {
     EXPECT_EQ(flips, 1) << "exactly one fail->pass transition";
 }
 
+TEST(Injectors, SystemConfigSelectsAndSeedsTheBoundaryInjector) {
+    using sys::SystemConfig;
+    SystemConfig cfg;
+    cfg.width = 24;
+    cfg.height = 20;
+    cfg.search = 1;
+
+    // Default: the paper-faithful X source.
+    EXPECT_STREQ(sys::OpticalFlowSystem(cfg).rr.error_injector().name(),
+                 "inject-x");
+
+    // The garbage source derives its stream from the canonical run seed
+    // (kSeedTagInjector), not an ad-hoc constant.
+    cfg.injection = SystemConfig::Injection::kGarbage;
+    cfg.seed = 42;
+    sys::OpticalFlowSystem sys(cfg);
+    EXPECT_STREQ(sys.rr.error_injector().name(), "garbage");
+}
+
 }  // namespace
 }  // namespace autovision::resim

@@ -5,6 +5,8 @@
 //   campaign_runner --campaign simb
 //   campaign_runner --campaign workload
 //   campaign_runner --campaign seeds    [--seeds N] [--frames F]
+//   campaign_runner --campaign closure  [--cover-out cover.json] [--seed S]
+//                   [--batches N] [--batch-size N] [--target P] [--no-bias]
 //
 // Every job is an isolated simulation (own Scheduler/Testbench) fanned out
 // over the campaign worker pool; results stream into a JSONL file (one
@@ -15,12 +17,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "campaign/campaigns.hpp"
+#include "campaign/closure.hpp"
 #include "campaign/pool.hpp"
 #include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
 
 using namespace autovision;
 using namespace autovision::campaign;
@@ -38,6 +45,13 @@ struct Options {
     bool quiet = false;
     bool trace = false;
     std::string trace_out;  // directory for per-job Perfetto traces
+    // closure campaign
+    std::string cover_out;
+    unsigned long long seed = 1;
+    unsigned batches = 6;
+    unsigned batch_size = 12;
+    double target = 95.0;
+    bool bias = true;
 };
 
 void usage(const char* argv0) {
@@ -51,6 +65,8 @@ void usage(const char* argv0) {
         " (Section IV-B)\n"
         "  workload   frame-count x geometry grid of clean full-system runs\n"
         "  seeds      one clean full-system run per synthetic-scene seed\n"
+        "  closure    coverage-closure loop: constrained-random scenario\n"
+        "             batches, merged functional coverage, bins-unhit bias\n"
         "\n"
         "options:\n"
         "  --jobs N        worker threads (default 0 = hardware"
@@ -67,7 +83,15 @@ void usage(const char* argv0) {
         "                  the JSONL records and the printed aggregate\n"
         "  --trace-out DIR write a Chrome-trace/Perfetto JSON per job to\n"
         "                  DIR (implies --trace; DIR must exist)\n"
-        "  --quiet         suppress per-job progress lines\n",
+        "  --quiet         suppress per-job progress lines\n"
+        "\n"
+        "closure options:\n"
+        "  --cover-out F   write the merged coverage JSON to F\n"
+        "  --seed S        campaign seed (default 1)\n"
+        "  --batches N     batch budget (default 6)\n"
+        "  --batch-size N  scenarios per batch (default 12)\n"
+        "  --target P      stop at P%% goal-bin coverage (default 95)\n"
+        "  --no-bias       pure-random control arm (no coverage feedback)\n",
         argv0);
 }
 
@@ -166,6 +190,24 @@ int main(int argc, char** argv) {
             ok = parse_unsigned(next(), opt.frames);
         } else if (a == "--seeds") {
             ok = parse_unsigned(next(), opt.seeds);
+        } else if (a == "--cover-out") {
+            opt.cover_out = next();
+        } else if (a == "--seed") {
+            char* end = nullptr;
+            const char* v = next();
+            opt.seed = std::strtoull(v, &end, 0);
+            ok = end != v && *end == '\0';
+        } else if (a == "--batches") {
+            ok = parse_unsigned(next(), opt.batches);
+        } else if (a == "--batch-size") {
+            ok = parse_unsigned(next(), opt.batch_size);
+        } else if (a == "--target") {
+            char* end = nullptr;
+            const char* v = next();
+            opt.target = std::strtod(v, &end);
+            ok = end != v && *end == '\0';
+        } else if (a == "--no-bias") {
+            opt.bias = false;
         } else if (a == "--trace") {
             opt.trace = true;
         } else if (a == "--trace-out") {
@@ -185,6 +227,85 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "bad value for %s\n", a.c_str());
             return 2;
         }
+    }
+
+    if (opt.campaign == "closure") {
+        ClosureConfig cc;
+        cc.seed = opt.seed;
+        cc.batch_size = opt.batch_size;
+        cc.max_batches = opt.batches;
+        cc.target_percent = opt.target;
+        cc.bias = opt.bias;
+
+        CampaignConfig rc;
+        rc.jobs = opt.jobs;
+        rc.timeout = std::chrono::milliseconds{opt.timeout_ms};
+        rc.retries = opt.retries;
+        // Note: not rc.jsonl_path — run_closure spins up one runner (and
+        // thus one truncating sink) per batch; records are written once,
+        // below, after the loop completes.
+        if (!opt.quiet) {
+            rc.on_record = [](const JobRecord& rec) {
+                std::printf("  %-7s %-22s %8.1f ms  %s\n",
+                            to_string(rec.status), rec.name.c_str(),
+                            static_cast<double>(rec.wall.count()) / 1e6,
+                            rec.report.verdict.c_str());
+                std::fflush(stdout);
+            };
+        }
+
+        std::printf("campaign 'closure': seed 0x%llx, %u batches x %u"
+                    " scenarios, target %.1f%%%s\n",
+                    opt.seed, opt.batches, opt.batch_size, opt.target,
+                    opt.bias ? "" : " (bias off: pure random)");
+        const ClosureResult res = run_closure(cc, rc);
+
+        std::printf("\n==== closure ====\n");
+        for (const BatchSummary& b : res.batches) {
+            std::printf("  batch %u: +%zu new bins, %zu goal bins hit"
+                        " (%.1f%%)\n",
+                        b.index, b.new_bins, b.goal_hit, b.percent);
+        }
+        std::printf("  %s after %u scenarios: %.1f%% of %zu goal bins\n",
+                    res.reached_target ? "target reached"
+                    : res.saturated    ? "saturated"
+                                       : "batch budget exhausted",
+                    res.scenarios_run, res.merged.percent(),
+                    res.merged.goal_bins());
+        std::ostringstream text;
+        res.merged.write_text(text);
+        std::printf("%s", text.str().c_str());
+
+        if (!opt.cover_out.empty()) {
+            std::ofstream os(opt.cover_out);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             opt.cover_out.c_str());
+                return 2;
+            }
+            res.merged.write_json(os);
+            std::printf("coverage: %s\n", opt.cover_out.c_str());
+        }
+        if (!opt.out.empty()) {
+            std::ofstream os(opt.out, std::ios::out | std::ios::trunc);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+                return 2;
+            }
+            for (const JobRecord& rec : res.records) {
+                os << to_jsonl(rec) << '\n';
+            }
+            std::printf("results: %s (%zu JSONL records)\n", opt.out.c_str(),
+                        res.records.size());
+        }
+        unsigned failed = 0;
+        for (const JobRecord& r : res.records) {
+            if (!r.passed()) ++failed;
+        }
+        if (failed != 0) {
+            std::printf("!! %u scenario jobs failed\n", failed);
+        }
+        return failed == 0 ? 0 : 1;
     }
 
     std::vector<SimJob> jobs;

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate a coverage JSON report against a committed baseline.
+
+Fails (exit 1) when the current run's goal-bin hit percentage drops below
+the baseline's, or when a goal bin the baseline hit is now unhit. Shape
+changes (new groups/bins) are reported but never fail the gate — growing
+the model is supposed to be easy; regressing against it is not.
+
+Usage: cover_gate.py CURRENT.json BASELINE.json [--tolerance PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def goal_hits(report):
+    """{ 'group/bin': hits } over non-ignored bins."""
+    out = {}
+    for group in report.get("groups", []):
+        for b in group.get("bins", []):
+            if not b.get("ignore", False):
+                out[f"{group['name']}/{b['name']}"] = b.get("hits", 0)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="allowed percent drop before the gate fails (default 0)",
+    )
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    cur_pct = float(cur.get("percent", 0.0))
+    base_pct = float(base.get("percent", 0.0))
+    print(
+        f"coverage gate: current {cur_pct:.2f}% "
+        f"({cur.get('goal_hit')}/{cur.get('goal_bins')} goal bins), "
+        f"baseline {base_pct:.2f}% "
+        f"({base.get('goal_hit')}/{base.get('goal_bins')})"
+    )
+
+    failed = False
+    if cur_pct + args.tolerance < base_pct:
+        print(
+            f"FAIL: bin-hit percentage dropped {base_pct - cur_pct:.2f} "
+            f"points below the committed baseline",
+            file=sys.stderr,
+        )
+        failed = True
+
+    cur_bins = goal_hits(cur)
+    base_bins = goal_hits(base)
+    lost = sorted(
+        name
+        for name, hits in base_bins.items()
+        if hits > 0 and cur_bins.get(name, 0) == 0 and name in cur_bins
+    )
+    if lost:
+        print(
+            f"FAIL: {len(lost)} goal bin(s) hit by the baseline are now "
+            f"unhit:",
+            file=sys.stderr,
+        )
+        for name in lost:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+
+    new_bins = sorted(set(cur_bins) - set(base_bins))
+    if new_bins:
+        print(
+            f"note: {len(new_bins)} goal bin(s) not in the baseline "
+            f"(model grew; consider refreshing bench/cover_baseline.json)"
+        )
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

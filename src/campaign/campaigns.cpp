@@ -5,6 +5,9 @@
 
 #include "bus/memory.hpp"
 #include "bus/plb.hpp"
+#include "diff/classify.hpp"
+#include "diff/repro.hpp"
+#include "diff/shrink.hpp"
 #include "engines/census_engine.hpp"
 #include "engines/matching_engine.hpp"
 #include "kernel/kernel.hpp"
@@ -368,6 +371,99 @@ std::vector<SimJob> seed_sweep_jobs(const sys::SystemConfig& base,
             sys::Testbench tb(cfg, /*scene_seed=*/seed);
             tb.set_cancel_flag(ctx.cancel_flag());
             return report_from_run(tb.run(frames));
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<SimJob> diff_batch_jobs(const DiffCampaignConfig& cfg) {
+    // Seed-domain separation for the diff campaign's scenario stream.
+    constexpr std::uint64_t kTagDiff = 0x4449'4646'0000ull;  // "DIFF"
+
+    scen::ScenarioConstraints cons;
+    cons.w_stream = 1;  // the oracle drives SimB streams only
+    cons.w_system = 0;
+    cons.w_fault = 0;
+    cons.min_sessions = cfg.min_sessions;
+    cons.max_sessions = cfg.max_sessions;
+
+    std::vector<SimJob> jobs;
+    jobs.reserve(cfg.count);
+    for (unsigned i = 0; i < cfg.count; ++i) {
+        const std::uint64_t seed = rtlsim::derive_seed(cfg.seed, kTagDiff + i);
+        const std::string name = "diff.s" + std::to_string(i);
+        SimJob job;
+        job.name = name;
+        char seed_hex[24];
+        std::snprintf(seed_hex, sizeof seed_hex, "0x%016llx",
+                      static_cast<unsigned long long>(seed));
+        job.params = {{"scenario_seed", seed_hex},
+                      {"inject", diff::to_string(cfg.inject)}};
+        job.body = [cfg, cons, seed, name](const JobContext& ctx) {
+            JobReport rep;
+            diff::DiffOptions dopt;
+            dopt.inject = cfg.inject;
+            dopt.cancel = ctx.cancel_flag();
+            const scen::Scenario sc = scen::generate(cons, seed);
+            const diff::DiffOutcome out = diff::run_diff(sc, dopt);
+            rep.stats = out.vm.stats;
+            rep.stats += out.resim.stats;
+            rep.sim_time = out.vm.sim_time + out.resim.sim_time;
+            rep.metrics["sessions"] = static_cast<double>(sc.sessions.size());
+            rep.metrics["orig_words"] =
+                static_cast<double>(diff::simb_word_count(sc));
+            rep.metrics["genuine"] = out.report.genuine();
+            rep.metrics["expected"] = out.report.expected();
+            rep.metrics["genuine_vm"] = out.report.genuine_on(diff::Side::kVm);
+            rep.metrics["genuine_resim"] =
+                out.report.genuine_on(diff::Side::kResim);
+            if (out.report.cancelled) {
+                rep.pass = false;
+                rep.verdict = "cancelled";
+                return rep;
+            }
+            if (out.report.genuine() == 0) {
+                // An injected fault some scenarios cannot express (e.g. no
+                // payload window for X to escape from) is not a job
+                // failure; the batch-level >=1-genuine expectation is the
+                // runner's --expect-genuine check.
+                rep.pass = true;
+                rep.verdict = cfg.inject == diff::DiffFault::kNone
+                                  ? "clean"
+                                  : "injected fault not expressed by this "
+                                    "scenario";
+                return rep;
+            }
+            // Genuine divergence: delta-debug it down to a minimal
+            // reproducer before reporting.
+            diff::ShrinkOptions sopt;
+            sopt.diff = dopt;
+            const diff::ShrinkResult shr = diff::shrink(sc, sopt);
+            rep.metrics["shrink_runs"] = shr.runs;
+            rep.metrics["shrunk_words"] =
+                static_cast<double>(shr.minimal_words);
+            if (shr.original_words > 0) {
+                rep.metrics["shrink_ratio"] =
+                    static_cast<double>(shr.minimal_words) /
+                    static_cast<double>(shr.original_words);
+            }
+            rep.verdict = out.report.first_genuine();
+            bool wrote = true;
+            if (!cfg.repro_dir.empty() && shr.diverged) {
+                diff::ReproBundle b = diff::make_bundle(
+                    shr.minimal, shr.outcome.report, cfg.inject,
+                    shr.original_words, shr.minimal_words);
+                b.scenario.name = name;
+                std::string err;
+                wrote = diff::write_repro_files(b, cfg.repro_dir, name, &err);
+                if (!wrote) rep.verdict = "repro write failed: " + err;
+            }
+            // Clean design: a genuine divergence is the finding (fail).
+            // Injected fault: flagging + shrinking it is the pass.
+            rep.pass = cfg.inject != diff::DiffFault::kNone && shr.diverged &&
+                       wrote;
+            return rep;
         };
         jobs.push_back(std::move(job));
     }

@@ -18,6 +18,9 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
+#include "diff/diff.hpp"
 #include "job.hpp"
 #include "sys/detection.hpp"
 
@@ -68,5 +71,31 @@ struct WorkloadCell {
 [[nodiscard]] std::vector<SimJob> seed_sweep_jobs(
     const sys::SystemConfig& base, std::uint32_t first_seed,
     std::uint32_t num_seeds, unsigned frames = 1);
+
+/// Differential VM-vs-ReSim oracle batch: one job per seed, each generating
+/// a constrained-random stream scenario, running it through both simulation
+/// methods (src/diff) and classifying the divergences. Jobs with a genuine
+/// divergence shrink it to a minimal reproducer; with `repro_dir` set the
+/// reproducer is dumped as <job>.repro.json + <job>.simb.
+///
+/// Pass semantics: with no injected fault a job passes iff zero genuine
+/// divergences survive masking (a genuine one on the clean design is the
+/// finding, hence a fail). With an injected fault, a flagged divergence
+/// must also shrink (and the reproducer write succeed, when requested) to
+/// pass; a scenario that cannot express the fault passes vacuously — the
+/// batch-level >=1-genuine expectation is the runner's --expect-genuine.
+/// Metrics: sessions, orig_words, genuine, expected, genuine_vm,
+/// genuine_resim; plus shrink_runs, shrunk_words, shrink_ratio on
+/// divergence.
+struct DiffCampaignConfig {
+    std::uint64_t seed = 1;
+    unsigned count = 20;
+    diff::DiffFault inject = diff::DiffFault::kNone;
+    std::string repro_dir;  ///< empty: don't write reproducer files
+    unsigned min_sessions = 1;
+    unsigned max_sessions = 3;
+};
+[[nodiscard]] std::vector<SimJob> diff_batch_jobs(
+    const DiffCampaignConfig& cfg);
 
 }  // namespace autovision::campaign

@@ -1,0 +1,287 @@
+#include "classify.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sys/address_map.hpp"
+
+namespace autovision::diff {
+
+const char* to_string(Side s) {
+    switch (s) {
+        case Side::kVm: return "vm";
+        case Side::kResim: return "resim";
+        case Side::kBoth: return "both";
+    }
+    return "?";
+}
+
+const char* to_string(DivergenceKind k) {
+    switch (k) {
+        case DivergenceKind::kMechanism: return "mechanism";
+        case DivergenceKind::kSelectSequence: return "select-sequence";
+        case DivergenceKind::kSwapCount: return "swap-count";
+        case DivergenceKind::kProbe: return "probe";
+        case DivergenceKind::kDiagnostic: return "diagnostic";
+        case DivergenceKind::kStateTransfer: return "state-transfer";
+    }
+    return "?";
+}
+
+unsigned DiffReport::genuine() const {
+    unsigned n = 0;
+    for (const Divergence& d : divergences) n += d.genuine ? 1 : 0;
+    return n;
+}
+
+unsigned DiffReport::genuine_on(Side s) const {
+    unsigned n = 0;
+    for (const Divergence& d : divergences) {
+        if (d.genuine && (d.side == s || d.side == Side::kBoth)) ++n;
+    }
+    return n;
+}
+
+unsigned DiffReport::expected() const {
+    return static_cast<unsigned>(divergences.size()) - genuine();
+}
+
+std::string DiffReport::first_genuine() const {
+    for (const Divergence& d : divergences) {
+        if (d.genuine) {
+            return std::string(to_string(d.kind)) + " on " +
+                   to_string(d.side) + ": " + d.detail;
+        }
+    }
+    return "";
+}
+
+namespace {
+
+[[nodiscard]] std::string seq_to_string(const std::vector<int>& v) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) s += ",";
+        s += std::to_string(v[i]);
+    }
+    return s + "]";
+}
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+    return s.rfind(prefix, 0) == 0;
+}
+
+void push(DiffReport& rep, DivergenceKind kind, bool genuine, Side side,
+          int session, std::string detail) {
+    rep.divergences.push_back(
+        Divergence{kind, genuine, side, session, std::move(detail)});
+}
+
+void mask_mechanism(DiffReport& rep, const scen::Scenario&, const SideRun& vm,
+                    const SideRun& resim) {
+    bool simb = false, xwin = false, isolation = false, state = false;
+    for (const obs::Event& e : resim.events) {
+        switch (e.kind) {
+            case obs::EventKind::kSync:
+            case obs::EventKind::kDesync:
+            case obs::EventKind::kFarWrite:
+            case obs::EventKind::kCmdWrite:
+            case obs::EventKind::kFdriHeader:
+            case obs::EventKind::kPayloadBegin:
+            case obs::EventKind::kPayloadEnd:
+            case obs::EventKind::kMalformed:
+            case obs::EventKind::kSwap:
+                simb = true;
+                break;
+            case obs::EventKind::kXWindowBegin:
+            case obs::EventKind::kXWindowEnd:
+                xwin = true;
+                break;
+            case obs::EventKind::kIsolationOn:
+            case obs::EventKind::kIsolationOff:
+                isolation = true;
+                break;
+            case obs::EventKind::kCapture:
+            case obs::EventKind::kRestore:
+            case obs::EventKind::kAbort:
+                state = true;
+                break;
+            default:
+                break;
+        }
+    }
+    bool sig_writes = false;
+    for (const obs::Event& e : vm.events) {
+        if (e.kind == obs::EventKind::kDcrWrite && e.a == sys::kDcrSig) {
+            sig_writes = true;
+            break;
+        }
+    }
+    if (simb) {
+        push(rep, DivergenceKind::kMechanism, false, Side::kResim, -1,
+             "SimB parsing/swap events exist only under ReSim (VM has no "
+             "bitstream datapath; its swap is zero-delay)");
+    }
+    if (xwin) {
+        push(rep, DivergenceKind::kMechanism, false, Side::kResim, -1,
+             "X-window events exist only under ReSim (VM never produces "
+             "erroneous outputs during a swap)");
+    }
+    if (isolation) {
+        push(rep, DivergenceKind::kMechanism, false, Side::kResim, -1,
+             "isolation driver traffic exists only under ReSim (VM leaves "
+             "the isolation machinery untested)");
+    }
+    if (state) {
+        push(rep, DivergenceKind::kMechanism, false, Side::kResim, -1,
+             "state capture/restore and aborts have no VM equivalent");
+    }
+    if (sig_writes) {
+        push(rep, DivergenceKind::kMechanism, false, Side::kVm, -1,
+             "engine_signature DCR writes exist only under VM (the register "
+             "is simulation-only)");
+    }
+}
+
+void check_selects(DiffReport& rep, const scen::Scenario& s, const SideRun& vm,
+                   const SideRun& resim) {
+    const std::vector<int> exp = expected_selects(s);
+    const bool vm_ok = vm.selects == exp;
+    const bool resim_ok = resim.selects == exp;
+    if (vm_ok && resim_ok) return;
+    const Side side = vm_ok     ? Side::kResim
+                      : resim_ok ? Side::kVm
+                                 : Side::kBoth;
+    // Anchor to the session of the first deviation (entry 0 is the initial
+    // configuration, entry i+1 follows session i of the swap schedule).
+    const std::vector<int>& bad = vm_ok ? resim.selects : vm.selects;
+    std::size_t i = 0;
+    while (i < bad.size() && i < exp.size() && bad[i] == exp[i]) ++i;
+    push(rep, DivergenceKind::kSelectSequence, true, side,
+         static_cast<int>(i) - 1,
+         "select sequence vm=" + seq_to_string(vm.selects) +
+             " resim=" + seq_to_string(resim.selects) +
+             " expected=" + seq_to_string(exp));
+}
+
+void check_swap_counts(DiffReport& rep, const scen::Scenario& s,
+                       const SideRun& vm, const SideRun& resim) {
+    // The VM counter includes the initial signature write; the portal's
+    // initial configuration is a full-bitstream boot, not a reconfiguration.
+    const std::uint64_t vm_exp = 1 + s.expected_swaps();
+    const std::uint64_t resim_exp = s.expected_swaps();
+    if (vm.swaps != vm_exp) {
+        push(rep, DivergenceKind::kSwapCount, true, Side::kVm, -1,
+             "vm completed " + std::to_string(vm.swaps) +
+                 " signature swaps, schedule expects " +
+                 std::to_string(vm_exp) + " (incl. initialisation)");
+    }
+    if (resim.swaps != resim_exp) {
+        push(rep, DivergenceKind::kSwapCount, true, Side::kResim, -1,
+             "resim completed " + std::to_string(resim.swaps) +
+                 " reconfigurations, schedule expects " +
+                 std::to_string(resim_exp));
+    }
+}
+
+void check_probes(DiffReport& rep, const SideRun& vm, const SideRun& resim) {
+    const std::size_t n = std::min(vm.probes.size(), resim.probes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const ProbeOutcome& a = vm.probes[i];
+        const ProbeOutcome& b = resim.probes[i];
+        if (a == b) continue;
+        const bool a_bad = !a.done || a.x_bytes != 0;
+        const bool b_bad = !b.done || b.x_bytes != 0;
+        const Side side = a_bad == b_bad ? Side::kBoth
+                          : a_bad        ? Side::kVm
+                                         : Side::kResim;
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "probe %zu: vm{done=%d x=%u hash=%016llx} "
+                      "resim{done=%d x=%u hash=%016llx}",
+                      i, a.done ? 1 : 0, a.x_bytes,
+                      static_cast<unsigned long long>(a.hash), b.done ? 1 : 0,
+                      b.x_bytes, static_cast<unsigned long long>(b.hash));
+        push(rep, DivergenceKind::kProbe, true, side,
+             static_cast<int>(i) - 1, buf);
+    }
+}
+
+void check_diagnostics(DiffReport& rep, const scen::Scenario& s,
+                       const SideRun& vm, const SideRun& resim) {
+    // The VM side of a correct design is diagnostic-free: it has no SimB
+    // parser to complain and no X to escape.
+    for (const std::string& d : vm.diagnostics) {
+        push(rep, DivergenceKind::kDiagnostic, true, Side::kVm, -1,
+             "vm-side diagnostic: " + d);
+    }
+    // ReSim-side parser/portal complaints are explained when the scenario
+    // itself declares a malformation; anything else (notably PLB X-escape
+    // reports) is genuine.
+    bool malformed_scenario = false;
+    for (const scen::StreamSession& ss : s.sessions) {
+        if (ss.corrupt != scen::Corrupt::kNone) malformed_scenario = true;
+    }
+    unsigned explained = 0;
+    for (const std::string& d : resim.diagnostics) {
+        const bool parser = starts_with(d, "icap:") || starts_with(d, "portal:");
+        if (parser && malformed_scenario) {
+            ++explained;
+        } else {
+            push(rep, DivergenceKind::kDiagnostic, true, Side::kResim, -1,
+                 "resim-side diagnostic: " + d);
+        }
+    }
+    if (explained != 0) {
+        push(rep, DivergenceKind::kDiagnostic, false, Side::kResim, -1,
+             std::to_string(explained) +
+                 " parser diagnostic(s) explained by scenario-declared "
+                 "malformations");
+    }
+}
+
+void check_state_transfer(DiffReport& rep, const scen::Scenario& s,
+                          const SideRun& resim) {
+    unsigned exp_cap = 0, exp_rst = 0, exp_abort = 0;
+    for (const scen::StreamSession& ss : s.sessions) {
+        if (ss.capture_first) ++exp_cap;
+        if (ss.restore_state) ++exp_rst;
+        if (ss.corrupt == scen::Corrupt::kTruncate) ++exp_abort;
+    }
+    const auto check = [&](const char* what, std::uint64_t got,
+                           unsigned want) {
+        if (got == want) return;
+        push(rep, DivergenceKind::kStateTransfer, true, Side::kResim, -1,
+             std::string(what) + " count " + std::to_string(got) +
+                 " != scenario expectation " + std::to_string(want));
+    };
+    check("capture", resim.captures, exp_cap);
+    check("restore", resim.restores, exp_rst);
+    check("abort", resim.aborts, exp_abort);
+}
+
+}  // namespace
+
+DiffReport classify(const scen::Scenario& s, const SideRun& vm,
+                    const SideRun& resim) {
+    DiffReport rep;
+    rep.cancelled = vm.cancelled || resim.cancelled;
+    if (rep.cancelled) return rep;  // partial runs compare as nothing
+    mask_mechanism(rep, s, vm, resim);
+    check_selects(rep, s, vm, resim);
+    check_swap_counts(rep, s, vm, resim);
+    check_probes(rep, vm, resim);
+    check_diagnostics(rep, s, vm, resim);
+    check_state_transfer(rep, s, resim);
+    return rep;
+}
+
+DiffOutcome run_diff(const scen::Scenario& s, const DiffOptions& opt) {
+    DiffOutcome out;
+    out.vm = run_vm_side(s, opt);
+    out.resim = run_resim_side(s, opt);
+    out.report = classify(s, out.vm, out.resim);
+    return out;
+}
+
+}  // namespace autovision::diff

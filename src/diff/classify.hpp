@@ -1,0 +1,74 @@
+// diff: divergence classification — the expected-vs-genuine split.
+//
+// A VM run and a ReSim run of the same scenario are never identical: the
+// paper's whole point is that VM *cannot* show the reconfiguration process.
+// The classifier therefore separates divergences into
+//   * expected-by-construction — the documented VM blind spots (zero-delay
+//     swap, no bitstream datapath, no X propagation, untested isolation, no
+//     state capture/restore), reported for visibility but never failures;
+//   * genuine — differences a correct design must not show on either side:
+//     select-sequence or swap-count deviations from the scenario's schedule,
+//     probe (frame-output) mismatches, unexplained diagnostics, and ReSim
+//     state-transfer counters that contradict the scenario.
+// DESIGN.md section 10 documents the masking rules in prose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diff.hpp"
+
+namespace autovision::diff {
+
+enum class Side : std::uint8_t { kVm, kResim, kBoth };
+
+enum class DivergenceKind : std::uint8_t {
+    kMechanism,       ///< expected: reconfiguration machinery one side lacks
+    kSelectSequence,  ///< boundary select order deviates from the schedule
+    kSwapCount,       ///< completed-swap counter deviates from the schedule
+    kProbe,           ///< frame-output probe mismatch
+    kDiagnostic,      ///< diagnostics not explained by the scenario
+    kStateTransfer,   ///< capture/restore/abort counters off-schedule
+};
+
+[[nodiscard]] const char* to_string(Side s);
+[[nodiscard]] const char* to_string(DivergenceKind k);
+
+struct Divergence {
+    DivergenceKind kind = DivergenceKind::kMechanism;
+    bool genuine = false;
+    /// The side the deviation is attributed to (kBoth when neither side
+    /// matches the scenario's expectation, or for mechanism masks).
+    Side side = Side::kBoth;
+    /// Session index the divergence anchors to; -1 = whole-run / initial.
+    int session = -1;
+    std::string detail;
+};
+
+struct DiffReport {
+    std::vector<Divergence> divergences;
+    bool cancelled = false;
+
+    [[nodiscard]] unsigned genuine() const;
+    [[nodiscard]] unsigned genuine_on(Side s) const;
+    [[nodiscard]] unsigned expected() const;
+    /// Detail line of the first genuine divergence ("" when clean).
+    [[nodiscard]] std::string first_genuine() const;
+};
+
+/// Compare the two runs against each other and against the scenario's
+/// expectations. Pure function of its inputs.
+[[nodiscard]] DiffReport classify(const scen::Scenario& s, const SideRun& vm,
+                                  const SideRun& resim);
+
+/// One full differential run: both sides + classification.
+struct DiffOutcome {
+    SideRun vm;
+    SideRun resim;
+    DiffReport report;
+};
+
+[[nodiscard]] DiffOutcome run_diff(const scen::Scenario& s,
+                                   const DiffOptions& opt = {});
+
+}  // namespace autovision::diff

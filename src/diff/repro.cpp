@@ -1,0 +1,525 @@
+#include "repro.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace autovision::diff {
+
+using scen::Corrupt;
+using scen::DcrTraffic;
+using scen::StreamSession;
+
+namespace {
+
+/// Same escape set as campaign::json_escape (not reused: campaign links
+/// against this library, so diff must not link back).
+[[nodiscard]] std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+[[nodiscard]] const char* dcr_to_string(DcrTraffic d) {
+    switch (d) {
+        case DcrTraffic::kNone: return "none";
+        case DcrTraffic::kRead: return "read";
+        case DcrTraffic::kWrite: return "write";
+    }
+    return "?";
+}
+
+[[nodiscard]] bool dcr_from_string(const std::string& s, DcrTraffic* out) {
+    for (unsigned i = 0; i < 3; ++i) {
+        const auto d = static_cast<DcrTraffic>(i);
+        if (s == dcr_to_string(d)) {
+            *out = d;
+            return true;
+        }
+    }
+    return false;
+}
+
+[[nodiscard]] bool corrupt_from_string(const std::string& s, Corrupt* out) {
+    for (unsigned i = 0; i < scen::kNumCorrupt; ++i) {
+        const auto c = static_cast<Corrupt>(i);
+        if (s == scen::to_string(c)) {
+            *out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+// --- minimal JSON reader (objects, arrays, strings, unsigned ints, bools) --
+
+struct Jv {
+    enum class T { kNull, kBool, kNum, kStr, kArr, kObj };
+    T t = T::kNull;
+    bool b = false;
+    std::uint64_t num = 0;
+    std::string str;
+    std::vector<Jv> arr;
+    std::vector<std::pair<std::string, Jv>> obj;
+
+    [[nodiscard]] const Jv* find(const std::string& key) const {
+        for (const auto& [k, v] : obj) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+};
+
+struct Parser {
+    const char* p;
+    const char* end;
+    std::string err;
+
+    void skip_ws() {
+        while (p != end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                            *p == '\r')) {
+            ++p;
+        }
+    }
+
+    bool fail(const char* what) {
+        if (err.empty()) err = what;
+        return false;
+    }
+
+    bool parse_string(std::string* out) {
+        if (p == end || *p != '"') return fail("expected string");
+        ++p;
+        out->clear();
+        while (p != end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (p == end) return fail("dangling escape");
+            const char e = *p++;
+            switch (e) {
+                case '"': *out += '"'; break;
+                case '\\': *out += '\\'; break;
+                case '/': *out += '/'; break;
+                case 'b': *out += '\b'; break;
+                case 'f': *out += '\f'; break;
+                case 'n': *out += '\n'; break;
+                case 'r': *out += '\r'; break;
+                case 't': *out += '\t'; break;
+                case 'u': {
+                    if (end - p < 4) return fail("short \\u escape");
+                    char buf[5] = {p[0], p[1], p[2], p[3], 0};
+                    *out += static_cast<char>(
+                        std::strtoul(buf, nullptr, 16) & 0xFF);
+                    p += 4;
+                    break;
+                }
+                default:
+                    return fail("unknown escape");
+            }
+        }
+        if (p == end) return fail("unterminated string");
+        ++p;  // closing quote
+        return true;
+    }
+
+    bool parse_value(Jv* out) {
+        skip_ws();
+        if (p == end) return fail("unexpected end of input");
+        const char c = *p;
+        if (c == '{') {
+            ++p;
+            out->t = Jv::T::kObj;
+            skip_ws();
+            if (p != end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                skip_ws();
+                std::string key;
+                if (!parse_string(&key)) return false;
+                skip_ws();
+                if (p == end || *p != ':') return fail("expected ':'");
+                ++p;
+                Jv v;
+                if (!parse_value(&v)) return false;
+                out->obj.emplace_back(std::move(key), std::move(v));
+                skip_ws();
+                if (p != end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p != end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++p;
+            out->t = Jv::T::kArr;
+            skip_ws();
+            if (p != end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                Jv v;
+                if (!parse_value(&v)) return false;
+                out->arr.push_back(std::move(v));
+                skip_ws();
+                if (p != end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p != end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out->t = Jv::T::kStr;
+            return parse_string(&out->str);
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            out->t = Jv::T::kNum;
+            std::uint64_t v = 0;
+            while (p != end &&
+                   std::isdigit(static_cast<unsigned char>(*p)) != 0) {
+                v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+                ++p;
+            }
+            out->num = v;
+            return true;
+        }
+        if (end - p >= 4 && std::string_view(p, 4) == "true") {
+            out->t = Jv::T::kBool;
+            out->b = true;
+            p += 4;
+            return true;
+        }
+        if (end - p >= 5 && std::string_view(p, 5) == "false") {
+            out->t = Jv::T::kBool;
+            out->b = false;
+            p += 5;
+            return true;
+        }
+        if (end - p >= 4 && std::string_view(p, 4) == "null") {
+            out->t = Jv::T::kNull;
+            p += 4;
+            return true;
+        }
+        return fail("unexpected token");
+    }
+};
+
+[[nodiscard]] bool get_u64(const Jv& obj, const char* key, std::uint64_t* out,
+                           std::string* err) {
+    const Jv* v = obj.find(key);
+    if (v == nullptr || v->t != Jv::T::kNum) {
+        *err = std::string("missing numeric field '") + key + "'";
+        return false;
+    }
+    *out = v->num;
+    return true;
+}
+
+[[nodiscard]] bool get_hex(const Jv& obj, const char* key, std::uint64_t* out,
+                           std::string* err) {
+    const Jv* v = obj.find(key);
+    if (v == nullptr || v->t != Jv::T::kStr) {
+        *err = std::string("missing hex-string field '") + key + "'";
+        return false;
+    }
+    *out = std::strtoull(v->str.c_str(), nullptr, 16);
+    return true;
+}
+
+[[nodiscard]] bool get_bool(const Jv& obj, const char* key, bool* out,
+                            std::string* err) {
+    const Jv* v = obj.find(key);
+    if (v == nullptr || v->t != Jv::T::kBool) {
+        *err = std::string("missing boolean field '") + key + "'";
+        return false;
+    }
+    *out = v->b;
+    return true;
+}
+
+[[nodiscard]] bool get_str(const Jv& obj, const char* key, std::string* out,
+                           std::string* err) {
+    const Jv* v = obj.find(key);
+    if (v == nullptr || v->t != Jv::T::kStr) {
+        *err = std::string("missing string field '") + key + "'";
+        return false;
+    }
+    *out = v->str;
+    return true;
+}
+
+}  // namespace
+
+ReproBundle make_bundle(const scen::Scenario& minimal,
+                        const DiffReport& report, DiffFault inject,
+                        std::size_t original_words,
+                        std::size_t minimal_words) {
+    ReproBundle b;
+    b.scenario = minimal;
+    b.inject = inject;
+    b.original_words = original_words;
+    b.minimal_words = minimal_words;
+    for (const Divergence& d : report.divergences) {
+        if (d.genuine) {
+            b.genuine.push_back(std::string(to_string(d.kind)) + " on " +
+                                to_string(d.side) + ": " + d.detail);
+        }
+    }
+    return b;
+}
+
+std::string repro_to_json(const ReproBundle& b) {
+    std::string out;
+    out += "{\n";
+    out += "  \"version\": 1,\n";
+    out += "  \"name\": \"" + json_escape(b.scenario.name) + "\",\n";
+    out += "  \"seed\": \"" + hex64(b.scenario.seed) + "\",\n";
+    out += "  \"kind\": \"stream\",\n";
+    out += std::string("  \"inject\": \"") + to_string(b.inject) + "\",\n";
+    out += "  \"original_words\": " + std::to_string(b.original_words) + ",\n";
+    out += "  \"minimal_words\": " + std::to_string(b.minimal_words) + ",\n";
+    out += "  \"sessions\": [\n";
+    for (std::size_t i = 0; i < b.scenario.sessions.size(); ++i) {
+        const StreamSession& ss = b.scenario.sessions[i];
+        out += "    {\"rr_id\": " + std::to_string(ss.rr_id);
+        out += ", \"module_id\": " + std::to_string(ss.module_id);
+        out += ", \"payload_words\": " + std::to_string(ss.payload_words);
+        out += ", \"filler_seed\": \"" + hex64(ss.filler_seed) + "\"";
+        out += std::string(", \"type2_header\": ") +
+               (ss.type2_header ? "true" : "false");
+        out += std::string(", \"capture_first\": ") +
+               (ss.capture_first ? "true" : "false");
+        out += ", \"capture_module\": " + std::to_string(ss.capture_module);
+        out += std::string(", \"restore_state\": ") +
+               (ss.restore_state ? "true" : "false");
+        out += std::string(", \"corrupt\": \"") + scen::to_string(ss.corrupt) +
+               "\"";
+        out += ", \"corrupt_pos\": " + std::to_string(ss.corrupt_pos);
+        out += ", \"corrupt_bit\": " + std::to_string(ss.corrupt_bit);
+        out += ", \"word_gap\": " + std::to_string(ss.word_gap);
+        out += std::string(", \"dcr\": \"") + dcr_to_string(ss.dcr) + "\"}";
+        out += i + 1 < b.scenario.sessions.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += "  \"genuine\": [\n";
+    for (std::size_t i = 0; i < b.genuine.size(); ++i) {
+        out += "    \"" + json_escape(b.genuine[i]) + "\"";
+        out += i + 1 < b.genuine.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string simb_to_text(const scen::Scenario& s) {
+    std::string out;
+    out += "# SimB stream of diff reproducer '" + s.name + "'\n";
+    for (std::size_t i = 0; i < s.sessions.size(); ++i) {
+        const StreamSession& ss = s.sessions[i];
+        const std::vector<rtlsim::Word> words = ss.words();
+        char hdr[128];
+        std::snprintf(hdr, sizeof hdr,
+                      "# session %zu: module=%u corrupt=%s payload=%u "
+                      "words=%zu\n",
+                      i, static_cast<unsigned>(ss.module_id),
+                      scen::to_string(ss.corrupt), ss.payload_words,
+                      words.size());
+        out += hdr;
+        for (const rtlsim::Word& w : words) {
+            if (!w.is_fully_defined()) {
+                out += "XXXXXXXX\n";
+            } else {
+                char buf[16];
+                std::snprintf(buf, sizeof buf, "%08X\n",
+                              static_cast<unsigned>(w.to_u64()));
+                out += buf;
+            }
+        }
+    }
+    return out;
+}
+
+bool repro_from_json(const std::string& text, ReproBundle* out,
+                     std::string* err) {
+    std::string local_err;
+    if (err == nullptr) err = &local_err;
+    Parser ps{text.data(), text.data() + text.size(), {}};
+    Jv root;
+    if (!ps.parse_value(&root)) {
+        *err = "json: " + ps.err;
+        return false;
+    }
+    if (root.t != Jv::T::kObj) {
+        *err = "top level is not an object";
+        return false;
+    }
+    std::uint64_t version = 0;
+    if (!get_u64(root, "version", &version, err)) return false;
+    if (version != 1) {
+        *err = "unsupported repro version " + std::to_string(version);
+        return false;
+    }
+    ReproBundle b;
+    std::string kind, inject;
+    if (!get_str(root, "name", &b.scenario.name, err)) return false;
+    std::uint64_t seed = 0, ow = 0, mw = 0;
+    if (!get_hex(root, "seed", &seed, err)) return false;
+    b.scenario.seed = seed;
+    if (!get_str(root, "kind", &kind, err)) return false;
+    if (kind != "stream") {
+        *err = "unsupported scenario kind '" + kind + "'";
+        return false;
+    }
+    b.scenario.kind = scen::Kind::kStream;
+    if (!get_str(root, "inject", &inject, err)) return false;
+    bool ok = false;
+    b.inject = fault_from_string(inject, &ok);
+    if (!ok) {
+        *err = "unknown inject '" + inject + "'";
+        return false;
+    }
+    if (!get_u64(root, "original_words", &ow, err)) return false;
+    if (!get_u64(root, "minimal_words", &mw, err)) return false;
+    b.original_words = static_cast<std::size_t>(ow);
+    b.minimal_words = static_cast<std::size_t>(mw);
+
+    const Jv* sessions = root.find("sessions");
+    if (sessions == nullptr || sessions->t != Jv::T::kArr) {
+        *err = "missing sessions array";
+        return false;
+    }
+    for (const Jv& sv : sessions->arr) {
+        if (sv.t != Jv::T::kObj) {
+            *err = "session entry is not an object";
+            return false;
+        }
+        StreamSession ss;
+        std::uint64_t u = 0;
+        if (!get_u64(sv, "rr_id", &u, err)) return false;
+        ss.rr_id = static_cast<std::uint8_t>(u);
+        if (!get_u64(sv, "module_id", &u, err)) return false;
+        ss.module_id = static_cast<std::uint8_t>(u);
+        if (!get_u64(sv, "payload_words", &u, err)) return false;
+        ss.payload_words = static_cast<std::uint32_t>(u);
+        if (!get_hex(sv, "filler_seed", &ss.filler_seed, err)) return false;
+        if (!get_bool(sv, "type2_header", &ss.type2_header, err)) return false;
+        if (!get_bool(sv, "capture_first", &ss.capture_first, err)) {
+            return false;
+        }
+        if (!get_u64(sv, "capture_module", &u, err)) return false;
+        ss.capture_module = static_cast<std::uint8_t>(u);
+        if (!get_bool(sv, "restore_state", &ss.restore_state, err)) {
+            return false;
+        }
+        std::string corrupt, dcr;
+        if (!get_str(sv, "corrupt", &corrupt, err)) return false;
+        if (!corrupt_from_string(corrupt, &ss.corrupt)) {
+            *err = "unknown corrupt kind '" + corrupt + "'";
+            return false;
+        }
+        if (!get_u64(sv, "corrupt_pos", &u, err)) return false;
+        ss.corrupt_pos = static_cast<std::uint32_t>(u);
+        if (!get_u64(sv, "corrupt_bit", &u, err)) return false;
+        ss.corrupt_bit = static_cast<std::uint32_t>(u);
+        if (!get_u64(sv, "word_gap", &u, err)) return false;
+        ss.word_gap = static_cast<unsigned>(u);
+        if (!get_str(sv, "dcr", &dcr, err)) return false;
+        if (!dcr_from_string(dcr, &ss.dcr)) {
+            *err = "unknown dcr traffic '" + dcr + "'";
+            return false;
+        }
+        b.scenario.sessions.push_back(ss);
+    }
+
+    const Jv* genuine = root.find("genuine");
+    if (genuine != nullptr && genuine->t == Jv::T::kArr) {
+        for (const Jv& g : genuine->arr) {
+            if (g.t == Jv::T::kStr) b.genuine.push_back(g.str);
+        }
+    }
+    *out = std::move(b);
+    return true;
+}
+
+bool write_repro_files(const ReproBundle& b, const std::string& dir,
+                       const std::string& stem, std::string* err) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        if (err != nullptr) *err = "create_directories: " + ec.message();
+        return false;
+    }
+    const auto write = [&](const std::string& path,
+                           const std::string& text) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << text;
+        f.flush();
+        if (!f) {
+            if (err != nullptr) *err = "write failed: " + path;
+            return false;
+        }
+        return true;
+    };
+    const std::string base = dir + "/" + stem;
+    return write(base + ".repro.json", repro_to_json(b)) &&
+           write(base + ".simb", simb_to_text(b.scenario));
+}
+
+bool load_repro_file(const std::string& path, ReproBundle* out,
+                     std::string* err) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        if (err != nullptr) *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return repro_from_json(ss.str(), out, err);
+}
+
+}  // namespace autovision::diff

@@ -1,0 +1,60 @@
+// diff: self-contained minimal-reproducer artifacts.
+//
+// A shrunk divergence is dumped as a pair of files:
+//   * <stem>.repro.json — the scenario (every session field), the injected
+//     fault, the word counts and the genuine-divergence summaries. The
+//     writer emits fields in a fixed order with deterministic formatting,
+//     so the same reproducer is byte-identical no matter which worker (or
+//     worker count) produced it.
+//   * <stem>.simb — the raw SimB word stream the ReSim side plays, one
+//     8-digit hex word per line ("XXXXXXXX" for an all-X word), with a
+//     comment line per session. Loads into any SimB-consuming tool.
+// The JSON round-trips: load_repro() reconstructs the scenario so
+// `campaign_runner --campaign diff --replay FILE` (and the tests) can
+// re-run the exact divergence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classify.hpp"
+
+namespace autovision::diff {
+
+struct ReproBundle {
+    scen::Scenario scenario;
+    DiffFault inject = DiffFault::kNone;
+    std::size_t original_words = 0;
+    std::size_t minimal_words = 0;
+    /// "kind on side: detail" lines of the genuine divergences.
+    std::vector<std::string> genuine;
+};
+
+/// Build a bundle from a shrink outcome's minimal scenario + report.
+[[nodiscard]] ReproBundle make_bundle(const scen::Scenario& minimal,
+                                      const DiffReport& report,
+                                      DiffFault inject,
+                                      std::size_t original_words,
+                                      std::size_t minimal_words);
+
+/// Deterministic serialisations.
+[[nodiscard]] std::string repro_to_json(const ReproBundle& b);
+[[nodiscard]] std::string simb_to_text(const scen::Scenario& s);
+
+/// Parse a .repro.json document. Returns false (with `err` set) on any
+/// syntax or schema problem.
+[[nodiscard]] bool repro_from_json(const std::string& text, ReproBundle* out,
+                                   std::string* err);
+
+/// Write <dir>/<stem>.repro.json and <dir>/<stem>.simb (dir must exist or
+/// be creatable). Returns false with `err` set on I/O failure.
+[[nodiscard]] bool write_repro_files(const ReproBundle& b,
+                                     const std::string& dir,
+                                     const std::string& stem,
+                                     std::string* err);
+
+/// Load a .repro.json file from disk.
+[[nodiscard]] bool load_repro_file(const std::string& path, ReproBundle* out,
+                                   std::string* err);
+
+}  // namespace autovision::diff

@@ -1,0 +1,49 @@
+// diff: automatic divergence shrinking (delta debugging).
+//
+// Given a scenario whose differential run shows a genuine divergence, the
+// shrinker reduces it Verismith-reducer style — drop sessions, then drop
+// per-session packets (capture, restore, DCR traffic, corruption, word
+// gaps), then shrink payloads geometrically — re-running both sides after
+// every candidate edit and keeping it only when the *same class* of genuine
+// divergence (kind + attributed side) survives. Candidates are renormalised
+// to the generator's valid-by-construction invariants first, so the loop
+// never wanders into scenarios whose expectations are ill-defined.
+//
+// The whole loop is RNG-free and iterates in a fixed order, so a given
+// (scenario, injection) pair shrinks to the same minimal reproducer on any
+// worker, any thread count, any run.
+#pragma once
+
+#include "classify.hpp"
+
+namespace autovision::diff {
+
+struct ShrinkOptions {
+    DiffOptions diff;
+    /// Differential-run budget (each run is two full simulations).
+    unsigned max_runs = 160;
+};
+
+struct ShrinkResult {
+    /// False when the input scenario showed no genuine divergence (nothing
+    /// to shrink; `minimal` is the input).
+    bool diverged = false;
+    scen::Scenario minimal;
+    /// Differential outcome of `minimal` (the baseline outcome when the
+    /// input did not diverge).
+    DiffOutcome outcome;
+    unsigned runs = 0;
+    std::size_t original_words = 0;
+    std::size_t minimal_words = 0;
+};
+
+/// Re-establish the generator's invariants after an edit: recompute the
+/// resident-module chain, drop captures/restores that lost their
+/// prerequisites, and clamp payload sizes and corruption positions to what
+/// each mutation kind requires.
+[[nodiscard]] scen::Scenario normalize(scen::Scenario s);
+
+[[nodiscard]] ShrinkResult shrink(const scen::Scenario& s,
+                                  const ShrinkOptions& opt = {});
+
+}  // namespace autovision::diff

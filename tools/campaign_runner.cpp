@@ -7,6 +7,9 @@
 //   campaign_runner --campaign seeds    [--seeds N] [--frames F]
 //   campaign_runner --campaign closure  [--cover-out cover.json] [--seed S]
 //                   [--batches N] [--batch-size N] [--target P] [--no-bias]
+//   campaign_runner --campaign diff     [--seed S] [--seeds N]
+//                   [--inject NAME] [--repro-out DIR] [--expect-genuine]
+//   campaign_runner --replay FILE.repro.json
 //
 // Every job is an isolated simulation (own Scheduler/Testbench) fanned out
 // over the campaign worker pool; results stream into a JSONL file (one
@@ -28,6 +31,8 @@
 #include "campaign/pool.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/sink.hpp"
+#include "diff/repro.hpp"
+#include "diff/shrink.hpp"
 
 using namespace autovision;
 using namespace autovision::campaign;
@@ -52,6 +57,11 @@ struct Options {
     unsigned batch_size = 12;
     double target = 95.0;
     bool bias = true;
+    // diff campaign
+    std::string inject = "none";
+    std::string repro_out;
+    bool expect_genuine = false;
+    std::string replay;
 };
 
 void usage(const char* argv0) {
@@ -67,6 +77,9 @@ void usage(const char* argv0) {
         "  seeds      one clean full-system run per synthetic-scene seed\n"
         "  closure    coverage-closure loop: constrained-random scenario\n"
         "             batches, merged functional coverage, bins-unhit bias\n"
+        "  diff       differential VM-vs-ReSim oracle: one constrained-\n"
+        "             random scenario per seed run through both methods,\n"
+        "             divergences classified, genuine ones shrunk\n"
         "\n"
         "options:\n"
         "  --jobs N        worker threads (default 0 = hardware"
@@ -91,7 +104,17 @@ void usage(const char* argv0) {
         "  --batches N     batch budget (default 6)\n"
         "  --batch-size N  scenarios per batch (default 12)\n"
         "  --target P      stop at P%% goal-bin coverage (default 95)\n"
-        "  --no-bias       pure-random control arm (no coverage feedback)\n",
+        "  --no-bias       pure-random control arm (no coverage feedback)\n"
+        "\n"
+        "diff options (--seed seeds the batch, --seeds counts jobs):\n"
+        "  --inject NAME   injected design fault: none, vm-no-sig-init,\n"
+        "                  isolation-missing, wrong-module-map\n"
+        "  --repro-out DIR write shrunk minimal reproducers\n"
+        "                  (<job>.repro.json + <job>.simb) to DIR\n"
+        "  --expect-genuine exit nonzero unless the batch flags at least\n"
+        "                  one genuine divergence (fault-injection runs)\n"
+        "  --replay FILE   re-run a .repro.json reproducer standalone and\n"
+        "                  report whether the divergence reproduces\n",
         argv0);
 }
 
@@ -162,6 +185,47 @@ void print_fault_table(const std::vector<JobRecord>& records) {
                 mismatches);
 }
 
+/// Standalone reproducer replay: re-run the differential pair a
+/// .repro.json bundle records and report whether the genuine divergence
+/// reproduces. Exit 0 = the replay matches the bundle's expectation.
+int run_replay(const std::string& path) {
+    diff::ReproBundle bundle;
+    std::string err;
+    if (!diff::load_repro_file(path, &bundle, &err)) {
+        std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    std::printf("replay %s: '%s', %zu sessions, inject=%s, %zu recorded"
+                " genuine divergence(s)\n",
+                path.c_str(), bundle.scenario.name.c_str(),
+                bundle.scenario.sessions.size(),
+                diff::to_string(bundle.inject), bundle.genuine.size());
+
+    diff::DiffOptions dopt;
+    dopt.inject = bundle.inject;
+    // normalize() is a no-op on writer-produced bundles but keeps
+    // hand-edited reproducers inside the generator's invariants.
+    const diff::DiffOutcome out =
+        diff::run_diff(diff::normalize(bundle.scenario), dopt);
+
+    for (const diff::Divergence& d : out.report.divergences) {
+        std::printf("  %-8s %-15s %-6s session %2d  %s\n",
+                    d.genuine ? "GENUINE" : "expected",
+                    diff::to_string(d.kind), diff::to_string(d.side),
+                    d.session, d.detail.c_str());
+    }
+    const bool want = !bundle.genuine.empty();
+    const bool got = out.report.genuine() != 0;
+    std::printf("replay: %u genuine, %u expected — %s\n",
+                out.report.genuine(), out.report.expected(),
+                want == got ? (want ? "divergence REPRODUCED"
+                                    : "clean, as recorded")
+                            : (want ? "divergence did NOT reproduce"
+                                    : "unexpected divergence"));
+    return want == got ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +272,14 @@ int main(int argc, char** argv) {
             ok = end != v && *end == '\0';
         } else if (a == "--no-bias") {
             opt.bias = false;
+        } else if (a == "--inject") {
+            opt.inject = next();
+        } else if (a == "--repro-out") {
+            opt.repro_out = next();
+        } else if (a == "--expect-genuine") {
+            opt.expect_genuine = true;
+        } else if (a == "--replay") {
+            opt.replay = next();
         } else if (a == "--trace") {
             opt.trace = true;
         } else if (a == "--trace-out") {
@@ -228,6 +300,8 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+
+    if (!opt.replay.empty()) return run_replay(opt.replay);
 
     if (opt.campaign == "closure") {
         ClosureConfig cc;
@@ -333,6 +407,19 @@ int main(int argc, char** argv) {
     } else if (opt.campaign == "seeds") {
         jobs = seed_sweep_jobs(base, /*first_seed=*/1, opt.seeds,
                                opt.frames);
+    } else if (opt.campaign == "diff") {
+        DiffCampaignConfig dc;
+        dc.seed = opt.seed;
+        dc.count = opt.seeds;
+        bool known = false;
+        dc.inject = diff::fault_from_string(opt.inject, &known);
+        if (!known) {
+            std::fprintf(stderr, "unknown --inject fault: %s\n",
+                         opt.inject.c_str());
+            return 2;
+        }
+        dc.repro_dir = opt.repro_out;
+        jobs = diff_batch_jobs(dc);
     } else {
         std::fprintf(stderr, opt.campaign.empty()
                                  ? "missing --campaign\n"
@@ -374,10 +461,42 @@ int main(int argc, char** argv) {
 
     if (opt.campaign == "faults") print_fault_table(result.records);
 
+    bool expect_genuine_failed = false;
+    if (opt.campaign == "diff") {
+        double genuine = 0.0, expected = 0.0;
+        unsigned diverged = 0, shrunk = 0;
+        for (const JobRecord& r : result.records) {
+            const auto& m = r.report.metrics;
+            if (const auto it = m.find("genuine"); it != m.end()) {
+                genuine += it->second;
+                if (it->second > 0.0) ++diverged;
+            }
+            if (const auto it = m.find("expected"); it != m.end()) {
+                expected += it->second;
+            }
+            if (m.count("shrunk_words") != 0) ++shrunk;
+        }
+        std::printf("\n==== diff oracle ====\n");
+        std::printf("  seed 0x%llx, %zu scenarios, inject=%s\n", opt.seed,
+                    result.records.size(), opt.inject.c_str());
+        std::printf("  genuine divergences: %.0f across %u scenario(s)"
+                    " (%u shrunk)\n", genuine, diverged, shrunk);
+        std::printf("  expected-by-construction divergences: %.0f\n",
+                    expected);
+        if (!opt.repro_out.empty() && shrunk != 0) {
+            std::printf("  reproducers: %s/\n", opt.repro_out.c_str());
+        }
+        if (opt.expect_genuine && genuine == 0.0) {
+            std::printf("!! --expect-genuine: the batch flagged no genuine"
+                        " divergence\n");
+            expect_genuine_failed = true;
+        }
+    }
+
     std::printf("\n%s", result.summary.table().c_str());
     if (!opt.out.empty()) {
         std::printf("results: %s (%zu JSONL records)\n", opt.out.c_str(),
                     result.records.size());
     }
-    return result.summary.all_passed() ? 0 : 1;
+    return result.summary.all_passed() && !expect_genuine_failed ? 0 : 1;
 }

@@ -37,6 +37,31 @@ void DcrChain::start_write(std::uint32_t regno, Word data,
     wr_done_ = std::move(done);
 }
 
+void DcrChain::ckpt_save(rtlsim::SnapWriter& w) const {
+    w.bool8(busy_);
+    w.bool8(is_read_);
+    w.bool8(claimed_);
+    w.bool8(corrupted_);
+    w.bool8(corruption_reported_);
+    w.u32(regno_);
+    w.u64((static_cast<std::uint64_t>(data_.val_plane()) << 32) |
+          data_.unk_plane());
+    w.u64(pos_);
+}
+
+bool DcrChain::ckpt_restore(rtlsim::SnapReader& r) {
+    busy_ = r.bool8();
+    is_read_ = r.bool8();
+    claimed_ = r.bool8();
+    corrupted_ = r.bool8();
+    corruption_reported_ = r.bool8();
+    regno_ = r.u32();
+    const std::uint64_t planes = r.u64();
+    data_ = Word::from_planes(planes >> 32, planes & 0xFFFF'FFFFull);
+    pos_ = r.u64();
+    return r.ok_so_far() && pos_ <= nodes_.size();
+}
+
 void DcrChain::on_clock() {
     if (is1(rst_.read())) {
         busy_ = false;

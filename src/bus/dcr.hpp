@@ -73,6 +73,20 @@ public:
     /// Attach (or detach, with nullptr) the structured event recorder.
     void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
 
+    // --- checkpoint ------------------------------------------------------
+    /// Ring token state. The issuer's completion closure is re-armed by the
+    /// CPU (or harness) via ckpt_rearm_* after its own state is restored.
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+    /// Restore-time closure re-install; unlike start_read/start_write these
+    /// do not touch the token state (the transaction is already in flight).
+    void ckpt_rearm_read(std::function<void(Word)> done) {
+        rd_done_ = std::move(done);
+    }
+    void ckpt_rearm_write(std::function<void()> done) {
+        wr_done_ = std::move(done);
+    }
+
 private:
     void on_clock();
 

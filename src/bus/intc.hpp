@@ -51,6 +51,31 @@ public:
     /// Attach (or detach, with nullptr) the structured event recorder.
     void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
 
+    // --- checkpoint ------------------------------------------------------
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        w.bool8(irq_prev_);
+        for (Logic l : prev_) w.u8(static_cast<std::uint8_t>(l));
+        w.u64(isr_.val_plane());
+        w.u64(isr_.unk_plane());
+        w.u64(ier_.val_plane());
+        w.u64(ier_.unk_plane());
+        w.bool8(edge_capture_);
+        w.u32(x_reports_);
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        irq_prev_ = r.bool8();
+        for (Logic& l : prev_) l = static_cast<Logic>(r.u8());
+        const std::uint64_t iv = r.u64();
+        const std::uint64_t iu = r.u64();
+        isr_ = LVec<kMaxLines>::from_planes(iv, iu);
+        const std::uint64_t ev = r.u64();
+        const std::uint64_t eu = r.u64();
+        ier_ = LVec<kMaxLines>::from_planes(ev, eu);
+        edge_capture_ = r.bool8();
+        x_reports_ = r.u32();
+        return r.ok_so_far();
+    }
+
 private:
     void on_clock();
 

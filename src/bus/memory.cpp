@@ -9,6 +9,7 @@ Memory::Memory() : Memory(Config{}) {}
 Memory::Memory(Config cfg) : cfg_(cfg) {
     assert(cfg_.size_bytes % 4 == 0);
     words_.assign(cfg_.size_bytes / 4, Word{0});
+    page_dirty_.assign((words_.size() + kPageWords - 1) / kPageWords, 0);
 }
 
 bool Memory::claims(std::uint32_t addr) const {
@@ -22,11 +23,19 @@ std::size_t Memory::index(std::uint32_t addr) const {
 
 Word Memory::plb_read(std::uint32_t addr) { return words_[index(addr)]; }
 
-void Memory::plb_write(std::uint32_t addr, Word w) { words_[index(addr)] = w; }
+void Memory::plb_write(std::uint32_t addr, Word w) {
+    const std::size_t i = index(addr);
+    page_dirty_[i / kPageWords] = 1;
+    words_[i] = w;
+}
 
 Word Memory::peek(std::uint32_t addr) const { return words_[index(addr)]; }
 
-void Memory::poke(std::uint32_t addr, Word w) { words_[index(addr)] = w; }
+void Memory::poke(std::uint32_t addr, Word w) {
+    const std::size_t i = index(addr);
+    page_dirty_[i / kPageWords] = 1;
+    words_[i] = w;
+}
 
 std::uint32_t Memory::peek_u32(std::uint32_t addr, bool* ok) const {
     const Word w = words_[index(addr)];
@@ -35,7 +44,9 @@ std::uint32_t Memory::peek_u32(std::uint32_t addr, bool* ok) const {
 }
 
 void Memory::poke_u32(std::uint32_t addr, std::uint32_t v) {
-    words_[index(addr)] = Word{v};
+    const std::size_t i = index(addr);
+    page_dirty_[i / kPageWords] = 1;
+    words_[i] = Word{v};
 }
 
 std::uint8_t Memory::peek_u8(std::uint32_t addr, bool* ok) const {
@@ -48,7 +59,9 @@ std::uint8_t Memory::peek_u8(std::uint32_t addr, bool* ok) const {
 }
 
 void Memory::poke_u8(std::uint32_t addr, std::uint8_t v) {
-    Word& w = words_[index(addr & ~3u)];
+    const std::size_t i = index(addr & ~3u);
+    page_dirty_[i / kPageWords] = 1;
+    Word& w = words_[i];
     const unsigned shift = (3u - (addr & 3u)) * 8;
     const Word mask = Word{0xFFu} << shift;
     w = (w & ~mask) | (Word{v} << shift);
@@ -65,7 +78,9 @@ std::uint16_t Memory::peek_u16(std::uint32_t addr, bool* ok) const {
 
 void Memory::poke_u16(std::uint32_t addr, std::uint16_t v) {
     assert((addr & 1u) == 0 && "halfword access must be aligned");
-    Word& w = words_[index(addr & ~3u)];
+    const std::size_t i = index(addr & ~3u);
+    page_dirty_[i / kPageWords] = 1;
+    Word& w = words_[i];
     const unsigned shift = (addr & 2u) ? 0 : 16;
     const Word mask = Word{0xFFFFu} << shift;
     w = (w & ~mask) | (Word{v} << shift);

@@ -8,6 +8,7 @@
 // preload memory models.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -69,11 +70,62 @@ public:
     [[nodiscard]] std::uint32_t base() const { return cfg_.base; }
     [[nodiscard]] std::uint32_t size_bytes() const { return cfg_.size_bytes; }
 
+    // --- checkpoint ------------------------------------------------------
+    /// RLE over the 4-state image: each word's (val<<32 | unk) planes form
+    /// one u64 run value, so the zero-dominated image stays tiny.
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        rtlsim::snap_rle_u64(w, words_.size(), [this](std::size_t i) {
+            return (static_cast<std::uint64_t>(words_[i].val_plane()) << 32) |
+                   words_[i].unk_plane();
+        });
+    }
+    /// Restore cost scales with the *touched* footprint, not the memory
+    /// size: a page whose dirty bit is clear still holds the init value
+    /// Word{0} everywhere (the bit is set on every write), so an all-zero
+    /// run only needs to re-fill the dirty pages it covers. An 8 MiB
+    /// image whose firmware + frame buffers span a few dozen pages
+    /// restores in microseconds instead of a 2M-word sweep.
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        return rtlsim::snap_unrle_u64_runs(
+            r, words_.size(),
+            [this](std::size_t i, std::uint64_t run, std::uint64_t v) {
+                const std::size_t p0 = i / kPageWords;
+                const std::size_t p1 = (i + run - 1) / kPageWords;
+                if (v != 0) {
+                    std::fill_n(
+                        words_.begin() + static_cast<std::ptrdiff_t>(i), run,
+                        Word::from_planes(v >> 32, v & 0xFFFF'FFFFull));
+                    for (std::size_t p = p0; p <= p1; ++p) page_dirty_[p] = 1;
+                    return;
+                }
+                for (std::size_t p = p0; p <= p1; ++p) {
+                    if (page_dirty_[p] == 0) continue;  // already all zero
+                    const std::size_t lo = std::max(i, p * kPageWords);
+                    const std::size_t hi = std::min(
+                        {i + run, (p + 1) * kPageWords, words_.size()});
+                    std::fill(words_.begin() + static_cast<std::ptrdiff_t>(lo),
+                              words_.begin() + static_cast<std::ptrdiff_t>(hi),
+                              Word{0});
+                    // Fully zeroed pages are back to the init image; a
+                    // partially covered page stays conservatively dirty.
+                    if (lo == p * kPageWords &&
+                        hi == std::min((p + 1) * kPageWords, words_.size())) {
+                        page_dirty_[p] = 0;
+                    }
+                }
+            });
+    }
+
 private:
+    static constexpr std::size_t kPageWords = 1024;  ///< 4 KiB pages
+
     [[nodiscard]] std::size_t index(std::uint32_t addr) const;
 
     Config cfg_;
     std::vector<Word> words_;
+    /// One byte per page; nonzero = some word in the page has been written
+    /// since construction (its content may differ from the init Word{0}).
+    std::vector<std::uint8_t> page_dirty_;
 };
 
 }  // namespace autovision

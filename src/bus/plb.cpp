@@ -251,6 +251,64 @@ void Plb::on_clock() {
     }
 }
 
+void Plb::ckpt_save(rtlsim::SnapWriter& w) const {
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u32(owner_);
+    w.u32(last_granted_);
+    w.u32(cursor_);
+    w.u32(beats_left_);
+    w.u32(wait_left_);
+    w.u64(counters_.transactions);
+    w.u64(counters_.read_beats);
+    w.u64(counters_.write_beats);
+    w.u64(counters_.truncations);
+    w.u64(counters_.aborts);
+    w.u64(counters_.decode_errors);
+    w.u64(counters_.busy_cycles);
+    w.u64(counters_.total_cycles);
+    for (const MasterCounters& mc : mcounters_) {
+        w.u64(mc.transactions);
+        w.u64(mc.read_beats);
+        w.u64(mc.write_beats);
+        w.u64(mc.grant_wait_cycles);
+    }
+    for (unsigned s : starve_) w.u32(s);
+    for (unsigned x : x_reports_) w.u32(x);
+}
+
+bool Plb::ckpt_restore(rtlsim::SnapReader& r) {
+    state_ = static_cast<St>(r.u8());
+    owner_ = r.u32();
+    last_granted_ = r.u32();
+    cursor_ = r.u32();
+    beats_left_ = r.u32();
+    wait_left_ = r.u32();
+    counters_.transactions = r.u64();
+    counters_.read_beats = r.u64();
+    counters_.write_beats = r.u64();
+    counters_.truncations = r.u64();
+    counters_.aborts = r.u64();
+    counters_.decode_errors = r.u64();
+    counters_.busy_cycles = r.u64();
+    counters_.total_cycles = r.u64();
+    for (MasterCounters& mc : mcounters_) {
+        mc.transactions = r.u64();
+        mc.read_beats = r.u64();
+        mc.write_beats = r.u64();
+        mc.grant_wait_cycles = r.u64();
+    }
+    for (unsigned& s : starve_) s = r.u32();
+    for (unsigned& x : x_reports_) x = r.u32();
+    if (owner_ >= num_masters()) return false;
+    slave_ = nullptr;
+    if (state_ == St::ReadWait || state_ == St::ReadBurst ||
+        state_ == St::WriteBeat || state_ == St::WriteGap) {
+        slave_ = decode(cursor_);
+        if (slave_ == nullptr) return false;
+    }
+    return r.ok_so_far();
+}
+
 // --------------------------------------------------------------- DmaMaster
 
 DmaMaster::DmaMaster(PlbMasterPort& port, unsigned burst_limit)
@@ -311,6 +369,29 @@ void DmaMaster::reset() {
     sink_ = {};
     src_ = {};
     on_done_ = {};
+}
+
+void DmaMaster::ckpt_save(rtlsim::SnapWriter& w) const {
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.bool8(reading_);
+    w.bool8(failed_);
+    w.u32(addr_);
+    w.u32(remaining_);
+    w.u32(total_);
+    w.u32(idx_);
+    w.u32(burst_beats_);
+}
+
+bool DmaMaster::ckpt_restore(rtlsim::SnapReader& r) {
+    state_ = static_cast<St>(r.u8());
+    reading_ = r.bool8();
+    failed_ = r.bool8();
+    addr_ = r.u32();
+    remaining_ = r.u32();
+    total_ = r.u32();
+    idx_ = r.u32();
+    burst_beats_ = r.u32();
+    return r.ok_so_far();
 }
 
 void DmaMaster::step() {

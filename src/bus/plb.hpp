@@ -144,6 +144,13 @@ public:
     }
     [[nodiscard]] const Config& config() const { return cfg_; }
 
+    // --- checkpoint ------------------------------------------------------
+    /// Arbiter/datapath FSM + counters. The decoded slave pointer is not
+    /// serialized; restore re-derives it from the burst cursor (a burst
+    /// never crosses a slave's decode window).
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+
 private:
     enum class St { Idle, ReadWait, ReadBurst, WriteBeat, WriteGap, Cooldown };
 
@@ -201,8 +208,26 @@ public:
 
     [[nodiscard]] bool busy() const { return state_ != St::Idle; }
     [[nodiscard]] std::uint32_t words_done() const { return idx_; }
+    [[nodiscard]] std::uint32_t words_total() const { return total_; }
     /// True when the last transfer ended with a bus error (decode miss).
     [[nodiscard]] bool failed() const { return failed_; }
+
+    // --- checkpoint ------------------------------------------------------
+    /// POD transfer state only; the data closures cannot be serialized and
+    /// are re-installed by the owning module via ckpt_rearm() after its own
+    /// descriptor state is restored.
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+    /// Re-install the completion closures without touching the transfer
+    /// state or driving the port (the port signals are restored wholesale
+    /// by the scheduler's signal registry).
+    void ckpt_rearm(std::function<void(std::uint32_t, Word)> sink,
+                    std::function<Word(std::uint32_t)> src,
+                    std::function<void()> on_done) {
+        sink_ = std::move(sink);
+        src_ = std::move(src);
+        on_done_ = std::move(on_done);
+    }
 
 private:
     enum class St { Idle, Req, Xfer, Gap };

@@ -1,6 +1,7 @@
 #include "closure.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -11,9 +12,10 @@ namespace autovision::campaign {
 
 namespace {
 
-JobReport run_stream_job(const scen::Scenario& s, const JobContext& ctx) {
+JobReport run_stream_job(const scen::Scenario& s, const JobContext& ctx,
+                         const std::string* boot) {
     const scen::StreamResult r =
-        scen::run_stream_scenario(s, ctx.cancel_flag());
+        scen::run_stream_scenario(s, ctx.cancel_flag(), boot);
     JobReport rep;
     rep.coverage = cover::make_model();
     cover::observe_events(rep.coverage, r.events, r.clk_period);
@@ -79,7 +81,8 @@ JobReport run_fault_job(const scen::Scenario& s, const JobContext& ctx) {
 
 }  // namespace
 
-std::vector<SimJob> scenario_jobs(const std::vector<scen::Scenario>& batch) {
+std::vector<SimJob> scenario_jobs(const std::vector<scen::Scenario>& batch,
+                                  std::shared_ptr<const std::string> boot) {
     std::vector<SimJob> jobs;
     jobs.reserve(batch.size());
     for (const scen::Scenario& s : batch) {
@@ -93,8 +96,11 @@ std::vector<SimJob> scenario_jobs(const std::vector<scen::Scenario>& batch) {
             case scen::Kind::kStream:
                 job.params["kind"] = "stream";
                 job.params["sessions"] = std::to_string(s.sessions.size());
-                job.body = [s](const JobContext& ctx) {
-                    return run_stream_job(s, ctx);
+                // The shared_ptr keeps the boot blob alive for the worker
+                // pool's lifetime; jobs only ever read it.
+                job.body = [s, boot](const JobContext& ctx) {
+                    return run_stream_job(s, ctx,
+                                          boot ? boot.get() : nullptr);
                 };
                 break;
             case scen::Kind::kSystem:
@@ -123,6 +129,16 @@ ClosureResult run_closure(const ClosureConfig& cc, const CampaignConfig& rc) {
     ClosureResult res;
     res.merged = cover::make_model();
 
+    // One boot snapshot amortized over every kStream job of the campaign:
+    // the stream testbench's elaborate+reset prefix is scenario-independent,
+    // so each job forks from the blob instead of re-simulating it.
+    std::shared_ptr<const std::string> boot;
+    if (cc.warm_start) {
+        boot = std::make_shared<const std::string>(
+            cc.boot_blob.empty() ? scen::stream_boot_snapshot()
+                                 : cc.boot_blob);
+    }
+
     scen::ScenarioConstraints current = cc.base;
     std::size_t prev_hit = 0;
     unsigned stale = 0;
@@ -131,7 +147,7 @@ ClosureResult run_closure(const ClosureConfig& cc, const CampaignConfig& rc) {
         const std::vector<scen::Scenario> batch =
             scen::generate_batch(current, cc.seed, b, cc.batch_size);
         CampaignRunner runner(rc);
-        CampaignResult cres = runner.run(scenario_jobs(batch));
+        CampaignResult cres = runner.run(scenario_jobs(batch, boot));
 
         for (JobRecord& rec : cres.records) {
             if (rec.report.coverage.same_shape(res.merged)) {

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cover/model.hpp"
@@ -30,6 +32,15 @@ struct ClosureConfig {
     double target_percent = 95.0;    ///< stop when merged coverage reaches it
     unsigned saturation_batches = 2; ///< stop after N batches with no new bins
     bool bias = true;                ///< false: pure-random control arm
+    /// Take one stream-testbench boot snapshot up front and fork every
+    /// kStream job from it instead of re-simulating the elaborate+reset
+    /// prefix per job. Behaviour-neutral (the restored state is bit-exact,
+    /// pinned by the ckpt invariance suite); off = always boot cold.
+    bool warm_start = true;
+    /// Externally supplied boot snapshot (campaign_runner --ckpt-in).
+    /// Empty: warm_start generates one internally. A stale blob is
+    /// rejected per job and falls back to a cold boot.
+    std::string boot_blob;
 };
 
 struct BatchSummary {
@@ -49,9 +60,12 @@ struct ClosureResult {
 };
 
 /// One SimJob per scenario; each job runs its scenario in isolation and
-/// returns a coverage shard in JobReport::coverage.
+/// returns a coverage shard in JobReport::coverage. `boot` (optional) is a
+/// shared stream-testbench boot snapshot; kStream jobs restore from it
+/// instead of re-simulating the boot prefix (see ClosureConfig::warm_start).
 [[nodiscard]] std::vector<SimJob> scenario_jobs(
-    const std::vector<scen::Scenario>& batch);
+    const std::vector<scen::Scenario>& batch,
+    std::shared_ptr<const std::string> boot = nullptr);
 
 /// Run the closure loop. `rc` configures the per-batch worker pool.
 [[nodiscard]] ClosureResult run_closure(const ClosureConfig& cc,

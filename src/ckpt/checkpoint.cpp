@@ -1,0 +1,110 @@
+#include "checkpoint.hpp"
+
+#include <cstring>
+
+namespace autovision::ckpt {
+
+// ------------------------------------------------------------------ Saver
+
+rtlsim::SnapWriter& Saver::section(std::string name) {
+    seal_current();
+    cur_name_ = std::move(name);
+    open_ = true;
+    return cur_;
+}
+
+void Saver::seal_current() {
+    if (!open_) return;
+    sections_.emplace_back(std::move(cur_name_), cur_.take());
+    open_ = false;
+}
+
+bool Saver::write_to(std::ostream& os) {
+    seal_current();
+    rtlsim::SnapWriter w;
+    for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+    w.u32(manifest_.format_version);
+    w.u64(manifest_.config_hash);
+    w.u64(manifest_.sim_time);
+    w.u32(static_cast<std::uint32_t>(sections_.size()));
+    for (const auto& [name, payload] : sections_) {
+        w.str(name);
+        w.bytes(payload);
+    }
+    const std::vector<std::uint8_t> blob = w.take();
+    os.write(reinterpret_cast<const char*>(blob.data()),
+             static_cast<std::streamsize>(blob.size()));
+    return static_cast<bool>(os);
+}
+
+// ----------------------------------------------------------------- Loader
+
+bool Loader::load(std::istream& is, std::uint64_t expected_config_hash) {
+    std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>(is),
+                                   std::istreambuf_iterator<char>()};
+    rtlsim::SnapReader r(blob);
+    char magic[8];
+    for (char& c : magic) c = static_cast<char>(r.u8());
+    if (!r.ok_so_far() || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+        error_ = "not a checkpoint (bad magic)";
+        return false;
+    }
+    manifest_.format_version = r.u32();
+    if (manifest_.format_version != kFormatVersion) {
+        error_ = "unsupported format version " +
+                 std::to_string(manifest_.format_version);
+        return false;
+    }
+    manifest_.config_hash = r.u64();
+    manifest_.sim_time = r.u64();
+    if (expected_config_hash != 0 &&
+        manifest_.config_hash != expected_config_hash) {
+        error_ = "config hash mismatch (snapshot was taken from a "
+                 "differently configured system)";
+        return false;
+    }
+    const std::uint32_t n = r.u32();
+    sections_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        std::vector<std::uint8_t> payload = r.bytes();
+        if (!r.ok_so_far()) {
+            error_ = "truncated section table";
+            return false;
+        }
+        sections_.emplace_back(std::move(name), std::move(payload));
+    }
+    if (!r.ok()) {
+        error_ = "trailing bytes after section table";
+        return false;
+    }
+    return true;
+}
+
+const std::vector<std::uint8_t>* Loader::find(const std::string& name) const {
+    for (const auto& [n, payload] : sections_) {
+        if (n == name) return &payload;
+    }
+    return nullptr;
+}
+
+rtlsim::SnapReader Loader::reader(const std::string& name) {
+    const std::vector<std::uint8_t>* payload = find(name);
+    if (payload == nullptr) {
+        if (error_.empty()) error_ = "missing section '" + name + "'";
+        // A reader over the empty span fails on first read.
+        return rtlsim::SnapReader({});
+    }
+    return rtlsim::SnapReader(*payload);
+}
+
+std::vector<Loader::SectionInfo> Loader::sections() const {
+    std::vector<SectionInfo> out;
+    out.reserve(sections_.size());
+    for (const auto& [name, payload] : sections_) {
+        out.push_back({name, payload.size()});
+    }
+    return out;
+}
+
+}  // namespace autovision::ckpt

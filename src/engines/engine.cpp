@@ -64,6 +64,26 @@ bool EngineBase::rm_restore_state(std::span<const std::uint8_t> state) {
     return true;
 }
 
+void EngineBase::ckpt_save(rtlsim::SnapWriter& w) const {
+    dma_.ckpt_save(w);
+    w.bool8(active_);
+    w.bool8(running_);
+    w.u64(jobs_);
+    w.u64(busy_cycles_);
+    w.u32(x_reports_);
+    ckpt_save_job(w);
+}
+
+bool EngineBase::ckpt_restore(rtlsim::SnapReader& r) {
+    if (!dma_.ckpt_restore(r)) return false;
+    active_ = r.bool8();
+    running_ = r.bool8();
+    jobs_ = r.u64();
+    busy_cycles_ = r.u64();
+    x_reports_ = r.u32();
+    return ckpt_restore_job(r) && r.ok_so_far();
+}
+
 void EngineBase::report_x_input() {
     if (x_reports_ < 5) {
         ++x_reports_;

@@ -52,6 +52,14 @@ public:
     [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_; }
     [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
 
+    // --- checkpoint ------------------------------------------------------
+    /// Full-fidelity snapshot: residency/job bookkeeping + DMA FSM +
+    /// derived datapath, legal mid-burst (unlike rm_save_state, which
+    /// refuses while the DMA is in flight). The derived class re-arms the
+    /// DMA data closures from its restored phase flags.
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+
 protected:
     /// Latch configuration from the registers; return false on a bad
     /// configuration (reported by the base).
@@ -67,6 +75,12 @@ protected:
     /// idle). restore_job_state returns false on a malformed image.
     virtual void save_job_state(StateWriter& w) const = 0;
     virtual bool restore_job_state(StateReader& r) = 0;
+
+    /// Checkpoint the derived datapath including mid-DMA descriptors;
+    /// ckpt_restore_job must re-install the DMA closures (via
+    /// dma_.ckpt_rearm) when a burst was open at save time.
+    virtual void ckpt_save_job(rtlsim::SnapWriter& w) const = 0;
+    [[nodiscard]] virtual bool ckpt_restore_job(rtlsim::SnapReader& r) = 0;
 
     /// Capped diagnostic for X encountered in input data.
     void report_x_input();

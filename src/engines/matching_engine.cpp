@@ -91,6 +91,96 @@ bool MatchingEngine::restore_job_state(StateReader& r) {
            out_.size() == std::size_t{gw_} * gh_ && gx_ <= gw_ && gy_ <= gh_;
 }
 
+void MatchingEngine::ckpt_save_job(rtlsim::SnapWriter& w) const {
+    w.u32(w_);
+    w.u32(h_);
+    w.u32(cur_addr_);
+    w.u32(prev_addr_);
+    w.u32(dst_);
+    w.i32(search_);
+    w.u32(step_);
+    w.u32(margin_);
+    w.u32(gw_);
+    w.u32(gh_);
+    w.u8(static_cast<std::uint8_t>(phase_));
+    w.bool8(dma_issued_);
+    w.bool8(load_done_);
+    w.u32(gx_);
+    w.u32(gy_);
+    w.u32(cand_);
+    w.i32(best_dx_);
+    w.i32(best_dy_);
+    w.u32(best_cost_);
+    w.bytes(prev_);
+    w.bytes(cur_);
+    w.words(out_);
+}
+
+bool MatchingEngine::ckpt_restore_job(rtlsim::SnapReader& r) {
+    w_ = r.u32();
+    h_ = r.u32();
+    cur_addr_ = r.u32();
+    prev_addr_ = r.u32();
+    dst_ = r.u32();
+    search_ = r.i32();
+    step_ = r.u32();
+    margin_ = r.u32();
+    gw_ = r.u32();
+    gh_ = r.u32();
+    const std::uint8_t ph = r.u8();
+    if (ph > static_cast<std::uint8_t>(Phase::Write)) return false;
+    phase_ = static_cast<Phase>(ph);
+    dma_issued_ = r.bool8();
+    load_done_ = r.bool8();
+    gx_ = r.u32();
+    gy_ = r.u32();
+    cand_ = r.u32();
+    best_dx_ = r.i32();
+    best_dy_ = r.i32();
+    best_cost_ = r.u32();
+    prev_ = r.bytes();
+    cur_ = r.bytes();
+    out_ = r.words();
+    if (!r.ok_so_far()) return false;
+    if (dma_issued_ != dma_.busy()) return false;
+    if (prev_.empty() && cur_.empty() && out_.empty()) {
+        // Between jobs: reset_job cleared the buffers but the geometry
+        // registers keep the last job's values. Only the post-reset
+        // initial state is legal with empty buffers.
+        return phase_ == Phase::LoadPrev && !dma_issued_ && !load_done_ &&
+               gx_ == 0 && gy_ == 0 && cand_ == 0;
+    }
+    if (w_ == 0 || prev_.size() != std::size_t{w_} * h_ ||
+        cur_.size() != std::size_t{w_} * h_ ||
+        out_.size() != std::size_t{gw_} * gh_) {
+        return false;
+    }
+    if (!dma_issued_) return true;
+    // Re-arm the open burst's closures; the target follows from the phase
+    // (the phase only advances after the load/write completes).
+    switch (phase_) {
+        case Phase::LoadPrev:
+            if (dma_.words_total() > (std::size_t{w_} * h_) / 4) return false;
+            rearm_read(prev_);
+            return true;
+        case Phase::LoadCur:
+            if (dma_.words_total() > (std::size_t{w_} * h_) / 4) return false;
+            rearm_read(cur_);
+            return true;
+        case Phase::Write:
+            if (dma_.words_total() > out_.size()) return false;
+            dma_.ckpt_rearm({},
+                            [this](std::uint32_t i) { return Word{out_[i]}; },
+                            [this] {
+                                dma_issued_ = false;
+                                load_done_ = true;
+                            });
+            return true;
+        default:
+            return false;  // Compute never has a burst open
+    }
+}
+
 bool MatchingEngine::begin_job() {
     w_ = regs_.width();
     h_ = regs_.height();
@@ -128,6 +218,23 @@ void MatchingEngine::issue_frame_read(std::uint32_t addr,
             dest[4 * i + 3] = static_cast<std::uint8_t>(v);
         },
         [this] {
+            dma_issued_ = false;
+            load_done_ = true;
+        });
+}
+
+void MatchingEngine::rearm_read(std::vector<std::uint8_t>& dest) {
+    // Identical to the closures issue_frame_read installs.
+    dma_.ckpt_rearm(
+        [this, &dest](std::uint32_t i, Word w) {
+            if (w.has_unknown()) report_x_input();
+            const auto v = static_cast<std::uint32_t>(w.to_u64());
+            dest[4 * i + 0] = static_cast<std::uint8_t>(v >> 24);
+            dest[4 * i + 1] = static_cast<std::uint8_t>(v >> 16);
+            dest[4 * i + 2] = static_cast<std::uint8_t>(v >> 8);
+            dest[4 * i + 3] = static_cast<std::uint8_t>(v);
+        },
+        {}, [this] {
             dma_issued_ = false;
             load_done_ = true;
         });

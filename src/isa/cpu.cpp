@@ -116,64 +116,193 @@ void PpcCpu::on_clock() {
     execute(insn);
 }
 
+void PpcCpu::finish_mfdcr(Word w) {
+    if (w.has_unknown() && x_reports_ < cfg_.x_report_limit) {
+        ++x_reports_;
+        report("mfdcr " + std::to_string(dcrop_.dcrn) +
+               " returned X (broken daisy chain?)");
+    }
+    gpr_[dcrop_.rt] = static_cast<std::uint32_t>(w.to_u64());
+    dcr_busy_ = false;
+    dcrop_.kind = DcrOp::Kind::None;
+}
+
+void PpcCpu::finish_load(Word w) {
+    if (w.has_unknown() && x_reports_ < cfg_.x_report_limit) {
+        ++x_reports_;
+        char buf[56];
+        std::snprintf(buf, sizeof buf, "load of X/corrupted data at 0x%08x",
+                      mem_.ea);
+        report(buf);
+    }
+    const auto full = static_cast<std::uint32_t>(w.to_u64());
+    std::uint32_t v = full;
+    if (mem_.bytes == 1) {
+        v = (full >> ((3 - (mem_.ea & 3u)) * 8)) & 0xFF;
+    } else if (mem_.bytes == 2) {
+        v = (full >> ((mem_.ea & 2u) ? 0 : 16)) & 0xFFFF;
+    }
+    gpr_[mem_.rt] = v;
+}
+
+void PpcCpu::rmw_merge(Word w) {
+    const auto old = static_cast<std::uint32_t>(w.to_u64());
+    std::uint32_t merged = old;
+    if (mem_.bytes == 1) {
+        const unsigned sh = (3 - (mem_.ea & 3u)) * 8;
+        merged = (old & ~(0xFFu << sh)) | ((mem_.value & 0xFF) << sh);
+    } else {
+        const unsigned sh = (mem_.ea & 2u) ? 0 : 16;
+        merged = (old & ~(0xFFFFu << sh)) | ((mem_.value & 0xFFFF) << sh);
+    }
+    mem_.value = merged;
+}
+
+void PpcCpu::issue_rmw_write() {
+    mem_.kind = MemOp::Kind::RmwWrite;
+    dma_.start_write(
+        mem_.ea & ~3u, 1, [this](std::uint32_t) { return Word{mem_.value}; },
+        [this] {
+            mem_busy_ = false;
+            mem_.kind = MemOp::Kind::None;
+        });
+}
+
 void PpcCpu::load(std::uint32_t ea, unsigned bytes, std::uint32_t rt) {
     mem_busy_ = true;
+    mem_ = MemOp{MemOp::Kind::Load, ea, bytes, rt, 0};
     dma_.start_read(
-        ea & ~3u, 1,
-        [this, ea, bytes, rt](std::uint32_t, Word w) {
-            if (w.has_unknown() && x_reports_ < cfg_.x_report_limit) {
-                ++x_reports_;
-                char buf[56];
-                std::snprintf(buf, sizeof buf,
-                              "load of X/corrupted data at 0x%08x", ea);
-                report(buf);
-            }
-            const auto full = static_cast<std::uint32_t>(w.to_u64());
-            std::uint32_t v = full;
-            if (bytes == 1) {
-                v = (full >> ((3 - (ea & 3u)) * 8)) & 0xFF;
-            } else if (bytes == 2) {
-                v = (full >> ((ea & 2u) ? 0 : 16)) & 0xFFFF;
-            }
-            gpr_[rt] = v;
-        },
-        [this] { mem_busy_ = false; });
+        ea & ~3u, 1, [this](std::uint32_t, Word w) { finish_load(w); },
+        [this] {
+            mem_busy_ = false;
+            mem_.kind = MemOp::Kind::None;
+        });
 }
 
 void PpcCpu::store(std::uint32_t ea, unsigned bytes, std::uint32_t value) {
     mem_busy_ = true;
     if (bytes == 4) {
+        mem_ = MemOp{MemOp::Kind::Store4, ea, 4, 0, value};
         dma_.start_write(
-            ea & ~3u, 1, [value](std::uint32_t) { return Word{value}; },
-            [this] { mem_busy_ = false; });
+            ea & ~3u, 1,
+            [this](std::uint32_t) { return Word{mem_.value}; }, [this] {
+                mem_busy_ = false;
+                mem_.kind = MemOp::Kind::None;
+            });
         return;
     }
     // Sub-word store: read-modify-write through the bus (the model's
     // substitute for byte enables; see header).
-    rmw_ = Rmw{true, ea, bytes, value};
+    mem_ = MemOp{MemOp::Kind::RmwRead, ea, bytes, 0, value};
     dma_.start_read(
-        ea & ~3u, 1,
-        [this](std::uint32_t, Word w) {
-            const auto old = static_cast<std::uint32_t>(w.to_u64());
-            std::uint32_t merged = old;
-            if (rmw_.bytes == 1) {
-                const unsigned sh = (3 - (rmw_.ea & 3u)) * 8;
-                merged = (old & ~(0xFFu << sh)) | ((rmw_.value & 0xFF) << sh);
-            } else {
-                const unsigned sh = (rmw_.ea & 2u) ? 0 : 16;
-                merged =
-                    (old & ~(0xFFFFu << sh)) | ((rmw_.value & 0xFFFF) << sh);
-            }
-            rmw_.value = merged;
-        },
-        [this] {
-            dma_.start_write(
-                rmw_.ea & ~3u, 1,
-                [this](std::uint32_t) { return Word{rmw_.value}; }, [this] {
+        ea & ~3u, 1, [this](std::uint32_t, Word w) { rmw_merge(w); },
+        [this] { issue_rmw_write(); });
+}
+
+void PpcCpu::ckpt_save(rtlsim::SnapWriter& w) const {
+    dma_.ckpt_save(w);
+    for (std::uint32_t g : gpr_) w.u32(g);
+    w.u32(pc_);
+    w.u32(msr_);
+    w.u32(cr0_);
+    w.u32(lr_);
+    w.u32(ctr_);
+    w.u32(xer_);
+    w.u32(srr0_);
+    w.u32(srr1_);
+    w.bool8(in_reset_);
+    w.bool8(halted_);
+    w.bool8(fatal_);
+    w.bool8(mem_busy_);
+    w.bool8(dcr_busy_);
+    w.u64(icount_);
+    w.u64(irqs_);
+    w.u32(x_reports_);
+    w.u8(static_cast<std::uint8_t>(mem_.kind));
+    w.u32(mem_.ea);
+    w.u32(mem_.bytes);
+    w.u32(mem_.rt);
+    w.u32(mem_.value);
+    w.u8(static_cast<std::uint8_t>(dcrop_.kind));
+    w.u32(dcrop_.dcrn);
+    w.u32(dcrop_.rt);
+}
+
+bool PpcCpu::ckpt_restore(rtlsim::SnapReader& r) {
+    if (!dma_.ckpt_restore(r)) return false;
+    for (std::uint32_t& g : gpr_) g = r.u32();
+    pc_ = r.u32();
+    msr_ = r.u32();
+    cr0_ = r.u32();
+    lr_ = r.u32();
+    ctr_ = r.u32();
+    xer_ = r.u32();
+    srr0_ = r.u32();
+    srr1_ = r.u32();
+    in_reset_ = r.bool8();
+    halted_ = r.bool8();
+    fatal_ = r.bool8();
+    mem_busy_ = r.bool8();
+    dcr_busy_ = r.bool8();
+    icount_ = r.u64();
+    irqs_ = r.u64();
+    x_reports_ = r.u32();
+    const std::uint8_t mk = r.u8();
+    if (mk > static_cast<std::uint8_t>(MemOp::Kind::RmwWrite)) return false;
+    mem_.kind = static_cast<MemOp::Kind>(mk);
+    mem_.ea = r.u32();
+    mem_.bytes = r.u32();
+    mem_.rt = r.u32();
+    mem_.value = r.u32();
+    const std::uint8_t dk = r.u8();
+    if (dk > static_cast<std::uint8_t>(DcrOp::Kind::Write)) return false;
+    dcrop_.kind = static_cast<DcrOp::Kind>(dk);
+    dcrop_.dcrn = r.u32();
+    dcrop_.rt = r.u32();
+    if (!r.ok_so_far()) return false;
+    if (mem_.rt >= gpr_.size() || dcrop_.rt >= gpr_.size()) return false;
+    if (mem_busy_ != dma_.busy()) return false;
+    if (mem_busy_ && mem_.kind == MemOp::Kind::None) return false;
+    // Re-arm whichever completion closures the open operation needs.
+    switch (mem_.kind) {
+        case MemOp::Kind::Load:
+            dma_.ckpt_rearm(
+                [this](std::uint32_t, Word w) { finish_load(w); }, {},
+                [this] {
                     mem_busy_ = false;
-                    rmw_.active = false;
+                    mem_.kind = MemOp::Kind::None;
                 });
-        });
+            break;
+        case MemOp::Kind::RmwRead:
+            dma_.ckpt_rearm([this](std::uint32_t, Word w) { rmw_merge(w); },
+                            {}, [this] { issue_rmw_write(); });
+            break;
+        case MemOp::Kind::Store4:
+        case MemOp::Kind::RmwWrite:
+            dma_.ckpt_rearm(
+                {}, [this](std::uint32_t) { return Word{mem_.value}; },
+                [this] {
+                    mem_busy_ = false;
+                    mem_.kind = MemOp::Kind::None;
+                });
+            break;
+        case MemOp::Kind::None: break;
+    }
+    if (dcr_busy_) {
+        switch (dcrop_.kind) {
+            case DcrOp::Kind::Read:
+                dcr_.ckpt_rearm_read([this](Word w) { finish_mfdcr(w); });
+                break;
+            case DcrOp::Kind::Write:
+                dcr_.ckpt_rearm_write([this] {
+                    dcr_busy_ = false;
+                    dcrop_.kind = DcrOp::Kind::None;
+                });
+                break;
+            case DcrOp::Kind::None: return false;
+        }
+    }
+    return true;
 }
 
 void PpcCpu::execute(std::uint32_t insn) {
@@ -473,22 +602,18 @@ void PpcCpu::exec_op31(std::uint32_t insn) {
         case X_MFDCR: {
             const std::uint32_t dcrn = unsplit_sprf(insn);
             dcr_busy_ = true;
-            dcr_.start_read(dcrn, [this, rt, dcrn](Word w) {
-                if (w.has_unknown() && x_reports_ < cfg_.x_report_limit) {
-                    ++x_reports_;
-                    report("mfdcr " + std::to_string(dcrn) +
-                           " returned X (broken daisy chain?)");
-                }
-                gpr_[rt] = static_cast<std::uint32_t>(w.to_u64());
-                dcr_busy_ = false;
-            });
+            dcrop_ = DcrOp{DcrOp::Kind::Read, dcrn, rt};
+            dcr_.start_read(dcrn, [this](Word w) { finish_mfdcr(w); });
             return;
         }
         case X_MTDCR: {
             const std::uint32_t dcrn = unsplit_sprf(insn);
             dcr_busy_ = true;
-            dcr_.start_write(dcrn, Word{gpr_[rt]},
-                             [this] { dcr_busy_ = false; });
+            dcrop_ = DcrOp{DcrOp::Kind::Write, dcrn, 0};
+            dcr_.start_write(dcrn, Word{gpr_[rt]}, [this] {
+                dcr_busy_ = false;
+                dcrop_.kind = DcrOp::Kind::None;
+            });
             return;
         }
 

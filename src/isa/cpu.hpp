@@ -67,8 +67,16 @@ public:
     /// disabled or not pending — the firmware's "done/idle" convention.
     [[nodiscard]] bool halted() const { return halted_; }
 
-    /// Optional per-instruction trace hook (pc, raw instruction).
+    /// Optional per-instruction trace hook (pc, raw instruction). Not part
+    /// of the checkpoint image; consumers re-install it after restore.
     std::function<void(std::uint32_t, std::uint32_t)> trace;
+
+    // --- checkpoint ------------------------------------------------------
+    /// Architectural registers + the pending memory/DCR operation
+    /// descriptors; an op that was mid-flight at save time resumes on the
+    /// restored bus state with freshly re-armed completion closures.
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
 
 private:
     void on_clock();
@@ -81,6 +89,12 @@ private:
     // Data-side memory operations (through the PLB).
     void load(std::uint32_t ea, unsigned bytes, std::uint32_t rt);
     void store(std::uint32_t ea, unsigned bytes, std::uint32_t value);
+    // Completion handlers: operands live in the descriptors below so the
+    // same code serves the cold path and a post-restore resumption.
+    void finish_load(rtlsim::Word w);
+    void rmw_merge(rtlsim::Word w);
+    void issue_rmw_write();
+    void finish_mfdcr(rtlsim::Word w);
 
     Config cfg_;
     Signal<Logic>& clk_;
@@ -109,13 +123,25 @@ private:
     std::uint64_t irqs_ = 0;
     unsigned x_reports_ = 0;
 
-    // Pending sub-word store state for read-modify-write.
-    struct Rmw {
-        bool active = false;
+    // Pending data-side operation descriptor. The DMA closures capture only
+    // `this` and read their operands from here, which is what makes a
+    // mid-operation checkpoint re-armable.
+    struct MemOp {
+        enum class Kind : std::uint8_t { None, Load, Store4, RmwRead, RmwWrite };
+        Kind kind = Kind::None;
         std::uint32_t ea = 0;
-        unsigned bytes = 0;
-        std::uint32_t value = 0;
-    } rmw_;
+        std::uint32_t bytes = 0;
+        std::uint32_t rt = 0;     ///< load destination register
+        std::uint32_t value = 0;  ///< store data / RMW merge accumulator
+    } mem_;
+
+    // Pending DCR-ring operation descriptor (same rationale).
+    struct DcrOp {
+        enum class Kind : std::uint8_t { None, Read, Write };
+        Kind kind = Kind::None;
+        std::uint32_t dcrn = 0;
+        std::uint32_t rt = 0;
+    } dcrop_;
 };
 
 }  // namespace autovision::isa

@@ -29,6 +29,23 @@ public:
 
     [[nodiscard]] Time period() const noexcept { return 2 * half_; }
 
+    // --- checkpoint ------------------------------------------------------
+    /// The embedded toggle event is perpetually pending; its next absolute
+    /// firing time is the whole clock state (the wave's phase is in the
+    /// `out` signal, saved with every other signal).
+    void ckpt_save(SnapWriter& w) const {
+        w.u64(toggle_.time());
+        w.bool8(toggle_.pending());
+    }
+    /// Re-enter the toggle into the (drained) wheel at the saved time.
+    bool ckpt_restore(SnapReader& r) {
+        const Time t = r.u64();
+        const bool pending = r.bool8();
+        if (!r.ok_so_far()) return false;
+        if (pending) sch_.schedule_event(t, toggle_);
+        return true;
+    }
+
 private:
     struct ToggleEvent final : TimedEvent {
         explicit ToggleEvent(Clock& c) : clk(c) {}
@@ -53,6 +70,21 @@ public:
           out(sch, full_name() + ".out", Logic::L1),
           release_(*this) {
         sch.schedule_event(hold, release_);
+    }
+
+    // --- checkpoint ------------------------------------------------------
+    /// Pending only before the release fires; afterwards the generator is
+    /// inert and restore leaves it out of the wheel.
+    void ckpt_save(SnapWriter& w) const {
+        w.u64(release_.time());
+        w.bool8(release_.pending());
+    }
+    bool ckpt_restore(SnapReader& r) {
+        const Time t = r.u64();
+        const bool pending = r.bool8();
+        if (!r.ok_so_far()) return false;
+        if (pending) sch_.schedule_event(t, release_);
+        return true;
     }
 
 private:

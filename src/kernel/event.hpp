@@ -114,6 +114,30 @@ public:
         append(ev);
     }
 
+    /// Drain every pending event without firing it (checkpoint restore
+    /// discards the pre-restore timeline): clears the pending flags and
+    /// intrusive links so the nodes can be rescheduled, empties the
+    /// overflow, and rewinds the window anchor for the restored clock.
+    void clear() noexcept {
+        for (Bucket& bk : ring_) {
+            for (TimedEvent* e = bk.head; e != nullptr;) {
+                TimedEvent* next = e->next_;
+                e->next_ = nullptr;
+                e->pending_ = false;
+                e = next;
+            }
+            bk.head = nullptr;
+            bk.tail = nullptr;
+        }
+        for (auto& [t, e] : overflow_) {
+            e->next_ = nullptr;
+            e->pending_ = false;
+        }
+        overflow_.clear();
+        count_ = 0;
+        floor_bucket_ = 0;
+    }
+
     /// Earliest pending timestamp; false when the queue is empty.
     [[nodiscard]] bool peek_next(Time& t) const {
         if (count_ == 0) return false;

@@ -29,7 +29,11 @@ void Process::run_profiled() {
 // -------------------------------------------------------------- SignalBase
 
 SignalBase::SignalBase(Scheduler& sch, std::string name)
-    : sch_(sch), name_(std::move(name)) {}
+    : sch_(sch), name_(std::move(name)) {
+    sch_.register_signal(this);
+}
+
+SignalBase::~SignalBase() { sch_.unregister_signal(this); }
 
 void SignalBase::notify_listeners(bool rising, bool falling) {
     for (const Listener& l : listeners_) {
@@ -177,6 +181,118 @@ void Scheduler::report(std::string source, std::string message) {
         return;
     }
     diags_.push_back(Diag{now_, std::move(source), std::move(message)});
+}
+
+void Scheduler::unregister_signal(SignalBase* s) {
+    // Teardown path (and the rare dynamically re-created module): signals
+    // die in reverse construction order, so scanning from the back is O(1)
+    // in practice.
+    for (auto it = signals_.rbegin(); it != signals_.rend(); ++it) {
+        if (*it == s) {
+            signals_.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+// ------------------------------------------------------------- checkpoint
+
+bool Scheduler::ckpt_quiescent() const {
+    if (!runnable_.empty() || !updates_.empty()) return false;
+    // Every pooled closure node must be on the free list: a pending
+    // schedule_at() closure cannot be serialized.
+    std::size_t free_count = 0;
+    for (const TimedEvent* e = fn_free_; e != nullptr; e = e->next_) {
+        ++free_count;
+    }
+    return free_count == fn_pool_.size();
+}
+
+void Scheduler::ckpt_save(SnapWriter& w) const {
+    w.u64(now_);
+    w.bool8(stop_requested_);
+    w.str(stop_reason_);
+    w.u64(stats.timed_events);
+    w.u64(stats.delta_cycles);
+    w.u64(stats.proc_invocations);
+    w.u64(stats.signal_updates);
+    w.u64(stats.time_steps);
+    w.u64(dropped_diags_);
+    w.u32(static_cast<std::uint32_t>(diags_.size()));
+    for (const Diag& d : diags_) {
+        w.u64(d.time);
+        w.str(d.source);
+        w.str(d.message);
+    }
+}
+
+bool Scheduler::ckpt_restore(SnapReader& r) {
+    ckpt_clear_events();
+    ckpt_quiesce();
+    now_ = r.u64();
+    stop_requested_ = r.bool8();
+    stop_reason_ = r.str();
+    stats.timed_events = r.u64();
+    stats.delta_cycles = r.u64();
+    stats.proc_invocations = r.u64();
+    stats.signal_updates = r.u64();
+    stats.time_steps = r.u64();
+    dropped_diags_ = r.u64();
+    const std::uint32_t n = r.u32();
+    diags_.clear();
+    for (std::uint32_t i = 0; i < n && r.ok_so_far(); ++i) {
+        Diag d;
+        d.time = r.u64();
+        d.source = r.str();
+        d.message = r.str();
+        diags_.push_back(std::move(d));
+    }
+    return r.ok_so_far();
+}
+
+void Scheduler::ckpt_clear_events() {
+    queue_.clear();
+    // Every closure node returns to the free list (any that were pending
+    // belonged to the discarded pre-restore timeline).
+    fn_free_ = nullptr;
+    for (auto& ev : fn_pool_) {
+        ev->fn = nullptr;
+        ev->pending_ = false;
+        ev->next_ = fn_free_;
+        fn_free_ = ev.get();
+    }
+}
+
+void Scheduler::ckpt_quiesce() {
+    for (Process* p : runnable_) p->scheduled_ = false;
+    runnable_.clear();
+    for (SignalBase* s : updates_) s->update_requested_ = false;
+    updates_.clear();
+}
+
+std::uint64_t SignalBase::snap_id() const {
+    if (snap_id_ == 0) {
+        snap_id_ = snap_hash64_u64(trace_width(), snap_hash64(name_));
+    }
+    return snap_id_;
+}
+
+void Scheduler::ckpt_save_signals(SnapWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(signals_.size()));
+    for (const SignalBase* s : signals_) {
+        w.u64(s->snap_id());
+        s->snap_save(w);
+    }
+}
+
+bool Scheduler::ckpt_restore_signals(SnapReader& r) {
+    const std::uint32_t n = r.u32();
+    if (n != signals_.size()) return false;
+    for (SignalBase* s : signals_) {
+        if (r.u64() != s->snap_id()) return false;
+        if (!s->snap_restore(r)) return false;
+    }
+    return r.ok_so_far();
 }
 
 bool Scheduler::has_diag_from(const std::string& needle) const {

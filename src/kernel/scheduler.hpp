@@ -29,6 +29,7 @@
 
 #include "event.hpp"
 #include "sim_time.hpp"
+#include "snapshot.hpp"
 #include "stats.hpp"
 
 namespace rtlsim {
@@ -100,7 +101,7 @@ struct Diag {
 class SignalBase {
 public:
     SignalBase(Scheduler& sch, std::string name);
-    virtual ~SignalBase() = default;
+    virtual ~SignalBase();
 
     SignalBase(const SignalBase&) = delete;
     SignalBase& operator=(const SignalBase&) = delete;
@@ -115,6 +116,18 @@ public:
     [[nodiscard]] virtual unsigned trace_width() const = 0;
     /// Current value as a binary string, MSB first ('0','1','x','z').
     [[nodiscard]] virtual std::string trace_value() const = 0;
+
+    // --- checkpoint interface (see src/ckpt/) ---------------------------
+    /// Serialize the committed value. Checkpoints are taken at quiescent
+    /// points (no pending updates), so the pending value equals it.
+    virtual void snap_save(SnapWriter& w) const = 0;
+    /// Restore the value with init() semantics: current and pending value
+    /// are both set, no listeners are notified.
+    virtual bool snap_restore(SnapReader& r) = 0;
+    /// Identity hash recorded next to each signal's value in a snapshot
+    /// (FNV over name + width). Name and width are fixed after
+    /// elaboration, so the hash is computed once and cached.
+    [[nodiscard]] std::uint64_t snap_id() const;
 
 protected:
     friend class Scheduler;
@@ -138,6 +151,7 @@ private:
     std::string name_;
     std::vector<Listener> listeners_;
     bool update_requested_ = false;
+    mutable std::uint64_t snap_id_ = 0;  ///< 0 = not yet computed
 };
 
 /// The simulation kernel: calendar-queue time wheel + delta queues +
@@ -223,6 +237,36 @@ public:
     /// time 0) immediately, then samples after every timestep.
     void set_tracer(Tracer* t);
 
+    // --- checkpoint (orchestrated by src/ckpt/) --------------------------
+    /// True when the kernel is at a checkpointable quiescent point: no
+    /// runnable process, no pending signal update, and no in-flight
+    /// schedule_at() closure (closures cannot be serialized; the recurring
+    /// event sources — clocks, resets — re-enter the wheel on restore).
+    [[nodiscard]] bool ckpt_quiescent() const;
+
+    /// Serialize the kernel core: sim time, stop state, stats, diagnostics.
+    void ckpt_save(SnapWriter& w) const;
+    /// Restore the kernel core into a freshly elaborated scheduler: drains
+    /// the event wheel (elaboration-time schedules), discards any pending
+    /// deltas, then restores time/stats/diagnostics. Event sources must
+    /// re-schedule themselves afterwards (Clock/ResetGen::ckpt_restore).
+    [[nodiscard]] bool ckpt_restore(SnapReader& r);
+
+    /// Serialize every registered signal (elaboration order), each tagged
+    /// with a name+width identity hash so a mismatched design is rejected.
+    void ckpt_save_signals(SnapWriter& w) const;
+    /// Restore all signal values; false on count/identity mismatch.
+    [[nodiscard]] bool ckpt_restore_signals(SnapReader& r);
+
+    /// Drop any queued deltas without running them (restore must not burn
+    /// counted delta cycles settling elaboration-time writes).
+    void ckpt_quiesce();
+
+    /// Signals in elaboration order (checkpoint + debugging aid).
+    [[nodiscard]] const std::vector<SignalBase*>& signals() const noexcept {
+        return signals_;
+    }
+
     SimStats stats;
 
 private:
@@ -240,6 +284,10 @@ private:
     void make_runnable(Process* p) { runnable_.push_back(p); }
     void register_process(Process* p) { procs_.push_back(p); }
     void request_update(SignalBase* s) { updates_.push_back(s); }
+    void register_signal(SignalBase* s) { signals_.push_back(s); }
+    void unregister_signal(SignalBase* s);
+    /// Drain the time wheel and rebuild the closure-event free list.
+    void ckpt_clear_events();
     void recycle(FnEvent* ev) noexcept {
         ev->next_ = fn_free_;
         fn_free_ = ev;
@@ -265,6 +313,7 @@ private:
     std::vector<SignalBase*> upd_scratch_;
 
     std::vector<Process*> procs_;
+    std::vector<SignalBase*> signals_;
     std::vector<Diag> diags_;
     std::uint64_t dropped_diags_ = 0;
     Tracer* tracer_ = nullptr;

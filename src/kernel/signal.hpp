@@ -15,6 +15,11 @@ namespace rtlsim {
 namespace detail {
 
 template <typename T>
+struct IsLVec : std::false_type {};
+template <unsigned N>
+struct IsLVec<LVec<N>> : std::true_type {};
+
+template <typename T>
 struct SignalTraits {
     static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
                   "Signal<T> supports Logic, LVec<N>, integral and enum types");
@@ -83,6 +88,31 @@ public:
     [[nodiscard]] unsigned trace_width() const override { return Traits::width; }
     [[nodiscard]] std::string trace_value() const override {
         return Traits::to_trace(cur_);
+    }
+
+    // --- checkpoint ------------------------------------------------------
+    void snap_save(SnapWriter& w) const override {
+        if constexpr (Traits::is_logic) {
+            w.u8(static_cast<std::uint8_t>(cur_));
+        } else if constexpr (detail::IsLVec<T>::value) {
+            w.u64(cur_.val_plane());
+            w.u64(cur_.unk_plane());
+        } else {
+            w.u64(static_cast<std::uint64_t>(cur_));
+        }
+    }
+
+    bool snap_restore(SnapReader& r) override {
+        if constexpr (Traits::is_logic) {
+            init(static_cast<Logic>(r.u8()));
+        } else if constexpr (detail::IsLVec<T>::value) {
+            const std::uint64_t val = r.u64();
+            const std::uint64_t unk = r.u64();
+            init(T::from_planes(val, unk));
+        } else {
+            init(static_cast<T>(r.u64()));
+        }
+        return r.ok_so_far();
     }
 
 protected:

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "event.hpp"
+#include "kernel/snapshot.hpp"
 
 namespace autovision::obs {
 
@@ -76,6 +77,55 @@ public:
             out.push_back(ring_[(start + i) % ring_.size()]);
         }
         return out;
+    }
+
+    // --- checkpoint ------------------------------------------------------
+    /// Surviving window + counters; capacity is construction configuration
+    /// and must match. Overwritten (dropped) slots are not serialized —
+    /// exports only ever read the surviving window, so a restored trace is
+    /// byte-identical to the uninterrupted one.
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        w.u64(ring_.size());
+        w.u64(total_);
+        w.bool8(enabled_);
+        const std::size_t n = size();
+        w.u64(n);
+        if (n == 0) return;
+        const std::size_t start =
+            static_cast<std::size_t>((total_ - n) % ring_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const Event& e = ring_[(start + i) % ring_.size()];
+            w.u64(e.time);
+            w.u8(static_cast<std::uint8_t>(e.kind));
+            w.u8(static_cast<std::uint8_t>(e.src));
+            w.u32(e.a);
+            w.u64(e.b);
+        }
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        if (r.u64() != ring_.size()) return false;
+        total_ = r.u64();
+        enabled_ = r.bool8() && !ring_.empty();
+        const std::uint64_t n = r.u64();
+        if (n > ring_.size() || n > total_) return false;
+        std::fill(ring_.begin(), ring_.end(), Event{});
+        for (std::uint64_t i = 0; i < n && r.ok_so_far(); ++i) {
+            Event e;
+            e.time = r.u64();
+            const std::uint8_t k = r.u8();
+            const std::uint8_t s = r.u8();
+            if (k > static_cast<std::uint8_t>(EventKind::kCount) ||
+                s > static_cast<std::uint8_t>(Source::kCount)) {
+                return false;
+            }
+            e.kind = static_cast<EventKind>(k);
+            e.src = static_cast<Source>(s);
+            e.a = r.u32();
+            e.b = r.u64();
+            ring_[static_cast<std::size_t>((total_ - n + i) % ring_.size())] =
+                e;
+        }
+        return r.ok_so_far();
     }
 
 private:

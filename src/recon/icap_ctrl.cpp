@@ -84,23 +84,83 @@ void IcapCtrl::maybe_issue_burst() {
         if (fifo_.size() + burst > cfg_.fifo_depth) return;  // backpressure
     }
 
+    inflight_burst_ = burst;
     dma_.start_read(
-        fetch_addr_, burst,
-        [this](std::uint32_t, Word w) {
-            if (fifo_.size() >= cfg_.fifo_depth) {
-                ++overflows_;
-                if (overflow_reports_ < 5) {
-                    ++overflow_reports_;
-                    report("FIFO overflow: bitstream word dropped");
-                }
-                return;  // word lost — the SimB will arrive truncated
-            }
-            fifo_.push_back(w);
-        },
-        [this, burst] {
-            fetched_ += burst;
-            fetch_addr_ += 4 * burst;
-        });
+        fetch_addr_, burst, [this](std::uint32_t, Word w) { fifo_push(w); },
+        [this] { finish_burst(); });
+}
+
+void IcapCtrl::fifo_push(Word w) {
+    if (fifo_.size() >= cfg_.fifo_depth) {
+        ++overflows_;
+        if (overflow_reports_ < 5) {
+            ++overflow_reports_;
+            report("FIFO overflow: bitstream word dropped");
+        }
+        return;  // word lost — the SimB will arrive truncated
+    }
+    fifo_.push_back(w);
+}
+
+void IcapCtrl::finish_burst() {
+    fetched_ += inflight_burst_;
+    fetch_addr_ += 4 * inflight_burst_;
+}
+
+void IcapCtrl::ckpt_save(rtlsim::SnapWriter& w) const {
+    dma_.ckpt_save(w);
+    w.u32(addr_reg_);
+    w.u32(size_reg_);
+    w.bool8(pend_start_);
+    w.bool8(pend_abort_);
+    w.bool8(busy_);
+    w.bool8(done_);
+    w.bool8(error_);
+    w.u32(total_words_);
+    w.u32(fetch_addr_);
+    w.u32(fetched_);
+    w.u32(inflight_burst_);
+    w.u64(drained_);
+    w.u32(drained_this_xfer_);
+    w.u32(div_cnt_);
+    w.u32(static_cast<std::uint32_t>(fifo_.size()));
+    for (const Word& f : fifo_) {
+        w.u64((static_cast<std::uint64_t>(f.val_plane()) << 32) |
+              f.unk_plane());
+    }
+    w.u64(overflows_);
+    w.u32(overflow_reports_);
+}
+
+bool IcapCtrl::ckpt_restore(rtlsim::SnapReader& r) {
+    if (!dma_.ckpt_restore(r)) return false;
+    addr_reg_ = r.u32();
+    size_reg_ = r.u32();
+    pend_start_ = r.bool8();
+    pend_abort_ = r.bool8();
+    busy_ = r.bool8();
+    done_ = r.bool8();
+    error_ = r.bool8();
+    total_words_ = r.u32();
+    fetch_addr_ = r.u32();
+    fetched_ = r.u32();
+    inflight_burst_ = r.u32();
+    drained_ = r.u64();
+    drained_this_xfer_ = r.u32();
+    div_cnt_ = r.u32();
+    const std::uint32_t n = r.u32();
+    fifo_.clear();
+    for (std::uint32_t i = 0; i < n && r.ok_so_far(); ++i) {
+        const std::uint64_t planes = r.u64();
+        fifo_.push_back(Word::from_planes(planes >> 32,
+                                          planes & 0xFFFF'FFFFull));
+    }
+    overflows_ = r.u64();
+    overflow_reports_ = r.u32();
+    // Re-arm the DMA data closures (identical to the cold-start lambdas).
+    dma_.ckpt_rearm([this](std::uint32_t, Word w) { fifo_push(w); }, {},
+                    [this] { finish_burst(); });
+    return r.ok_so_far();
 }
 
 void IcapCtrl::on_clock() {

@@ -70,10 +70,16 @@ public:
     void dcr_write(std::uint32_t regno, rtlsim::Word w) override;
     [[nodiscard]] std::string dcr_name() const override { return full_name(); }
 
+    // --- checkpoint ------------------------------------------------------
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+
 private:
     void on_clock();
     void start_transfer();
     void maybe_issue_burst();
+    void fifo_push(rtlsim::Word w);
+    void finish_burst();
 
     Config cfg_;
     rtlsim::Signal<rtlsim::Logic>& rst_;
@@ -91,6 +97,7 @@ private:
     std::uint32_t total_words_ = 0;
     std::uint32_t fetch_addr_ = 0;
     std::uint32_t fetched_ = 0;
+    std::uint32_t inflight_burst_ = 0;  ///< beats of the open DMA burst
     std::uint64_t drained_ = 0;
     std::uint32_t drained_this_xfer_ = 0;
     unsigned div_cnt_ = 0;

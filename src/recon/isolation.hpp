@@ -58,6 +58,15 @@ public:
     /// Attach (or detach, with nullptr) the structured event recorder.
     void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
 
+    // --- checkpoint ------------------------------------------------------
+    /// Only the access counter; the isolate signal itself comes back
+    /// through the scheduler's signal registry.
+    void ckpt_save(rtlsim::SnapWriter& w) const { w.u64(writes_); }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        writes_ = r.u64();
+        return r.ok_so_far();
+    }
+
 private:
     obs::EventRecorder* obs_ = nullptr;
     std::uint32_t base_;

@@ -64,6 +64,15 @@ public:
     virtual ~ErrorInjector() = default;
     virtual void inject(RrOutputs& o) { o = RrOutputs::all_x(); }
     [[nodiscard]] virtual const char* name() const { return "inject-x"; }
+
+    /// Checkpoint hooks: injectors carrying live state (a PRNG stream
+    /// position, held output values) serialize it here so a restored run
+    /// replays the identical error pattern; the stateless default writes
+    /// nothing.
+    virtual void ckpt_save(rtlsim::SnapWriter&) const {}
+    [[nodiscard]] virtual bool ckpt_restore(rtlsim::SnapReader&) {
+        return true;
+    }
 };
 
 class RrBoundary final : public rtlsim::Module {
@@ -133,6 +142,23 @@ public:
 
     /// Attach (or detach, with nullptr) the structured event recorder.
     void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
+    // --- checkpoint ------------------------------------------------------
+    /// Slot bookkeeping + injection window + injector-private state. The
+    /// mux trigger signal and stream tap come back through the scheduler's
+    /// signal registry; engine residency is restored by the engines.
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        w.i32(cur_slot_);
+        w.bool8(recfg_flag_);
+        injector_->ckpt_save(w);
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        cur_slot_ = r.i32();
+        recfg_flag_ = r.bool8();
+        if (!injector_->ckpt_restore(r)) return false;
+        return r.ok_so_far() &&
+               cur_slot_ >= -1 && cur_slot_ < static_cast<int>(mods_.size());
+    }
 
 private:
     void forward();

@@ -53,6 +53,35 @@ public:
         return self_time_;
     }
 
+    // --- checkpoint ------------------------------------------------------
+    /// Parser FSM + counters. `self_time_` is host wall clock, not
+    /// simulation state, and is deliberately excluded.
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        w.u8(static_cast<std::uint8_t>(state_));
+        w.u32(payload_left_);
+        w.u32(payload_total_);
+        w.bool8(fdri_type2_pending_);
+        w.u64(words_);
+        w.u64(simbs_);
+        w.u64(ignored_);
+        w.u64(truncations_);
+        w.u32(x_reports_);
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        const std::uint8_t st = r.u8();
+        if (st > static_cast<std::uint8_t>(St::Payload)) return false;
+        state_ = static_cast<St>(st);
+        payload_left_ = r.u32();
+        payload_total_ = r.u32();
+        fdri_type2_pending_ = r.bool8();
+        words_ = r.u64();
+        simbs_ = r.u64();
+        ignored_ = r.u64();
+        truncations_ = r.u64();
+        x_reports_ = r.u32();
+        return r.ok_so_far() && payload_left_ <= payload_total_;
+    }
+
 private:
     enum class St { Desynced, Synced, ExpectFar, ExpectCmd, Payload };
 

@@ -44,6 +44,33 @@ public:
     /// Reset between reconfigurations (the portal's window is re-entered).
     void rearm() { captured_ = false; }
 
+    void ckpt_save(rtlsim::SnapWriter& w) const override {
+        w.bool8(captured_);
+        w.u8(static_cast<std::uint8_t>(held_.req));
+        w.u8(static_cast<std::uint8_t>(held_.rnw));
+        w.u64(held_.addr.val_plane());
+        w.u64(held_.addr.unk_plane());
+        w.u64(held_.nbeats.val_plane());
+        w.u64(held_.nbeats.unk_plane());
+        w.u64(held_.wdata.val_plane());
+        w.u64(held_.wdata.unk_plane());
+        w.u8(static_cast<std::uint8_t>(held_.done_irq));
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) override {
+        captured_ = r.bool8();
+        held_.req = static_cast<Logic>(r.u8());
+        held_.rnw = static_cast<Logic>(r.u8());
+        // Locals pin the read order (argument evaluation order is not).
+        const std::uint64_t av = r.u64(), au = r.u64();
+        held_.addr = Word::from_planes(av, au);
+        const std::uint64_t nv = r.u64(), nu = r.u64();
+        held_.nbeats = LVec<16>::from_planes(nv, nu);
+        const std::uint64_t wv = r.u64(), wu = r.u64();
+        held_.wdata = Word::from_planes(wv, wu);
+        held_.done_irq = static_cast<Logic>(r.u8());
+        return r.ok_so_far();
+    }
+
 private:
     bool captured_ = false;
     RrOutputs held_;
@@ -71,6 +98,14 @@ public:
         o.done_irq = (next() & 1u) ? Logic::L1 : Logic::L0;
     }
     [[nodiscard]] const char* name() const override { return "garbage"; }
+
+    /// The LCG position is live PRNG state: snapshotting it keeps the
+    /// restored run's garbage stream identical to the uninterrupted one.
+    void ckpt_save(rtlsim::SnapWriter& w) const override { w.u32(s_); }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) override {
+        s_ = r.u32();
+        return r.ok_so_far();
+    }
 
 private:
     std::uint32_t next() {

@@ -85,6 +85,48 @@ public:
         return states_.count({rr_id, module_id}) != 0;
     }
 
+    // --- checkpoint ------------------------------------------------------
+    /// Session cursor + captured state images. The module map is topology
+    /// (rebuilt by elaboration) and is not serialized.
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        w.u32(static_cast<std::uint32_t>(states_.size()));
+        for (const auto& [key, img] : states_) {
+            w.u8(key.first);
+            w.u8(key.second);
+            w.bytes(img);
+        }
+        w.u64(captures_);
+        w.u64(restores_);
+        w.u8(static_cast<std::uint8_t>(timing_));
+        w.bool8(staged_);
+        w.bool8(phase_open_);
+        w.u8(cur_rr_);
+        w.u8(cur_module_);
+        w.u64(swaps_);
+        w.u64(aborts_);
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        states_.clear();
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n && r.ok_so_far(); ++i) {
+            const std::uint8_t rr = r.u8();
+            const std::uint8_t mod = r.u8();
+            states_[{rr, mod}] = r.bytes();
+        }
+        captures_ = r.u64();
+        restores_ = r.u64();
+        const std::uint8_t t = r.u8();
+        if (t > static_cast<std::uint8_t>(SwapTiming::kAtFar)) return false;
+        timing_ = static_cast<SwapTiming>(t);
+        staged_ = r.bool8();
+        phase_open_ = r.bool8();
+        cur_rr_ = r.u8();
+        cur_module_ = r.u8();
+        swaps_ = r.u64();
+        aborts_ = r.u64();
+        return r.ok_so_far();
+    }
+
 private:
     struct Slot {
         RrBoundary* boundary = nullptr;

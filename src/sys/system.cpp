@@ -1,6 +1,10 @@
 #include "system.hpp"
 
+#include <istream>
+#include <ostream>
+
 #include "address_map.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "resim/injectors.hpp"
 
 namespace autovision::sys {
@@ -158,6 +162,116 @@ OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
         build_firmware(firmware_config(cfg, simb_cie_words, simb_me_words));
     mem.load_words(firmware.origin, firmware.words);
     cpu.set_pc(firmware.entry());
+}
+
+std::uint64_t OpticalFlowSystem::config_hash(const SystemConfig& cfg) {
+    using rtlsim::snap_hash64;
+    using rtlsim::snap_hash64_u64;
+    // Domain string first so the hash can never collide with a raw field
+    // sequence; bump the suffix when the field list changes.
+    std::uint64_t h = snap_hash64("autovision.sysconfig.v1");
+    h = snap_hash64_u64(static_cast<std::uint64_t>(cfg.method), h);
+    h = snap_hash64_u64(static_cast<std::uint64_t>(cfg.wait), h);
+    h = snap_hash64_u64(cfg.delay_loops, h);
+    h = snap_hash64_u64(static_cast<std::uint64_t>(cfg.fault), h);
+    h = snap_hash64_u64(cfg.seed, h);
+    h = snap_hash64_u64(cfg.width, h);
+    h = snap_hash64_u64(cfg.height, h);
+    h = snap_hash64_u64(cfg.step, h);
+    h = snap_hash64_u64(cfg.margin, h);
+    h = snap_hash64_u64(cfg.search, h);
+    h = snap_hash64_u64(cfg.simb_payload_words, h);
+    h = snap_hash64_u64(static_cast<std::uint64_t>(cfg.injection), h);
+    h = snap_hash64_u64(cfg.icap_clk_div, h);
+    h = snap_hash64_u64(cfg.icap_fifo_depth, h);
+    h = snap_hash64_u64(cfg.clk_period, h);
+    h = snap_hash64_u64(cfg.trace_events ? 1 : 0, h);
+    h = snap_hash64_u64(cfg.trace_capacity, h);
+    // profiling, vcd_path and trace_path are observational outputs and
+    // deliberately excluded — they do not change simulation state.
+    return h;
+}
+
+bool OpticalFlowSystem::save(std::ostream& os) const {
+    if (!sch.ckpt_quiescent()) return false;
+    ckpt::Saver saver(
+        ckpt::Manifest{ckpt::kFormatVersion, config_hash(), sch.now()});
+    // Section order mirrors member elaboration order; restore replays it.
+    sch.ckpt_save(saver.section("kernel"));
+    clk.ckpt_save(saver.section("clock"));
+    rst.ckpt_save(saver.section("reset"));
+    mem.ckpt_save(saver.section("memory"));
+    plb.ckpt_save(saver.section("plb"));
+    dcr.ckpt_save(saver.section("dcr"));
+    intc.ckpt_save(saver.section("intc"));
+    iso.ckpt_save(saver.section("iso"));
+    cie_regs.ckpt_save(saver.section("cie_regs"));
+    me_regs.ckpt_save(saver.section("me_regs"));
+    cie.ckpt_save(saver.section("cie"));
+    me.ckpt_save(saver.section("me"));
+    rr.ckpt_save(saver.section("rr"));
+    if (portal) portal->ckpt_save(saver.section("portal"));
+    if (icap_artifact) icap_artifact->ckpt_save(saver.section("icap"));
+    if (vmux) vmux->ckpt_save(saver.section("vmux"));
+    icapctrl.ckpt_save(saver.section("icapctrl"));
+    video_in.ckpt_save(saver.section("video_in"));
+    video_out.ckpt_save(saver.section("video_out"));
+    cpu.ckpt_save(saver.section("cpu"));
+    // Signals last: every module has finalized its side of the state.
+    sch.ckpt_save_signals(saver.section("signals"));
+    return saver.write_to(os);
+}
+
+bool OpticalFlowSystem::restore(std::istream& is, std::string* error) {
+    const auto fail = [error](const std::string& m) {
+        if (error != nullptr) *error = m;
+        return false;
+    };
+    ckpt::Loader loader;
+    if (!loader.load(is, config_hash())) return fail(loader.error());
+
+    const auto section = [&](const char* name, auto&& target) {
+        rtlsim::SnapReader r = loader.reader(name);
+        return target.ckpt_restore(r);
+    };
+    // Kernel first (clears the event queue and quiesces), then the event
+    // sources re-schedule themselves, then modules, then signal values.
+    {
+        rtlsim::SnapReader r = loader.reader("kernel");
+        if (!sch.ckpt_restore(r)) return fail("kernel section corrupt");
+    }
+    if (!section("clock", clk)) return fail("clock section corrupt");
+    if (!section("reset", rst)) return fail("reset section corrupt");
+    if (!section("memory", mem)) return fail("memory section corrupt");
+    if (!section("plb", plb)) return fail("plb section corrupt");
+    if (!section("dcr", dcr)) return fail("dcr section corrupt");
+    if (!section("intc", intc)) return fail("intc section corrupt");
+    if (!section("iso", iso)) return fail("iso section corrupt");
+    if (!section("cie_regs", cie_regs)) return fail("cie_regs section corrupt");
+    if (!section("me_regs", me_regs)) return fail("me_regs section corrupt");
+    if (!section("cie", cie)) return fail("cie section corrupt");
+    if (!section("me", me)) return fail("me section corrupt");
+    if (!section("rr", rr)) return fail("rr section corrupt");
+    if (portal && !section("portal", *portal)) {
+        return fail("portal section corrupt");
+    }
+    if (icap_artifact && !section("icap", *icap_artifact)) {
+        return fail("icap section corrupt");
+    }
+    if (vmux && !section("vmux", *vmux)) return fail("vmux section corrupt");
+    if (!section("icapctrl", icapctrl)) return fail("icapctrl section corrupt");
+    if (!section("video_in", video_in)) return fail("video_in section corrupt");
+    if (!section("video_out", video_out)) {
+        return fail("video_out section corrupt");
+    }
+    if (!section("cpu", cpu)) return fail("cpu section corrupt");
+    {
+        rtlsim::SnapReader r = loader.reader("signals");
+        if (!sch.ckpt_restore_signals(r)) {
+            return fail("signal registry mismatch");
+        }
+    }
+    return true;
 }
 
 void OpticalFlowSystem::attach_observer(obs::EventRecorder* rec) {

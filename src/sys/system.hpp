@@ -9,6 +9,7 @@
 // the Virtual Multiplexing signature register.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -118,6 +119,26 @@ public:
     /// every emitting module: DCR chain, INTC, isolation, region boundary,
     /// and — under ReSim — the portal and ICAP artifact.
     void attach_observer(obs::EventRecorder* rec);
+
+    // --- checkpoint -------------------------------------------------------
+    /// Identity hash over every semantically relevant SystemConfig field
+    /// (output paths excluded); a snapshot only restores into a system
+    /// built from an identical configuration.
+    [[nodiscard]] static std::uint64_t config_hash(const SystemConfig& cfg);
+    [[nodiscard]] std::uint64_t config_hash() const {
+        return config_hash(cfg_);
+    }
+
+    /// Serialize the complete simulator state (kernel, signals, every
+    /// module) into a versioned checkpoint blob. Only legal at a quiescent
+    /// point (between run_until quanta); returns false otherwise.
+    [[nodiscard]] bool save(std::ostream& os) const;
+
+    /// Restore from a blob into this freshly constructed system. The
+    /// manifest's config hash must match this system's configuration.
+    /// On failure the system state is indeterminate — discard it.
+    [[nodiscard]] bool restore(std::istream& is,
+                               std::string* error = nullptr);
 
     // Construction order matters: members are wired top to bottom.
     SystemConfig cfg_;

@@ -37,6 +37,16 @@ public:
     [[nodiscard]] bool busy() const { return busy_; }
     [[nodiscard]] std::uint64_t frames_sent() const { return frames_; }
 
+    // --- checkpoint ------------------------------------------------------
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+    /// True when the saved state had a caller completion callback pending;
+    /// the owning harness must re-install it via ckpt_rearm_on_done.
+    [[nodiscard]] bool ckpt_pending_callback() const { return had_on_done_; }
+    void ckpt_rearm_on_done(std::function<void()> f) {
+        on_done_ = std::move(f);
+    }
+
 private:
     void on_clock();
 
@@ -44,6 +54,7 @@ private:
     std::vector<std::uint8_t> staging_;
     bool busy_ = false;
     bool pulse_ = false;
+    bool had_on_done_ = false;  ///< restore-time flag, see ckpt_restore
     std::uint64_t frames_ = 0;
     std::function<void()> on_done_;
 };
@@ -65,6 +76,16 @@ public:
     [[nodiscard]] bool busy() const { return busy_; }
     [[nodiscard]] std::uint64_t frames_fetched() const { return frames_; }
 
+    // --- checkpoint ------------------------------------------------------
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+    /// True when the saved state had a frame sink pending; the owning
+    /// harness must re-install it via ckpt_rearm_sink.
+    [[nodiscard]] bool ckpt_pending_callback() const { return had_sink_; }
+    void ckpt_rearm_sink(std::function<void(video::Frame)> f) {
+        sink_ = std::move(f);
+    }
+
 private:
     void on_clock();
 
@@ -72,6 +93,7 @@ private:
     video::Frame staging_;
     bool busy_ = false;
     bool pulse_ = false;
+    bool had_sink_ = false;  ///< restore-time flag, see ckpt_restore
     std::uint64_t frames_ = 0;
     unsigned x_reports_ = 0;
     std::function<void(video::Frame)> sink_;

@@ -47,6 +47,20 @@ public:
     void dcr_write(std::uint32_t, rtlsim::Word w) override;
     [[nodiscard]] std::string dcr_name() const override { return full_name(); }
 
+    // --- checkpoint ------------------------------------------------------
+    /// The signature register + bookkeeping; the slot map is topology.
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        w.u32(signature_);
+        w.bool8(initialised_);
+        w.u64(swaps_);
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        signature_ = r.u32();
+        initialised_ = r.bool8();
+        swaps_ = r.u64();
+        return r.ok_so_far();
+    }
+
 private:
     RrBoundary& rr_;
     std::uint32_t base_;

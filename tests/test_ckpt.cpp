@@ -1,0 +1,358 @@
+// Checkpoint invariance suite (src/ckpt).
+//
+// The contract under test: a run that is saved at cycle N, restored into a
+// freshly elaborated system, and continued must be indistinguishable —
+// bit-exact signals, kernel counters, memories and module state — from the
+// same run left uninterrupted. The comparison oracle is the checkpoint
+// blob itself: System::save serializes *all* simulator state
+// byte-deterministically, so "warm final blob == cold final blob" pins
+// every signal value, every counter and every in-flight transaction at
+// once, in the spirit of the SimStats goldens in
+// test_kernel_invariance.cpp.
+//
+// The save points are chosen adversarially: we step in small quanta until
+// the system is mid-ICAP-packet, inside the isolation X-window, or holding
+// a pending interrupt, and snapshot *there* — the moments with the most
+// in-flight state (open DMA bursts, half-streamed SimBs, latched IRQs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+#include "diff/diff.hpp"
+#include "scen/scenario.hpp"
+#include "scen/stream_harness.hpp"
+#include "sys/address_map.hpp"
+#include "sys/system.hpp"
+#include "sys/testbench.hpp"
+#include "video/synth.hpp"
+
+namespace {
+
+using autovision::sys::kFrameBuf;
+using autovision::sys::OpticalFlowSystem;
+using autovision::sys::SystemConfig;
+namespace video = autovision::video;
+
+SystemConfig small_config() {
+    SystemConfig cfg;
+    cfg.width = 32;
+    cfg.height = 24;
+    cfg.search = 2;
+    cfg.simb_payload_words = 64;
+    return cfg;
+}
+
+video::Frame scene_frame(const SystemConfig& cfg, unsigned index) {
+    video::SyntheticScene scene(
+        video::SceneConfig::standard(cfg.width, cfg.height, 1));
+    return scene.frame(index);
+}
+
+/// Elaborate a fresh system, boot it and inject frame 0 — the shared
+/// prefix of every directly-driven run in this suite.
+struct DirectRun {
+    explicit DirectRun(const SystemConfig& cfg) : sys(cfg) {
+        sys.sch.run_until(8 * cfg.clk_period);
+        sys.video_in.send_frame(scene_frame(cfg, 0), kFrameBuf);
+    }
+
+    void run_to(rtlsim::Time t) {
+        while (sys.sch.now() < t && !sys.sch.stop_requested()) {
+            sys.sch.run_until(sys.sch.now() + kQuantum);
+        }
+    }
+
+    /// Step quanta until `cond()` holds (fails the test if it never does).
+    template <typename Cond>
+    rtlsim::Time run_until_condition(Cond cond, rtlsim::Time budget) {
+        while (sys.sch.now() < budget) {
+            sys.sch.run_until(sys.sch.now() + kQuantum);
+            if (cond()) return sys.sch.now();
+        }
+        return 0;
+    }
+
+    [[nodiscard]] std::string blob() const {
+        std::ostringstream os;
+        EXPECT_TRUE(sys.save(os));
+        return os.str();
+    }
+
+    static constexpr rtlsim::Time kQuantum = 32 * 10 * rtlsim::NS;
+    OpticalFlowSystem sys;
+};
+
+/// The core round-trip check: save `warm` at its current time, restore
+/// into a fresh system, continue both the original cold reference and the
+/// restored system to `t_end`, and require bit-identical final blobs.
+void expect_warm_equals_cold(const SystemConfig& cfg, DirectRun& warm,
+                             rtlsim::Time t_end) {
+    const std::string mid = warm.blob();
+    ASSERT_FALSE(mid.empty());
+
+    // Cold reference: one uninterrupted run to t_end.
+    DirectRun cold(cfg);
+    cold.run_to(t_end);
+
+    // Warm side: fresh elaboration, restore, continue.
+    OpticalFlowSystem restored(cfg);
+    std::istringstream is(mid);
+    std::string err;
+    ASSERT_TRUE(restored.restore(is, &err)) << err;
+    EXPECT_EQ(restored.sch.now(), warm.sys.sch.now());
+    while (restored.sch.now() < t_end && !restored.sch.stop_requested()) {
+        restored.sch.run_until(restored.sch.now() + DirectRun::kQuantum);
+    }
+
+    std::ostringstream warm_os;
+    ASSERT_TRUE(restored.save(warm_os));
+    EXPECT_EQ(warm_os.str(), cold.blob())
+        << "restored run diverged from the uninterrupted reference";
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and manifest plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Ckpt, BlobIsByteDeterministic) {
+    const SystemConfig cfg = small_config();
+    DirectRun a(cfg);
+    a.run_to(2000 * cfg.clk_period);
+    // Saving twice at the same instant is bit-identical (no wall-clock,
+    // pointer or iteration-order leakage into the serialization).
+    EXPECT_EQ(a.blob(), a.blob());
+
+    // A second system elaborated in the same process and driven the same
+    // way lands on the same bytes — the regression net for hidden static
+    // mutable state surviving from the first run.
+    DirectRun b(cfg);
+    b.run_to(2000 * cfg.clk_period);
+    EXPECT_EQ(a.blob(), b.blob());
+}
+
+TEST(Ckpt, ManifestRejectsMismatchedConfig) {
+    const SystemConfig cfg = small_config();
+    DirectRun a(cfg);
+    a.run_to(1000 * cfg.clk_period);
+    const std::string blob = a.blob();
+
+    SystemConfig other = cfg;
+    other.width = 64;  // different geometry => different config hash
+    OpticalFlowSystem wrong(other);
+    std::istringstream is(blob);
+    std::string err;
+    EXPECT_FALSE(wrong.restore(is, &err));
+    EXPECT_NE(err.find("config"), std::string::npos) << err;
+}
+
+TEST(Ckpt, ManifestRoundTrips) {
+    const SystemConfig cfg = small_config();
+    DirectRun a(cfg);
+    a.run_to(1000 * cfg.clk_period);
+    const std::string blob = a.blob();
+
+    std::istringstream is(blob);
+    autovision::ckpt::Loader loader;
+    ASSERT_TRUE(loader.load(is, 0)) << loader.error();  // 0 = skip hash check
+    EXPECT_EQ(loader.manifest().format_version, autovision::ckpt::kFormatVersion);
+    EXPECT_EQ(loader.manifest().config_hash, OpticalFlowSystem::config_hash(cfg));
+    EXPECT_EQ(loader.manifest().sim_time, a.sys.sch.now());
+    EXPECT_NE(loader.find("kernel"), nullptr);
+    EXPECT_NE(loader.find("signals"), nullptr);
+}
+
+TEST(Ckpt, TruncatedBlobFailsCleanly) {
+    const SystemConfig cfg = small_config();
+    DirectRun a(cfg);
+    a.run_to(1000 * cfg.clk_period);
+    const std::string blob = a.blob();
+
+    for (std::size_t cut : {std::size_t{0}, std::size_t{4}, blob.size() / 2,
+                            blob.size() - 1}) {
+        OpticalFlowSystem fresh(cfg);
+        std::istringstream is(blob.substr(0, cut));
+        std::string err;
+        EXPECT_FALSE(fresh.restore(is, &err)) << "cut at " << cut;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Warm == cold at adversarial save points
+// ---------------------------------------------------------------------------
+
+TEST(Ckpt, WarmEqualsColdAtEarlyPoint) {
+    const SystemConfig cfg = small_config();
+    DirectRun warm(cfg);
+    warm.run_to(500 * cfg.clk_period);
+    expect_warm_equals_cold(cfg, warm, 30000 * cfg.clk_period);
+}
+
+TEST(Ckpt, WarmEqualsColdMidIcapPacket) {
+    const SystemConfig cfg = small_config();
+    DirectRun warm(cfg);
+    ASSERT_TRUE(warm.sys.is_resim());
+    // Step until the artifact is mid-payload: a SimB half-streamed through
+    // the ICAP, DMA in flight, the portal's swap still pending.
+    const rtlsim::Time t = warm.run_until_condition(
+        [&] { return warm.sys.icap_artifact->payload_pending(); },
+        60000 * cfg.clk_period);
+    ASSERT_NE(t, 0u) << "run never reached a mid-ICAP-packet state";
+    expect_warm_equals_cold(cfg, warm, t + 20000 * cfg.clk_period);
+}
+
+TEST(Ckpt, WarmEqualsColdInsideIsolationWindow) {
+    const SystemConfig cfg = small_config();
+    DirectRun warm(cfg);
+    // Inside the isolation window the boundary drives safe levels while
+    // the error injector feeds X into the gated side — the densest
+    // 4-state moment of a reconfiguration.
+    const rtlsim::Time t = warm.run_until_condition(
+        [&] { return rtlsim::is1(warm.sys.iso.isolate.read()); },
+        60000 * cfg.clk_period);
+    ASSERT_NE(t, 0u) << "run never entered the isolation window";
+    expect_warm_equals_cold(cfg, warm, t + 20000 * cfg.clk_period);
+}
+
+TEST(Ckpt, WarmEqualsColdWithPendingIrq) {
+    const SystemConfig cfg = small_config();
+    DirectRun warm(cfg);
+    // A latched, enabled interrupt the CPU has not yet vectored to.
+    const rtlsim::Time t = warm.run_until_condition(
+        [&] { return rtlsim::is1(warm.sys.intc.irq.read()); },
+        60000 * cfg.clk_period);
+    ASSERT_NE(t, 0u) << "run never latched a pending interrupt";
+    expect_warm_equals_cold(cfg, warm, t + 20000 * cfg.clk_period);
+}
+
+TEST(Ckpt, WarmEqualsColdBetweenEngineJobs) {
+    // After a job completes the firmware reset-pulses the engine:
+    // reset_job() clears the line buffers but w_/h_ keep the last job's
+    // geometry. That cleared-but-configured state used to be rejected by
+    // the engines' ckpt_restore_job geometry check ("cie section corrupt"
+    // on any snapshot taken between jobs) — regression for that fix.
+    const SystemConfig cfg = small_config();
+    DirectRun warm(cfg);
+    warm.run_to(20000 * cfg.clk_period);
+    expect_warm_equals_cold(cfg, warm, 24000 * cfg.clk_period);
+}
+
+TEST(Ckpt, WarmEqualsColdUnderVirtualMux) {
+    SystemConfig cfg = small_config();
+    cfg.method = autovision::sys::FirmwareConfig::Method::kVm;
+    DirectRun warm(cfg);
+    warm.run_to(3000 * cfg.clk_period);
+    ASSERT_NE(warm.sys.vmux, nullptr);
+    expect_warm_equals_cold(cfg, warm, 30000 * cfg.clk_period);
+}
+
+// ---------------------------------------------------------------------------
+// Stream-harness warm start (the closure campaign's fast path)
+// ---------------------------------------------------------------------------
+
+/// A deterministic kStream scenario with a corrupted middle session, so the
+/// warm run replays SimB corruption from the restored state.
+autovision::scen::Scenario corrupted_stream_scenario() {
+    autovision::scen::ScenarioConstraints cons;
+    cons.w_stream = 1;
+    cons.w_system = 0;
+    cons.w_fault = 0;
+    cons.min_sessions = 3;
+    cons.max_sessions = 5;
+    autovision::scen::Scenario sc =
+        autovision::scen::generate(cons, /*seed=*/0xC0FFEEu);
+    EXPECT_EQ(sc.kind, autovision::scen::Kind::kStream);
+    return sc;
+}
+
+bool same_events(const std::vector<autovision::obs::Event>& a,
+                 const std::vector<autovision::obs::Event>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].time != b[i].time || a[i].kind != b[i].kind ||
+            a[i].src != b[i].src || a[i].a != b[i].a || a[i].b != b[i].b) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(Ckpt, StreamHarnessWarmStartMatchesCold) {
+    const autovision::scen::Scenario sc = corrupted_stream_scenario();
+
+    const autovision::scen::StreamResult cold =
+        autovision::scen::run_stream_scenario(sc);
+
+    const std::string boot = autovision::scen::stream_boot_snapshot();
+    ASSERT_FALSE(boot.empty());
+    const autovision::scen::StreamResult warm =
+        autovision::scen::run_stream_scenario(sc, nullptr, &boot);
+
+    // The full observable surface must match bit-exactly: the recorded
+    // event stream (what coverage is computed from), kernel counters,
+    // portal/ICAP tallies and diagnostics.
+    EXPECT_TRUE(same_events(cold.events, warm.events));
+    EXPECT_EQ(cold.stats.timed_events, warm.stats.timed_events);
+    EXPECT_EQ(cold.stats.delta_cycles, warm.stats.delta_cycles);
+    EXPECT_EQ(cold.stats.proc_invocations, warm.stats.proc_invocations);
+    EXPECT_EQ(cold.stats.signal_updates, warm.stats.signal_updates);
+    EXPECT_EQ(cold.stats.time_steps, warm.stats.time_steps);
+    EXPECT_EQ(cold.sim_time, warm.sim_time);
+    EXPECT_EQ(cold.swaps, warm.swaps);
+    EXPECT_EQ(cold.aborts, warm.aborts);
+    EXPECT_EQ(cold.truncations, warm.truncations);
+    EXPECT_EQ(cold.captures, warm.captures);
+    EXPECT_EQ(cold.restores, warm.restores);
+    EXPECT_EQ(cold.diagnostic_text, warm.diagnostic_text);
+}
+
+TEST(Ckpt, StreamBootSnapshotIsDeterministic) {
+    EXPECT_EQ(autovision::scen::stream_boot_snapshot(),
+              autovision::scen::stream_boot_snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Differential-oracle warm start (the shrinker's fast path)
+// ---------------------------------------------------------------------------
+
+void expect_same_side(const autovision::diff::SideRun& cold,
+                      const autovision::diff::SideRun& warm) {
+    EXPECT_EQ(cold.selects, warm.selects);
+    EXPECT_EQ(cold.swaps, warm.swaps);
+    EXPECT_EQ(cold.aborts, warm.aborts);
+    EXPECT_EQ(cold.captures, warm.captures);
+    EXPECT_EQ(cold.restores, warm.restores);
+    EXPECT_EQ(cold.probes, warm.probes);
+    EXPECT_EQ(cold.diagnostics, warm.diagnostics);
+    EXPECT_TRUE(same_events(cold.events, warm.events));
+    EXPECT_EQ(cold.stats.timed_events, warm.stats.timed_events);
+    EXPECT_EQ(cold.stats.proc_invocations, warm.stats.proc_invocations);
+    EXPECT_EQ(cold.stats.signal_updates, warm.stats.signal_updates);
+    EXPECT_EQ(cold.sim_time, warm.sim_time);
+}
+
+TEST(Ckpt, DiffSidesWarmStartMatchesCold) {
+    const autovision::scen::Scenario sc = corrupted_stream_scenario();
+
+    autovision::diff::DiffOptions cold_opt;  // no cache: always cold
+    const autovision::diff::SideRun vm_cold =
+        autovision::diff::run_vm_side(sc, cold_opt);
+    const autovision::diff::SideRun rs_cold =
+        autovision::diff::run_resim_side(sc, cold_opt);
+
+    autovision::diff::BootCache cache;
+    autovision::diff::DiffOptions warm_opt;
+    warm_opt.boot = &cache;
+    // First pair of runs fills the cache (cold boot + save)...
+    expect_same_side(vm_cold, autovision::diff::run_vm_side(sc, warm_opt));
+    expect_same_side(rs_cold, autovision::diff::run_resim_side(sc, warm_opt));
+    ASSERT_FALSE(cache.vm[0].empty());
+    ASSERT_FALSE(cache.resim[0].empty());
+    // ...the second pair forks from the snapshots and must be identical.
+    expect_same_side(vm_cold, autovision::diff::run_vm_side(sc, warm_opt));
+    expect_same_side(rs_cold, autovision::diff::run_resim_side(sc, warm_opt));
+}
+
+}  // namespace

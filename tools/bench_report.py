@@ -20,7 +20,8 @@ import subprocess
 import sys
 from pathlib import Path
 
-BENCH_BINARIES = ["bench_kernel", "bench_frame_sim", "bench_obs_overhead"]
+BENCH_BINARIES = ["bench_kernel", "bench_frame_sim", "bench_obs_overhead",
+                  "bench_ckpt"]
 
 
 def run_benchmark(binary: Path, min_time: float) -> dict:

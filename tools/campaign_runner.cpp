@@ -33,6 +33,10 @@
 #include "campaign/sink.hpp"
 #include "diff/repro.hpp"
 #include "diff/shrink.hpp"
+#include "scen/stream_harness.hpp"
+#include "sys/address_map.hpp"
+#include "sys/system.hpp"
+#include "video/synth.hpp"
 
 using namespace autovision;
 using namespace autovision::campaign;
@@ -62,6 +66,11 @@ struct Options {
     std::string repro_out;
     bool expect_genuine = false;
     std::string replay;
+    // checkpointing
+    std::string ckpt_out;       ///< write a snapshot here
+    std::string ckpt_in;        ///< warm-start from this snapshot
+    unsigned long long ckpt_at = 0;  ///< standalone mode: run to this cycle
+    bool no_warm_start = false;      ///< closure: force cold boots
 };
 
 void usage(const char* argv0) {
@@ -114,7 +123,21 @@ void usage(const char* argv0) {
         "  --expect-genuine exit nonzero unless the batch flags at least\n"
         "                  one genuine divergence (fault-injection runs)\n"
         "  --replay FILE   re-run a .repro.json reproducer standalone and\n"
-        "                  report whether the divergence reproduces\n",
+        "                  report whether the divergence reproduces\n"
+        "\n"
+        "checkpoint options:\n"
+        "  --ckpt-at N     standalone mode: drive one full system to cycle\n"
+        "                  N (absolute), print the snapshot digest, exit.\n"
+        "                  Deterministic: two invocations reaching the same\n"
+        "                  cycle print the same digest, whether they got\n"
+        "                  there cold or via --ckpt-in\n"
+        "  --ckpt-out FILE write a snapshot to FILE: the cycle-N state in\n"
+        "                  standalone mode, the stream-testbench boot\n"
+        "                  snapshot in the closure campaign\n"
+        "  --ckpt-in FILE  warm-start from FILE: restore before continuing\n"
+        "                  in standalone mode, fork every closure stream\n"
+        "                  job from it in the closure campaign\n"
+        "  --no-warm-start closure: always boot stream jobs cold\n",
         argv0);
 }
 
@@ -226,6 +249,82 @@ int run_replay(const std::string& path) {
     return want == got ? 0 : 1;
 }
 
+[[nodiscard]] std::uint64_t blob_digest(const std::string& blob) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (const char c : blob) {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+    return h;
+}
+
+/// Standalone checkpoint mode (--ckpt-at): drive one full system — cold
+/// from reset, or restored from --ckpt-in — to an absolute cycle, print
+/// the state digest, and optionally save the reached state to --ckpt-out.
+/// The digest depends only on (config, cycle), not on how the run got
+/// there, which is exactly the property the CI diverge-check exercises.
+int run_ckpt_mode(const Options& opt) {
+    sys::SystemConfig cfg = small_system_config();
+    cfg.seed = opt.seed;
+    sys::OpticalFlowSystem system(cfg);
+
+    if (!opt.ckpt_in.empty()) {
+        std::ifstream is(opt.ckpt_in, std::ios::binary);
+        if (!is) {
+            std::fprintf(stderr, "cannot open %s\n", opt.ckpt_in.c_str());
+            return 2;
+        }
+        std::string err;
+        if (!system.restore(is, &err)) {
+            std::fprintf(stderr, "restore failed: %s\n", err.c_str());
+            return 2;
+        }
+        std::printf("restored %s at t=%llu\n", opt.ckpt_in.c_str(),
+                    static_cast<unsigned long long>(system.sch.now()));
+    } else {
+        // Cold boot: reset settles, then the camera delivers frame 0 (the
+        // same prefix the Testbench runs).
+        system.sch.run_until(8 * cfg.clk_period);
+        video::SyntheticScene scene(
+            video::SceneConfig::standard(cfg.width, cfg.height, 1));
+        system.video_in.send_frame(scene.frame(0), sys::kFrameBuf);
+    }
+
+    const rtlsim::Time target = opt.ckpt_at * cfg.clk_period;
+    if (system.sch.now() > target) {
+        std::fprintf(stderr,
+                     "snapshot is already past cycle %llu (t=%llu)\n",
+                     opt.ckpt_at,
+                     static_cast<unsigned long long>(system.sch.now()));
+        return 2;
+    }
+    constexpr rtlsim::Time kQuantum = 32;
+    while (system.sch.now() < target && !system.sch.stop_requested()) {
+        system.sch.run_until(system.sch.now() +
+                             kQuantum * cfg.clk_period);
+    }
+
+    std::ostringstream blob;
+    if (!system.save(blob)) {
+        std::fprintf(stderr, "save failed (not at a quiescent point)\n");
+        return 2;
+    }
+    std::printf("cycle %llu: t=%llu, %zu-byte snapshot, digest"
+                " %016llx\n",
+                opt.ckpt_at,
+                static_cast<unsigned long long>(system.sch.now()),
+                blob.str().size(),
+                static_cast<unsigned long long>(blob_digest(blob.str())));
+    if (!opt.ckpt_out.empty()) {
+        std::ofstream os(opt.ckpt_out, std::ios::binary | std::ios::trunc);
+        if (!os || !(os << blob.str())) {
+            std::fprintf(stderr, "cannot write %s\n", opt.ckpt_out.c_str());
+            return 2;
+        }
+        std::printf("snapshot: %s\n", opt.ckpt_out.c_str());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,6 +379,17 @@ int main(int argc, char** argv) {
             opt.expect_genuine = true;
         } else if (a == "--replay") {
             opt.replay = next();
+        } else if (a == "--ckpt-out") {
+            opt.ckpt_out = next();
+        } else if (a == "--ckpt-in") {
+            opt.ckpt_in = next();
+        } else if (a == "--ckpt-at") {
+            char* end = nullptr;
+            const char* v = next();
+            opt.ckpt_at = std::strtoull(v, &end, 0);
+            ok = end != v && *end == '\0' && opt.ckpt_at != 0;
+        } else if (a == "--no-warm-start") {
+            opt.no_warm_start = true;
         } else if (a == "--trace") {
             opt.trace = true;
         } else if (a == "--trace-out") {
@@ -302,6 +412,7 @@ int main(int argc, char** argv) {
     }
 
     if (!opt.replay.empty()) return run_replay(opt.replay);
+    if (opt.ckpt_at != 0) return run_ckpt_mode(opt);
 
     if (opt.campaign == "closure") {
         ClosureConfig cc;
@@ -310,6 +421,28 @@ int main(int argc, char** argv) {
         cc.max_batches = opt.batches;
         cc.target_percent = opt.target;
         cc.bias = opt.bias;
+        cc.warm_start = !opt.no_warm_start;
+        if (!opt.ckpt_in.empty()) {
+            std::ifstream is(opt.ckpt_in, std::ios::binary);
+            std::ostringstream buf;
+            if (!is || !(buf << is.rdbuf())) {
+                std::fprintf(stderr, "cannot read %s\n", opt.ckpt_in.c_str());
+                return 2;
+            }
+            cc.boot_blob = buf.str();
+        }
+        if (!opt.ckpt_out.empty()) {
+            const std::string boot = scen::stream_boot_snapshot();
+            std::ofstream os(opt.ckpt_out,
+                             std::ios::binary | std::ios::trunc);
+            if (!os || !(os << boot)) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opt.ckpt_out.c_str());
+                return 2;
+            }
+            std::printf("boot snapshot: %s (%zu bytes)\n",
+                        opt.ckpt_out.c_str(), boot.size());
+        }
 
         CampaignConfig rc;
         rc.jobs = opt.jobs;

@@ -1,11 +1,14 @@
 #include "closure.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
 
+#include "ckpt/checkpoint.hpp"
 #include "scen/stream_harness.hpp"
+#include "sink.hpp"
 #include "sys/detection.hpp"
 
 namespace autovision::campaign {
@@ -125,55 +128,182 @@ std::vector<SimJob> scenario_jobs(const std::vector<scen::Scenario>& batch,
     return jobs;
 }
 
-ClosureResult run_closure(const ClosureConfig& cc, const CampaignConfig& rc) {
-    ClosureResult res;
-    res.merged = cover::make_model();
+std::uint64_t closure_config_hash(const ClosureConfig& cc) {
+    std::uint64_t h = rtlsim::snap_hash64("campaign.closure.v1");
+    h = rtlsim::snap_hash64_u64(cc.seed, h);
+    h = rtlsim::snap_hash64_u64(cc.batch_size, h);
+    h = rtlsim::snap_hash64_u64(cc.max_batches, h);
+    h = rtlsim::snap_hash64_u64(
+        static_cast<std::uint64_t>(cc.target_percent * 1024.0), h);
+    h = rtlsim::snap_hash64_u64(cc.saturation_batches, h);
+    h = rtlsim::snap_hash64_u64(cc.bias ? 1 : 0, h);
+    return h;
+}
 
+ClosureLoop::ClosureLoop(ClosureConfig cc) : cc_(std::move(cc)) {
+    merged_ = cover::make_model();
+    current_ = cc_.base;
     // One boot snapshot amortized over every kStream job of the campaign:
     // the stream testbench's elaborate+reset prefix is scenario-independent,
     // so each job forks from the blob instead of re-simulating it.
-    std::shared_ptr<const std::string> boot;
-    if (cc.warm_start) {
-        boot = std::make_shared<const std::string>(
-            cc.boot_blob.empty() ? scen::stream_boot_snapshot()
-                                 : cc.boot_blob);
+    if (cc_.warm_start) {
+        boot_ = std::make_shared<const std::string>(
+            cc_.boot_blob.empty() ? scen::stream_boot_snapshot()
+                                  : cc_.boot_blob);
     }
+}
 
-    scen::ScenarioConstraints current = cc.base;
-    std::size_t prev_hit = 0;
-    unsigned stale = 0;
+bool ClosureLoop::done() const noexcept {
+    return reached_target_ || saturated_ || next_batch_ >= cc_.max_batches;
+}
 
-    for (unsigned b = 0; b < cc.max_batches; ++b) {
-        const std::vector<scen::Scenario> batch =
-            scen::generate_batch(current, cc.seed, b, cc.batch_size);
-        CampaignRunner runner(rc);
-        CampaignResult cres = runner.run(scenario_jobs(batch, boot));
+BatchSummary ClosureLoop::run_batch(const CampaignConfig& rc) {
+    const unsigned b = next_batch_;
+    const std::vector<scen::Scenario> batch =
+        scen::generate_batch(current_, cc_.seed, b, cc_.batch_size);
+    CampaignRunner runner(rc);
+    CampaignResult cres = runner.run(scenario_jobs(batch, boot_));
 
-        for (JobRecord& rec : cres.records) {
-            if (rec.report.coverage.same_shape(res.merged)) {
-                res.merged += rec.report.coverage;
-            }
-            res.records.push_back(std::move(rec));
+    for (JobRecord& rec : cres.records) {
+        if (rec.report.coverage.same_shape(merged_)) {
+            merged_ += rec.report.coverage;
         }
-        res.scenarios_run += static_cast<unsigned>(batch.size());
-
-        const std::size_t hit = res.merged.goal_hit();
-        res.batches.push_back(BatchSummary{b, hit - prev_hit, hit,
-                                           res.merged.percent()});
-
-        if (res.merged.percent() >= cc.target_percent) {
-            res.reached_target = true;
-            break;
-        }
-        stale = hit == prev_hit ? stale + 1 : 0;
-        prev_hit = hit;
-        if (stale >= cc.saturation_batches) {
-            res.saturated = true;
-            break;
-        }
-        if (cc.bias) current = scen::bias_towards(cc.base, res.merged);
+        // Verdict lines are numbered by campaign-wide submission order so
+        // a resumed campaign continues the sequence seamlessly.
+        rec.index += scenarios_run_;
+        verdicts_.push_back(to_verdict_line(rec));
+        records_.push_back(std::move(rec));
     }
+    scenarios_run_ += static_cast<unsigned>(batch.size());
+    next_batch_ = b + 1;
+
+    const std::size_t hit = merged_.goal_hit();
+    const BatchSummary summary{b, hit - prev_hit_, hit, merged_.percent()};
+    batches_.push_back(summary);
+
+    if (merged_.percent() >= cc_.target_percent) {
+        reached_target_ = true;
+    } else {
+        stale_ = hit == prev_hit_ ? stale_ + 1 : 0;
+        if (stale_ >= cc_.saturation_batches) saturated_ = true;
+    }
+    prev_hit_ = hit;
+    if (!done() && cc_.bias) current_ = scen::bias_towards(cc_.base, merged_);
+    return summary;
+}
+
+ClosureResult ClosureLoop::result() const {
+    ClosureResult res;
+    res.merged = merged_;
+    res.batches = batches_;
+    res.records = records_;
+    res.reached_target = reached_target_;
+    res.saturated = saturated_;
+    res.scenarios_run = scenarios_run_;
     return res;
+}
+
+bool ClosureLoop::save(std::ostream& os) const {
+    ckpt::Manifest m;
+    m.config_hash = closure_config_hash(cc_);
+    m.sim_time = next_batch_;
+    ckpt::Saver saver(m);
+
+    rtlsim::SnapWriter& st = saver.section("closure.state");
+    st.u32(next_batch_);
+    st.u32(scenarios_run_);
+    st.u64(prev_hit_);
+    st.u32(stale_);
+    st.bool8(reached_target_);
+    st.bool8(saturated_);
+
+    merged_.save_hits(saver.section("closure.cover"));
+
+    rtlsim::SnapWriter& bs = saver.section("closure.batches");
+    bs.u32(static_cast<std::uint32_t>(batches_.size()));
+    for (const BatchSummary& b : batches_) {
+        bs.u32(b.index);
+        bs.u64(b.new_bins);
+        bs.u64(b.goal_hit);
+        // percent is re-derivable but stored bit-exact so a resumed
+        // summary print matches the uninterrupted one.
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof b.percent);
+        std::memcpy(&bits, &b.percent, sizeof bits);
+        bs.u64(bits);
+    }
+
+    rtlsim::SnapWriter& vs = saver.section("closure.verdicts");
+    vs.u32(static_cast<std::uint32_t>(verdicts_.size()));
+    for (const std::string& v : verdicts_) vs.str(v);
+
+    return saver.write_to(os);
+}
+
+bool ClosureLoop::restore(std::istream& is, std::string* err) {
+    const auto fail = [&](const std::string& why) {
+        if (err != nullptr) *err = why;
+        return false;
+    };
+    ckpt::Loader loader;
+    if (!loader.load(is, closure_config_hash(cc_))) {
+        return fail(loader.error());
+    }
+
+    rtlsim::SnapReader st = loader.reader("closure.state");
+    next_batch_ = st.u32();
+    scenarios_run_ = st.u32();
+    prev_hit_ = st.u64();
+    stale_ = st.u32();
+    reached_target_ = st.bool8();
+    saturated_ = st.bool8();
+    if (!st.ok()) return fail("closure.state: malformed");
+
+    merged_ = cover::make_model();
+    rtlsim::SnapReader cv = loader.reader("closure.cover");
+    if (!merged_.restore_hits(cv) || !cv.ok()) {
+        return fail("closure.cover: shape mismatch");
+    }
+
+    batches_.clear();
+    rtlsim::SnapReader bs = loader.reader("closure.batches");
+    const std::uint32_t nb = bs.u32();
+    for (std::uint32_t i = 0; i < nb && bs.ok_so_far(); ++i) {
+        BatchSummary b;
+        b.index = bs.u32();
+        b.new_bins = bs.u64();
+        b.goal_hit = bs.u64();
+        const std::uint64_t bits = bs.u64();
+        std::memcpy(&b.percent, &bits, sizeof b.percent);
+        batches_.push_back(b);
+    }
+    if (!bs.ok() || batches_.size() != nb) {
+        return fail("closure.batches: malformed");
+    }
+
+    verdicts_.clear();
+    rtlsim::SnapReader vs = loader.reader("closure.verdicts");
+    const std::uint32_t nv = vs.u32();
+    for (std::uint32_t i = 0; i < nv && vs.ok_so_far(); ++i) {
+        verdicts_.push_back(vs.str());
+    }
+    if (!vs.ok() || verdicts_.size() != nv) {
+        return fail("closure.verdicts: malformed");
+    }
+
+    records_.clear();
+    // The bias weights are a pure function of (base, merged coverage):
+    // recompute instead of serializing the whole constraint table.
+    current_ = (cc_.bias && next_batch_ > 0)
+                   ? scen::bias_towards(cc_.base, merged_)
+                   : cc_.base;
+    return true;
+}
+
+ClosureResult run_closure(const ClosureConfig& cc, const CampaignConfig& rc) {
+    ClosureLoop loop(cc);
+    while (!loop.done()) loop.run_batch(rc);
+    return loop.result();
 }
 
 }  // namespace autovision::campaign

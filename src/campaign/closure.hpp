@@ -67,7 +67,80 @@ struct ClosureResult {
     const std::vector<scen::Scenario>& batch,
     std::shared_ptr<const std::string> boot = nullptr);
 
-/// Run the closure loop. `rc` configures the per-batch worker pool.
+/// The closure loop, one batch at a time — the stepping form run_closure()
+/// wraps and the campaign service resumes across process restarts.
+///
+/// Everything a batch contributes is deterministic given (config, batch
+/// index): scenario seeds depend only on (seed, batch, index), the coverage
+/// merge is order-independent, and the bias weights are a pure function of
+/// (base constraints, merged coverage). The loop's resumable state is
+/// therefore just the merged counters plus a few scalars; save() emits it
+/// as a ckpt-section blob and restore() rebuilds the loop mid-campaign,
+/// after which the remaining batches produce cover/verdict output
+/// byte-identical to an uninterrupted run (pinned by SvcClosureLoop tests
+/// and the CI service smoke).
+class ClosureLoop {
+public:
+    explicit ClosureLoop(ClosureConfig cc);
+
+    /// True once the target/saturation/budget stop has been reached.
+    [[nodiscard]] bool done() const noexcept;
+    /// Generate + run the next batch on a pool configured by `rc`.
+    /// Precondition: !done().
+    BatchSummary run_batch(const CampaignConfig& rc);
+
+    [[nodiscard]] const cover::Coverage& merged() const noexcept {
+        return merged_;
+    }
+    [[nodiscard]] const std::vector<BatchSummary>& batches() const noexcept {
+        return batches_;
+    }
+    /// Deterministic per-job verdict lines (to_verdict_line) over every
+    /// completed batch — including batches completed before a restore,
+    /// whose full JobRecords no longer exist.
+    [[nodiscard]] const std::vector<std::string>& verdicts() const noexcept {
+        return verdicts_;
+    }
+    [[nodiscard]] unsigned next_batch() const noexcept { return next_batch_; }
+    [[nodiscard]] unsigned scenarios_run() const noexcept {
+        return scenarios_run_;
+    }
+
+    /// Assemble a ClosureResult. `records` holds only the batches run in
+    /// this process; after a restore the earlier batches are represented by
+    /// verdicts() alone.
+    [[nodiscard]] ClosureResult result() const;
+
+    /// Serialize the resumable state (ckpt::Saver blob; manifest pins a
+    /// hash of the closure config so a blob cannot resume a different
+    /// campaign). Call between batches only.
+    [[nodiscard]] bool save(std::ostream& os) const;
+    /// Rebuild mid-campaign state from a save() blob. False (with *err set)
+    /// on a malformed blob or a config mismatch; the loop is then unusable.
+    [[nodiscard]] bool restore(std::istream& is, std::string* err);
+
+private:
+    ClosureConfig cc_;
+    std::shared_ptr<const std::string> boot_;
+    scen::ScenarioConstraints current_;
+    cover::Coverage merged_;
+    std::vector<BatchSummary> batches_;
+    std::vector<JobRecord> records_;
+    std::vector<std::string> verdicts_;
+    unsigned next_batch_ = 0;
+    unsigned scenarios_run_ = 0;
+    std::size_t prev_hit_ = 0;
+    unsigned stale_ = 0;
+    bool reached_target_ = false;
+    bool saturated_ = false;
+};
+
+/// Identity hash of the parameters that shape a closure campaign; a saved
+/// loop blob only restores into a loop built from an identical config.
+[[nodiscard]] std::uint64_t closure_config_hash(const ClosureConfig& cc);
+
+/// Run the closure loop to completion. `rc` configures the per-batch
+/// worker pool.
 [[nodiscard]] ClosureResult run_closure(const ClosureConfig& cc,
                                         const CampaignConfig& rc);
 

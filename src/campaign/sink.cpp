@@ -139,6 +139,34 @@ std::string to_jsonl(const JobRecord& rec) {
     return out;
 }
 
+std::string to_verdict_line(const JobRecord& rec) {
+    std::string out;
+    out.reserve(160);
+    out += '{';
+    append_kv(out, "index", std::to_string(rec.index), false);
+    out += ',';
+    append_kv(out, "name", json_escape(rec.name), true);
+    out += ',';
+    append_kv(out, "status", to_string(rec.status), true);
+    out += ',';
+    append_kv(out, "verdict", json_escape(rec.report.verdict), true);
+    if (!rec.report.metrics.empty()) {
+        out += ",\"metrics\":{";
+        bool first = true;
+        for (const auto& [k, v] : rec.report.metrics) {
+            if (!first) out += ',';
+            first = false;
+            out += '"';
+            out += json_escape(k);
+            out += "\":";
+            append_number(out, v);
+        }
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
 JsonlSink::JsonlSink(const std::string& path)
     : path_(path), os_(path, std::ios::out | std::ios::trunc) {}
 

@@ -22,6 +22,14 @@ namespace autovision::campaign {
 /// One JobRecord as a single-line JSON object (no trailing newline).
 [[nodiscard]] std::string to_jsonl(const JobRecord& rec);
 
+/// Deterministic one-line digest of a record: submission index, name,
+/// status, verdict and the report's named metrics — only fields that are
+/// byte-reproducible across runs (wall time and attempt counts are
+/// excluded). A batch-CLI campaign and a killed-and-resumed service run of
+/// the same campaign produce identical verdict lines; the CI service smoke
+/// compares the two files with cmp.
+[[nodiscard]] std::string to_verdict_line(const JobRecord& rec);
+
 class JsonlSink {
 public:
     /// Opens (truncates) `path`. Check `ok()` before relying on output.

@@ -81,6 +81,17 @@ Covergroup& Covergroup::operator+=(const Covergroup& o) {
     return *this;
 }
 
+void Covergroup::save_hits(rtlsim::SnapWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(bins_.size()));
+    for (const Bin& b : bins_) w.u64(b.hits);
+}
+
+bool Covergroup::restore_hits(rtlsim::SnapReader& r) {
+    if (r.u32() != bins_.size()) return false;
+    for (Bin& b : bins_) b.hits = r.u64();
+    return r.ok_so_far();
+}
+
 bool Covergroup::operator==(const Covergroup& o) const noexcept {
     if (!same_shape(o)) return false;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
@@ -169,6 +180,19 @@ bool Coverage::operator==(const Coverage& o) const noexcept {
     if (groups_.size() != o.groups_.size()) return false;
     for (std::size_t i = 0; i < groups_.size(); ++i) {
         if (!(groups_[i] == o.groups_[i])) return false;
+    }
+    return true;
+}
+
+void Coverage::save_hits(rtlsim::SnapWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(groups_.size()));
+    for (const Covergroup& g : groups_) g.save_hits(w);
+}
+
+bool Coverage::restore_hits(rtlsim::SnapReader& r) {
+    if (r.u32() != groups_.size()) return false;
+    for (Covergroup& g : groups_) {
+        if (!g.restore_hits(r)) return false;
     }
     return true;
 }

@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "kernel/snapshot.hpp"
+
 namespace autovision::cover {
 
 struct Bin {
@@ -60,6 +62,13 @@ public:
     Covergroup& operator+=(const Covergroup& o);
     [[nodiscard]] bool same_shape(const Covergroup& o) const noexcept;
     [[nodiscard]] bool operator==(const Covergroup& o) const noexcept;
+
+    /// Serialize only the hit counters (bin count + one u64 per bin); the
+    /// shape itself is pinned by the model builder, not the blob.
+    void save_hits(rtlsim::SnapWriter& w) const;
+    /// Overwrite this group's counters from a save_hits() image; false when
+    /// the serialized bin count does not match this group's shape.
+    [[nodiscard]] bool restore_hits(rtlsim::SnapReader& r);
 
 private:
     std::string name_;
@@ -100,6 +109,13 @@ public:
     void write_json(std::ostream& os) const;
     /// Human-readable table (one line per group + unhit bin list).
     void write_text(std::ostream& os) const;
+
+    /// Counters-only serialization for resumable campaigns: u32 group
+    /// count, then each group's save_hits image. Restore requires a model
+    /// of identical shape (restore into a fresh make_model() instance) and
+    /// overwrites its counters; false on any shape mismatch.
+    void save_hits(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool restore_hits(rtlsim::SnapReader& r);
 
 private:
     std::vector<Covergroup> groups_;

@@ -1,0 +1,92 @@
+#include "admission.hpp"
+
+namespace autovision::svc {
+
+AdmissionController::Decision AdmissionController::admit(
+    const JobSpec& spec) {
+    const std::lock_guard lk(mu_);
+    Decision d;
+    if (total_ >= cfg_.max_jobs) {
+        d.reason = "service at capacity (" + std::to_string(cfg_.max_jobs) +
+                   " unfinished jobs); retry later";
+        return d;
+    }
+    const std::size_t mine = per_client_[spec.client];
+    if (mine >= cfg_.max_per_client) {
+        d.reason = "client '" + spec.client + "' at its quota (" +
+                   std::to_string(cfg_.max_per_client) +
+                   " unfinished jobs)";
+        return d;
+    }
+    if (queued_[spec.priority] >= cfg_.max_queued_per_class) {
+        d.reason = std::string("priority class '") +
+                   to_string(spec.priority) + "' queue full (" +
+                   std::to_string(cfg_.max_queued_per_class) + ")";
+        return d;
+    }
+    ++total_;
+    ++per_client_[spec.client];
+    ++queued_[spec.priority];
+    d.admit = true;
+    return d;
+}
+
+void AdmissionController::started(const JobSpec& spec) {
+    const std::lock_guard lk(mu_);
+    auto it = queued_.find(spec.priority);
+    if (it != queued_.end() && it->second != 0) --it->second;
+}
+
+void AdmissionController::finished(const JobSpec& spec) {
+    const std::lock_guard lk(mu_);
+    if (total_ != 0) --total_;
+    auto it = per_client_.find(spec.client);
+    if (it != per_client_.end() && it->second != 0) {
+        if (--it->second == 0) per_client_.erase(it);
+    }
+}
+
+std::size_t AdmissionController::in_flight() const {
+    const std::lock_guard lk(mu_);
+    return total_;
+}
+
+void PriorityReadyQueue::push(std::uint64_t id, Priority p) {
+    const std::lock_guard lk(mu_);
+    ready_.emplace(Key{static_cast<std::uint8_t>(p), seq_++}, id);
+    cv_.notify_one();
+}
+
+std::optional<std::uint64_t> PriorityReadyQueue::pop() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || !ready_.empty(); });
+    if (ready_.empty()) return std::nullopt;
+    const auto it = ready_.begin();  // lowest (priority, seq): next up
+    const std::uint64_t id = it->second;
+    ready_.erase(it);
+    return id;
+}
+
+bool PriorityReadyQueue::remove(std::uint64_t id) {
+    const std::lock_guard lk(mu_);
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (it->second == id) {
+            ready_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void PriorityReadyQueue::close() {
+    const std::lock_guard lk(mu_);
+    closed_ = true;
+    cv_.notify_all();
+}
+
+std::size_t PriorityReadyQueue::size() const {
+    const std::lock_guard lk(mu_);
+    return ready_.size();
+}
+
+}  // namespace autovision::svc

@@ -1,0 +1,89 @@
+// svc: admission control and the priority ready-queue.
+//
+// The daemon's backpressure edge. Submissions are admitted against bounded
+// budgets — total unfinished jobs, per-client unfinished jobs, and queued
+// jobs per priority class — and rejected with a reason (carried back over
+// the wire in SubmitResult) once a budget is exhausted, instead of letting
+// one client grow the queue without limit. Admitted jobs wait in a strict-
+// priority ready queue: high before normal before batch, FIFO inside a
+// class so same-priority submitters are served in arrival order.
+//
+// Pure bookkeeping, no I/O, no threads of its own (the daemon provides
+// the locking context for admit/finished; PriorityReadyQueue has its own
+// blocking pop) — which keeps it unit-testable without a daemon.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "wire.hpp"
+
+namespace autovision::svc {
+
+struct AdmissionConfig {
+    std::size_t max_jobs = 64;        ///< unfinished jobs, all clients
+    std::size_t max_per_client = 16;  ///< unfinished jobs per client tag
+    /// Queued (not yet running) jobs allowed per priority class; keeps a
+    /// flood of batch work from starving the queue's bound for high-
+    /// priority submitters.
+    std::size_t max_queued_per_class = 32;
+};
+
+/// Decision + accounting. Call admit() before enqueueing a job, finished()
+/// when its terminal record lands (done, failed, or cancelled).
+class AdmissionController {
+public:
+    explicit AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {}
+
+    struct Decision {
+        bool admit = false;
+        std::string reason;
+    };
+
+    /// Check budgets and, when admitted, charge them.
+    [[nodiscard]] Decision admit(const JobSpec& spec);
+    /// A queued job started running: release its per-class queued slot.
+    void started(const JobSpec& spec);
+    /// A job reached a terminal state: release its budgets.
+    void finished(const JobSpec& spec);
+
+    [[nodiscard]] std::size_t in_flight() const;
+
+private:
+    AdmissionConfig cfg_;
+    mutable std::mutex mu_;
+    std::size_t total_ = 0;
+    std::map<std::string, std::size_t> per_client_;
+    std::map<Priority, std::size_t> queued_;
+};
+
+/// Strict-priority FIFO of ready job ids. pop() blocks until an id is
+/// available or the queue is closed; remove() supports cancelling a job
+/// that has not started yet.
+class PriorityReadyQueue {
+public:
+    void push(std::uint64_t id, Priority p);
+    /// Blocking; nullopt once closed and drained.
+    [[nodiscard]] std::optional<std::uint64_t> pop();
+    /// True when the id was still queued (and is now removed).
+    [[nodiscard]] bool remove(std::uint64_t id);
+    void close();
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    /// Key: (priority class, arrival sequence) — strict priority, FIFO
+    /// within a class.
+    using Key = std::pair<std::uint8_t, std::uint64_t>;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<Key, std::uint64_t> ready_;
+    std::uint64_t seq_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace autovision::svc

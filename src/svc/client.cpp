@@ -1,0 +1,195 @@
+#include "client.hpp"
+
+namespace autovision::svc {
+
+namespace {
+
+void set_err(std::string* err, const std::string& msg) {
+    if (err != nullptr) *err = msg;
+}
+
+/// Decode a kError reply into *err; any other decode failure gets a
+/// generic message.
+void absorb_error(const Frame& f, std::string* err) {
+    ErrorInfo e;
+    rtlsim::SnapReader r = f.reader();
+    set_err(err, e.decode(r) ? e.message : "malformed error reply");
+}
+
+}  // namespace
+
+bool Client::roundtrip(MsgType send, MsgType want,
+                       std::span<const std::uint8_t> body, Frame* reply,
+                       std::string* err) {
+    if (!fd_.valid()) {
+        set_err(err, "not connected");
+        return false;
+    }
+    if (!write_frame_fd(fd_.get(), send, body)) {
+        set_err(err, "connection lost (write)");
+        fd_.reset();
+        return false;
+    }
+    if (!read_frame_fd(fd_.get(), reply)) {
+        set_err(err, "connection lost (read)");
+        fd_.reset();
+        return false;
+    }
+    if (reply->type == MsgType::kError) {
+        absorb_error(*reply, err);
+        return false;
+    }
+    if (reply->type != want) {
+        set_err(err, std::string("unexpected reply ") +
+                         to_string(reply->type) + " (wanted " +
+                         to_string(want) + ")");
+        return false;
+    }
+    return true;
+}
+
+bool Client::connect(const std::string& socket_path, const std::string& name,
+                     std::string* err) {
+    fd_ = unix_connect(socket_path, err);
+    if (!fd_.valid()) return false;
+    Hello hello;
+    hello.name = name;
+    rtlsim::SnapWriter w;
+    hello.encode(w);
+    Frame reply;
+    if (!roundtrip(MsgType::kHello, MsgType::kHelloOk, w.buffer(), &reply,
+                   err)) {
+        fd_.reset();
+        return false;
+    }
+    Hello ack;
+    rtlsim::SnapReader r = reply.reader();
+    if (!ack.decode(r)) {
+        set_err(err, "malformed hello ack");
+        fd_.reset();
+        return false;
+    }
+    return true;
+}
+
+bool Client::submit(const JobSpec& spec, SubmitResult* result,
+                    std::string* err) {
+    rtlsim::SnapWriter w;
+    spec.encode(w);
+    Frame reply;
+    if (!roundtrip(MsgType::kSubmit, MsgType::kSubmitOk, w.buffer(), &reply,
+                   err)) {
+        return false;
+    }
+    rtlsim::SnapReader r = reply.reader();
+    if (!result->decode(r)) {
+        set_err(err, "malformed submit reply");
+        return false;
+    }
+    return true;
+}
+
+bool Client::status(std::uint64_t id, JobStatusInfo* info, std::string* err) {
+    JobRef ref;
+    ref.id = id;
+    rtlsim::SnapWriter w;
+    ref.encode(w);
+    Frame reply;
+    if (!roundtrip(MsgType::kStatus, MsgType::kStatusOk, w.buffer(), &reply,
+                   err)) {
+        return false;
+    }
+    rtlsim::SnapReader r = reply.reader();
+    if (!info->decode(r)) {
+        set_err(err, "malformed status reply");
+        return false;
+    }
+    return true;
+}
+
+bool Client::list(JobList* out, std::string* err) {
+    Frame reply;
+    if (!roundtrip(MsgType::kList, MsgType::kListOk, {}, &reply, err)) {
+        return false;
+    }
+    rtlsim::SnapReader r = reply.reader();
+    if (!out->decode(r)) {
+        set_err(err, "malformed list reply");
+        return false;
+    }
+    return true;
+}
+
+bool Client::wait(std::uint64_t id,
+                  const std::function<void(const RecordLine&)>& on_record,
+                  JobOutcome* out, std::string* err) {
+    if (!fd_.valid()) {
+        set_err(err, "not connected");
+        return false;
+    }
+    JobRef ref;
+    ref.id = id;
+    rtlsim::SnapWriter w;
+    ref.encode(w);
+    if (!write_frame_fd(fd_.get(), MsgType::kWait, w.buffer())) {
+        set_err(err, "connection lost (write)");
+        fd_.reset();
+        return false;
+    }
+    for (;;) {
+        Frame f;
+        if (!read_frame_fd(fd_.get(), &f)) {
+            set_err(err, "connection lost while waiting");
+            fd_.reset();
+            return false;
+        }
+        rtlsim::SnapReader r = f.reader();
+        switch (f.type) {
+            case MsgType::kRecord: {
+                RecordLine rl;
+                if (rl.decode(r) && on_record) on_record(rl);
+                break;
+            }
+            case MsgType::kDone: {
+                if (!out->decode(r)) {
+                    set_err(err, "malformed outcome");
+                    return false;
+                }
+                return true;
+            }
+            case MsgType::kError:
+                absorb_error(f, err);
+                return false;
+            default:
+                set_err(err, std::string("unexpected frame ") +
+                                 to_string(f.type) + " during wait");
+                return false;
+        }
+    }
+}
+
+bool Client::cancel(std::uint64_t id, JobStatusInfo* info, std::string* err) {
+    JobRef ref;
+    ref.id = id;
+    rtlsim::SnapWriter w;
+    ref.encode(w);
+    Frame reply;
+    if (!roundtrip(MsgType::kCancel, MsgType::kCancelOk, w.buffer(), &reply,
+                   err)) {
+        return false;
+    }
+    rtlsim::SnapReader r = reply.reader();
+    if (!info->decode(r)) {
+        set_err(err, "malformed cancel reply");
+        return false;
+    }
+    return true;
+}
+
+bool Client::shutdown_daemon(std::string* err) {
+    Frame reply;
+    return roundtrip(MsgType::kShutdown, MsgType::kShutdownOk, {}, &reply,
+                     err);
+}
+
+}  // namespace autovision::svc

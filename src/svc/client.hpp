@@ -1,0 +1,64 @@
+// svc: thin synchronous client for the campaign service.
+//
+// One connection, one request in flight at a time — exactly the protocol's
+// shape. campaign_client (and any future tool: a CI submitter, a dashboard
+// scraper) layers argv/printing on top of this; tests drive a daemon
+// through it in-process. Every call returns false with *err set on a
+// transport error or a daemon-reported kError.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "socket.hpp"
+#include "wire.hpp"
+
+namespace autovision::svc {
+
+class Client {
+public:
+    /// Connect + kHello handshake. `name` is the client tag admission
+    /// accounts against (and the default JobSpec.client).
+    [[nodiscard]] bool connect(const std::string& socket_path,
+                               const std::string& name, std::string* err);
+
+    [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+    void close() { fd_.reset(); }
+
+    /// Submit a job. True when the exchange worked; check result->accepted
+    /// for the admission decision.
+    [[nodiscard]] bool submit(const JobSpec& spec, SubmitResult* result,
+                              std::string* err);
+
+    [[nodiscard]] bool status(std::uint64_t id, JobStatusInfo* info,
+                              std::string* err);
+
+    [[nodiscard]] bool list(JobList* out, std::string* err);
+
+    /// Block until the job finishes; each streamed record line is handed
+    /// to `on_record` (may be null), the terminal outcome lands in *out.
+    [[nodiscard]] bool wait(
+        std::uint64_t id,
+        const std::function<void(const RecordLine&)>& on_record,
+        JobOutcome* out, std::string* err);
+
+    /// Cancel a queued or running job; *info reports the post-cancel state
+    /// (cancellation of a running job is cooperative, between units).
+    [[nodiscard]] bool cancel(std::uint64_t id, JobStatusInfo* info,
+                              std::string* err);
+
+    /// Ask the daemon to shut down gracefully (running jobs checkpoint and
+    /// are preserved for resume).
+    [[nodiscard]] bool shutdown_daemon(std::string* err);
+
+private:
+    /// One request -> one response of `want` (kError is decoded into *err).
+    [[nodiscard]] bool roundtrip(MsgType send, MsgType want,
+                                 std::span<const std::uint8_t> body,
+                                 Frame* reply, std::string* err);
+
+    Fd fd_;
+};
+
+}  // namespace autovision::svc

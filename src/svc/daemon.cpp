@@ -1,0 +1,531 @@
+#include "daemon.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "campaign/sink.hpp"
+
+namespace autovision::svc {
+
+namespace {
+
+bool terminal(JobState s) {
+    return s == JobState::kDone || s == JobState::kFailed ||
+           s == JobState::kCancelled;
+}
+
+bool send_error(int fd, const std::string& msg) {
+    ErrorInfo e;
+    e.message = msg;
+    return send_msg(fd, MsgType::kError, e);
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig cfg)
+    : cfg_(std::move(cfg)), admission_(cfg_.admission) {}
+
+Daemon::~Daemon() {
+    // run() is the normal teardown path; this only covers start() without
+    // run() (e.g. a failed start in a test).
+    signal_stop();
+    ready_.close();
+    for (std::thread& t : executors_) {
+        if (t.joinable()) t.join();
+    }
+    for (const auto& c : conns_) {
+        if (c->th.joinable()) {
+            c->fd.shutdown();
+            c->th.join();
+        }
+    }
+}
+
+void Daemon::note(const char* fmt, ...) const {
+    if (cfg_.quiet) return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fputs("campaignd: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+}
+
+bool Daemon::start(std::string* err) {
+    if (!queue_.open(cfg_.state_dir, cfg_.shards, err)) return false;
+    if (queue_.recovery_torn()) {
+        note("journal recovery: torn tail truncated");
+    }
+
+    // Re-enqueue every job with no terminal record, each with its latest
+    // resume blob already replayed into the queue entry. Recovery bypasses
+    // admission *decisions* (the journal is the source of truth for what
+    // was admitted) but still charges the budgets.
+    const std::vector<std::uint64_t> pending = queue_.unfinished();
+    for (const std::uint64_t id : pending) {
+        QueueEntry e;
+        if (!queue_.find(id, &e)) continue;
+        (void)admission_.admit(e.spec);
+        auto rt = std::make_shared<JobRt>();
+        rt->spec = e.spec;
+        rt->resumed = e.resumed;
+        {
+            const std::lock_guard lk(live_mu_);
+            live_[id] = rt;
+        }
+        ready_.push(id, e.spec.priority);
+    }
+    if (!pending.empty()) {
+        note("recovered %zu unfinished job(s) from the journal",
+             pending.size());
+    }
+
+    if (!listener_.listen(cfg_.socket_path, err)) return false;
+
+    executors_.reserve(cfg_.executors == 0 ? 1 : cfg_.executors);
+    for (unsigned i = 0; i < std::max(1u, cfg_.executors); ++i) {
+        executors_.emplace_back([this] { executor_loop(); });
+    }
+    started_ = true;
+    note("listening on %s (%u shard(s), %u executor(s), %zu job(s) known)",
+         cfg_.socket_path.c_str(), queue_.shards(),
+         std::max(1u, cfg_.executors), queue_.size());
+    return true;
+}
+
+void Daemon::signal_stop() noexcept {
+    stop_.store(true);
+    listener_.shutdown();
+}
+
+void Daemon::run() {
+    while (!stop_.load()) {
+        Fd c = listener_.accept();
+        if (!c.valid()) {
+            if (stop_.load()) break;
+            continue;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = std::move(c);
+        {
+            const std::lock_guard lk(conns_mu_);
+            conns_.push_back(conn);
+        }
+        conn->th = std::thread([this, conn] {
+            serve_connection(conn->fd.get());
+            // Wake nothing, close nothing: the fd stays open (and shut
+            // down) until teardown so no other thread can race a close.
+            conn->fd.shutdown();
+        });
+    }
+
+    // Teardown. Executors first: they stop between units (ExecHooks
+    // cancelled polls stop_), checkpoint out, and leave their jobs
+    // unfinished in the journal.
+    ready_.close();
+    for (std::thread& t : executors_) {
+        if (t.joinable()) t.join();
+    }
+    // Wake waiters of jobs that never got to run.
+    std::vector<std::shared_ptr<JobRt>> leftover;
+    {
+        const std::lock_guard lk(live_mu_);
+        for (auto& [id, rt] : live_) leftover.push_back(rt);
+        live_.clear();
+    }
+    for (const auto& rt : leftover) {
+        const std::lock_guard lk(rt->subs_mu);
+        for (const auto& sub : rt->subs) {
+            if (!sub->done) {
+                (void)send_error(sub->fd,
+                                 "daemon shutting down; job preserved");
+                sub->done = true;
+            }
+        }
+        rt->subs_cv.notify_all();
+    }
+    {
+        const std::lock_guard lk(conns_mu_);
+        for (const auto& c : conns_) c->fd.shutdown();
+    }
+    std::vector<std::shared_ptr<Conn>> conns;
+    {
+        const std::lock_guard lk(conns_mu_);
+        conns.swap(conns_);
+    }
+    for (const auto& c : conns) {
+        if (c->th.joinable()) c->th.join();
+    }
+    listener_.close();
+    {
+        const std::lock_guard lk(rollup_mu_);
+        write_rollup_locked();
+    }
+    note("stopped (%zu job(s) in journal)", queue_.size());
+}
+
+// --- executors -------------------------------------------------------------
+
+void Daemon::executor_loop() {
+    while (true) {
+        const std::optional<std::uint64_t> id = ready_.pop();
+        if (!id.has_value()) break;
+        if (stop_.load()) break;  // popped job stays unfinished: resumes
+        const std::shared_ptr<JobRt> rt = live_find(*id);
+        if (!rt) continue;  // cancelled while queued
+        run_one(*id, rt);
+    }
+}
+
+void Daemon::run_one(std::uint64_t id, const std::shared_ptr<JobRt>& rt) {
+    admission_.started(rt->spec);
+    rt->state.store(JobState::kRunning);
+    QueueEntry e;
+    if (!queue_.find(id, &e)) return;
+    note("job %llu (%s) %s", static_cast<unsigned long long>(id),
+         e.spec.kind.c_str(),
+         e.resume_blob.empty() ? "started" : "resuming from checkpoint");
+
+    // Per-job JSONL mirror, sink discipline: format the whole line first,
+    // one write+flush under the lock.
+    std::ofstream mirror(cfg_.state_dir + "/job-" + std::to_string(id) +
+                             ".jsonl",
+                         std::ios::out | std::ios::trunc);
+    std::mutex mirror_mu;
+
+    ExecHooks hooks;
+    hooks.on_record = [&](const campaign::JobRecord& rec) {
+        roll_up_metrics(rec);
+        const std::string line = campaign::to_jsonl(rec);
+        if (mirror.is_open()) {
+            const std::lock_guard lk(mirror_mu);
+            mirror << line << '\n';
+            mirror.flush();
+        }
+        fan_out_record(rt, rec);
+    };
+    hooks.on_checkpoint = [&](const std::string& blob) {
+        if (!queue_.record_progress(id, blob)) {
+            note("job %llu: checkpoint write failed",
+                 static_cast<unsigned long long>(id));
+        }
+    };
+    hooks.on_progress = [&](std::uint32_t done, std::uint32_t total) {
+        rt->units_done.store(done);
+        rt->units_total.store(total);
+    };
+    hooks.cancelled = [&] { return rt->cancel.load() || stop_.load(); };
+
+    JobOutcome out = run_service_job(e.spec, cfg_.exec, hooks, e.resume_blob);
+    out.id = id;
+
+    // A job stopped by daemon shutdown (not by a client cancel) gets no
+    // terminal record: it stays unfinished in the journal and resumes from
+    // its last checkpoint at the next start.
+    const bool preserved = out.state == JobState::kCancelled &&
+                           stop_.load() && !rt->cancel.load();
+    if (!preserved && !queue_.record_done(id, out)) {
+        note("job %llu: outcome write failed",
+             static_cast<unsigned long long>(id));
+    }
+    admission_.finished(rt->spec);
+    broadcast_done(rt, out);
+    {
+        const std::lock_guard lk(live_mu_);
+        live_.erase(id);
+    }
+    {
+        const std::lock_guard lk(rollup_mu_);
+        write_rollup_locked();
+    }
+    note("job %llu %s%s", static_cast<unsigned long long>(id),
+         preserved ? "preserved for resume" : to_string(out.state),
+         !preserved && terminal(out.state)
+             ? (out.pass ? " (pass)" : " (fail)")
+             : "");
+}
+
+void Daemon::fan_out_record(const std::shared_ptr<JobRt>& rt,
+                            const campaign::JobRecord& rec) {
+    RecordLine rl;
+    rl.id = rt->spec.id;
+    rl.line = campaign::to_jsonl(rec);
+    const std::lock_guard lk(rt->subs_mu);
+    for (const auto& sub : rt->subs) {
+        if (!sub->done) (void)send_msg(sub->fd, MsgType::kRecord, rl);
+    }
+}
+
+void Daemon::broadcast_done(const std::shared_ptr<JobRt>& rt,
+                            const JobOutcome& out) {
+    const std::lock_guard lk(rt->subs_mu);
+    rt->state.store(out.state);
+    for (const auto& sub : rt->subs) {
+        if (!sub->done) {
+            (void)send_msg(sub->fd, MsgType::kDone, out);
+            sub->done = true;
+        }
+    }
+    rt->subs.clear();
+    rt->subs_cv.notify_all();
+}
+
+// --- metrics rollup --------------------------------------------------------
+
+void Daemon::roll_up_metrics(const campaign::JobRecord& rec) {
+    const auto ends_with = [](const std::string& s, const char* suf) {
+        const std::size_t n = std::char_traits<char>::length(suf);
+        return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+    };
+    const std::lock_guard lk(rollup_mu_);
+    rollup_["records"] += 1.0;
+    rollup_[rec.passed() ? "records_pass" : "records_fail"] += 1.0;
+    for (const auto& [key, value] : rec.report.metrics) {
+        if (key.rfind("obs.", 0) != 0) continue;
+        const auto it = rollup_.find(key);
+        if (it == rollup_.end()) {
+            rollup_[key] = value;
+        } else if (ends_with(key, ".min")) {
+            it->second = std::min(it->second, value);
+        } else if (ends_with(key, ".max")) {
+            it->second = std::max(it->second, value);
+        } else {
+            it->second += value;  // counts and sums accumulate
+        }
+    }
+}
+
+void Daemon::write_rollup_locked() const {
+    const std::string path = cfg_.state_dir + "/metrics-rollup.json";
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::out | std::ios::trunc);
+        if (!os) return;
+        os << "{";
+        bool first = true;
+        for (const auto& [key, value] : rollup_) {
+            if (!first) os << ",";
+            first = false;
+            os << "\n  \"" << campaign::json_escape(key) << "\": " << value;
+        }
+        os << (first ? "}" : "\n}") << "\n";
+        if (!os.good()) return;
+    }
+    (void)std::rename(tmp.c_str(), path.c_str());
+}
+
+// --- status ---------------------------------------------------------------
+
+std::shared_ptr<Daemon::JobRt> Daemon::live_find(std::uint64_t id) const {
+    const std::lock_guard lk(live_mu_);
+    const auto it = live_.find(id);
+    return it != live_.end() ? it->second : nullptr;
+}
+
+JobStatusInfo Daemon::status_of(std::uint64_t id) const {
+    JobStatusInfo info;
+    info.id = id;
+    QueueEntry e;
+    if (!queue_.find(id, &e)) {
+        info.state = JobState::kUnknown;
+        return info;
+    }
+    info.kind = e.spec.kind;
+    info.priority = e.spec.priority;
+    info.checkpoints = e.checkpoints;
+    info.resumed = e.resumed;
+    if (const std::shared_ptr<JobRt> rt = live_find(id)) {
+        info.state = rt->state.load();
+        info.units_done = rt->units_done.load();
+        info.units_total = rt->units_total.load();
+    } else if (e.finished) {
+        info.state = e.cancelled ? JobState::kCancelled : e.outcome.state;
+    } else {
+        info.state = JobState::kQueued;
+    }
+    return info;
+}
+
+// --- connections -----------------------------------------------------------
+
+void Daemon::serve_connection(int fd) {
+    Frame f;
+    if (!read_frame_fd(fd, &f)) return;
+    if (f.type != MsgType::kHello) {
+        (void)send_error(fd, "expected hello");
+        return;
+    }
+    Hello hello;
+    {
+        rtlsim::SnapReader r = f.reader();
+        if (!hello.decode(r)) {
+            (void)send_error(fd, "malformed hello");
+            return;
+        }
+    }
+    if (hello.version != kProtocolVersion) {
+        (void)send_error(fd, "protocol version mismatch (daemon speaks v" +
+                                 std::to_string(kProtocolVersion) + ")");
+        return;
+    }
+    Hello ack;
+    ack.name = "campaignd";
+    if (!send_msg(fd, MsgType::kHelloOk, ack)) return;
+    const std::string client =
+        hello.name.empty() ? std::string("anonymous") : hello.name;
+
+    while (read_frame_fd(fd, &f)) {
+        rtlsim::SnapReader r = f.reader();
+        switch (f.type) {
+            case MsgType::kSubmit: {
+                JobSpec spec;
+                if (!spec.decode(r)) {
+                    (void)send_error(fd, "malformed submit");
+                    break;
+                }
+                spec.id = 0;
+                if (spec.client.empty()) spec.client = client;
+                SubmitResult res;
+                if (stop_.load()) {
+                    res.reason = "daemon shutting down";
+                    (void)send_msg(fd, MsgType::kSubmitOk, res);
+                    break;
+                }
+                const AdmissionController::Decision d =
+                    admission_.admit(spec);
+                if (!d.admit) {
+                    res.reason = d.reason;
+                    (void)send_msg(fd, MsgType::kSubmitOk, res);
+                    break;
+                }
+                const std::uint64_t id = queue_.record_submit(spec);
+                if (id == 0) {
+                    admission_.started(spec);  // release the queued slot
+                    admission_.finished(spec);
+                    res.reason = "journal write failed";
+                    (void)send_msg(fd, MsgType::kSubmitOk, res);
+                    break;
+                }
+                spec.id = id;
+                auto rt = std::make_shared<JobRt>();
+                rt->spec = spec;
+                {
+                    const std::lock_guard lk(live_mu_);
+                    live_[id] = rt;
+                }
+                ready_.push(id, spec.priority);
+                note("job %llu (%s) submitted by '%s' [%s]",
+                     static_cast<unsigned long long>(id), spec.kind.c_str(),
+                     spec.client.c_str(), to_string(spec.priority));
+                res.accepted = true;
+                res.id = id;
+                (void)send_msg(fd, MsgType::kSubmitOk, res);
+                break;
+            }
+            case MsgType::kStatus: {
+                JobRef ref;
+                if (!ref.decode(r)) {
+                    (void)send_error(fd, "malformed status request");
+                    break;
+                }
+                (void)send_msg(fd, MsgType::kStatusOk, status_of(ref.id));
+                break;
+            }
+            case MsgType::kList: {
+                JobList list;
+                for (const std::uint64_t id : queue_.ids()) {
+                    list.jobs.push_back(status_of(id));
+                }
+                (void)send_msg(fd, MsgType::kListOk, list);
+                break;
+            }
+            case MsgType::kWait: {
+                JobRef ref;
+                if (!ref.decode(r)) {
+                    (void)send_error(fd, "malformed wait request");
+                    break;
+                }
+                if (const std::shared_ptr<JobRt> rt = live_find(ref.id)) {
+                    auto sub = std::make_shared<Subscriber>();
+                    sub->fd = fd;
+                    std::unique_lock lk(rt->subs_mu);
+                    if (!terminal(rt->state.load())) {
+                        rt->subs.push_back(sub);
+                        rt->subs_cv.wait(lk, [&] { return sub->done; });
+                        break;  // terminal frame already sent by executor
+                    }
+                    // Fell through: terminal between live_find and lock —
+                    // answer from the recorded outcome below.
+                }
+                QueueEntry e;
+                if (!queue_.find(ref.id, &e)) {
+                    (void)send_error(fd, "unknown job id " +
+                                             std::to_string(ref.id));
+                } else if (e.finished) {
+                    (void)send_msg(fd, MsgType::kDone, e.outcome);
+                } else {
+                    // Unfinished with no runtime: only reachable mid-
+                    // teardown.
+                    (void)send_error(fd,
+                                     "daemon shutting down; job preserved");
+                }
+                break;
+            }
+            case MsgType::kCancel: {
+                JobRef ref;
+                if (!ref.decode(r)) {
+                    (void)send_error(fd, "malformed cancel request");
+                    break;
+                }
+                const std::shared_ptr<JobRt> rt = live_find(ref.id);
+                if (rt && ready_.remove(ref.id)) {
+                    // Still queued: cancel durably, release budgets, wake
+                    // any waiters.
+                    if (!queue_.record_cancel(ref.id)) {
+                        note("job %llu: cancel write failed",
+                             static_cast<unsigned long long>(ref.id));
+                    }
+                    admission_.started(rt->spec);
+                    admission_.finished(rt->spec);
+                    JobOutcome out;
+                    out.id = ref.id;
+                    out.state = JobState::kCancelled;
+                    out.summary = "cancelled";
+                    broadcast_done(rt, out);
+                    {
+                        const std::lock_guard lk(live_mu_);
+                        live_.erase(ref.id);
+                    }
+                    note("job %llu cancelled while queued",
+                         static_cast<unsigned long long>(ref.id));
+                } else if (rt) {
+                    rt->cancel.store(true);  // picked up between units
+                    note("job %llu cancel requested (running)",
+                         static_cast<unsigned long long>(ref.id));
+                }
+                const JobStatusInfo info = status_of(ref.id);
+                if (info.state == JobState::kUnknown) {
+                    (void)send_error(fd, "unknown job id " +
+                                             std::to_string(ref.id));
+                } else {
+                    (void)send_msg(fd, MsgType::kCancelOk, info);
+                }
+                break;
+            }
+            case MsgType::kShutdown: {
+                (void)write_frame_fd(fd, MsgType::kShutdownOk, {});
+                note("shutdown requested by '%s'", client.c_str());
+                signal_stop();
+                break;
+            }
+            default:
+                (void)send_error(fd, std::string("unexpected message ") +
+                                         to_string(f.type));
+                break;
+        }
+    }
+}
+
+}  // namespace autovision::svc

@@ -1,0 +1,135 @@
+// svc: campaignd — the campaign service daemon.
+//
+// Glue between the four leaf pieces: the persistent sharded queue (journal
+// recovery + durable state transitions), the admission controller and
+// priority ready-queue (bounded backpressure), the executor (campaign
+// machinery + checkpoint/resume), and the wire protocol over an AF_UNIX
+// listener. One accept loop, one connection thread per client, a small
+// pool of executor threads each running one job at a time.
+//
+// Crash story: every submit/progress/done lands in the journal before it
+// is acknowledged or acted on, so a daemon killed with SIGKILL restarts
+// into the same job set — finished jobs answer status/wait from their
+// recorded outcomes, unfinished jobs re-enter the ready queue with their
+// latest resume blob and continue from the last checkpoint. A graceful
+// shutdown (kShutdown or SIGTERM) additionally stops between units: the
+// running jobs checkpoint out and are preserved as unfinished rather than
+// cancelled.
+//
+// Streaming: each completed simulation record is fanned out to the kWait
+// subscribers of its job as a kRecord frame (campaign::to_jsonl), mirrored
+// to <state_dir>/job-<id>.jsonl (the sink discipline: whole line, one
+// write), and its obs.* metrics are folded into a service-wide rollup
+// written to <state_dir>/metrics-rollup.json.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "admission.hpp"
+#include "exec.hpp"
+#include "queue.hpp"
+#include "socket.hpp"
+#include "wire.hpp"
+
+namespace autovision::svc {
+
+struct DaemonConfig {
+    std::string socket_path;
+    std::string state_dir;
+    unsigned shards = 4;     ///< journal shard files
+    unsigned executors = 1;  ///< concurrently running jobs
+    ExecConfig exec;
+    AdmissionConfig admission;
+    bool quiet = false;  ///< suppress stderr progress lines
+};
+
+class Daemon {
+public:
+    explicit Daemon(DaemonConfig cfg);
+    ~Daemon();
+
+    /// Open/replay the journal, re-enqueue unfinished jobs, bind the
+    /// socket, start the executor pool. False (with *err) on failure.
+    [[nodiscard]] bool start(std::string* err);
+
+    /// Accept/serve until a shutdown is requested; then drain and tear
+    /// down. Call after start().
+    void run();
+
+    /// Request a graceful stop (kShutdown handler, signal relay). Safe
+    /// from any thread; async-signal-safe enough for a signal handler
+    /// (one atomic store + one shutdown(2)).
+    void signal_stop() noexcept;
+
+    [[nodiscard]] const PersistentQueue& queue() const noexcept {
+        return queue_;
+    }
+
+private:
+    /// One kWait subscription: frames for the job go straight to `fd`.
+    struct Subscriber {
+        int fd = -1;
+        bool done = false;  ///< terminal frame sent; waiter may resume
+    };
+
+    /// Runtime state of a queued/running job (finished jobs live only in
+    /// the queue).
+    struct JobRt {
+        JobSpec spec;
+        std::atomic<JobState> state{JobState::kQueued};
+        std::atomic<std::uint32_t> units_done{0};
+        std::atomic<std::uint32_t> units_total{0};
+        std::atomic<bool> cancel{false};  ///< client cancel (terminal)
+        std::uint32_t resumed = 0;
+        std::mutex subs_mu;  // subs + terminal broadcast
+        std::condition_variable subs_cv;
+        std::vector<std::shared_ptr<Subscriber>> subs;
+    };
+
+    struct Conn {
+        Fd fd;
+        std::thread th;
+    };
+
+    void executor_loop();
+    void run_one(std::uint64_t id, const std::shared_ptr<JobRt>& rt);
+    void serve_connection(int fd);
+    /// Send the terminal kDone to every subscriber and release them.
+    void broadcast_done(const std::shared_ptr<JobRt>& rt,
+                        const JobOutcome& out);
+    void fan_out_record(const std::shared_ptr<JobRt>& rt,
+                        const campaign::JobRecord& rec);
+    [[nodiscard]] JobStatusInfo status_of(std::uint64_t id) const;
+    [[nodiscard]] std::shared_ptr<JobRt> live_find(std::uint64_t id) const;
+    void roll_up_metrics(const campaign::JobRecord& rec);
+    void write_rollup_locked() const;
+    void note(const char* fmt, ...) const;
+
+    DaemonConfig cfg_;
+    PersistentQueue queue_;
+    AdmissionController admission_;
+    PriorityReadyQueue ready_;
+    UnixListener listener_;
+
+    mutable std::mutex live_mu_;
+    std::map<std::uint64_t, std::shared_ptr<JobRt>> live_;
+
+    mutable std::mutex rollup_mu_;
+    std::map<std::string, double> rollup_;  ///< summed obs.* + job counters
+
+    std::vector<std::thread> executors_;
+    mutable std::mutex conns_mu_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::atomic<bool> stop_{false};
+    bool started_ = false;
+};
+
+}  // namespace autovision::svc

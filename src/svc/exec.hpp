@@ -1,0 +1,63 @@
+// svc: the execution half of the campaign service.
+//
+// Maps a wire JobSpec onto the existing src/campaign machinery — the
+// closure loop for "closure" jobs, the differential-oracle batch for
+// "diff" jobs — and adds the two things a daemon needs on top of the batch
+// CLIs: streaming (each completed simulation job surfaces immediately
+// through ExecHooks::on_record, index re-based to campaign-wide
+// submission order) and
+// resumability (every ckpt_interval completed units the current progress
+// is serialized through ExecHooks::on_checkpoint as a ckpt-section blob;
+// run_service_job started with that blob continues where the previous
+// process died).
+//
+// Determinism contract: a job's JobOutcome.verdicts and .cover_json are
+// byte-identical whether the job ran uninterrupted, was resumed from any
+// checkpoint, or ran through the batch CLI with the same parameters — the
+// property the CI service smoke enforces with kill -9 and cmp.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "campaign/job.hpp"
+#include "wire.hpp"
+
+namespace autovision::svc {
+
+struct ExecConfig {
+    /// Worker threads of the per-job campaign pool (0 = hw concurrency).
+    unsigned job_workers = 0;
+    /// Completed units (closure batches / diff scenarios) between progress
+    /// checkpoints. 0 disables checkpointing.
+    unsigned ckpt_interval = 1;
+    /// Per-simulation watchdog budget; 0 = none.
+    std::chrono::milliseconds timeout{0};
+    unsigned retries = 1;
+};
+
+struct ExecHooks {
+    /// One completed simulation job. Serialized by the campaign runner;
+    /// may be invoked from a worker thread. Format with campaign::to_jsonl
+    /// for streaming, fold report.metrics for rollups.
+    std::function<void(const campaign::JobRecord& rec)> on_record;
+    /// Persist a progress checkpoint; called between units with the
+    /// latest resume blob.
+    std::function<void(const std::string& blob)> on_checkpoint;
+    /// Units-done progress (closure batches / diff scenarios done, total).
+    std::function<void(std::uint32_t done, std::uint32_t total)> on_progress;
+    /// Cooperative cancel, polled between units.
+    std::function<bool()> cancelled;
+};
+
+/// Run one service job to completion (or cancellation). `resume_blob` is
+/// the job's latest checkpoint ("" = fresh start); a blob whose config
+/// hash does not match the spec is ignored with a fresh start — never
+/// trusted into a differently parameterised run.
+[[nodiscard]] JobOutcome run_service_job(const JobSpec& spec,
+                                         const ExecConfig& cfg,
+                                         const ExecHooks& hooks,
+                                         const std::string& resume_blob);
+
+}  // namespace autovision::svc

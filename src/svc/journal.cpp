@@ -1,0 +1,156 @@
+#include "journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "kernel/snapshot.hpp"
+
+namespace autovision::svc {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+
+bool read_exact(int fd, std::uint8_t* p, std::size_t n) {
+    std::size_t got = 0;
+    while (got != n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (r == 0) return false;
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* p, std::size_t n) {
+    while (n != 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+std::uint64_t payload_hash(std::span<const std::uint8_t> payload) {
+    return rtlsim::snap_hash64(std::string_view(
+        reinterpret_cast<const char*>(payload.data()), payload.size()));
+}
+
+ReplayStats scan_fd(int fd, std::size_t file_size,
+                    const std::function<void(std::span<const std::uint8_t>)>&
+                        fn) {
+    ReplayStats stats;
+    std::vector<std::uint8_t> payload;
+    while (true) {
+        if (stats.valid_bytes + kHeaderBytes > file_size) break;
+        std::uint8_t head[kHeaderBytes];
+        if (!read_exact(fd, head, sizeof head)) break;
+        rtlsim::SnapReader r(std::span<const std::uint8_t>(head, sizeof head));
+        const std::uint32_t magic = r.u32();
+        const std::uint32_t len = r.u32();
+        const std::uint64_t sum = r.u64();
+        if (magic != kJournalMagic || len > kMaxRecord ||
+            stats.valid_bytes + kHeaderBytes + len > file_size) {
+            break;
+        }
+        payload.resize(len);
+        if (!read_exact(fd, payload.data(), len)) break;
+        if (payload_hash(payload) != sum) break;
+        if (fn) fn(payload);
+        ++stats.records;
+        stats.valid_bytes += kHeaderBytes + len;
+    }
+    stats.torn_bytes = file_size - stats.valid_bytes;
+    stats.torn = stats.torn_bytes != 0;
+    return stats;
+}
+
+}  // namespace
+
+ReplayStats replay_journal(
+    const std::string& path,
+    const std::function<void(std::span<const std::uint8_t>)>& fn) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        ReplayStats stats;
+        if (errno != ENOENT) {
+            stats.ok = false;
+            stats.error = path + ": " + std::strerror(errno);
+        }
+        return stats;  // absent file: empty, clean journal
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        ReplayStats stats;
+        stats.ok = false;
+        stats.error = path + ": " + std::strerror(errno);
+        return stats;
+    }
+    ReplayStats stats = scan_fd(fd, static_cast<std::size_t>(st.st_size), fn);
+    ::close(fd);
+    return stats;
+}
+
+bool JournalWriter::open(
+    const std::string& path,
+    const std::function<void(std::span<const std::uint8_t>)>& fn,
+    std::string* err) {
+    close();
+    recovery_ = replay_journal(path, fn);
+    if (!recovery_.ok) {
+        if (err != nullptr) *err = recovery_.error;
+        return false;
+    }
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (err != nullptr) *err = path + ": " + std::strerror(errno);
+        return false;
+    }
+    // Drop the torn tail so the next append lands at a record boundary.
+    if (::ftruncate(fd, static_cast<off_t>(recovery_.valid_bytes)) != 0 ||
+        ::lseek(fd, 0, SEEK_END) < 0) {
+        if (err != nullptr) *err = path + ": " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    return true;
+}
+
+bool JournalWriter::append(std::span<const std::uint8_t> payload) {
+    if (fd_ < 0 || payload.size() > kMaxRecord) return false;
+    rtlsim::SnapWriter w;
+    w.u32(kJournalMagic);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.u64(payload_hash(payload));
+    std::vector<std::uint8_t> rec = w.take();
+    rec.insert(rec.end(), payload.begin(), payload.end());
+    if (!write_exact(fd_, rec.data(), rec.size())) return false;
+    // Durability point: after this returns, a kill -9 can no longer lose
+    // the record (the service-smoke kill lands between appends).
+    return ::fdatasync(fd_) == 0;
+}
+
+void JournalWriter::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    path_.clear();
+}
+
+}  // namespace autovision::svc

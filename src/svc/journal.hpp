@@ -1,0 +1,87 @@
+// svc: crash-safe append-only journal.
+//
+// The persistence primitive under the campaign service's job queue. A
+// journal file is a sequence of self-delimiting records:
+//
+//   u32  magic "AVJL" (0x41564A4C, big-endian)
+//   u32  payload length (<= kMaxRecord)
+//   u64  FNV-1a 64 of the payload bytes
+//   ...  payload
+//
+// Appends are a single buffered write + flush + fdatasync, so a record is
+// either fully on disk or detectably torn. Replay scans from the start and
+// stops at the first record whose magic, length, or checksum does not hold
+// — by construction that can only be the tail of the file after a crash
+// (kill -9 mid-append, power loss). Recovery truncates the torn tail and
+// reopens for append; every intact prefix record survives. The torn-record
+// unit tests cut a journal at every byte offset of its last record and
+// assert exactly this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace autovision::svc {
+
+inline constexpr std::uint32_t kJournalMagic = 0x41564A4C;  // "AVJL"
+/// Generous bound whose real job is to keep a corrupt length field from
+/// driving a giant allocation during replay; actual records (job specs,
+/// progress checkpoints) are far smaller.
+inline constexpr std::uint32_t kMaxRecord = 64u << 20;
+
+/// Result of scanning a journal file.
+struct ReplayStats {
+    std::size_t records = 0;     ///< intact records delivered
+    std::size_t valid_bytes = 0; ///< offset of the first torn byte
+    std::size_t torn_bytes = 0;  ///< bytes discarded after valid_bytes
+    bool torn = false;           ///< true when a torn tail was found
+    bool ok = true;              ///< false only on I/O errors (not torn)
+    std::string error;
+};
+
+/// Scan `path`, invoking `fn` for each intact record in order. A missing
+/// file is an empty, clean journal. Never modifies the file.
+[[nodiscard]] ReplayStats replay_journal(
+    const std::string& path,
+    const std::function<void(std::span<const std::uint8_t>)>& fn);
+
+/// Append-only writer. open() recovers first: it replays the existing file
+/// and truncates any torn tail, so the writer always appends at a record
+/// boundary.
+class JournalWriter {
+public:
+    JournalWriter() = default;
+    ~JournalWriter() { close(); }
+    JournalWriter(const JournalWriter&) = delete;
+    JournalWriter& operator=(const JournalWriter&) = delete;
+
+    /// Open (creating if absent), replaying existing records through `fn`
+    /// (may be null) and truncating a torn tail. False on I/O failure.
+    [[nodiscard]] bool open(
+        const std::string& path,
+        const std::function<void(std::span<const std::uint8_t>)>& fn,
+        std::string* err);
+
+    /// Append one record durably (write + fdatasync). False on I/O failure
+    /// or an oversized payload.
+    [[nodiscard]] bool append(std::span<const std::uint8_t> payload);
+
+    [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    /// Stats of the open()-time recovery scan.
+    [[nodiscard]] const ReplayStats& recovery() const noexcept {
+        return recovery_;
+    }
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::string path_;
+    ReplayStats recovery_;
+};
+
+}  // namespace autovision::svc

@@ -1,0 +1,217 @@
+#include "queue.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace autovision::svc {
+
+namespace {
+
+enum RecordTag : std::uint8_t {
+    kRecSubmit = 1,
+    kRecProgress = 2,
+    kRecDone = 3,
+    kRecCancel = 4,
+};
+
+}  // namespace
+
+void PersistentQueue::apply_record(std::span<const std::uint8_t> payload) {
+    // Replay is trusting within a record (the journal checksum already
+    // vouched for the bytes) but tolerant across records: a record for an
+    // unknown id or with an undecodable body is skipped, not fatal —
+    // service availability beats one lost progress blob.
+    rtlsim::SnapReader r(payload);
+    switch (r.u8()) {
+        case kRecSubmit: {
+            JobSpec spec;
+            if (!spec.decode(r) || spec.id == 0) return;
+            QueueEntry e;
+            e.spec = spec;
+            entries_[spec.id] = std::move(e);
+            next_id_ = std::max(next_id_, spec.id + 1);
+            return;
+        }
+        case kRecProgress: {
+            const std::uint64_t id = r.u64();
+            const std::uint32_t ordinal = r.u32();
+            std::vector<std::uint8_t> blob = r.bytes();
+            if (!r.ok_so_far()) return;
+            const auto it = entries_.find(id);
+            if (it == entries_.end()) return;
+            it->second.resume_blob.assign(blob.begin(), blob.end());
+            it->second.checkpoints = ordinal;
+            ++it->second.resumed;
+            return;
+        }
+        case kRecDone: {
+            const std::uint64_t id = r.u64();
+            JobOutcome out;
+            if (!out.decode(r)) return;
+            const auto it = entries_.find(id);
+            if (it == entries_.end()) return;
+            it->second.finished = true;
+            it->second.outcome = std::move(out);
+            it->second.resume_blob.clear();
+            return;
+        }
+        case kRecCancel: {
+            const std::uint64_t id = r.u64();
+            const auto it = entries_.find(id);
+            if (it == entries_.end()) return;
+            it->second.finished = true;
+            it->second.cancelled = true;
+            it->second.outcome.id = id;
+            it->second.outcome.state = JobState::kCancelled;
+            it->second.outcome.summary = "cancelled";
+            return;
+        }
+        default: return;
+    }
+}
+
+bool PersistentQueue::open(const std::string& dir, unsigned shards,
+                           std::string* err) {
+    if (shards == 0) shards = 1;
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        if (err != nullptr) *err = dir + ": " + std::strerror(errno);
+        return false;
+    }
+    entries_.clear();
+    writers_.clear();
+    shard_mu_.clear();
+    next_id_ = 1;
+    torn_ = false;
+    for (unsigned k = 0; k < shards; ++k) {
+        auto w = std::make_unique<JournalWriter>();
+        const std::string path =
+            dir + "/shard-" + std::to_string(k) + ".jnl";
+        if (!w->open(path,
+                     [this](std::span<const std::uint8_t> p) {
+                         apply_record(p);
+                     },
+                     err)) {
+            return false;
+        }
+        torn_ = torn_ || w->recovery().torn;
+        writers_.push_back(std::move(w));
+        shard_mu_.push_back(std::make_unique<std::mutex>());
+    }
+    // A resume counter bumped during replay means "this job has prior
+    // progress"; normalize so one crash = one resume, not one per record.
+    for (auto& [id, e] : entries_) {
+        e.resumed = e.finished ? 0 : (e.resumed != 0 ? 1 : 0);
+    }
+    return true;
+}
+
+std::uint64_t PersistentQueue::record_submit(JobSpec spec) {
+    std::unique_lock lk(mu_);
+    spec.id = next_id_++;
+    QueueEntry e;
+    e.spec = spec;
+    entries_[spec.id] = e;
+    const std::uint64_t id = spec.id;
+    lk.unlock();
+
+    rtlsim::SnapWriter w;
+    w.u8(kRecSubmit);
+    spec.encode(w);
+    const std::lock_guard sl(*shard_mu_[id % writers_.size()]);
+    if (!shard_for(id).append(w.buffer())) {
+        std::lock_guard lk2(mu_);
+        entries_.erase(id);
+        return 0;
+    }
+    return id;
+}
+
+bool PersistentQueue::record_progress(std::uint64_t id,
+                                      const std::string& blob) {
+    std::uint32_t ordinal = 0;
+    {
+        const std::lock_guard lk(mu_);
+        const auto it = entries_.find(id);
+        if (it == entries_.end() || it->second.finished) return false;
+        ordinal = ++it->second.checkpoints;
+        it->second.resume_blob = blob;
+    }
+    rtlsim::SnapWriter w;
+    w.u8(kRecProgress);
+    w.u64(id);
+    w.u32(ordinal);
+    w.bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+    const std::lock_guard sl(*shard_mu_[id % writers_.size()]);
+    return shard_for(id).append(w.buffer());
+}
+
+bool PersistentQueue::record_done(std::uint64_t id, const JobOutcome& out) {
+    {
+        const std::lock_guard lk(mu_);
+        const auto it = entries_.find(id);
+        if (it == entries_.end()) return false;
+        it->second.finished = true;
+        it->second.outcome = out;
+        it->second.resume_blob.clear();
+    }
+    rtlsim::SnapWriter w;
+    w.u8(kRecDone);
+    w.u64(id);
+    out.encode(w);
+    const std::lock_guard sl(*shard_mu_[id % writers_.size()]);
+    return shard_for(id).append(w.buffer());
+}
+
+bool PersistentQueue::record_cancel(std::uint64_t id) {
+    {
+        const std::lock_guard lk(mu_);
+        const auto it = entries_.find(id);
+        if (it == entries_.end() || it->second.finished) return false;
+        it->second.finished = true;
+        it->second.cancelled = true;
+        it->second.outcome.id = id;
+        it->second.outcome.state = JobState::kCancelled;
+        it->second.outcome.summary = "cancelled";
+    }
+    rtlsim::SnapWriter w;
+    w.u8(kRecCancel);
+    w.u64(id);
+    const std::lock_guard sl(*shard_mu_[id % writers_.size()]);
+    return shard_for(id).append(w.buffer());
+}
+
+std::vector<std::uint64_t> PersistentQueue::unfinished() const {
+    const std::lock_guard lk(mu_);
+    std::vector<std::uint64_t> out;
+    for (const auto& [id, e] : entries_) {
+        if (!e.finished) out.push_back(id);
+    }
+    return out;  // std::map iteration: already submission (id) order
+}
+
+std::vector<std::uint64_t> PersistentQueue::ids() const {
+    const std::lock_guard lk(mu_);
+    std::vector<std::uint64_t> out;
+    out.reserve(entries_.size());
+    for (const auto& [id, e] : entries_) out.push_back(id);
+    return out;
+}
+
+bool PersistentQueue::find(std::uint64_t id, QueueEntry* out) const {
+    const std::lock_guard lk(mu_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    *out = it->second;
+    return true;
+}
+
+std::size_t PersistentQueue::size() const {
+    const std::lock_guard lk(mu_);
+    return entries_.size();
+}
+
+}  // namespace autovision::svc

@@ -1,0 +1,96 @@
+// svc: the persistent, sharded job queue.
+//
+// Every state transition of a service job is one journal record:
+//
+//   u8 1  submit    JobSpec (wire encoding)
+//   u8 2  progress  u64 job id, u32 checkpoint ordinal, bytes resume-blob
+//   u8 3  done      u64 job id, JobOutcome (wire encoding)
+//   u8 4  cancel    u64 job id
+//
+// Records for job `id` land in shard file `shard-<id % shards>.jnl` inside
+// the state directory — appends from concurrently running executors only
+// contend when their jobs share a shard, and a shard is the natural unit a
+// future multi-process (then multi-machine) split hands out. Recovery
+// replays every shard, rebuilds the per-job state, and exposes the jobs
+// that were submitted but never finished — each with its latest resume
+// blob, so an executor can continue a killed job from its last checkpoint
+// instead of from scratch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "journal.hpp"
+#include "wire.hpp"
+
+namespace autovision::svc {
+
+/// Recovered (and live) state of one job.
+struct QueueEntry {
+    JobSpec spec;
+    std::string resume_blob;     ///< latest progress checkpoint ("" = none)
+    std::uint32_t checkpoints = 0;
+    std::uint32_t resumed = 0;   ///< submit-time replays of prior progress
+    bool finished = false;       ///< a done record exists
+    bool cancelled = false;
+    JobOutcome outcome;          ///< valid when finished
+};
+
+class PersistentQueue {
+public:
+    /// Open (creating) `dir` with `shards` journal files and replay them.
+    /// False on I/O failure; torn tails are truncated and reported via
+    /// recovery_torn().
+    [[nodiscard]] bool open(const std::string& dir, unsigned shards,
+                            std::string* err);
+
+    /// Persist a submission; assigns and returns the job id (0 on write
+    /// failure). Ids are dense and strictly increasing across restarts.
+    [[nodiscard]] std::uint64_t record_submit(JobSpec spec);
+
+    /// Persist a progress checkpoint (the job's latest resume blob).
+    [[nodiscard]] bool record_progress(std::uint64_t id,
+                                       const std::string& blob);
+
+    /// Persist the terminal outcome.
+    [[nodiscard]] bool record_done(std::uint64_t id, const JobOutcome& out);
+
+    /// Persist a cancellation of a queued job.
+    [[nodiscard]] bool record_cancel(std::uint64_t id);
+
+    /// Ids of jobs with no terminal record, submission order. After a
+    /// crash these are the jobs to re-enqueue (with their resume blobs).
+    [[nodiscard]] std::vector<std::uint64_t> unfinished() const;
+
+    /// Every known job id, submission order.
+    [[nodiscard]] std::vector<std::uint64_t> ids() const;
+
+    /// Snapshot of a job's entry; false when the id is unknown.
+    [[nodiscard]] bool find(std::uint64_t id, QueueEntry* out) const;
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] unsigned shards() const noexcept {
+        return static_cast<unsigned>(writers_.size());
+    }
+    /// True when any shard lost a torn tail during open().
+    [[nodiscard]] bool recovery_torn() const noexcept { return torn_; }
+
+private:
+    void apply_record(std::span<const std::uint8_t> payload);
+    [[nodiscard]] JournalWriter& shard_for(std::uint64_t id) {
+        return *writers_[id % writers_.size()];
+    }
+
+    mutable std::mutex mu_;                 // entries_ + next_id_
+    std::map<std::uint64_t, QueueEntry> entries_;
+    std::uint64_t next_id_ = 1;
+    std::vector<std::unique_ptr<JournalWriter>> writers_;
+    std::vector<std::unique_ptr<std::mutex>> shard_mu_;  // one per shard
+    bool torn_ = false;
+};
+
+}  // namespace autovision::svc

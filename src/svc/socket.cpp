@@ -1,0 +1,105 @@
+#include "socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace autovision::svc {
+
+namespace {
+
+bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* err) {
+    if (path.size() >= sizeof addr->sun_path) {
+        if (err != nullptr) *err = "socket path too long: " + path;
+        return false;
+    }
+    std::memset(addr, 0, sizeof *addr);
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+    if (this != &o) {
+        reset();
+        fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+}
+
+void Fd::reset(int fd) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+}
+
+void Fd::shutdown() const noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool UnixListener::listen(const std::string& path, std::string* err) {
+    sockaddr_un addr;
+    if (!fill_addr(path, &addr, err)) return false;
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (err != nullptr) *err = std::strerror(errno);
+        return false;
+    }
+    // A daemon killed with SIGKILL leaves its socket file behind; the
+    // journal (not the socket) is the source of truth, so rebinding over
+    // the stale path is always safe.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd.get(), 64) != 0) {
+        if (err != nullptr) {
+            *err = path + ": " + std::strerror(errno);
+        }
+        return false;
+    }
+    fd_ = std::move(fd);
+    path_ = path;
+    return true;
+}
+
+Fd UnixListener::accept() const {
+    while (true) {
+        const int c = ::accept(fd_.get(), nullptr, nullptr);
+        if (c >= 0) return Fd(c);
+        if (errno != EINTR) return Fd();
+    }
+}
+
+void UnixListener::close() {
+    fd_.reset();
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+Fd unix_connect(const std::string& path, std::string* err) {
+    sockaddr_un addr;
+    if (!fill_addr(path, &addr, err)) return Fd();
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (err != nullptr) *err = std::strerror(errno);
+        return Fd();
+    }
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        if (err != nullptr) {
+            *err = path + ": " + std::strerror(errno);
+        }
+        return Fd();
+    }
+    return fd;
+}
+
+}  // namespace autovision::svc

@@ -1,0 +1,60 @@
+// svc: minimal RAII wrappers for local stream sockets.
+//
+// The campaign service speaks its wire protocol over AF_UNIX SOCK_STREAM —
+// local clients only, no network surface, filesystem permissions as the
+// access control. These wrappers own the fds and expose just what the
+// daemon/client need: bind+listen+accept on one side, connect on the
+// other; framing lives in wire.hpp.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace autovision::svc {
+
+/// Owning fd wrapper: closes on destruction, move-only.
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+    Fd& operator=(Fd&& o) noexcept;
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+    ~Fd() { reset(); }
+
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    void reset(int fd = -1);
+    /// shutdown(SHUT_RDWR): wakes a thread blocked in read/accept on this
+    /// fd without racing against close (the fd number stays reserved).
+    void shutdown() const noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Listening AF_UNIX socket. Binding unlinks a stale socket file first so
+/// a daemon restarted after kill -9 can rebind its old path.
+class UnixListener {
+public:
+    /// Bind + listen; false (with *err) on failure.
+    [[nodiscard]] bool listen(const std::string& path, std::string* err);
+    /// Accept one connection; invalid Fd on error/shutdown.
+    [[nodiscard]] Fd accept() const;
+    /// Wake any blocked accept() (daemon shutdown path).
+    void shutdown() const noexcept { fd_.shutdown(); }
+    /// Close and remove the socket file.
+    void close();
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    Fd fd_;
+    std::string path_;
+};
+
+/// Connect to a daemon socket; invalid Fd (with *err) on failure.
+[[nodiscard]] Fd unix_connect(const std::string& path, std::string* err);
+
+}  // namespace autovision::svc

@@ -1,0 +1,293 @@
+#include "wire.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace autovision::svc {
+
+const char* to_string(MsgType t) {
+    switch (t) {
+        case MsgType::kHello: return "hello";
+        case MsgType::kHelloOk: return "hello-ok";
+        case MsgType::kSubmit: return "submit";
+        case MsgType::kSubmitOk: return "submit-ok";
+        case MsgType::kStatus: return "status";
+        case MsgType::kStatusOk: return "status-ok";
+        case MsgType::kList: return "list";
+        case MsgType::kListOk: return "list-ok";
+        case MsgType::kWait: return "wait";
+        case MsgType::kRecord: return "record";
+        case MsgType::kDone: return "done";
+        case MsgType::kCancel: return "cancel";
+        case MsgType::kCancelOk: return "cancel-ok";
+        case MsgType::kShutdown: return "shutdown";
+        case MsgType::kShutdownOk: return "shutdown-ok";
+        case MsgType::kError: return "error";
+    }
+    return "?";
+}
+
+const char* to_string(Priority p) {
+    switch (p) {
+        case Priority::kHigh: return "high";
+        case Priority::kNormal: return "normal";
+        case Priority::kBatch: return "batch";
+    }
+    return "?";
+}
+
+bool priority_from_string(const std::string& s, Priority* out) {
+    if (s == "high") {
+        *out = Priority::kHigh;
+    } else if (s == "normal") {
+        *out = Priority::kNormal;
+    } else if (s == "batch") {
+        *out = Priority::kBatch;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char* to_string(JobState s) {
+    switch (s) {
+        case JobState::kQueued: return "queued";
+        case JobState::kRunning: return "running";
+        case JobState::kDone: return "done";
+        case JobState::kFailed: return "failed";
+        case JobState::kCancelled: return "cancelled";
+        case JobState::kUnknown: return "unknown";
+    }
+    return "?";
+}
+
+// --- message bodies --------------------------------------------------------
+
+void JobSpec::encode(rtlsim::SnapWriter& w) const {
+    w.u64(id);
+    w.str(kind);
+    w.str(client);
+    w.u8(static_cast<std::uint8_t>(priority));
+    w.u32(static_cast<std::uint32_t>(params.size()));
+    for (const auto& [k, v] : params) {
+        w.str(k);
+        w.str(v);
+    }
+}
+
+bool JobSpec::decode(rtlsim::SnapReader& r) {
+    id = r.u64();
+    kind = r.str();
+    client = r.str();
+    const std::uint8_t p = r.u8();
+    if (p > static_cast<std::uint8_t>(Priority::kBatch)) return false;
+    priority = static_cast<Priority>(p);
+    params.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok_so_far(); ++i) {
+        std::string k = r.str();
+        params[std::move(k)] = r.str();
+    }
+    return r.ok_so_far() && params.size() == n;
+}
+
+std::uint64_t JobSpec::config_hash() const {
+    std::uint64_t h = rtlsim::snap_hash64("svc.job.v1");
+    h = rtlsim::snap_hash64(kind, h);
+    for (const auto& [k, v] : params) {  // std::map: deterministic order
+        h = rtlsim::snap_hash64(k, h);
+        h = rtlsim::snap_hash64(v, h);
+    }
+    return h;
+}
+
+void JobRef::encode(rtlsim::SnapWriter& w) const { w.u64(id); }
+
+bool JobRef::decode(rtlsim::SnapReader& r) {
+    id = r.u64();
+    return r.ok_so_far();
+}
+
+void SubmitResult::encode(rtlsim::SnapWriter& w) const {
+    w.bool8(accepted);
+    w.u64(id);
+    w.str(reason);
+}
+
+bool SubmitResult::decode(rtlsim::SnapReader& r) {
+    accepted = r.bool8();
+    id = r.u64();
+    reason = r.str();
+    return r.ok_so_far();
+}
+
+void JobStatusInfo::encode(rtlsim::SnapWriter& w) const {
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(state));
+    w.str(kind);
+    w.u8(static_cast<std::uint8_t>(priority));
+    w.u32(units_done);
+    w.u32(units_total);
+    w.u32(checkpoints);
+    w.u32(resumed);
+}
+
+bool JobStatusInfo::decode(rtlsim::SnapReader& r) {
+    id = r.u64();
+    const std::uint8_t s = r.u8();
+    if (s > static_cast<std::uint8_t>(JobState::kUnknown)) return false;
+    state = static_cast<JobState>(s);
+    kind = r.str();
+    const std::uint8_t p = r.u8();
+    if (p > static_cast<std::uint8_t>(Priority::kBatch)) return false;
+    priority = static_cast<Priority>(p);
+    units_done = r.u32();
+    units_total = r.u32();
+    checkpoints = r.u32();
+    resumed = r.u32();
+    return r.ok_so_far();
+}
+
+void JobList::encode(rtlsim::SnapWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(jobs.size()));
+    for (const JobStatusInfo& j : jobs) j.encode(w);
+}
+
+bool JobList::decode(rtlsim::SnapReader& r) {
+    jobs.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok_so_far(); ++i) {
+        JobStatusInfo j;
+        if (!j.decode(r)) return false;
+        jobs.push_back(std::move(j));
+    }
+    return r.ok_so_far() && jobs.size() == n;
+}
+
+void RecordLine::encode(rtlsim::SnapWriter& w) const {
+    w.u64(id);
+    w.str(line);
+}
+
+bool RecordLine::decode(rtlsim::SnapReader& r) {
+    id = r.u64();
+    line = r.str();
+    return r.ok_so_far();
+}
+
+void JobOutcome::encode(rtlsim::SnapWriter& w) const {
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(state));
+    w.bool8(pass);
+    w.str(summary);
+    w.str(verdicts);
+    w.str(cover_json);
+}
+
+bool JobOutcome::decode(rtlsim::SnapReader& r) {
+    id = r.u64();
+    const std::uint8_t s = r.u8();
+    if (s > static_cast<std::uint8_t>(JobState::kUnknown)) return false;
+    state = static_cast<JobState>(s);
+    pass = r.bool8();
+    summary = r.str();
+    verdicts = r.str();
+    cover_json = r.str();
+    return r.ok_so_far();
+}
+
+void ErrorInfo::encode(rtlsim::SnapWriter& w) const { w.str(message); }
+
+bool ErrorInfo::decode(rtlsim::SnapReader& r) {
+    message = r.str();
+    return r.ok_so_far();
+}
+
+void Hello::encode(rtlsim::SnapWriter& w) const {
+    w.u32(version);
+    w.str(name);
+}
+
+bool Hello::decode(rtlsim::SnapReader& r) {
+    version = r.u32();
+    name = r.str();
+    return r.ok_so_far();
+}
+
+// --- framing ---------------------------------------------------------------
+
+bool decode_frame(std::span<const std::uint8_t> image, Frame* out,
+                  std::size_t* consumed) {
+    rtlsim::SnapReader r(image);
+    const std::uint32_t len = r.u32();
+    if (!r.ok_so_far() || len == 0 || len > kMaxFrame) return false;
+    if (image.size() < 4 + std::size_t{len}) return false;
+    out->type = static_cast<MsgType>(image[4]);
+    out->body.assign(image.begin() + 5, image.begin() + 4 + len);
+    if (consumed != nullptr) *consumed = 4 + std::size_t{len};
+    return true;
+}
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+    while (n != 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/// Full read; 1 = ok, 0 = clean EOF at a frame boundary, -1 = error/short.
+int read_all(int fd, std::uint8_t* p, std::size_t n, bool eof_ok) {
+    std::size_t got = 0;
+    while (got != n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return -1;
+        }
+        if (r == 0) return got == 0 && eof_ok ? 0 : -1;
+        got += static_cast<std::size_t>(r);
+    }
+    return 1;
+}
+
+}  // namespace
+
+bool write_frame_fd(int fd, MsgType t, std::span<const std::uint8_t> body) {
+    if (body.size() + 1 > kMaxFrame) return false;
+    rtlsim::SnapWriter head;
+    head.u32(static_cast<std::uint32_t>(body.size() + 1));
+    head.u8(static_cast<std::uint8_t>(t));
+    // One writev-shaped pair of writes; the per-connection write mutex in
+    // the daemon keeps frames from interleaving.
+    if (!write_all(fd, head.buffer().data(), head.buffer().size())) {
+        return false;
+    }
+    return write_all(fd, body.data(), body.size());
+}
+
+bool read_frame_fd(int fd, Frame* out) {
+    std::uint8_t head[5];
+    if (read_all(fd, head, sizeof head, /*eof_ok=*/true) != 1) return false;
+    rtlsim::SnapReader r(std::span<const std::uint8_t>(head, 4));
+    const std::uint32_t len = r.u32();
+    if (len == 0 || len > kMaxFrame) return false;
+    out->type = static_cast<MsgType>(head[4]);
+    out->body.resize(len - 1);
+    if (len > 1 &&
+        read_all(fd, out->body.data(), out->body.size(), false) != 1) {
+        return false;
+    }
+    return true;
+}
+
+}  // namespace autovision::svc

@@ -1,0 +1,215 @@
+// svc: the campaign-service wire protocol.
+//
+// Length-prefixed binary frames over a local stream socket:
+//
+//   u32  payload length (big-endian, <= kMaxFrame)
+//   u8   message type (MsgType)
+//   ...  message body, SnapWriter-encoded (big-endian, length-prefixed
+//        strings — the same byte discipline as the checkpoint format)
+//
+// One request frame gets one response frame, except kWait: the daemon
+// streams zero or more kRecord frames (one JSONL line per completed job,
+// reusing campaign::to_jsonl) and terminates the exchange with kDone
+// carrying the job's final outcome and artifacts. Unknown or malformed
+// requests are answered with kError; a protocol-version mismatch in the
+// kHello handshake is fatal for the connection.
+//
+// Everything here is transport-independent (encode/decode work on byte
+// buffers) so the framing can be unit-tested without sockets; the fd-based
+// read_frame/write_frame helpers below are the only POSIX-facing piece.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernel/snapshot.hpp"
+
+namespace autovision::svc {
+
+/// Bumped on any incompatible frame/message change; exchanged in kHello.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload: a closure cover.json plus verdict lines
+/// is tens of KiB; 16 MiB leaves room for large artifact frames while a
+/// corrupt length prefix can never allocate unbounded memory.
+inline constexpr std::uint32_t kMaxFrame = 16u << 20;
+
+enum class MsgType : std::uint8_t {
+    kHello = 1,        ///< client -> daemon: version + client name
+    kHelloOk = 2,      ///< daemon -> client: version accepted
+    kSubmit = 3,       ///< client -> daemon: JobSpec (id ignored)
+    kSubmitOk = 4,     ///< daemon -> client: SubmitResult (accepted or not)
+    kStatus = 5,       ///< client -> daemon: JobRef
+    kStatusOk = 6,     ///< daemon -> client: JobStatusInfo
+    kList = 7,         ///< client -> daemon: (empty body)
+    kListOk = 8,       ///< daemon -> client: JobList
+    kWait = 9,         ///< client -> daemon: JobRef; subscribes until done
+    kRecord = 10,      ///< daemon -> client: RecordLine (streamed JSONL)
+    kDone = 11,        ///< daemon -> client: JobOutcome (ends a kWait)
+    kCancel = 12,      ///< client -> daemon: JobRef
+    kCancelOk = 13,    ///< daemon -> client: JobStatusInfo after the cancel
+    kShutdown = 14,    ///< client -> daemon: request a graceful shutdown
+    kShutdownOk = 15,  ///< daemon -> client: shutdown acknowledged
+    kError = 16,       ///< daemon -> client: ErrorInfo
+};
+
+[[nodiscard]] const char* to_string(MsgType t);
+
+/// Job priority classes, highest first. The ready queue is strict priority
+/// with FIFO order inside a class.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kBatch = 2 };
+
+[[nodiscard]] const char* to_string(Priority p);
+/// Parse "high"/"normal"/"batch"; false leaves *out untouched.
+[[nodiscard]] bool priority_from_string(const std::string& s, Priority* out);
+
+/// What a client submits: a campaign kind plus its string parameters (the
+/// same knobs the batch CLI exposes: seed, batches, batch-size, seeds,
+/// inject, ...). The daemon assigns `id`.
+struct JobSpec {
+    std::uint64_t id = 0;
+    std::string kind;    ///< "closure" | "diff"
+    std::string client;  ///< free-form submitter tag (admission accounting)
+    Priority priority = Priority::kNormal;
+    std::map<std::string, std::string> params;
+
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+
+    /// Identity hash over (kind, params): a resume blob recorded for a job
+    /// only restores into an identically parameterised job.
+    [[nodiscard]] std::uint64_t config_hash() const;
+};
+
+struct JobRef {
+    std::uint64_t id = 0;
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+struct SubmitResult {
+    bool accepted = false;
+    std::uint64_t id = 0;
+    std::string reason;  ///< admission rejection reason when !accepted
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+/// Job lifecycle as the status/list calls report it.
+enum class JobState : std::uint8_t {
+    kQueued = 0,
+    kRunning = 1,
+    kDone = 2,
+    kFailed = 3,
+    kCancelled = 4,
+    kUnknown = 5,
+};
+[[nodiscard]] const char* to_string(JobState s);
+
+struct JobStatusInfo {
+    std::uint64_t id = 0;
+    JobState state = JobState::kUnknown;
+    std::string kind;
+    Priority priority = Priority::kNormal;
+    std::uint32_t units_done = 0;   ///< batches (closure) / jobs (diff)
+    std::uint32_t units_total = 0;  ///< 0 when not yet known
+    std::uint32_t checkpoints = 0;  ///< progress records persisted so far
+    std::uint32_t resumed = 0;      ///< times this job resumed from a ckpt
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+struct JobList {
+    std::vector<JobStatusInfo> jobs;
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+/// One streamed result line (campaign::to_jsonl of a completed job).
+struct RecordLine {
+    std::uint64_t id = 0;
+    std::string line;
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+/// Terminal result of a service job, with its deterministic artifacts
+/// inline: the verdict lines (campaign::to_verdict_line, submission order,
+/// newline-joined) and — for closure jobs — the merged coverage JSON. Both
+/// are byte-identical whether the job ran uninterrupted or resumed from a
+/// crash-time checkpoint.
+struct JobOutcome {
+    std::uint64_t id = 0;
+    JobState state = JobState::kUnknown;
+    bool pass = false;
+    std::string summary;     ///< human-readable rollup
+    std::string verdicts;    ///< deterministic verdict lines
+    std::string cover_json;  ///< merged coverage (closure jobs)
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+struct ErrorInfo {
+    std::string message;
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+struct Hello {
+    std::uint32_t version = kProtocolVersion;
+    std::string name;
+    void encode(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool decode(rtlsim::SnapReader& r);
+};
+
+/// A parsed frame: type + body bytes (without the length prefix).
+struct Frame {
+    MsgType type = MsgType::kError;
+    std::vector<std::uint8_t> body;
+
+    [[nodiscard]] rtlsim::SnapReader reader() const {
+        return rtlsim::SnapReader(body);
+    }
+};
+
+/// Serialize a message into a ready-to-send frame image (length prefix +
+/// type + body).
+template <typename Msg>
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(MsgType t,
+                                                     const Msg& msg) {
+    rtlsim::SnapWriter body;
+    msg.encode(body);
+    rtlsim::SnapWriter out;
+    out.u32(static_cast<std::uint32_t>(body.size() + 1));
+    out.u8(static_cast<std::uint8_t>(t));
+    std::vector<std::uint8_t> img = out.take();
+    const std::vector<std::uint8_t>& b = body.buffer();
+    img.insert(img.end(), b.begin(), b.end());
+    return img;
+}
+
+/// Parse one frame from a contiguous image; false on a short/oversized
+/// image. `*consumed` reports the frame's total size on success.
+[[nodiscard]] bool decode_frame(std::span<const std::uint8_t> image,
+                                Frame* out, std::size_t* consumed);
+
+// --- fd-based framing (blocking, EINTR-safe) -------------------------------
+
+/// Write a full frame to a connected socket; false on error/EPIPE.
+[[nodiscard]] bool write_frame_fd(int fd, MsgType t,
+                                  std::span<const std::uint8_t> body);
+
+template <typename Msg>
+[[nodiscard]] bool send_msg(int fd, MsgType t, const Msg& msg) {
+    rtlsim::SnapWriter body;
+    msg.encode(body);
+    return write_frame_fd(fd, t, body.buffer());
+}
+
+/// Read a full frame; false on EOF, error, or an oversized length prefix.
+[[nodiscard]] bool read_frame_fd(int fd, Frame* out);
+
+}  // namespace autovision::svc

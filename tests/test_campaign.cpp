@@ -351,6 +351,68 @@ TEST(CampaignSink, ConcurrentCampaignLeavesParseableFile) {
     std::remove(path.c_str());
 }
 
+// Hammer one sink directly from many writer threads — the shape the
+// campaign service produces, where every connected client's jobs feed one
+// mirror file. A record is written whole or not at all: no line may ever
+// contain fragments of two records.
+TEST(CampaignSink, ManyConcurrentWritersNeverInterleave) {
+    const std::string path =
+        ::testing::TempDir() + "/campaign_sink_hammer.jsonl";
+    constexpr int kWriters = 16;
+    constexpr int kPerWriter = 64;
+    {
+        JsonlSink sink(path);
+        ASSERT_TRUE(sink.ok());
+        std::vector<std::thread> writers;
+        for (int w = 0; w < kWriters; ++w) {
+            writers.emplace_back([&sink, w] {
+                for (int i = 0; i < kPerWriter; ++i) {
+                    JobRecord rec;
+                    rec.name = "w" + std::to_string(w) + ".r" +
+                               std::to_string(i);
+                    // A writer-distinct filler long enough that a torn or
+                    // interleaved write would split it across lines.
+                    rec.params = {{"fill",
+                                   std::string(256, char('a' + w % 26))}};
+                    rec.report.verdict = "[ok]";
+                    rec.report.metrics = {{"writer", double(w)},
+                                          {"i", double(i)}};
+                    sink.write(rec);
+                }
+            });
+        }
+        for (std::thread& t : writers) t.join();
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string line;
+    std::size_t total = 0;
+    std::vector<int> per_writer(kWriters, 0);
+    while (std::getline(is, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        const std::size_t name_at = line.find("\"name\":\"w");
+        ASSERT_NE(name_at, std::string::npos) << line;
+        const int w = std::atoi(line.c_str() + name_at + 9);
+        ASSERT_GE(w, 0);
+        ASSERT_LT(w, kWriters);
+        // The filler must be present, uninterrupted, and belong to the
+        // same writer as the record's name.
+        EXPECT_NE(line.find(std::string(256, char('a' + w % 26))),
+                  std::string::npos)
+            << "torn record: " << line.substr(0, 80);
+        ++per_writer[w];
+        ++total;
+    }
+    EXPECT_EQ(total, std::size_t(kWriters) * kPerWriter);
+    for (int w = 0; w < kWriters; ++w) {
+        EXPECT_EQ(per_writer[w], kPerWriter) << "writer " << w;
+    }
+    std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Determinism: same seeds, different worker counts -> identical verdicts
 // and identical per-job kernel statistics.

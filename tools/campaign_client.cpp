@@ -1,0 +1,232 @@
+// campaign_client: submit/inspect/await campaign-service jobs.
+//
+//   campaign_client --socket PATH [--name TAG] submit --kind closure|diff
+//                   [--priority high|normal|batch] [--param KEY=VALUE]...
+//   campaign_client --socket PATH status ID
+//   campaign_client --socket PATH list
+//   campaign_client --socket PATH wait ID [--quiet] [--out FILE]
+//                   [--verdicts-out FILE] [--cover-out FILE]
+//   campaign_client --socket PATH cancel ID
+//   campaign_client --socket PATH shutdown
+//
+// submit prints the assigned job id (alone) on stdout so shell scripts can
+// capture it; wait streams the job's JSONL records, writes the
+// deterministic artifacts, and exits 0 only when the job finished as a
+// pass. The batch campaign_runner and this client are peers: both are thin
+// frontends over the same campaign machinery, one in-process, one through
+// campaignd.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+
+namespace {
+
+using autovision::svc::Client;
+using autovision::svc::JobList;
+using autovision::svc::JobOutcome;
+using autovision::svc::JobSpec;
+using autovision::svc::JobState;
+using autovision::svc::JobStatusInfo;
+using autovision::svc::Priority;
+using autovision::svc::RecordLine;
+using autovision::svc::SubmitResult;
+using autovision::svc::priority_from_string;
+using autovision::svc::to_string;
+
+int usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--name TAG] COMMAND ...\n"
+        "  submit --kind closure|diff [--priority high|normal|batch]\n"
+        "         [--param KEY=VALUE]...\n"
+        "  status ID | list | cancel ID | shutdown\n"
+        "  wait ID [--quiet] [--out FILE] [--verdicts-out FILE]\n"
+        "          [--cover-out FILE]\n",
+        argv0);
+    return 2;
+}
+
+int fail(const std::string& err) {
+    std::fprintf(stderr, "campaign_client: %s\n", err.c_str());
+    return 2;
+}
+
+void print_status(const JobStatusInfo& info) {
+    std::printf("id %llu\n", static_cast<unsigned long long>(info.id));
+    std::printf("state %s\n", to_string(info.state));
+    std::printf("kind %s\n", info.kind.c_str());
+    std::printf("priority %s\n", to_string(info.priority));
+    std::printf("units %u/%u\n", info.units_done, info.units_total);
+    std::printf("checkpoints %u\n", info.checkpoints);
+    std::printf("resumed %u\n", info.resumed);
+}
+
+bool write_file(const std::string& path, const std::string& content,
+                const char* what) {
+    std::ofstream os(path, std::ios::out | std::ios::trunc);
+    if (!os || !(os << content) || !os.flush()) {
+        std::fprintf(stderr, "campaign_client: cannot write %s %s\n", what,
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::string socket_path;
+    std::string name = "campaign_client";
+    int i = 1;
+    for (; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (a == "--name" && i + 1 < argc) {
+            name = argv[++i];
+        } else {
+            break;
+        }
+    }
+    if (socket_path.empty() || i >= argc) return usage(argv[0]);
+    const std::string cmd = argv[i++];
+
+    Client client;
+    std::string err;
+    if (!client.connect(socket_path, name, &err)) return fail(err);
+
+    if (cmd == "submit") {
+        JobSpec spec;
+        spec.client = name;
+        for (; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--kind" && i + 1 < argc) {
+                spec.kind = argv[++i];
+            } else if (a == "--priority" && i + 1 < argc) {
+                if (!priority_from_string(argv[++i], &spec.priority)) {
+                    return fail(std::string("unknown priority: ") + argv[i]);
+                }
+            } else if (a == "--param" && i + 1 < argc) {
+                const std::string kv = argv[++i];
+                const std::size_t eq = kv.find('=');
+                if (eq == std::string::npos || eq == 0) {
+                    return fail("--param wants KEY=VALUE, got '" + kv + "'");
+                }
+                spec.params[kv.substr(0, eq)] = kv.substr(eq + 1);
+            } else {
+                return usage(argv[0]);
+            }
+        }
+        if (spec.kind.empty()) return fail("submit needs --kind");
+        SubmitResult res;
+        if (!client.submit(spec, &res, &err)) return fail(err);
+        if (!res.accepted) {
+            std::fprintf(stderr, "campaign_client: rejected: %s\n",
+                         res.reason.c_str());
+            return 3;
+        }
+        std::printf("%llu\n", static_cast<unsigned long long>(res.id));
+        return 0;
+    }
+
+    if (cmd == "status" || cmd == "cancel") {
+        if (i >= argc) return usage(argv[0]);
+        const std::uint64_t id = std::strtoull(argv[i], nullptr, 0);
+        JobStatusInfo info;
+        const bool ok = cmd == "status" ? client.status(id, &info, &err)
+                                        : client.cancel(id, &info, &err);
+        if (!ok) return fail(err);
+        print_status(info);
+        return info.state == JobState::kUnknown ? 1 : 0;
+    }
+
+    if (cmd == "list") {
+        JobList list;
+        if (!client.list(&list, &err)) return fail(err);
+        for (const JobStatusInfo& j : list.jobs) {
+            std::printf("%llu %-9s %-8s %-6s %u/%u ckpt=%u resumed=%u\n",
+                        static_cast<unsigned long long>(j.id),
+                        to_string(j.state), j.kind.c_str(),
+                        to_string(j.priority), j.units_done, j.units_total,
+                        j.checkpoints, j.resumed);
+        }
+        return 0;
+    }
+
+    if (cmd == "wait") {
+        if (i >= argc) return usage(argv[0]);
+        const std::uint64_t id = std::strtoull(argv[i++], nullptr, 0);
+        bool quiet = false;
+        std::string out_path;
+        std::string verdicts_path;
+        std::string cover_path;
+        for (; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--quiet") {
+                quiet = true;
+            } else if (a == "--out" && i + 1 < argc) {
+                out_path = argv[++i];
+            } else if (a == "--verdicts-out" && i + 1 < argc) {
+                verdicts_path = argv[++i];
+            } else if (a == "--cover-out" && i + 1 < argc) {
+                cover_path = argv[++i];
+            } else {
+                return usage(argv[0]);
+            }
+        }
+        std::ofstream out_file;
+        if (!out_path.empty()) {
+            out_file.open(out_path, std::ios::out | std::ios::trunc);
+            if (!out_file) {
+                return fail("cannot open " + out_path);
+            }
+        }
+        JobOutcome outcome;
+        const bool ok = client.wait(
+            id,
+            [&](const RecordLine& rl) {
+                if (!quiet) {
+                    std::printf("%s\n", rl.line.c_str());
+                    std::fflush(stdout);
+                }
+                if (out_file.is_open()) {
+                    out_file << rl.line << '\n';
+                    out_file.flush();
+                }
+            },
+            &outcome, &err);
+        if (!ok) return fail(err);
+        if (!verdicts_path.empty() &&
+            !write_file(verdicts_path, outcome.verdicts, "verdicts")) {
+            return 2;
+        }
+        if (!cover_path.empty() &&
+            !write_file(cover_path, outcome.cover_json, "coverage")) {
+            return 2;
+        }
+        std::fprintf(stderr, "job %llu: %s%s\n%s",
+                     static_cast<unsigned long long>(id),
+                     to_string(outcome.state),
+                     outcome.state == JobState::kDone
+                         ? (outcome.pass ? " (pass)" : " (fail)")
+                         : "",
+                     outcome.summary.c_str());
+        return outcome.state == JobState::kDone && outcome.pass ? 0 : 1;
+    }
+
+    if (cmd == "shutdown") {
+        if (!client.shutdown_daemon(&err)) return fail(err);
+        std::printf("shutdown acknowledged\n");
+        return 0;
+    }
+
+    return usage(argv[0]);
+}

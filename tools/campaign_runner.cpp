@@ -49,6 +49,7 @@ struct Options {
     unsigned timeout_ms = 0;
     unsigned retries = 1;
     std::string out;
+    std::string verdicts_out;
     unsigned frames = 2;
     unsigned seeds = 8;
     bool quiet = false;
@@ -98,6 +99,9 @@ void usage(const char* argv0) {
         "  --retries R     extra attempts for timed-out/errored jobs"
         " (default 1)\n"
         "  --out FILE      JSONL results sink (one atomic line per job)\n"
+        "  --verdicts-out F  deterministic per-job verdict lines, submission\n"
+        "                  order (byte-comparable across runs and against a\n"
+        "                  resumed campaign-service run of the same batch)\n"
         "  --frames F      frames per run where applicable (default 2)\n"
         "  --seeds N       seed count for the seeds campaign (default 8)\n"
         "  --trace         record structured simulation events; obs.*\n"
@@ -139,6 +143,23 @@ void usage(const char* argv0) {
         "                  job from it in the closure campaign\n"
         "  --no-warm-start closure: always boot stream jobs cold\n",
         argv0);
+}
+
+constexpr const char* kKnownCampaigns[] = {"faults",  "simb",    "workload",
+                                           "seeds",   "closure", "diff"};
+
+/// Deterministic verdict lines, submission order. Returns false (with a
+/// message) when the file cannot be written.
+bool write_verdicts(const std::string& path,
+                    const std::vector<JobRecord>& records) {
+    std::ofstream os(path, std::ios::out | std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    for (const JobRecord& rec : records) os << to_verdict_line(rec) << '\n';
+    std::printf("verdicts: %s (%zu lines)\n", path.c_str(), records.size());
+    return os.good();
 }
 
 bool parse_unsigned(const char* s, unsigned& out) {
@@ -349,6 +370,8 @@ int main(int argc, char** argv) {
             ok = parse_unsigned(next(), opt.retries);
         } else if (a == "--out") {
             opt.out = next();
+        } else if (a == "--verdicts-out") {
+            opt.verdicts_out = next();
         } else if (a == "--frames") {
             ok = parse_unsigned(next(), opt.frames);
         } else if (a == "--seeds") {
@@ -505,6 +528,10 @@ int main(int argc, char** argv) {
             std::printf("results: %s (%zu JSONL records)\n", opt.out.c_str(),
                         res.records.size());
         }
+        if (!opt.verdicts_out.empty() &&
+            !write_verdicts(opt.verdicts_out, res.records)) {
+            return 2;
+        }
         unsigned failed = 0;
         for (const JobRecord& r : res.records) {
             if (!r.passed()) ++failed;
@@ -554,11 +581,26 @@ int main(int argc, char** argv) {
         dc.repro_dir = opt.repro_out;
         jobs = diff_batch_jobs(dc);
     } else {
-        std::fprintf(stderr, opt.campaign.empty()
-                                 ? "missing --campaign\n"
-                                 : "unknown campaign: %s\n",
+        // An unknown (or missing) campaign name must fail loudly with the
+        // valid names, never fall through to an empty batch that "passes".
+        if (opt.campaign.empty()) {
+            std::fprintf(stderr, "missing --campaign\n");
+        } else {
+            std::fprintf(stderr, "unknown campaign: '%s'\n",
+                         opt.campaign.c_str());
+        }
+        std::fprintf(stderr, "valid campaigns:");
+        for (const char* name : kKnownCampaigns) {
+            std::fprintf(stderr, " %s", name);
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+    if (jobs.empty()) {
+        std::fprintf(stderr,
+                     "campaign '%s' produced no jobs (check --seeds/--frames"
+                     " values)\n",
                      opt.campaign.c_str());
-        usage(argv[0]);
         return 2;
     }
 
@@ -630,6 +672,10 @@ int main(int argc, char** argv) {
     if (!opt.out.empty()) {
         std::printf("results: %s (%zu JSONL records)\n", opt.out.c_str(),
                     result.records.size());
+    }
+    if (!opt.verdicts_out.empty() &&
+        !write_verdicts(opt.verdicts_out, result.records)) {
+        return 2;
     }
     return result.summary.all_passed() && !expect_genuine_failed ? 0 : 1;
 }

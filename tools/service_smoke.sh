@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end crash/resume check for the campaign service.
+#
+# Starts campaignd, submits a closure batch and a diff batch through
+# campaign_client, kills the daemon with SIGKILL while each job is
+# mid-flight (at least one checkpoint persisted, job still running),
+# restarts it, lets the job resume from its journaled checkpoint, and
+# asserts the merged artifacts — closure cover.json + verdict lines, diff
+# verdict lines — are byte-identical to an uninterrupted batch-CLI run of
+# the same campaign. This is the service's core durability contract,
+# enforced in CI by the service-smoke job.
+#
+# usage: service_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD=${1:-build}
+DAEMON="$BUILD/tools/campaignd"
+CLIENT="$BUILD/tools/campaign_client"
+RUNNER="$BUILD/tools/campaign_runner"
+for bin in "$DAEMON" "$CLIENT" "$RUNNER"; do
+    [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 1; }
+done
+
+WORK=$(mktemp -d)
+DPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/campaignd.sock"
+STATE="$WORK/state"
+LOG="$WORK/daemon.log"
+
+start_daemon() { # [worker-threads]
+    "$DAEMON" --socket "$SOCK" --state "$STATE" --shards 2 \
+        --jobs "${1:-2}" --ckpt-interval 1 >>"$LOG" 2>&1 &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -S "$SOCK" ] && return 0
+        kill -0 "$DPID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "FAIL: daemon did not come up (log follows)" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+status_field() { # id field
+    "$CLIENT" --socket "$SOCK" status "$1" | awk -v f="$2" '$1==f{print $2}'
+}
+
+# Poll until the job has >=1 persisted checkpoint while still running —
+# the window where a SIGKILL provably interrupts mid-batch work.
+wait_for_checkpoint() { # id
+    for _ in $(seq 1 600); do
+        local state ckpt
+        state=$(status_field "$1" state)
+        ckpt=$(status_field "$1" checkpoints)
+        if [ "$state" = "done" ] || [ "$state" = "failed" ]; then
+            echo "FAIL: job $1 reached '$state' before the kill window" >&2
+            exit 1
+        fi
+        if [ "${ckpt:-0}" -ge 1 ] && [ "$state" = "running" ]; then
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "FAIL: job $1 never checkpointed" >&2
+    exit 1
+}
+
+kill_resume_one() { # kind pre-kill-workers submit-params... -- runner-args...
+    local kind=$1; shift
+    local pre_workers=$1; shift
+    local params=()
+    while [ "$1" != "--" ]; do params+=(--param "$1"); shift; done
+    shift
+    local runner_args=("$@")
+
+    echo "== $kind: submit, kill -9 mid-batch, resume =="
+    # Throttled worker pool before the kill so the job is provably still
+    # mid-flight when SIGKILL lands; the resume runs at full width — the
+    # artifacts must not depend on worker count.
+    start_daemon "$pre_workers"
+    local id
+    id=$("$CLIENT" --socket "$SOCK" submit --kind "$kind" "${params[@]}")
+    wait_for_checkpoint "$id"
+
+    kill -9 "$DPID"
+    wait "$DPID" 2>/dev/null || true
+    DPID=""
+
+    start_daemon 2
+    "$CLIENT" --socket "$SOCK" wait "$id" --quiet \
+        --verdicts-out "$WORK/$kind.svc.verdicts" \
+        --cover-out "$WORK/$kind.svc.cover.json" 2>"$WORK/$kind.wait.log" \
+        || { echo "FAIL: resumed $kind job did not pass" >&2;
+             cat "$WORK/$kind.wait.log" "$LOG" >&2; exit 1; }
+
+    local resumed
+    resumed=$(status_field "$id" resumed)
+    [ "${resumed:-0}" -ge 1 ] \
+        || { echo "FAIL: job $id does not report a resume" >&2; exit 1; }
+
+    "$CLIENT" --socket "$SOCK" shutdown >/dev/null
+    wait "$DPID" 2>/dev/null || true
+    DPID=""
+
+    echo "== $kind: uninterrupted batch-CLI reference =="
+    "$RUNNER" "${runner_args[@]}" --quiet \
+        --verdicts-out "$WORK/$kind.cli.verdicts" \
+        >"$WORK/$kind.cli.log" 2>&1 \
+        || { echo "FAIL: reference CLI run failed" >&2;
+             cat "$WORK/$kind.cli.log" >&2; exit 1; }
+
+    cmp "$WORK/$kind.svc.verdicts" "$WORK/$kind.cli.verdicts" \
+        || { echo "FAIL: $kind verdicts differ after kill -9 resume" >&2;
+             exit 1; }
+    echo "OK: $kind verdicts byte-identical after kill -9 resume"
+}
+
+# Closure: 5 batches x 10 scenarios, checkpoint per batch. target=101
+# keeps the loop from stopping on the coverage target so the kill window
+# is wide; saturation may still stop it early on both sides identically.
+kill_resume_one closure 2 \
+    seed=11 batches=5 batch-size=10 target=101 -- \
+    --campaign closure --seed 11 --batches 5 --batch-size 10 --target 101 \
+    --jobs 2 --cover-out "$WORK/closure.cli.cover.json"
+cmp "$WORK/closure.svc.cover.json" "$WORK/closure.cli.cover.json" \
+    || { echo "FAIL: closure cover.json differs after kill -9 resume" >&2;
+         exit 1; }
+echo "OK: closure cover.json byte-identical after kill -9 resume"
+
+# Diff: 32 seeds, checkpoint per completed scenario, single worker before
+# the kill so the batch cannot race past the kill window.
+kill_resume_one diff 1 \
+    seed=3 seeds=32 -- \
+    --campaign diff --seed 3 --seeds 32 --jobs 2
+
+echo "service smoke: all checks passed"

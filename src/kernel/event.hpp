@@ -32,6 +32,7 @@ namespace rtlsim {
 
 class CalendarQueue;
 class Scheduler;
+struct EventTestAccess;  // white-box driver for the differential queue test
 
 /// An intrusive schedulable event. Derive, implement fire(), and hand the
 /// node to Scheduler::schedule_event(). The node must outlive its pending
@@ -57,6 +58,7 @@ protected:
 private:
     friend class CalendarQueue;
     friend class Scheduler;
+    friend struct EventTestAccess;
 
     TimedEvent* next_ = nullptr;  ///< intrusive link (bucket / fire / free list)
     Time time_ = 0;
@@ -92,7 +94,7 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return count_; }
 
     /// Enqueue `ev` at ev->time_, which must be >= `now` (the caller's
-    /// current simulated time, itself >= every pending timestamp).
+    /// current simulated time, itself <= every pending timestamp).
     /// FIFO per timestamp.
     void push(TimedEvent* ev, Time now) {
         assert(ev->time_ >= now);

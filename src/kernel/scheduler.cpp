@@ -3,7 +3,21 @@
 #include <cassert>
 #include <utility>
 
+#include "lane_pool.hpp"
+#include "logic.hpp"
+
 namespace rtlsim {
+
+namespace {
+
+/// The lane context the executing thread is currently evaluating for, or
+/// nullptr in every sequential context (timed events, lanes=1 settle,
+/// testbench code between quanta). Thread-local rather than a Scheduler
+/// member so concurrent schedulers on campaign worker threads cannot see
+/// each other's contexts; the owning scheduler is checked before routing.
+thread_local detail::LaneCtx* tls_lane_ctx = nullptr;
+
+}  // namespace
 
 // ---------------------------------------------------------------- Process
 
@@ -13,10 +27,9 @@ Process::Process(Scheduler& sch, std::string name, std::function<void()> fn)
 }
 
 void Process::notify() {
-    if (!scheduled_) {
-        scheduled_ = true;
-        sch_.make_runnable(this);
-    }
+    assert(tls_lane_ctx == nullptr &&
+           "notify() is not callable from a parallel evaluate phase");
+    sch_.notify_process(this, index_);
 }
 
 void Process::run_profiled() {
@@ -33,17 +46,20 @@ SignalBase::SignalBase(Scheduler& sch, std::string name)
     sch_.register_signal(this);
 }
 
-SignalBase::~SignalBase() { sch_.unregister_signal(this); }
+SignalBase::~SignalBase() {
+    sch_.signal_store().release(ref_);
+    sch_.unregister_signal(this);
+}
 
 void SignalBase::notify_listeners(bool rising, bool falling) {
     for (const Listener& l : listeners_) {
         switch (l.edge) {
-            case Edge::Any: l.proc->notify(); break;
+            case Edge::Any: sch_.notify_process(l.proc, l.idx); break;
             case Edge::Pos:
-                if (rising) l.proc->notify();
+                if (rising) sch_.notify_process(l.proc, l.idx);
                 break;
             case Edge::Neg:
-                if (falling) l.proc->notify();
+                if (falling) sch_.notify_process(l.proc, l.idx);
                 break;
         }
     }
@@ -52,11 +68,39 @@ void SignalBase::notify_listeners(bool rising, bool falling) {
 void SignalBase::request_update() {
     if (!update_requested_) {
         update_requested_ = true;
-        sch_.request_update(this);
+        sch_.request_update_ref(ref_);
     }
 }
 
 // --------------------------------------------------------------- Scheduler
+
+Scheduler::Scheduler() {
+    configure_lanes(1);
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::configure_lanes(unsigned n) {
+    if (n == 0) n = 1;
+    lane_count_ = n;
+    lanes_.clear();
+    lanes_.resize(n);
+    for (LaneCtx& lane : lanes_) lane.sch = this;
+    active_lanes_.clear();
+    active_lanes_.reserve(n);
+    pool_.reset();
+    if (n > 1) {
+        pool_ = std::make_unique<LanePool>(n - 1);
+        lane_runner_ = [this](unsigned i) { run_lane(*active_lanes_[i]); };
+    } else {
+        lane_runner_ = nullptr;
+    }
+    // Re-clamp lane ids of already-registered processes so a late
+    // reconfiguration cannot leave a process pointing past the lane array.
+    for (Process* p : procs_) {
+        p->lane_ = static_cast<std::uint16_t>(p->lane_ % n);
+    }
+}
 
 void Scheduler::FnEvent::fire() {
     // Detach the closure and recycle the node *before* invoking it, so the
@@ -70,6 +114,8 @@ void Scheduler::FnEvent::fire() {
 
 void Scheduler::schedule_at(Time t, std::function<void()> fn) {
     assert(t >= now_ && "cannot schedule events in the past");
+    assert(tls_lane_ctx == nullptr &&
+           "schedule_at() is not callable from a parallel evaluate phase");
     FnEvent* ev = fn_free_;
     if (ev != nullptr) {
         fn_free_ = static_cast<FnEvent*>(ev->next_);
@@ -84,6 +130,127 @@ void Scheduler::schedule_at(Time t, std::function<void()> fn) {
     queue_.push(ev, now_);
 }
 
+void Scheduler::request_update_ref(std::uint32_t ref) {
+    if (LaneCtx* c = tls_lane_ctx; c != nullptr && c->sch == this) {
+        c->updates.push_back(ref);
+    } else {
+        updates_.push_back(ref);
+    }
+}
+
+bool Scheduler::commit_and_notify(std::uint32_t ref) {
+    const std::uint32_t slot = SignalStore::slot_of(ref);
+    switch (SignalStore::kind_of(ref)) {
+        case SignalStore::kLogic: {
+            SignalBase* s = store_.logic_owner[slot];
+            if (s != nullptr) s->update_requested_ = false;
+            const std::uint8_t cur = store_.logic_cur[slot];
+            const std::uint8_t nxt = store_.logic_next[slot];
+            if (nxt == cur) return false;
+            store_.logic_cur[slot] = nxt;
+            if (s != nullptr) {
+                constexpr auto k1 = static_cast<std::uint8_t>(Logic::L1);
+                constexpr auto k0 = static_cast<std::uint8_t>(Logic::L0);
+                s->notify_listeners(nxt == k1, nxt == k0);
+            }
+            return true;
+        }
+        case SignalStore::kVec: {
+            SignalBase* s = store_.vec_owner[slot];
+            if (s != nullptr) s->update_requested_ = false;
+            const std::uint64_t nval = store_.vec_next_val[slot];
+            const std::uint64_t nunk = store_.vec_next_unk[slot];
+            if (nval == store_.vec_cur_val[slot] &&
+                nunk == store_.vec_cur_unk[slot]) {
+                return false;
+            }
+            store_.vec_cur_val[slot] = nval;
+            store_.vec_cur_unk[slot] = nunk;
+            if (s != nullptr) s->notify_listeners(false, false);
+            return true;
+        }
+        case SignalStore::kWord: {
+            SignalBase* s = store_.word_owner[slot];
+            if (s != nullptr) s->update_requested_ = false;
+            const std::uint64_t nxt = store_.word_next[slot];
+            if (nxt == store_.word_cur[slot]) return false;
+            store_.word_cur[slot] = nxt;
+            if (s != nullptr) s->notify_listeners(false, false);
+            return true;
+        }
+    }
+    return false;
+}
+
+void Scheduler::run_lane(LaneCtx& lane) {
+    LaneCtx* const prev = tls_lane_ctx;
+    tls_lane_ctx = &lane;
+    if (profiling_) {
+        for (Process* p : lane.queue) {
+            sched_flags_[p->index_] = 0;
+            ++lane.invocations;
+            p->run_profiled();
+        }
+    } else {
+        for (Process* p : lane.queue) {
+            sched_flags_[p->index_] = 0;
+            ++lane.invocations;
+            p->run();
+        }
+    }
+    tls_lane_ctx = prev;
+}
+
+void Scheduler::run_delta_lanes() {
+    // Partition this delta's runnable set into per-lane queues; relative
+    // order within a lane matches the sequential order.
+    std::size_t active = 0;
+    for (Process* p : run_scratch_) {
+        LaneCtx& lane = lanes_[p->lane_];
+        if (lane.queue.empty()) ++active;
+        lane.queue.push_back(p);
+    }
+
+    if (active >= 2 && run_scratch_.size() >= kMinParallelDelta) {
+        active_lanes_.clear();
+        for (LaneCtx& lane : lanes_) {
+            if (!lane.queue.empty()) active_lanes_.push_back(&lane);
+        }
+        pool_->run(static_cast<unsigned>(active_lanes_.size()), lane_runner_);
+    } else {
+        // Narrow delta: the fork/join would cost more than it hides.
+        for (LaneCtx& lane : lanes_) {
+            if (!lane.queue.empty()) run_lane(lane);
+        }
+    }
+
+    // Merge per-lane effects in ascending lane order — the canonical order
+    // that makes results independent of worker timing.
+    for (LaneCtx& lane : lanes_) {
+        if (lane.queue.empty()) continue;
+        lane.queue.clear();
+        stats.proc_invocations += lane.invocations;
+        lane.invocations = 0;
+        updates_.insert(updates_.end(), lane.updates.begin(),
+                        lane.updates.end());
+        lane.updates.clear();
+        for (Diag& d : lane.diags) {
+            if (diags_.size() >= kMaxDiags) {
+                ++dropped_diags_;
+            } else {
+                diags_.push_back(std::move(d));
+            }
+        }
+        lane.diags.clear();
+        dropped_diags_ += lane.dropped_diags;
+        lane.dropped_diags = 0;
+        for (std::string& reason : lane.stops) {
+            request_stop(reason);  // first (lowest-lane, in-order) wins
+        }
+        lane.stops.clear();
+    }
+}
+
 void Scheduler::settle() {
     while (!runnable_.empty() || !updates_.empty()) {
         ++stats.delta_cycles;
@@ -91,27 +258,29 @@ void Scheduler::settle() {
         // Evaluate phase: run every process queued in the previous delta.
         // The profiling branch is taken once per delta, not per process.
         run_scratch_.swap(runnable_);
-        if (profiling_) {
+        if (lane_count_ > 1) {
+            run_delta_lanes();
+        } else if (profiling_) {
             for (Process* p : run_scratch_) {
-                p->scheduled_ = false;
+                sched_flags_[p->index_] = 0;
                 ++stats.proc_invocations;
                 p->run_profiled();
             }
         } else {
             for (Process* p : run_scratch_) {
-                p->scheduled_ = false;
+                sched_flags_[p->index_] = 0;
                 ++stats.proc_invocations;
                 p->run();
             }
         }
         run_scratch_.clear();
 
-        // Update phase: commit pending signal values; changes queue their
+        // Update phase: commit pending values straight from the
+        // struct-of-arrays store (no virtual dispatch); changes queue their
         // listeners into runnable_ for the next delta.
         upd_scratch_.swap(updates_);
-        for (SignalBase* s : upd_scratch_) {
-            s->update_requested_ = false;
-            if (s->apply_update()) ++stats.signal_updates;
+        for (const std::uint32_t ref : upd_scratch_) {
+            if (commit_and_notify(ref)) ++stats.signal_updates;
         }
         upd_scratch_.clear();
     }
@@ -159,6 +328,10 @@ void Scheduler::run() {
 }
 
 void Scheduler::request_stop(const std::string& reason) {
+    if (LaneCtx* c = tls_lane_ctx; c != nullptr && c->sch == this) {
+        c->stops.push_back(reason);
+        return;
+    }
     if (!stop_requested_) {
         stop_requested_ = true;
         stop_reason_ = reason;
@@ -174,6 +347,15 @@ void Scheduler::set_tracer(Tracer* t) {
 }
 
 void Scheduler::report(std::string source, std::string message) {
+    if (LaneCtx* c = tls_lane_ctx; c != nullptr && c->sch == this) {
+        // Bounded like the global log; per-lane drops fold in at the merge.
+        if (diags_.size() + c->diags.size() >= kMaxDiags) {
+            ++c->dropped_diags;
+            return;
+        }
+        c->diags.push_back(Diag{now_, std::move(source), std::move(message)});
+        return;
+    }
     // Bound storage so a pathological run (or a hot benchmark loop) cannot
     // grow the log without limit; the count of dropped entries is kept.
     if (diags_.size() >= kMaxDiags) {
@@ -199,6 +381,14 @@ void Scheduler::unregister_signal(SignalBase* s) {
 
 bool Scheduler::ckpt_quiescent() const {
     if (!runnable_.empty() || !updates_.empty()) return false;
+    // Per-lane buffers are only ever non-empty inside settle(); checked
+    // for completeness since a snapshot must capture *all* pending work.
+    for (const LaneCtx& lane : lanes_) {
+        if (!lane.queue.empty() || !lane.updates.empty() ||
+            !lane.diags.empty() || !lane.stops.empty()) {
+            return false;
+        }
+    }
     // Every pooled closure node must be on the free list: a pending
     // schedule_at() closure cannot be serialized.
     std::size_t free_count = 0;
@@ -264,9 +454,11 @@ void Scheduler::ckpt_clear_events() {
 }
 
 void Scheduler::ckpt_quiesce() {
-    for (Process* p : runnable_) p->scheduled_ = false;
+    for (Process* p : runnable_) sched_flags_[p->index_] = 0;
     runnable_.clear();
-    for (SignalBase* s : updates_) s->update_requested_ = false;
+    for (const std::uint32_t ref : updates_) {
+        if (SignalBase* s = store_.owner_of(ref)) s->update_requested_ = false;
+    }
     updates_.clear();
 }
 

@@ -13,11 +13,24 @@
 // ReSim artifacts (X injection, bitstream-timed module swaps) behave as in
 // the paper.
 //
-// Hot-path design (see DESIGN.md "Kernel event path"): timed events live in
-// a calendar-queue time wheel (event.hpp) as intrusive nodes; the closure
-// convenience API pools its nodes on a free list; the evaluate/update delta
-// queues are double-buffered so no allocation happens at a steady state;
-// and the profiling branch is hoisted out of the per-process loop.
+// Hot-path design (see DESIGN.md "Kernel event path" and §13): timed events
+// live in a calendar-queue time wheel (event.hpp) as intrusive nodes; the
+// closure convenience API pools its nodes on a free list; the evaluate and
+// update delta queues are double-buffered so no allocation happens at a
+// steady state; signal values live in a struct-of-arrays store
+// (signal_store.hpp) and commit through a dense packed-reference dirty
+// list with no virtual dispatch; and the profiling branch is hoisted out
+// of the per-process loop.
+//
+// Event lanes (DESIGN.md §13): processes carry a lane id, and when the
+// scheduler is configured with more than one lane the evaluate phase of a
+// sufficiently wide delta runs the per-lane queues concurrently on a
+// LanePool. Only the evaluate phase is parallel — commits, fan-out and
+// time advance stay on the calling thread — and every per-lane side effect
+// (signal updates, diagnostics, stop requests, stat counts) is buffered in
+// a per-lane context and merged in ascending lane order, so observable
+// results are independent of worker timing. lanes=1 is exactly the
+// sequential path.
 #pragma once
 
 #include <chrono>
@@ -28,15 +41,44 @@
 #include <vector>
 
 #include "event.hpp"
+#include "signal_store.hpp"
 #include "sim_time.hpp"
 #include "snapshot.hpp"
 #include "stats.hpp"
 
 namespace rtlsim {
 
+class LanePool;
+class Process;
 class Scheduler;
 class SignalBase;
 class Tracer;
+
+/// One diagnostic emitted by a checker/monitor during simulation. The
+/// fault-detection harness decides "bug detected" by inspecting these.
+struct Diag {
+    Time time = 0;
+    std::string source;
+    std::string message;
+};
+
+namespace detail {
+
+/// Per-lane evaluate context: the lane's delta queue plus buffers for
+/// every side effect a process body may produce. Merged into the
+/// scheduler's global state in ascending lane order after the lanes join,
+/// which makes the merged order independent of worker timing.
+struct LaneCtx {
+    Scheduler* sch = nullptr;
+    std::vector<Process*> queue;
+    std::vector<std::uint32_t> updates;
+    std::vector<Diag> diags;
+    std::uint64_t dropped_diags = 0;
+    std::vector<std::string> stops;
+    std::uint64_t invocations = 0;
+};
+
+}  // namespace detail
 
 /// Which transitions of a signal trigger a sensitive process.
 enum class Edge : std::uint8_t {
@@ -56,11 +98,20 @@ public:
     Process& operator=(const Process&) = delete;
 
     /// Queue this process to run in the next evaluate phase (idempotent
-    /// within a delta).
+    /// within a delta). Elaboration/sequential contexts only — a process
+    /// body must never call this from a parallel evaluate phase.
     void notify();
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+
+    /// Dense registration index (assigned at construction; stable for the
+    /// scheduler's lifetime). Indexes the scheduler's flat scheduled-flag
+    /// array.
+    [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+
+    /// Event lane this process evaluates on (see Scheduler lanes).
+    [[nodiscard]] std::uint16_t lane() const noexcept { return lane_; }
 
     /// Accumulated wall-clock self time; only meaningful when the scheduler
     /// has profiling enabled. Used by the overhead experiment (E3).
@@ -83,21 +134,15 @@ private:
     Scheduler& sch_;
     std::string name_;
     std::function<void()> fn_;
-    bool scheduled_ = false;
+    std::uint32_t index_ = 0;
+    std::uint16_t lane_ = 0;
     std::uint64_t invocations_ = 0;
     std::chrono::nanoseconds self_time_{0};
 };
 
-/// One diagnostic emitted by a checker/monitor during simulation. The
-/// fault-detection harness decides "bug detected" by inspecting these.
-struct Diag {
-    Time time = 0;
-    std::string source;
-    std::string message;
-};
-
-/// Base class for all signals: owns the sensitivity fan-out and the pending
-/// update hook. Concrete storage lives in Signal<T>.
+/// Base class for all signals: owns the sensitivity fan-out, the packed
+/// reference into the scheduler's struct-of-arrays value store, and the
+/// pending-update bookkeeping. Typed accessors live in Signal<T>.
 class SignalBase {
 public:
     SignalBase(Scheduler& sch, std::string name);
@@ -108,8 +153,15 @@ public:
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-    /// Register a process to be notified on changes of this signal.
-    void add_listener(Process& p, Edge e) { listeners_.push_back({&p, e}); }
+    /// Register a process to be notified on changes of this signal. The
+    /// process's flat index is cached in the listener entry so fan-out
+    /// touches the scheduled-flag array without chasing the Process object.
+    void add_listener(Process& p, Edge e) {
+        listeners_.push_back({&p, p.index(), e});
+    }
+
+    /// Packed (kind, slot) reference into the scheduler's SignalStore.
+    [[nodiscard]] std::uint32_t store_ref() const noexcept { return ref_; }
 
     // --- tracing interface (VCD) ---------------------------------------
     /// Bit width for the VCD $var declaration.
@@ -132,33 +184,36 @@ public:
 protected:
     friend class Scheduler;
 
-    /// Commit the pending value; returns true when the value changed.
-    virtual bool apply_update() = 0;
-
     /// Fan out a committed change to sensitive processes.
     void notify_listeners(bool rising, bool falling);
 
-    /// Ask the scheduler to call apply_update() at the end of this delta.
+    /// Ask the scheduler to commit this signal's pending value at the end
+    /// of the current delta (idempotent within a delta).
     void request_update();
+
+    void set_store_ref(std::uint32_t r) noexcept { ref_ = r; }
 
     Scheduler& sch_;
 
 private:
     struct Listener {
         Process* proc;
+        std::uint32_t idx;  ///< cached proc->index()
         Edge edge;
     };
     std::string name_;
     std::vector<Listener> listeners_;
+    std::uint32_t ref_ = SignalStore::kInvalidRef;
     bool update_requested_ = false;
     mutable std::uint64_t snap_id_ = 0;  ///< 0 = not yet computed
 };
 
 /// The simulation kernel: calendar-queue time wheel + delta queues +
-/// diagnostics.
+/// struct-of-arrays signal store + diagnostics.
 class Scheduler {
 public:
-    Scheduler() = default;
+    Scheduler();
+    ~Scheduler();
 
     Scheduler(const Scheduler&) = delete;
     Scheduler& operator=(const Scheduler&) = delete;
@@ -198,15 +253,42 @@ public:
     void run();
 
     /// Request the simulation to stop at the end of the current timestep;
-    /// used by watchdogs and fatal checkers ($finish equivalent).
+    /// used by watchdogs and fatal checkers ($finish equivalent). Callable
+    /// from process bodies on any lane: during a parallel evaluate phase
+    /// the request is buffered per lane and applied in ascending lane
+    /// order, so the recorded reason is lane-count deterministic.
     void request_stop(const std::string& reason);
 
     [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
     [[nodiscard]] const std::string& stop_reason() const noexcept { return stop_reason_; }
 
+    // --- event lanes ------------------------------------------------------
+    /// Partition evaluation into `n` event lanes (n >= 1; 1 = sequential,
+    /// the default). Call once after construction, before processes are
+    /// assigned lanes. Creates a LanePool with n-1 worker threads for
+    /// n > 1.
+    void configure_lanes(unsigned n);
+
+    [[nodiscard]] unsigned lane_count() const noexcept { return lane_count_; }
+
+    /// Assign a process to an event lane (clamped modulo lane_count()).
+    /// Processes sharing state through anything but committed signal reads
+    /// must share a lane; see DESIGN.md §13 for the partitioning rules.
+    void set_process_lane(Process& p, std::uint16_t lane) {
+        p.lane_ = static_cast<std::uint16_t>(lane % lane_count_);
+    }
+
+    /// The struct-of-arrays value store backing every Signal<T>.
+    [[nodiscard]] SignalStore& signal_store() noexcept { return store_; }
+    [[nodiscard]] const SignalStore& signal_store() const noexcept {
+        return store_;
+    }
+
     // --- diagnostics -----------------------------------------------------
     /// Record a checker/monitor finding. Simulation continues; fatal
-    /// conditions should also call request_stop().
+    /// conditions should also call request_stop(). Lane-safe: reports from
+    /// a parallel evaluate phase are buffered per lane and merged in
+    /// ascending lane order.
     void report(std::string source, std::string message);
 
     [[nodiscard]] const std::vector<Diag>& diagnostics() const noexcept {
@@ -239,9 +321,13 @@ public:
 
     // --- checkpoint (orchestrated by src/ckpt/) --------------------------
     /// True when the kernel is at a checkpointable quiescent point: no
-    /// runnable process, no pending signal update, and no in-flight
+    /// runnable process, no pending signal update, no in-flight
     /// schedule_at() closure (closures cannot be serialized; the recurring
-    /// event sources — clocks, resets — re-enter the wheel on restore).
+    /// event sources — clocks, resets — re-enter the wheel on restore),
+    /// and no buffered per-lane side effects (always true outside
+    /// settle()). Lane state is deliberately *not* part of a snapshot:
+    /// the lane partition is elaboration-time configuration, so snapshot
+    /// bytes are identical at every lane count.
     [[nodiscard]] bool ckpt_quiescent() const;
 
     /// Serialize the kernel core: sim time, stop state, stats, diagnostics.
@@ -281,11 +367,32 @@ private:
         std::function<void()> fn;
     };
 
-    void make_runnable(Process* p) { runnable_.push_back(p); }
-    void register_process(Process* p) { procs_.push_back(p); }
-    void request_update(SignalBase* s) { updates_.push_back(s); }
+    using LaneCtx = detail::LaneCtx;
+
+    /// Deltas narrower than this run inline even with lanes configured:
+    /// a one- or two-process ripple never amortizes a fork/join.
+    static constexpr std::size_t kMinParallelDelta = 4;
+
+    void notify_process(Process* p, std::uint32_t idx) {
+        std::uint8_t& f = sched_flags_[idx];
+        if (f == 0) {
+            f = 1;
+            runnable_.push_back(p);
+        }
+    }
+    void register_process(Process* p) {
+        p->index_ = static_cast<std::uint32_t>(procs_.size());
+        procs_.push_back(p);
+        sched_flags_.push_back(0);
+    }
     void register_signal(SignalBase* s) { signals_.push_back(s); }
     void unregister_signal(SignalBase* s);
+    /// Route a dirty-signal reference to the current lane buffer (parallel
+    /// evaluate) or the global dirty list (sequential contexts).
+    void request_update_ref(std::uint32_t ref);
+    /// Commit one dirty signal from the store and fan out the change.
+    /// Returns true when the committed value changed.
+    bool commit_and_notify(std::uint32_t ref);
     /// Drain the time wheel and rebuild the closure-event free list.
     void ckpt_clear_events();
     void recycle(FnEvent* ev) noexcept {
@@ -295,6 +402,10 @@ private:
 
     /// Run delta cycles until no process is runnable and no update pending.
     void settle();
+    /// Evaluate one delta's runnable set across lanes (parallel when wide
+    /// enough), then merge per-lane effects in ascending lane order.
+    void run_delta_lanes();
+    void run_lane(LaneCtx& lane);
 
     Time now_ = 0;
     bool stop_requested_ = false;
@@ -305,12 +416,24 @@ private:
     FnEvent* fn_free_ = nullptr;  ///< free list threaded through next_
     std::vector<std::unique_ptr<FnEvent>> fn_pool_;
 
+    SignalStore store_;
+
     // Delta queues, double-buffered: settle() swaps the live queue with the
     // matching scratch buffer so both retain capacity across deltas.
     std::vector<Process*> runnable_;
     std::vector<Process*> run_scratch_;
-    std::vector<SignalBase*> updates_;
-    std::vector<SignalBase*> upd_scratch_;
+    std::vector<std::uint32_t> updates_;
+    std::vector<std::uint32_t> upd_scratch_;
+
+    /// Flat scheduled flags indexed by Process::index(): the fan-out hot
+    /// loop tests/sets one dense byte instead of touching each Process.
+    std::vector<std::uint8_t> sched_flags_;
+
+    unsigned lane_count_ = 1;
+    std::vector<LaneCtx> lanes_;
+    std::vector<LaneCtx*> active_lanes_;
+    std::unique_ptr<LanePool> pool_;
+    std::function<void(unsigned)> lane_runner_;
 
     std::vector<Process*> procs_;
     std::vector<SignalBase*> signals_;

@@ -1,4 +1,9 @@
 // rtlsim: typed signals with non-blocking update semantics.
+//
+// Signal<T> is a thin typed view over one slot of the scheduler's
+// struct-of-arrays SignalStore (signal_store.hpp): read()/write() index the
+// flat current/pending arrays, and the scheduler's update phase commits
+// dirty slots directly from the store with no virtual dispatch.
 #pragma once
 
 #include <bitset>
@@ -55,6 +60,11 @@ struct SignalTraits<LVec<N>> {
 /// store a pending value committed at the end of the current delta, so all
 /// processes in one delta observe a consistent snapshot — the standard HDL
 /// non-blocking assignment model that makes clocked pipelines race-free.
+///
+/// Values live out-of-line in the scheduler's SignalStore: Logic as one
+/// byte, LVec<N> as two u64 planes, integral/enum payloads as one u64.
+/// read() therefore returns by value (reassembled from the pools), which
+/// every call site already treats it as.
 template <typename T>
 class Signal final : public SignalBase {
 public:
@@ -62,50 +72,100 @@ public:
 
     /// Signals start out X (for 4-state types) like uninitialised hardware.
     Signal(Scheduler& sch, std::string name)
-        : SignalBase(sch, std::move(name)),
-          cur_(Traits::initial()),
-          next_(Traits::initial()) {}
+        : Signal(sch, std::move(name), Traits::initial()) {}
 
     Signal(Scheduler& sch, std::string name, const T& init)
-        : SignalBase(sch, std::move(name)), cur_(init), next_(init) {}
+        : SignalBase(sch, std::move(name)) {
+        SignalStore& st = store();
+        if constexpr (Traits::is_logic) {
+            set_store_ref(st.alloc_logic(static_cast<std::uint8_t>(init), this));
+        } else if constexpr (kIsVec) {
+            set_store_ref(
+                st.alloc_vec(init.val_plane(), init.unk_plane(), this));
+        } else {
+            set_store_ref(st.alloc_word(static_cast<std::uint64_t>(init), this));
+        }
+    }
 
-    [[nodiscard]] const T& read() const noexcept { return cur_; }
+    [[nodiscard]] T read() const noexcept {
+        const SignalStore& st = store();
+        const std::uint32_t s = slot();
+        if constexpr (Traits::is_logic) {
+            return static_cast<Logic>(st.logic_cur[s]);
+        } else if constexpr (kIsVec) {
+            return T::from_planes(st.vec_cur_val[s], st.vec_cur_unk[s]);
+        } else {
+            return static_cast<T>(st.word_cur[s]);
+        }
+    }
 
     /// Schedule `v` to become the visible value at the end of this delta.
     void write(const T& v) {
-        next_ = v;
-        if (!(next_ == cur_)) request_update();
+        SignalStore& st = store();
+        const std::uint32_t s = slot();
+        if constexpr (Traits::is_logic) {
+            const auto nv = static_cast<std::uint8_t>(v);
+            st.logic_next[s] = nv;
+            if (nv != st.logic_cur[s]) request_update();
+        } else if constexpr (kIsVec) {
+            const std::uint64_t val = v.val_plane();
+            const std::uint64_t unk = v.unk_plane();
+            st.vec_next_val[s] = val;
+            st.vec_next_unk[s] = unk;
+            if (val != st.vec_cur_val[s] || unk != st.vec_cur_unk[s]) {
+                request_update();
+            }
+        } else {
+            const auto nv = static_cast<std::uint64_t>(v);
+            st.word_next[s] = nv;
+            if (nv != st.word_cur[s]) request_update();
+        }
     }
 
     /// Immediate assignment: sets both current and pending value without
     /// notifying listeners. Only for pre-simulation initialisation.
     void init(const T& v) {
-        cur_ = v;
-        next_ = v;
+        SignalStore& st = store();
+        const std::uint32_t s = slot();
+        if constexpr (Traits::is_logic) {
+            const auto nv = static_cast<std::uint8_t>(v);
+            st.logic_cur[s] = nv;
+            st.logic_next[s] = nv;
+        } else if constexpr (kIsVec) {
+            st.vec_cur_val[s] = v.val_plane();
+            st.vec_cur_unk[s] = v.unk_plane();
+            st.vec_next_val[s] = v.val_plane();
+            st.vec_next_unk[s] = v.unk_plane();
+        } else {
+            const auto nv = static_cast<std::uint64_t>(v);
+            st.word_cur[s] = nv;
+            st.word_next[s] = nv;
+        }
     }
 
     // --- tracing ---------------------------------------------------------
     [[nodiscard]] unsigned trace_width() const override { return Traits::width; }
     [[nodiscard]] std::string trace_value() const override {
-        return Traits::to_trace(cur_);
+        return Traits::to_trace(read());
     }
 
     // --- checkpoint ------------------------------------------------------
     void snap_save(SnapWriter& w) const override {
+        const T cur = read();
         if constexpr (Traits::is_logic) {
-            w.u8(static_cast<std::uint8_t>(cur_));
-        } else if constexpr (detail::IsLVec<T>::value) {
-            w.u64(cur_.val_plane());
-            w.u64(cur_.unk_plane());
+            w.u8(static_cast<std::uint8_t>(cur));
+        } else if constexpr (kIsVec) {
+            w.u64(cur.val_plane());
+            w.u64(cur.unk_plane());
         } else {
-            w.u64(static_cast<std::uint64_t>(cur_));
+            w.u64(static_cast<std::uint64_t>(cur));
         }
     }
 
     bool snap_restore(SnapReader& r) override {
         if constexpr (Traits::is_logic) {
             init(static_cast<Logic>(r.u8()));
-        } else if constexpr (detail::IsLVec<T>::value) {
+        } else if constexpr (kIsVec) {
             const std::uint64_t val = r.u64();
             const std::uint64_t unk = r.u64();
             init(T::from_planes(val, unk));
@@ -115,23 +175,15 @@ public:
         return r.ok_so_far();
     }
 
-protected:
-    bool apply_update() override {
-        if (next_ == cur_) return false;
-        bool rising = false;
-        bool falling = false;
-        if constexpr (Traits::is_logic) {
-            rising = (next_ == Logic::L1) && (cur_ != Logic::L1);
-            falling = (next_ == Logic::L0) && (cur_ != Logic::L0);
-        }
-        cur_ = next_;
-        notify_listeners(rising, falling);
-        return true;
-    }
-
 private:
-    T cur_;
-    T next_;
+    static constexpr bool kIsVec = detail::IsLVec<T>::value;
+
+    [[nodiscard]] SignalStore& store() const noexcept {
+        return sch_.signal_store();
+    }
+    [[nodiscard]] std::uint32_t slot() const noexcept {
+        return SignalStore::slot_of(store_ref());
+    }
 };
 
 }  // namespace rtlsim

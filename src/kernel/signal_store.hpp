@@ -1,0 +1,122 @@
+// rtlsim: struct-of-arrays backing store for signal values.
+//
+// Signal<T> objects do not hold their values inline. Each signal owns a
+// *slot* in one of three typed pools kept by its scheduler, and the pools
+// store current and pending values in flat, contiguous arrays:
+//
+//   kLogic : one byte per signal           (Logic scalars)
+//   kVec   : two u64 planes per signal     (LVec<N>, N <= 64: val/unk)
+//   kWord  : one u64 per signal            (integral and enum payloads)
+//
+// The split buys two things on the kernel's hottest paths (bm_signal_commit,
+// bm_clock_fanout):
+//   * the update phase walks a dense dirty list of packed (kind, slot)
+//     references and commits straight from `next` to `cur` arrays with a
+//     two-bit switch — no virtual apply_update() call, no pointer chase
+//     into scattered Signal<T> objects;
+//   * values of signals allocated together (one module's ports) share
+//     cache lines, so clock fan-out touches a handful of lines instead of
+//     one per signal object.
+//
+// Slots are allocated at elaboration and never reused; a destroyed signal
+// (teardown, or the rare dynamically re-created module) only clears its
+// owner back-pointer so a stale dirty-list entry commits into dead storage
+// harmlessly. The arrays are value storage only — names, listeners and the
+// checkpoint identity stay on SignalBase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rtlsim {
+
+class SignalBase;
+
+class SignalStore {
+public:
+    enum Kind : std::uint32_t { kLogic = 0, kVec = 1, kWord = 2 };
+
+    /// Packed reference: kind in the top two bits, slot below. One u32 per
+    /// dirty-list entry keeps the update queue dense.
+    static constexpr std::uint32_t kKindShift = 30;
+    static constexpr std::uint32_t kSlotMask = (1u << kKindShift) - 1;
+    static constexpr std::uint32_t kInvalidRef = ~std::uint32_t{0};
+
+    [[nodiscard]] static constexpr std::uint32_t make_ref(
+        Kind k, std::uint32_t slot) noexcept {
+        return (static_cast<std::uint32_t>(k) << kKindShift) | slot;
+    }
+    [[nodiscard]] static constexpr Kind kind_of(std::uint32_t ref) noexcept {
+        return static_cast<Kind>(ref >> kKindShift);
+    }
+    [[nodiscard]] static constexpr std::uint32_t slot_of(
+        std::uint32_t ref) noexcept {
+        return ref & kSlotMask;
+    }
+
+    [[nodiscard]] std::uint32_t alloc_logic(std::uint8_t init,
+                                            SignalBase* owner) {
+        const auto slot = static_cast<std::uint32_t>(logic_cur.size());
+        logic_cur.push_back(init);
+        logic_next.push_back(init);
+        logic_owner.push_back(owner);
+        return make_ref(kLogic, slot);
+    }
+
+    [[nodiscard]] std::uint32_t alloc_vec(std::uint64_t val, std::uint64_t unk,
+                                          SignalBase* owner) {
+        const auto slot = static_cast<std::uint32_t>(vec_cur_val.size());
+        vec_cur_val.push_back(val);
+        vec_cur_unk.push_back(unk);
+        vec_next_val.push_back(val);
+        vec_next_unk.push_back(unk);
+        vec_owner.push_back(owner);
+        return make_ref(kVec, slot);
+    }
+
+    [[nodiscard]] std::uint32_t alloc_word(std::uint64_t init,
+                                           SignalBase* owner) {
+        const auto slot = static_cast<std::uint32_t>(word_cur.size());
+        word_cur.push_back(init);
+        word_next.push_back(init);
+        word_owner.push_back(owner);
+        return make_ref(kWord, slot);
+    }
+
+    /// Detach a dying signal from its slot; the storage itself stays.
+    void release(std::uint32_t ref) noexcept {
+        if (ref == kInvalidRef) return;
+        const std::uint32_t slot = slot_of(ref);
+        switch (kind_of(ref)) {
+            case kLogic: logic_owner[slot] = nullptr; break;
+            case kVec: vec_owner[slot] = nullptr; break;
+            case kWord: word_owner[slot] = nullptr; break;
+        }
+    }
+
+    [[nodiscard]] SignalBase* owner_of(std::uint32_t ref) const noexcept {
+        const std::uint32_t slot = slot_of(ref);
+        switch (kind_of(ref)) {
+            case kLogic: return logic_owner[slot];
+            case kVec: return vec_owner[slot];
+            case kWord: return word_owner[slot];
+        }
+        return nullptr;
+    }
+
+    // Pools. Public by design: Signal<T>'s read/write accessors and the
+    // scheduler's commit loop are the hot paths this layout exists for.
+    std::vector<std::uint8_t> logic_cur;
+    std::vector<std::uint8_t> logic_next;
+    std::vector<std::uint64_t> vec_cur_val;
+    std::vector<std::uint64_t> vec_cur_unk;
+    std::vector<std::uint64_t> vec_next_val;
+    std::vector<std::uint64_t> vec_next_unk;
+    std::vector<std::uint64_t> word_cur;
+    std::vector<std::uint64_t> word_next;
+    std::vector<SignalBase*> logic_owner;
+    std::vector<SignalBase*> vec_owner;
+    std::vector<SignalBase*> word_owner;
+};
+
+}  // namespace rtlsim

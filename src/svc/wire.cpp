@@ -1,5 +1,6 @@
 #include "wire.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -232,13 +233,29 @@ bool decode_frame(std::span<const std::uint8_t> image, Frame* out,
 
 namespace {
 
+/// Full write, restarting on EINTR and resuming after short writes.
+/// send(MSG_NOSIGNAL) instead of write() so a peer that disappeared
+/// mid-frame surfaces as EPIPE here rather than a process-killing SIGPIPE
+/// (the daemon must survive any client hanging up). Non-socket fds (the
+/// tests drive frames through pipes) fall back to write().
 bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+    bool is_socket = true;
     while (n != 0) {
-        const ssize_t w = ::write(fd, p, n);
+        ssize_t w;
+        if (is_socket) {
+            w = ::send(fd, p, n, MSG_NOSIGNAL);
+            if (w < 0 && errno == ENOTSOCK) {
+                is_socket = false;
+                continue;
+            }
+        } else {
+            w = ::write(fd, p, n);
+        }
         if (w < 0) {
             if (errno == EINTR) continue;
             return false;
         }
+        if (w == 0) return false;  // no progress — don't spin forever
         p += w;
         n -= static_cast<std::size_t>(w);
     }

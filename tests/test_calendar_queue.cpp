@@ -5,10 +5,38 @@
 // overflow map, the ring/overflow boundary, and same-time rescheduling.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kernel/kernel.hpp"
+#include "kernel/prng.hpp"
+
+namespace rtlsim {
+
+/// White-box driver for testing CalendarQueue without a Scheduler: primes
+/// the intrusive fields the way Scheduler::schedule_* does and walks the
+/// FIFO chain pop_step() hands back. Declared a friend in event.hpp so the
+/// production fields stay private.
+struct EventTestAccess {
+    static void prime(TimedEvent& e, Time t) {
+        e.time_ = t;
+        e.pending_ = true;
+        e.next_ = nullptr;
+    }
+    [[nodiscard]] static TimedEvent* next(const TimedEvent& e) {
+        return e.next_;
+    }
+    static void retire(TimedEvent& e) {
+        e.pending_ = false;
+        e.next_ = nullptr;
+    }
+};
+
+}  // namespace rtlsim
 
 namespace {
 
@@ -223,6 +251,205 @@ TEST(CalendarQueue, RunUntilStopsAtRequestedTime) {
     EXPECT_EQ(sch.now(), 47 * NS);
     // Events strictly after the limit stay queued.
     EXPECT_EQ(sch.stats.timed_events, 9u);  // edges at 5,10,...,45 ns
+}
+
+// --- differential property test ------------------------------------------
+// Drives CalendarQueue directly (EventTestAccess) against the reference it
+// replaced — a std::multimap, whose equal-key insertion order is exactly
+// the FIFO-per-timestamp contract. Random push/pop_step/clear sequences are
+// biased to hammer the structural trouble spots: timestamps quantised so
+// equal-time chains recur, deltas clustered around the ring/overflow
+// horizon so events straddle the boundary and migrate_front() interleaves
+// them back, and restore-style clear() calls that rewind simulated time to
+// exercise the floor_bucket_ reset.
+
+using rtlsim::EventTestAccess;
+
+/// Inert event node: the differential driver never fires, it only checks
+/// structural order.
+class NullEvent final : public TimedEvent {
+    void fire() override {}
+};
+
+void differential_run(std::uint64_t seed, unsigned bucket_shift,
+                      int iterations) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " shift=" + std::to_string(bucket_shift));
+    CalendarQueue q(bucket_shift);
+    // The reference: multimap insert places equal keys after existing ones,
+    // i.e. same-timestamp FIFO — the contract under test.
+    std::multimap<Time, NullEvent*> ref;
+
+    const Time bucket = Time{1} << bucket_shift;
+    const Time horizon = bucket * 256;  // ring span (kBuckets buckets)
+
+    std::vector<std::unique_ptr<NullEvent>> pool;
+    std::vector<NullEvent*> free_nodes;
+    auto take_node = [&]() -> NullEvent* {
+        if (free_nodes.empty()) {
+            pool.push_back(std::make_unique<NullEvent>());
+            return pool.back().get();
+        }
+        NullEvent* n = free_nodes.back();
+        free_nodes.pop_back();
+        return n;
+    };
+
+    std::uint64_t rng = rtlsim::derive_seed(seed, 0x4351'5546'5ull);  // "CQFUZ"
+    auto draw = [&rng]() {
+        rng = rtlsim::splitmix64(rng);
+        return rng;
+    };
+
+    Time now = 0;
+    for (int i = 0; i < iterations; ++i) {
+        ASSERT_EQ(q.size(), ref.size());
+        const std::uint64_t op = draw() % 100;
+        if (op < 55) {
+            // push — delta biased toward the interesting bands, quantised
+            // to bucket/4 so identical timestamps recur often.
+            const std::uint64_t band = draw() % 10;
+            Time dt = 0;
+            if (band < 3) {
+                dt = 0;  // same-time chain growth
+            } else if (band < 6) {
+                dt = (draw() % 8) * bucket;  // in-ring, near the floor
+            } else if (band < 9) {
+                // straddle the horizon: [horizon - 2 buckets, horizon + 2)
+                dt = horizon - 2 * bucket + (draw() % (4 * 256)) * (bucket / 4 + 1);
+            } else {
+                dt = horizon * (2 + draw() % 6);  // deep overflow
+            }
+            NullEvent* ev = take_node();
+            EventTestAccess::prime(*ev, now + dt);
+            q.push(ev, now);
+            ref.emplace(now + dt, ev);
+        } else if (op < 90) {
+            // pop_step — must return the reference's whole earliest
+            // timestep, in reference (scheduling) order.
+            Time t = 0;
+            TimedEvent* chain = q.pop_step(t);
+            if (ref.empty()) {
+                ASSERT_EQ(chain, nullptr);
+                continue;
+            }
+            ASSERT_NE(chain, nullptr);
+            const Time tmin = ref.begin()->first;
+            ASSERT_EQ(t, tmin);
+            now = t;
+            auto it = ref.begin();
+            for (TimedEvent* e = chain; e != nullptr;) {
+                TimedEvent* next = EventTestAccess::next(*e);
+                ASSERT_NE(it, ref.end());
+                ASSERT_EQ(it->first, tmin) << "chain longer than the step";
+                ASSERT_EQ(e, it->second) << "FIFO order diverged at t=" << t;
+                EventTestAccess::retire(*e);
+                free_nodes.push_back(static_cast<NullEvent*>(e));
+                it = ref.erase(it);
+                e = next;
+            }
+            ASSERT_TRUE(it == ref.end() || it->first != tmin)
+                << "pop_step left same-time events behind";
+        } else if (op < 97) {
+            // peek only.
+            Time t = 0;
+            const bool have = q.peek_next(t);
+            ASSERT_EQ(have, !ref.empty());
+            if (have) {
+                ASSERT_EQ(t, ref.begin()->first);
+            }
+        } else {
+            // restore-style clear: discard the timeline and rewind `now`
+            // to an arbitrary earlier point — floor_bucket_ must rewind
+            // with it or the next pushes land outside the scan window.
+            q.clear();
+            for (auto& [t, e] : ref) {
+                EXPECT_FALSE(e->pending());
+                free_nodes.push_back(e);
+            }
+            ref.clear();
+            ASSERT_TRUE(q.empty());
+            now = (now > 0) ? draw() % now : 0;
+        }
+    }
+    // Drain whatever is left so the final state also matches.
+    Time t = 0;
+    while (TimedEvent* chain = q.pop_step(t)) {
+        ASSERT_FALSE(ref.empty());
+        ASSERT_EQ(t, ref.begin()->first);
+        auto it = ref.begin();
+        for (TimedEvent* e = chain; e != nullptr;
+             e = EventTestAccess::next(*e)) {
+            ASSERT_NE(it, ref.end());
+            ASSERT_EQ(e, it->second);
+            it = ref.erase(it);
+        }
+    }
+    ASSERT_TRUE(ref.empty());
+}
+
+TEST(CalendarQueueDifferential, MatchesMultimapAtProductionBucketWidth) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        differential_run(seed, /*bucket_shift=*/12, /*iterations=*/20000);
+    }
+}
+
+// A narrow 4-ps bucket shrinks the horizon to ~1 ns, so the same op mix
+// pushes far more traffic through the overflow map and the migrate path.
+TEST(CalendarQueueDifferential, MatchesMultimapAtNarrowBucketWidth) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        differential_run(seed, /*bucket_shift=*/2, /*iterations=*/20000);
+    }
+}
+
+// Deterministic regression for the restore rewind: run the window far
+// forward, clear(), then schedule near t=0 again. If clear() failed to
+// rewind floor_bucket_, the early push would assert (debug) or land
+// outside the bounded first_bucket() scan (release).
+TEST(CalendarQueueDifferential, ClearRewindsTheWindowForAnEarlierTimeline) {
+    CalendarQueue q(12);
+    NullEvent a;
+    NullEvent b;
+    EventTestAccess::prime(a, 50 * US);
+    q.push(&a, 0);
+    Time t = 0;
+    ASSERT_NE(q.pop_step(t), nullptr);  // floor now at the 50 us bucket
+    EventTestAccess::retire(a);
+
+    q.clear();
+    EventTestAccess::prime(b, 10 * NS);  // pre-restore past would be illegal
+    q.push(&b, 0);
+    ASSERT_NE(q.pop_step(t), nullptr);
+    EXPECT_EQ(t, 10 * NS);
+}
+
+// FIFO across migrate_front(): an overflow-parked event and a ring event at
+// the same timestamp must fire in scheduling order once the window reaches
+// them — the overflow entry was scheduled first, so it fires first.
+TEST(CalendarQueueDifferential, MigrationPreservesSameTimeFifo) {
+    constexpr Time kT = 3 * US;  // beyond the 1.05 us ring horizon from 0
+    CalendarQueue q(12);
+    NullEvent first;
+    NullEvent stepper;
+    NullEvent second;
+    EventTestAccess::prime(first, kT);
+    q.push(&first, 0);  // overflow
+    EventTestAccess::prime(stepper, kT - 500 * NS);
+    q.push(&stepper, 0);  // ring, moves the window close to kT when popped
+
+    Time t = 0;
+    ASSERT_NE(q.pop_step(t), nullptr);
+    ASSERT_EQ(t, kT - 500 * NS);
+    EventTestAccess::retire(stepper);
+
+    EventTestAccess::prime(second, kT);
+    q.push(&second, t);  // ring path: must migrate `first` ahead of itself
+
+    TimedEvent* chain = q.pop_step(t);
+    ASSERT_EQ(t, kT);
+    ASSERT_EQ(chain, &first);
+    ASSERT_EQ(EventTestAccess::next(*chain), &second);
+    ASSERT_EQ(EventTestAccess::next(second), nullptr);
 }
 
 }  // namespace

@@ -11,6 +11,9 @@
 // kernel semantics, and say why in the commit message.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "sys/testbench.hpp"
@@ -82,6 +85,53 @@ TEST(KernelInvariance, WideConfigOneFrameMatchesGolden) {
                          .time_steps = 95504,
                          .sim_time = 477520000,
                      });
+}
+
+// The parallel evaluate phase must be invisible: the canned golden run is
+// re-checked at every supported lane count, and the full observable
+// surface — SimStats, the VCD trace, and the checkpoint blob — must be
+// byte-identical to the sequential kernel. This is the acceptance pin for
+// the event-lane machinery (DESIGN.md §13): any scheduling-order leak into
+// committed values, trace emission, or snapshot bytes fails here.
+TEST(KernelInvariance, GoldenRunIsByteIdenticalAtEveryLaneCount) {
+    struct Capture {
+        RunResult result;
+        std::string vcd;
+        std::string ckpt;
+    };
+    auto run_at = [](unsigned lanes) {
+        const std::string vcd_path = ::testing::TempDir() + "inv_lanes" +
+                                     std::to_string(lanes) + ".vcd";
+        SystemConfig cfg;
+        cfg.lanes = lanes;
+        cfg.vcd_path = vcd_path;
+        Testbench tb(cfg, /*scene_seed=*/1);
+        Capture c{tb.run(2), "", ""};
+        std::ostringstream os;
+        EXPECT_TRUE(tb.sys.save(os));
+        c.ckpt = os.str();
+        std::ifstream is(vcd_path, std::ios::binary);
+        std::ostringstream vs;
+        vs << is.rdbuf();
+        c.vcd = vs.str();
+        std::remove(vcd_path.c_str());
+        return c;
+    };
+
+    const Capture ref = run_at(1);
+    ASSERT_EQ(ref.result.frames_completed, 2u);
+    ASSERT_FALSE(ref.vcd.empty());
+    ASSERT_FALSE(ref.ckpt.empty());
+    for (const unsigned lanes : {2u, 4u}) {
+        const Capture c = run_at(lanes);
+        EXPECT_EQ(c.result.stats, ref.result.stats) << "lanes=" << lanes;
+        EXPECT_EQ(c.result.sim_time, ref.result.sim_time) << "lanes=" << lanes;
+        EXPECT_EQ(c.result.verdict(), ref.result.verdict())
+            << "lanes=" << lanes;
+        EXPECT_EQ(c.vcd, ref.vcd) << "VCD bytes diverged at lanes=" << lanes;
+        EXPECT_EQ(c.ckpt, ref.ckpt)
+            << "checkpoint bytes diverged at lanes=" << lanes;
+    }
 }
 
 // The same configuration must be deterministic run-to-run — otherwise the

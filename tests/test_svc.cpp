@@ -11,9 +11,14 @@
 // kill -9), the executor's diff resume, and finally a live daemon served
 // over a real AF_UNIX socket driven through the client library.
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -176,6 +181,126 @@ TEST(SvcWire, ConfigHashPinsKindAndParams) {
     JobSpec d = a;
     d.kind = "diff";
     EXPECT_NE(a.config_hash(), d.config_hash());
+}
+
+// --- wire over real fds ----------------------------------------------------
+// read_frame_fd/write_frame_fd must tolerate everything a stream socket is
+// allowed to do to a frame: arbitrary fragmentation (a dribbling peer that
+// delivers one byte per read), EINTR restarts mid-read and mid-write, and a
+// peer that vanishes mid-frame — which must surface as a clean `false`
+// (EPIPE), never as a process-killing SIGPIPE.
+
+/// A connected AF_UNIX stream pair, closed on destruction.
+struct FdPair {
+    FdPair() {
+        int sv[2] = {-1, -1};
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        a = sv[0];
+        b = sv[1];
+    }
+    ~FdPair() {
+        close_a();
+        close_b();
+    }
+    void close_a() {
+        if (a >= 0) ::close(a);
+        a = -1;
+    }
+    void close_b() {
+        if (b >= 0) ::close(b);
+        b = -1;
+    }
+    int a = -1;
+    int b = -1;
+};
+
+TEST(SvcWireFd, DribblingPeerOneByteAtATimeReassemblesFrames) {
+    FdPair fds;
+    // Three back-to-back frames, delivered one byte per write() so every
+    // read on the receiving side is as short as a stream allows.
+    std::vector<std::uint8_t> stream;
+    const JobSpec spec = sample_spec();
+    for (const auto& img : {encode_frame(MsgType::kHello, Hello{1, "cli"}),
+                            encode_frame(MsgType::kSubmit, spec),
+                            encode_frame(MsgType::kList, JobRef{7})}) {
+        stream.insert(stream.end(), img.begin(), img.end());
+    }
+    std::thread writer([&] {
+        for (const std::uint8_t byte : stream) {
+            ASSERT_EQ(::write(fds.a, &byte, 1), 1);
+        }
+        fds.close_a();
+    });
+
+    Frame f;
+    ASSERT_TRUE(read_frame_fd(fds.b, &f));
+    EXPECT_EQ(f.type, MsgType::kHello);
+    ASSERT_TRUE(read_frame_fd(fds.b, &f));
+    EXPECT_EQ(f.type, MsgType::kSubmit);
+    JobSpec got;
+    {
+        auto r = f.reader();
+        ASSERT_TRUE(got.decode(r));
+    }
+    EXPECT_EQ(got.id, spec.id);
+    EXPECT_EQ(got.params, spec.params);
+    ASSERT_TRUE(read_frame_fd(fds.b, &f));
+    EXPECT_EQ(f.type, MsgType::kList);
+    // Clean EOF at the frame boundary after the writer hangs up.
+    EXPECT_FALSE(read_frame_fd(fds.b, &f));
+    writer.join();
+}
+
+TEST(SvcWireFd, EintrStormDuringLargeFrameIsRestartedOnBothSides) {
+    // SIGUSR1 with an empty handler and no SA_RESTART: every signal that
+    // lands while a thread sits in read()/send() makes the call fail with
+    // EINTR (or return short), which the wire loops must absorb.
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0;  // deliberately not SA_RESTART
+    struct sigaction old = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    FdPair fds;
+    // Much larger than the AF_UNIX buffer, so the writer blocks mid-frame
+    // and signals force partial sends as well as partial reads.
+    std::vector<std::uint8_t> body(2u << 20);
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        body[i] = static_cast<std::uint8_t>(i * 131u + 17u);
+    }
+    std::atomic<bool> done{false};
+    bool wrote = false;
+    std::thread writer([&] {
+        wrote = write_frame_fd(fds.a, MsgType::kRecord, body);
+    });
+    Frame f;
+    bool read_ok = false;
+    std::thread reader([&] {
+        read_ok = read_frame_fd(fds.b, &f);
+        done = true;
+    });
+    while (!done) {
+        ::pthread_kill(writer.native_handle(), SIGUSR1);
+        ::pthread_kill(reader.native_handle(), SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    writer.join();
+    reader.join();
+    ::sigaction(SIGUSR1, &old, nullptr);
+
+    EXPECT_TRUE(wrote);
+    ASSERT_TRUE(read_ok);
+    EXPECT_EQ(f.type, MsgType::kRecord);
+    EXPECT_EQ(f.body, body);
+}
+
+TEST(SvcWireFd, PeerGoneMidFrameIsAnErrorNotSigpipe) {
+    FdPair fds;
+    fds.close_b();  // reader hangs up before the frame
+    // Without MSG_NOSIGNAL this raises SIGPIPE (default disposition: kill
+    // the process — nothing in the daemon ignores it) instead of failing.
+    const std::vector<std::uint8_t> body(64u << 10, 0xAB);
+    EXPECT_FALSE(write_frame_fd(fds.a, MsgType::kRecord, body));
 }
 
 // --- journal ---------------------------------------------------------------

@@ -7,6 +7,13 @@ beyond the threshold. The default threshold is deliberately generous (1.5x)
 so shared-runner noise does not flake CI; real kernel regressions are an
 order of magnitude above it.
 
+Every mismatch between the two files is a hard failure with the offending
+benchmark named: a baseline entry absent from the current run (a benchmark
+silently stopped running), a current benchmark absent from the baseline (a
+new benchmark was added without committing its baseline entry), and a
+malformed entry on either side (missing/non-numeric real_time, unknown
+time_unit). A gate that skips what it cannot parse is not a gate.
+
 Usage:
     tools/bench_compare.py current.json bench/baseline.json [--threshold 1.5]
 """
@@ -14,14 +21,39 @@ Usage:
 import argparse
 import json
 import sys
-from pathlib import Path
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load(path: str) -> dict:
-    with open(path) as fh:
-        return json.load(fh)
+def load_benchmarks(path: str, malformed: list) -> dict:
+    """Parse ``{"benchmarks": {name: {real_time, time_unit}}}``.
+
+    Structural problems (unreadable file, missing table) abort immediately;
+    per-entry problems are recorded in ``malformed`` as ``file:key:
+    reason`` so every bad entry is named in one run.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"FAIL: cannot read {path}: {err}")
+    table = doc.get("benchmarks")
+    if not isinstance(table, dict):
+        sys.exit(f"FAIL: {path}: no 'benchmarks' object")
+    out = {}
+    for name, entry in table.items():
+        reason = None
+        if not isinstance(entry, dict):
+            reason = "entry is not an object"
+        elif not isinstance(entry.get("real_time"), (int, float)):
+            reason = "missing or non-numeric 'real_time'"
+        elif entry.get("time_unit", "ns") not in UNIT_TO_NS:
+            reason = f"unknown time_unit {entry.get('time_unit')!r}"
+        if reason is not None:
+            malformed.append(f"{path}: '{name}': {reason}")
+            continue
+        out[name] = entry
+    return out
 
 
 def in_ns(entry: dict) -> float:
@@ -34,10 +66,14 @@ def main() -> int:
     ap.add_argument("baseline")
     ap.add_argument("--threshold", type=float, default=1.5,
                     help="fail when current/baseline exceeds this ratio")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="report benchmarks missing a baseline entry "
+                         "without failing (local runs of a subset)")
     args = ap.parse_args()
 
-    current = load(args.current)["benchmarks"]
-    baseline = load(args.baseline)["benchmarks"]
+    malformed = []
+    current = load_benchmarks(args.current, malformed)
+    baseline = load_benchmarks(args.baseline, malformed)
 
     failures = []
     missing = []
@@ -63,14 +99,24 @@ def main() -> int:
         print(f"{name:<{width}} {base_ns:>10.1f}ns {cur_ns:>10.1f}ns "
               f"{ratio:>6.2f}x  {verdict}")
 
-    for name in sorted(set(current) - set(baseline)):
-        print(f"{name:<{width}} {'(new)':>12} {in_ns(current[name]):>10.1f}ns"
-              f"          not gated")
+    unbaselined = sorted(set(current) - set(baseline))
+    for name in unbaselined:
+        print(f"{name:<{width}} {'(none)':>12} {in_ns(current[name]):>10.1f}ns"
+              f"          NO BASELINE")
 
     ok = True
+    if malformed:
+        print("\nFAIL: malformed benchmark entries:\n  "
+              + "\n  ".join(malformed), file=sys.stderr)
+        ok = False
     if missing:
         print(f"\nFAIL: baseline benchmarks missing from current run: "
               f"{', '.join(missing)}", file=sys.stderr)
+        ok = False
+    if unbaselined and not args.allow_new:
+        print(f"\nFAIL: benchmarks with no baseline entry (add them to "
+              f"bench/baseline.json): {', '.join(unbaselined)}",
+              file=sys.stderr)
         ok = False
     if failures:
         print(f"\nFAIL: regressions beyond {args.threshold:.2f}x: "

@@ -1,5 +1,6 @@
 #include "closure.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "ckpt/checkpoint.hpp"
+#include "rrm/rrm_harness.hpp"
 #include "scen/stream_harness.hpp"
 #include "sink.hpp"
 #include "sys/detection.hpp"
@@ -59,6 +61,79 @@ JobReport run_system_job(const scen::Scenario& s, const JobContext& ctx) {
                               s.config.clk_period);
     }
     if (r.traced) r.metrics.to_metric_map(rep.metrics);
+    return rep;
+}
+
+JobReport run_regions_job(const scen::Scenario& s) {
+    // The harness is self-bounding (cfg.max_cycles bailout), so the job
+    // runs to completion rather than polling the cancel flag.
+    const rrm::RrmResult r = rrm::run_rrm_scenario(s.rrm);
+    JobReport rep;
+    rep.coverage = cover::make_model();
+    cover::observe_events(rep.coverage, r.events, r.clk_period);
+    cover::observe_rrm(rep.coverage, s.rrm, r);
+    rep.stats = r.stats;
+    rep.sim_time = r.sim_time;
+    rep.stages.dpr_sim = r.sim_time;
+
+    std::uint64_t jobs = 0, timeouts = 0;
+    for (const std::uint32_t j : r.jobs_done) jobs += j;
+    for (const std::uint32_t t : r.timeouts) timeouts += t;
+    const std::uint64_t expected_jobs =
+        std::uint64_t{s.rrm.regions} * s.rrm.jobs_per_region;
+
+    // A dropped isolation clamp must be *detected* (boundary diagnostics);
+    // clean and overlap scenarios must drain their whole job mix without a
+    // complaint. The FAR misdirection is judged by its signature instead:
+    // the victim submits every session yet its boundary never swaps (they
+    // all land on the co-region). Whether the stomped co-region then times
+    // out or leaks X from its unisolated boundary depends on plan timing
+    // across policies and region counts — that collateral is the
+    // corruption's legitimate physics, not a harness failure, so it does
+    // not gate the job (the 2-region round-robin shape, where the fallout
+    // happens to be silent, is pinned by the RrmHarnessRun unit test).
+    if (s.rrm.corrupt == rrm::RegionCorrupt::kDropIsolation) {
+        rep.pass = r.completed && r.diagnostics > 0;
+        rep.verdict = rep.pass ? "clean"
+                               : "[isolation leak undetected after " +
+                                     std::to_string(jobs) + " jobs]";
+    } else if (s.rrm.corrupt == rrm::RegionCorrupt::kWrongRegionFar) {
+        std::uint32_t victim_swaps = 0;
+        for (const obs::Event& e : r.events) {
+            if (e.kind == obs::EventKind::kSwap &&
+                e.region == s.rrm.victim) {
+                ++victim_swaps;
+            }
+        }
+        rep.pass = r.completed && victim_swaps == 0 &&
+                   r.sessions[s.rrm.victim] == s.rrm.jobs_per_region;
+        rep.verdict = rep.pass
+                          ? "clean"
+                          : "[misdirection signature broken: victim swaps " +
+                                std::to_string(victim_swaps) + ", sessions " +
+                                std::to_string(r.sessions[s.rrm.victim]) +
+                                "/" + std::to_string(s.rrm.jobs_per_region) +
+                                (r.completed ? "]" : ", manager hung]");
+    } else {
+        rep.pass = r.completed && r.diagnostics == 0 &&
+                   jobs == expected_jobs && timeouts == 0;
+        rep.verdict =
+            rep.pass ? "clean"
+                     : "[jobs " + std::to_string(jobs) + "/" +
+                           std::to_string(expected_jobs) + ", timeouts " +
+                           std::to_string(timeouts) + ", diags " +
+                           std::to_string(r.diagnostics) +
+                           (r.completed ? "]" : ", manager hung]");
+    }
+    std::uint64_t max_wait = 0;
+    for (const std::uint64_t w : r.arb_max_wait) {
+        max_wait = std::max(max_wait, w);
+    }
+    rep.metrics = {{"swaps", static_cast<double>(r.swaps)},
+                   {"jobs", static_cast<double>(jobs)},
+                   {"timeouts", static_cast<double>(timeouts)},
+                   {"arb_max_wait", static_cast<double>(max_wait)},
+                   {"diagnostics", static_cast<double>(r.diagnostics)}};
     return rep;
 }
 
@@ -120,6 +195,14 @@ std::vector<SimJob> scenario_jobs(const std::vector<scen::Scenario>& batch,
                 job.params["fault"] = sys::fault_info(s.fault).id;
                 job.body = [s](const JobContext& ctx) {
                     return run_fault_job(s, ctx);
+                };
+                break;
+            case scen::Kind::kRegions:
+                job.params["kind"] = "regions";
+                job.params["regions"] = std::to_string(s.rrm.regions);
+                job.params["policy"] = rrm::to_string(s.rrm.policy);
+                job.body = [s](const JobContext&) {
+                    return run_regions_job(s);
                 };
                 break;
         }

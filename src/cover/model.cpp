@@ -51,6 +51,35 @@ const char* irq_lat_bin(double cycles) {
     return "gt512";
 }
 
+// The rrm.cross axes. Region indices 2+ share one slot ("r2p"): the pool
+// is capped at obs::kMaxRegions and the high regions are configured
+// identically, so splitting them would only add bins that duplicate r2's
+// reachability.
+constexpr const char* kRegionAxis[] = {"r0", "r1", "r2p"};
+
+const char* region_axis_bin(std::uint32_t region) {
+    return kRegionAxis[region >= 2 ? 2 : region];
+}
+
+const char* engine_axis_bin(rrm::EngineKind k) {
+    switch (k) {
+        case rrm::EngineKind::kCensus: return "census";
+        case rrm::EngineKind::kMatching: return "matching";
+        case rrm::EngineKind::kSobel: return "sobel";
+        case rrm::EngineKind::kFlow: return "flow";
+        default: return nullptr;
+    }
+}
+
+const char* policy_axis_bin(rrm::Policy p) {
+    switch (p) {
+        case rrm::Policy::kRoundRobin: return "rr";
+        case rrm::Policy::kDeadline: return "deadline";
+        case rrm::Policy::kDemand: return "demand";
+    }
+    return "rr";
+}
+
 }  // namespace
 
 Coverage make_model() {
@@ -116,6 +145,31 @@ Coverage make_model() {
     irq.add_bin("33_128");
     irq.add_bin("129_512");
     irq.add_bin("gt512");
+
+    // Region x engine x policy over the virtualization pool. Every cell is
+    // reachable: the harness's job mix rotates the engine library with a
+    // per-region phase, so jobs_per_region = 4 visits all four engines in
+    // any region, and the policy axis is a per-scenario knob.
+    Covergroup& rrm = cov.add_group("rrm.cross");
+    for (const char* r : kRegionAxis) {
+        for (const rrm::EngineKind e :
+             {rrm::EngineKind::kCensus, rrm::EngineKind::kMatching,
+              rrm::EngineKind::kSobel, rrm::EngineKind::kFlow}) {
+            for (const rrm::Policy p :
+                 {rrm::Policy::kRoundRobin, rrm::Policy::kDeadline,
+                  rrm::Policy::kDemand}) {
+                rrm.add_bin(std::string(r) + "." + engine_axis_bin(e) + "." +
+                            policy_axis_bin(p));
+            }
+        }
+    }
+
+    Covergroup& arb = cov.add_group("rrm.arb");
+    arb.add_bin("fair.uncontended");
+    arb.add_bin("fair.contended");
+    arb.add_bin("priority.uncontended");
+    arb.add_bin("priority.contended");
+    arb.add_bin("vm_swap");
 
     return cov;
 }
@@ -312,6 +366,39 @@ void observe_detection(Coverage& cov, sys::Fault fault, DetectMethod method,
     if (det == nullptr) return;
     const sys::FaultInfo& fi = sys::fault_info(fault);
     det->hit(std::string(fi.id) + fault_bin_suffix(method, detected));
+}
+
+void observe_rrm(Coverage& cov, const rrm::RrmConfig& cfg,
+                 const rrm::RrmResult& result) {
+    Covergroup* cross = cov.find("rrm.cross");
+    Covergroup* arb = cov.find("rrm.arb");
+    if (cross == nullptr || arb == nullptr) return;
+
+    const char* policy = policy_axis_bin(cfg.policy);
+    for (const obs::Event& e : result.events) {
+        if (e.kind != obs::EventKind::kRegionJob) continue;
+        const char* engine =
+            engine_axis_bin(static_cast<rrm::EngineKind>(e.a));
+        if (engine == nullptr) continue;
+        cross->hit(std::string(region_axis_bin(e.region)) + "." + engine +
+                   "." + policy);
+    }
+
+    if (cfg.vm_mode) {
+        // Virtual Multiplexing bypasses the ICAP entirely — the swap path
+        // itself is the interesting outcome.
+        std::uint64_t sessions = 0;
+        for (const std::uint32_t s : result.sessions) sessions += s;
+        if (sessions > 0) arb->hit("vm_swap");
+        return;
+    }
+    bool contended = false;
+    for (const std::uint64_t w : result.arb_max_wait) {
+        contended = contended || w > 0;
+    }
+    const bool fair = cfg.grant == rrm::IcapArbiter::Grant::kFair;
+    arb->hit(std::string(fair ? "fair" : "priority") +
+             (contended ? ".contended" : ".uncontended"));
 }
 
 }  // namespace autovision::cover

@@ -14,13 +14,19 @@
 //   * fault.det  — fault x method x detection-outcome cross over the full
 //                  kFaultCatalog; cells contradicting the catalogue
 //                  expectation are ignore bins (tracked, not goals);
-//   * irq.lat    — IRQ-raise-to-service latency buckets, in cycles.
+//   * irq.lat    — IRQ-raise-to-service latency buckets, in cycles;
+//   * rrm.cross  — region x engine x policy cross over the time-shared
+//                  virtualization pool (regions 2+ fold into the r2p axis
+//                  slot, matching the obs per-region rollup);
+//   * rrm.arb    — ICAP-arbitration outcomes: grant mode x contention, plus
+//                  the Virtual Multiplexing swap path.
 //
 // `make_model()` builds the fixed shape; the observers fill it from an obs
-// event stream (one simulation run) or from a detection outcome. Every
-// consumer of the model — jobs, the closure loop, the CI gate — must build
-// the same shape, so merges stay well-defined; bump kModelVersion when the
-// taxonomy changes and re-baseline the CI gate.
+// event stream (one simulation run), from a detection outcome, or from a
+// multi-region harness run (observe_rrm). Every consumer of the model —
+// jobs, the closure loop, the CI gate — must build the same shape, so
+// merges stay well-defined; bump kModelVersion when the taxonomy changes
+// and re-baseline the CI gate.
 #pragma once
 
 #include <vector>
@@ -28,11 +34,12 @@
 #include "coverage.hpp"
 #include "kernel/sim_time.hpp"
 #include "obs/event.hpp"
+#include "rrm/rrm_harness.hpp"
 #include "sys/faults.hpp"
 
 namespace autovision::cover {
 
-inline constexpr int kModelVersion = 1;
+inline constexpr int kModelVersion = 2;
 
 /// The fixed covergroup/bin skeleton (all hits zero).
 [[nodiscard]] Coverage make_model();
@@ -48,5 +55,11 @@ enum class DetectMethod { kVm, kResim };
 /// Fold one fault-run verdict into the fault.det cross.
 void observe_detection(Coverage& cov, sys::Fault fault, DetectMethod method,
                        bool detected);
+
+/// Fold one multi-region harness run into the rrm.* groups. The region x
+/// engine pairs come from the result's region-tagged kRegionJob events;
+/// the policy and arbitration axes come from the config the run executed.
+void observe_rrm(Coverage& cov, const rrm::RrmConfig& cfg,
+                 const rrm::RrmResult& result);
 
 }  // namespace autovision::cover

@@ -54,6 +54,11 @@ enum class EventKind : std::uint8_t {
     kFrameStart,    ///< camera delivered frame a to the input VIP
     kFrameDone,     ///< firmware reported frame a complete
 
+    // --- ICAP arbiter / region manager (multi-region virtualization) ------
+    kArbGrant,      ///< arbiter granted the ICAP to a region; a = queue depth
+    kArbRelease,    ///< session drained, grant released; a = words forwarded
+    kRegionJob,     ///< region manager completed a job; a = engine kind
+
     kCount,
 };
 
@@ -66,6 +71,8 @@ enum class Source : std::uint8_t {
     kDcr,
     kIntc,
     kTestbench,
+    kArbiter,
+    kManager,
     kCount,
 };
 
@@ -81,10 +88,15 @@ enum class MalformedCode : std::uint32_t {
     kXOnIcap,
 };
 
+/// Highest region index the per-region metric rollup tracks (region ids
+/// above it still record, they just fold into the last rollup slot).
+inline constexpr unsigned kMaxRegions = 4;
+
 struct Event {
     rtlsim::Time time = 0;            ///< simulated time (ps)
     EventKind kind = EventKind::kCount;
     Source src = Source::kCount;
+    std::uint8_t region = 0;          ///< reconfigurable-region index (0-based)
     std::uint32_t a = 0;              ///< kind-specific payload (see enum docs)
     std::uint64_t b = 0;              ///< kind-specific payload
 };
@@ -115,6 +127,9 @@ struct Event {
         case EventKind::kStageEnter: return "stage-enter";
         case EventKind::kFrameStart: return "frame-start";
         case EventKind::kFrameDone: return "frame-done";
+        case EventKind::kArbGrant: return "arb-grant";
+        case EventKind::kArbRelease: return "arb-release";
+        case EventKind::kRegionJob: return "region-job";
         case EventKind::kCount: break;
     }
     return "?";
@@ -129,6 +144,8 @@ struct Event {
         case Source::kDcr: return "dcr";
         case Source::kIntc: return "intc";
         case Source::kTestbench: return "tb";
+        case Source::kArbiter: return "arb";
+        case Source::kManager: return "rrm";
         case Source::kCount: break;
     }
     return "?";

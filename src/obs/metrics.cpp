@@ -7,6 +7,9 @@ Metrics& Metrics::operator+=(const Metrics& o) noexcept {
     x_window_cycles += o.x_window_cycles;
     swap_latency_cycles += o.swap_latency_cycles;
     irq_to_service_cycles += o.irq_to_service_cycles;
+    for (std::size_t r = 0; r < per_region.size(); ++r) {
+        per_region[r] += o.per_region[r];
+    }
     syncs += o.syncs;
     desyncs += o.desyncs;
     swaps += o.swaps;
@@ -38,6 +41,25 @@ void Metrics::to_metric_map(std::map<std::string, double>& out) const {
     out["obs.dcr_ops"] = static_cast<double>(dcr_ops);
     out["obs.irqs"] = static_cast<double>(irqs);
     out["obs.events"] = static_cast<double>(events);
+    // Per-region rollup: only regions that saw traffic emit keys, so a
+    // single-region run's metric map is unchanged from before the rollup
+    // existed (region 0's totals are already the global counters above).
+    for (std::size_t r = 0; r < per_region.size(); ++r) {
+        const RegionMetrics& rm = per_region[r];
+        if (r == 0 || !rm.any()) continue;
+        const std::string prefix = "obs.r" + std::to_string(r) + ".";
+        out[prefix + "swaps"] = static_cast<double>(rm.swaps);
+        out[prefix + "isolations"] = static_cast<double>(rm.isolations);
+        if (rm.arb_grants != 0) {
+            out[prefix + "arb_grants"] = static_cast<double>(rm.arb_grants);
+        }
+        if (rm.jobs != 0) {
+            out[prefix + "jobs"] = static_cast<double>(rm.jobs);
+        }
+        if (rm.x_window_cycles.count != 0) {
+            out[prefix + "x_window_cycles_mean"] = rm.x_window_cycles.mean();
+        }
+    }
     if (events_dropped != 0) {
         out["obs.events_dropped"] = static_cast<double>(events_dropped);
     }
@@ -53,13 +75,17 @@ Metrics Metrics::from_events(const std::vector<Event>& events,
     };
 
     // Open intervals of the single-session artifacts. The stream is
-    // chronological, so plain "last begin" state suffices.
+    // chronological, so plain "last begin" state suffices; X windows are
+    // tracked per region (regions open/close theirs independently).
     bool session_open = false;
     rtlsim::Time session_start = 0;
-    bool xw_open = false;
-    rtlsim::Time xw_start = 0;
+    bool xw_open[kMaxRegions] = {};
+    rtlsim::Time xw_start[kMaxRegions] = {};
     bool irq_open = false;
     rtlsim::Time irq_start = 0;
+    const auto rslot = [](const Event& e) {
+        return std::min<std::size_t>(e.region, kMaxRegions - 1);
+    };
 
     for (const Event& e : events) {
         ++m.events;
@@ -78,6 +104,7 @@ Metrics Metrics::from_events(const std::vector<Event>& events,
                 break;
             case EventKind::kSwap:
                 ++m.swaps;
+                ++m.per_region[rslot(e)].swaps;
                 if (session_open) {
                     m.swap_latency_cycles.add(cycles(e.time - session_start));
                 }
@@ -89,13 +116,15 @@ Metrics Metrics::from_events(const std::vector<Event>& events,
                 ++m.malformed;
                 break;
             case EventKind::kXWindowBegin:
-                xw_open = true;
-                xw_start = e.time;
+                xw_open[rslot(e)] = true;
+                xw_start[rslot(e)] = e.time;
                 break;
             case EventKind::kXWindowEnd:
-                if (xw_open) {
-                    xw_open = false;
-                    m.x_window_cycles.add(cycles(e.time - xw_start));
+                if (xw_open[rslot(e)]) {
+                    xw_open[rslot(e)] = false;
+                    const double len = cycles(e.time - xw_start[rslot(e)]);
+                    m.x_window_cycles.add(len);
+                    m.per_region[rslot(e)].x_window_cycles.add(len);
                 }
                 break;
             case EventKind::kDcrRead:
@@ -117,6 +146,15 @@ Metrics Metrics::from_events(const std::vector<Event>& events,
                 break;
             case EventKind::kFrameDone:
                 ++m.frames;
+                break;
+            case EventKind::kIsolationOn:
+                ++m.per_region[rslot(e)].isolations;
+                break;
+            case EventKind::kArbGrant:
+                ++m.per_region[rslot(e)].arb_grants;
+                break;
+            case EventKind::kRegionJob:
+                ++m.per_region[rslot(e)].jobs;
                 break;
             default:
                 break;

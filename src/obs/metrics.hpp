@@ -7,6 +7,7 @@
 // folded into the campaign aggregate / JSONL sink via to_metric_map().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -54,12 +55,42 @@ struct Hist {
     }
 };
 
+/// Per-reconfigurable-region slice of the rollup: region-tagged events
+/// (swaps, isolation toggles, X windows, arbiter grants) fold into the slot
+/// matching their Event::region, so a multi-region run reports each
+/// region's reconfiguration traffic separately.
+struct RegionMetrics {
+    std::uint64_t swaps = 0;
+    std::uint64_t isolations = 0;   ///< isolation-on edges
+    std::uint64_t arb_grants = 0;   ///< ICAP arbiter sessions granted
+    std::uint64_t jobs = 0;         ///< manager jobs completed
+    Hist x_window_cycles;
+
+    [[nodiscard]] bool any() const noexcept {
+        return swaps != 0 || isolations != 0 || arb_grants != 0 ||
+               jobs != 0 || x_window_cycles.count != 0;
+    }
+
+    RegionMetrics& operator+=(const RegionMetrics& o) noexcept {
+        swaps += o.swaps;
+        isolations += o.isolations;
+        arb_grants += o.arb_grants;
+        jobs += o.jobs;
+        x_window_cycles += o.x_window_cycles;
+        return *this;
+    }
+};
+
 struct Metrics {
     // Histograms (all durations in system-clock cycles).
     Hist simb_words;       ///< FDRI payload words per completed transfer
     Hist x_window_cycles;  ///< error-injection window length
     Hist swap_latency_cycles;   ///< SYNC word to module swap
     Hist irq_to_service_cycles; ///< INTC irq raise to first acknowledge
+
+    /// Per-region rollup, indexed by Event::region (clamped to the last
+    /// slot). Region 0 is the classic single-RR demonstrator region.
+    std::array<RegionMetrics, kMaxRegions> per_region{};
 
     // Counters.
     std::uint64_t syncs = 0;

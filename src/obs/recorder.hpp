@@ -41,12 +41,13 @@ public:
 
     /// Hot path. Disabled: one predictable branch, nothing else.
     void record(rtlsim::Time t, EventKind k, Source s, std::uint32_t a = 0,
-                std::uint64_t b = 0) noexcept {
+                std::uint64_t b = 0, std::uint8_t region = 0) noexcept {
         if (!enabled_) return;
         Event& e = ring_[static_cast<std::size_t>(total_ % ring_.size())];
         e.time = t;
         e.kind = k;
         e.src = s;
+        e.region = region;
         e.a = a;
         e.b = b;
         ++total_;
@@ -98,6 +99,7 @@ public:
             w.u64(e.time);
             w.u8(static_cast<std::uint8_t>(e.kind));
             w.u8(static_cast<std::uint8_t>(e.src));
+            w.u8(e.region);
             w.u32(e.a);
             w.u64(e.b);
         }
@@ -120,6 +122,7 @@ public:
             }
             e.kind = static_cast<EventKind>(k);
             e.src = static_cast<Source>(s);
+            e.region = r.u8();
             e.a = r.u32();
             e.b = r.u64();
             ring_[static_cast<std::size_t>((total_ - n + i) % ring_.size())] =

@@ -44,7 +44,7 @@ public:
             obs_->record(sch_.now(),
                          on ? obs::EventKind::kIsolationOn
                             : obs::EventKind::kIsolationOff,
-                         obs::Source::kIsolation);
+                         obs::Source::kIsolation, 0, 0, region_);
         }
         isolate.write(on ? rtlsim::Logic::L1 : rtlsim::Logic::L0);
         ++writes_;
@@ -58,6 +58,10 @@ public:
     /// Attach (or detach, with nullptr) the structured event recorder.
     void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
 
+    /// Region index stamped on recorded events (default 0 keeps
+    /// single-region traces unchanged).
+    void set_region(std::uint8_t r) { region_ = r; }
+
     // --- checkpoint ------------------------------------------------------
     /// Only the access counter; the isolate signal itself comes back
     /// through the scheduler's signal registry.
@@ -70,6 +74,7 @@ public:
 private:
     obs::EventRecorder* obs_ = nullptr;
     std::uint32_t base_;
+    std::uint8_t region_ = 0;
     std::uint64_t writes_ = 0;
 };
 

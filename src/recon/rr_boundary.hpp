@@ -143,6 +143,11 @@ public:
     /// Attach (or detach, with nullptr) the structured event recorder.
     void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
 
+    /// Region index stamped on recorded events (multi-region systems tag
+    /// each boundary; the default 0 keeps single-region traces unchanged).
+    void set_region(std::uint8_t r) { region_ = r; }
+    [[nodiscard]] std::uint8_t region() const { return region_; }
+
     // --- checkpoint ------------------------------------------------------
     /// Slot bookkeeping + injection window + injector-private state. The
     /// mux trigger signal and stream tap come back through the scheduler's
@@ -167,11 +172,13 @@ private:
     /// Event-recorder shorthand (no-op while unobserved).
     void note(obs::EventKind k, std::uint32_t a = 0, std::uint64_t b = 0) {
         if (obs_ != nullptr) {
-            obs_->record(sch_.now(), k, obs::Source::kRrBoundary, a, b);
+            obs_->record(sch_.now(), k, obs::Source::kRrBoundary, a, b,
+                         region_);
         }
     }
 
     obs::EventRecorder* obs_ = nullptr;
+    std::uint8_t region_ = 0;
 
     PlbMasterPort& bus_;
     rtlsim::Signal<Logic>& done_out_;

@@ -2,7 +2,8 @@
 //
 // The Extended Portal (ReSim) and the Engine_Wrapper (Virtual Multiplexing)
 // both manage a set of modules mapped to one reconfigurable region and
-// connect exactly one of them at a time. Activation corresponds to the end
+// connect exactly one of them at a time (a multi-region system elaborates
+// one such manager per region). Activation corresponds to the end
 // of bitstream configuration: the module comes up in its post-configuration
 // initial state (all state reset), never with leftovers from its previous
 // residency.

@@ -135,10 +135,14 @@ private:
 
     [[nodiscard]] Slot* find(std::uint8_t rr_id, std::uint8_t module_id);
 
-    /// Event-recorder shorthand (no-op while unobserved).
+    /// Event-recorder shorthand (no-op while unobserved). Events carry the
+    /// staged region as their region tag — SimB RR ids are 1-based (the
+    /// static region is id 0), so region index = rr id - 1.
     void note(obs::EventKind k, std::uint32_t a = 0, std::uint64_t b = 0) {
         if (obs_ != nullptr) {
-            obs_->record(sch_.now(), k, obs::Source::kPortal, a, b);
+            obs_->record(sch_.now(), k, obs::Source::kPortal, a, b,
+                         cur_rr_ > 0 ? static_cast<std::uint8_t>(cur_rr_ - 1)
+                                     : std::uint8_t{0});
         }
     }
 

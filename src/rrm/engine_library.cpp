@@ -1,0 +1,52 @@
+#include "engine_library.hpp"
+
+#include "engines/census_engine.hpp"
+#include "engines/edge_engine.hpp"
+#include "engines/flow_engine.hpp"
+#include "engines/matching_engine.hpp"
+
+namespace autovision::rrm {
+
+const std::array<EngineInfo, kNumEngines>& engine_library() {
+    static const std::array<EngineInfo, kNumEngines> lib = {{
+        {EngineKind::kCensus, "census", true, false},
+        {EngineKind::kMatching, "matching", false, true},
+        {EngineKind::kSobel, "sobel", true, false},
+        {EngineKind::kFlow, "flow", true, true},
+    }};
+    return lib;
+}
+
+const EngineInfo* find_engine(EngineKind k) {
+    const auto idx = static_cast<std::size_t>(k);
+    if (idx == 0 || idx > kNumEngines) return nullptr;
+    return &engine_library()[idx - 1];
+}
+
+const char* to_string(EngineKind k) {
+    const EngineInfo* info = find_engine(k);
+    return info == nullptr ? (k == EngineKind::kNone ? "none" : "?")
+                           : info->id;
+}
+
+std::unique_ptr<EngineBase> make_engine(EngineKind k, rtlsim::Scheduler& sch,
+                                        const std::string& name,
+                                        rtlsim::Signal<rtlsim::Logic>& clk,
+                                        rtlsim::Signal<rtlsim::Logic>& rst,
+                                        EngineRegs& regs) {
+    switch (k) {
+        case EngineKind::kCensus:
+            return std::make_unique<CensusEngine>(sch, name, clk, rst, regs);
+        case EngineKind::kMatching:
+            return std::make_unique<MatchingEngine>(sch, name, clk, rst, regs);
+        case EngineKind::kSobel:
+            return std::make_unique<EdgeEngine>(sch, name, clk, rst, regs);
+        case EngineKind::kFlow:
+            return std::make_unique<FlowEngine>(sch, name, clk, rst, regs);
+        case EngineKind::kNone:
+            break;
+    }
+    return nullptr;
+}
+
+}  // namespace autovision::rrm

@@ -1,0 +1,60 @@
+// rrm: the engine library — the catalogue of partial modules a region can
+// be configured with.
+//
+// The paper's demonstrator swaps two engines (CIE / ME); the virtualization
+// layer generalizes that to a library the scheduler draws from, following
+// the time-shared CV pipelines of Nguyen & Hoe and the virtualized-region
+// pool of Huang et al. (PAPERS.md). Each entry wraps one of the src/video
+// golden models as a real EngineBase RTL model, reuses the EngineRegs
+// programming model unchanged, and carries the metadata the RegionManager
+// needs to program a job (second source stream, streaming vs block shape).
+//
+// EngineKind values double as SimB module ids (FAR bits [23:16]), so the
+// library is also the region-address-space catalogue: kCensus/kMatching
+// keep the demonstrator's historical ids 1/2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engines/engine.hpp"
+
+namespace autovision::rrm {
+
+enum class EngineKind : std::uint8_t {
+    kNone = 0,      ///< region unconfigured
+    kCensus = 1,    ///< census transform (streaming, one source)
+    kMatching = 2,  ///< block-matching optical flow (block, two sources)
+    kSobel = 3,     ///< Sobel edge magnitude (streaming, one source)
+    kFlow = 4,      ///< temporal-difference motion energy (streaming, two)
+};
+
+inline constexpr std::size_t kNumEngines = 4;
+
+struct EngineInfo {
+    EngineKind kind = EngineKind::kNone;
+    const char* id = "";   ///< stable short name ("census", "sobel", ...)
+    bool streaming = false;  ///< per-pixel stream_out activity (Table II)
+    bool needs_src2 = false; ///< consumes the SRC2 (previous-frame) register
+};
+
+/// The full library, indexed 0..kNumEngines-1 (kind value - 1).
+[[nodiscard]] const std::array<EngineInfo, kNumEngines>& engine_library();
+
+/// Lookup by kind; nullptr for kNone / out-of-catalogue values.
+[[nodiscard]] const EngineInfo* find_engine(EngineKind k);
+
+[[nodiscard]] const char* to_string(EngineKind k);
+
+/// Instantiate a library engine. All four share the EngineBase contract
+/// (same pins, same EngineRegs programming model), so one factory covers
+/// the library and regions can share a single EngineRegs block: an engine
+/// that is not rm_active() ignores the start/reset pulses.
+[[nodiscard]] std::unique_ptr<EngineBase> make_engine(
+    EngineKind k, rtlsim::Scheduler& sch, const std::string& name,
+    rtlsim::Signal<rtlsim::Logic>& clk, rtlsim::Signal<rtlsim::Logic>& rst,
+    EngineRegs& regs);
+
+}  // namespace autovision::rrm

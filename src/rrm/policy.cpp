@@ -1,0 +1,109 @@
+#include "policy.hpp"
+
+#include <algorithm>
+
+namespace autovision::rrm {
+
+const char* to_string(Policy p) {
+    switch (p) {
+        case Policy::kRoundRobin: return "rr";
+        case Policy::kDeadline: return "deadline";
+        case Policy::kDemand: return "demand";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Stamp slots and demand-paging residency over an already-ordered request
+/// list. Residency tracking is shared by all policies: a swap to the
+/// already-resident engine is a no-op reconfiguration under demand paging
+/// only — the time-sharing policies still reconfigure (the region was
+/// handed to another tenant in between, conceptually).
+std::vector<PlannedSwap> finalize(const std::vector<EngineRequest>& ordered,
+                                  unsigned regions, bool demand_paged) {
+    std::vector<EngineKind> resident(std::max(1u, regions),
+                                     EngineKind::kNone);
+    std::vector<PlannedSwap> plan;
+    plan.reserve(ordered.size());
+    for (const EngineRequest& req : ordered) {
+        PlannedSwap s;
+        s.slot = static_cast<unsigned>(plan.size());
+        s.region = req.region;
+        s.engine = req.engine;
+        const unsigned r = std::min(req.region, regions - 1);
+        s.reconfigure = !demand_paged || resident[r] != req.engine;
+        resident[r] = req.engine;
+        plan.push_back(s);
+    }
+    return plan;
+}
+
+}  // namespace
+
+std::vector<PlannedSwap> plan_schedule(Policy p, const Workload& w) {
+    if (w.requests.empty() || w.regions == 0) return {};
+
+    std::vector<EngineRequest> ordered;
+    ordered.reserve(w.requests.size());
+
+    switch (p) {
+        case Policy::kRoundRobin: {
+            // One request per region per turn, regions in index order.
+            // Per-region queues keep each region's own arrival order.
+            std::vector<std::vector<EngineRequest>> queues(w.regions);
+            for (const EngineRequest& req : w.requests) {
+                queues[std::min(req.region, w.regions - 1)].push_back(req);
+            }
+            std::vector<std::size_t> next(w.regions, 0);
+            while (ordered.size() < w.requests.size()) {
+                for (unsigned r = 0; r < w.regions; ++r) {
+                    if (next[r] < queues[r].size()) {
+                        ordered.push_back(queues[r][next[r]++]);
+                    }
+                }
+            }
+            break;
+        }
+        case Policy::kDeadline: {
+            // Earliest-deadline-first; stable ties on (region, arrival).
+            std::vector<std::pair<EngineRequest, std::size_t>> keyed;
+            keyed.reserve(w.requests.size());
+            for (std::size_t i = 0; i < w.requests.size(); ++i) {
+                keyed.emplace_back(w.requests[i], i);
+            }
+            std::sort(keyed.begin(), keyed.end(),
+                      [](const auto& a, const auto& b) {
+                          if (a.first.deadline != b.first.deadline) {
+                              return a.first.deadline < b.first.deadline;
+                          }
+                          if (a.first.region != b.first.region) {
+                              return a.first.region < b.first.region;
+                          }
+                          return a.second < b.second;
+                      });
+            for (const auto& [req, idx] : keyed) ordered.push_back(req);
+            break;
+        }
+        case Policy::kDemand:
+            ordered = w.requests;  // arrival order; paging handled below
+            break;
+    }
+
+    return finalize(ordered, w.regions, p == Policy::kDemand);
+}
+
+std::string schedule_signature(const std::vector<PlannedSwap>& plan) {
+    std::string sig;
+    for (const PlannedSwap& s : plan) {
+        if (!sig.empty()) sig += ' ';
+        sig += 'r';
+        sig += std::to_string(s.region);
+        sig += '.';
+        sig += to_string(s.engine);
+        if (s.reconfigure) sig += '!';
+    }
+    return sig;
+}
+
+}  // namespace autovision::rrm

@@ -1,0 +1,73 @@
+// rrm: pluggable scheduling policies for time-shared regions.
+//
+// A policy turns a Workload — the set of engine requests the software stack
+// queued against the region pool — into a deterministic, totally ordered
+// swap schedule. Planning is a pure function so tests can assert the three
+// documented policies produce *distinct* schedules from one seed and so the
+// RegionManager can execute the plan without re-deciding anything at run
+// time (the arbiter grant order equals the plan order).
+//
+//   * kRoundRobin — classic time-sharing: one request per region per turn,
+//     regions visited in index order (Nguyen & Hoe style frame slicing);
+//   * kDeadline  — earliest-deadline-first across the whole pool, ties
+//     broken by (region, arrival) so the order stays total;
+//   * kDemand    — demand paging: requests run in arrival order, and a
+//     request whose engine is already resident in its region skips the
+//     reconfiguration entirely (configure-on-first-request).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine_library.hpp"
+
+namespace autovision::rrm {
+
+enum class Policy : std::uint8_t { kRoundRobin, kDeadline, kDemand };
+
+inline constexpr std::size_t kNumPolicies = 3;
+
+[[nodiscard]] const char* to_string(Policy p);
+
+/// One queued request: run `engine` on region `region` before `deadline`
+/// (deadlines are abstract priorities — smaller is more urgent — only the
+/// kDeadline policy reads them).
+struct EngineRequest {
+    unsigned region = 0;
+    EngineKind engine = EngineKind::kNone;
+    unsigned deadline = 0;
+
+    [[nodiscard]] bool operator==(const EngineRequest&) const = default;
+};
+
+struct Workload {
+    unsigned regions = 1;
+    std::vector<EngineRequest> requests;
+};
+
+/// One entry of the executable schedule. `slot` is the global order index;
+/// `reconfigure` is false when demand paging found the engine resident (the
+/// manager then skips isolate/SimB/deisolate and goes straight to
+/// programming).
+struct PlannedSwap {
+    unsigned slot = 0;
+    unsigned region = 0;
+    EngineKind engine = EngineKind::kNone;
+    bool reconfigure = true;
+
+    [[nodiscard]] bool operator==(const PlannedSwap&) const = default;
+};
+
+/// Plan a workload under a policy. Pure and total: same inputs, same plan;
+/// every request appears exactly once.
+[[nodiscard]] std::vector<PlannedSwap> plan_schedule(Policy p,
+                                                     const Workload& w);
+
+/// Compact, documented rendering of a plan — "r0.sobel! r1.census! r0.sobel"
+/// — one token per slot, '!' marking an actual reconfiguration. Tests and
+/// DESIGN.md section 14 pin policy distinctness on this string.
+[[nodiscard]] std::string schedule_signature(
+    const std::vector<PlannedSwap>& plan);
+
+}  // namespace autovision::rrm

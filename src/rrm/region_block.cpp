@@ -1,0 +1,86 @@
+#include "region_block.hpp"
+
+namespace autovision::rrm {
+
+RegionBlock::RegionBlock(rtlsim::Scheduler& sch, const std::string& prefix,
+                         rtlsim::Signal<rtlsim::Logic>& clk,
+                         rtlsim::Signal<rtlsim::Logic>& rst, Plb& plb,
+                         const RegionLayout& lay)
+    : layout(lay),
+      iso(sch, prefix + ".iso", lay.iso_dcr),
+      regs(sch, prefix + ".regs", clk, lay.regs_dcr),
+      done_line(sch, prefix + ".done", rtlsim::Logic::L0),
+      rr(sch, prefix + ".rr", plb.master(lay.plb_master), done_line) {
+    // The whole library sits behind the boundary mux, slot = kind - 1.
+    // All four share the region's one EngineRegs block: only the active
+    // module reacts to the start/reset pulses.
+    for (std::size_t i = 0; i < kNumEngines; ++i) {
+        const EngineInfo& info = engine_library()[i];
+        engines[i] = make_engine(info.kind, sch, prefix + "." + info.id, clk,
+                                 rst, regs);
+        rr.add_module(*engines[i]);
+    }
+    rr.set_isolation_signal(iso.isolate);
+    rr.set_region(lay.region);
+    iso.set_region(lay.region);
+    if (lay.vm_mode) {
+        // Virtual Multiplexing: the engine_signature register steers the
+        // mux; a 2-state mux drives idle (not X) when mis-steered, and the
+        // wrapper's reset selects slot 0 so the region boots configured.
+        vmux = std::make_unique<vm::VirtualMux>(sch, prefix + ".vmux", rr,
+                                                lay.sig_dcr);
+        for (std::size_t i = 0; i < kNumEngines; ++i) {
+            vmux->map_module(static_cast<std::uint32_t>(i + 1),
+                             static_cast<unsigned>(i));
+        }
+        rr.set_unselected_policy(RrBoundary::UnselectedPolicy::kIdle);
+        rr.select(0);
+    }
+}
+
+void RegionBlock::attach_dcr(DcrChain& dcr) {
+    dcr.attach(iso);
+    dcr.attach(regs);
+    if (vmux != nullptr) dcr.attach(*vmux);
+}
+
+void RegionBlock::map_portal(resim::ExtendedPortal& portal) {
+    const auto rr_id = static_cast<std::uint8_t>(layout.region + 1);
+    for (std::size_t k = 1; k <= kNumEngines; ++k) {
+        portal.map_module(rr_id, static_cast<std::uint8_t>(k), rr,
+                          static_cast<unsigned>(k - 1));
+    }
+    portal.initial_configuration(rr_id, 1);
+}
+
+RegionPorts RegionBlock::ports() {
+    return RegionPorts{static_cast<std::uint8_t>(layout.region + 1), &rr,
+                       &iso, layout.iso_dcr, layout.regs_dcr, &regs,
+                       layout.sig_dcr};
+}
+
+void RegionBlock::set_observer(obs::EventRecorder* rec) {
+    rr.set_observer(rec);
+    iso.set_observer(rec);
+}
+
+void RegionBlock::ckpt_save(rtlsim::SnapWriter& w) const {
+    iso.ckpt_save(w);
+    regs.ckpt_save(w);
+    rr.ckpt_save(w);
+    for (std::size_t i = 0; i < kNumEngines; ++i) engines[i]->ckpt_save(w);
+    if (vmux != nullptr) vmux->ckpt_save(w);
+}
+
+bool RegionBlock::ckpt_restore(rtlsim::SnapReader& r) {
+    if (!iso.ckpt_restore(r)) return false;
+    if (!regs.ckpt_restore(r)) return false;
+    if (!rr.ckpt_restore(r)) return false;
+    for (std::size_t i = 0; i < kNumEngines; ++i) {
+        if (!engines[i]->ckpt_restore(r)) return false;
+    }
+    if (vmux != nullptr && !vmux->ckpt_restore(r)) return false;
+    return true;
+}
+
+}  // namespace autovision::rrm

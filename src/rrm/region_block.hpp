@@ -1,0 +1,71 @@
+// rrm: RegionBlock — the complete static-side bundle of one virtualized
+// reconfigurable region.
+//
+// One block owns everything a region contributes to the netlist: the
+// isolation module, the shared EngineRegs, the done line, the RrBoundary
+// on its own PLB master port, the full four-entry engine library behind
+// the boundary mux, and (in Virtual Multiplexing mode) the per-region
+// engine_signature register. Both the standalone rrm harness and
+// sys::OpticalFlowSystem instantiate regions through this bundle, so the
+// region topology cannot drift between the two.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bus/dcr.hpp"
+#include "bus/plb.hpp"
+#include "engine_library.hpp"
+#include "kernel/kernel.hpp"
+#include "recon/isolation.hpp"
+#include "recon/rr_boundary.hpp"
+#include "region_manager.hpp"
+#include "resim/portal.hpp"
+#include "vm/virtual_mux.hpp"
+
+namespace autovision::rrm {
+
+/// Where one region sits in the system: its PLB master port, its global
+/// region index (events are tagged with it; SimB FARs use index + 1), and
+/// its region-indexed DCR block.
+struct RegionLayout {
+    unsigned plb_master = 0;
+    std::uint8_t region = 0;
+    std::uint32_t iso_dcr = 0;
+    std::uint32_t regs_dcr = 0;
+    std::uint32_t sig_dcr = 0;   ///< engine_signature (VM mode only)
+    bool vm_mode = false;
+};
+
+class RegionBlock {
+public:
+    RegionBlock(rtlsim::Scheduler& sch, const std::string& prefix,
+                rtlsim::Signal<rtlsim::Logic>& clk,
+                rtlsim::Signal<rtlsim::Logic>& rst, Plb& plb,
+                const RegionLayout& layout);
+
+    /// DCR ring order within the block: isolation, engine regs[, vmux].
+    void attach_dcr(DcrChain& dcr);
+    /// ReSim datapath: map all library modules (FAR region id = index + 1,
+    /// slot = kind - 1) and load the initial full bitstream (census).
+    void map_portal(resim::ExtendedPortal& portal);
+    /// The manager-facing wiring of this block.
+    [[nodiscard]] RegionPorts ports();
+    void set_observer(obs::EventRecorder* rec);
+
+    // --- checkpoint: one section per block ------------------------------
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+
+    RegionLayout layout;
+    Isolation iso;
+    EngineRegs regs;
+    rtlsim::Signal<rtlsim::Logic> done_line;
+    RrBoundary rr;
+    std::array<std::unique_ptr<EngineBase>, kNumEngines> engines;
+    std::unique_ptr<vm::VirtualMux> vmux;
+};
+
+}  // namespace autovision::rrm

@@ -1,0 +1,477 @@
+#include "region_manager.hpp"
+
+#include <algorithm>
+
+#include "kernel/prng.hpp"
+
+namespace autovision::rrm {
+
+using rtlsim::is1;
+using rtlsim::Logic;
+using rtlsim::Word;
+
+const char* to_string(RegionCorrupt c) {
+    switch (c) {
+        case RegionCorrupt::kNone: return "none";
+        case RegionCorrupt::kWrongRegionFar: return "wrong-region-far";
+        case RegionCorrupt::kDropIsolation: return "drop-isolation";
+        case RegionCorrupt::kSimultaneousWindows: return "simultaneous-windows";
+        case RegionCorrupt::kCount: break;
+    }
+    return "?";
+}
+
+RegionManager::RegionManager(rtlsim::Scheduler& sch, const std::string& name,
+                             rtlsim::Signal<Logic>& clk,
+                             rtlsim::Signal<Logic>& rst, DcrChain& dcr,
+                             IcapArbiter* arb, Config cfg)
+    : Module(sch, name), rst_(rst), dcr_(dcr), arb_(arb), cfg_(cfg) {
+    if (arb_ == nullptr && !cfg_.vm_mode) {
+        report("no ICAP arbiter: reconfigurations cannot be executed");
+    }
+    sync_proc("manager", [this] { on_clock(); }, {rtlsim::posedge(clk)});
+}
+
+void RegionManager::add_region(const RegionPorts& ports) {
+    Region reg;
+    reg.ports = ports;
+    regions_.push_back(std::move(reg));
+}
+
+void RegionManager::enqueue(unsigned region, const RegionJob& job) {
+    if (started_ || region >= regions_.size()) {
+        report("job rejected: manager started or region out of range");
+        return;
+    }
+    regions_[region].jobs.push_back(job);
+}
+
+void RegionManager::start() {
+    if (started_) return;
+    started_ = true;
+
+    // Workload in global arrival order: interleave per-region queues by
+    // arrival position (jobs were enqueued region-locally; position in the
+    // region queue is the arrival key, regions tie-broken by index).
+    Workload w;
+    w.regions = static_cast<unsigned>(std::max<std::size_t>(1, regions_.size()));
+    std::size_t most = 0;
+    for (const Region& reg : regions_) {
+        most = std::max(most, reg.jobs.size());
+    }
+    for (std::size_t i = 0; i < most; ++i) {
+        for (unsigned r = 0; r < regions_.size(); ++r) {
+            if (i < regions_[r].jobs.size()) {
+                const RegionJob& j = regions_[r].jobs[i];
+                w.requests.push_back({r, j.engine, j.deadline});
+            }
+        }
+    }
+    plan_ = plan_schedule(cfg_.policy, w);
+
+    // Map each plan entry back to the concrete job: first unconsumed job of
+    // that region matching (engine, deadline) — requests were built 1:1
+    // from jobs, and every policy is stable over identical keys.
+    std::vector<std::vector<bool>> used(regions_.size());
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+        used[r].assign(regions_[r].jobs.size(), false);
+    }
+    jobs_of_plan_.clear();
+    jobs_of_plan_.reserve(plan_.size());
+    for (std::size_t p = 0; p < plan_.size(); ++p) {
+        const PlannedSwap& s = plan_[p];
+        Region& reg = regions_[s.region];
+        std::size_t pick = reg.jobs.size();
+        for (std::size_t j = 0; j < reg.jobs.size(); ++j) {
+            if (used[s.region][j]) continue;
+            if (reg.jobs[j].engine == s.engine) {
+                pick = j;  // first unconsumed match (policies are stable)
+                break;
+            }
+        }
+        if (pick == reg.jobs.size()) {
+            // Defensive: fall back to the first unconsumed job.
+            for (std::size_t j = 0; j < reg.jobs.size(); ++j) {
+                if (!used[s.region][j]) {
+                    pick = j;
+                    break;
+                }
+            }
+        }
+        used[s.region][pick] = true;
+        reg.entries.push_back(static_cast<unsigned>(p));
+        jobs_of_plan_.push_back(reg.jobs[pick]);
+    }
+}
+
+bool RegionManager::done() const {
+    if (!started_) return false;
+    for (const Region& reg : regions_) {
+        if (reg.st != St::kDone &&
+            !(reg.st == St::kIdle && reg.entry == reg.entries.size())) {
+            return false;
+        }
+    }
+    return arb_ == nullptr || !arb_->busy();
+}
+
+void RegionManager::issue_dcr(unsigned r, std::uint32_t regno,
+                              std::uint32_t value, St next) {
+    if (dcr_.busy()) return;  // chain contention: retry next cycle
+    Region& reg = regions_[r];
+    reg.dcr_wait = true;
+    dcr_owner_ = static_cast<int>(r);
+    dcr_.start_write(regno, Word{value}, [this, r] {
+        regions_[r].dcr_wait = false;
+        dcr_owner_ = -1;
+    });
+    reg.st = next;
+    reg.watchdog = 0;
+}
+
+void RegionManager::force_overlap(unsigned victim, bool on) {
+    // kSimultaneousWindows: hold the co-region in an isolated X-window for
+    // the whole of the victim's session. Isolation goes on before the
+    // window opens and off after it closes, so the overlap is clean.
+    const unsigned other =
+        (victim + 1) % static_cast<unsigned>(regions_.size());
+    if (other == victim) return;
+    const RegionPorts& p = regions_[other].ports;
+    if (p.iso == nullptr || p.boundary == nullptr) return;
+    if (on) {
+        p.iso->dcr_write(p.iso_dcr, Word{1});
+        p.boundary->set_reconfiguring(true);
+    } else {
+        p.boundary->set_reconfiguring(false);
+        // Restore rather than stomp: the co-region may have isolated itself
+        // for its own pending session while the overlap was held.
+        const St st = regions_[other].st;
+        const bool self_isolated = st == St::kIsolate || st == St::kIsoWait ||
+                                   st == St::kConfigure ||
+                                   st == St::kCfgWait || st == St::kDeisolate;
+        if (!self_isolated) p.iso->dcr_write(p.iso_dcr, Word{0});
+    }
+}
+
+void RegionManager::finish_entry(unsigned r, bool completed) {
+    Region& reg = regions_[r];
+    if (completed) {
+        ++reg.jobs_done;
+        // Events carry the global region id (rr_id - 1), which equals the
+        // manager-internal index in the standalone harness but not when the
+        // manager drives a tail of a larger region pool (sys::System).
+        note(obs::EventKind::kRegionJob,
+             static_cast<std::uint8_t>(reg.ports.rr_id - 1),
+             static_cast<std::uint32_t>(cur_swap(reg).engine));
+    } else {
+        ++reg.timeouts;
+    }
+    ++reg.entry;
+    reg.prog_step = 0;
+    reg.watchdog = 0;
+    reg.st = reg.entry == reg.entries.size() ? St::kDone : St::kIdle;
+}
+
+void RegionManager::on_clock() {
+    if (!started_ || is1(rst_.read())) return;
+    for (unsigned r = 0; r < regions_.size(); ++r) {
+        step_region(r);
+    }
+}
+
+void RegionManager::step_region(unsigned r) {
+    Region& reg = regions_[r];
+    const bool victim =
+        cfg_.corrupt != RegionCorrupt::kNone && cfg_.victim == r;
+
+    switch (reg.st) {
+        case St::kIdle: {
+            if (reg.entry == reg.entries.size()) return;
+            // Plan gate: open reconfigurations strictly in plan order.
+            if (reg.entries[reg.entry] != global_next_) return;
+            const PlannedSwap& s = cur_swap(reg);
+            if (cfg_.vm_mode) {
+                reg.st = St::kVmSwap;
+            } else if (!s.reconfigure) {
+                // Demand-paging hit: the engine is already resident.
+                ++global_next_;
+                reg.st = St::kProgram;
+                reg.prog_step = 0;
+            } else if (victim &&
+                       cfg_.corrupt == RegionCorrupt::kDropIsolation) {
+                reg.st = St::kConfigure;  // bug.dpr.1, multi-region form
+            } else {
+                reg.st = St::kIsolate;
+            }
+            reg.watchdog = 0;
+            return;
+        }
+
+        case St::kIsolate:
+            issue_dcr(r, reg.ports.iso_dcr, 1, St::kIsoWait);
+            return;
+        case St::kIsoWait:
+            if (!reg.dcr_wait) reg.st = St::kConfigure;
+            return;
+
+        case St::kConfigure: {
+            if (arb_ == nullptr) {
+                finish_entry(r, false);
+                return;
+            }
+            const PlannedSwap& s = cur_swap(reg);
+            resim::SimB simb;
+            simb.rr_id = reg.ports.rr_id;
+            if (victim && cfg_.corrupt == RegionCorrupt::kWrongRegionFar) {
+                // Mis-addressed FAR: the session lands on the next region.
+                const unsigned other =
+                    (r + 1) % static_cast<unsigned>(regions_.size());
+                simb.rr_id = regions_[other].ports.rr_id;
+            }
+            simb.module_id = static_cast<std::uint8_t>(s.engine);
+            simb.payload_words = cfg_.payload_words;
+            simb.seed = rtlsim::derive_seed32(
+                cfg_.simb_seed,
+                0x5252'4D00u + (r << 8) + reg.entries[reg.entry]);
+            const unsigned priority = cfg_.policy == Policy::kDeadline
+                                          ? cur_job(reg).deadline
+                                          : 0;
+            arb_->submit(reg.ports.rr_id - 1u, simb.build(), cfg_.word_gap,
+                         priority);
+            ++reg.sessions;
+            if (victim &&
+                cfg_.corrupt == RegionCorrupt::kSimultaneousWindows) {
+                force_overlap(r, true);
+            }
+            ++global_next_;
+            reg.st = St::kCfgWait;
+            reg.watchdog = 0;
+            return;
+        }
+
+        case St::kCfgWait:
+            if (arb_ != nullptr &&
+                arb_->outstanding(reg.ports.rr_id - 1u) != 0) {
+                if (++reg.watchdog > cfg_.watchdog_cycles) {
+                    report("region " + std::to_string(r) +
+                           ": configuration timed out");
+                    finish_entry(r, false);
+                }
+                return;
+            }
+            if (victim &&
+                cfg_.corrupt == RegionCorrupt::kSimultaneousWindows) {
+                force_overlap(r, false);
+            }
+            reg.resident = cur_swap(reg).engine;
+            reg.st = victim && cfg_.corrupt == RegionCorrupt::kDropIsolation
+                         ? St::kProgram
+                         : St::kDeisolate;
+            reg.prog_step = 0;
+            return;
+
+        case St::kDeisolate:
+            issue_dcr(r, reg.ports.iso_dcr, 0, St::kDeisoWait);
+            return;
+        case St::kDeisoWait:
+            if (!reg.dcr_wait) {
+                reg.st = St::kProgram;
+                reg.prog_step = 0;
+            }
+            return;
+
+        case St::kVmSwap:
+            issue_dcr(r, reg.ports.sig_dcr,
+                      static_cast<std::uint32_t>(cur_swap(reg).engine),
+                      St::kVmSwapWait);
+            return;
+        case St::kVmSwapWait:
+            if (!reg.dcr_wait) {
+                reg.resident = cur_swap(reg).engine;
+                ++global_next_;
+                reg.st = St::kProgram;
+                reg.prog_step = 0;
+            }
+            return;
+
+        case St::kProgram: {
+            const RegionJob& job = cur_job(reg);
+            const std::uint32_t base = reg.ports.regs_dcr;
+            switch (reg.prog_step) {
+                case 0:
+                    issue_dcr(r, base + EngineRegs::kSrc, job.src,
+                              St::kProgWait);
+                    return;
+                case 1:
+                    issue_dcr(r, base + EngineRegs::kSrc2, job.src2,
+                              St::kProgWait);
+                    return;
+                case 2:
+                    issue_dcr(r, base + EngineRegs::kDst, job.dst,
+                              St::kProgWait);
+                    return;
+                case 3:
+                    issue_dcr(r, base + EngineRegs::kDims,
+                              (static_cast<std::uint32_t>(job.width) << 16) |
+                                  job.height,
+                              St::kProgWait);
+                    return;
+                case 4:
+                    issue_dcr(r, base + EngineRegs::kParam, job.param,
+                              St::kProgWait);
+                    return;
+                default:
+                    issue_dcr(r, base + EngineRegs::kCtrl, 1, St::kProgWait);
+                    return;
+            }
+        }
+        case St::kProgWait:
+            if (reg.dcr_wait) return;
+            if (reg.prog_step < 5) {
+                ++reg.prog_step;
+                reg.st = St::kProgram;
+            } else {
+                reg.st = St::kRun;
+                reg.watchdog = 0;
+            }
+            return;
+
+        case St::kRun:
+            if (reg.ports.regs != nullptr && reg.ports.regs->done()) {
+                reg.st = St::kClearDone;
+                return;
+            }
+            if (++reg.watchdog > cfg_.watchdog_cycles) {
+                report("region " + std::to_string(r) + ": job on engine '" +
+                       std::string(rrm::to_string(cur_swap(reg).engine)) +
+                       "' timed out (start pulse lost?)");
+                finish_entry(r, false);
+            }
+            return;
+
+        case St::kClearDone:
+            issue_dcr(r, reg.ports.regs_dcr + EngineRegs::kStatus, 2,
+                      St::kClearWait);
+            return;
+        case St::kClearWait:
+            if (!reg.dcr_wait) finish_entry(r, true);
+            return;
+
+        case St::kDone:
+            return;
+    }
+}
+
+void RegionManager::ckpt_save(rtlsim::SnapWriter& w) const {
+    w.bool8(started_);
+    w.u32(global_next_);
+    w.i32(dcr_owner_);
+    w.u32(static_cast<std::uint32_t>(plan_.size()));
+    for (const PlannedSwap& s : plan_) {
+        w.u32(s.slot);
+        w.u32(s.region);
+        w.u8(static_cast<std::uint8_t>(s.engine));
+        w.bool8(s.reconfigure);
+    }
+    const auto job = [&w](const RegionJob& j) {
+        w.u8(static_cast<std::uint8_t>(j.engine));
+        w.u32(j.src);
+        w.u32(j.src2);
+        w.u32(j.dst);
+        w.u32(j.width);
+        w.u32(j.height);
+        w.u32(j.param);
+        w.u32(j.deadline);
+    };
+    for (const RegionJob& j : jobs_of_plan_) job(j);
+    w.u32(static_cast<std::uint32_t>(regions_.size()));
+    for (const Region& reg : regions_) {
+        w.u32(static_cast<std::uint32_t>(reg.jobs.size()));
+        for (const RegionJob& j : reg.jobs) job(j);
+        w.u32(static_cast<std::uint32_t>(reg.entries.size()));
+        for (unsigned e : reg.entries) w.u32(e);
+        w.u8(static_cast<std::uint8_t>(reg.st));
+        w.u32(reg.entry);
+        w.u8(reg.prog_step);
+        w.bool8(reg.dcr_wait);
+        w.u64(reg.watchdog);
+        w.u32(reg.jobs_done);
+        w.u32(reg.sessions);
+        w.u32(reg.timeouts);
+        w.u8(static_cast<std::uint8_t>(reg.resident));
+    }
+}
+
+bool RegionManager::ckpt_restore(rtlsim::SnapReader& r) {
+    started_ = r.bool8();
+    global_next_ = r.u32();
+    dcr_owner_ = r.i32();
+    const auto job = [&r](RegionJob& j) {
+        j.engine = static_cast<EngineKind>(r.u8());
+        j.src = r.u32();
+        j.src2 = r.u32();
+        j.dst = r.u32();
+        j.width = static_cast<std::uint16_t>(r.u32());
+        j.height = static_cast<std::uint16_t>(r.u32());
+        j.param = r.u32();
+        j.deadline = r.u32();
+    };
+    plan_.clear();
+    jobs_of_plan_.clear();
+    const std::uint32_t np = r.u32();
+    for (std::uint32_t i = 0; i < np && r.ok_so_far(); ++i) {
+        PlannedSwap s;
+        s.slot = r.u32();
+        s.region = r.u32();
+        s.engine = static_cast<EngineKind>(r.u8());
+        s.reconfigure = r.bool8();
+        plan_.push_back(s);
+    }
+    for (std::uint32_t i = 0; i < np && r.ok_so_far(); ++i) {
+        RegionJob j;
+        job(j);
+        jobs_of_plan_.push_back(j);
+    }
+    if (r.u32() != regions_.size()) return false;
+    for (Region& reg : regions_) {
+        reg.jobs.clear();
+        const std::uint32_t nj = r.u32();
+        for (std::uint32_t i = 0; i < nj && r.ok_so_far(); ++i) {
+            RegionJob j;
+            job(j);
+            reg.jobs.push_back(j);
+        }
+        reg.entries.clear();
+        const std::uint32_t ne = r.u32();
+        for (std::uint32_t i = 0; i < ne && r.ok_so_far(); ++i) {
+            reg.entries.push_back(r.u32());
+        }
+        const std::uint8_t st = r.u8();
+        if (st > static_cast<std::uint8_t>(St::kDone)) return false;
+        reg.st = static_cast<St>(st);
+        reg.entry = r.u32();
+        reg.prog_step = r.u8();
+        reg.dcr_wait = r.bool8();
+        reg.watchdog = r.u64();
+        reg.jobs_done = r.u32();
+        reg.sessions = r.u32();
+        reg.timeouts = r.u32();
+        reg.resident = static_cast<EngineKind>(r.u8());
+        if (reg.entry > reg.entries.size()) return false;
+    }
+    if (!r.ok_so_far()) return false;
+    // Re-arm the in-flight DCR write closure (the chain restored its own
+    // token state; only the completion callback needs re-installing).
+    if (dcr_owner_ >= 0 &&
+        dcr_owner_ < static_cast<int>(regions_.size()) &&
+        regions_[static_cast<std::size_t>(dcr_owner_)].dcr_wait) {
+        const auto owner = static_cast<unsigned>(dcr_owner_);
+        dcr_.ckpt_rearm_write([this, owner] {
+            regions_[owner].dcr_wait = false;
+            dcr_owner_ = -1;
+        });
+    }
+    return true;
+}
+
+}  // namespace autovision::rrm

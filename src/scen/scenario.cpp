@@ -251,7 +251,11 @@ Scenario generate(const ScenarioConstraints& c, std::uint64_t seed) {
     s.name = buf;
 
     Rng rng(rtlsim::derive_seed(seed, kTagKind));
-    switch (rng.pick_weighted({c.w_stream, c.w_system, c.w_fault})) {
+    // w_regions rides as a trailing element: at its default of zero the
+    // total weight (and so the draw stream) is identical to the historical
+    // three-kind pick.
+    switch (rng.pick_weighted({c.w_stream, c.w_system, c.w_fault,
+                               c.w_regions})) {
         case 0: {
             s.kind = Kind::kStream;
             const unsigned n = rng.range(c.min_sessions, c.max_sessions);
@@ -280,7 +284,7 @@ Scenario generate(const ScenarioConstraints& c, std::uint64_t seed) {
             s.frames = rng.range(1, 3);
             break;
         }
-        default: {
+        case 2: {
             s.kind = Kind::kFault;
             s.fault = sys::kFaultCatalog[rng.pick_weighted(c.w_fault_pick)]
                           .fault;
@@ -289,6 +293,42 @@ Scenario generate(const ScenarioConstraints& c, std::uint64_t seed) {
             s.config.search = 2;
             s.config.seed = seed;
             s.frames = 2;
+            break;
+        }
+        default: {
+            s.kind = Kind::kRegions;
+            s.rrm.regions =
+                2 + static_cast<unsigned>(rng.pick_weighted(c.w_region_count));
+            s.rrm.policy =
+                static_cast<rrm::Policy>(rng.pick_weighted(c.w_region_policy));
+            s.rrm.grant = rng.pick_weighted(c.w_region_grant) == 0
+                              ? rrm::IcapArbiter::Grant::kFair
+                              : rrm::IcapArbiter::Grant::kPriority;
+            s.rrm.corrupt = static_cast<rrm::RegionCorrupt>(
+                rng.pick_weighted(c.w_region_corrupt));
+            // The method draw happens unconditionally so the stream shape
+            // does not depend on the corruption pick; the corruption states
+            // execute on the SimB datapath, so a corrupted scenario is
+            // forced onto ReSim.
+            const bool vm =
+                rng.pick_weighted({c.w_region_vm, c.w_region_resim}) == 0;
+            s.rrm.vm_mode = vm && s.rrm.corrupt == rrm::RegionCorrupt::kNone;
+            s.rrm.victim = static_cast<unsigned>(rng.below(s.rrm.regions));
+            // Up to four jobs per region: the harness's engine rotation
+            // (r + j) % 4 only reaches all four library entries in a region
+            // once j spans the library.
+            s.rrm.jobs_per_region = rng.range(1, 4);
+            switch (rng.pick_weighted(c.w_payload)) {
+                case 0: s.rrm.payload_words = rng.range(8, 16); break;
+                case 1: s.rrm.payload_words = rng.range(17, 64); break;
+                default: s.rrm.payload_words = rng.range(65, 128); break;
+            }
+            switch (rng.pick_weighted(c.w_gap)) {
+                case 0: s.rrm.word_gap = 1; break;
+                case 1: s.rrm.word_gap = rng.range(2, 4); break;
+                default: s.rrm.word_gap = rng.range(5, 8); break;
+            }
+            s.rrm.seed = seed;
             break;
         }
     }
@@ -308,7 +348,8 @@ std::vector<Scenario> generate_batch(const ScenarioConstraints& c,
         std::snprintf(buf, sizeof buf, "b%u.i%u.%s", batch, i,
                       s.kind == Kind::kStream   ? "stream"
                       : s.kind == Kind::kSystem ? "system"
-                                                : "fault");
+                      : s.kind == Kind::kFault  ? "fault"
+                                                : "regions");
         s.name = buf;
         out.push_back(std::move(s));
     }
@@ -400,6 +441,46 @@ ScenarioConstraints bias_towards(const ScenarioConstraints& base,
         boost(c.w_toggle_module);
     }
 
+    // Region pool: steer the axes of the rrm.cross / rrm.arb bins that are
+    // still open. The region axis maps to pool size (bin r1 needs >= 2
+    // regions, r2p needs >= 3), the bin-name suffix to the policy weights.
+    const cover::Covergroup* rrm_cross = cov.find("rrm.cross");
+    if (rrm_cross != nullptr) {
+        for (const cover::Bin& b : rrm_cross->bins()) {
+            if (b.ignore || b.hits != 0) continue;
+            if (b.name.compare(0, 4, "r2p.") == 0) {
+                boost(c.w_region_count[1]);
+                boost(c.w_region_count[2]);
+            } else if (b.name.compare(0, 3, "r1.") == 0) {
+                boost(c.w_region_count[0]);
+            }
+            if (b.name.size() >= 3 &&
+                b.name.compare(b.name.size() - 3, 3, ".rr") == 0) {
+                boost(c.w_region_policy[0]);
+            } else if (b.name.size() >= 9 &&
+                       b.name.compare(b.name.size() - 9, 9, ".deadline") ==
+                           0) {
+                boost(c.w_region_policy[1]);
+            } else if (b.name.size() >= 7 &&
+                       b.name.compare(b.name.size() - 7, 7, ".demand") == 0) {
+                boost(c.w_region_policy[2]);
+            }
+        }
+    }
+    if (open("rrm.arb", "fair.uncontended") ||
+        open("rrm.arb", "fair.contended")) {
+        boost(c.w_region_grant[0]);
+    }
+    if (open("rrm.arb", "priority.uncontended") ||
+        open("rrm.arb", "priority.contended")) {
+        boost(c.w_region_grant[1]);
+    }
+    if (open("rrm.arb", "vm_swap")) {
+        boost(c.w_region_vm);
+        // Only a clean scenario may run Virtual Multiplexing.
+        boost(c.w_region_corrupt[0]);
+    }
+
     // Fault cross: steer toward catalogue entries with open goal cells.
     const cover::Covergroup* det = cov.find("fault.det");
     if (det != nullptr) {
@@ -421,11 +502,15 @@ ScenarioConstraints bias_towards(const ScenarioConstraints& base,
     // w_fault swamps w_stream=8), so scale the base weight by the open-bin
     // count instead; a base weight of zero keeps a kind disabled.
     std::size_t stream_open = 0, system_open = 0, fault_open = 0;
+    std::size_t regions_open = 0;
     for (const cover::Covergroup& g : cov.groups()) {
         for (const cover::Bin& b : g.bins()) {
             if (b.ignore || b.hits != 0) continue;
             if (g.name() == "fault.det") {
                 ++fault_open;
+            } else if (g.name().compare(0, 4, "rrm.") == 0) {
+                // Only a multi-region scenario can reach the pool bins.
+                ++regions_open;
             } else if (g.name() == "irq.lat" ||
                        (g.name() == "xwin.cross" && b.name == "irq")) {
                 // Only the full system raises interrupts.
@@ -435,10 +520,18 @@ ScenarioConstraints bias_towards(const ScenarioConstraints& base,
             }
         }
     }
-    if (stream_open + system_open + fault_open > 0) {
+    if (stream_open + system_open + fault_open + regions_open > 0) {
         c.w_stream = base.w_stream * static_cast<unsigned>(1 + stream_open);
         c.w_system = base.w_system * static_cast<unsigned>(1 + system_open);
         c.w_fault = base.w_fault * static_cast<unsigned>(1 + fault_open);
+        // The rrm bins are closeable by no other kind, and the default base
+        // weight is zero (kind disabled until the pool existed) — so open
+        // rrm bins may enable the kind rather than scale a zero.
+        c.w_regions =
+            regions_open > 0
+                ? std::max(base.w_regions, 2u) *
+                      static_cast<unsigned>(1 + regions_open)
+                : base.w_regions;
     }
     return c;
 }

@@ -10,7 +10,10 @@
 //   * kSystem — a randomized full-system SystemConfig + frame count, run
 //     through the ordinary Testbench with event tracing on;
 //   * kFault — one fault-catalogue entry run through the VM-vs-ReSim
-//     detection harness.
+//     detection harness;
+//   * kRegions — a randomized multi-region virtualization workload (region
+//     count, policy, grant mode, job mix, optionally one labelled
+//     cross-region corruption) run through the rrm harness.
 //
 // Valid by construction: the generator tracks the resident module, only
 // captures the module that is actually resident, only restores state that a
@@ -32,6 +35,7 @@
 
 #include "cover/coverage.hpp"
 #include "kernel/lvec.hpp"
+#include "rrm/rrm_harness.hpp"
 #include "sys/system.hpp"
 
 namespace autovision::scen {
@@ -96,7 +100,7 @@ struct StreamSession {
     [[nodiscard]] std::vector<rtlsim::Word> words() const;
 };
 
-enum class Kind : std::uint8_t { kStream, kSystem, kFault };
+enum class Kind : std::uint8_t { kStream, kSystem, kFault, kRegions };
 
 struct Scenario {
     Kind kind = Kind::kStream;
@@ -109,6 +113,8 @@ struct Scenario {
     unsigned frames = 2;
     // kFault:
     sys::Fault fault = sys::Fault::kNone;
+    // kRegions:
+    rrm::RrmConfig rrm;
 
     /// Swaps the sessions are expected to complete (stream scenarios).
     [[nodiscard]] unsigned expected_swaps() const;
@@ -117,10 +123,16 @@ struct Scenario {
 /// The weight table a generator draws under. All weights are relative
 /// within their own array/pair; zero removes the choice entirely.
 struct ScenarioConstraints {
-    // Scenario kind mix.
+    // Scenario kind mix. w_regions defaults to zero: appending a
+    // zero-weight element to the kind pick leaves the total weight — and
+    // therefore the whole draw stream — unchanged, so every scenario
+    // generated before the multi-region kind existed is still generated
+    // bit-identically. The closure feedback edge (bias_towards) raises it
+    // whenever rrm.* goal bins are open, which no other kind can close.
     unsigned w_stream = 8;
     unsigned w_system = 2;
     unsigned w_fault = 2;
+    unsigned w_regions = 0;
 
     // Stream scenarios.
     unsigned min_sessions = 1;
@@ -143,6 +155,22 @@ struct ScenarioConstraints {
     /// Next session reconfigures the other module vs. the resident one.
     unsigned w_toggle_module = 3;
     unsigned w_repeat_module = 1;
+
+    // Region scenarios.
+    /// Pool size buckets: 2, 3, 4 regions.
+    std::array<unsigned, 3> w_region_count{2, 2, 1};
+    /// Indexed by rrm::Policy: round-robin, deadline, demand paging.
+    std::array<unsigned, rrm::kNumPolicies> w_region_policy{1, 1, 1};
+    /// ICAP arbitration: fair vs priority grants.
+    std::array<unsigned, 2> w_region_grant{1, 1};
+    /// Simulation method: Virtual Multiplexing vs ReSim. Corrupted
+    /// scenarios always run ReSim (the corruption states live on the SimB
+    /// datapath), so the VM weight only applies to clean ones.
+    unsigned w_region_vm = 1;
+    unsigned w_region_resim = 3;
+    /// Indexed by rrm::RegionCorrupt; defaults favour clean workloads.
+    std::array<unsigned, static_cast<std::size_t>(rrm::RegionCorrupt::kCount)>
+        w_region_corrupt{9, 1, 1, 1};
 
     // Fault scenarios: weight per kFaultCatalog entry.
     std::array<unsigned, sys::kFaultCatalog.size()> w_fault_pick = [] {

@@ -18,6 +18,12 @@ inline constexpr std::uint32_t kOutBuf = 0x0005'0000;     ///< drawn output
 // (129K words = 516 KiB) fit without overlapping.
 inline constexpr std::uint32_t kSimbCie = 0x0010'0000;    ///< CIE bitstream
 inline constexpr std::uint32_t kSimbMe = 0x0030'0000;     ///< ME bitstream
+// Virtualization pool (SystemConfig::regions >= 2): shared source frames
+// and per-job destination blocks for the managed regions' workload.
+inline constexpr std::uint32_t kRegionSrcCur = 0x0050'0000;
+inline constexpr std::uint32_t kRegionSrcPrev = 0x0051'0000;
+inline constexpr std::uint32_t kRegionDstBase = 0x0060'0000;
+inline constexpr std::uint32_t kRegionDstStride = 0x0001'0000;  ///< per job
 
 // ---- mailbox offsets (word each) ---------------------------------------
 inline constexpr std::uint32_t kMbFramesDone = 0;   ///< frames fully drawn
@@ -33,11 +39,23 @@ inline constexpr std::uint32_t kDcrIso = 0x58;
 inline constexpr std::uint32_t kDcrCie = 0x60;
 inline constexpr std::uint32_t kDcrMe = 0x68;
 inline constexpr std::uint32_t kDcrSig = 0x70;  ///< engine_signature (VM only)
+// Region-indexed DCR blocks of the virtualization pool, on the dedicated
+// management chain (the pool's RegionManager must not contend with the
+// CPU's mtdcr/mfdcr on the legacy chain). Region r >= 1 owns
+// [kDcrRegionBase + r*kDcrRegionStride, +kDcrRegionStride): isolation at
+// +0, EngineRegs at +8, engine_signature (VM) at +16.
+inline constexpr std::uint32_t kDcrRegionBase = 0x100;
+inline constexpr std::uint32_t kDcrRegionStride = 0x20;
+inline constexpr std::uint32_t kDcrRegionIso = 0;
+inline constexpr std::uint32_t kDcrRegionRegs = 8;
+inline constexpr std::uint32_t kDcrRegionSig = 16;
 
 // ---- interrupt lines ------------------------------------------------------
 inline constexpr unsigned kIrqEngine = 0;   ///< engine done (from the RR)
 inline constexpr unsigned kIrqIcap = 1;     ///< bitstream transfer complete
 inline constexpr unsigned kIrqVideoIn = 2;  ///< camera frame landed
+/// Pool region r >= 1 raises its done line on INTC line kIrqRegion0 + r - 1.
+inline constexpr unsigned kIrqRegion0 = 3;
 
 // ---- PLB master indices ----------------------------------------------------
 inline constexpr unsigned kMasterCpu = 0;
@@ -46,6 +64,8 @@ inline constexpr unsigned kMasterRr = 2;
 inline constexpr unsigned kMasterVideoIn = 3;
 inline constexpr unsigned kMasterVideoOut = 4;
 inline constexpr unsigned kNumMasters = 5;
+/// Pool region r >= 1 gets its own boundary master at kMasterRegion0 + r - 1.
+inline constexpr unsigned kMasterRegion0 = kNumMasters;
 
 // ---- SimB module ids --------------------------------------------------------
 inline constexpr std::uint8_t kRrId = 0x01;

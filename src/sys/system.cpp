@@ -23,6 +23,20 @@ IcapCtrl::Config icap_config(const SystemConfig& cfg) {
     return ic;
 }
 
+/// Pool job geometry: small fixed frames so the managed regions' workload
+/// drains well inside a two-frame pipeline run at any jobs_per_region.
+constexpr unsigned kRegionJobW = 16;
+constexpr unsigned kRegionJobH = 12;
+
+SystemConfig normalize(SystemConfig cfg) {
+    if (cfg.regions < 1) cfg.regions = 1;
+    if (cfg.regions > obs::kMaxRegions) {
+        cfg.regions = obs::kMaxRegions;
+    }
+    if (cfg.rrm_jobs_per_region == 0) cfg.rrm_jobs_per_region = 1;
+    return cfg;
+}
+
 FirmwareConfig firmware_config(const SystemConfig& cfg,
                                std::uint32_t simb_cie_words,
                                std::uint32_t simb_me_words) {
@@ -56,12 +70,13 @@ unsigned SystemConfig::resolve_lanes(unsigned cfg_lanes) {
 }
 
 OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
-    : cfg_(cfg),
-      clk(sch, "clk", cfg.clk_period),
-      rst(sch, "rst", 4 * cfg.clk_period),
+    : cfg_(normalize(cfg)),
+      clk(sch, "clk", cfg_.clk_period),
+      rst(sch, "rst", 4 * cfg_.clk_period),
       mem(Memory::Config{0, 8u << 20, 4}),
       plb(sch, "plb", clk.out, rst.out,
-          Plb::Config{kNumMasters, /*max_burst=*/16, /*grant_timeout=*/50000}),
+          Plb::Config{kNumMasters + (cfg_.regions - 1), /*max_burst=*/16,
+                      /*grant_timeout=*/50000}),
       dcr(sch, "dcr", clk.out, rst.out),
       intc(sch, "intc", clk.out, rst.out, kDcrIntc),
       iso(sch, "iso", kDcrIso),
@@ -156,6 +171,83 @@ OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
                                                icap_artifact.get())
                                          : &null_icap);
 
+    // --- virtualization pool (regions >= 2) ---------------------------------
+    if (cfg_.regions > 1) {
+        dcr_mgmt = std::make_unique<DcrChain>(sch, "dcr_mgmt", clk.out,
+                                              rst.out);
+        if (is_resim()) {
+            // One physical ICAP: every configuration word now funnels
+            // through the arbiter — manager sessions by grant, the CPU's
+            // IcapCTRL stream via the SYNC-sniffing passthrough port.
+            icap_arbiter = std::make_unique<rrm::IcapArbiter>(
+                sch, "icap_arb", clk.out, rst.out, *icap_artifact,
+                cfg_.regions, cfg_.rrm_grant);
+            icap_router.set_target(&icap_arbiter->external_port());
+        }
+        rrm::RegionManager::Config mc;
+        mc.policy = cfg_.rrm_policy;
+        mc.vm_mode = !is_resim();
+        mc.payload_words = cfg_.rrm_payload_words;
+        mc.simb_seed = rtlsim::derive_seed(cfg_.seed, kSeedTagRegionSimb);
+        region_manager = std::make_unique<rrm::RegionManager>(
+            sch, "rrm", clk.out, rst.out, *dcr_mgmt, icap_arbiter.get(), mc);
+
+        for (unsigned r = 1; r < cfg_.regions; ++r) {
+            const std::uint32_t base = kDcrRegionBase + r * kDcrRegionStride;
+            rrm::RegionLayout lay;
+            lay.plb_master = kMasterRegion0 + (r - 1);
+            lay.region = static_cast<std::uint8_t>(r);
+            lay.iso_dcr = base + kDcrRegionIso;
+            lay.regs_dcr = base + kDcrRegionRegs;
+            lay.sig_dcr = base + kDcrRegionSig;
+            lay.vm_mode = !is_resim();
+            region_blocks.push_back(std::make_unique<rrm::RegionBlock>(
+                sch, "region" + std::to_string(r), clk.out, rst.out, plb,
+                lay));
+            rrm::RegionBlock& blk = *region_blocks.back();
+            blk.attach_dcr(*dcr_mgmt);
+            if (is_resim()) blk.map_portal(*portal);
+            intc.attach(blk.done_line);  // line kIrqRegion0 + r - 1
+            region_manager->add_region(blk.ports());
+        }
+
+        // Shared pool source frames and the deterministic per-region job
+        // mix; the pool starts autonomously once reset deasserts and runs
+        // alongside the firmware-driven pipeline.
+        for (unsigned i = 0; i < kRegionJobW * kRegionJobH; ++i) {
+            mem.poke_u8(kRegionSrcCur + i,
+                        static_cast<std::uint8_t>(rtlsim::derive_seed(
+                            cfg_.seed, kSeedTagRegionCur + i)));
+            mem.poke_u8(kRegionSrcPrev + i,
+                        static_cast<std::uint8_t>(rtlsim::derive_seed(
+                            cfg_.seed, kSeedTagRegionPrev + i)));
+        }
+        for (unsigned r = 1; r < cfg_.regions; ++r) {
+            for (unsigned j = 0; j < cfg_.rrm_jobs_per_region; ++j) {
+                const rrm::EngineInfo& info =
+                    rrm::engine_library()[(r + j) % rrm::kNumEngines];
+                rrm::RegionJob job;
+                job.engine = info.kind;
+                job.src = kRegionSrcCur;
+                job.src2 = info.needs_src2 ? kRegionSrcPrev : 0;
+                job.dst = kRegionDstBase +
+                          ((r - 1) * cfg_.rrm_jobs_per_region + j) *
+                              kRegionDstStride;
+                job.width = static_cast<std::uint16_t>(kRegionJobW);
+                job.height = static_cast<std::uint16_t>(kRegionJobH);
+                job.param = info.kind == rrm::EngineKind::kMatching
+                                ? (1u | (2u << 8) | (2u << 16))
+                                : 0u;
+                job.deadline =
+                    rtlsim::derive_seed32(cfg_.seed, kSeedTagRegionDeadline +
+                                                         r * 16 + j) %
+                    16u;
+                region_manager->enqueue(r - 1, job);
+            }
+        }
+        region_manager->start();
+    }
+
     // --- bug.dpr.2 placement ------------------------------------------------
     if (cfg.fault == Fault::kDpr2RegsInsideRr && is_resim()) {
         // Registers inside the region exist only while their module is
@@ -220,7 +312,39 @@ std::uint64_t OpticalFlowSystem::config_hash(const SystemConfig& cfg) {
     // they do not change simulation state (lanes is bit-exact by the
     // kernel-invariance contract, so snapshots interchange freely between
     // lane counts).
+    //
+    // The virtualization-pool fields fold in only when a pool exists, so
+    // every single-region configuration hashes exactly as it did before
+    // the pool was introduced (checkpoint compatibility contract).
+    if (cfg.regions > 1) {
+        h = snap_hash64("autovision.sysconfig.pool.v1", h);
+        h = snap_hash64_u64(cfg.regions, h);
+        h = snap_hash64_u64(static_cast<std::uint64_t>(cfg.rrm_policy), h);
+        h = snap_hash64_u64(static_cast<std::uint64_t>(cfg.rrm_grant), h);
+        h = snap_hash64_u64(cfg.rrm_jobs_per_region, h);
+        h = snap_hash64_u64(cfg.rrm_payload_words, h);
+    }
     return h;
+}
+
+std::vector<rrm::RegionSnapshot> OpticalFlowSystem::region_snapshots() const {
+    std::vector<rrm::RegionSnapshot> out;
+    out.reserve(region_blocks.size());
+    for (unsigned i = 0; i < region_blocks.size(); ++i) {
+        const rrm::RegionBlock& blk = *region_blocks[i];
+        rrm::RegionSnapshot s;
+        s.index = blk.layout.region;
+        s.resident = region_manager->started() ? region_manager->resident(i)
+                                               : rrm::EngineKind::kNone;
+        s.busy = blk.regs.busy();
+        s.isolated = rtlsim::is1(blk.iso.isolate.read());
+        s.swaps = region_manager->started()
+                      ? region_manager->sessions_submitted(i)
+                      : 0;
+        s.jobs = region_manager->started() ? region_manager->jobs_done(i) : 0;
+        out.push_back(s);
+    }
+    return out;
 }
 
 bool OpticalFlowSystem::save(std::ostream& os) const {
@@ -244,6 +368,19 @@ bool OpticalFlowSystem::save(std::ostream& os) const {
     if (portal) portal->ckpt_save(saver.section("portal"));
     if (icap_artifact) icap_artifact->ckpt_save(saver.section("icap"));
     if (vmux) vmux->ckpt_save(saver.section("vmux"));
+    // Virtualization pool (regions >= 2 only): absent sections keep the
+    // single-region blob byte-identical to the pre-pool format.
+    if (dcr_mgmt) dcr_mgmt->ckpt_save(saver.section("dcr_mgmt"));
+    for (std::size_t i = 0; i < region_blocks.size(); ++i) {
+        region_blocks[i]->ckpt_save(
+            saver.section("region" + std::to_string(i + 1)));
+    }
+    if (region_manager) {
+        const auto snaps = region_snapshots();
+        rrm::save_region_section(saver.section("rrm"), snaps);
+        if (icap_arbiter) icap_arbiter->ckpt_save(saver.section("rrm_arb"));
+        region_manager->ckpt_save(saver.section("rrm_mgr"));
+    }
     icapctrl.ckpt_save(saver.section("icapctrl"));
     video_in.ckpt_save(saver.section("video_in"));
     video_out.ckpt_save(saver.section("video_out"));
@@ -290,6 +427,28 @@ bool OpticalFlowSystem::restore(std::istream& is, std::string* error) {
         return fail("icap section corrupt");
     }
     if (vmux && !section("vmux", *vmux)) return fail("vmux section corrupt");
+    if (dcr_mgmt && !section("dcr_mgmt", *dcr_mgmt)) {
+        return fail("dcr_mgmt section corrupt");
+    }
+    for (std::size_t i = 0; i < region_blocks.size(); ++i) {
+        const std::string name = "region" + std::to_string(i + 1);
+        if (!section(name.c_str(), *region_blocks[i])) {
+            return fail(name + " section corrupt");
+        }
+    }
+    std::vector<rrm::RegionSnapshot> pool_summary;
+    if (region_manager) {
+        rtlsim::SnapReader r = loader.reader("rrm");
+        if (!rrm::load_region_section(r, pool_summary)) {
+            return fail("rrm section corrupt");
+        }
+        if (icap_arbiter && !section("rrm_arb", *icap_arbiter)) {
+            return fail("rrm_arb section corrupt");
+        }
+        if (!section("rrm_mgr", *region_manager)) {
+            return fail("rrm_mgr section corrupt");
+        }
+    }
     if (!section("icapctrl", icapctrl)) return fail("icapctrl section corrupt");
     if (!section("video_in", video_in)) return fail("video_in section corrupt");
     if (!section("video_out", video_out)) {
@@ -302,6 +461,11 @@ bool OpticalFlowSystem::restore(std::istream& is, std::string* error) {
             return fail("signal registry mismatch");
         }
     }
+    // The decodable "rrm" summary must agree with the restored full state —
+    // keeps the region-array format honest against drift.
+    if (region_manager && pool_summary != region_snapshots()) {
+        return fail("rrm summary/state mismatch");
+    }
     return true;
 }
 
@@ -312,6 +476,10 @@ void OpticalFlowSystem::attach_observer(obs::EventRecorder* rec) {
     rr.set_observer(rec);
     if (portal) portal->set_observer(rec);
     if (icap_artifact) icap_artifact->set_observer(rec);
+    if (dcr_mgmt) dcr_mgmt->set_observer(rec);
+    for (auto& blk : region_blocks) blk->set_observer(rec);
+    if (icap_arbiter) icap_arbiter->set_observer(rec);
+    if (region_manager) region_manager->set_observer(rec);
 }
 
 }  // namespace autovision::sys

@@ -1,17 +1,27 @@
 // The integrated Optical Flow Demonstrator.
 //
 // Instantiates the full Figure 1 architecture: PowerPC ISS + firmware, PLB
-// with five masters (CPU, IcapCTRL, the reconfigurable region, video
+// (CPU, IcapCTRL, one boundary master per reconfigurable region, video
 // in/out VIPs), main memory, DCR daisy chain (IcapCTRL, isolation, INTC,
-// engine registers, engine_signature), interrupt controller, the two video
-// engines in one reconfigurable region, and — depending on the simulation
-// method — either the ReSim artifacts (ICAP artifact + Extended Portal) or
-// the Virtual Multiplexing signature register.
+// engine registers, engine_signature), interrupt controller, the engine
+// library hosted across the reconfigurable regions, and — depending on the
+// simulation method — either the ReSim artifacts (ICAP artifact + Extended
+// Portal) or the Virtual Multiplexing signature registers.
+//
+// The default configuration models the paper's demonstrator exactly: one
+// region, two engines (CIE / ME), firmware-driven swaps. With
+// SystemConfig::regions >= 2 the system additionally elaborates the
+// time-shared virtualization pool (src/rrm): regions 1..N-1 each host the
+// full engine library behind their own boundary, an autonomous
+// RegionManager executes a policy plan over them on a dedicated management
+// DCR chain, and an ICAP arbiter serializes their partial bitstreams with
+// the CPU's IcapCTRL traffic onto the one configuration port.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "address_map.hpp"
 #include "bus/dcr.hpp"
@@ -31,6 +41,11 @@
 #include "resim/icap_artifact.hpp"
 #include "resim/portal.hpp"
 #include "resim/simb.hpp"
+#include "rrm/icap_arbiter.hpp"
+#include "rrm/policy.hpp"
+#include "rrm/region_block.hpp"
+#include "rrm/region_manager.hpp"
+#include "rrm/rrm_section.hpp"
 #include "vip/video_vip.hpp"
 #include "vm/virtual_mux.hpp"
 
@@ -42,6 +57,11 @@ inline constexpr std::uint64_t kSeedTagScene = 0x5343'454E'45ull;
 inline constexpr std::uint64_t kSeedTagSimbCie = 0x5349'4D42'0001ull;
 inline constexpr std::uint64_t kSeedTagSimbMe = 0x5349'4D42'0002ull;
 inline constexpr std::uint64_t kSeedTagInjector = 0x494E'4A45'4354ull;
+// Virtualization-pool consumers (regions >= 2 only).
+inline constexpr std::uint64_t kSeedTagRegionCur = 0x5247'4E00'0001ull;
+inline constexpr std::uint64_t kSeedTagRegionPrev = 0x5247'4E00'0002ull;
+inline constexpr std::uint64_t kSeedTagRegionSimb = 0x5247'4E00'0003ull;
+inline constexpr std::uint64_t kSeedTagRegionDeadline = 0x5247'4E00'0004ull;
 
 struct SystemConfig {
     FirmwareConfig::Method method = FirmwareConfig::Method::kResim;
@@ -106,6 +126,17 @@ struct SystemConfig {
     /// When non-empty (and trace_events set), the testbench writes a
     /// Chrome-trace / Perfetto JSON of the recorded events to this path.
     std::string trace_path;
+
+    /// Total reconfigurable regions. 1 (the default) is the paper's
+    /// demonstrator and is byte-identical to the pre-pool model; >= 2
+    /// additionally elaborates the time-shared virtualization pool
+    /// (regions 1..N-1, each hosting the full engine library under the
+    /// RegionManager). Capped at obs::kMaxRegions.
+    unsigned regions = 1;
+    rrm::Policy rrm_policy = rrm::Policy::kRoundRobin;
+    rrm::IcapArbiter::Grant rrm_grant = rrm::IcapArbiter::Grant::kFair;
+    unsigned rrm_jobs_per_region = 2;
+    std::uint32_t rrm_payload_words = 16;  ///< pool SimB payload length
 };
 
 class OpticalFlowSystem {
@@ -176,6 +207,23 @@ public:
     // VM artefact (null under ReSim).
     std::unique_ptr<vm::VirtualMux> vmux;
     NullIcap null_icap;
+
+    // Virtualization pool (all null/empty when cfg.regions == 1). The pool
+    // lives on its own management DCR chain: the CPU's mtdcr/mfdcr issue
+    // unguarded transactions on the legacy chain, so an autonomous second
+    // initiator there would collide with them.
+    std::unique_ptr<DcrChain> dcr_mgmt;
+    std::vector<std::unique_ptr<rrm::RegionBlock>> region_blocks;
+    std::unique_ptr<rrm::IcapArbiter> icap_arbiter;  ///< ReSim only
+    std::unique_ptr<rrm::RegionManager> region_manager;
+
+    /// Pool region r (1-based global id) — valid for 1 <= r < cfg.regions.
+    [[nodiscard]] rrm::RegionBlock& pool_region(unsigned r) {
+        return *region_blocks[r - 1];
+    }
+    /// Versioned region-array summary of the managed pool (checkpoint
+    /// "rrm" section; empty when regions == 1).
+    [[nodiscard]] std::vector<rrm::RegionSnapshot> region_snapshots() const;
 
     /// Stable ICAP sink handed to the IcapCTRL at construction; routed to
     /// the ICAP artifact (ReSim) or the null sink (VM) once those exist.

@@ -147,6 +147,21 @@ void draw_line(Frame& plane, int x0, int y0, int x1, int y1,
 
 }  // namespace
 
+std::uint8_t flow_energy(std::uint8_t cur, std::uint8_t prev) {
+    const int d = static_cast<int>(cur) - static_cast<int>(prev);
+    return static_cast<std::uint8_t>(d < 0 ? -d : d);
+}
+
+Frame flow_energy_transform(const Frame& cur, const Frame& prev) {
+    Frame out(cur.width(), cur.height());
+    for (unsigned y = 0; y < cur.height(); ++y) {
+        for (unsigned x = 0; x < cur.width(); ++x) {
+            out.at(x, y) = flow_energy(cur.at(x, y), prev.at(x, y));
+        }
+    }
+    return out;
+}
+
 void make_overlay(const Frame& base, const MotionField& field,
                   unsigned min_mag, Frame& r, Frame& g, Frame& b) {
     r = base;

@@ -81,4 +81,13 @@ struct MotionField {
 void make_overlay(const Frame& base, const MotionField& field,
                   unsigned min_mag, Frame& r, Frame& g, Frame& b);
 
+/// Temporal-difference motion energy: the per-pixel absolute difference
+/// between the current and previous frame (saturates at 255 trivially —
+/// |a - b| of two bytes never exceeds it). The cheapest of the library's
+/// motion cues; the Flow Engine implements the identical transform.
+[[nodiscard]] std::uint8_t flow_energy(std::uint8_t cur, std::uint8_t prev);
+
+/// Whole-frame motion-energy image. Frames must share geometry.
+[[nodiscard]] Frame flow_energy_transform(const Frame& cur, const Frame& prev);
+
 }  // namespace autovision::video

@@ -110,6 +110,44 @@ TEST(Closure, RecordsCarryMergeableCoverageShards) {
         << "the merged model must equal the sum of the per-job shards";
 }
 
+TEST(Closure, RegionScenariosCloseTheRrmCrossBins) {
+    // A regions-only campaign must execute through the rrm harness and
+    // land hits in the region x engine x policy cross — the bins no other
+    // scenario kind can reach.
+    scen::ScenarioConstraints c;
+    c.w_stream = 0;
+    c.w_system = 0;
+    c.w_fault = 0;
+    c.w_regions = 1;
+
+    ClosureConfig cc;
+    cc.base = c;
+    cc.seed = 21;
+    cc.batch_size = 4;
+    cc.max_batches = 1;
+    cc.target_percent = 101.0;
+
+    CampaignConfig rc;
+    rc.jobs = 2;
+    const ClosureResult r = campaign::run_closure(cc, rc);
+    ASSERT_EQ(r.records.size(), 4u);
+    for (const campaign::JobRecord& rec : r.records) {
+        EXPECT_TRUE(rec.passed())
+            << rec.name << ": " << rec.report.verdict;
+    }
+
+    const cover::Covergroup* cross = r.merged.find("rrm.cross");
+    ASSERT_NE(cross, nullptr);
+    std::size_t hit = 0;
+    for (const cover::Bin& b : cross->bins()) {
+        if (b.hits > 0) ++hit;
+    }
+    EXPECT_GT(hit, 0u) << "no region/engine/policy cell was reached";
+    const cover::Covergroup* arb = r.merged.find("rrm.arb");
+    ASSERT_NE(arb, nullptr);
+    EXPECT_GT(arb->goal_hit(), 0u);
+}
+
 TEST(Closure, BiasedArmBeatsEqualBudgetPureRandom) {
     // The acceptance property. Both arms share the campaign seed, so batch
     // b / index i runs from the same scenario seed in both; only the

@@ -11,6 +11,7 @@
 #include "cover/coverage.hpp"
 #include "cover/model.hpp"
 #include "obs/event.hpp"
+#include "rrm/rrm_harness.hpp"
 
 namespace {
 
@@ -46,7 +47,7 @@ TEST(CoverShape, ModelHasTheAdvertisedGroups) {
     Coverage cov = cover::make_model();
     for (const char* g :
          {"simb.seq", "xwin.len", "xwin.cross", "swap.trans", "fault.det",
-          "irq.lat"}) {
+          "irq.lat", "rrm.cross", "rrm.arb"}) {
         EXPECT_NE(cov.find(g), nullptr) << g;
     }
     EXPECT_GT(cov.goal_bins(), 0u);
@@ -64,6 +65,19 @@ TEST(CoverShape, FaultCrossHasOneBinPerCatalogCell) {
     // (fault, method) is the expected one, the other is an ignore bin.
     EXPECT_EQ(det->bins().size(), sys::kFaultCatalog.size() * 4);
     EXPECT_EQ(det->goal_bins(), sys::kFaultCatalog.size() * 2);
+}
+
+TEST(CoverShape, RrmCrossSpansRegionEnginePolicy) {
+    Coverage cov = cover::make_model();
+    const Covergroup* cross = cov.find("rrm.cross");
+    ASSERT_NE(cross, nullptr);
+    // 3 region-axis slots (r0, r1, r2p) x 4 engines x 3 policies.
+    EXPECT_EQ(cross->bins().size(), 3u * 4u * 3u);
+    EXPECT_NE(cross->find("r0.census.rr"), nullptr);
+    EXPECT_NE(cross->find("r2p.flow.demand"), nullptr);
+    const Covergroup* arb = cov.find("rrm.arb");
+    ASSERT_NE(arb, nullptr);
+    EXPECT_EQ(arb->bins().size(), 5u);
 }
 
 TEST(CoverShape, EmptyCoverageIsTriviallyClosed) {
@@ -294,6 +308,40 @@ TEST(CoverObserve, IrqLatencyBinsFromRaiseToAck) {
     cover::observe_events(cov, events, kPeriod);
     EXPECT_EQ(cov.hits("irq.lat", "33_128"), 1u);
     EXPECT_EQ(cov.hits("irq.lat", "gt512"), 1u);
+}
+
+TEST(CoverObserve, RrmRunFillsTheRegionEnginePolicyCross) {
+    Coverage cov = cover::make_model();
+    rrm::RrmConfig cfg;
+    cfg.policy = rrm::Policy::kDeadline;
+    cfg.grant = rrm::IcapArbiter::Grant::kPriority;
+    rrm::RrmResult res;
+    Event j0 = ev(EventKind::kRegionJob, 100,
+                  static_cast<std::uint32_t>(rrm::EngineKind::kCensus));
+    j0.region = 0;
+    Event j3 = ev(EventKind::kRegionJob, 200,
+                  static_cast<std::uint32_t>(rrm::EngineKind::kFlow));
+    j3.region = 3;  // regions >= 2 fold into the r2p axis slot
+    res.events = {j0, j3};
+    res.arb_max_wait = {0, 7};  // one region waited: contended
+    cover::observe_rrm(cov, cfg, res);
+    EXPECT_EQ(cov.hits("rrm.cross", "r0.census.deadline"), 1u);
+    EXPECT_EQ(cov.hits("rrm.cross", "r2p.flow.deadline"), 1u);
+    EXPECT_EQ(cov.hits("rrm.arb", "priority.contended"), 1u);
+    EXPECT_EQ(cov.hits("rrm.arb", "priority.uncontended"), 0u);
+    EXPECT_EQ(cov.hits("rrm.arb", "vm_swap"), 0u);
+}
+
+TEST(CoverObserve, VirtualMultiplexingRunHitsTheVmSwapBin) {
+    Coverage cov = cover::make_model();
+    rrm::RrmConfig cfg;
+    cfg.vm_mode = true;
+    rrm::RrmResult res;
+    res.sessions = {2, 1};
+    cover::observe_rrm(cov, cfg, res);
+    EXPECT_EQ(cov.hits("rrm.arb", "vm_swap"), 1u);
+    EXPECT_EQ(cov.hits("rrm.arb", "fair.uncontended"), 0u)
+        << "a VM run never exercises the ICAP arbiter";
 }
 
 TEST(CoverObserve, DetectionOutcomesLandInTheCatalogCross) {

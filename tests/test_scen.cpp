@@ -117,6 +117,51 @@ TEST(ScenGen, BiasLeavesClosedModelAlone) {
     EXPECT_EQ(biased.w_stream, base.w_stream);
     EXPECT_EQ(biased.w_system, base.w_system);
     EXPECT_EQ(biased.w_fault, base.w_fault);
+    EXPECT_EQ(biased.w_regions, base.w_regions);
+}
+
+TEST(ScenGen, RegionScenariosAreValidAndDeterministic) {
+    ScenarioConstraints c;
+    c.w_stream = 0;
+    c.w_system = 0;
+    c.w_fault = 0;
+    c.w_regions = 1;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        const Scenario a = scen::generate(c, seed);
+        const Scenario b = scen::generate(c, seed);
+        ASSERT_EQ(a.kind, scen::Kind::kRegions);
+        EXPECT_GE(a.rrm.regions, 2u);
+        EXPECT_LE(a.rrm.regions, 4u);
+        EXPECT_LT(a.rrm.victim, a.rrm.regions);
+        EXPECT_GE(a.rrm.jobs_per_region, 1u);
+        EXPECT_LE(a.rrm.jobs_per_region, 4u);
+        EXPECT_GE(a.rrm.payload_words, 8u);
+        EXPECT_LE(a.rrm.payload_words, 128u);
+        if (a.rrm.corrupt != rrm::RegionCorrupt::kNone) {
+            EXPECT_FALSE(a.rrm.vm_mode)
+                << "cross-region corruptions live on the SimB datapath";
+        }
+        // Pure in (constraints, seed): the elaboration identity pins every
+        // generated field at once.
+        EXPECT_EQ(a.rrm.config_hash(), b.rrm.config_hash()) << seed;
+    }
+}
+
+TEST(ScenGen, ZeroRegionWeightNeverEmitsRegionScenarios) {
+    // The default table must be bit-compatible with the pre-pool generator:
+    // the zero-weight trailing kind leaves every draw untouched.
+    const ScenarioConstraints c;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        EXPECT_NE(scen::generate(c, seed).kind, scen::Kind::kRegions);
+    }
+}
+
+TEST(ScenGen, BiasEnablesRegionKindWhenRrmBinsOpen) {
+    const cover::Coverage cov = cover::make_model();  // nothing hit
+    const ScenarioConstraints base;                   // w_regions == 0
+    const ScenarioConstraints biased = scen::bias_towards(base, cov);
+    EXPECT_GT(biased.w_regions, 0u)
+        << "open rrm bins are closeable by no other scenario kind";
 }
 
 TEST(ScenGen, BiasBoostsKnobsFeedingOpenBins) {

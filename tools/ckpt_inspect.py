@@ -15,6 +15,16 @@ src/ckpt/checkpoint.hpp and DESIGN.md §11):
         u32 name length, name bytes
         u32 payload length, payload bytes
 
+The "rrm" section (multi-region virtualization pool, src/rrm) carries a
+versioned region-array summary and is decoded in full:
+
+    u32 version (currently 1)
+    u32 region count
+    per region:
+        u8  region index, u8 resident engine kind
+        u8  busy flag, u8 isolated flag
+        u64 swaps (configuration sessions), u32 jobs completed
+
 Usage:
     tools/ckpt_inspect.py snapshot.ckpt            # manifest + section table
     tools/ckpt_inspect.py --hex-head 16 s.ckpt     # + first bytes per section
@@ -51,6 +61,41 @@ class Reader:
     def u64(self) -> int:
         return struct.unpack(">Q", self.take(8))[0]
 
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+
+ENGINE_KINDS = {0: "none", 1: "census", 2: "matching", 3: "sobel", 4: "flow"}
+
+
+def decode_rrm(payload: bytes) -> dict:
+    """Decode the versioned region-array summary (src/rrm/rrm_section.hpp)."""
+    r = Reader(payload)
+    version = r.u32()
+    if version != 1:
+        raise Corrupt(f"unsupported rrm section version {version}")
+    count = r.u32()
+    regions = []
+    for _ in range(count):
+        index = r.u8()
+        resident = r.u8()
+        busy = r.u8()
+        isolated = r.u8()
+        swaps = r.u64()
+        jobs = r.u32()
+        regions.append({
+            "index": index,
+            "resident": ENGINE_KINDS.get(resident, f"?{resident}"),
+            "busy": bool(busy),
+            "isolated": bool(isolated),
+            "swaps": swaps,
+            "jobs": jobs,
+        })
+    if r.pos != len(payload):
+        raise Corrupt(f"{len(payload) - r.pos} trailing bytes "
+                      "in rrm section")
+    return {"version": version, "regions": regions}
+
 
 def inspect(data: bytes, hex_head: int) -> dict:
     r = Reader(data)
@@ -68,6 +113,8 @@ def inspect(data: bytes, hex_head: int) -> dict:
         name = r.take(r.u32()).decode("utf-8", errors="replace")
         payload = r.take(r.u32())
         entry = {"name": name, "bytes": len(payload)}
+        if name == "rrm":
+            entry["rrm"] = decode_rrm(payload)
         if hex_head > 0:
             entry["head"] = payload[:hex_head].hex()
         doc["sections"].append(entry)

@@ -10,6 +10,7 @@ Memory::Memory(Config cfg) : cfg_(cfg) {
     assert(cfg_.size_bytes % 4 == 0);
     words_.assign(cfg_.size_bytes / 4, Word{0});
     page_dirty_.assign((words_.size() + kPageWords - 1) / kPageWords, 0);
+    page_gen_.assign(page_dirty_.size(), 0);
 }
 
 bool Memory::claims(std::uint32_t addr) const {
@@ -25,7 +26,7 @@ Word Memory::plb_read(std::uint32_t addr) { return words_[index(addr)]; }
 
 void Memory::plb_write(std::uint32_t addr, Word w) {
     const std::size_t i = index(addr);
-    page_dirty_[i / kPageWords] = 1;
+    on_write(i, addr);
     words_[i] = w;
 }
 
@@ -33,7 +34,7 @@ Word Memory::peek(std::uint32_t addr) const { return words_[index(addr)]; }
 
 void Memory::poke(std::uint32_t addr, Word w) {
     const std::size_t i = index(addr);
-    page_dirty_[i / kPageWords] = 1;
+    on_write(i, addr);
     words_[i] = w;
 }
 
@@ -45,7 +46,7 @@ std::uint32_t Memory::peek_u32(std::uint32_t addr, bool* ok) const {
 
 void Memory::poke_u32(std::uint32_t addr, std::uint32_t v) {
     const std::size_t i = index(addr);
-    page_dirty_[i / kPageWords] = 1;
+    on_write(i, addr);
     words_[i] = Word{v};
 }
 
@@ -60,7 +61,7 @@ std::uint8_t Memory::peek_u8(std::uint32_t addr, bool* ok) const {
 
 void Memory::poke_u8(std::uint32_t addr, std::uint8_t v) {
     const std::size_t i = index(addr & ~3u);
-    page_dirty_[i / kPageWords] = 1;
+    on_write(i, addr);
     Word& w = words_[i];
     const unsigned shift = (3u - (addr & 3u)) * 8;
     const Word mask = Word{0xFFu} << shift;
@@ -79,7 +80,7 @@ std::uint16_t Memory::peek_u16(std::uint32_t addr, bool* ok) const {
 void Memory::poke_u16(std::uint32_t addr, std::uint16_t v) {
     assert((addr & 1u) == 0 && "halfword access must be aligned");
     const std::size_t i = index(addr & ~3u);
-    page_dirty_[i / kPageWords] = 1;
+    on_write(i, addr);
     Word& w = words_[i];
     const unsigned shift = (addr & 2u) ? 0 : 16;
     const Word mask = Word{0xFFFFu} << shift;

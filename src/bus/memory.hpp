@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -70,6 +71,28 @@ public:
     [[nodiscard]] std::uint32_t base() const { return cfg_.base; }
     [[nodiscard]] std::uint32_t size_bytes() const { return cfg_.size_bytes; }
 
+    // --- write tracking (ISS decode cache) -------------------------------
+    /// Pages are kPageWords words (4 KiB). The generation counter of a page
+    /// bumps on every front-door or backdoor write into it; the ISS decode
+    /// cache snapshots the generation at block-decode time and re-decodes
+    /// when it moved (store-to-code detection without per-word shadow
+    /// state). Checkpoint restore deliberately does NOT bump generations —
+    /// the CPU flushes its cache wholesale on restore instead, so the
+    /// counters (and the optional observer) stay out of the snapshot bytes.
+    static constexpr std::size_t kPageWords = 1024;  ///< 4 KiB pages
+    [[nodiscard]] std::size_t page_of(std::uint32_t addr) const {
+        return index(addr) / kPageWords;
+    }
+    [[nodiscard]] std::uint32_t page_gen(std::size_t page) const {
+        return page_gen_[page];
+    }
+    /// Immediate notification per written word (byte address); used by the
+    /// sleeping ISS to wake on a DMA store into code it pre-executed. At
+    /// most one observer; null clears. Not serialized — harness-side state.
+    void set_write_observer(std::function<void(std::uint32_t)> obs) {
+        write_obs_ = std::move(obs);
+    }
+
     // --- checkpoint ------------------------------------------------------
     /// RLE over the 4-state image: each word's (val<<32 | unk) planes form
     /// one u64 run value, so the zero-dominated image stays tiny.
@@ -117,15 +140,25 @@ public:
     }
 
 private:
-    static constexpr std::size_t kPageWords = 1024;  ///< 4 KiB pages
-
     [[nodiscard]] std::size_t index(std::uint32_t addr) const;
+
+    /// Every mutating path funnels here: dirty bit, generation bump, and
+    /// the optional write observer. `i` is the word index, `addr` the byte
+    /// address as presented by the writer.
+    void on_write(std::size_t i, std::uint32_t addr) {
+        page_dirty_[i / kPageWords] = 1;
+        ++page_gen_[i / kPageWords];
+        if (write_obs_) write_obs_(addr);
+    }
 
     Config cfg_;
     std::vector<Word> words_;
     /// One byte per page; nonzero = some word in the page has been written
     /// since construction (its content may differ from the init Word{0}).
     std::vector<std::uint8_t> page_dirty_;
+    /// Monotone per-page write counter (see the write-tracking section).
+    std::vector<std::uint32_t> page_gen_;
+    std::function<void(std::uint32_t)> write_obs_;
 };
 
 }  // namespace autovision

@@ -171,6 +171,18 @@ Coverage make_model() {
     arb.add_bin("priority.contended");
     arb.add_bin("vm_swap");
 
+    // Syscall layer (v3). One goal bin per host-IO service; a trap at ISR
+    // depth and an unknown call number are surprise bins — reachable only
+    // through the catalogued software bugs (bug.sw.5) or firmware
+    // corruption, so they are tracked but never part of the goal.
+    Covergroup& sw = cov.add_group("sw.iss");
+    sw.add_bin("syscall.exit");
+    sw.add_bin("syscall.putchar");
+    sw.add_bin("syscall.clock");
+    sw.add_bin("syscall.yield");
+    sw.add_bin("syscall.in_isr", /*ignore=*/true);
+    sw.add_bin("syscall.unknown", /*ignore=*/true);
+
     return cov;
 }
 
@@ -182,8 +194,9 @@ void observe_events(Coverage& cov, const std::vector<obs::Event>& events,
     Covergroup* xcross = cov.find("xwin.cross");
     Covergroup* trans = cov.find("swap.trans");
     Covergroup* irq = cov.find("irq.lat");
+    Covergroup* sw = cov.find("sw.iss");
     if (seq == nullptr || xlen == nullptr || xcross == nullptr ||
-        trans == nullptr || irq == nullptr) {
+        trans == nullptr || irq == nullptr || sw == nullptr) {
         return;  // not the AutoVision model shape
     }
 
@@ -352,6 +365,17 @@ void observe_events(Coverage& cov, const std::vector<obs::Event>& events,
                     irq_open = false;
                     irq->hit(irq_lat_bin(cycles(e.time - irq_start)));
                 }
+                break;
+
+            case EventKind::kSyscall:
+                switch (e.a) {
+                    case 0: sw->hit("syscall.exit"); break;
+                    case 1: sw->hit("syscall.putchar"); break;
+                    case 2: sw->hit("syscall.clock"); break;
+                    case 3: sw->hit("syscall.yield"); break;
+                    default: sw->hit("syscall.unknown"); break;
+                }
+                if (e.region != 0) sw->hit("syscall.in_isr");
                 break;
 
             default:

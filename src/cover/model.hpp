@@ -19,7 +19,12 @@
 //                  virtualization pool (regions 2+ fold into the r2p axis
 //                  slot, matching the obs per-region rollup);
 //   * rrm.arb    — ICAP-arbitration outcomes: grant mode x contention, plus
-//                  the Virtual Multiplexing swap path.
+//                  the Virtual Multiplexing swap path;
+//   * sw.iss     — syscall-layer outcomes from the ISS (v3): one goal bin
+//                  per host-IO service (exit/putchar/clock/yield) plus the
+//                  surprise bins — a trap at ISR depth (bug.sw.5's symptom)
+//                  and an unknown call number (ENOSYS) — which are tracked
+//                  but excluded from the goal.
 //
 // `make_model()` builds the fixed shape; the observers fill it from an obs
 // event stream (one simulation run), from a detection outcome, or from a
@@ -39,7 +44,9 @@
 
 namespace autovision::cover {
 
-inline constexpr int kModelVersion = 2;
+// v3: sw.iss group (syscall layer) + fault.det grown to the 14-entry
+// catalogue (bug.sw.3/4/5).
+inline constexpr int kModelVersion = 3;
 
 /// The fixed covergroup/bin skeleton (all hits zero).
 [[nodiscard]] Coverage make_model();

@@ -638,6 +638,11 @@ private:
             emit(st.addr, xform(0, 0, 0, X_SYNC));
             return;
         }
+        if (m == "sc") {
+            // Power encoding: primary op 17 with bit 30 set.
+            emit(st.addr, (17u << 26) | 2u);
+            return;
+        }
 
         // ---- system registers ----------------------------------------------
         if (m == "mtspr") {

@@ -15,6 +15,30 @@
 //   * external interrupts are sampled between instructions; MSR[EE],
 //     SRR0/SRR1 and rfi follow the 405 exception model with EVPR = 0.
 //
+// Execution engines (Config::engine):
+//   * kInterp — the retained reference interpreter: fetch + decode + execute
+//     every instruction on every posedge. The oracle half of the lockstep
+//     differential tests.
+//   * kCached (default) — per-cycle execution out of the basic-block decode
+//     cache (src/isa/decode.hpp): one micro-op per posedge, re-validated
+//     against the owning memory page's write generation, falling back to
+//     the interpreter for bus ops, traps, MSR writes and illegal words.
+//     Cycle-, trace- and diagnostic-identical to kInterp by construction.
+//
+// On top of kCached, a harness whose only active master is the CPU may call
+// enable_sleep(): when the CPU sees a long bus-free instruction sequence
+// ahead it pre-executes up to a few thousand instructions on a scratch
+// register file, parks the clock generator (phase-preserving gating), and
+// schedules a single wake event — collapsing thousands of posedge events
+// into two. Any registered wake signal edge or any memory write commits the
+// elapsed prefix and resumes the clock, so interrupts and DMA stores into
+// code observe per-cycle semantics. Not valid when other modules need the
+// same clock: the system harness never enables it.
+//
+// Syscalls: the Power `sc` instruction traps to HostIo (src/isa/syscall.hpp)
+// with the genuine SRR0/SRR1 clobber — which is exactly why `sc` inside an
+// ISR is one of the catalogued software bugs.
+//
 // Verification hooks: fetching undefined (X) memory, an X level on the
 // external interrupt pin, and DCR reads returning X are all reported to the
 // scheduler's diagnostics — these are exactly the software-visible symptoms
@@ -29,7 +53,9 @@
 #include "bus/dcr.hpp"
 #include "bus/memory.hpp"
 #include "bus/plb.hpp"
+#include "decode.hpp"
 #include "kernel/kernel.hpp"
+#include "syscall.hpp"
 
 namespace autovision::isa {
 
@@ -44,6 +70,10 @@ public:
         std::uint32_t reset_pc = 0x0000'1000;
         /// Upper bound on reported X-related diagnostics (spam control).
         unsigned x_report_limit = 5;
+        /// Execution engine; kCached is the default and is cycle-identical
+        /// to the interpreter (kInterp stays as the lockstep oracle).
+        enum class Engine : std::uint8_t { kInterp, kCached };
+        Engine engine = Engine::kCached;
     };
 
     PpcCpu(Scheduler& sch, const std::string& name, Signal<Logic>& clk,
@@ -51,30 +81,76 @@ public:
            Memory& imem, Signal<Logic>& ext_irq, Config cfg);
 
     // --- introspection (testbench/backdoor) ------------------------------
-    [[nodiscard]] std::uint32_t gpr(unsigned i) const { return gpr_[i]; }
-    void set_gpr(unsigned i, std::uint32_t v) { gpr_[i] = v; }
-    [[nodiscard]] std::uint32_t pc() const { return pc_; }
-    void set_pc(std::uint32_t pc) { pc_ = pc; }
-    [[nodiscard]] std::uint32_t msr() const { return msr_; }
-    [[nodiscard]] std::uint32_t lr() const { return lr_; }
-    [[nodiscard]] std::uint32_t ctr() const { return ctr_; }
-    [[nodiscard]] std::uint32_t cr0() const { return cr0_; }
+    // While a sleep window is open the architectural state lags simulated
+    // time; call wake_now() first (harnesses that never enable sleep are
+    // unaffected).
+    [[nodiscard]] std::uint32_t gpr(unsigned i) const { return st_.gpr[i]; }
+    void set_gpr(unsigned i, std::uint32_t v) { st_.gpr[i] = v; }
+    [[nodiscard]] std::uint32_t pc() const { return st_.pc; }
+    void set_pc(std::uint32_t pc) { st_.pc = pc; }
+    [[nodiscard]] std::uint32_t msr() const { return st_.msr; }
+    [[nodiscard]] std::uint32_t lr() const { return st_.lr; }
+    [[nodiscard]] std::uint32_t ctr() const { return st_.ctr; }
+    [[nodiscard]] std::uint32_t cr0() const { return st_.cr0; }
+
+    /// Whole architectural register file as a comparable value (the
+    /// lockstep differential tests diff this wholesale).
+    [[nodiscard]] const ArchRegs& arch_state() const { return st_; }
 
     [[nodiscard]] std::uint64_t instructions() const { return icount_; }
     [[nodiscard]] std::uint64_t interrupts_taken() const { return irqs_; }
 
     /// True while the CPU spins on a branch-to-self with interrupts either
     /// disabled or not pending — the firmware's "done/idle" convention.
-    [[nodiscard]] bool halted() const { return halted_; }
+    [[nodiscard]] bool halted() const { return st_.halted; }
+
+    /// Host-IO side of the syscall layer (console output, exit latch).
+    [[nodiscard]] const HostIo& host_io() const { return host_; }
+
+    /// Observability: every retired `sc` records an obs::EventKind::kSyscall
+    /// (a = call number, b = result, region = 1 when at ISR depth). Both
+    /// execution engines trap through the same interpreter path, so the
+    /// event stream is engine-invariant. Null disables (the default).
+    void set_observer(obs::EventRecorder* rec) { obs_ = rec; }
+
+    /// Decode-cache statistics (bench/regression introspection).
+    [[nodiscard]] const DecodeCache& decode_cache() const { return cache_; }
 
     /// Optional per-instruction trace hook (pc, raw instruction). Not part
     /// of the checkpoint image; consumers re-install it after restore.
+    /// Installing a trace hook disables sleep windows (per-cycle only).
     std::function<void(std::uint32_t, std::uint32_t)> trace;
+
+    // --- sleep (clock-gated batch execution; harness opt-in) -------------
+    /// Allow sleep windows, parking `gclk` (which must generate this CPU's
+    /// clk) during them. The reset and external-interrupt inputs are
+    /// registered as wake signals automatically, and every write into
+    /// `imem` wakes the CPU (store-to-code / DMA visibility). Requires the
+    /// kCached engine and a single-lane scheduler; call once, before run.
+    void enable_sleep(rtlsim::Clock& gclk);
+
+    /// Register an additional wake signal (e.g. a DMA-done line a polled
+    /// loop is watching). Any value change ends an open sleep window.
+    void add_wake_signal(Signal<Logic>& sig);
+
+    /// Commit an open sleep window up to the current simulated time and
+    /// resume the clock; no-op when not sleeping. Call before reading
+    /// architectural state mid-run from a sleep-enabled harness.
+    void wake_now();
+
+    [[nodiscard]] bool sleeping() const { return sleeping_; }
+    [[nodiscard]] std::uint64_t sleep_windows() const {
+        return sleep_windows_;
+    }
+    [[nodiscard]] std::uint64_t sleep_insns() const { return sleep_insns_; }
 
     // --- checkpoint ------------------------------------------------------
     /// Architectural registers + the pending memory/DCR operation
     /// descriptors; an op that was mid-flight at save time resumes on the
-    /// restored bus state with freshly re-armed completion closures.
+    /// restored bus state with freshly re-armed completion closures. The
+    /// decode cache is never serialized — restore flushes it and redecodes
+    /// from restored memory (memory must restore before the CPU when a
+    /// sleep window is open, so the scratch replay decodes the saved code).
     void ckpt_save(rtlsim::SnapWriter& w) const;
     [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
 
@@ -83,8 +159,14 @@ private:
     void take_interrupt();
     void execute(std::uint32_t insn);
     void exec_op31(std::uint32_t insn);
-    void set_cr0_signed(std::int32_t v);
+    void set_cr0(std::int32_t v);
     void illegal(std::uint32_t insn, const std::string& why);
+    void do_syscall();
+
+    bool step_cached();  ///< one micro-op via the decode cache; false -> fetch path
+    bool maybe_sleep();  ///< try to open a sleep window at this posedge
+    void commit_sleep(std::uint64_t elapsed);
+    void wake_early();
 
     // Data-side memory operations (through the PLB).
     void load(std::uint32_t ea, unsigned bytes, std::uint32_t rt);
@@ -104,24 +186,49 @@ private:
     Signal<Logic>& ext_irq_;
     DmaMaster dma_;
 
-    std::array<std::uint32_t, 32> gpr_{};
-    std::uint32_t pc_ = 0;
-    std::uint32_t msr_ = 0;
-    std::uint32_t cr0_ = 0;
-    std::uint32_t lr_ = 0;
-    std::uint32_t ctr_ = 0;
-    std::uint32_t xer_ = 0;
-    std::uint32_t srr0_ = 0;
-    std::uint32_t srr1_ = 0;
+    ArchRegs st_;  ///< architectural register file
 
     bool in_reset_ = true;
-    bool halted_ = false;
     bool fatal_ = false;
     bool mem_busy_ = false;   ///< PLB data op in flight
     bool dcr_busy_ = false;   ///< DCR ring op in flight
     std::uint64_t icount_ = 0;
     std::uint64_t irqs_ = 0;
     unsigned x_reports_ = 0;
+
+    HostIo host_;
+    std::uint32_t isr_depth_ = 0;  ///< take_interrupt/rfi nesting (syscall-in-ISR)
+    obs::EventRecorder* obs_ = nullptr;
+
+    // Decode cache + per-cycle cursor. The cursor is a pure accelerator:
+    // it is valid only while it agrees with st_.pc and the block is fresh,
+    // so dropping it (nullptr) is always safe.
+    DecodeCache cache_;
+    const DecodeCache::Block* cur_blk_ = nullptr;
+    std::size_t cur_idx_ = 0;
+
+    // Sleep state. A window pre-executed sleep_len_ instructions starting
+    // at the posedge at sleep_start_; sleep_end_ holds the post-window
+    // register file. An early wake replays the elapsed prefix from st_
+    // (unchanged during the window) over the scan-time decode.
+    struct WakeEvent final : rtlsim::TimedEvent {
+        explicit WakeEvent(PpcCpu& c) : cpu(c) {}
+        void fire() override { cpu.commit_sleep(cpu.sleep_len_); }
+        PpcCpu& cpu;
+    };
+
+    static constexpr std::uint64_t kMinSleep = 16;    ///< not worth gating below
+    static constexpr std::uint64_t kMaxSleep = 4096;  ///< scan budget per window
+
+    rtlsim::Clock* gclk_ = nullptr;  ///< non-null once sleep is enabled
+    bool sleeping_ = false;
+    std::uint64_t sleep_len_ = 0;
+    rtlsim::Time sleep_start_ = 0;
+    ArchRegs sleep_end_;
+    WakeEvent wake_ev_;
+    unsigned wake_procs_ = 0;
+    std::uint64_t sleep_windows_ = 0;
+    std::uint64_t sleep_insns_ = 0;
 
     // Pending data-side operation descriptor. The DMA closures capture only
     // `this` and read their operands from here, which is what makes a

@@ -104,6 +104,8 @@ std::string disassemble(std::uint32_t insn, std::uint32_t pc) {
         case OP_STH: return memform("sth", insn);
         case OP_STHU: return memform("sthu", insn);
 
+        case OP_SC: return "sc";
+
         case OP_B: {
             const std::int32_t li =
                 (static_cast<std::int32_t>(insn << 6) >> 6) & ~3;

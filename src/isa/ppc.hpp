@@ -22,6 +22,7 @@ enum PrimaryOp : std::uint32_t {
     OP_ADDI = 14,
     OP_ADDIS = 15,
     OP_BC = 16,
+    OP_SC = 17,  // system call (host-IO trap; see syscall.hpp)
     OP_B = 18,
     OP_XL = 19,   // bclr, rfi, isync
     OP_RLWINM = 21,

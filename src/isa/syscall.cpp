@@ -1,0 +1,26 @@
+#include "syscall.hpp"
+
+namespace autovision::isa {
+
+void HostIo::ckpt_save(rtlsim::SnapWriter& w) const {
+    w.str(out_);
+    w.u64(dropped_);
+    w.bool8(exited_);
+    w.u32(exit_code_);
+    for (auto c : calls_) w.u64(c);
+    w.u64(unknown_calls_);
+    w.u64(isr_calls_);
+}
+
+bool HostIo::ckpt_restore(rtlsim::SnapReader& r) {
+    out_ = r.str();
+    dropped_ = r.u64();
+    exited_ = r.bool8();
+    exit_code_ = r.u32();
+    for (auto& c : calls_) c = r.u64();
+    unknown_calls_ = r.u64();
+    isr_calls_ = r.u64();
+    return r.ok_so_far() && out_.size() <= kMaxOutBytes;
+}
+
+}  // namespace autovision::isa

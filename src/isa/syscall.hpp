@@ -1,0 +1,107 @@
+// Minimal syscall / host-IO layer for the ISS.
+//
+// Firmware traps to the host through the Power `sc` instruction; the call
+// number is in r0, the single argument in r3, and the result (if any) comes
+// back in r3. The CPU performs the genuine system-call SRR clobber
+// (SRR0 <- next PC, SRR1 <- MSR) before dispatching here — that clobber is
+// architecturally correct and is exactly what makes `sc` inside an ISR a
+// software bug (bug.sw.5): the interrupt's own return state is destroyed.
+//
+// Services are deliberately tiny — enough for the driving-firmware suite to
+// print progress, read simulated time, yield its scheduling quantum, and
+// terminate a run with an exit code — and fully deterministic: `clock`
+// returns simulated nanoseconds, never host time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "decode.hpp"
+#include "kernel/snapshot.hpp"
+
+namespace autovision::isa {
+
+/// Syscall numbers (r0 at the `sc` instruction).
+enum class Syscall : std::uint32_t {
+    kExit = 0,     ///< exit(r3): latch exit code, halt the CPU
+    kPutchar = 1,  ///< putchar(r3): append low byte to the host console
+    kClock = 2,    ///< r3 <- low 32 bits of simulated time (ns)
+    kYield = 3,    ///< scheduling hint; arch no-op, counted
+};
+
+inline constexpr std::uint32_t kNumSyscalls = 4;
+
+/// Result r3 for an unknown syscall number.
+inline constexpr std::uint32_t kSyscallEnosys = 0xFFFF'FFFFu;
+
+/// Host side of the trap: console sink, exit latch, per-service counters.
+/// Owned by the CPU and serialized inside its checkpoint section so a
+/// restored run reproduces console output byte-for-byte from the save point.
+class HostIo {
+public:
+    /// Service one `sc`. `st` is the architectural state *after* the SRR
+    /// clobber with pc already past the sc; r3 is updated in place.
+    /// Returns true when the call was kExit (the CPU halts).
+    bool dispatch(ArchRegs& st, std::uint32_t clock_lo, bool in_isr) {
+        const std::uint32_t num = st.gpr[0];
+        if (in_isr) ++isr_calls_;
+        if (num >= kNumSyscalls) {
+            ++unknown_calls_;
+            st.gpr[3] = kSyscallEnosys;
+            return false;
+        }
+        ++calls_[num];
+        switch (static_cast<Syscall>(num)) {
+            case Syscall::kExit:
+                exited_ = true;
+                exit_code_ = st.gpr[3];
+                return true;
+            case Syscall::kPutchar:
+                if (out_.size() < kMaxOutBytes) {
+                    out_.push_back(static_cast<char>(st.gpr[3] & 0xFF));
+                } else {
+                    ++dropped_;
+                }
+                break;
+            case Syscall::kClock: st.gpr[3] = clock_lo; break;
+            case Syscall::kYield: break;
+        }
+        return false;
+    }
+
+    [[nodiscard]] const std::string& out() const { return out_; }
+    [[nodiscard]] bool exited() const { return exited_; }
+    [[nodiscard]] std::uint32_t exit_code() const { return exit_code_; }
+    [[nodiscard]] std::uint64_t calls(Syscall s) const {
+        return calls_[static_cast<std::uint32_t>(s)];
+    }
+    [[nodiscard]] std::uint64_t total_calls() const {
+        std::uint64_t n = unknown_calls_;
+        for (auto c : calls_) n += c;
+        return n;
+    }
+    [[nodiscard]] std::uint64_t unknown_calls() const {
+        return unknown_calls_;
+    }
+    [[nodiscard]] std::uint64_t isr_calls() const { return isr_calls_; }
+    [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+    void ckpt_save(rtlsim::SnapWriter& w) const;
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r);
+
+private:
+    /// Console cap keeps a runaway putchar loop from growing snapshots and
+    /// memory without bound; overflow is counted, not silently lost.
+    static constexpr std::size_t kMaxOutBytes = 64 * 1024;
+
+    std::string out_;
+    std::uint64_t dropped_ = 0;
+    bool exited_ = false;
+    std::uint32_t exit_code_ = 0;
+    std::array<std::uint64_t, kNumSyscalls> calls_{};
+    std::uint64_t unknown_calls_ = 0;
+    std::uint64_t isr_calls_ = 0;
+};
+
+}  // namespace autovision::isa

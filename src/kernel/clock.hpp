@@ -23,24 +23,69 @@ public:
         : Module(sch, std::move(name)),
           out(sch, full_name() + ".out", Logic::L0),
           toggle_(*this),
-          half_(period / 2) {
+          half_(period / 2),
+          origin_(start) {
         sch.schedule_event(start + half_, toggle_);
     }
 
     [[nodiscard]] Time period() const noexcept { return 2 * half_; }
 
+    // --- gating -----------------------------------------------------------
+    // A consumer that knows nothing else in the design needs the wave (the
+    // ISS sleep path, where the CPU is the only active master) may park the
+    // generator and re-start it later. The phase is preserved: edges after
+    // resume() land exactly where the free-running wave would have put
+    // them, so anything clocked by `out` sees the same edge timestamps as
+    // an ungated run — only the skipped edges (and their host cost) vanish.
+
+    /// Request the wave to stop. Takes effect after the next *completed*
+    /// falling edge: the output parks at a committed 0, so the eventual
+    /// resume rise is a real value change (a same-value rewrite would not
+    /// notify listeners).
+    void suspend() {
+        if (!suspended_) suspend_pending_ = true;
+    }
+
+    /// Restart a parked wave: the next toggle is scheduled on the original
+    /// rising-edge phase grid, strictly after `now`. Cancels a suspend that
+    /// has not parked yet. Sequential contexts only (schedules an event).
+    void resume() {
+        suspend_pending_ = false;
+        if (!suspended_) return;
+        suspended_ = false;
+        sch_.schedule_event(next_rise_after(sch_.now()), toggle_);
+    }
+
+    [[nodiscard]] bool suspended() const noexcept { return suspended_; }
+
+    /// First rising-edge phase point strictly after `t` (rises sit at
+    /// origin + (2k+1)·half).
+    [[nodiscard]] Time next_rise_after(Time t) const noexcept {
+        if (t < origin_ + half_) return origin_ + half_;
+        const Time k = (t - origin_ - half_) / (2 * half_) + 1;
+        return origin_ + half_ + k * 2 * half_;
+    }
+
     // --- checkpoint ------------------------------------------------------
-    /// The embedded toggle event is perpetually pending; its next absolute
-    /// firing time is the whole clock state (the wave's phase is in the
-    /// `out` signal, saved with every other signal).
+    /// The embedded toggle event is perpetually pending (free-running) or
+    /// parked (gated); its next absolute firing time plus the gating flags
+    /// are the whole clock state (the wave's phase is in the `out` signal,
+    /// saved with every other signal).
     void ckpt_save(SnapWriter& w) const {
         w.u64(toggle_.time());
         w.bool8(toggle_.pending());
+        w.u64(origin_);
+        w.bool8(suspend_pending_);
+        w.bool8(suspended_);
     }
-    /// Re-enter the toggle into the (drained) wheel at the saved time.
+    /// Re-enter the toggle into the (drained) wheel at the saved time; a
+    /// parked clock stays parked until its gating consumer resumes it.
     bool ckpt_restore(SnapReader& r) {
         const Time t = r.u64();
         const bool pending = r.bool8();
+        origin_ = r.u64();
+        suspend_pending_ = r.bool8();
+        suspended_ = r.bool8();
         if (!r.ok_so_far()) return false;
         if (pending) sch_.schedule_event(t, toggle_);
         return true;
@@ -50,7 +95,15 @@ private:
     struct ToggleEvent final : TimedEvent {
         explicit ToggleEvent(Clock& c) : clk(c) {}
         void fire() override {
-            clk.out.write(is1(clk.out.read()) ? Logic::L0 : Logic::L1);
+            const bool rising = !is1(clk.out.read());
+            if (!rising && clk.suspend_pending_) {
+                // Complete the falling edge, then park low: no reschedule.
+                clk.out.write(Logic::L0);
+                clk.suspend_pending_ = false;
+                clk.suspended_ = true;
+                return;
+            }
+            clk.out.write(rising ? Logic::L1 : Logic::L0);
             clk.sch_.schedule_event(clk.sch_.now() + clk.half_, *this);
         }
         Clock& clk;
@@ -58,6 +111,9 @@ private:
 
     ToggleEvent toggle_;
     Time half_;
+    Time origin_;
+    bool suspend_pending_ = false;
+    bool suspended_ = false;
 };
 
 /// Active-high reset generator: asserted from time 0, released at `hold`.

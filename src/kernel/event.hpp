@@ -140,6 +140,36 @@ public:
         floor_bucket_ = 0;
     }
 
+    /// Unlink one pending event wherever it sits (ring bucket or overflow)
+    /// without firing it. O(bucket occupancy) — a cancelled event is always
+    /// near-future (a sleep wake), so its bucket chain is short. The caller
+    /// owns the pending flag; precondition: `ev` was pushed and has not
+    /// fired.
+    void cancel(TimedEvent* ev) {
+        Bucket& bk = ring_[bucket_of(ev->time_) & kMask];
+        TimedEvent* prev = nullptr;
+        for (TimedEvent* e = bk.head; e != nullptr; prev = e, e = e->next_) {
+            if (e != ev) continue;
+            if (prev != nullptr) {
+                prev->next_ = e->next_;
+            } else {
+                bk.head = e->next_;
+            }
+            if (bk.tail == e) bk.tail = prev;
+            --count_;
+            return;
+        }
+        for (auto it = overflow_.lower_bound(ev->time_);
+             it != overflow_.end() && it->first == ev->time_; ++it) {
+            if (it->second == ev) {
+                overflow_.erase(it);
+                --count_;
+                return;
+            }
+        }
+        assert(false && "cancel: event not pending in the wheel");
+    }
+
     /// Earliest pending timestamp; false when the queue is empty.
     [[nodiscard]] bool peek_next(Time& t) const {
         if (count_ == 0) return false;

@@ -242,6 +242,19 @@ public:
         queue_.push(&ev, now_);
     }
 
+    /// Remove a pending intrusive event from the wheel without firing it;
+    /// a no-op when the node is not pending (it already fired or was never
+    /// scheduled). Sequential contexts only, like schedule_event(). Used by
+    /// event sources that must retarget a wake (the ISS sleep path) —
+    /// cancelling instead of letting a stale node fire keeps the kernel's
+    /// event counts, and therefore checkpoint bytes, deterministic.
+    void cancel_event(TimedEvent& ev) {
+        if (!ev.pending_) return;
+        queue_.cancel(&ev);
+        ev.pending_ = false;
+        ev.next_ = nullptr;
+    }
+
     /// Run until the given absolute time (inclusive) or until out of events.
     void run_until(Time t);
 

@@ -59,6 +59,10 @@ enum class EventKind : std::uint8_t {
     kArbRelease,    ///< session drained, grant released; a = words forwarded
     kRegionJob,     ///< region manager completed a job; a = engine kind
 
+    // --- CPU / syscall layer ----------------------------------------------
+    kSyscall,       ///< firmware trap retired; a = call number, b = arg/
+                    ///< result, region = 1 when raised from an ISR
+
     kCount,
 };
 
@@ -73,6 +77,7 @@ enum class Source : std::uint8_t {
     kTestbench,
     kArbiter,
     kManager,
+    kCpu,  ///< appended (track numbering is serialized in traces)
     kCount,
 };
 
@@ -130,6 +135,7 @@ struct Event {
         case EventKind::kArbGrant: return "arb-grant";
         case EventKind::kArbRelease: return "arb-release";
         case EventKind::kRegionJob: return "region-job";
+        case EventKind::kSyscall: return "syscall";
         case EventKind::kCount: break;
     }
     return "?";
@@ -146,6 +152,7 @@ struct Event {
         case Source::kTestbench: return "tb";
         case Source::kArbiter: return "arb";
         case Source::kManager: return "rrm";
+        case Source::kCpu: return "cpu";
         case Source::kCount: break;
     }
     return "?";

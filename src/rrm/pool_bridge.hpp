@@ -1,0 +1,144 @@
+// rrm: PoolBridge — the CPU-facing DCR window into the RegionManager's
+// software-scheduled mode.
+//
+// With RegionManager::Config::software set, the policy planner never runs:
+// the embedded firmware decides which engine each pool region runs next and
+// pushes one job at a time through this bridge. The bridge sits on the
+// *legacy* DCR chain (the one the CPU's mtdcr/mfdcr drive) — attached only
+// when software scheduling is enabled, so the default ring length and
+// transaction latency stay byte-identical for every existing configuration.
+//
+// Register map (word registers at kDcrPool + offset):
+//   +0  CMD    (W) bits[3:0] manager region index, bits[7:4] EngineKind,
+//               bit[8] reconfigure. Writing pushes the staged job.
+//          (R) total CMD pushes accepted so far.
+//   +1  STATUS (R) total jobs completed across all managed regions.
+//   +2  SRC    (R/W) staged job source address
+//   +3  SRC2   (R/W) staged second source (previous frame)
+//   +4  DST    (R/W) staged destination address
+//   +5  DIMS   (R/W) staged width<<16 | height
+//   +6  PARAM  (R/W) staged engine parameter word
+//
+// The staging registers persist across pushes, so firmware programs the
+// invariant fields (SRC/SRC2/DIMS) once and only rewrites DST/PARAM/CMD per
+// job.
+#pragma once
+
+#include <string>
+
+#include "bus/dcr.hpp"
+#include "region_manager.hpp"
+
+namespace autovision::rrm {
+
+class PoolBridge final : public DcrSlaveIf {
+public:
+    enum Reg : std::uint32_t {
+        kCmd = 0,
+        kStatus = 1,
+        kSrc = 2,
+        kSrc2 = 3,
+        kDst = 4,
+        kDims = 5,
+        kParam = 6,
+        kNumRegs = 7,
+    };
+
+    PoolBridge(RegionManager& mgr, std::uint32_t dcr_base)
+        : mgr_(mgr), base_(dcr_base) {}
+
+    [[nodiscard]] bool dcr_claims(std::uint32_t regno) const override {
+        return regno >= base_ && regno < base_ + kNumRegs;
+    }
+
+    [[nodiscard]] rtlsim::Word dcr_read(std::uint32_t regno) override {
+        switch (regno - base_) {
+            case kCmd: return rtlsim::Word{pushes_};
+            case kStatus: {
+                std::uint32_t total = 0;
+                for (unsigned r = 0; r < mgr_.num_regions(); ++r) {
+                    total += mgr_.jobs_done(r);
+                }
+                return rtlsim::Word{total};
+            }
+            case kSrc: return rtlsim::Word{src_};
+            case kSrc2: return rtlsim::Word{src2_};
+            case kDst: return rtlsim::Word{dst_};
+            case kDims: return rtlsim::Word{dims_};
+            case kParam: return rtlsim::Word{param_};
+            default: return rtlsim::Word{0};
+        }
+    }
+
+    void dcr_write(std::uint32_t regno, rtlsim::Word w) override {
+        if (!w.is_fully_defined()) {
+            ++x_writes_;  // X never reaches the manager
+            return;
+        }
+        const auto v = static_cast<std::uint32_t>(w.to_u64());
+        switch (regno - base_) {
+            case kSrc: src_ = v; return;
+            case kSrc2: src2_ = v; return;
+            case kDst: dst_ = v; return;
+            case kDims: dims_ = v; return;
+            case kParam: param_ = v; return;
+            case kCmd: {
+                RegionJob job;
+                job.engine = static_cast<EngineKind>((v >> 4) & 0xF);
+                job.src = src_;
+                job.src2 = src2_;
+                job.dst = dst_;
+                job.width = static_cast<std::uint16_t>(dims_ >> 16);
+                job.height = static_cast<std::uint16_t>(dims_ & 0xFFFF);
+                job.param = param_;
+                mgr_.push_software(v & 0xF, job, (v & 0x100) != 0);
+                ++pushes_;
+                return;
+            }
+            default: return;
+        }
+    }
+
+    [[nodiscard]] std::string dcr_name() const override {
+        return "pool_bridge";
+    }
+
+    [[nodiscard]] std::uint32_t pushes() const { return pushes_; }
+    [[nodiscard]] std::uint64_t x_writes() const { return x_writes_; }
+
+    // --- checkpoint ------------------------------------------------------
+    /// Staging registers + push counter, so a snapshot taken between a
+    /// staging write and the CMD write replays the push faithfully.
+    void ckpt_save(rtlsim::SnapWriter& w) const {
+        w.u32(src_);
+        w.u32(src2_);
+        w.u32(dst_);
+        w.u32(dims_);
+        w.u32(param_);
+        w.u32(pushes_);
+        w.u64(x_writes_);
+    }
+    [[nodiscard]] bool ckpt_restore(rtlsim::SnapReader& r) {
+        src_ = r.u32();
+        src2_ = r.u32();
+        dst_ = r.u32();
+        dims_ = r.u32();
+        param_ = r.u32();
+        pushes_ = r.u32();
+        x_writes_ = r.u64();
+        return r.ok_so_far();
+    }
+
+private:
+    RegionManager& mgr_;
+    std::uint32_t base_;
+    std::uint32_t src_ = 0;
+    std::uint32_t src2_ = 0;
+    std::uint32_t dst_ = 0;
+    std::uint32_t dims_ = 0;
+    std::uint32_t param_ = 0;
+    std::uint32_t pushes_ = 0;
+    std::uint64_t x_writes_ = 0;
+};
+
+}  // namespace autovision::rrm

@@ -46,9 +46,32 @@ void RegionManager::enqueue(unsigned region, const RegionJob& job) {
     regions_[region].jobs.push_back(job);
 }
 
+unsigned RegionManager::push_software(unsigned region, const RegionJob& job,
+                                      bool reconfigure) {
+    if (!cfg_.software || !started_ || region >= regions_.size()) {
+        report("software push rejected: not in software mode, not started, "
+               "or region out of range");
+        return 0;
+    }
+    const auto slot = static_cast<unsigned>(plan_.size());
+    plan_.push_back({slot, region, job.engine, reconfigure});
+    jobs_of_plan_.push_back(job);
+    Region& reg = regions_[region];
+    reg.jobs.push_back(job);
+    reg.entries.push_back(slot);
+    // A region that drained its entries parked in kDone; fresh work
+    // re-opens it.
+    if (reg.st == St::kDone) {
+        reg.st = St::kIdle;
+        reg.watchdog = 0;
+    }
+    return slot;
+}
+
 void RegionManager::start() {
     if (started_) return;
     started_ = true;
+    if (cfg_.software) return;  // plan grows via push_software()
 
     // Workload in global arrival order: interleave per-region queues by
     // arrival position (jobs were enqueued region-locally; position in the

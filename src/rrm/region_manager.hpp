@@ -92,6 +92,12 @@ public:
         RegionCorrupt corrupt = RegionCorrupt::kNone;
         unsigned victim = 0;               ///< region the corruption hits
         std::uint64_t watchdog_cycles = 100000;  ///< hang bailout
+        /// Software-scheduled mode: no policy planner runs; the plan is
+        /// grown at run time by push_software() (driven from firmware
+        /// through the DCR pool bridge). The manager still executes the
+        /// full per-swap protocol — only the scheduling decision moves
+        /// into the embedded software.
+        bool software = false;
     };
 
     /// `arb` may be nullptr only in VM mode (no bitstream datapath).
@@ -105,7 +111,16 @@ public:
     /// Queue a job (arrival order is the workload order).
     void enqueue(unsigned region, const RegionJob& job);
     /// Freeze the workload, run the policy planner, begin execution.
+    /// In software mode (Config::software) the plan starts empty and no
+    /// planner runs; jobs arrive later through push_software().
     void start();
+    /// Software mode only: append one swap to the live plan. The entry is
+    /// executed in push order (the plan gate serialises reconfigurations
+    /// exactly as for a planned workload). `reconfigure` false is the
+    /// demand-paging hit: the software asserts the engine is already
+    /// resident and the swap is skipped. Returns the plan slot.
+    unsigned push_software(unsigned region, const RegionJob& job,
+                           bool reconfigure);
 
     [[nodiscard]] bool started() const { return started_; }
     /// All plan entries finished (completed or timed out) and the ICAP

@@ -282,6 +282,13 @@ Scenario generate(const ScenarioConstraints& c, std::uint64_t seed) {
             s.config.seed = seed;
             s.config.trace_events = true;
             s.frames = rng.range(1, 3);
+            // Host-IO opt-in: the firmware ticks the syscall layer per
+            // frame (clock/yield/putchar) and exits through it after the
+            // run's frame budget — the sw.iss covergroup's feed.
+            if (rng.pick_weighted({c.w_no_host_io, c.w_host_io}) == 1) {
+                s.config.host_io = true;
+                s.config.exit_after_frames = s.frames;
+            }
             break;
         }
         case 2: {
@@ -479,6 +486,14 @@ ScenarioConstraints bias_towards(const ScenarioConstraints& base,
         boost(c.w_region_vm);
         // Only a clean scenario may run Virtual Multiplexing.
         boost(c.w_region_corrupt[0]);
+    }
+
+    // Syscall layer: only host-IO system scenarios feed sw.iss, so open
+    // goal bins there raise both the kind weight and the opt-in weight.
+    if (open("sw.iss", "syscall.exit") || open("sw.iss", "syscall.putchar") ||
+        open("sw.iss", "syscall.clock") || open("sw.iss", "syscall.yield")) {
+        boost(c.w_system);
+        boost(c.w_host_io);
     }
 
     // Fault cross: steer toward catalogue entries with open goal cells.

@@ -134,6 +134,12 @@ struct ScenarioConstraints {
     unsigned w_fault = 2;
     unsigned w_regions = 0;
 
+    // System scenarios: host-IO syscall layer opt-in. When drawn, the
+    // firmware ticks the syscall layer per frame and exits through it —
+    // the only generator path that feeds the sw.iss covergroup.
+    unsigned w_host_io = 1;
+    unsigned w_no_host_io = 3;
+
     // Stream scenarios.
     unsigned min_sessions = 1;
     unsigned max_sessions = 3;

@@ -24,6 +24,11 @@ inline constexpr std::uint32_t kRegionSrcCur = 0x0050'0000;
 inline constexpr std::uint32_t kRegionSrcPrev = 0x0051'0000;
 inline constexpr std::uint32_t kRegionDstBase = 0x0060'0000;
 inline constexpr std::uint32_t kRegionDstStride = 0x0001'0000;  ///< per job
+/// Pool job geometry: small fixed frames so the managed regions' workload
+/// drains well inside a two-frame pipeline run at any jobs_per_region.
+/// Shared by the autonomous enqueue path and the pool-driver firmware.
+inline constexpr unsigned kRegionJobW = 16;
+inline constexpr unsigned kRegionJobH = 12;
 
 // ---- mailbox offsets (word each) ---------------------------------------
 inline constexpr std::uint32_t kMbFramesDone = 0;   ///< frames fully drawn
@@ -39,6 +44,11 @@ inline constexpr std::uint32_t kDcrIso = 0x58;
 inline constexpr std::uint32_t kDcrCie = 0x60;
 inline constexpr std::uint32_t kDcrMe = 0x68;
 inline constexpr std::uint32_t kDcrSig = 0x70;  ///< engine_signature (VM only)
+/// Software-scheduled pool bridge (rrm::PoolBridge), on the LEGACY chain so
+/// the CPU's mtdcr/mfdcr reach it. Attached only when
+/// SystemConfig::rrm_software is set; seven word registers (CMD, STATUS,
+/// SRC, SRC2, DST, DIMS, PARAM).
+inline constexpr std::uint32_t kDcrPool = 0x80;
 // Region-indexed DCR blocks of the virtualization pool, on the dedicated
 // management chain (the pool's RegionManager must not contend with the
 // CPU's mtdcr/mfdcr on the legacy chain). Region r >= 1 owns

@@ -22,6 +22,10 @@ enum class Fault {
     kHw3LevelIntc,       ///< INTC configured for level capture; done pulses lost
     kSw1PollWrongBit,    ///< DPR driver polls ICAP busy instead of done
     kSw2NoIntcAck,       ///< ISR never acknowledges the INTC (interrupt storm)
+    // ISS-layer software bugs (the decode-cache / syscall bug classes).
+    kSw3StaleCodePatch,  ///< ISR patches the draw loop in place (self-mod code)
+    kSw4EeStuckOff,      ///< firmware never sets MSR[EE]; no interrupt ever taken
+    kSw5SyscallInIsr,    ///< `sc` inside the ISR clobbers SRR0/SRR1
     // DPR bugs (weeks 10-11; only ReSim exercises the machinery).
     kDpr1NoIsolation,    ///< driver never enables isolation during DPR
     kDpr2RegsInsideRr,   ///< engine DCR registers left inside the RR
@@ -46,7 +50,7 @@ struct FaultInfo {
     ExpectedDetection expected;
 };
 
-inline constexpr std::array<FaultInfo, 11> kFaultCatalog{{
+inline constexpr std::array<FaultInfo, 14> kFaultCatalog{{
     {Fault::kHw1SrcWordAddr, "bug.hw.1",
      "CIE source address programmed as a word index (byte/word mismatch)",
      ExpectedDetection::kBoth},
@@ -61,6 +65,15 @@ inline constexpr std::array<FaultInfo, 11> kFaultCatalog{{
      ExpectedDetection::kResimOnly},
     {Fault::kSw2NoIntcAck, "bug.sw.2",
      "ISR fails to acknowledge the interrupt controller",
+     ExpectedDetection::kBoth},
+    {Fault::kSw3StaleCodePatch, "bug.sw.3",
+     "ISR patches the draw loop in place; stale threshold corrupts frames",
+     ExpectedDetection::kBoth},
+    {Fault::kSw4EeStuckOff, "bug.sw.4",
+     "firmware never sets MSR[EE]; interrupt-driven flow stalls",
+     ExpectedDetection::kBoth},
+    {Fault::kSw5SyscallInIsr, "bug.sw.5",
+     "`sc` inside the ISR clobbers SRR0/SRR1; rfi returns into the ISR",
      ExpectedDetection::kBoth},
     {Fault::kDpr1NoIsolation, "bug.dpr.1",
      "isolation never enabled; X escapes the region during DPR",

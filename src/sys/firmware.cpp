@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "address_map.hpp"
+#include "rrm/engine_library.hpp"
 
 namespace autovision::sys {
 
@@ -82,6 +83,36 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
       << "\n.equ SIMB_ME_SIZE, " << cfg.simb_me_words * (size_words ? 1 : 4)
       << "\n";
     s << ".equ DELAY_LOOPS, " << cfg.delay_loops << "\n";
+    const unsigned npool = cfg.pool_regions;
+    if (npool > 0) {
+        // Software-scheduled pool driver: the PoolBridge DCR window plus
+        // the generated job table (engine order decided here, at firmware
+        // generation time — the manager only executes the protocol).
+        s << ".equ POOL_CMD, 0x" << std::hex << (kDcrPool + 0)
+          << "\n.equ POOL_STATUS, 0x" << (kDcrPool + 1)
+          << "\n.equ POOL_SRC, 0x" << (kDcrPool + 2)
+          << "\n.equ POOL_SRC2, 0x" << (kDcrPool + 3)
+          << "\n.equ POOL_DST, 0x" << (kDcrPool + 4)
+          << "\n.equ POOL_DIMS, 0x" << (kDcrPool + 5)
+          << "\n.equ POOL_PARAM, 0x" << (kDcrPool + 6) << "\n"
+          << ".equ POOL_SRC_CUR, 0x" << kRegionSrcCur
+          << "\n.equ POOL_SRC_PREV, 0x" << kRegionSrcPrev << std::dec
+          << "\n";
+        s << ".equ POOL_N, " << npool << "\n.equ POOL_JOBS, "
+          << cfg.pool_jobs_per_region << "\n";
+        s << ".equ POOL_DIMS_VALUE, "
+          << ((kRegionJobW << 16) | kRegionJobH) << "\n";
+        // Per-region push cursors (word each), after the VAR_* block.
+        s << ".equ VAR_POOL_CUR, 64\n";
+    }
+    if (f == Fault::kSw3StaleCodePatch) {
+        // The word the ISR stores over the draw loop's marker instruction:
+        // `li r22, 1` (addi r22, r0, 1) replacing `li r22, 255`. A correct
+        // simulator must see the patched code on the very next draw pass
+        // (decode-cache invalidation), where the dim marker corrupts the
+        // drawn output.
+        s << ".equ PATCH_WORD, 0x3AC00001\n";
+    }
 
     // --------------------------------------------------- shared fragments
     const std::string start_cie_block = [&] {
@@ -208,6 +239,29 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
         return b.str();
     };
 
+    // The software pool schedule, decided here at generation time: engines
+    // rotate per region in *pairs*, so every second job targets the engine
+    // already resident and is pushed as a demand-paging hit
+    // (reconfigure = 0) — the schedule exercises both plan-gate paths.
+    struct PoolJob {
+        std::uint32_t cmd, dst, param;
+    };
+    const auto pool_job = [&](unsigned r, unsigned j) {  // r is 1-based
+        const auto lib = static_cast<unsigned>(rrm::kNumEngines);
+        const unsigned engine = (r - 1 + (j >> 1)) % lib + 1;
+        const unsigned prev =
+            j == 0 ? 0 : (r - 1 + ((j - 1) >> 1)) % lib + 1;
+        PoolJob out;
+        out.cmd = (r - 1) | (engine << 4) | (engine != prev ? 0x100u : 0u);
+        out.dst = kRegionDstBase +
+                  ((r - 1) * cfg.pool_jobs_per_region + j) * kRegionDstStride;
+        out.param =
+            engine == static_cast<unsigned>(rrm::EngineKind::kMatching)
+                ? (1u | (2u << 8) | (2u << 16))
+                : 0u;
+        return out;
+    };
+
     // ---------------------------------------------------------------- ISR
     s << "\n.org 0x500\nisr:\n";
     // Save r3-r12, LR, CR through the r0-based window.
@@ -223,12 +277,23 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
          "  andi. r4, r3, 2\n"
          "  bne handle_icap\n"
          "  andi. r4, r3, 4\n"
-         "  bne handle_video\n"
-         // Spurious/corrupted cause: record and ack everything we saw.
-         "  li r4, 1\n  stw r4, MB_FATAL(r5)\n"
+         "  bne handle_video\n";
+    if (npool > 0) {
+        // Pool region r's done line latches INTC bit 8 << (r - 1).
+        s << "  andi. r4, r3, " << (((1u << npool) - 1u) << 3) << "\n"
+             "  bne handle_region\n";
+    }
+    // Spurious/corrupted cause: record and ack everything we saw.
+    s << "  li r4, 1\n  stw r4, MB_FATAL(r5)\n"
          "  mr r4, r3\n  b isr_ack\n";
 
     s << "isr_ack:\n";
+    if (f == Fault::kSw5SyscallInIsr) {
+        // A "scheduling hint" syscall inside the handler. The sc clobbers
+        // SRR0/SRR1 (the interrupt's own return state), so the rfi below
+        // returns *here* with EE still 0 — the handler tail loops forever.
+        s << "  li r0, 3\n  sc\n";
+    }
     if (f != Fault::kSw2NoIntcAck) {
         s << "  mtdcr INTC_IAR, r4\n";
     }
@@ -258,8 +323,14 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
          "  lwz r7, MB_ME_COUNT(r5)\n  addi r7, r7, 1\n"
          "  stw r7, MB_ME_COUNT(r5)\n"
          "  li r7, 2\n  mtdcr ME_STATUS, r7\n"
-         "  li r7, 1\n  stw r7, VAR_FIELD_READY(r5)\n"
-      << start_dpr_block(1, "tocie")
+         "  li r7, 1\n  stw r7, VAR_FIELD_READY(r5)\n";
+    if (f == Fault::kSw3StaleCodePatch) {
+        // "Specialize" the draw loop in place from interrupt context — a
+        // store into the code the interrupted main loop is about to run.
+        s << load32("r6", "draw_mark") << load32("r7", "PATCH_WORD")
+          << "  stw r7, 0(r6)\n";
+    }
+    s << start_dpr_block(1, "tocie")
       << "  b isr_ack\n";
 
     // IcapCTRL-done handler: only the IRQ-wait ReSim driver takes this
@@ -291,6 +362,45 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
          "  li r6, 1\n  stw r6, VAR_FRAME_READY(r5)\n"
          "  b isr_ack\n";
 
+    // Pool-region-done handler: find the lowest pending region line, ack
+    // exactly that line, and push the region's next job (if any is left in
+    // the generated schedule) through the PoolBridge. One line per ISR
+    // entry — the other latched bits re-raise the interrupt.
+    if (npool > 0) {
+        s << "\nhandle_region:\n"
+             "  li r6, 0\n"   // manager region index
+             "  li r8, 8\n"   // INTC mask of region line 0
+             "region_scan:\n"
+             "  and. r9, r3, r8\n"
+             "  bne region_found\n"
+             "  slwi r8, r8, 1\n"
+             "  addi r6, r6, 1\n"
+             "  cmpwi r6, POOL_N\n"
+             "  blt region_scan\n"
+             "  li r4, 1\n  stw r4, MB_FATAL(r5)\n"
+             "  mr r4, r3\n  b isr_ack\n"
+             "region_found:\n"
+             "  mr r4, r8\n"
+             "  slwi r9, r6, 2\n"
+             "  addi r9, r9, VAR_POOL_CUR\n"
+             "  add r9, r9, r5\n"
+             "  lwz r10, 0(r9)\n"       // push cursor of this region
+             "  cmpwi r10, POOL_JOBS\n"
+             "  bge region_ack_only\n"  // schedule drained
+             "  mulli r11, r6, POOL_JOBS\n"
+             "  add r11, r11, r10\n"
+             "  mulli r11, r11, 12\n"   // 3 words per table entry
+          << load32("r12", "pool_table")
+          << "  add r11, r11, r12\n"
+             "  lwz r7, 4(r11)\n  mtdcr POOL_DST, r7\n"
+             "  lwz r7, 8(r11)\n  mtdcr POOL_PARAM, r7\n"
+             "  lwz r7, 0(r11)\n  mtdcr POOL_CMD, r7\n"
+             "  addi r10, r10, 1\n"
+             "  stw r10, 0(r9)\n"
+             "region_ack_only:\n"
+             "  b isr_ack\n";
+    }
+
     // --------------------------------------------------------------- main
     s << "\n.org 0x1000\n_start:\n";
     s << load32("r30", "MAILBOX") << "  mr r5, r30\n";
@@ -310,9 +420,11 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
          "  stw r6, MB_DPR_COUNT(r5)\n"
          "  stw r6, MB_FATAL(r5)\n";
     // INTC setup: edge capture unless bug.hw.3; the icap line is only
-    // enabled in IRQ wait mode.
-    const unsigned ier =
+    // enabled in IRQ wait mode; the pool driver also unmasks the region
+    // done lines (bit 8 << (r - 1) for pool region r).
+    unsigned ier =
         (cfg.wait == FirmwareConfig::Wait::kIrq && !vm) ? 0b111u : 0b101u;
+    if (npool > 0) ier |= ((1u << npool) - 1u) << 3;
     s << "  li r6, " << ier << "\n  mtdcr INTC_IER, r6\n";
     s << "  li r6, " << (f == Fault::kHw3LevelIntc ? 0 : 1)
       << "\n  mtdcr INTC_CTRL, r6\n";
@@ -322,7 +434,30 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
         s << "  li r6, 1\n  mtdcr SIG_REG, r6\n";
     }
     s << load32("r29", "FIELD_BUF") << load32("r28", "OUT_BUF");
-    s << "  wrteei 1\n";
+    if (npool > 0) {
+        // Pool bring-up: program the invariant staging registers once,
+        // seed job 0 of every region (always a reconfiguration) and set
+        // the push cursors; the ISR pushes the rest on region-done IRQs.
+        s << load32("r6", "POOL_SRC_CUR") << "  mtdcr POOL_SRC, r6\n"
+          << load32("r6", "POOL_SRC_PREV") << "  mtdcr POOL_SRC2, r6\n"
+          << load32("r6", "POOL_DIMS_VALUE") << "  mtdcr POOL_DIMS, r6\n";
+        for (unsigned r = 1; r <= npool; ++r) {
+            const PoolJob j0 = pool_job(r, 0);
+            s << load32("r6", std::to_string(j0.dst))
+              << "  mtdcr POOL_DST, r6\n"
+              << load32("r6", std::to_string(j0.param))
+              << "  mtdcr POOL_PARAM, r6\n"
+              << load32("r6", std::to_string(j0.cmd))
+              << "  mtdcr POOL_CMD, r6\n"
+              << "  li r6, 1\n  stw r6, VAR_POOL_CUR + " << 4 * (r - 1)
+              << "(r5)\n";
+        }
+    }
+    if (f != Fault::kSw4EeStuckOff) {
+        // Omitting this single instruction is bug.sw.4: every handler stays
+        // dead and the interrupt-driven pipeline never moves.
+        s << "  wrteei 1\n";
+    }
 
     // Pipelined main loop: draws the motion markers of the previous frame
     // while the engines (driven by the ISRs) process the next one.
@@ -355,6 +490,7 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
          "  li r22, 0\n"
          "  cmpwi r19, DRAW_THRESH\n"
          "  blt draw_store\n"
+         "draw_mark:\n"
          "  li r22, 255\n"
          "draw_store:\n"
          "  mulli r23, r15, STEP\n"
@@ -373,8 +509,36 @@ std::string build_firmware_source(const FirmwareConfig& cfg) {
          "  blt draw_y\n"
          "  lwz r14, MB_FRAMES_DONE(r30)\n"
          "  addi r14, r14, 1\n"
-         "  stw r14, MB_FRAMES_DONE(r30)\n"
-         "  b main_loop\n";
+         "  stw r14, MB_FRAMES_DONE(r30)\n";
+    if (cfg.host_io) {
+        // Progress tick per drawn frame through the syscall layer: sample
+        // the simulated clock, yield the scheduling quantum hint, then
+        // putchar('.'). Exercises every non-exit host-IO service (the
+        // sw.iss covergroup's goal bins). r0 survives the ISR — handlers
+        // only save/restore r3-r12.
+        s << "  li r0, 2\n  sc\n"             // clock -> r3 (scratch)
+             "  li r0, 3\n  sc\n"             // yield
+             "  li r0, 1\n  li r3, 46\n  sc\n";
+    }
+    if (cfg.exit_after_frames > 0) {
+        s << "  cmpwi r14, " << cfg.exit_after_frames << "\n"
+             "  blt main_loop\n"
+             "  li r0, 0\n  li r3, 0\n  sc\n";  // exit(0); the CPU halts
+    }
+    s << "  b main_loop\n";
+
+    if (npool > 0) {
+        // The generated schedule: 3 words per job — PoolBridge CMD
+        // (region | engine << 4 | reconfigure << 8), DST, PARAM.
+        s << "\npool_table:\n";
+        for (unsigned r = 1; r <= npool; ++r) {
+            for (unsigned j = 0; j < cfg.pool_jobs_per_region; ++j) {
+                const PoolJob pj = pool_job(r, j);
+                s << "  .word " << pj.cmd << ", " << pj.dst << ", "
+                  << pj.param << "\n";
+            }
+        }
+    }
 
     return s.str();
 }

@@ -47,6 +47,22 @@ struct FirmwareConfig {
     std::uint32_t simb_me_words = 0;
 
     Fault fault = Fault::kNone;
+
+    /// Host-IO opt-in: emit a putchar progress tick (`sc`) per drawn frame.
+    /// Off by default so the classic firmware text stays byte-identical.
+    bool host_io = false;
+    /// When non-zero the main loop calls exit(0) through the syscall layer
+    /// after this many frames instead of looping forever.
+    std::uint32_t exit_after_frames = 0;
+
+    /// Software-scheduled virtualization pool driver (SystemConfig::
+    /// rrm_software). When pool_regions > 0 the firmware carries a
+    /// generated per-region job table, seeds one job per region at boot and
+    /// pushes the next from the region-done ISR through the rrm::PoolBridge
+    /// DCR window — the engine schedule is decided entirely in software.
+    /// Zero (the default) keeps the classic firmware text byte-identical.
+    unsigned pool_regions = 0;
+    unsigned pool_jobs_per_region = 0;
 };
 
 /// Generate the assembly source (useful for inspection/tests).

@@ -23,17 +23,13 @@ IcapCtrl::Config icap_config(const SystemConfig& cfg) {
     return ic;
 }
 
-/// Pool job geometry: small fixed frames so the managed regions' workload
-/// drains well inside a two-frame pipeline run at any jobs_per_region.
-constexpr unsigned kRegionJobW = 16;
-constexpr unsigned kRegionJobH = 12;
-
 SystemConfig normalize(SystemConfig cfg) {
     if (cfg.regions < 1) cfg.regions = 1;
     if (cfg.regions > obs::kMaxRegions) {
         cfg.regions = obs::kMaxRegions;
     }
     if (cfg.rrm_jobs_per_region == 0) cfg.rrm_jobs_per_region = 1;
+    if (cfg.regions == 1) cfg.rrm_software = false;
     return cfg;
 }
 
@@ -52,6 +48,12 @@ FirmwareConfig firmware_config(const SystemConfig& cfg,
     fw.simb_cie_words = simb_cie_words;
     fw.simb_me_words = simb_me_words;
     fw.fault = cfg.fault;
+    fw.host_io = cfg.host_io;
+    fw.exit_after_frames = cfg.exit_after_frames;
+    if (cfg.rrm_software && cfg.regions > 1) {
+        fw.pool_regions = cfg.regions - 1;
+        fw.pool_jobs_per_region = cfg.rrm_jobs_per_region;
+    }
     return fw;
 }
 
@@ -189,6 +191,7 @@ OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
         mc.vm_mode = !is_resim();
         mc.payload_words = cfg_.rrm_payload_words;
         mc.simb_seed = rtlsim::derive_seed(cfg_.seed, kSeedTagRegionSimb);
+        mc.software = cfg_.rrm_software;
         region_manager = std::make_unique<rrm::RegionManager>(
             sch, "rrm", clk.out, rst.out, *dcr_mgmt, icap_arbiter.get(), mc);
 
@@ -222,27 +225,38 @@ OpticalFlowSystem::OpticalFlowSystem(SystemConfig cfg)
                         static_cast<std::uint8_t>(rtlsim::derive_seed(
                             cfg_.seed, kSeedTagRegionPrev + i)));
         }
-        for (unsigned r = 1; r < cfg_.regions; ++r) {
-            for (unsigned j = 0; j < cfg_.rrm_jobs_per_region; ++j) {
-                const rrm::EngineInfo& info =
-                    rrm::engine_library()[(r + j) % rrm::kNumEngines];
-                rrm::RegionJob job;
-                job.engine = info.kind;
-                job.src = kRegionSrcCur;
-                job.src2 = info.needs_src2 ? kRegionSrcPrev : 0;
-                job.dst = kRegionDstBase +
-                          ((r - 1) * cfg_.rrm_jobs_per_region + j) *
-                              kRegionDstStride;
-                job.width = static_cast<std::uint16_t>(kRegionJobW);
-                job.height = static_cast<std::uint16_t>(kRegionJobH);
-                job.param = info.kind == rrm::EngineKind::kMatching
-                                ? (1u | (2u << 8) | (2u << 16))
-                                : 0u;
-                job.deadline =
-                    rtlsim::derive_seed32(cfg_.seed, kSeedTagRegionDeadline +
-                                                         r * 16 + j) %
-                    16u;
-                region_manager->enqueue(r - 1, job);
+        if (cfg_.rrm_software) {
+            // Software-scheduled pool: the workload arrives at run time
+            // through the DCR bridge; the firmware's pool driver decides
+            // the engine order (see build_firmware). The bridge joins the
+            // LEGACY chain — only under this flag, so the default ring
+            // length (and with it every pinned DCR latency) is unchanged.
+            pool_bridge =
+                std::make_unique<rrm::PoolBridge>(*region_manager, kDcrPool);
+            dcr.attach(*pool_bridge);
+        } else {
+            for (unsigned r = 1; r < cfg_.regions; ++r) {
+                for (unsigned j = 0; j < cfg_.rrm_jobs_per_region; ++j) {
+                    const rrm::EngineInfo& info =
+                        rrm::engine_library()[(r + j) % rrm::kNumEngines];
+                    rrm::RegionJob job;
+                    job.engine = info.kind;
+                    job.src = kRegionSrcCur;
+                    job.src2 = info.needs_src2 ? kRegionSrcPrev : 0;
+                    job.dst = kRegionDstBase +
+                              ((r - 1) * cfg_.rrm_jobs_per_region + j) *
+                                  kRegionDstStride;
+                    job.width = static_cast<std::uint16_t>(kRegionJobW);
+                    job.height = static_cast<std::uint16_t>(kRegionJobH);
+                    job.param = info.kind == rrm::EngineKind::kMatching
+                                    ? (1u | (2u << 8) | (2u << 16))
+                                    : 0u;
+                    job.deadline = rtlsim::derive_seed32(
+                                       cfg_.seed, kSeedTagRegionDeadline +
+                                                      r * 16 + j) %
+                                   16u;
+                    region_manager->enqueue(r - 1, job);
+                }
             }
         }
         region_manager->start();
@@ -323,6 +337,19 @@ std::uint64_t OpticalFlowSystem::config_hash(const SystemConfig& cfg) {
         h = snap_hash64_u64(static_cast<std::uint64_t>(cfg.rrm_grant), h);
         h = snap_hash64_u64(cfg.rrm_jobs_per_region, h);
         h = snap_hash64_u64(cfg.rrm_payload_words, h);
+        // The software-scheduling flag folds in only when set, under its
+        // own domain tag, so every pre-existing pool configuration hashes
+        // exactly as before (same checkpoint compatibility contract).
+        if (cfg.rrm_software) {
+            h = snap_hash64("autovision.sysconfig.swpool.v1", h);
+        }
+    }
+    // Same gated-fold contract for the host-IO knobs: every configuration
+    // that leaves them at the defaults hashes exactly as before.
+    if (cfg.host_io || cfg.exit_after_frames != 0) {
+        h = snap_hash64("autovision.sysconfig.hostio.v1", h);
+        h = snap_hash64_u64(cfg.host_io ? 1 : 0, h);
+        h = snap_hash64_u64(cfg.exit_after_frames, h);
     }
     return h;
 }
@@ -380,6 +407,9 @@ bool OpticalFlowSystem::save(std::ostream& os) const {
         rrm::save_region_section(saver.section("rrm"), snaps);
         if (icap_arbiter) icap_arbiter->ckpt_save(saver.section("rrm_arb"));
         region_manager->ckpt_save(saver.section("rrm_mgr"));
+        if (pool_bridge) {
+            pool_bridge->ckpt_save(saver.section("pool_bridge"));
+        }
     }
     icapctrl.ckpt_save(saver.section("icapctrl"));
     video_in.ckpt_save(saver.section("video_in"));
@@ -448,6 +478,9 @@ bool OpticalFlowSystem::restore(std::istream& is, std::string* error) {
         if (!section("rrm_mgr", *region_manager)) {
             return fail("rrm_mgr section corrupt");
         }
+        if (pool_bridge && !section("pool_bridge", *pool_bridge)) {
+            return fail("pool_bridge section corrupt");
+        }
     }
     if (!section("icapctrl", icapctrl)) return fail("icapctrl section corrupt");
     if (!section("video_in", video_in)) return fail("video_in section corrupt");
@@ -480,6 +513,7 @@ void OpticalFlowSystem::attach_observer(obs::EventRecorder* rec) {
     for (auto& blk : region_blocks) blk->set_observer(rec);
     if (icap_arbiter) icap_arbiter->set_observer(rec);
     if (region_manager) region_manager->set_observer(rec);
+    cpu.set_observer(rec);
 }
 
 }  // namespace autovision::sys

@@ -43,6 +43,7 @@
 #include "resim/simb.hpp"
 #include "rrm/icap_arbiter.hpp"
 #include "rrm/policy.hpp"
+#include "rrm/pool_bridge.hpp"
 #include "rrm/region_block.hpp"
 #include "rrm/region_manager.hpp"
 #include "rrm/rrm_section.hpp"
@@ -137,6 +138,23 @@ struct SystemConfig {
     rrm::IcapArbiter::Grant rrm_grant = rrm::IcapArbiter::Grant::kFair;
     unsigned rrm_jobs_per_region = 2;
     std::uint32_t rrm_payload_words = 16;  ///< pool SimB payload length
+    /// Software-scheduled pool (regions >= 2 only): instead of the
+    /// autonomous policy plan, the *firmware* decides which engine each
+    /// managed region runs next and pushes jobs at run time through the
+    /// rrm::PoolBridge DCR window (kDcrPool on the legacy chain). The
+    /// RegionManager still executes the full per-swap protocol — only the
+    /// scheduling decision moves into the embedded software. Ignored when
+    /// regions == 1. Default off keeps every existing configuration (ring
+    /// length, firmware text, config hash) byte-identical.
+    bool rrm_software = false;
+
+    /// Host-IO syscall layer opt-in (FirmwareConfig::host_io): the firmware
+    /// emits a putchar progress tick per drawn frame; when exit_after_frames
+    /// is non-zero it exit(0)s through the syscall layer after that many
+    /// frames instead of looping forever. Off by default so the classic
+    /// firmware text (and config hash) stays byte-identical.
+    bool host_io = false;
+    std::uint32_t exit_after_frames = 0;
 };
 
 class OpticalFlowSystem {
@@ -216,6 +234,9 @@ public:
     std::vector<std::unique_ptr<rrm::RegionBlock>> region_blocks;
     std::unique_ptr<rrm::IcapArbiter> icap_arbiter;  ///< ReSim only
     std::unique_ptr<rrm::RegionManager> region_manager;
+    /// CPU-facing DCR window for software-scheduled pools; non-null only
+    /// when cfg.rrm_software is set (and regions >= 2).
+    std::unique_ptr<rrm::PoolBridge> pool_bridge;
 
     /// Pool region r (1-based global id) — valid for 1 <= r < cfg.regions.
     [[nodiscard]] rrm::RegionBlock& pool_region(unsigned r) {

@@ -248,6 +248,66 @@ TEST(Ckpt, WarmEqualsColdUnderVirtualMux) {
     expect_warm_equals_cold(cfg, warm, 30000 * cfg.clk_period);
 }
 
+TEST(Ckpt, WarmEqualsColdMidBasicBlock) {
+    // The decode cache is deliberately never serialized: restore flushes it
+    // and redecodes from restored memory. Save while the cached engine is
+    // deep in decoded blocks — at a 32-cycle quantum against the firmware's
+    // multi-hundred-instruction loop bodies the save lands mid-basic-block
+    // with overwhelming likelihood — and require the redecoded warm run to
+    // stay byte-exact with the uninterrupted reference.
+    const SystemConfig cfg = small_config();
+    DirectRun warm(cfg);
+    const rtlsim::Time t = warm.run_until_condition(
+        [&] {
+            return warm.sys.cpu.decode_cache().blocks() > 4 &&
+                   !warm.sys.cpu.halted();
+        },
+        60000 * cfg.clk_period);
+    ASSERT_NE(t, 0u) << "run never populated the decode cache";
+    EXPECT_GT(warm.sys.cpu.decode_cache().decodes(), 0u);
+    expect_warm_equals_cold(cfg, warm, t + 20000 * cfg.clk_period);
+}
+
+TEST(Ckpt, WarmEqualsColdMidSyscallStream) {
+    // Host-IO firmware: save after console output began but before the
+    // firmware's exit(0). HostIo (console bytes, per-service counters, the
+    // exit latch) rides inside the cpu checkpoint section, so the restored
+    // run must reproduce the remaining output byte-for-byte — pinned
+    // wholesale by the final-blob comparison.
+    SystemConfig cfg = small_config();
+    cfg.host_io = true;
+    cfg.exit_after_frames = 3;
+    DirectRun warm(cfg);
+    const rtlsim::Time t = warm.run_until_condition(
+        [&] {
+            return !warm.sys.cpu.host_io().out().empty() &&
+                   !warm.sys.cpu.host_io().exited();
+        },
+        120000 * cfg.clk_period);
+    ASSERT_NE(t, 0u) << "firmware never produced console output";
+    EXPECT_GT(warm.sys.cpu.host_io().total_calls(), 0u);
+    expect_warm_equals_cold(cfg, warm, t + 20000 * cfg.clk_period);
+}
+
+TEST(Ckpt, WarmEqualsColdWithSoftwareScheduledPool) {
+    // Software-scheduled virtualization pool: the run-time grown plan
+    // (RegionManager::push_software) and the PoolBridge staging registers
+    // must both survive a restore taken while pushes are still in flight.
+    SystemConfig cfg = small_config();
+    cfg.regions = 3;
+    cfg.rrm_software = true;
+    DirectRun warm(cfg);
+    const rtlsim::Time t = warm.run_until_condition(
+        [&] {
+            return warm.sys.pool_bridge != nullptr &&
+                   warm.sys.pool_bridge->pushes() > 0 &&
+                   !warm.sys.region_manager->done();
+        },
+        200000 * cfg.clk_period);
+    ASSERT_NE(t, 0u) << "firmware never pushed a pool job";
+    expect_warm_equals_cold(cfg, warm, t + 30000 * cfg.clk_period);
+}
+
 // ---------------------------------------------------------------------------
 // Stream-harness warm start (the closure campaign's fast path)
 // ---------------------------------------------------------------------------

@@ -47,7 +47,7 @@ TEST(CoverShape, ModelHasTheAdvertisedGroups) {
     Coverage cov = cover::make_model();
     for (const char* g :
          {"simb.seq", "xwin.len", "xwin.cross", "swap.trans", "fault.det",
-          "irq.lat", "rrm.cross", "rrm.arb"}) {
+          "irq.lat", "rrm.cross", "rrm.arb", "sw.iss"}) {
         EXPECT_NE(cov.find(g), nullptr) << g;
     }
     EXPECT_GT(cov.goal_bins(), 0u);
@@ -78,6 +78,48 @@ TEST(CoverShape, RrmCrossSpansRegionEnginePolicy) {
     const Covergroup* arb = cov.find("rrm.arb");
     ASSERT_NE(arb, nullptr);
     EXPECT_EQ(arb->bins().size(), 5u);
+}
+
+TEST(CoverShape, SyscallGroupSeparatesGoalsFromSurprises) {
+    Coverage cov = cover::make_model();
+    const Covergroup* sw = cov.find("sw.iss");
+    ASSERT_NE(sw, nullptr);
+    // One goal bin per host-IO service; in-ISR and unknown-number traps
+    // are surprise (ignore) bins.
+    EXPECT_EQ(sw->bins().size(), 6u);
+    EXPECT_EQ(sw->goal_bins(), 4u);
+    EXPECT_NE(sw->find("syscall.exit"), nullptr);
+    ASSERT_NE(sw->find("syscall.in_isr"), nullptr);
+    EXPECT_TRUE(sw->find("syscall.in_isr")->ignore);
+    ASSERT_NE(sw->find("syscall.unknown"), nullptr);
+    EXPECT_TRUE(sw->find("syscall.unknown")->ignore);
+}
+
+TEST(CoverObserve, SyscallEventsFillTheIssGroup) {
+    Coverage cov = cover::make_model();
+    std::vector<obs::Event> ev;
+    const auto sc = [&ev](std::uint32_t num, std::uint8_t in_isr) {
+        obs::Event e;
+        e.time = 100 * (ev.size() + 1);
+        e.kind = obs::EventKind::kSyscall;
+        e.src = obs::Source::kCpu;
+        e.a = num;
+        e.region = in_isr;
+        ev.push_back(e);
+    };
+    sc(1, 0);  // putchar
+    sc(2, 0);  // clock
+    sc(3, 0);  // yield
+    sc(0, 0);  // exit
+    sc(1, 1);  // putchar from an ISR (bug.sw.5's symptom)
+    sc(42, 0); // unknown number (ENOSYS)
+    cover::observe_events(cov, ev, 10 * rtlsim::NS);
+    EXPECT_EQ(cov.hits("sw.iss", "syscall.putchar"), 2u);
+    EXPECT_EQ(cov.hits("sw.iss", "syscall.clock"), 1u);
+    EXPECT_EQ(cov.hits("sw.iss", "syscall.yield"), 1u);
+    EXPECT_EQ(cov.hits("sw.iss", "syscall.exit"), 1u);
+    EXPECT_EQ(cov.hits("sw.iss", "syscall.in_isr"), 1u);
+    EXPECT_EQ(cov.hits("sw.iss", "syscall.unknown"), 1u);
 }
 
 TEST(CoverShape, EmptyCoverageIsTriviallyClosed) {

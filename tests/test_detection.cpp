@@ -32,10 +32,11 @@ INSTANTIATE_TEST_SUITE_P(
     Catalog, FaultMatrix,
     ::testing::Values(Fault::kHw1SrcWordAddr, Fault::kHw2NoSigInit,
                       Fault::kHw3LevelIntc, Fault::kSw1PollWrongBit,
-                      Fault::kSw2NoIntcAck, Fault::kDpr1NoIsolation,
-                      Fault::kDpr2RegsInsideRr, Fault::kDpr3WrongSimbAddr,
-                      Fault::kDpr4P2pIcap, Fault::kDpr5SizeInWords,
-                      Fault::kDpr6bShortWait),
+                      Fault::kSw2NoIntcAck, Fault::kSw3StaleCodePatch,
+                      Fault::kSw4EeStuckOff, Fault::kSw5SyscallInIsr,
+                      Fault::kDpr1NoIsolation, Fault::kDpr2RegsInsideRr,
+                      Fault::kDpr3WrongSimbAddr, Fault::kDpr4P2pIcap,
+                      Fault::kDpr5SizeInWords, Fault::kDpr6bShortWait),
     [](const ::testing::TestParamInfo<Fault>& info) {
         std::string id = fault_info(info.param).id;
         for (char& c : id) {

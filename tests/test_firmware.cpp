@@ -1,8 +1,12 @@
 // Unit tests for the firmware builder: every variant must assemble, and
-// the generated code must reflect the method/wait/fault knobs.
+// the generated code must reflect the method/wait/fault knobs. The FwPool
+// suite pins the software-scheduled virtualization pool end to end: the
+// generated pool driver decides the engine order and the RegionManager's
+// schedule signature must match it exactly, at every lane count.
 #include <gtest/gtest.h>
 
 #include "sys/firmware.hpp"
+#include "sys/testbench.hpp"
 
 namespace autovision::sys {
 namespace {
@@ -143,6 +147,148 @@ TEST(Firmware, IerMasksIcapLineOutsideIrqMode) {
     cfg.wait = FirmwareConfig::Wait::kDelay;
     EXPECT_NE(build_firmware_source(cfg).find("li r6, 5\n  mtdcr INTC_IER"),
               std::string::npos);
+}
+
+TEST(Firmware, PoolDriverShapesTheCode) {
+    // Default config: no pool driver, text identical to the classic build.
+    FirmwareConfig cfg = base_cfg();
+    const std::string classic = build_firmware_source(cfg);
+    EXPECT_EQ(classic.find("handle_region"), std::string::npos);
+    EXPECT_EQ(classic.find("pool_table"), std::string::npos);
+    EXPECT_EQ(classic.find("POOL_CMD"), std::string::npos);
+
+    cfg.pool_regions = 2;
+    cfg.pool_jobs_per_region = 3;
+    const std::string pool = build_firmware_source(cfg);
+    EXPECT_NE(pool.find("handle_region"), std::string::npos);
+    EXPECT_NE(pool.find("mtdcr POOL_CMD"), std::string::npos);
+    EXPECT_NE(pool.find(".equ POOL_N, 2"), std::string::npos);
+    EXPECT_NE(pool.find(".equ POOL_JOBS, 3"), std::string::npos);
+    // Region lines unmasked: 0b111 | ((1<<2)-1)<<3 = 0x1F.
+    EXPECT_NE(pool.find("li r6, 31\n  mtdcr INTC_IER"), std::string::npos);
+    // The job table carries 3 words per job.
+    EXPECT_NE(pool.find("pool_table:"), std::string::npos);
+    const isa::Program p = build_firmware(cfg);
+    EXPECT_EQ(p.sym("pool_table") % 4, 0u);
+}
+
+// ---------------------------------------------------------------- FwPool
+// Full-system runs of the software-scheduled pool. The firmware seeds one
+// job per region at boot and pushes the rest from the region-done ISR; the
+// RegionManager executes the pushed plan. Goldens pin the schedule
+// signature (reconfigurations marked '!', demand hits unmarked).
+
+SystemConfig pool_cfg(unsigned regions) {
+    SystemConfig cfg;
+    cfg.width = 32;
+    cfg.height = 24;
+    cfg.step = 4;
+    cfg.margin = 8;
+    cfg.search = 2;
+    cfg.simb_payload_words = 100;
+    cfg.regions = regions;
+    cfg.rrm_software = true;
+    return cfg;
+}
+
+/// Run two video frames, then keep simulating until the pool drains.
+RunResult run_pool(Testbench& tb) {
+    RunResult r = tb.run(2);
+    unsigned guard = 0;
+    while (!tb.sys.region_manager->done() && ++guard < 2000) {
+        tb.sys.sch.run_until(tb.sys.sch.now() + 100000);
+    }
+    EXPECT_TRUE(tb.sys.region_manager->done()) << "pool failed to drain";
+    return r;
+}
+
+TEST(FwPool, ScheduleSignatureGolden) {
+    const char* kGolden[] = {
+        "r0.census! r0.census",
+        "r0.census! r1.matching! r0.census r1.matching",
+        "r0.census! r1.matching! r2.sobel! "
+        "r0.census r1.matching r2.sobel",
+    };
+    for (unsigned regions = 2; regions <= 4; ++regions) {
+        Testbench tb(pool_cfg(regions));
+        const RunResult r = run_pool(tb);
+        EXPECT_TRUE(r.clean()) << "regions=" << regions << ": "
+                               << r.verdict();
+        EXPECT_EQ(tb.sys.region_manager->signature(), kGolden[regions - 2]);
+        EXPECT_EQ(tb.sys.pool_bridge->pushes(), (regions - 1) * 2);
+        for (unsigned i = 0; i + 1 < regions; ++i) {
+            EXPECT_EQ(tb.sys.region_manager->jobs_done(i), 2u);
+            EXPECT_EQ(tb.sys.region_manager->timeouts(i), 0u);
+        }
+    }
+}
+
+TEST(FwPool, VmMethodRunsTheSameSchedule) {
+    SystemConfig cfg = pool_cfg(3);
+    cfg.method = FirmwareConfig::Method::kVm;
+    Testbench tb(cfg);
+    const RunResult r = run_pool(tb);
+    EXPECT_TRUE(r.clean()) << r.verdict();
+    EXPECT_EQ(tb.sys.region_manager->signature(),
+              "r0.census! r1.matching! r0.census r1.matching");
+    // VM swaps never stream SimBs.
+    EXPECT_EQ(tb.sys.region_manager->sessions_submitted(0), 0u);
+    EXPECT_EQ(tb.sys.region_manager->sessions_submitted(1), 0u);
+}
+
+TEST(FwPool, PairedJobsAreDemandHits) {
+    // Four jobs per region: the schedule rotates engines in pairs, so the
+    // second of each pair skips the reconfiguration entirely.
+    SystemConfig cfg = pool_cfg(2);
+    cfg.rrm_jobs_per_region = 4;
+    Testbench tb(cfg);
+    const RunResult r = run_pool(tb);
+    EXPECT_TRUE(r.clean()) << r.verdict();
+    EXPECT_EQ(tb.sys.region_manager->signature(),
+              "r0.census! r0.census r0.matching! r0.matching");
+    // Exactly the two '!' entries streamed a SimB through the arbiter.
+    EXPECT_EQ(tb.sys.region_manager->sessions_submitted(0), 2u);
+    EXPECT_EQ(tb.sys.region_manager->jobs_done(0), 4u);
+}
+
+TEST(FwPool, DeterministicAcrossLanes) {
+    // The pinned pool run must be bit-reproducible at every lane count
+    // (the kernel-invariance contract extends to the software pool).
+    std::string sig1;
+    rtlsim::Time end1 = 0;
+    std::uint32_t frames1 = 0;
+    for (unsigned lanes : {1u, 2u, 4u}) {
+        SystemConfig cfg = pool_cfg(4);
+        cfg.lanes = lanes;
+        Testbench tb(cfg);
+        const RunResult r = run_pool(tb);
+        EXPECT_TRUE(r.clean()) << "lanes=" << lanes << ": " << r.verdict();
+        if (lanes == 1) {
+            sig1 = tb.sys.region_manager->signature();
+            end1 = tb.sys.sch.now();
+            frames1 = r.frames_completed;
+        } else {
+            EXPECT_EQ(tb.sys.region_manager->signature(), sig1)
+                << "lanes=" << lanes;
+            EXPECT_EQ(tb.sys.sch.now(), end1) << "lanes=" << lanes;
+            EXPECT_EQ(r.frames_completed, frames1) << "lanes=" << lanes;
+        }
+    }
+}
+
+TEST(FwPool, SoftwarePoolFoldsIntoConfigHash) {
+    SystemConfig plain = pool_cfg(3);
+    plain.rrm_software = false;
+    SystemConfig sw = pool_cfg(3);
+    EXPECT_NE(OpticalFlowSystem::config_hash(plain),
+              OpticalFlowSystem::config_hash(sw))
+        << "software scheduling changes simulation semantics";
+    // Single-region configs ignore (and normalize away) the flag.
+    SystemConfig one;
+    SystemConfig one_sw;
+    one_sw.rrm_software = true;
+    EXPECT_EQ(OpticalFlowSystem::config_hash(one),
+              OpticalFlowSystem::config_hash(one_sw));
 }
 
 }  // namespace

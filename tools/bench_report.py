@@ -21,7 +21,7 @@ import sys
 from pathlib import Path
 
 BENCH_BINARIES = ["bench_kernel", "bench_frame_sim", "bench_obs_overhead",
-                  "bench_ckpt"]
+                  "bench_ckpt", "bench_iss"]
 
 
 def run_benchmark(binary: Path, min_time: float) -> dict:
